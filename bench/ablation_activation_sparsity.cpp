@@ -1,0 +1,65 @@
+// Ablation — activation-sparsity exploitation modes (paper Sec. II: prior
+// OU work exploits weight AND activation sparsity).
+//
+// Three pipelines: ignore activations; skip an OU cycle when its whole
+// input slice is zero (free but only effective for tiny OUs); compact
+// non-zero activations (effective at every OU size but pays index fetches).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+namespace {
+
+const char* mode_name(ou::ActivationHandling mode) {
+  switch (mode) {
+    case ou::ActivationHandling::kNone: return "none";
+    case ou::ActivationHandling::kRowSkip: return "row-skip";
+    case ou::ActivationHandling::kCompaction: return "compaction";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: activation-sparsity handling");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::MappedModel vgg11 =
+      setup.make_mapped(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  const core::HorizonConfig horizon{.runs = 200};
+
+  common::Table table({"mode", "16x16 E_inf (mJ)", "16x16 L_inf (s)",
+                       "Odin E_inf (mJ)", "Odin L_inf (s)",
+                       "Odin EDP advantage"});
+  for (ou::ActivationHandling mode :
+       {ou::ActivationHandling::kNone, ou::ActivationHandling::kRowSkip,
+        ou::ActivationHandling::kCompaction}) {
+    ou::CostParams params = setup.cost_params;
+    params.activation_handling = mode;
+    const ou::OuCostModel cost(params, setup.device);
+
+    const auto base = core::simulate_homogeneous(vgg11, nonideal, cost,
+                                                 {16, 16}, horizon);
+    core::OdinController controller(vgg11, nonideal, cost,
+                                    policy::OuPolicy(ou::OuLevelGrid(128)));
+    const auto odin = core::simulate_odin(controller, horizon);
+
+    table.add_row({mode_name(mode),
+                   common::Table::num(base.inference.energy_j * 1e3, 4),
+                   common::Table::num(base.inference.latency_s, 4),
+                   common::Table::num(odin.inference.energy_j * 1e3, 4),
+                   common::Table::num(odin.inference.latency_s, 4),
+                   common::Table::num(base.total_edp() / odin.total_edp(),
+                                      3)});
+  }
+  common::print_table("VGG11/CIFAR-10 over [t0, 1e8 s]", table);
+  std::printf("\n[shape] row-skipping barely helps at standard OU heights "
+              "(P[all R inputs zero] = s^R); compaction cuts cycles by the "
+              "activation sparsity at every size — and shifts Odin's "
+              "optimum; Odin stays ahead in every mode.\n");
+  return 0;
+}

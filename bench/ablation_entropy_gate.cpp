@@ -1,0 +1,56 @@
+// Ablation — entropy-gated search (extension; cf. the authors'
+// uncertainty-aware online learning [27]).
+//
+// Vanilla Algorithm 1 runs the resource-bounded search for every layer of
+// every run. Once the policy has converged, most searches just confirm its
+// prediction. Gating the search on the policy's predictive entropy trades a
+// little EDP optimality for a large cut in search work.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Ablation: entropy-gated search");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+
+  bench::Stopwatch clock;
+  const ou::MappedModel vgg11 =
+      setup.make_mapped(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  policy::OuPolicy offline =
+      core::offline_policy_excluding(setup, dnn::Family::kVgg);
+  std::printf("[setup] done in %.1fs\n", clock.seconds());
+
+  const core::HorizonConfig horizon{.runs = 400};
+  common::Table table({"entropy gate", "EDP (Js)", "EDP vs no gate",
+                       "searches skipped", "skip %", "policy updates"});
+  double edp_no_gate = 0.0;
+  for (double gate : {-1.0, 0.05, 0.15, 0.3, 0.5, 0.9}) {
+    core::OdinConfig cfg;
+    cfg.entropy_gate = gate;
+    core::OdinController controller(vgg11, nonideal, cost, offline.clone(),
+                                    cfg);
+    const auto result = core::simulate_odin(controller, horizon);
+    if (gate < 0.0) edp_no_gate = result.total_edp();
+    const auto total_layers = static_cast<double>(
+        horizon.runs * static_cast<int>(vgg11.layer_count()));
+    table.add_row({gate < 0.0 ? "off" : common::Table::num(gate, 2),
+                   common::Table::num(result.total_edp(), 4),
+                   common::Table::num(result.total_edp() / edp_no_gate, 4),
+                   common::Table::integer(result.searches_skipped),
+                   common::Table::num(
+                       100.0 * result.searches_skipped / total_layers, 3),
+                   common::Table::integer(result.policy_updates)});
+  }
+  common::print_table("VGG11/CIFAR-10 (offline policy from other families)",
+                      table);
+  std::printf("\n[shape] moderate gates skip a large share of searches at "
+              "single-digit-percent EDP cost; an over-eager gate freezes "
+              "learning (no mismatches -> no training data) and pays more."
+              "\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — index-storage cost of stored-table OU compression (paper
+// Sec. II's argument for Odin's virtual-OU controller).
+//
+// Prior OU schemes pre-compute input/output index tables per configuration.
+// A fixed homogeneous OU needs one table set; a drift-adaptive scheme that
+// stored tables would need them for every configuration it ever visits.
+// Odin forms OUs in the controller at runtime: zero tables, 0.005 mm^2 of
+// logic (Sec. V-E).
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "ou/compression.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Ablation: OU index storage — stored tables vs Odin");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+
+  const ou::MappedModel vgg11 =
+      setup.make_mapped(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  const ou::IndexStorageModel storage(vgg11.crossbar_size());
+
+  common::Table table({"scheme", "configs tracked", "index storage (KB)"});
+  for (ou::OuConfig cfg : core::paper_baseline_configs()) {
+    const double kb =
+        static_cast<double>(storage.model_index_bits(vgg11, cfg)) / 8e3;
+    table.add_row({"homogeneous " + cfg.to_string(), "1",
+                   common::Table::num(kb, 4)});
+  }
+
+  // Which configurations does Odin actually visit across the horizon?
+  core::OdinController odin(vgg11, nonideal, cost,
+                            policy::OuPolicy(ou::OuLevelGrid(128)));
+  std::set<ou::OuConfig> visited;
+  for (double t : core::run_schedule(core::HorizonConfig{.runs = 200}))
+    for (const auto& d : odin.run_inference(t).decisions)
+      visited.insert(d.executed);
+  const std::vector<ou::OuConfig> visited_vec(visited.begin(),
+                                              visited.end());
+  const double union_kb =
+      static_cast<double>(
+          storage.model_index_bits_union(vgg11, visited_vec)) / 8e3;
+  table.add_row({"stored-table Odin (hypothetical)",
+                 common::Table::integer(
+                     static_cast<long long>(visited.size())),
+                 common::Table::num(union_kb, 4)});
+  table.add_row({"Odin (virtual OU controller)", "0",
+                 "0 (+0.005 mm^2 logic)"});
+  common::print_table("index storage on VGG11/CIFAR-10", table);
+
+  std::printf("\n[shape] a stored-table adaptive scheme tracks %zu "
+              "configurations -> %.0f KB of index tables vs ~%.1f KB for one "
+              "homogeneous config; Odin needs none (Sec. II: 'requiring "
+              "unlimited storage').\n",
+              visited.size(), union_kb,
+              static_cast<double>(
+                  storage.model_index_bits(vgg11, {16, 16})) / 8e3);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation — offline row reordering (PattPIM / RePIM-style, paper Sec. II):
+// how much OU-cycle reduction does clustering similar zero patterns buy,
+// and what index storage does it drag in? The paper's point: these
+// reorderings are computed offline per network, which conflicts with
+// adapting to unseen DNNs at runtime; Odin forgoes them and still wins via
+// OU sizing alone.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "ou/reordering.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Ablation: offline row reordering vs OU skipping");
+  const core::Setup setup = bench::default_setup();
+  const ou::MappedModel resnet18 =
+      setup.make_mapped(dnn::make_resnet18(data::DatasetKind::kCifar10));
+
+  common::Table table({"OU", "live blocks", "after reorder", "reduction",
+                       "perm. storage (KB)"});
+  std::int64_t perm_bits_total = 0;
+  for (ou::OuConfig cfg : {ou::OuConfig{4, 16}, ou::OuConfig{8, 16},
+                           ou::OuConfig{16, 16}, ou::OuConfig{32, 32}}) {
+    std::int64_t before_total = 0, after_total = 0;
+    perm_bits_total = 0;
+    for (std::size_t j = 0; j < resnet18.layer_count(); ++j) {
+      const auto& layer = resnet18.model().layers[j];
+      const auto& pattern = resnet18.pruned().patterns[j];
+      const auto order = ou::similarity_row_order(pattern);
+      const auto reordered = ou::apply_row_order(pattern, order);
+      const ou::LayerMapping before(layer, pattern,
+                                    resnet18.crossbar_size());
+      const ou::LayerMapping after(layer, reordered,
+                                   resnet18.crossbar_size());
+      before_total += before.counts(cfg).total_ou_cycles;
+      after_total += after.counts(cfg).total_ou_cycles;
+      perm_bits_total += ou::permutation_storage_bits(layer.fan_in);
+    }
+    table.add_row({cfg.to_string(), common::Table::integer(before_total),
+                   common::Table::integer(after_total),
+                   common::Table::num(
+                       static_cast<double>(before_total) /
+                           static_cast<double>(after_total), 4),
+                   common::Table::num(
+                       static_cast<double>(perm_bits_total) / 8e3, 4)});
+  }
+  common::print_table(
+      "ResNet18/CIFAR-10: OU cycles before/after similarity reordering",
+      table);
+  std::printf("\n[shape] reordering helps most at fine row granularity "
+              "(clustered dead rows form whole skippable blocks) and fades "
+              "at coarse OUs; it costs a per-network input-index table "
+              "(%.1f KB here) computed offline — the runtime-adaptation "
+              "conflict the paper raises in Sec. II.\n",
+              static_cast<double>(perm_bits_total) / 8e3);
+  return 0;
+}

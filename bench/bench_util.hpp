@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+namespace odin::bench {
+
+/// The single Setup every bench uses (Tables I-II + DESIGN.md §4).
+inline core::Setup default_setup() { return core::Setup{}; }
+
+/// Wall-clock helper for reporting bench phase durations.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const char* what) {
+  std::printf("\n==========================================================\n"
+              "%s\n"
+              "==========================================================\n",
+              what);
+}
+
+}  // namespace odin::bench

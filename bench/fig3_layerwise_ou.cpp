@@ -1,0 +1,55 @@
+// Fig. 3 — Layer-wise OU size (R x C product) and weight sparsity for
+// ResNet18 (including skip-connection projections) on CIFAR-10 at t = t0.
+//
+// Expected shape (paper Sec. V-B): accuracy-sensitive early layers get
+// fine OUs (e.g. 16x8); the low-sparsity 1x1 skip projections at layers 13
+// and 18 (1-based) get coarse OUs (e.g. 32x32) to cut their OU cycle count.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Fig. 3: layer-wise OU size & sparsity, ResNet18/CIFAR-10, t0");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+
+  bench::Stopwatch clock;
+  const ou::MappedModel resnet18 =
+      setup.make_mapped(dnn::make_resnet18(data::DatasetKind::kCifar10));
+  policy::OuPolicy offline =
+      core::offline_policy_excluding(setup, dnn::Family::kResNet);
+  std::printf("[setup] done in %.1fs\n", clock.seconds());
+
+  core::OdinController controller(resnet18, nonideal, cost,
+                                  std::move(offline));
+  const core::RunResult run = controller.run_inference(setup.device.t0_s);
+
+  common::Table table({"layer", "name", "kernel", "sparsity %", "OU (RxC)",
+                       "RxC product", "sensitivity"});
+  const int n = static_cast<int>(resnet18.layer_count());
+  for (int j = 0; j < n; ++j) {
+    const auto& layer = resnet18.model().layers[static_cast<std::size_t>(j)];
+    const auto& decision = run.decisions[static_cast<std::size_t>(j)];
+    table.add_row({common::Table::integer(j + 1), layer.name,
+                   common::Table::integer(layer.kernel),
+                   common::Table::num(100.0 * layer.weight_sparsity, 3),
+                   decision.executed.to_string(),
+                   common::Table::integer(decision.executed.product()),
+                   common::Table::num(
+                       nonideal.layer_sensitivity(layer.index, n), 3)});
+  }
+  common::print_table("Fig. 3: layer-wise OU configuration at t0", table);
+
+  const auto& first = run.decisions.front().executed;
+  const auto& skip13 = run.decisions[12].executed;
+  std::printf("\n[shape] paper: early layers ~16x8 (128), low-sparsity skip "
+              "layers ~32x32 (1024)\n");
+  std::printf("[shape] ours : layer 1 -> %s (%lld), layer 13 -> %s (%lld)\n",
+              first.to_string().c_str(), first.product(),
+              skip13.to_string().c_str(), skip13.product());
+  return 0;
+}

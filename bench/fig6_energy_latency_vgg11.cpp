@@ -1,0 +1,83 @@
+// Fig. 6 — Energy and latency of Odin vs homogeneous OU configurations for
+// VGG11 on CIFAR-10, over the [t0, 1e8 s] horizon, normalized to the
+// (16x16) configuration's *inferencing* energy/latency (paper convention).
+// Also reports the reprogramming counts the paper quotes in Sec. V-C
+// (16x16: 43, 8x4: 2, Odin: 1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner(
+      "Fig. 6: energy & latency, VGG11/CIFAR-10, homogeneous OUs vs Odin");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+  const arch::SystemModel system = setup.make_system();
+  const arch::OverheadModel overhead = setup.make_overhead();
+
+  bench::Stopwatch clock;
+  const ou::MappedModel vgg11 =
+      setup.make_mapped(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  const auto noc = system.map(vgg11.model()).noc_per_inference;
+  std::printf("[setup] VGG11 pruned+mapped in %.1fs; overall sparsity %.1f%%\n",
+              clock.seconds(), 100.0 * vgg11.model().overall_sparsity());
+
+  const core::HorizonConfig horizon{};
+
+  // Baselines.
+  std::vector<core::AggregateResult> results;
+  for (ou::OuConfig cfg : core::paper_baseline_configs())
+    results.push_back(core::simulate_homogeneous(vgg11, nonideal, cost, cfg,
+                                                 horizon, noc));
+
+  // Odin: offline policy from the non-VGG families, adapted online.
+  policy::OuPolicy offline =
+      core::offline_policy_excluding(setup, dnn::Family::kVgg);
+  std::printf("[setup] offline policy trained (excluding VGG) in %.1fs\n",
+              clock.seconds());
+  core::OdinController controller(vgg11, nonideal, cost, std::move(offline));
+  results.push_back(core::simulate_odin(controller, horizon, noc, &overhead));
+
+  const double e16_inf = results[0].inference.energy_j;
+  const double l16_inf = results[0].inference.latency_s;
+  const auto& odin_total = results.back();
+
+  common::Table table({"config", "E_inf (mJ)", "E_total (mJ)", "L_inf (s)",
+                       "L_total (s)", "reprograms", "E_norm(16x16 inf)",
+                       "L_norm(16x16 inf)"});
+  for (const auto& r : results) {
+    table.add_row({r.label, common::Table::num(r.inference.energy_j * 1e3),
+                   common::Table::num(r.total().energy_j * 1e3),
+                   common::Table::num(r.inference.latency_s),
+                   common::Table::num(r.total().latency_s),
+                   common::Table::integer(r.reprograms),
+                   common::Table::num(r.total().energy_j / e16_inf),
+                   common::Table::num(r.total().latency_s / l16_inf)});
+  }
+  common::print_table(
+      "Fig. 6 (a)+(b): totals over [t0, 1e8 s], " +
+          std::to_string(horizon.runs) + " runs",
+      table);
+
+  common::Table ratios({"baseline", "energy ratio vs Odin",
+                        "latency ratio vs Odin", "paper energy ratio"});
+  const char* paper_energy[] = {"6.4", "4.0", "1.4", "3.0"};
+  for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+    ratios.add_row(
+        {results[i].label,
+         common::Table::num(results[i].total().energy_j /
+                            odin_total.total().energy_j),
+         common::Table::num(results[i].total().latency_s /
+                            odin_total.total().latency_s),
+         paper_energy[i]});
+  }
+  common::print_table("Odin's reduction factors (paper: up to 7.5x latency)",
+                      ratios);
+  std::printf("\n[paper] reprogram counts: 16x16 -> 43, 8x4 -> 2, Odin -> 1\n");
+  std::printf("[bench] completed in %.1fs\n", clock.seconds());
+  return 0;
+}

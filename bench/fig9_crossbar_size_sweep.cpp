@@ -1,0 +1,63 @@
+// Fig. 9 — EDP of the homogeneous OU configurations normalized to Odin as
+// the crossbar size sweeps over 128x128, 64x64 and 32x32, for ResNet34 on
+// CIFAR-100.
+//
+// Paper Sec. V-D: Odin reduces EDP by up to 8.5x / 8.7x / 6.2x at the three
+// sizes; shrinking the crossbar reduces non-idealities and the need for
+// reprogramming, but Odin stays ahead everywhere.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Fig. 9: EDP vs crossbar size, ResNet34/CIFAR-100");
+  const core::Setup setup = bench::default_setup();
+  const ou::OuCostModel cost = setup.make_cost();
+  const arch::SystemModel system = setup.make_system();
+  const arch::OverheadModel overhead = setup.make_overhead();
+  const core::HorizonConfig horizon{};
+  const auto baselines = core::paper_baseline_configs();
+
+  common::Table table({"crossbar", "16x16", "16x4", "9x8", "8x4",
+                       "max reduction", "Odin reprograms"});
+  bench::Stopwatch clock;
+  for (int crossbar : {128, 64, 32}) {
+    // Eq. 4's wire length scales with the crossbar dimension: smaller
+    // arrays suffer less IR drop and reprogram less often (Sec. V-D).
+    const ou::NonIdealityModel nonideal = setup.make_nonideality(crossbar);
+    const ou::MappedModel resnet34 = setup.make_mapped(
+        dnn::make_resnet34(data::DatasetKind::kCifar100), crossbar);
+    const auto noc = system.map(resnet34.model(), crossbar).noc_per_inference;
+
+    policy::OuPolicy offline = core::offline_policy_excluding(
+        setup, dnn::Family::kResNet, crossbar);
+    core::OdinController controller(resnet34, nonideal, cost,
+                                    std::move(offline));
+    const auto odin =
+        core::simulate_odin(controller, horizon, noc, &overhead);
+
+    std::vector<std::string> row{std::to_string(crossbar) + "x" +
+                                 std::to_string(crossbar)};
+    double max_reduction = 0.0;
+    for (const ou::OuConfig cfg : baselines) {
+      const auto base = core::simulate_homogeneous(resnet34, nonideal, cost,
+                                                   cfg, horizon, noc);
+      const double reduction = base.total_edp() / odin.total_edp();
+      max_reduction = std::max(max_reduction, reduction);
+      row.push_back(common::Table::num(reduction, 3));
+    }
+    row.push_back(common::Table::num(max_reduction, 3));
+    row.push_back(common::Table::integer(odin.reprograms));
+    table.add_row(std::move(row));
+    std::printf("[run] crossbar %d done (%.1fs)\n", crossbar,
+                clock.seconds());
+  }
+  common::print_table(
+      "Fig. 9: baseline EDP / Odin EDP per crossbar size "
+      "(paper max: 8.5 / 8.7 / 6.2)",
+      table);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Circuit-level validation of the accuracy story behind Fig. 7.
+//
+// A classifier trained in-repo runs on the behavioural analog crossbars
+// (OU-tiled MVM, reconfigurable ADC, per-cell drift variation). We sweep
+// time and OU size and report accuracy plus logit fidelity, with and
+// without a reprogram at the point where Algorithm 1 would trigger one —
+// tying the analytical surrogate's claims to an actual datapath.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/hardware_inference.hpp"
+#include "data/synthetic.hpp"
+
+using namespace odin;
+
+namespace {
+
+double logit_deviation(core::HardwareMlpRunner& hw, const nn::Dataset& data,
+                       ou::OuConfig ou, double t_s) {
+  double acc = 0.0;
+  constexpr std::size_t kSamples = 30;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const auto fresh = hw.logits(data.inputs.row(i), ou, 1.0);
+    const auto later = hw.logits(data.inputs.row(i), ou, t_s);
+    double d = 0.0, n = 0.0;
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      d += (fresh[k] - later[k]) * (fresh[k] - later[k]);
+      n += fresh[k] * fresh[k];
+    }
+    acc += std::sqrt(d / std::max(n, 1e-12));
+  }
+  return acc / kSamples;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Hardware-in-the-loop validation of the accuracy model");
+  bench::Stopwatch clock;
+
+  data::SyntheticDataset dataset(
+      data::DatasetSpec::for_kind(data::DatasetKind::kCifar10), 77);
+  nn::MultiHeadMlp model(
+      nn::MlpConfig{.inputs = dataset.feature_count(4), .hidden = {48},
+                    .heads = {10}},
+      5);
+  nn::Dataset train = dataset.as_feature_dataset(400, 4);
+  nn::TrainOptions opt;
+  opt.epochs = 30;
+  opt.batch_size = 32;
+  opt.learning_rate = 3e-3;
+  nn::fit(model, train, opt);
+  const double software = nn::exact_match_accuracy(model, train);
+  std::printf("[setup] reference classifier trained in %.1fs; software "
+              "accuracy %.3f\n",
+              clock.seconds(), software);
+
+  // Calibrated device: within the horizon nothing should move.
+  core::HardwareMlpRunner calibrated(model, reram::DeviceParams{}, 128, 42);
+  common::Table t1({"OU", "acc @ t0", "acc @ 3e7 s", "logit dev @ 3e7 s"});
+  for (ou::OuConfig ou : {ou::OuConfig{8, 8}, ou::OuConfig{16, 16},
+                          ou::OuConfig{32, 32}}) {
+    t1.add_row({ou.to_string(),
+                common::Table::num(calibrated.accuracy(train, ou, 1.0), 4),
+                common::Table::num(calibrated.accuracy(train, ou, 3e7), 4),
+                common::Table::num(
+                    logit_deviation(calibrated, train, ou, 3e7), 4)});
+  }
+  common::print_table(
+      "calibrated drift (v = 0.00213): stable across the horizon", t1);
+
+  // Paper-printed drift (v = 0.2) with per-cell variation: fidelity decays
+  // and a reprogram restores it.
+  reram::DeviceParams fast;
+  fast.drift_coefficient = reram::DeviceParams::paper_drift_coefficient;
+  core::HardwareMlpRunner fragile(model, fast, 128, 42);
+  common::Table t2({"t (s)", "accuracy", "logit deviation"});
+  for (double t : {1.0, 1e2, 1e4, 1e6, 1e8})
+    t2.add_row({common::Table::num(t, 3),
+                common::Table::num(fragile.accuracy(train, {16, 16}, t), 4),
+                common::Table::num(
+                    logit_deviation(fragile, train, {16, 16}, t), 4)});
+  fragile.program(1e8);
+  t2.add_row({"1e8 + reprogram",
+              common::Table::num(fragile.accuracy(train, {16, 16}, 1e8 + 1),
+                                 4),
+              common::Table::num(
+                  logit_deviation(fragile, train, {16, 16}, 1e8 + 1), 4)});
+  common::print_table(
+      "paper-printed drift (v = 0.2) + per-cell variation, 16x16 OU", t2);
+
+  std::printf("\n[shape] within the calibrated horizon the datapath is "
+              "stable (the surrogate's no-loss-within-budget region); under "
+              "fast drift fidelity decays with time and reprogramming "
+              "restores it — Fig. 7's mechanics at circuit level. "
+              "(%.1fs)\n",
+              clock.seconds());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) for the behavioural crossbar: analog
+// OU MVM across OU shapes and ADC precisions, and the full-array pass.
+#include <benchmark/benchmark.h>
+
+#include "reram/crossbar.hpp"
+
+using namespace odin;
+
+namespace {
+
+reram::Crossbar& programmed_crossbar() {
+  static reram::Crossbar xbar = [] {
+    reram::Crossbar x(128, reram::DeviceParams{});
+    common::Rng rng(9);
+    std::vector<double> w(128 * 128);
+    for (double& v : w)
+      v = rng.bernoulli(0.4) ? rng.uniform(-1.0, 1.0) : 0.0;
+    x.program(w, 128, 128, 0.0);
+    return x;
+  }();
+  return xbar;
+}
+
+std::vector<double> input_vector(int n) {
+  common::Rng rng(11);
+  std::vector<double> in(static_cast<std::size_t>(n));
+  for (double& v : in) v = rng.uniform();
+  return in;
+}
+
+void BM_MvmSingleOu(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  const auto in = input_vector(rows);
+  const int bits = 6;
+  for (auto _ : state) {
+    auto out = xbar.mvm_ou(in, 0, rows, 0, cols, 1.0, bits);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_MvmSingleOu)
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({64, 64});
+
+void BM_MvmFullArrayByOuShape(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  const int side = static_cast<int>(state.range(0));
+  const auto in = input_vector(128);
+  for (auto _ : state) {
+    auto out = xbar.mvm(in, side, side, 1.0, 6);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_MvmFullArrayByOuShape)->Arg(4)->Arg(16)->Arg(128);
+
+void BM_IdealMvm(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  const auto in = input_vector(128);
+  for (auto _ : state) {
+    auto out = xbar.ideal_mvm(in);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_IdealMvm);
+
+void BM_WeightRmsError(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar.weight_rms_error(1e6, 16, 16));
+  }
+}
+BENCHMARK(BM_WeightRmsError);
+
+void BM_Reprogram(benchmark::State& state) {
+  reram::Crossbar xbar(128, reram::DeviceParams{});
+  common::Rng rng(13);
+  std::vector<double> w(128 * 128);
+  for (double& v : w) v = rng.uniform(-1.0, 1.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    xbar.program(w, 128, 128, t);
+    t += 1.0;
+    benchmark::DoNotOptimize(xbar.programmed_cells());
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_Reprogram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the online-learning hot path:
+// resource-bounded vs exhaustive search (paper Sec. V-B reports EX at ~3x
+// RB's timing overhead for K = 3 over 36 configurations) and the policy
+// MLP's prediction latency.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "ou/search.hpp"
+
+using namespace odin;
+
+namespace {
+
+/// Shared fixture: one mapped mid-size layer with all OU counts pre-cached
+/// so the benchmark times the search logic, not the first-touch scans.
+struct SearchFixture {
+  SearchFixture() {
+    layer.name = "bench";
+    layer.fan_in = 1152;
+    layer.outputs = 256;
+    layer.spatial_positions = 64;
+    layer.kernel = 3;
+    layer.index = 4;
+    pattern = dnn::prune_layer(layer, 42);
+    mapping = std::make_unique<ou::LayerMapping>(layer, pattern, 128);
+    for (const auto& cfg : grid.all_configs()) mapping->counts(cfg);
+    mapping->counts({9, 8});
+  }
+
+  ou::LayerContext context(double t = 100.0) const {
+    return ou::LayerContext{.mapping = mapping.get(), .cost = &cost,
+                            .nonideal = &nonideal, .grid = &grid,
+                            .elapsed_s = t, .sensitivity = 1.4};
+  }
+
+  dnn::LayerDescriptor layer;
+  dnn::WeightPattern pattern;
+  ou::OuLevelGrid grid{128};
+  ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                ou::NonIdealityParams{}};
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  std::unique_ptr<ou::LayerMapping> mapping;
+};
+
+SearchFixture& fixture() {
+  static SearchFixture fx;
+  return fx;
+}
+
+void BM_ResourceBoundedSearch(benchmark::State& state) {
+  auto& fx = fixture();
+  const auto ctx = fx.context();
+  const int k = static_cast<int>(state.range(0));
+  std::int64_t evals = 0;
+  for (auto _ : state) {
+    auto result = ou::resource_bounded_search(ctx, {16, 16}, k);
+    evals += result.evaluations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["evals/op"] =
+      static_cast<double>(evals) / state.iterations();
+}
+BENCHMARK(BM_ResourceBoundedSearch)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  auto& fx = fixture();
+  const auto ctx = fx.context();
+  std::int64_t evals = 0;
+  for (auto _ : state) {
+    auto result = ou::exhaustive_search(ctx);
+    evals += result.evaluations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["evals/op"] =
+      static_cast<double>(evals) / state.iterations();
+}
+BENCHMARK(BM_ExhaustiveSearch);
+
+void BM_PolicyPredict(benchmark::State& state) {
+  auto& fx = fixture();
+  policy::OuPolicy policy(fx.grid);
+  const policy::Features phi =
+      policy::extract_features(fx.layer, 20, 100.0);
+  for (auto _ : state) {
+    auto cfg = policy.predict(phi);
+    benchmark::DoNotOptimize(cfg);
+  }
+}
+BENCHMARK(BM_PolicyPredict);
+
+void BM_PolicyUpdate50Examples(benchmark::State& state) {
+  // One online update: 100 epochs over the full 50-entry buffer.
+  auto& fx = fixture();
+  policy::ReplayBuffer buffer(50);
+  common::Rng rng(3);
+  while (!buffer.full()) {
+    policy::Features phi;
+    phi.layer_position = rng.uniform();
+    phi.sparsity = rng.uniform();
+    phi.kernel = 3.0 / 7.0;
+    phi.log_time = rng.uniform();
+    buffer.add(phi, fx.grid.config_at(
+                        static_cast<int>(rng.uniform_index(6)),
+                        static_cast<int>(rng.uniform_index(6))));
+  }
+  const nn::Dataset data = buffer.to_dataset(fx.grid);
+  nn::TrainOptions options;
+  options.epochs = 100;
+  options.batch_size = 10;
+  for (auto _ : state) {
+    policy::OuPolicy policy(fx.grid);
+    auto result = policy.train(data, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PolicyUpdate50Examples);
+
+void BM_MapperFirstTouchCounts(benchmark::State& state) {
+  // Cost of computing live-block counts for one config from scratch.
+  auto& fx = fixture();
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ou::LayerMapping fresh(fx.layer, fx.pattern, 128);
+    benchmark::DoNotOptimize(fresh.counts({side, side}));
+  }
+}
+BENCHMARK(BM_MapperFirstTouchCounts)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

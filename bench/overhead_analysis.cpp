@@ -1,0 +1,78 @@
+// Sec. V-E — Overhead analysis of online learning and layer-wise OU-based
+// computation: controller area, prediction power/latency, policy update
+// energy and training-buffer storage, cross-checked against a measured
+// VGG11 horizon run.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Sec. V-E: overhead analysis");
+  const core::Setup setup = bench::default_setup();
+  const arch::OverheadModel overhead = setup.make_overhead();
+  const auto& p = overhead.params();
+
+  common::Table table({"quantity", "ours", "paper"});
+  table.add_row({"OU+ADC controller area (mm^2)",
+                 common::Table::num(p.ou_adc_controller_area_mm2), "0.005"});
+  table.add_row({"controller / tile area",
+                 common::Table::num(100.0 * overhead.controller_tile_fraction(),
+                                    3) + " %",
+                 "1.8 %"});
+  table.add_row({"online-learning hardware (mm^2)",
+                 common::Table::num(p.online_learning_area_mm2), "0.076"});
+  table.add_row({"learning hw / 36-PE system",
+                 common::Table::num(
+                     100.0 * overhead.learning_system_fraction(), 2) + " %",
+                 "0.2 %"});
+  table.add_row({"OU prediction power",
+                 common::Table::num(p.prediction_power_w * 1e3, 3) + " mW",
+                 "0.14 mW"});
+  table.add_row({"prediction latency penalty",
+                 common::Table::num(100.0 * p.prediction_latency_fraction,
+                                    2) + " %",
+                 "0.9 % (vs static 16x16)"});
+  table.add_row({"policy update energy (100 epochs)",
+                 common::Table::num(p.policy_update_energy_j * 1e6, 3) +
+                     " uJ",
+                 "0.22 uJ"});
+  table.add_row({"training buffer",
+                 std::to_string(p.buffer_entries) + " entries, " +
+                     common::Table::num(overhead.buffer_bytes() / 1024.0, 3) +
+                     " KB",
+                 "50 entries, 0.35 KB"});
+  common::print_table("Sec. V-E: reported overheads", table);
+
+  // Policy storage: the MLP the paper describes (4 inputs, ReLU trunk, two
+  // 6-way softmax heads).
+  const ou::OuLevelGrid grid(setup.pim.tile.crossbar_size);
+  policy::OuPolicy policy(grid);
+  std::printf("\npolicy parameters: %zu (%.2f KB as fp32)\n",
+              policy.parameter_count(),
+              static_cast<double>(policy.parameter_count()) * 4.0 / 1024.0);
+
+  // Cross-check amortization on a measured horizon run.
+  bench::Stopwatch clock;
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+  const ou::MappedModel vgg11 =
+      setup.make_mapped(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  core::OdinController controller(vgg11, nonideal, cost,
+                                  policy::OuPolicy(grid));
+  const auto odin = core::simulate_odin(controller, core::HorizonConfig{},
+                                        {}, &overhead);
+  const double update_energy =
+      overhead.total_update_energy_j(odin.policy_updates);
+  std::printf("measured over [t0, 1e8 s]: %d policy updates -> %.3g uJ "
+              "update energy (%.2e of total inference energy); "
+              "prediction energy share %.3f%% (run %.1fs)\n",
+              odin.policy_updates, update_energy * 1e6,
+              update_energy / odin.inference.energy_j,
+              100.0 * overhead.prediction_energy_j(odin.inference.latency_s) /
+                  odin.inference.energy_j,
+              clock.seconds());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Tables I & II — PIM architecture specification and ReRAM parameters,
+// plus the derived system-level capacity/utilization figures.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace odin;
+
+int main() {
+  bench::banner("Tables I & II: PIM architecture and ReRAM parameters");
+  const core::Setup setup = bench::default_setup();
+
+  common::Table t1({"component", "specification", "area (mm^2)"});
+  for (const auto& c : arch::tile_components())
+    t1.add_row({c.name, c.spec, common::Table::num(c.area_mm2, 4)});
+  t1.add_row({"TOTAL (paper: 0.28)", "1.2 GHz, 32 nm tile",
+              common::Table::num(arch::tile_area_mm2(), 4)});
+  common::print_table("Table I: tile configuration", t1);
+
+  const reram::DeviceParams dev = setup.device;
+  common::Table t2({"parameter", "description", "value"});
+  t2.add_row({"R_wire", "crossbar wire resistance",
+              common::Table::num(dev.r_wire_ohm) + " ohm"});
+  t2.add_row({"G_ON / G_OFF", "on/off state conductance",
+              common::Table::num(dev.g_on_s * 1e6) + " / " +
+                  common::Table::num(dev.g_off_s * 1e6) + " uS"});
+  t2.add_row({"v (paper)", "drift coefficient as printed",
+              common::Table::num(reram::DeviceParams::paper_drift_coefficient) +
+                  " s^-1"});
+  t2.add_row({"v (calibrated)",
+              "drift exponent reproducing Fig. 6 reprogram counts "
+              "(DESIGN.md 4)",
+              common::Table::num(dev.drift_coefficient)});
+  t2.add_row({"bits/cell", "multi-level cell capacity",
+              common::Table::integer(dev.bits_per_cell)});
+  common::print_table("Table II: ReRAM crossbar parameters", t2);
+
+  const arch::PimConfig& pim = setup.pim;
+  const arch::SystemModel system = setup.make_system();
+  common::Table sys({"quantity", "value"});
+  sys.add_row({"PEs (mesh)", std::to_string(pim.pes) + " (" +
+                                 std::to_string(pim.mesh_x) + "x" +
+                                 std::to_string(pim.mesh_y) + ")"});
+  sys.add_row({"tiles per PE", common::Table::integer(pim.tiles_per_pe)});
+  sys.add_row({"crossbars total", common::Table::integer(pim.total_crossbars())});
+  sys.add_row({"weight cells total", common::Table::integer(pim.total_cells())});
+  sys.add_row({"system area (mm^2)",
+               common::Table::num(pim.system_area_mm2(), 5)});
+  sys.add_row({"NoC mean hops (uniform)",
+               common::Table::num(system.noc().average_hops(), 4)});
+  common::print_table("derived system configuration", sys);
+
+  common::Table util({"workload", "dataset", "crossbars", "utilization %",
+                      "NoC energy/inf (uJ)"});
+  for (const dnn::DnnModel& model : dnn::paper_workloads()) {
+    const auto mapping = system.map(model);
+    util.add_row({model.name,
+                  data::DatasetSpec::for_kind(model.dataset).name,
+                  common::Table::integer(mapping.crossbars_used),
+                  common::Table::num(100.0 * mapping.utilization, 3),
+                  common::Table::num(
+                      mapping.noc_per_inference.energy_j * 1e6, 3)});
+  }
+  common::print_table("workload placements on the 36-PE system", util);
+  return 0;
+}

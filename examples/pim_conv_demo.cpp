@@ -1,0 +1,114 @@
+// PIM-in-the-loop convolution: lower a conv layer with im2col, program its
+// weights into behavioural ReRAM crossbars, and execute the layer as
+// OU-tiled analog MVMs — the computation Table I's tile performs — then
+// compare against the ideal digital result across OU sizes and drift times.
+//
+// This demonstrates the full substrate stack working together: nn::conv
+// (im2col), reram::Crossbar (analog MVM + ADC), and the OU configuration
+// trade-off that Odin's cost/non-ideality models capture analytically.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "nn/conv.hpp"
+#include "reram/crossbar.hpp"
+
+using namespace odin;
+
+namespace {
+
+/// Root-mean-square error between two equal-size vectors.
+double rms(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+int main() {
+  // A CIFAR-10-shaped input image and a 3x3 conv: 3 -> 32 channels.
+  data::SyntheticDataset dataset(
+      data::DatasetSpec::for_kind(data::DatasetKind::kCifar10), 99);
+  const nn::Image image = dataset.sample(0).image;
+  const nn::ConvSpec spec{.in_channels = 3, .out_channels = 32, .kernel = 3,
+                          .stride = 1, .padding = 1};
+
+  // Random conv weights in [-1, 1], as a [patch_size x out_channels] matrix.
+  common::Rng rng(7);
+  nn::Matrix weights(static_cast<std::size_t>(spec.patch_size()),
+                     static_cast<std::size_t>(spec.out_channels));
+  for (double& w : weights.flat()) w = rng.uniform(-1.0, 1.0);
+
+  // Lower the image: each im2col row is one MVM input vector.
+  const nn::Matrix cols = nn::im2col(image, spec);
+  std::printf("conv %dx%d: %zu positions x %d-wide patches -> %d outputs\n",
+              spec.kernel, spec.kernel, cols.rows(), spec.patch_size(),
+              spec.out_channels);
+
+  // Program the (27 x 32) weight block into one 128x128 crossbar.
+  const reram::DeviceParams dev;
+  reram::Crossbar xbar(128, dev);
+  std::vector<double> flat(weights.flat().begin(), weights.flat().end());
+  xbar.program(flat, spec.patch_size(), spec.out_channels, 0.0);
+  std::printf("programmed %lld cells (%.1f%% of the weight block)\n\n",
+              static_cast<long long>(xbar.programmed_cells()),
+              100.0 * static_cast<double>(xbar.programmed_cells()) /
+                  (spec.patch_size() * spec.out_channels));
+
+  // Reference: ideal (quantized-weight) MVM per position.
+  std::vector<std::vector<double>> ideal;
+  ideal.reserve(cols.rows());
+  for (std::size_t p = 0; p < cols.rows(); ++p) {
+    auto row = cols.row(p);
+    ideal.push_back(
+        xbar.ideal_mvm(std::vector<double>(row.begin(), row.end())));
+  }
+
+  auto sweep = [&](int rows, int cols_, int adc_bits, double t) {
+    double acc = 0.0;
+    for (std::size_t p = 0; p < cols.rows(); ++p) {
+      auto row = cols.row(p);
+      const auto out = xbar.mvm(std::vector<double>(row.begin(), row.end()),
+                                rows, cols_, t, adc_bits);
+      acc += rms(out, ideal[p]);
+    }
+    return acc / static_cast<double>(cols.rows());
+  };
+
+  struct Case {
+    int rows, cols_, paper_bits;
+  };
+  const Case cases[] = {{4, 4, 3}, {8, 8, 3}, {16, 16, 4}, {27, 32, 5}};
+
+  // Regime 1: ideal 12-bit ADCs isolate the device non-idealities — error
+  // grows with OU size (IR drop) and drift time, exactly Eq. 4's story.
+  std::printf("12-bit ADC (device non-idealities isolated):\n");
+  std::printf("%8s  %12s %12s %12s\n", "OU", "t = t0", "t = 1e4 s",
+              "t = 1e8 s");
+  for (const Case c : cases)
+    std::printf("%4dx%-3d  %12.4f %12.4f %12.4f\n", c.rows, c.cols_,
+                sweep(c.rows, c.cols_, 12, dev.t0_s),
+                sweep(c.rows, c.cols_, 12, 1e4),
+                sweep(c.rows, c.cols_, 12, 1e8));
+
+  // Regime 2: the paper's reconfigurable 3-6 bit ADCs — fine OUs split the
+  // dot product into many low-precision partial sums whose quantization
+  // errors accumulate. This is the other half of the "smaller OU sizes can
+  // lead to higher latency and energy" (and error) cost that makes OU
+  // sizing a genuine optimization problem rather than "always go fine".
+  std::printf("\nreconfigurable 3-6 bit ADC (paper Table I):\n");
+  std::printf("%8s %6s  %12s\n", "OU", "bits", "t = t0");
+  for (const Case c : cases)
+    std::printf("%4dx%-3d %6d  %12.4f\n", c.rows, c.cols_, c.paper_bits,
+                sweep(c.rows, c.cols_, c.paper_bits, dev.t0_s));
+
+  std::printf("\nwith precise ADCs, error grows with OU size (IR drop) and "
+              "drift time; with cost-scaled ADCs, fine OUs pay accumulated "
+              "quantization instead. Odin's analytical models navigate this "
+              "trade-off without simulating every cell.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "arch/batching.hpp"
+
+#include <cassert>
+
+namespace odin::arch {
+
+BatchCost batched_inference_cost(const ou::MappedModel& model,
+                                 std::span<const ou::OuConfig> configs,
+                                 const ou::OuCostModel& cost, int batch) {
+  assert(configs.size() == model.layer_count());
+  assert(batch >= 1);
+  BatchCost out;
+  double per_image_energy = 0.0;
+  for (std::size_t j = 0; j < model.layer_count(); ++j) {
+    const auto& layer = model.model().layers[j];
+    const auto layer_cost =
+        cost.layer_cost(model.mapping(j).counts(configs[j]), configs[j],
+                        layer.activation_sparsity);
+    const double latency = layer_cost.total().latency_s;
+    per_image_energy += layer_cost.total().energy_j;
+    out.fill_latency_s += latency;
+    if (latency > out.bottleneck_latency_s) {
+      out.bottleneck_latency_s = latency;
+      out.bottleneck_layer = static_cast<int>(j);
+    }
+  }
+  out.total.energy_j = per_image_energy * static_cast<double>(batch);
+  out.total.latency_s =
+      out.fill_latency_s +
+      static_cast<double>(batch - 1) * out.bottleneck_latency_s;
+  out.throughput_ips = out.bottleneck_latency_s > 0.0
+                           ? 1.0 / out.bottleneck_latency_s
+                           : 0.0;
+  return out;
+}
+
+BatchCost batched_inference_cost(const ou::MappedModel& model,
+                                 ou::OuConfig config,
+                                 const ou::OuCostModel& cost, int batch) {
+  std::vector<ou::OuConfig> configs(model.layer_count(), config);
+  return batched_inference_cost(model, configs, cost, batch);
+}
+
+}  // namespace odin::arch

@@ -1,0 +1,42 @@
+// Inter-layer pipelining for batched inference (ISAAC-style).
+//
+// Weights stay resident, so consecutive images can flow through the layer
+// pipeline: while layer j processes image i, layer j-1 processes image
+// i+1. Steady-state throughput is then set by the slowest layer (the
+// pipeline bottleneck), not the sum of layer latencies; energy stays
+// linear in the batch. This converts the per-inference costs of the OU
+// cost model into batched latency/throughput figures and exposes a second
+// effect of OU sizing: the layer-wise choice changes which layer is the
+// bottleneck.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ou/cost_model.hpp"
+#include "ou/mapped_model.hpp"
+
+namespace odin::arch {
+
+struct BatchCost {
+  common::EnergyLatency total;     ///< whole batch, pipelined
+  double fill_latency_s = 0.0;     ///< first image end-to-end (sum of layers)
+  double bottleneck_latency_s = 0.0;  ///< slowest layer per image
+  int bottleneck_layer = 0;
+  /// Images per second in steady state (1 / bottleneck).
+  double throughput_ips = 0.0;
+};
+
+/// Cost of `batch` images through `model` with per-layer OU `configs`.
+/// Latency = fill + (batch - 1) * bottleneck; energy = batch * per-image.
+BatchCost batched_inference_cost(const ou::MappedModel& model,
+                                 std::span<const ou::OuConfig> configs,
+                                 const ou::OuCostModel& cost, int batch);
+
+/// Convenience: every layer at the same configuration.
+BatchCost batched_inference_cost(const ou::MappedModel& model,
+                                 ou::OuConfig config,
+                                 const ou::OuCostModel& cost, int batch);
+
+}  // namespace odin::arch

@@ -1,0 +1,83 @@
+// PIM tile component catalogue — paper Table I, verbatim.
+//
+// Tile: 1.2 GHz, 32 nm, 0.28 mm^2; 96 ReRAM crossbars of 128x128 2-bit
+// cells; 96 reconfigurable 3-6 bit ADCs; eDRAM buffer; IR/OR registers;
+// OU controller; sigmoid / shift-and-add / maxpool units; mesh router.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace odin::arch {
+
+struct ComponentSpec {
+  std::string name;
+  std::string spec;  ///< free-text specification column of Table I
+  double area_mm2 = 0.0;
+};
+
+/// The rows of Table I, in paper order.
+const std::vector<ComponentSpec>& tile_components();
+
+/// Sum of component areas (paper headline: 0.28 mm^2).
+double tile_area_mm2();
+
+struct TileConfig {
+  int crossbars = 96;
+  int crossbar_size = 128;
+  int adcs = 96;
+  int bits_per_cell = 2;
+  double frequency_hz = 1.2e9;
+  double edram_bytes = 64 * units::KiB;
+  int edram_bus_width = 384;
+
+  /// Weight cells available in one tile.
+  long long cell_capacity() const noexcept {
+    return static_cast<long long>(crossbars) * crossbar_size * crossbar_size;
+  }
+};
+
+struct PimConfig {
+  int pes = 36;           ///< paper Sec. V-A: 36 PEs on a mesh NoC
+  int tiles_per_pe = 4;
+  int mesh_x = 6;
+  int mesh_y = 6;
+  TileConfig tile;
+
+  long long total_crossbars() const noexcept {
+    return static_cast<long long>(pes) * tiles_per_pe * tile.crossbars;
+  }
+  long long total_cells() const noexcept {
+    return static_cast<long long>(pes) * tiles_per_pe *
+           tile.cell_capacity();
+  }
+  double system_area_mm2() const;
+};
+
+/// Reconfigurable successive-approximation ADC (Table I: 3-6 bits). The
+/// precision is lowered by disabling LSB stages, which shortens the
+/// conversion and saves capacitor-array energy.
+class ReconfigurableAdc {
+ public:
+  ReconfigurableAdc(int min_bits = 3, int max_bits = 6,
+                    double energy_per_bit_j = 0.08 * units::pJ,
+                    double latency_per_bit_s = 0.83 * units::ns)
+      : min_bits_(min_bits), max_bits_(max_bits),
+        energy_per_bit_j_(energy_per_bit_j),
+        latency_per_bit_s_(latency_per_bit_s) {}
+
+  int clamp_bits(int requested) const noexcept;
+  double conversion_energy_j(int bits) const noexcept;
+  double conversion_latency_s(int bits) const noexcept;
+  int min_bits() const noexcept { return min_bits_; }
+  int max_bits() const noexcept { return max_bits_; }
+
+ private:
+  int min_bits_, max_bits_;
+  double energy_per_bit_j_;
+  double latency_per_bit_s_;
+};
+
+}  // namespace odin::arch

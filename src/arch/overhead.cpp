@@ -1,0 +1,30 @@
+#include "arch/overhead.hpp"
+
+namespace odin::arch {
+
+double OverheadModel::controller_tile_fraction() const noexcept {
+  return params_.ou_adc_controller_area_mm2 / tile_area_mm2();
+}
+
+double OverheadModel::learning_system_fraction() const noexcept {
+  return params_.online_learning_area_mm2 / config_.system_area_mm2();
+}
+
+double OverheadModel::buffer_bytes() const noexcept {
+  return static_cast<double>(params_.buffer_entries) *
+         params_.bytes_per_entry;
+}
+
+double OverheadModel::prediction_energy_j(double latency_s) const noexcept {
+  return params_.prediction_power_w * latency_s;
+}
+
+double OverheadModel::prediction_latency_s(double latency_s) const noexcept {
+  return params_.prediction_latency_fraction * latency_s;
+}
+
+double OverheadModel::total_update_energy_j(int updates) const noexcept {
+  return params_.policy_update_energy_j * static_cast<double>(updates);
+}
+
+}  // namespace odin::arch

@@ -1,0 +1,64 @@
+#include "arch/pipeline.hpp"
+
+#include <algorithm>
+
+namespace odin::arch {
+
+std::string stage_name(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kEdramFetch: return "eDRAM fetch";
+    case PipelineStage::kDacDrive: return "DAC drive";
+    case PipelineStage::kAdcConvert: return "ADC convert";
+    case PipelineStage::kShiftAdd: return "shift-add";
+    case PipelineStage::kWriteback: return "OR writeback";
+    case PipelineStage::kCount: break;
+  }
+  return "?";
+}
+
+PipelineAnalysis analyze_layer(const dnn::LayerDescriptor& layer,
+                               const ou::OuCounts& counts,
+                               ou::OuConfig config,
+                               const ou::CostParams& cost_params,
+                               const PipelineRates& rates) {
+  const auto cycles = static_cast<double>(counts.max_ou_cycles_per_xbar);
+  const double R = config.rows;
+  const double C = config.cols;
+  const int bits = cost_params.adc_bits(config.rows);
+
+  PipelineAnalysis out;
+  auto set = [&](PipelineStage stage, double amount, double rate) {
+    out.stage_time_s[static_cast<int>(stage)] = amount / rate;
+  };
+  // Input activations fetched once per spatial position (1 byte each).
+  set(PipelineStage::kEdramFetch,
+      static_cast<double>(layer.fan_in) * layer.spatial_positions,
+      rates.edram_bytes_per_s);
+  // Each OU cycle drives R wordlines.
+  set(PipelineStage::kDacDrive, cycles * R, rates.dac_rows_per_s);
+  // Each OU cycle performs C conversions; conversion time scales with bits
+  // relative to the 6-bit nominal rate.
+  set(PipelineStage::kAdcConvert,
+      cycles * C * (static_cast<double>(bits) / 6.0),
+      rates.adc_conversions_per_s);
+  // Each conversion result is merged once.
+  set(PipelineStage::kShiftAdd, cycles * C, rates.sa_ops_per_s);
+  // Outputs written back once per position (1 byte each).
+  set(PipelineStage::kWriteback,
+      static_cast<double>(layer.outputs) * layer.spatial_positions,
+      rates.writeback_bytes_per_s);
+
+  out.total_time_s = 0.0;
+  out.bottleneck_time_s = 0.0;
+  for (int s = 0; s < static_cast<int>(PipelineStage::kCount); ++s) {
+    out.total_time_s += out.stage_time_s[static_cast<std::size_t>(s)];
+    if (out.stage_time_s[static_cast<std::size_t>(s)] >
+        out.bottleneck_time_s) {
+      out.bottleneck_time_s = out.stage_time_s[static_cast<std::size_t>(s)];
+      out.bottleneck = static_cast<PipelineStage>(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace odin::arch

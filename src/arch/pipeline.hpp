@@ -1,0 +1,63 @@
+// Tile-pipeline throughput analysis.
+//
+// The paper's Eq. 1 premises that "ADC is the critical part of the
+// pipeline" (Sec. III-B). This module checks that premise instead of
+// assuming it: it totals the per-stage work of executing one layer —
+// eDRAM fetch, DAC/wordline drive, analog OU evaluation + ADC conversion,
+// shift-and-add merging, output-register writeback — against per-stage
+// sustained rates, and reports the bottleneck. bench/pipeline_breakdown
+// prints the shares across OU configurations.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "dnn/layer_desc.hpp"
+#include "ou/cost_model.hpp"
+#include "ou/mapper.hpp"
+
+namespace odin::arch {
+
+enum class PipelineStage : int {
+  kEdramFetch = 0,
+  kDacDrive,
+  kAdcConvert,
+  kShiftAdd,
+  kWriteback,
+  kCount,
+};
+
+std::string stage_name(PipelineStage stage);
+
+struct PipelineRates {
+  double edram_bytes_per_s = 48e9;   ///< 384-bit bus at 1.2 GHz (Table I)
+  double dac_rows_per_s = 9.6e9;     ///< 128 DACs per crossbar, 1.2 GHz
+  /// One ADC per crossbar (Table I: 96 ADCs, 96 arrays); per-conversion
+  /// time follows the cost model's bits x 0.83 ns.
+  double adc_conversions_per_s = 3.0e8;
+  double sa_ops_per_s = 9.6e9;       ///< 96 S+A units
+  double writeback_bytes_per_s = 24e9;
+};
+
+struct PipelineAnalysis {
+  std::array<double, static_cast<int>(PipelineStage::kCount)> stage_time_s{};
+  PipelineStage bottleneck = PipelineStage::kAdcConvert;
+  double total_time_s = 0.0;       ///< sum of stage times (sequential bound)
+  double bottleneck_time_s = 0.0;  ///< perfectly-pipelined bound
+
+  double share(PipelineStage stage) const noexcept {
+    return total_time_s > 0.0
+               ? stage_time_s[static_cast<int>(stage)] / total_time_s
+               : 0.0;
+  }
+};
+
+/// Analyze one layer executed with `config` (per-crossbar view: the work of
+/// the bottleneck crossbar, which sets tile latency).
+PipelineAnalysis analyze_layer(const dnn::LayerDescriptor& layer,
+                               const ou::OuCounts& counts,
+                               ou::OuConfig config,
+                               const ou::CostParams& cost_params,
+                               const PipelineRates& rates = {});
+
+}  // namespace odin::arch

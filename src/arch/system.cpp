@@ -1,0 +1,65 @@
+#include "arch/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odin::arch {
+
+SystemModel::SystemModel(PimConfig config, NocParams noc_params)
+    : config_(config), noc_(config.mesh_x, config.mesh_y, noc_params) {
+  assert(config.mesh_x * config.mesh_y == config.pes);
+}
+
+SystemMapping SystemModel::map(const dnn::DnnModel& model, int crossbar_size,
+                               int activation_bits) const {
+  const int c = crossbar_size > 0 ? crossbar_size : config_.tile.crossbar_size;
+  // Crossbars per PE scale with (tile size / crossbar size)^2 when sweeping
+  // the crossbar dimension: the tile's memristor area is held constant.
+  const int native = config_.tile.crossbar_size;
+  const std::int64_t per_pe = static_cast<std::int64_t>(
+      config_.tiles_per_pe * config_.tile.crossbars *
+      (static_cast<std::int64_t>(native / c) * (native / c)));
+
+  SystemMapping out;
+  std::int64_t free_in_pe = per_pe;
+  int pe = 0;
+  for (const auto& layer : model.layers) {
+    const std::int64_t need = common::ceil_div(layer.fan_in, c) *
+                              common::ceil_div(layer.outputs, c);
+    if (need > free_in_pe && free_in_pe < per_pe) {
+      pe = (pe + 1) % config_.pes;
+      free_in_pe = per_pe;
+    }
+    // A layer larger than a whole PE spills into subsequent PEs; its home
+    // stays where it starts.
+    out.placements.push_back({layer.index, need, pe});
+    std::int64_t remaining = need;
+    while (remaining > 0) {
+      const std::int64_t take = std::min(remaining, free_in_pe);
+      remaining -= take;
+      free_in_pe -= take;
+      if (free_in_pe == 0 && remaining > 0) {
+        pe = (pe + 1) % config_.pes;
+        free_in_pe = per_pe;
+      }
+    }
+    out.crossbars_used += need;
+  }
+  const std::int64_t available =
+      per_pe * static_cast<std::int64_t>(config_.pes);
+  out.utilization = available > 0
+                        ? static_cast<double>(out.crossbars_used) /
+                              static_cast<double>(available)
+                        : 0.0;
+
+  for (std::size_t i = 0; i + 1 < out.placements.size(); ++i) {
+    const auto& layer = model.layers[i];
+    const std::int64_t bits = static_cast<std::int64_t>(layer.outputs) *
+                              layer.spatial_positions * activation_bits;
+    const int h = noc_.hops(out.placements[i].pe, out.placements[i + 1].pe);
+    out.noc_per_inference += noc_.transfer(bits, std::max(h, 1));
+  }
+  return out;
+}
+
+}  // namespace odin::arch

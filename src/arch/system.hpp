@@ -1,0 +1,48 @@
+// System-level model: place a DNN's layers onto the 36-PE mesh and account
+// for the inter-layer activation traffic the NoC carries each inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/components.hpp"
+#include "arch/noc.hpp"
+#include "common/math.hpp"
+#include "dnn/model.hpp"
+
+namespace odin::arch {
+
+struct LayerPlacement {
+  int layer_index = 0;
+  std::int64_t crossbars = 0;  ///< crossbars the layer occupies
+  int pe = 0;                  ///< home PE (first PE holding its weights)
+};
+
+struct SystemMapping {
+  std::vector<LayerPlacement> placements;
+  std::int64_t crossbars_used = 0;
+  double utilization = 0.0;  ///< used / available crossbars
+  /// NoC cost of streaming every layer's output activations to the next
+  /// layer's home PE, once per inference.
+  common::EnergyLatency noc_per_inference;
+};
+
+class SystemModel {
+ public:
+  explicit SystemModel(PimConfig config, NocParams noc_params = {});
+
+  const PimConfig& config() const noexcept { return config_; }
+  const NocModel& noc() const noexcept { return noc_; }
+
+  /// Greedy in-order placement; `crossbar_size` defaults to the tile's
+  /// (override for the Fig. 9 crossbar-size sweep). `activation_bits` is
+  /// the inter-layer activation precision on the NoC.
+  SystemMapping map(const dnn::DnnModel& model, int crossbar_size = 0,
+                    int activation_bits = 8) const;
+
+ private:
+  PimConfig config_;
+  NocModel noc_;
+};
+
+}  // namespace odin::arch

@@ -1,0 +1,26 @@
+#include "arch/training_core.hpp"
+
+#include <cmath>
+
+namespace odin::arch {
+
+std::int64_t TrainingCoreModel::update_macs(std::int64_t parameters,
+                                            int buffer_entries,
+                                            int epochs) const noexcept {
+  const double forward = static_cast<double>(parameters) * buffer_entries *
+                         epochs;
+  return static_cast<std::int64_t>(
+      std::llround(forward * params_.backprop_factor));
+}
+
+common::EnergyLatency TrainingCoreModel::update_cost(
+    std::int64_t parameters, int buffer_entries, int epochs) const noexcept {
+  const auto macs = static_cast<double>(
+      update_macs(parameters, buffer_entries, epochs));
+  return common::EnergyLatency{
+      .energy_j = macs * params_.energy_per_mac_j,
+      .latency_s = macs / params_.macs_per_second,
+  };
+}
+
+}  // namespace odin::arch

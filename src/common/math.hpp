@@ -1,0 +1,95 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace odin::common {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t num, std::int64_t den) noexcept {
+  assert(den > 0 && num >= 0);
+  return (num + den - 1) / den;
+}
+
+/// Exact integer log2 of a power of two; asserts on non-powers.
+constexpr int log2_exact(std::int64_t v) noexcept {
+  assert(v > 0 && (v & (v - 1)) == 0);
+  int l = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+constexpr bool is_pow2(std::int64_t v) noexcept {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+inline double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/// Geometric mean of strictly positive values (0 for empty input).
+inline double geomean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/// Log-uniformly spaced sample points over [lo, hi] inclusive, n >= 2.
+inline std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  assert(lo > 0.0 && hi > lo && n >= 2);
+  std::vector<double> out(n);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = std::exp(llo + f * (lhi - llo));
+  }
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+/// Numerically stable softmax over a small vector (in place).
+inline void softmax_inplace(std::span<double> xs) noexcept {
+  if (xs.empty()) return;
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double& x : xs) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : xs) x /= sum;
+}
+
+/// Index of the maximum element (first on ties). Undefined for empty spans.
+inline std::size_t argmax(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace odin::common

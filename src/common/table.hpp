@@ -1,0 +1,41 @@
+// Minimal fixed-column table emitter for benchmark / example output.
+//
+// Every bench binary reproduces one of the paper's tables or figures by
+// printing rows; this class keeps that output aligned, parseable (also
+// emitted as CSV on request) and free of iostream formatting noise at the
+// call sites.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odin::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+
+  /// Render as an aligned ASCII table.
+  std::string to_string() const;
+  /// Render as CSV (RFC-4180-ish; cells containing commas are quoted).
+  std::string to_csv() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner followed by the table to stdout.
+void print_table(std::string_view title, const Table& table);
+
+}  // namespace odin::common

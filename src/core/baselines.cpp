@@ -1,0 +1,56 @@
+#include "core/baselines.hpp"
+
+#include <cassert>
+
+namespace odin::core {
+
+std::vector<ou::OuConfig> paper_baseline_configs() {
+  return {{16, 16}, {16, 4}, {9, 8}, {8, 4}};
+}
+
+HomogeneousRunner::HomogeneousRunner(const ou::MappedModel& model,
+                                     const ou::NonIdealityModel& nonideal,
+                                     const ou::OuCostModel& cost,
+                                     ou::OuConfig config,
+                                     bool reprogram_enabled)
+    : model_(&model),
+      nonideal_(&nonideal),
+      cost_(&cost),
+      config_(config),
+      reprogram_enabled_(reprogram_enabled) {
+  for (std::size_t j = 0; j < model.layer_count(); ++j)
+    inference_cost_ +=
+        cost.layer_cost(model.mapping(j).counts(config), config,
+                        model.model().layers[j].activation_sparsity)
+            .total();
+}
+
+common::EnergyLatency HomogeneousRunner::full_reprogram_cost() const {
+  common::EnergyLatency total;
+  for (std::size_t j = 0; j < model_->layer_count(); ++j)
+    total += cost_->reprogram_cost(model_->mapping(j));
+  return total;
+}
+
+BaselineRunResult HomogeneousRunner::run_inference(double t_s) {
+  assert(t_s >= programmed_at_s_);
+  BaselineRunResult run;
+  run.time_s = t_s;
+  double elapsed = t_s - programmed_at_s_;
+  // Reprogram when this OU's own total non-ideality crosses the threshold
+  // (prior work has no finer knob: the OU size is fixed).
+  if (reprogram_enabled_ &&
+      nonideal_->total_nf(elapsed, config_) >
+          nonideal_->params().eta_total) {
+    run.reprogrammed = true;
+    run.reprogram = full_reprogram_cost();
+    ++reprogram_count_;
+    programmed_at_s_ = t_s;
+    elapsed = nonideal_->device().t0_s;
+  }
+  run.elapsed_s = elapsed;
+  run.inference = inference_cost_;
+  return run;
+}
+
+}  // namespace odin::core

@@ -1,0 +1,63 @@
+// Homogeneous-OU baselines — the state of the art the paper compares
+// against: one fixed OU size for every layer of every DNN, with device
+// reprogramming whenever that OU's total non-ideality crosses eta.
+// Paper Sec. V-C uses (16x16), (16x4), (9x8) and (8x4) from [16][24][34].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ou/cost_model.hpp"
+#include "ou/mapped_model.hpp"
+#include "ou/nonideality.hpp"
+
+namespace odin::core {
+
+/// The four homogeneous configurations from prior work.
+std::vector<ou::OuConfig> paper_baseline_configs();
+
+struct BaselineRunResult {
+  double time_s = 0.0;
+  double elapsed_s = 0.0;
+  bool reprogrammed = false;
+  common::EnergyLatency inference;
+  common::EnergyLatency reprogram;
+};
+
+class HomogeneousRunner {
+ public:
+  /// `reprogram_enabled = false` models the Fig. 7 "without reprogramming"
+  /// curves: the device keeps drifting and accuracy decays.
+  HomogeneousRunner(const ou::MappedModel& model,
+                    const ou::NonIdealityModel& nonideal,
+                    const ou::OuCostModel& cost, ou::OuConfig config,
+                    bool reprogram_enabled = true);
+
+  BaselineRunResult run_inference(double t_s);
+
+  ou::OuConfig config() const noexcept { return config_; }
+  int reprogram_count() const noexcept { return reprogram_count_; }
+  double programmed_at_s() const noexcept { return programmed_at_s_; }
+
+  /// External (re)programming event at `t_s` (cost accounted by caller).
+  void reset_drift_clock(double t_s) noexcept { programmed_at_s_ = t_s; }
+
+  /// Per-inference cost is time-invariant for a fixed OU; cached.
+  const common::EnergyLatency& inference_cost() const noexcept {
+    return inference_cost_;
+  }
+  common::EnergyLatency full_reprogram_cost() const;
+
+ private:
+  const ou::MappedModel* model_;
+  const ou::NonIdealityModel* nonideal_;
+  const ou::OuCostModel* cost_;
+  ou::OuConfig config_;
+  bool reprogram_enabled_;
+  common::EnergyLatency inference_cost_;
+  double programmed_at_s_ = 0.0;
+  int reprogram_count_ = 0;
+};
+
+}  // namespace odin::core

@@ -1,0 +1,149 @@
+#include "core/hardware_inference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace odin::core {
+
+HardwareMlpRunner::HardwareMlpRunner(nn::MultiHeadMlp& model,
+                                     reram::DeviceParams device,
+                                     int crossbar_size,
+                                     std::uint64_t noise_seed)
+    : device_(device), crossbar_size_(crossbar_size),
+      noise_seed_(noise_seed) {
+  auto lower = [&](nn::Dense* dense) {
+    MappedLayer layer;
+    const nn::Matrix& w = dense->weight().value;
+    layer.in_features = w.rows();
+    layer.out_features = w.cols();
+    layer.bias.assign(dense->bias().value.flat().begin(),
+                      dense->bias().value.flat().end());
+    // Scale the layer into the cell range [-1, 1].
+    double max_abs = 1e-12;
+    for (double v : w.flat()) max_abs = std::max(max_abs, std::abs(v));
+    layer.weight_scale = max_abs;
+    layer.weights.reserve(w.size());
+    for (double v : w.flat()) layer.weights.push_back(v / max_abs);
+    layer.grid_rows = static_cast<int>(
+        common::ceil_div(static_cast<std::int64_t>(layer.in_features),
+                         crossbar_size_));
+    layer.grid_cols = static_cast<int>(
+        common::ceil_div(static_cast<std::int64_t>(layer.out_features),
+                         crossbar_size_));
+    layers_.push_back(std::move(layer));
+  };
+  for (nn::Dense* dense : model.trunk_dense()) lower(dense);
+  const auto heads = model.head_dense();
+  assert(!heads.empty());
+  lower(heads.front());  // reference nets are single-head
+  program(device_.t0_s);
+}
+
+void HardwareMlpRunner::program(double t_s) {
+  std::uint64_t stream = noise_seed_;
+  for (MappedLayer& layer : layers_) {
+    layer.crossbars.clear();
+    for (int gr = 0; gr < layer.grid_rows; ++gr) {
+      for (int gc = 0; gc < layer.grid_cols; ++gc) {
+        const int rows = std::min<std::int64_t>(
+            crossbar_size_,
+            static_cast<std::int64_t>(layer.in_features) -
+                static_cast<std::int64_t>(gr) * crossbar_size_);
+        const int cols = std::min<std::int64_t>(
+            crossbar_size_,
+            static_cast<std::int64_t>(layer.out_features) -
+                static_cast<std::int64_t>(gc) * crossbar_size_);
+        std::vector<double> block(static_cast<std::size_t>(rows) * cols);
+        for (int r = 0; r < rows; ++r)
+          for (int c = 0; c < cols; ++c)
+            block[static_cast<std::size_t>(r) * cols + c] =
+                layer.weights[(static_cast<std::size_t>(gr) *
+                                   crossbar_size_ +
+                               r) *
+                                  layer.out_features +
+                              static_cast<std::size_t>(gc) * crossbar_size_ +
+                              c];
+        auto xbar =
+            noise_seed_ == 0
+                ? std::make_unique<reram::Crossbar>(crossbar_size_, device_)
+                : std::make_unique<reram::Crossbar>(
+                      crossbar_size_, device_,
+                      reram::NoiseModel(reram::NoiseParams{}, ++stream));
+        xbar->program(block, rows, cols, t_s);
+        layer.crossbars.push_back(std::move(xbar));
+      }
+    }
+  }
+}
+
+std::int64_t HardwareMlpRunner::programmed_cells() const noexcept {
+  std::int64_t cells = 0;
+  for (const MappedLayer& layer : layers_)
+    for (const auto& xbar : layer.crossbars) cells += xbar->programmed_cells();
+  return cells;
+}
+
+std::vector<double> HardwareMlpRunner::forward_layer(
+    const MappedLayer& layer, std::span<const double> input, ou::OuConfig ou,
+    double t_s) {
+  assert(input.size() == layer.in_features);
+  const int adc_bits = adc_policy_.adc_bits(ou.rows);
+  // Inputs are driven in [0, 1]-ish range; scale by the max magnitude so
+  // the DAC range is used and undo afterwards (standard input scaling).
+  double in_max = 1e-12;
+  for (double v : input) in_max = std::max(in_max, std::abs(v));
+  std::vector<double> scaled(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    scaled[i] = input[i] / in_max;
+
+  std::vector<double> out(layer.out_features, 0.0);
+  for (int gr = 0; gr < layer.grid_rows; ++gr) {
+    const std::size_t row0 = static_cast<std::size_t>(gr) * crossbar_size_;
+    const std::size_t rows =
+        std::min<std::size_t>(crossbar_size_, layer.in_features - row0);
+    const std::span<const double> slice{scaled.data() + row0, rows};
+    for (int gc = 0; gc < layer.grid_cols; ++gc) {
+      const std::size_t col0 = static_cast<std::size_t>(gc) * crossbar_size_;
+      reram::Crossbar& xbar =
+          *layer.crossbars[static_cast<std::size_t>(gr) * layer.grid_cols +
+                           gc];
+      const auto partial = xbar.mvm(slice, ou.rows, ou.cols, t_s, adc_bits);
+      for (std::size_t c = 0; c < partial.size(); ++c)
+        out[col0 + c] += partial[c];
+    }
+  }
+  // Undo the scalings and add the (digitally stored) bias.
+  for (std::size_t c = 0; c < out.size(); ++c)
+    out[c] = out[c] * layer.weight_scale * in_max + layer.bias[c];
+  return out;
+}
+
+std::vector<double> HardwareMlpRunner::logits(std::span<const double> input,
+                                              ou::OuConfig ou, double t_s) {
+  std::vector<double> x(input.begin(), input.end());
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    x = forward_layer(layers_[i], x, ou, t_s);
+    for (double& v : x)
+      if (v < 0.0) v = 0.0;  // ReLU in the output register path
+  }
+  return forward_layer(layers_.back(), x, ou, t_s);
+}
+
+int HardwareMlpRunner::predict(std::span<const double> input, ou::OuConfig ou,
+                               double t_s) {
+  return static_cast<int>(common::argmax(logits(input, ou, t_s)));
+}
+
+double HardwareMlpRunner::accuracy(const nn::Dataset& data, ou::OuConfig ou,
+                                   double t_s) {
+  if (data.size() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.inputs.row(i), ou, t_s) == data.labels[0][i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+}  // namespace odin::core

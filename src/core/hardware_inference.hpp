@@ -1,0 +1,80 @@
+// Hardware-in-the-loop inference: execute a trained MultiHeadMlp on the
+// behavioural ReRAM crossbar model, OU cycle by OU cycle.
+//
+// Each Dense layer's weight matrix is scaled into the cell range, tiled
+// onto 128x128 crossbars and evaluated as analog OU MVMs with the
+// reconfigurable ADC at clamp(ceil(log2 R), 3, 6) bits; partial sums merge
+// digitally (the S+A path), biases and ReLU apply at the output register.
+// Conductance drift applies between programming and inference time.
+//
+// This is the circuit-level counterpart of the analytical accuracy
+// surrogate: tests/bench use it to confirm that accuracy measured through
+// the actual analog datapath behaves the way the surrogate assumes
+// (fine-OU + fresh cells ~ software accuracy; coarse OUs and drift erode
+// it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/train.hpp"
+#include "ou/cost_model.hpp"
+#include "ou/ou_config.hpp"
+#include "reram/crossbar.hpp"
+
+namespace odin::core {
+
+class HardwareMlpRunner {
+ public:
+  /// Snapshots `model`'s current parameters; the model itself is not
+  /// retained. `noise_seed` != 0 enables stochastic programming/read noise.
+  HardwareMlpRunner(nn::MultiHeadMlp& model, reram::DeviceParams device,
+                    int crossbar_size = 128, std::uint64_t noise_seed = 0);
+
+  /// (Re)program every crossbar at absolute time `t_s`.
+  void program(double t_s);
+
+  /// Cells carrying weights across all layers.
+  std::int64_t programmed_cells() const noexcept;
+
+  /// Raw head-0 output logits of a forward pass at absolute time `t_s`
+  /// with every layer using `ou` — the direct measure of analog-datapath
+  /// fidelity (classification accuracy is much more forgiving: drift jitter
+  /// preserves weight signs, which is often all argmax needs).
+  std::vector<double> logits(std::span<const double> input, ou::OuConfig ou,
+                             double t_s);
+
+  /// Forward pass at absolute time `t_s` with every layer using `ou`.
+  /// Returns the head-0 argmax class (the reference nets are single-head).
+  int predict(std::span<const double> input, ou::OuConfig ou, double t_s);
+
+  /// Classification accuracy over a dataset (labels from head 0).
+  double accuracy(const nn::Dataset& data, ou::OuConfig ou, double t_s);
+
+ private:
+  /// One Dense layer lowered onto a grid of crossbars.
+  struct MappedLayer {
+    std::size_t in_features = 0;
+    std::size_t out_features = 0;
+    double weight_scale = 1.0;  ///< max |w|; cells store w / scale
+    std::vector<double> bias;
+    std::vector<double> weights;  ///< row-major, scaled into [-1, 1]
+    std::vector<std::unique_ptr<reram::Crossbar>> crossbars;  ///< row-major grid
+    int grid_rows = 0;
+    int grid_cols = 0;
+  };
+
+  std::vector<double> forward_layer(const MappedLayer& layer,
+                                    std::span<const double> input,
+                                    ou::OuConfig ou, double t_s);
+
+  reram::DeviceParams device_;
+  int crossbar_size_;
+  std::uint64_t noise_seed_;
+  ou::CostParams adc_policy_;  ///< for the bits-from-R rule
+  std::vector<MappedLayer> layers_;  ///< trunk denses then the single head
+};
+
+}  // namespace odin::core

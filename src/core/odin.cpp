@@ -1,0 +1,114 @@
+#include "core/odin.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odin::core {
+
+OdinController::OdinController(const ou::MappedModel& model,
+                               const ou::NonIdealityModel& nonideal,
+                               const ou::OuCostModel& cost,
+                               policy::OuPolicy policy, OdinConfig config)
+    : model_(&model),
+      nonideal_(&nonideal),
+      cost_(&cost),
+      grid_(model.crossbar_size()),
+      policy_(std::move(policy)),
+      buffer_(config.buffer_capacity),
+      config_(config) {
+  assert(policy_.grid().crossbar_size() == model.crossbar_size());
+}
+
+common::EnergyLatency OdinController::full_reprogram_cost() const {
+  common::EnergyLatency total;
+  for (std::size_t j = 0; j < model_->layer_count(); ++j)
+    total += cost_->reprogram_cost(model_->mapping(j));
+  return total;
+}
+
+RunResult OdinController::run_inference(double t_s) {
+  assert(t_s >= programmed_at_s_);
+  RunResult run;
+  run.time_s = t_s;
+
+  const int layer_count = static_cast<int>(model_->layer_count());
+  double elapsed = t_s - programmed_at_s_;
+
+  // Algorithm 1, lines 7-8: drift is device-global, so if the most
+  // drift-tolerant configuration fails for the least sensitive layer, no
+  // layer has a feasible OU and the device is reprogrammed (clock reset).
+  if (nonideal_->reprogram_required(elapsed, grid_, 1.0)) {
+    run.reprogrammed = true;
+    run.reprogram = full_reprogram_cost();
+    ++reprogram_count_;
+    programmed_at_s_ = t_s;
+    elapsed = nonideal_->device().t0_s;
+  }
+  run.elapsed_s = elapsed;
+
+  run.decisions.reserve(model_->layer_count());
+  for (std::size_t j = 0; j < model_->layer_count(); ++j) {
+    const auto& layer = model_->model().layers[j];
+    const policy::Features phi =
+        policy::extract_features(layer, layer_count, elapsed);
+
+    LayerDecision decision;
+    decision.policy_choice = policy_.predict(phi);  // line 5
+
+    ou::LayerContext ctx{
+        .mapping = &model_->mapping(j),
+        .cost = cost_,
+        .nonideal = nonideal_,
+        .grid = &grid_,
+        .elapsed_s = elapsed,
+        .sensitivity = nonideal_->layer_sensitivity(layer.index, layer_count),
+    };
+
+    // Entropy-gate extension: a confident, feasible policy prediction is
+    // executed without invoking the search (and produces no training
+    // example — the gate only opens when the policy has converged).
+    const bool gated =
+        config_.entropy_gate >= 0.0 &&
+        policy_.prediction_entropy(phi) < config_.entropy_gate &&
+        ctx.feasible(decision.policy_choice);
+    if (gated) {
+      decision.executed = decision.policy_choice;
+      decision.evaluations = 0;
+      ++run.searches_skipped;
+    } else {
+      const ou::SearchResult best =  // line 6
+          config_.search == SearchKind::kExhaustive
+              ? ou::exhaustive_search(ctx)
+              : ou::resource_bounded_search(ctx, decision.policy_choice,
+                                            config_.search_steps);
+      decision.evaluations = best.evaluations;
+      // A feasible config always exists here: reprogramming was handled
+      // above and the sensitivity-scaled IR constraint admits the minimum
+      // OU.
+      assert(best.found);
+      decision.executed = best.best;
+    }
+    decision.mismatch = decision.executed != decision.policy_choice;
+
+    run.inference +=
+        cost_->layer_cost(ctx.mapping->counts(decision.executed),
+                          decision.executed, layer.activation_sparsity)
+            .total();
+
+    if (decision.mismatch) {  // lines 9-10
+      ++run.mismatches;
+      buffer_.add(phi, decision.executed);
+    }
+    run.decisions.push_back(decision);
+  }
+
+  if (buffer_.full()) {  // line 11
+    policy_.train(buffer_.to_dataset(grid_), config_.update_options);
+    buffer_.reset();
+    ++update_count_;
+    run.policy_updated = true;
+  }
+  return run;
+}
+
+}  // namespace odin::core

@@ -1,0 +1,104 @@
+// OdinController — the online learning loop of Algorithm 1.
+//
+// Per inference run at wall-clock time t:
+//   1. If even the minimum OU violates the non-ideality constraint for the
+//      elapsed drift, reprogram the ReRAM cells (cost accounted, drift clock
+//      reset) before inferencing (lines 7-8).
+//   2. For each layer: extract features Phi, predict (R,C) with the current
+//      policy (line 5), run the best-OU search (line 6; resource-bounded by
+//      default, exhaustive optionally), execute the layer with the best
+//      configuration, and on a policy/search mismatch push (Phi, (R,C)*)
+//      into the training buffer (lines 9-10).
+//   3. When the buffer fills, retrain the policy on its contents and reset
+//      it (line 11).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "ou/cost_model.hpp"
+#include "ou/mapped_model.hpp"
+#include "ou/nonideality.hpp"
+#include "ou/search.hpp"
+#include "policy/buffer.hpp"
+#include "policy/policy.hpp"
+
+namespace odin::core {
+
+enum class SearchKind { kResourceBounded, kExhaustive };
+
+struct OdinConfig {
+  SearchKind search = SearchKind::kResourceBounded;
+  int search_steps = 3;  ///< the paper's K
+  std::size_t buffer_capacity = 50;
+  nn::TrainOptions update_options{.epochs = 100, .batch_size = 10,
+                                  .learning_rate = 5e-3,
+                                  .shuffle_seed = 0x0d1e};
+  /// Entropy-gated search (extension, see bench/ablation_entropy_gate):
+  /// when the policy's prediction entropy is below this threshold and its
+  /// choice is feasible, the choice is executed without running the search
+  /// at all. Negative disables the gate (vanilla Algorithm 1).
+  double entropy_gate = -1.0;
+};
+
+struct LayerDecision {
+  ou::OuConfig policy_choice;
+  ou::OuConfig executed;  ///< the search's best (what actually runs)
+  bool mismatch = false;
+  int evaluations = 0;
+};
+
+struct RunResult {
+  double time_s = 0.0;
+  double elapsed_s = 0.0;  ///< since last programming, after any reprogram
+  bool reprogrammed = false;
+  bool policy_updated = false;
+  int mismatches = 0;
+  int searches_skipped = 0;  ///< layers served by the entropy gate
+  common::EnergyLatency inference;
+  common::EnergyLatency reprogram;
+  std::vector<LayerDecision> decisions;  ///< one per layer
+};
+
+class OdinController {
+ public:
+  /// `policy` is typically the offline-bootstrapped policy; Odin owns and
+  /// keeps adapting it. All referenced objects must outlive the controller.
+  OdinController(const ou::MappedModel& model,
+                 const ou::NonIdealityModel& nonideal,
+                 const ou::OuCostModel& cost, policy::OuPolicy policy,
+                 OdinConfig config = {});
+
+  /// One inference run at absolute time `t_s` (monotonically increasing
+  /// across calls). Returns everything that happened during the run.
+  RunResult run_inference(double t_s);
+
+  int reprogram_count() const noexcept { return reprogram_count_; }
+  int update_count() const noexcept { return update_count_; }
+  double programmed_at_s() const noexcept { return programmed_at_s_; }
+
+  /// Declare that the weights were (re)programmed at `t_s` by an external
+  /// event (e.g. a tenant switch that remapped the arrays); the cost of
+  /// that event is the caller's to account.
+  void reset_drift_clock(double t_s) noexcept { programmed_at_s_ = t_s; }
+  policy::OuPolicy& policy() noexcept { return policy_; }
+  const ou::MappedModel& model() const noexcept { return *model_; }
+  const ou::OuLevelGrid& grid() const noexcept { return grid_; }
+
+  /// Total cost of reprogramming every layer of the model.
+  common::EnergyLatency full_reprogram_cost() const;
+
+ private:
+  const ou::MappedModel* model_;
+  const ou::NonIdealityModel* nonideal_;
+  const ou::OuCostModel* cost_;
+  ou::OuLevelGrid grid_;
+  policy::OuPolicy policy_;
+  policy::ReplayBuffer buffer_;
+  OdinConfig config_;
+  double programmed_at_s_ = 0.0;
+  int reprogram_count_ = 0;
+  int update_count_ = 0;
+};
+
+}  // namespace odin::core

@@ -1,0 +1,130 @@
+#include "core/serving.hpp"
+
+#include <cassert>
+
+namespace odin::core {
+
+common::EnergyLatency ServingResult::total() const noexcept {
+  common::EnergyLatency t = programming;
+  for (const TenantStats& s : tenants) t += s.inference + s.reprogram;
+  return t;
+}
+
+int ServingResult::total_mismatches() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.mismatches;
+  return n;
+}
+
+int ServingResult::total_runs() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.runs;
+  return n;
+}
+
+namespace {
+
+/// Contiguous segment boundaries over the run schedule.
+std::vector<std::pair<std::size_t, std::size_t>> segment_bounds(
+    std::size_t runs, int segments) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const std::size_t per = runs / static_cast<std::size_t>(segments);
+  std::size_t start = 0;
+  for (int s = 0; s < segments; ++s) {
+    const std::size_t end =
+        s + 1 == segments ? runs : start + per;
+    out.emplace_back(start, end);
+    start = end;
+  }
+  return out;
+}
+
+common::EnergyLatency full_programming_cost(const ou::MappedModel& model,
+                                            const ou::OuCostModel& cost) {
+  common::EnergyLatency total;
+  for (std::size_t j = 0; j < model.layer_count(); ++j)
+    total += cost.reprogram_cost(model.mapping(j));
+  return total;
+}
+
+}  // namespace
+
+ServingResult serve_with_odin(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    policy::OuPolicy initial_policy, const ServingConfig& config) {
+  assert(!tenants.empty());
+  ServingResult result;
+  result.label = "Odin";
+  result.tenants.resize(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i)
+    result.tenants[i].name = tenants[i]->model().name;
+
+  const auto schedule = run_schedule(config.horizon);
+  const auto bounds =
+      segment_bounds(schedule.size(), config.segments);
+
+  policy::OuPolicy policy = std::move(initial_policy);
+  for (std::size_t s = 0; s < bounds.size(); ++s) {
+    const std::size_t tenant_idx = s % tenants.size();
+    const ou::MappedModel& tenant = *tenants[tenant_idx];
+    TenantStats& stats = result.tenants[tenant_idx];
+
+    // Tenant switch: the incoming network's weights are programmed onto
+    // the arrays (drift clock starts fresh at the segment's first run).
+    result.programming += full_programming_cost(tenant, cost);
+    ++result.switches;
+
+    OdinController controller(tenant, nonideal, cost, policy.clone(),
+                              config.odin);
+    // Align the controller's drift clock with the programming moment.
+    controller.reset_drift_clock(schedule[bounds[s].first]);
+    for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
+      const RunResult run = controller.run_inference(schedule[i]);
+      stats.inference += run.inference;
+      stats.reprogram += run.reprogram;
+      stats.mismatches += run.mismatches;
+      ++stats.runs;
+    }
+    stats.reprograms += controller.reprogram_count();
+    result.policy_updates += controller.update_count();
+    policy = controller.policy().clone();  // carry the learning forward
+  }
+  return result;
+}
+
+ServingResult serve_with_homogeneous(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    ou::OuConfig ou, const ServingConfig& config) {
+  assert(!tenants.empty());
+  ServingResult result;
+  result.label = ou.to_string();
+  result.tenants.resize(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i)
+    result.tenants[i].name = tenants[i]->model().name;
+
+  const auto schedule = run_schedule(config.horizon);
+  const auto bounds = segment_bounds(schedule.size(), config.segments);
+
+  for (std::size_t s = 0; s < bounds.size(); ++s) {
+    const std::size_t tenant_idx = s % tenants.size();
+    const ou::MappedModel& tenant = *tenants[tenant_idx];
+    TenantStats& stats = result.tenants[tenant_idx];
+    result.programming += full_programming_cost(tenant, cost);
+    ++result.switches;
+
+    HomogeneousRunner runner(tenant, nonideal, cost, ou);
+    runner.reset_drift_clock(schedule[bounds[s].first]);
+    for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
+      const BaselineRunResult run = runner.run_inference(schedule[i]);
+      stats.inference += run.inference;
+      stats.reprogram += run.reprogram;
+      ++stats.runs;
+    }
+    stats.reprograms += runner.reprogram_count();
+  }
+  return result;
+}
+
+}  // namespace odin::core

@@ -1,0 +1,69 @@
+// Multi-tenant serving simulation — the deployment scenario that motivates
+// Odin (Sec. I: "an OU configuration computed offline for a known DNN model
+// at design time may not be optimal for unseen DNNs at runtime").
+//
+// A PIM accelerator in production does not run one network forever: new
+// models are deployed over time. The ServingSimulator rotates inference
+// traffic across a set of workloads along the drift horizon; one policy
+// serves them all, carrying what it learned from each tenant to the next
+// (every layer is featurized the same way, so knowledge transfers). The
+// comparison baselines run each tenant at a fixed homogeneous OU.
+//
+// The device keeps drifting across tenant switches — switching DNNs remaps
+// weights onto (re)programmed crossbars, which also resets the drift clock
+// for the incoming tenant's arrays and is charged as a programming event.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace odin::core {
+
+struct ServingConfig {
+  HorizonConfig horizon{};
+  /// How many contiguous segments the horizon is divided into; tenants are
+  /// assigned round-robin (segments >= tenant count uses each at least
+  /// once).
+  int segments = 6;
+  OdinConfig odin{};
+};
+
+struct TenantStats {
+  std::string name;
+  int runs = 0;
+  int reprograms = 0;  ///< drift-triggered only (switch programming separate)
+  int mismatches = 0;
+  common::EnergyLatency inference;
+  common::EnergyLatency reprogram;
+};
+
+struct ServingResult {
+  std::string label;
+  std::vector<TenantStats> tenants;
+  common::EnergyLatency programming;  ///< tenant-switch (re)programming
+  int switches = 0;
+  int policy_updates = 0;
+
+  common::EnergyLatency total() const noexcept;
+  double total_edp() const noexcept { return total().edp(); }
+  int total_mismatches() const noexcept;
+  int total_runs() const noexcept;
+};
+
+/// Serve `tenants` (non-owning; must outlive the call) with one adapting
+/// Odin policy. `initial_policy` is typically offline-bootstrapped.
+ServingResult serve_with_odin(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    policy::OuPolicy initial_policy, const ServingConfig& config = {});
+
+/// Serve the same traffic with a fixed homogeneous OU configuration.
+ServingResult serve_with_homogeneous(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    ou::OuConfig ou, const ServingConfig& config = {});
+
+}  // namespace odin::core

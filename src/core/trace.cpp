@@ -1,0 +1,39 @@
+#include "core/trace.hpp"
+
+#include <ostream>
+
+namespace odin::core {
+
+void RunTrace::record(int run_index, const RunResult& run) {
+  TraceRecord rec;
+  rec.run = run_index;
+  rec.time_s = run.time_s;
+  rec.elapsed_s = run.elapsed_s;
+  rec.reprogrammed = run.reprogrammed;
+  rec.policy_updated = run.policy_updated;
+  rec.mismatches = run.mismatches;
+  rec.energy_j = run.inference.energy_j + run.reprogram.energy_j;
+  rec.latency_s = run.inference.latency_s + run.reprogram.latency_s;
+  double product = 0.0;
+  for (const auto& d : run.decisions)
+    product += static_cast<double>(d.executed.product());
+  rec.mean_ou_product =
+      run.decisions.empty()
+          ? 0.0
+          : product / static_cast<double>(run.decisions.size());
+  records_.push_back(rec);
+}
+
+void RunTrace::write_csv(std::ostream& out) const {
+  out << "run,time_s,elapsed_s,reprogrammed,policy_updated,mismatches,"
+         "energy_j,latency_s,mean_ou_product\n";
+  out.precision(12);
+  for (const TraceRecord& r : records_) {
+    out << r.run << ',' << r.time_s << ',' << r.elapsed_s << ','
+        << (r.reprogrammed ? 1 : 0) << ',' << (r.policy_updated ? 1 : 0)
+        << ',' << r.mismatches << ',' << r.energy_j << ',' << r.latency_s
+        << ',' << r.mean_ou_product << '\n';
+  }
+}
+
+}  // namespace odin::core

@@ -1,0 +1,43 @@
+// Run-trace recording: capture per-run records from a horizon simulation
+// and export them as CSV, so downstream users can plot the paper's figures
+// from raw data instead of re-parsing bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/odin.hpp"
+
+namespace odin::core {
+
+struct TraceRecord {
+  int run = 0;
+  double time_s = 0.0;
+  double elapsed_s = 0.0;
+  bool reprogrammed = false;
+  bool policy_updated = false;
+  int mismatches = 0;
+  double energy_j = 0.0;
+  double latency_s = 0.0;
+  double mean_ou_product = 0.0;
+};
+
+class RunTrace {
+ public:
+  /// Append a record distilled from one Odin run result.
+  void record(int run_index, const RunResult& run);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// RFC-4180-style CSV with a header row.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace odin::core

@@ -1,0 +1,109 @@
+#include "data/synthetic.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace odin::data {
+
+DatasetSpec DatasetSpec::for_kind(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10:
+      return {.name = "CIFAR-10", .channels = 3, .height = 32, .width = 32,
+              .classes = 10};
+    case DatasetKind::kCifar100:
+      return {.name = "CIFAR-100", .channels = 3, .height = 32, .width = 32,
+              .classes = 100};
+    case DatasetKind::kTinyImageNet:
+      return {.name = "TinyImageNet", .channels = 3, .height = 64,
+              .width = 64, .classes = 200};
+  }
+  return {};
+}
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  common::Rng rng(seed_);
+  class_waves_.resize(static_cast<std::size_t>(spec_.classes));
+  constexpr int kWavesPerClass = 6;
+  for (auto& waves : class_waves_) {
+    waves.reserve(kWavesPerClass);
+    for (int w = 0; w < kWavesPerClass; ++w) {
+      waves.push_back(Wave{
+          .fx = rng.uniform(0.5, 4.0),
+          .fy = rng.uniform(0.5, 4.0),
+          .phase = rng.uniform(0.0, 2.0 * std::numbers::pi),
+          .amp = rng.uniform(0.3, 1.0),
+          .channel = static_cast<int>(rng.uniform_index(
+              static_cast<std::uint64_t>(spec_.channels))),
+      });
+    }
+  }
+}
+
+nn::Image SyntheticDataset::prototype(int label) const {
+  assert(label >= 0 && label < spec_.classes);
+  nn::Image img{spec_.channels, spec_.height, spec_.width,
+                std::vector<double>(spec_.pixels(), 0.0)};
+  for (const Wave& w : class_waves_[static_cast<std::size_t>(label)]) {
+    for (int y = 0; y < spec_.height; ++y) {
+      const double fy = static_cast<double>(y) / spec_.height;
+      for (int x = 0; x < spec_.width; ++x) {
+        const double fx = static_cast<double>(x) / spec_.width;
+        img.at(w.channel, y, x) +=
+            w.amp * std::sin(2.0 * std::numbers::pi *
+                                 (w.fx * fx + w.fy * fy) +
+                             w.phase);
+      }
+    }
+  }
+  return img;
+}
+
+Sample SyntheticDataset::sample(std::uint64_t index) const {
+  common::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  const int label =
+      static_cast<int>(rng.uniform_index(
+          static_cast<std::uint64_t>(spec_.classes)));
+  Sample s{.image = prototype(label), .label = label};
+  const double brightness = rng.uniform(0.8, 1.2);
+  for (double& v : s.image.data)
+    v = v * brightness + rng.normal(0.0, 0.25);
+  return s;
+}
+
+std::size_t SyntheticDataset::feature_count(int pool) const noexcept {
+  const int ph = spec_.height / pool;
+  const int pw = spec_.width / pool;
+  return static_cast<std::size_t>(spec_.channels) * ph * pw;
+}
+
+nn::Dataset SyntheticDataset::as_feature_dataset(std::size_t n,
+                                                 int pool) const {
+  assert(pool >= 1 && spec_.height % pool == 0 && spec_.width % pool == 0);
+  const int ph = spec_.height / pool;
+  const int pw = spec_.width / pool;
+  nn::Dataset ds;
+  ds.inputs = nn::Matrix(n, feature_count(pool));
+  ds.labels.assign(1, std::vector<int>(n, 0));
+  const double inv_area = 1.0 / static_cast<double>(pool * pool);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample s = sample(i);
+    ds.labels[0][i] = s.label;
+    std::size_t f = 0;
+    for (int c = 0; c < spec_.channels; ++c) {
+      for (int y = 0; y < ph; ++y) {
+        for (int x = 0; x < pw; ++x, ++f) {
+          double acc = 0.0;
+          for (int dy = 0; dy < pool; ++dy)
+            for (int dx = 0; dx < pool; ++dx)
+              acc += s.image.at(c, y * pool + dy, x * pool + dx);
+          ds.inputs(i, f) = acc * inv_area;
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace odin::data

@@ -1,0 +1,52 @@
+// Per-layer shape descriptors — everything Odin's models need to know about
+// a neural layer to map it onto ReRAM crossbars and cost it.
+//
+// A layer is treated as the matrix-vector multiplication it lowers to:
+//   fan_in  = rows of the weight matrix (conv: in_ch * k * k via im2col)
+//   outputs = columns of the weight matrix (conv: out channels)
+//   spatial_positions = how many times the MVM is applied per input sample
+//                       (conv: output H*W; fc: 1; transformer: token count)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace odin::dnn {
+
+enum class LayerType {
+  kConv,            ///< spatial convolution (includes 1x1 projections)
+  kFullyConnected,  ///< classifier / MLP layer
+  kAttention,       ///< transformer projection (qkv / output / mlp)
+  /// Depthwise convolution: lowered to a block-diagonal weight matrix
+  /// (each output channel reads only its own k*k patch), i.e. structural
+  /// sparsity of 1 - 1/channels — an extreme stress test for OU skipping.
+  kDepthwise,
+};
+
+struct LayerDescriptor {
+  std::string name;
+  LayerType type = LayerType::kConv;
+  int index = 0;        ///< 0-based position in the network (feature Phi_1)
+  int kernel = 1;       ///< kernel size (feature Phi_3; 1 for fc/attention)
+  int in_channels = 0;
+  int out_channels = 0;
+  int fan_in = 0;       ///< MVM rows
+  int outputs = 0;      ///< MVM cols
+  int spatial_positions = 1;
+  double weight_sparsity = 0.0;  ///< zero fraction after pruning (Phi_2)
+  /// Expected zero fraction of this layer's *input* activations (post-ReLU
+  /// feature maps are typically ~half zero). Used by the optional
+  /// activation-skipping modes of the cost model; 0 disables the effect.
+  double activation_sparsity = 0.0;
+
+  /// Total weight count of the lowered matrix.
+  std::int64_t weight_count() const noexcept {
+    return static_cast<std::int64_t>(fan_in) * outputs;
+  }
+  /// Multiply-accumulate operations per input sample.
+  std::int64_t macs() const noexcept {
+    return weight_count() * spatial_positions;
+  }
+};
+
+}  // namespace odin::dnn

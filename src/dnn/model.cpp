@@ -1,0 +1,39 @@
+#include "dnn/model.hpp"
+
+namespace odin::dnn {
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kResNet: return "ResNet";
+    case Family::kVgg: return "VGG";
+    case Family::kGoogLeNet: return "GoogLeNet";
+    case Family::kDenseNet: return "DenseNet";
+    case Family::kViT: return "ViT";
+    case Family::kMobileNet: return "MobileNet";
+  }
+  return "?";
+}
+
+std::int64_t DnnModel::total_weights() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.weight_count();
+  return n;
+}
+
+std::int64_t DnnModel::total_macs() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.macs();
+  return n;
+}
+
+double DnnModel::overall_sparsity() const noexcept {
+  double weighted = 0.0;
+  std::int64_t total = 0;
+  for (const auto& l : layers) {
+    weighted += l.weight_sparsity * static_cast<double>(l.weight_count());
+    total += l.weight_count();
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace odin::dnn

@@ -1,0 +1,32 @@
+// A DNN workload: an ordered list of layer descriptors plus the metadata
+// Odin's leave-one-family-out evaluation needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dnn/layer_desc.hpp"
+
+namespace odin::dnn {
+
+/// Architectural family, used for the paper's "offline policy trained on
+/// (N-1) families, evaluated on the held-out one" protocol.
+enum class Family { kResNet, kVgg, kGoogLeNet, kDenseNet, kViT, kMobileNet };
+
+std::string family_name(Family f);
+
+struct DnnModel {
+  std::string name;
+  Family family = Family::kResNet;
+  data::DatasetKind dataset = data::DatasetKind::kCifar10;
+  std::vector<LayerDescriptor> layers;
+
+  std::int64_t total_weights() const noexcept;
+  std::int64_t total_macs() const noexcept;
+  /// Mean weight sparsity across layers, weight-count weighted.
+  double overall_sparsity() const noexcept;
+};
+
+}  // namespace odin::dnn

@@ -1,0 +1,128 @@
+#include "dnn/pruning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace odin::dnn {
+namespace {
+
+/// Deterministic per-(layer, row) generator: both pruning passes must see
+/// identical magnitude streams.
+common::Rng row_rng(std::uint64_t layer_seed, int row) {
+  std::uint64_t s = layer_seed ^ (0xd1b54a32d192ed03ULL *
+                                  (static_cast<std::uint64_t>(row) + 1));
+  return common::Rng(common::splitmix64(s));
+}
+
+double row_importance(common::Rng& rng, double sigma) {
+  return std::exp(sigma * rng.normal());
+}
+
+}  // namespace
+
+double target_sparsity(const LayerDescriptor& layer) {
+  if (layer.type == LayerType::kDepthwise) {
+    // Structural block-diagonal zeros dominate; within each k*k filter
+    // block only mild magnitude pruning is possible.
+    const double per_filter = static_cast<double>(layer.kernel) *
+                              layer.kernel / layer.fan_in;
+    return std::clamp(1.0 - per_filter * 0.9, 0.10, 0.999);
+  }
+  double s = 0.16 * std::log(static_cast<double>(layer.fan_in)) - 0.28;
+  if (layer.type == LayerType::kConv && layer.kernel == 1) s -= 0.15;
+  if (layer.type == LayerType::kFullyConnected) s -= 0.08;
+  if (layer.type == LayerType::kAttention) s -= 0.05;
+  return std::clamp(s, 0.10, 0.80);
+}
+
+/// Depthwise layers are block-diagonal by construction: column c's weights
+/// live in rows [k*k*c, k*k*(c+1)); ~10% of in-block weights are magnitude
+/// pruned.
+WeightPattern prune_depthwise(const LayerDescriptor& layer,
+                              std::uint64_t seed) {
+  const int filter = layer.kernel * layer.kernel;
+  WeightPattern pattern(layer.fan_in, layer.outputs);
+  common::Rng rng(seed ^ 0xdee9f11ceULL);
+  for (int c = 0; c < layer.outputs; ++c) {
+    bool any = false;
+    for (int t = 0; t < filter; ++t) {
+      const int r = c * filter + t;
+      if (r >= layer.fan_in) break;
+      if (rng.bernoulli(0.9)) {
+        pattern.set(r, c);
+        any = true;
+      }
+    }
+    if (!any && c * filter < layer.fan_in) pattern.set(c * filter, c);
+  }
+  return pattern;
+}
+
+WeightPattern prune_layer(const LayerDescriptor& layer, std::uint64_t seed,
+                          const PruningConfig& config) {
+  assert(layer.fan_in > 0 && layer.outputs > 0);
+  if (layer.type == LayerType::kDepthwise)
+    return prune_depthwise(layer, seed);
+  common::Rng jitter_rng(seed ^ 0xabcdef12345ULL);
+  const double target = std::clamp(
+      target_sparsity(layer) +
+          jitter_rng.uniform(-config.sparsity_jitter, config.sparsity_jitter),
+      0.05, 0.95);
+
+  const std::int64_t total = layer.weight_count();
+  const std::int64_t stride =
+      std::max<std::int64_t>(1, total / config.quantile_samples);
+
+  // Pass 1: strided sample of magnitudes -> quantile threshold.
+  std::vector<double> sample;
+  sample.reserve(static_cast<std::size_t>(total / stride + 1));
+  std::int64_t flat = 0;
+  for (int r = 0; r < layer.fan_in; ++r) {
+    common::Rng rng = row_rng(seed, r);
+    const double imp = row_importance(rng, config.row_importance_sigma);
+    for (int c = 0; c < layer.outputs; ++c, ++flat) {
+      const double mag = imp * std::abs(rng.normal());
+      if (flat % stride == 0) sample.push_back(mag);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  const auto cut = static_cast<std::size_t>(
+      target * static_cast<double>(sample.size()));
+  const double threshold =
+      cut >= sample.size() ? sample.back() + 1.0 : sample[cut];
+
+  // Pass 2: regenerate the identical stream; keep weights above threshold.
+  WeightPattern pattern(layer.fan_in, layer.outputs);
+  for (int r = 0; r < layer.fan_in; ++r) {
+    common::Rng rng = row_rng(seed, r);
+    const double imp = row_importance(rng, config.row_importance_sigma);
+    for (int c = 0; c < layer.outputs; ++c) {
+      const double mag = imp * std::abs(rng.normal());
+      if (mag >= threshold) pattern.set(r, c);
+    }
+  }
+  // Never prune a layer to fully-zero: keep at least one weight so the
+  // mapper always has work (mirrors real pruners' per-layer floors).
+  if (pattern.nonzeros() == 0) pattern.set(0, 0);
+  return pattern;
+}
+
+PrunedModel prune_model(DnnModel model, std::uint64_t seed,
+                        const PruningConfig& config) {
+  PrunedModel out;
+  out.patterns.reserve(model.layers.size());
+  for (auto& layer : model.layers) {
+    const std::uint64_t layer_seed =
+        seed ^ (0x9e3779b97f4a7c15ULL *
+                (static_cast<std::uint64_t>(layer.index) + 17));
+    out.patterns.push_back(prune_layer(layer, layer_seed, config));
+    layer.weight_sparsity = out.patterns.back().sparsity();
+  }
+  out.model = std::move(model);
+  return out;
+}
+
+}  // namespace odin::dnn

@@ -1,0 +1,363 @@
+#include "dnn/zoo.hpp"
+
+#include <cassert>
+
+namespace odin::dnn {
+namespace {
+
+/// Incrementally builds a model while tracking the spatial feature-map size,
+/// so spatial_positions is always consistent with the stride history.
+class Builder {
+ public:
+  Builder(std::string name, Family family, data::DatasetKind dataset)
+      : spec_(data::DatasetSpec::for_kind(dataset)) {
+    model_.name = std::move(name);
+    model_.family = family;
+    model_.dataset = dataset;
+    h_ = spec_.height;
+    w_ = spec_.width;
+    channels_ = spec_.channels;
+  }
+
+  int channels() const noexcept { return channels_; }
+  int height() const noexcept { return h_; }
+  int classes() const noexcept { return spec_.classes; }
+
+  /// Square conv, `same` padding unless stride shrinks the map.
+  Builder& conv(std::string name, int out_channels, int kernel,
+                int stride = 1) {
+    h_ = out_dim(h_, kernel, stride);
+    w_ = out_dim(w_, kernel, stride);
+    push(std::move(name), LayerType::kConv, kernel, channels_, out_channels,
+         channels_ * kernel * kernel, out_channels, h_ * w_);
+    channels_ = out_channels;
+    return *this;
+  }
+
+  /// Conv that reads from an explicit input-channel count (inception /
+  /// dense-block branches where `channels_` tracking does not apply).
+  Builder& conv_from(std::string name, int in_channels, int out_channels,
+                     int kernel) {
+    push(std::move(name), LayerType::kConv, kernel, in_channels, out_channels,
+         in_channels * kernel * kernel, out_channels, h_ * w_);
+    return *this;
+  }
+
+  Builder& pool(int stride = 2) {
+    h_ /= stride;
+    w_ /= stride;
+    return *this;
+  }
+
+  Builder& set_channels(int c) {
+    channels_ = c;
+    return *this;
+  }
+
+  Builder& global_pool() {
+    h_ = 1;
+    w_ = 1;
+    return *this;
+  }
+
+  Builder& fc(std::string name, int in_features, int out_features) {
+    push(std::move(name), LayerType::kFullyConnected, 1, in_features,
+         out_features, in_features, out_features, 1);
+    return *this;
+  }
+
+  /// Depthwise 3x3 conv: one k*k filter per channel; the lowered matrix is
+  /// block-diagonal [9C x C].
+  Builder& depthwise(std::string name, int kernel, int stride = 1) {
+    h_ = out_dim(h_, kernel, stride);
+    w_ = out_dim(w_, kernel, stride);
+    push(std::move(name), LayerType::kDepthwise, kernel, channels_,
+         channels_, channels_ * kernel * kernel, channels_, h_ * w_);
+    return *this;
+  }
+
+  /// Transformer projection applied per token.
+  Builder& attention(std::string name, int in_features, int out_features,
+                     int tokens) {
+    push(std::move(name), LayerType::kAttention, 1, in_features, out_features,
+         in_features, out_features, tokens);
+    return *this;
+  }
+
+  DnnModel build() { return std::move(model_); }
+
+ private:
+  static int out_dim(int dim, int kernel, int stride) {
+    // `same` padding: output = ceil(dim / stride).
+    (void)kernel;
+    return (dim + stride - 1) / stride;
+  }
+
+  void push(std::string name, LayerType type, int kernel, int in_ch,
+            int out_ch, int fan_in, int outputs, int positions) {
+    LayerDescriptor l;
+    l.name = std::move(name);
+    l.type = type;
+    l.index = static_cast<int>(model_.layers.size());
+    l.kernel = kernel;
+    l.in_channels = in_ch;
+    l.out_channels = out_ch;
+    l.fan_in = fan_in;
+    l.outputs = outputs;
+    l.spatial_positions = positions;
+    l.activation_sparsity = typical_activation_sparsity(l);
+    model_.layers.push_back(std::move(l));
+  }
+
+  /// Standard empirical activation sparsity: the first layer reads dense
+  /// pixels; post-ReLU feature maps are ~45% zero; classifier inputs after
+  /// global pooling ~30%; transformer activations (GELU-ish) ~15%.
+  static double typical_activation_sparsity(const LayerDescriptor& l) {
+    if (l.index == 0) return 0.0;
+    switch (l.type) {
+      case LayerType::kConv: return 0.45;
+      case LayerType::kDepthwise: return 0.45;
+      case LayerType::kFullyConnected: return 0.30;
+      case LayerType::kAttention: return 0.15;
+    }
+    return 0.0;
+  }
+
+  data::DatasetSpec spec_;
+  DnnModel model_;
+  int h_ = 0, w_ = 0, channels_ = 0;
+};
+
+DnnModel make_vgg(std::string name, data::DatasetKind dataset,
+                  const std::vector<std::vector<int>>& groups) {
+  Builder b(std::move(name), Family::kVgg, dataset);
+  int gi = 0;
+  for (const auto& group : groups) {
+    int ci = 0;
+    for (int width : group) {
+      b.conv("conv" + std::to_string(gi + 1) + "_" + std::to_string(ci + 1),
+             width, 3);
+      ++ci;
+    }
+    b.pool();
+    ++gi;
+  }
+  const int flat = b.channels() * b.height() * b.height();
+  b.fc("fc1", flat, 512);
+  b.fc("fc2", 512, b.classes());
+  return b.build();
+}
+
+/// One ResNet stage of basic blocks (two 3x3 convs each); the first block
+/// may downsample and then carries a 1x1 projection on the skip path.
+void basic_stage(Builder& b, int stage, int blocks, int width, int stride) {
+  for (int blk = 0; blk < blocks; ++blk) {
+    const int s = blk == 0 ? stride : 1;
+    const bool project = blk == 0 && (s != 1 || b.channels() != width);
+    const int skip_in = b.channels();
+    const std::string base =
+        "conv" + std::to_string(stage) + "_" + std::to_string(blk + 1);
+    b.conv(base + "a", width, 3, s);
+    b.conv(base + "b", width, 3, 1);
+    if (project) b.conv_from(base + "_skip", skip_in, width, 1);
+  }
+}
+
+/// One ResNet stage of bottleneck blocks (1x1 -> 3x3 -> 1x1, expansion 4).
+void bottleneck_stage(Builder& b, int stage, int blocks, int width,
+                      int stride) {
+  const int expanded = width * 4;
+  for (int blk = 0; blk < blocks; ++blk) {
+    const int s = blk == 0 ? stride : 1;
+    const bool project = blk == 0;
+    const int skip_in = b.channels();
+    const std::string base =
+        "conv" + std::to_string(stage) + "_" + std::to_string(blk + 1);
+    b.conv(base + "a", width, 1, 1);
+    b.conv(base + "b", width, 3, s);
+    b.conv(base + "c", expanded, 1, 1);
+    if (project) b.conv_from(base + "_skip", skip_in, expanded, 1);
+  }
+}
+
+DnnModel make_resnet_basic(std::string name, data::DatasetKind dataset,
+                           const std::vector<int>& blocks) {
+  Builder b(std::move(name), Family::kResNet, dataset);
+  b.conv("conv1", 64, 3, 1);
+  basic_stage(b, 2, blocks[0], 64, 1);
+  basic_stage(b, 3, blocks[1], 128, 2);
+  basic_stage(b, 4, blocks[2], 256, 2);
+  basic_stage(b, 5, blocks[3], 512, 2);
+  b.global_pool();
+  b.fc("fc", 512, b.classes());
+  return b.build();
+}
+
+/// GoogLeNet inception module: all six convolutions become layers; the
+/// module output is the concatenation width c1 + c3 + c5 + pp.
+int inception(Builder& b, const std::string& name, int in, int c1, int c3r,
+              int c3, int c5r, int c5, int pp) {
+  b.conv_from(name + "_1x1", in, c1, 1);
+  b.conv_from(name + "_3x3r", in, c3r, 1);
+  b.conv_from(name + "_3x3", c3r, c3, 3);
+  b.conv_from(name + "_5x5r", in, c5r, 1);
+  b.conv_from(name + "_5x5", c5r, c5, 5);
+  b.conv_from(name + "_pool", in, pp, 1);
+  const int out = c1 + c3 + c5 + pp;
+  b.set_channels(out);
+  return out;
+}
+
+}  // namespace
+
+DnnModel make_vgg11(data::DatasetKind dataset) {
+  return make_vgg("VGG11", dataset,
+                  {{64}, {128}, {256, 256}, {512, 512}, {512, 512}});
+}
+
+DnnModel make_vgg16(data::DatasetKind dataset) {
+  return make_vgg("VGG16", dataset,
+                  {{64, 64},
+                   {128, 128},
+                   {256, 256, 256},
+                   {512, 512, 512},
+                   {512, 512, 512}});
+}
+
+DnnModel make_vgg19(data::DatasetKind dataset) {
+  return make_vgg("VGG19", dataset,
+                  {{64, 64},
+                   {128, 128},
+                   {256, 256, 256, 256},
+                   {512, 512, 512, 512},
+                   {512, 512, 512, 512}});
+}
+
+DnnModel make_resnet18(data::DatasetKind dataset) {
+  return make_resnet_basic("ResNet18", dataset, {2, 2, 2, 2});
+}
+
+DnnModel make_resnet34(data::DatasetKind dataset) {
+  return make_resnet_basic("ResNet34", dataset, {3, 4, 6, 3});
+}
+
+DnnModel make_resnet50(data::DatasetKind dataset) {
+  Builder b("ResNet50", Family::kResNet, dataset);
+  b.conv("conv1", 64, 3, 1);
+  bottleneck_stage(b, 2, 3, 64, 1);
+  bottleneck_stage(b, 3, 4, 128, 2);
+  bottleneck_stage(b, 4, 6, 256, 2);
+  bottleneck_stage(b, 5, 3, 512, 2);
+  b.global_pool();
+  b.fc("fc", 2048, b.classes());
+  return b.build();
+}
+
+DnnModel make_googlenet(data::DatasetKind dataset) {
+  Builder b("GoogLeNet", Family::kGoogLeNet, dataset);
+  b.conv("conv1", 64, 3, 1);
+  b.conv("conv2_1x1", 64, 1, 1);
+  b.conv("conv2_3x3", 192, 3, 1);
+  int ch = 192;
+  ch = inception(b, "3a", ch, 64, 96, 128, 16, 32, 32);
+  ch = inception(b, "3b", ch, 128, 128, 192, 32, 96, 64);
+  b.pool();
+  ch = inception(b, "4a", ch, 192, 96, 208, 16, 48, 64);
+  ch = inception(b, "4b", ch, 160, 112, 224, 24, 64, 64);
+  ch = inception(b, "4c", ch, 128, 128, 256, 24, 64, 64);
+  ch = inception(b, "4d", ch, 112, 144, 288, 32, 64, 64);
+  ch = inception(b, "4e", ch, 256, 160, 320, 32, 128, 128);
+  b.pool();
+  ch = inception(b, "5a", ch, 256, 160, 320, 32, 128, 128);
+  ch = inception(b, "5b", ch, 384, 192, 384, 48, 128, 128);
+  b.global_pool();
+  b.fc("fc", ch, b.classes());
+  return b.build();
+}
+
+DnnModel make_densenet121(data::DatasetKind dataset) {
+  constexpr int kGrowth = 32;
+  constexpr int kBottleneck = 4 * kGrowth;
+  Builder b("DenseNet121", Family::kDenseNet, dataset);
+  b.conv("conv1", 2 * kGrowth, 3, 1);
+  int ch = 2 * kGrowth;
+  const int block_sizes[4] = {6, 12, 24, 16};
+  for (int blk = 0; blk < 4; ++blk) {
+    for (int layer = 0; layer < block_sizes[blk]; ++layer) {
+      const std::string base = "dense" + std::to_string(blk + 1) + "_" +
+                               std::to_string(layer + 1);
+      b.conv_from(base + "_1x1", ch, kBottleneck, 1);
+      b.conv_from(base + "_3x3", kBottleneck, kGrowth, 3);
+      ch += kGrowth;
+    }
+    if (blk < 3) {
+      // Transition: 1x1 conv halving channels, then 2x2 average pool.
+      ch /= 2;
+      b.set_channels(ch);
+      b.conv("trans" + std::to_string(blk + 1), ch, 1, 1);
+      b.pool();
+    }
+  }
+  b.set_channels(ch);
+  b.global_pool();
+  b.fc("fc", ch, b.classes());
+  return b.build();
+}
+
+DnnModel make_vit(data::DatasetKind dataset) {
+  // ViT-Lite configuration suited to 32x32: patch 4, dim 256, depth 6,
+  // MLP ratio 4. Token count = (H/4)*(W/4) + 1 class token.
+  constexpr int kPatch = 4;
+  constexpr int kDim = 256;
+  constexpr int kDepth = 6;
+  Builder b("ViT", Family::kViT, dataset);
+  const auto spec = data::DatasetSpec::for_kind(dataset);
+  const int tokens = (spec.height / kPatch) * (spec.width / kPatch) + 1;
+  b.conv("patch_embed", kDim, kPatch, kPatch);
+  for (int d = 0; d < kDepth; ++d) {
+    const std::string base = "block" + std::to_string(d + 1);
+    b.attention(base + "_qkv", kDim, 3 * kDim, tokens);
+    b.attention(base + "_proj", kDim, kDim, tokens);
+    b.attention(base + "_mlp1", kDim, 4 * kDim, tokens);
+    b.attention(base + "_mlp2", 4 * kDim, kDim, tokens);
+  }
+  b.fc("head", kDim, b.classes());
+  return b.build();
+}
+
+DnnModel make_mobilenetv1(data::DatasetKind dataset) {
+  Builder b("MobileNetV1", Family::kMobileNet, dataset);
+  b.conv("conv1", 32, 3, 1);
+  struct Stage {
+    int out_channels, stride;
+  };
+  const Stage stages[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                          {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                          {512, 1}, {1024, 2}, {1024, 1}};
+  int i = 0;
+  for (const Stage& s : stages) {
+    ++i;
+    b.depthwise("dw" + std::to_string(i), 3, s.stride);
+    b.conv("pw" + std::to_string(i), s.out_channels, 1, 1);
+  }
+  b.global_pool();
+  b.fc("fc", 1024, b.classes());
+  return b.build();
+}
+
+std::vector<DnnModel> paper_workloads() {
+  using data::DatasetKind;
+  std::vector<DnnModel> w;
+  w.push_back(make_resnet18(DatasetKind::kCifar10));
+  w.push_back(make_vgg11(DatasetKind::kCifar10));
+  w.push_back(make_googlenet(DatasetKind::kCifar10));
+  w.push_back(make_densenet121(DatasetKind::kCifar10));
+  w.push_back(make_vit(DatasetKind::kCifar10));
+  w.push_back(make_resnet34(DatasetKind::kCifar100));
+  w.push_back(make_vgg16(DatasetKind::kCifar100));
+  w.push_back(make_resnet50(DatasetKind::kTinyImageNet));
+  w.push_back(make_vgg19(DatasetKind::kTinyImageNet));
+  return w;
+}
+
+}  // namespace odin::dnn

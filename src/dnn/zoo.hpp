@@ -1,0 +1,38 @@
+// Model zoo: layer-accurate shape descriptions of the nine DNN workloads the
+// paper evaluates (Sec. V-A). Architectures follow the canonical papers with
+// the usual CIFAR-style stem adaptations (3x3 stride-1 first conv, no
+// aggressive early downsampling) for 32x32 / 64x64 inputs.
+//
+// Skip-connection projection (downsample) convolutions are included as their
+// own layers — Fig. 3 plots ResNet18 "including skip connections", and those
+// 1x1 layers are exactly the low-sparsity layers (13, 18) the paper calls
+// out as receiving coarse OUs.
+#pragma once
+
+#include <vector>
+
+#include "dnn/model.hpp"
+
+namespace odin::dnn {
+
+DnnModel make_vgg11(data::DatasetKind dataset);
+DnnModel make_vgg16(data::DatasetKind dataset);
+DnnModel make_vgg19(data::DatasetKind dataset);
+DnnModel make_resnet18(data::DatasetKind dataset);
+DnnModel make_resnet34(data::DatasetKind dataset);
+DnnModel make_resnet50(data::DatasetKind dataset);
+DnnModel make_googlenet(data::DatasetKind dataset);
+DnnModel make_densenet121(data::DatasetKind dataset);
+DnnModel make_vit(data::DatasetKind dataset);
+
+/// Extension beyond the paper's zoo: MobileNetV1, whose depthwise layers
+/// lower to block-diagonal (1 - 1/C sparse) matrices — the extreme case
+/// for OU-level zero skipping.
+DnnModel make_mobilenetv1(data::DatasetKind dataset);
+
+/// The paper's nine workload (model, dataset) pairs, in Fig. 8 order:
+/// ResNet18, VGG11, GoogLeNet, DenseNet121, ViT on CIFAR-10; ResNet34,
+/// VGG16 on CIFAR-100; ResNet50, VGG19 on TinyImageNet.
+std::vector<DnnModel> paper_workloads();
+
+}  // namespace odin::dnn

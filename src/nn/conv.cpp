@@ -1,0 +1,87 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odin::nn {
+
+Matrix im2col(const Image& img, const ConvSpec& spec) {
+  assert(img.channels == spec.in_channels);
+  const int oh = spec.out_dim(img.height);
+  const int ow = spec.out_dim(img.width);
+  Matrix out(static_cast<std::size_t>(oh) * ow,
+             static_cast<std::size_t>(spec.patch_size()));
+  std::size_t row = 0;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox, ++row) {
+      std::size_t col = 0;
+      for (int c = 0; c < spec.in_channels; ++c) {
+        for (int ky = 0; ky < spec.kernel; ++ky) {
+          for (int kx = 0; kx < spec.kernel; ++kx, ++col) {
+            const int y = oy * spec.stride + ky - spec.padding;
+            const int x = ox * spec.stride + kx - spec.padding;
+            const bool inside =
+                y >= 0 && y < img.height && x >= 0 && x < img.width;
+            out(row, col) = inside ? img.at(c, y, x) : 0.0;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Image conv2d(const Image& img, const ConvSpec& spec, const Matrix& weights,
+             std::span<const double> bias) {
+  assert(weights.rows() == static_cast<std::size_t>(spec.patch_size()));
+  assert(weights.cols() == static_cast<std::size_t>(spec.out_channels));
+  assert(bias.size() == static_cast<std::size_t>(spec.out_channels));
+  const int oh = spec.out_dim(img.height);
+  const int ow = spec.out_dim(img.width);
+  const Matrix cols = im2col(img, spec);
+  const Matrix prod = matmul(cols, weights);  // [positions x out_channels]
+  Image out{spec.out_channels, oh, ow,
+            std::vector<double>(
+                static_cast<std::size_t>(spec.out_channels) * oh * ow)};
+  for (int oc = 0; oc < spec.out_channels; ++oc)
+    for (int p = 0; p < oh * ow; ++p)
+      out.data[static_cast<std::size_t>(oc) * oh * ow + p] =
+          prod(static_cast<std::size_t>(p), static_cast<std::size_t>(oc)) +
+          bias[static_cast<std::size_t>(oc)];
+  return out;
+}
+
+Image maxpool2(const Image& img) {
+  const int oh = img.height / 2;
+  const int ow = img.width / 2;
+  Image out{img.channels, oh, ow,
+            std::vector<double>(
+                static_cast<std::size_t>(img.channels) * oh * ow)};
+  for (int c = 0; c < img.channels; ++c)
+    for (int y = 0; y < oh; ++y)
+      for (int x = 0; x < ow; ++x)
+        out.at(c, y, x) = std::max(
+            std::max(img.at(c, 2 * y, 2 * x), img.at(c, 2 * y, 2 * x + 1)),
+            std::max(img.at(c, 2 * y + 1, 2 * x),
+                     img.at(c, 2 * y + 1, 2 * x + 1)));
+  return out;
+}
+
+void relu_inplace(Image& img) {
+  for (double& v : img.data)
+    if (v < 0.0) v = 0.0;
+}
+
+std::vector<double> global_avg_pool(const Image& img) {
+  std::vector<double> out(static_cast<std::size_t>(img.channels), 0.0);
+  const double inv = 1.0 / static_cast<double>(img.height * img.width);
+  for (int c = 0; c < img.channels; ++c) {
+    double acc = 0.0;
+    for (int y = 0; y < img.height; ++y)
+      for (int x = 0; x < img.width; ++x) acc += img.at(c, y, x);
+    out[static_cast<std::size_t>(c)] = acc * inv;
+  }
+  return out;
+}
+
+}  // namespace odin::nn

@@ -1,0 +1,64 @@
+// Convolution via im2col, forward-only.
+//
+// Used to (a) exercise the crossbar-mapped inference path — a conv layer's
+// im2col matrix is exactly the MVM the PIM crossbars execute — and (b) give
+// the Monte-Carlo accuracy evaluator a convolutional reference model whose
+// weights can be perturbed layer by layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace odin::nn {
+
+/// Channel-major image: data[c * h * w + y * w + x].
+struct Image {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  std::vector<double> data;
+
+  double at(int c, int y, int x) const noexcept {
+    return data[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  double& at(int c, int y, int x) noexcept {
+    return data[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  std::size_t size() const noexcept { return data.size(); }
+};
+
+struct ConvSpec {
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 3;
+  int stride = 1;
+  int padding = 1;
+
+  int out_dim(int in_dim) const noexcept {
+    return (in_dim + 2 * padding - kernel) / stride + 1;
+  }
+  /// Rows of the im2col matrix == fan-in of one output pixel.
+  int patch_size() const noexcept { return in_channels * kernel * kernel; }
+};
+
+/// Lower `img` into a [positions x patch_size] matrix; row p holds the
+/// receptive field of output pixel p (zero padding applied).
+Matrix im2col(const Image& img, const ConvSpec& spec);
+
+/// conv weights as a [patch_size x out_channels] matrix -> output image.
+Image conv2d(const Image& img, const ConvSpec& spec, const Matrix& weights,
+             std::span<const double> bias);
+
+/// 2x2 max-pool with stride 2.
+Image maxpool2(const Image& img);
+
+/// Elementwise ReLU.
+void relu_inplace(Image& img);
+
+/// Global average pool -> one value per channel.
+std::vector<double> global_avg_pool(const Image& img);
+
+}  // namespace odin::nn

@@ -1,0 +1,150 @@
+#include "nn/conv_layer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace odin::nn {
+
+Image col2im(const Matrix& cols, const ConvSpec& spec, int in_h, int in_w) {
+  Image img{spec.in_channels, in_h, in_w,
+            std::vector<double>(
+                static_cast<std::size_t>(spec.in_channels) * in_h * in_w,
+                0.0)};
+  const int oh = spec.out_dim(in_h);
+  const int ow = spec.out_dim(in_w);
+  assert(cols.rows() == static_cast<std::size_t>(oh) * ow);
+  assert(cols.cols() == static_cast<std::size_t>(spec.patch_size()));
+  std::size_t row = 0;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox, ++row) {
+      std::size_t col = 0;
+      for (int c = 0; c < spec.in_channels; ++c) {
+        for (int ky = 0; ky < spec.kernel; ++ky) {
+          for (int kx = 0; kx < spec.kernel; ++kx, ++col) {
+            const int y = oy * spec.stride + ky - spec.padding;
+            const int x = ox * spec.stride + kx - spec.padding;
+            if (y >= 0 && y < in_h && x >= 0 && x < in_w)
+              img.at(c, y, x) += cols(row, col);
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Conv2dLayer::Conv2dLayer(ConvSpec spec, int in_h, int in_w,
+                         common::Rng& rng)
+    : spec_(spec), in_h_(in_h), in_w_(in_w), out_h_(spec.out_dim(in_h)),
+      out_w_(spec.out_dim(in_w)) {
+  const double stddev =
+      std::sqrt(2.0 / static_cast<double>(spec.patch_size()));
+  weight_.value = Matrix::randn(static_cast<std::size_t>(spec.patch_size()),
+                                static_cast<std::size_t>(spec.out_channels),
+                                stddev, rng);
+  weight_.grad = Matrix(weight_.value.rows(), weight_.value.cols());
+  bias_.value = Matrix(1, static_cast<std::size_t>(spec.out_channels));
+  bias_.grad = Matrix(1, static_cast<std::size_t>(spec.out_channels));
+}
+
+Matrix Conv2dLayer::forward(const Matrix& input) {
+  const std::size_t in_features =
+      static_cast<std::size_t>(spec_.in_channels) * in_h_ * in_w_;
+  assert(input.cols() == in_features);
+  (void)in_features;
+  const std::size_t positions = static_cast<std::size_t>(out_h_) * out_w_;
+  Matrix out(input.rows(), out_features());
+  cached_cols_.clear();
+  cached_cols_.reserve(input.rows());
+  for (std::size_t n = 0; n < input.rows(); ++n) {
+    Image img{spec_.in_channels, in_h_, in_w_,
+              std::vector<double>(input.row(n).begin(), input.row(n).end())};
+    Matrix cols = im2col(img, spec_);
+    const Matrix prod = matmul(cols, weight_.value);  // [pos x OC]
+    for (int oc = 0; oc < spec_.out_channels; ++oc)
+      for (std::size_t p = 0; p < positions; ++p)
+        out(n, static_cast<std::size_t>(oc) * positions + p) =
+            prod(p, static_cast<std::size_t>(oc)) + bias_.value(0, static_cast<std::size_t>(oc));
+    cached_cols_.push_back(std::move(cols));
+  }
+  return out;
+}
+
+Matrix Conv2dLayer::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == cached_cols_.size());
+  const std::size_t positions = static_cast<std::size_t>(out_h_) * out_w_;
+  Matrix grad_input(grad_output.rows(),
+                    static_cast<std::size_t>(spec_.in_channels) * in_h_ *
+                        in_w_);
+  for (std::size_t n = 0; n < grad_output.rows(); ++n) {
+    // Reshape the flattened row gradient into [positions x out_channels].
+    Matrix dout(positions, static_cast<std::size_t>(spec_.out_channels));
+    for (int oc = 0; oc < spec_.out_channels; ++oc)
+      for (std::size_t p = 0; p < positions; ++p)
+        dout(p, static_cast<std::size_t>(oc)) =
+            grad_output(n, static_cast<std::size_t>(oc) * positions + p);
+    // dW += cols^T * dout ; db += column sums ; dcols = dout * W^T.
+    axpy(1.0, matmul_at_b(cached_cols_[n], dout), weight_.grad);
+    for (std::size_t p = 0; p < positions; ++p)
+      for (int oc = 0; oc < spec_.out_channels; ++oc)
+        bias_.grad(0, static_cast<std::size_t>(oc)) +=
+            dout(p, static_cast<std::size_t>(oc));
+    const Matrix dcols = matmul_a_bt(dout, weight_.value);
+    const Image dimg = col2im(dcols, spec_, in_h_, in_w_);
+    auto dst = grad_input.row(n);
+    std::copy(dimg.data.begin(), dimg.data.end(), dst.begin());
+  }
+  return grad_input;
+}
+
+MaxPool2Layer::MaxPool2Layer(int channels, int in_h, int in_w)
+    : channels_(channels), in_h_(in_h), in_w_(in_w) {
+  assert(in_h % 2 == 0 && in_w % 2 == 0);
+}
+
+Matrix MaxPool2Layer::forward(const Matrix& input) {
+  const int oh = in_h_ / 2, ow = in_w_ / 2;
+  assert(input.cols() ==
+         static_cast<std::size_t>(channels_) * in_h_ * in_w_);
+  Matrix out(input.rows(), out_features());
+  argmax_.assign(input.rows(), {});
+  for (std::size_t n = 0; n < input.rows(); ++n) {
+    auto row = input.row(n);
+    auto& winners = argmax_[n];
+    winners.resize(out_features());
+    std::size_t o = 0;
+    for (int c = 0; c < channels_; ++c) {
+      const std::size_t base = static_cast<std::size_t>(c) * in_h_ * in_w_;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++o) {
+          std::size_t best_idx = base + static_cast<std::size_t>(2 * y) * in_w_ + 2 * x;
+          double best = row[best_idx];
+          const std::size_t candidates[3] = {
+              base + static_cast<std::size_t>(2 * y) * in_w_ + 2 * x + 1,
+              base + static_cast<std::size_t>(2 * y + 1) * in_w_ + 2 * x,
+              base + static_cast<std::size_t>(2 * y + 1) * in_w_ + 2 * x + 1};
+          for (std::size_t idx : candidates)
+            if (row[idx] > best) {
+              best = row[idx];
+              best_idx = idx;
+            }
+          out(n, o) = best;
+          winners[o] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPool2Layer::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == argmax_.size());
+  Matrix grad_input(grad_output.rows(),
+                    static_cast<std::size_t>(channels_) * in_h_ * in_w_);
+  for (std::size_t n = 0; n < grad_output.rows(); ++n)
+    for (std::size_t o = 0; o < argmax_[n].size(); ++o)
+      grad_input(n, argmax_[n][o]) += grad_output(n, o);
+  return grad_input;
+}
+
+}  // namespace odin::nn

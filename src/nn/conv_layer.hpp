@@ -1,0 +1,62 @@
+// Trainable convolution and pooling layers for the Sequential container.
+//
+// The Layer interface is batch-first with flattened rows: a [batch x
+// C*H*W] matrix where each row is a channel-major image. Conv2dLayer
+// lowers each row with im2col (the same lowering the crossbar mapper
+// uses), multiplies by its [patch x out_channels] weight matrix, and
+// backpropagates through col2im — completing the from-scratch engine so
+// convolutional reference networks can be trained in-repo.
+#pragma once
+
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+
+namespace odin::nn {
+
+/// Scatter-add the inverse of im2col: accumulates patch gradients back
+/// into image pixels.
+Image col2im(const Matrix& cols, const ConvSpec& spec, int in_h, int in_w);
+
+class Conv2dLayer final : public Layer {
+ public:
+  Conv2dLayer(ConvSpec spec, int in_h, int in_w, common::Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+
+  const ConvSpec& spec() const noexcept { return spec_; }
+  int out_height() const noexcept { return out_h_; }
+  int out_width() const noexcept { return out_w_; }
+  std::size_t out_features() const noexcept {
+    return static_cast<std::size_t>(spec_.out_channels) * out_h_ * out_w_;
+  }
+
+ private:
+  ConvSpec spec_;
+  int in_h_, in_w_, out_h_, out_w_;
+  Parameter weight_;  ///< [patch_size x out_channels]
+  Parameter bias_;    ///< [1 x out_channels]
+  std::vector<Matrix> cached_cols_;  ///< per-sample im2col matrices
+};
+
+/// 2x2 max pooling with stride 2 on flattened channel-major rows.
+class MaxPool2Layer final : public Layer {
+ public:
+  MaxPool2Layer(int channels, int in_h, int in_w);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+  std::size_t out_features() const noexcept {
+    return static_cast<std::size_t>(channels_) * (in_h_ / 2) * (in_w_ / 2);
+  }
+
+ private:
+  int channels_, in_h_, in_w_;
+  std::vector<std::vector<std::size_t>> argmax_;  ///< winner index per output
+};
+
+}  // namespace odin::nn

@@ -1,0 +1,92 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace odin::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             common::Rng& rng) {
+  // He initialization: suits the ReLU trunks used throughout.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features));
+  weight_.value = Matrix::randn(in_features, out_features, stddev, rng);
+  weight_.grad = Matrix(in_features, out_features);
+  bias_.value = Matrix(1, out_features);
+  bias_.grad = Matrix(1, out_features);
+}
+
+Matrix Dense::forward(const Matrix& input) {
+  assert(input.cols() == weight_.value.rows());
+  cached_input_ = input;
+  Matrix out = matmul(input, weight_.value);
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) += bias_.value(0, c);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == cached_input_.rows());
+  // dW = in^T * dOut ; db = column-sum(dOut) ; dIn = dOut * W^T
+  Matrix dw = matmul_at_b(cached_input_, grad_output);
+  axpy(1.0, dw, weight_.grad);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r)
+    for (std::size_t c = 0; c < grad_output.cols(); ++c)
+      bias_.grad(0, c) += grad_output(r, c);
+  return matmul_a_bt(grad_output, weight_.value);
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (double& v : out.flat())
+    if (v < 0.0) v = 0.0;
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == cached_input_.rows() &&
+         grad_output.cols() == cached_input_.cols());
+  Matrix out = grad_output;
+  auto xin = cached_input_.flat();
+  auto g = out.flat();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (xin[i] <= 0.0) g[i] = 0.0;
+  return out;
+}
+
+Matrix SoftmaxCrossEntropy::softmax(const Matrix& logits) {
+  Matrix probs = logits;
+  for (std::size_t r = 0; r < probs.rows(); ++r)
+    common::softmax_inplace(probs.row(r));
+  return probs;
+}
+
+double SoftmaxCrossEntropy::loss(const Matrix& logits,
+                                 std::span<const int> labels) {
+  assert(labels.size() == logits.rows());
+  probs_ = softmax(logits);
+  labels_.assign(labels.begin(), labels.end());
+  double total = 0.0;
+  for (std::size_t r = 0; r < probs_.rows(); ++r) {
+    const int y = labels_[r];
+    assert(y >= 0 && static_cast<std::size_t>(y) < probs_.cols());
+    total -= std::log(std::max(probs_(r, static_cast<std::size_t>(y)),
+                               1e-300));
+  }
+  return total / static_cast<double>(probs_.rows());
+}
+
+Matrix SoftmaxCrossEntropy::backward() const {
+  Matrix grad = probs_;
+  const double inv_batch = 1.0 / static_cast<double>(grad.rows());
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    grad(r, static_cast<std::size_t>(labels_[r])) -= 1.0;
+    for (std::size_t c = 0; c < grad.cols(); ++c) grad(r, c) *= inv_batch;
+  }
+  return grad;
+}
+
+}  // namespace odin::nn

@@ -1,0 +1,84 @@
+// Trainable layers with explicit forward/backward passes.
+//
+// The engine is batch-first: activations are [batch x features] matrices.
+// Each layer owns its parameters and parameter gradients; optimizers walk
+// the parameter list exposed via `parameters()`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace odin::nn {
+
+/// A parameter tensor paired with its gradient accumulator.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; implementations may cache activations for backward.
+  virtual Matrix forward(const Matrix& input) = 0;
+
+  /// Backward pass: receives dL/d(output), returns dL/d(input), and
+  /// accumulates parameter gradients.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+};
+
+/// Fully connected layer: out = in * W + b. W is [in x out], b is [1 x out].
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+
+  Parameter& weight() noexcept { return weight_; }
+  Parameter& bias() noexcept { return bias_; }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  Matrix cached_input_;
+};
+
+/// Elementwise rectifier.
+class Relu final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Softmax + cross-entropy head, fused for numerical stability.
+/// Not a Layer: it terminates the graph and produces the loss.
+class SoftmaxCrossEntropy {
+ public:
+  /// Row-wise softmax of logits.
+  static Matrix softmax(const Matrix& logits);
+
+  /// Mean cross-entropy of `logits` against integer `labels` (one per row).
+  /// Also stores softmax probabilities for backward().
+  double loss(const Matrix& logits, std::span<const int> labels);
+
+  /// dL/d(logits) for the last loss() call: (p - onehot) / batch.
+  Matrix backward() const;
+
+ private:
+  Matrix probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace odin::nn

@@ -1,0 +1,109 @@
+#include "nn/mlp.hpp"
+
+#include <cassert>
+
+#include "common/math.hpp"
+
+namespace odin::nn {
+
+MultiHeadMlp::MultiHeadMlp(MlpConfig config, std::uint64_t seed)
+    : config_(std::move(config)), losses_(config_.heads.size()) {
+  assert(!config_.heads.empty());
+  common::Rng rng(seed);
+  std::size_t width = config_.inputs;
+  for (std::size_t h : config_.hidden) {
+    trunk_.push_back(std::make_unique<Dense>(width, h, rng));
+    trunk_.push_back(std::make_unique<Relu>());
+    width = h;
+  }
+  for (std::size_t classes : config_.heads)
+    heads_.push_back(std::make_unique<Dense>(width, classes, rng));
+}
+
+std::vector<Matrix> MultiHeadMlp::forward(const Matrix& input) {
+  assert(input.cols() == config_.inputs);
+  Matrix x = input;
+  for (auto& layer : trunk_) x = layer->forward(x);
+  trunk_output_ = x;
+  std::vector<Matrix> logits;
+  logits.reserve(heads_.size());
+  for (auto& head : heads_) logits.push_back(head->forward(x));
+  return logits;
+}
+
+std::vector<std::vector<double>> MultiHeadMlp::predict_proba(
+    std::span<const double> features) {
+  assert(features.size() == config_.inputs);
+  Matrix input(1, config_.inputs);
+  for (std::size_t i = 0; i < features.size(); ++i) input(0, i) = features[i];
+  auto logits = forward(input);
+  std::vector<std::vector<double>> out;
+  out.reserve(logits.size());
+  for (auto& l : logits) {
+    Matrix p = SoftmaxCrossEntropy::softmax(l);
+    out.emplace_back(p.row(0).begin(), p.row(0).end());
+  }
+  return out;
+}
+
+std::vector<int> MultiHeadMlp::predict(std::span<const double> features) {
+  auto probs = predict_proba(features);
+  std::vector<int> out;
+  out.reserve(probs.size());
+  for (auto& p : probs)
+    out.push_back(static_cast<int>(common::argmax(p)));
+  return out;
+}
+
+double MultiHeadMlp::compute_gradients(
+    const Matrix& input, std::span<const std::vector<int>> labels) {
+  assert(labels.size() == heads_.size());
+  zero_gradients();
+  auto logits = forward(input);
+  double total_loss = 0.0;
+  Matrix trunk_grad(trunk_output_.rows(), trunk_output_.cols());
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    total_loss += losses_[h].loss(logits[h], labels[h]);
+    Matrix head_grad = losses_[h].backward();
+    axpy(1.0, heads_[h]->backward(head_grad), trunk_grad);
+  }
+  Matrix g = trunk_grad;
+  for (auto it = trunk_.rbegin(); it != trunk_.rend(); ++it)
+    g = (*it)->backward(g);
+  return total_loss;
+}
+
+std::vector<Dense*> MultiHeadMlp::trunk_dense() {
+  std::vector<Dense*> out;
+  for (auto& layer : trunk_)
+    if (auto* dense = dynamic_cast<Dense*>(layer.get())) out.push_back(dense);
+  return out;
+}
+
+std::vector<Dense*> MultiHeadMlp::head_dense() {
+  std::vector<Dense*> out;
+  out.reserve(heads_.size());
+  for (auto& head : heads_) out.push_back(head.get());
+  return out;
+}
+
+std::vector<Parameter*> MultiHeadMlp::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : trunk_)
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  for (auto& head : heads_)
+    for (Parameter* p : head->parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t MultiHeadMlp::parameter_count() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.size();
+  return n;
+}
+
+void MultiHeadMlp::zero_gradients() {
+  for (Parameter* p : parameters()) p->grad.fill(0.0);
+}
+
+}  // namespace odin::nn

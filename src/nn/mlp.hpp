@@ -1,0 +1,72 @@
+// Multi-head MLP: a shared Dense+ReLU trunk feeding any number of
+// independent softmax classification heads.
+//
+// This is exactly the shape the paper gives Odin's OU policy ("one input
+// layer with ReLU activation and two separate output layers with softmax",
+// Sec. V-A): head 0 classifies the OU height index, head 1 the width index.
+// The same class doubles as the single-head reference classifier used by the
+// Monte-Carlo accuracy evaluator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace odin::nn {
+
+struct MlpConfig {
+  std::size_t inputs = 4;
+  std::vector<std::size_t> hidden = {16};  ///< trunk layer widths
+  std::vector<std::size_t> heads = {6, 6}; ///< classes per output head
+};
+
+class MultiHeadMlp {
+ public:
+  MultiHeadMlp(MlpConfig config, std::uint64_t seed);
+
+  const MlpConfig& config() const noexcept { return config_; }
+
+  /// Per-head logits for a batch of inputs ([batch x inputs]).
+  std::vector<Matrix> forward(const Matrix& input);
+
+  /// Per-head softmax probabilities for one sample.
+  std::vector<std::vector<double>> predict_proba(
+      std::span<const double> features);
+
+  /// Per-head argmax class for one sample.
+  std::vector<int> predict(std::span<const double> features);
+
+  /// One gradient step on a minibatch. `labels[h][r]` is the head-h class of
+  /// row r. Gradients are zeroed, accumulated and returned as the summed
+  /// cross-entropy loss across heads; the caller's optimizer applies them.
+  double compute_gradients(const Matrix& input,
+                           std::span<const std::vector<int>> labels);
+
+  /// All trainable parameters, trunk first, then heads in order.
+  std::vector<Parameter*> parameters();
+
+  /// The Dense layers of the trunk, in forward order (each is followed by a
+  /// ReLU). Exposed for hardware-in-the-loop execution, which re-implements
+  /// the forward pass on crossbar MVMs.
+  std::vector<Dense*> trunk_dense();
+
+  /// The per-head output Dense layers.
+  std::vector<Dense*> head_dense();
+
+  /// Total scalar parameter count (for the paper's storage-overhead math).
+  std::size_t parameter_count();
+
+  void zero_gradients();
+
+ private:
+  MlpConfig config_;
+  std::vector<std::unique_ptr<Layer>> trunk_;
+  std::vector<std::unique_ptr<Dense>> heads_;
+  std::vector<SoftmaxCrossEntropy> losses_;
+  Matrix trunk_output_;  ///< cached for backward
+};
+
+}  // namespace odin::nn

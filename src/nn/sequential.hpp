@@ -1,0 +1,46 @@
+// Sequential: an ordered stack of Layers with a single softmax
+// classification head — the container for convolutional reference models
+// (MultiHeadMlp stays the policy's dedicated shape).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/train.hpp"
+
+namespace odin::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Matrix forward(const Matrix& input);
+
+  /// One gradient accumulation pass (zeroes gradients first); returns the
+  /// mean cross-entropy of the batch.
+  double compute_gradients(const Matrix& input, std::span<const int> labels);
+
+  std::vector<Parameter*> parameters();
+  std::size_t parameter_count();
+  void zero_gradients();
+
+  /// Argmax class of a single sample.
+  int predict(std::span<const double> features);
+
+  /// Fraction of `data` (single-head labels) classified correctly.
+  double accuracy(const Dataset& data);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  SoftmaxCrossEntropy loss_;
+};
+
+/// Minibatch-train a Sequential classifier on a single-head dataset.
+TrainResult fit_sequential(Sequential& model, const Dataset& data,
+                           const TrainOptions& options = {});
+
+}  // namespace odin::nn

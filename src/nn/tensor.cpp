@@ -1,0 +1,58 @@
+#include "nn/tensor.hpp"
+
+namespace odin::nn {
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, double stddev,
+                     common::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.normal(0.0, stddev);
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aki * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(j, k);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void axpy(double alpha, const Matrix& x, Matrix& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  auto xs = x.flat();
+  auto ys = y.flat();
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] += alpha * xs[i];
+}
+
+}  // namespace odin::nn

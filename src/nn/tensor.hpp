@@ -1,0 +1,70 @@
+// Dense row-major matrix — the only tensor shape the from-scratch NN engine
+// needs. Deliberately minimal: contiguous storage, bounds-checked element
+// access in debug builds, and the handful of BLAS-1/2/3 kernels the MLP
+// trainer uses. No expression templates, no views; clarity over cleverness.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace odin::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix randn(std::size_t rows, std::size_t cols, double stddev,
+                      common::Rng& rng);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+
+  void fill(double v) noexcept { data_.assign(data_.size(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b  (dims: [m x k] * [k x n] -> [m x n])
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b  (dims: [k x m]^T * [k x n] -> [m x n])
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T  (dims: [m x k] * [n x k]^T -> [m x n])
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// y += alpha * x, elementwise over equal-shaped matrices.
+void axpy(double alpha, const Matrix& x, Matrix& y);
+
+}  // namespace odin::nn

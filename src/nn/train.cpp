@@ -1,0 +1,153 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace odin::nn {
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto w = params_[i]->value.flat();
+    auto g = params_[i]->grad.flat();
+    auto m = m_[i].flat();
+    auto v = v_[i].flat();
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g[k] * g[k];
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_)
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto w = params_[i]->value.flat();
+    auto g = params_[i]->grad.flat();
+    auto vel = velocity_[i].flat();
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      vel[k] = momentum_ * vel[k] - lr_ * g[k];
+      w[k] += vel[k];
+    }
+  }
+}
+
+namespace {
+
+Matrix gather_rows(const Matrix& src, std::span<const std::size_t> idx) {
+  Matrix out(idx.size(), src.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    auto dst = out.row(r);
+    auto s = src.row(idx[r]);
+    std::copy(s.begin(), s.end(), dst.begin());
+  }
+  return out;
+}
+
+double dataset_loss(MultiHeadMlp& model, const Dataset& data) {
+  // One gradient computation gives the loss; gradients are discarded.
+  std::vector<std::vector<int>> labels(data.labels.begin(),
+                                       data.labels.end());
+  const double loss = model.compute_gradients(data.inputs, labels);
+  model.zero_gradients();
+  return loss;
+}
+
+}  // namespace
+
+TrainResult fit(MultiHeadMlp& model, const Dataset& data,
+                const TrainOptions& options) {
+  assert(data.size() > 0);
+  assert(data.labels.size() == model.config().heads.size());
+
+  Adam optimizer(model.parameters(), options.learning_rate);
+  common::Rng rng(options.shuffle_seed);
+
+  TrainResult result;
+  result.initial_loss = dataset_loss(model, data);
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t heads = data.labels.size();
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j = rng.uniform_index(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    for (std::size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const std::size_t end =
+          std::min(start + options.batch_size, order.size());
+      std::span<const std::size_t> idx{order.data() + start, end - start};
+      Matrix batch = gather_rows(data.inputs, idx);
+      std::vector<std::vector<int>> labels(heads);
+      for (std::size_t h = 0; h < heads; ++h) {
+        labels[h].reserve(idx.size());
+        for (std::size_t i : idx) labels[h].push_back(data.labels[h][i]);
+      }
+      model.compute_gradients(batch, labels);
+      optimizer.step();
+    }
+    ++result.epochs_run;
+  }
+  result.final_loss = dataset_loss(model, data);
+  return result;
+}
+
+double exact_match_accuracy(MultiHeadMlp& model, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto pred = model.predict(data.inputs.row(i));
+    bool all = true;
+    for (std::size_t h = 0; h < pred.size(); ++h)
+      all = all && pred[h] == data.labels[h][i];
+    if (all) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+std::vector<double> per_head_accuracy(MultiHeadMlp& model,
+                                      const Dataset& data) {
+  const std::size_t heads = data.labels.size();
+  std::vector<double> acc(heads, 0.0);
+  if (data.size() == 0) return acc;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto pred = model.predict(data.inputs.row(i));
+    for (std::size_t h = 0; h < heads; ++h)
+      if (pred[h] == data.labels[h][i]) acc[h] += 1.0;
+  }
+  for (double& a : acc) a /= static_cast<double>(data.size());
+  return acc;
+}
+
+}  // namespace odin::nn

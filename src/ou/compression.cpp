@@ -1,0 +1,41 @@
+#include "ou/compression.hpp"
+
+#include <cassert>
+
+namespace odin::ou {
+
+int IndexStorageModel::address_bits() const noexcept {
+  int bits = 0;
+  int v = 1;
+  while (v < crossbar_size_) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits > 0 ? bits : 1;
+}
+
+std::int64_t IndexStorageModel::layer_index_bits(const LayerMapping& mapping,
+                                                 OuConfig config) const {
+  assert(mapping.crossbar_size() == crossbar_size_);
+  const OuCounts& counts = mapping.counts(config);
+  const std::int64_t per_block =
+      static_cast<std::int64_t>(config.rows + config.cols) * address_bits();
+  return counts.live_blocks * per_block;
+}
+
+std::int64_t IndexStorageModel::model_index_bits(const MappedModel& model,
+                                                 OuConfig config) const {
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < model.layer_count(); ++j)
+    total += layer_index_bits(model.mapping(j), config);
+  return total;
+}
+
+std::int64_t IndexStorageModel::model_index_bits_union(
+    const MappedModel& model, std::span<const OuConfig> configs) const {
+  std::int64_t total = 0;
+  for (const OuConfig& cfg : configs) total += model_index_bits(model, cfg);
+  return total;
+}
+
+}  // namespace odin::ou

@@ -1,0 +1,53 @@
+// OU-level weight-compression index storage (paper Sec. II).
+//
+// Prior OU work (Sparse ReRAM Engine [14], zero compression [16]) compresses
+// weights at OU granularity and must therefore store input/output indices —
+// computed OFFLINE — so the right activations reach the compressed rows at
+// runtime. The paper's argument against applying those schemes to
+// drift-adaptive OU sizing: the optimal OU configuration changes over time,
+// so the pre-computed index tables would have to exist for every
+// configuration ever used ("requiring unlimited storage"). Odin instead
+// forms virtual OUs in the controller, paying a small fixed logic area.
+//
+// This model quantifies that trade-off; bench/ablation_index_storage
+// reproduces the argument with numbers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ou/mapped_model.hpp"
+#include "ou/mapper.hpp"
+#include "ou/ou_config.hpp"
+
+namespace odin::ou {
+
+class IndexStorageModel {
+ public:
+  explicit IndexStorageModel(int crossbar_size)
+      : crossbar_size_(crossbar_size) {}
+
+  /// Bits to address one wordline / bitline within a crossbar.
+  int address_bits() const noexcept;
+
+  /// Index storage for one layer under one OU configuration: each live
+  /// block stores the crossbar-local row index of its R rows plus the
+  /// column index of its C columns (the fetch lists of [14]/[16]).
+  std::int64_t layer_index_bits(const LayerMapping& mapping,
+                                OuConfig config) const;
+
+  /// Whole-model storage for a single (homogeneous) configuration.
+  std::int64_t model_index_bits(const MappedModel& model,
+                                OuConfig config) const;
+
+  /// Storage needed if tables must exist for EVERY configuration in
+  /// `configs` (what a stored-table design would need to track Odin's
+  /// time-varying choices).
+  std::int64_t model_index_bits_union(const MappedModel& model,
+                                      std::span<const OuConfig> configs) const;
+
+ private:
+  int crossbar_size_;
+};
+
+}  // namespace odin::ou

@@ -1,0 +1,92 @@
+#include "ou/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace odin::ou {
+
+int CostParams::adc_bits(int rows) const noexcept {
+  assert(rows >= 1);
+  int bits = 0;
+  int v = 1;
+  while (v < rows) {
+    v <<= 1;
+    ++bits;
+  }
+  return std::clamp(bits, adc_min_bits, adc_max_bits);
+}
+
+double CostParams::activation_cycle_factor(
+    int rows, double activation_sparsity) const noexcept {
+  const double s = std::clamp(activation_sparsity, 0.0, 1.0);
+  switch (activation_handling) {
+    case ActivationHandling::kNone:
+      return 1.0;
+    case ActivationHandling::kRowSkip:
+      return 1.0 - std::pow(s, static_cast<double>(rows));
+    case ActivationHandling::kCompaction:
+      return 1.0 - s;
+  }
+  return 1.0;
+}
+
+LayerCost OuCostModel::layer_cost(const OuCounts& counts, OuConfig config,
+                                  double activation_sparsity) const {
+  const double R = static_cast<double>(config.rows);
+  const double C = static_cast<double>(config.cols);
+  const double bits = static_cast<double>(params_.adc_bits(config.rows));
+  const double act =
+      params_.activation_cycle_factor(config.rows, activation_sparsity);
+  const double total_cycles =
+      act * static_cast<double>(counts.total_ou_cycles);
+  const double max_cycles =
+      act * static_cast<double>(counts.max_ou_cycles_per_xbar);
+
+  LayerCost cost;
+  // Paper Eq. 2 (energy, all crossbars) and Eq. 1 (latency, bottleneck
+  // crossbar; crossbars operate in parallel).
+  cost.adc.energy_j = params_.adc_energy_unit_j * bits * R * C * total_cycles;
+  cost.adc.latency_s = params_.adc_latency_unit_s * bits * C * max_cycles;
+
+  double per_cycle_peripheral =
+      params_.fixed_energy_j + params_.dac_energy_per_row_j * R +
+      params_.sh_energy_per_col_j * C + params_.sa_energy_per_col_j * C +
+      params_.array_energy_per_cell_j * R * C +
+      params_.buffer_energy_per_line_j * (R + C);
+  if (params_.activation_handling == ActivationHandling::kCompaction)
+    per_cycle_peripheral += params_.compaction_index_energy_j;
+  cost.peripheral.energy_j = per_cycle_peripheral * total_cycles;
+  cost.peripheral.latency_s = params_.fixed_latency_s * max_cycles;
+  return cost;
+}
+
+double OuCostModel::layer_edp(const OuCounts& counts, OuConfig config,
+                              double activation_sparsity) const {
+  return layer_cost(counts, config, activation_sparsity).edp();
+}
+
+common::EnergyLatency OuCostModel::reprogram_cost(
+    std::int64_t cells, std::int64_t row_writes) const {
+  return common::EnergyLatency{
+      .energy_j = device_.write_energy_per_cell_j *
+                  static_cast<double>(cells),
+      .latency_s = device_.write_latency_per_row_s *
+                   static_cast<double>(row_writes),
+  };
+}
+
+common::EnergyLatency OuCostModel::reprogram_cost(
+    const LayerMapping& mapping) const {
+  const auto& layer = mapping.layer();
+  // Wordlines are written one at a time within a crossbar, but every
+  // output-column band sits in a different crossbar with its own write
+  // drivers, so bands program in parallel: latency is one pass over the
+  // layer's fan-in. Energy still counts every rewritten cell.
+  const std::int64_t row_writes = layer.fan_in;
+  return reprogram_cost(mapping.programmed_cells(), row_writes);
+}
+
+}  // namespace odin::ou

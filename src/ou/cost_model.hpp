@@ -1,0 +1,117 @@
+// Analytical energy / latency / EDP model for OU-based computation.
+//
+// The ADC-dominant terms are the paper's Eqs. 1-2:
+//   Latency ~ C * log2(R) * OU_cycles      (per crossbar; crossbars parallel)
+//   Energy  ~ log2(R) * R * C * OU_cycles  (summed over crossbars)
+// with the ADC precision clamped to Table I's reconfigurable 3..6 bits.
+//
+// Eqs. 1-2 alone make both energy and latency independent of C for dense
+// layers (C cancels against the OU cycle count), which would degenerate the
+// search. Real PIM pipelines are not C-degenerate: each OU cycle also pays
+//   - a fixed wordline-charge / sample-and-hold settling time (latency),
+//   - DAC / wordline drive energy proportional to R,
+//   - S&H and shift-and-add energy proportional to C,
+//   - input/output register traffic proportional to R + C,
+//   - array read energy proportional to R * C.
+// These NeuroSim-style peripheral terms are included with pJ/ns-magnitude
+// defaults (DESIGN.md §4); they produce the interior optima of Fig. 3
+// (fine OUs for sparse/sensitive layers, ~32x32 for dense late layers).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "dnn/layer_desc.hpp"
+#include "ou/mapper.hpp"
+#include "ou/ou_config.hpp"
+#include "reram/device.hpp"
+
+namespace odin::ou {
+
+/// How the pipeline exploits zero *activations* (paper Sec. II: prior OU
+/// work exploits both weight and activation sparsity).
+enum class ActivationHandling {
+  kNone,        ///< every live OU block is computed for every position
+  kRowSkip,     ///< skip an OU cycle when all R input activations are zero
+  kCompaction,  ///< gather non-zero activations (needs input index fetch)
+};
+
+struct CostParams {
+  // --- ADC (paper Eq. 1-2) ---
+  double adc_energy_unit_j = 0.02 * units::pJ;  ///< x bits * R * C per OU
+  double adc_latency_unit_s = 0.83 * units::ns; ///< x bits * C per OU
+  int adc_min_bits = 3;  ///< Table I: reconfigurable precision 3..6 bits
+  int adc_max_bits = 6;
+
+  // --- peripherals, per OU cycle ---
+  /// WL charge + S&H settle. Deliberately small relative to the ADC
+  /// conversion train: Eq. 1's latency structure (C * log2 R per cycle)
+  /// must stay dominant or fine OUs become an order of magnitude slower
+  /// than Eq. 1 predicts, which would contradict the paper's Fig. 8 totals
+  /// for the forced-fine-OU regime late in the drift horizon.
+  double fixed_latency_s = 8.0 * units::ns;
+  /// Cycle-invariant energy: row decode, OU control, IR register access.
+  /// This is what makes very fine OUs (many cycles) energy-hungry — the
+  /// effect behind the paper's "fine-grained OUs cost more energy than
+  /// Odin" observation (Sec. V-C).
+  double fixed_energy_j = 3.0 * units::pJ;
+  double dac_energy_per_row_j = 0.05 * units::pJ;
+  double sh_energy_per_col_j = 0.01 * units::pJ;
+  double sa_energy_per_col_j = 0.03 * units::pJ;   ///< shift-and-add merge
+  double array_energy_per_cell_j = 0.005 * units::pJ;
+  double buffer_energy_per_line_j = 0.02 * units::pJ;  ///< x (R + C)
+
+  // --- activation sparsity (off by default; ablation territory) ---
+  ActivationHandling activation_handling = ActivationHandling::kNone;
+  /// Index-fetch energy per OU cycle when compaction gathers activations.
+  double compaction_index_energy_j = 0.5 * units::pJ;
+
+  /// ADC precision for an OU of height `rows`: clamp(ceil(log2 R), 3, 6).
+  int adc_bits(int rows) const noexcept;
+
+  /// Fraction of OU cycles that still execute given the layer's input
+  /// activation sparsity: 1 for kNone; 1 - s^R for row skipping (the whole
+  /// R-row slice must be zero); 1 - s for compaction.
+  double activation_cycle_factor(int rows,
+                                 double activation_sparsity) const noexcept;
+};
+
+/// Component-resolved cost of executing one layer for one inference.
+struct LayerCost {
+  common::EnergyLatency adc;
+  common::EnergyLatency peripheral;
+  common::EnergyLatency total() const noexcept { return adc + peripheral; }
+  double edp() const noexcept { return total().edp(); }
+};
+
+class OuCostModel {
+ public:
+  OuCostModel(CostParams params, reram::DeviceParams device)
+      : params_(params), device_(device) {}
+
+  const CostParams& params() const noexcept { return params_; }
+
+  /// Inference cost of one layer under `config`, given its OU activity.
+  /// `activation_sparsity` only matters when the params enable an
+  /// activation-handling mode.
+  LayerCost layer_cost(const OuCounts& counts, OuConfig config,
+                       double activation_sparsity = 0.0) const;
+
+  /// Convenience: energy * latency of layer_cost.
+  double layer_edp(const OuCounts& counts, OuConfig config,
+                   double activation_sparsity = 0.0) const;
+
+  /// Cost of reprogramming a layer: every non-zero cell rewritten, rows
+  /// driven band by band. `row_writes` = rows * output-column bands.
+  common::EnergyLatency reprogram_cost(std::int64_t cells,
+                                       std::int64_t row_writes) const;
+
+  /// Reprogramming cost of an entire mapped layer.
+  common::EnergyLatency reprogram_cost(const LayerMapping& mapping) const;
+
+ private:
+  CostParams params_;
+  reram::DeviceParams device_;
+};
+
+}  // namespace odin::ou

@@ -1,0 +1,47 @@
+// MappedModel: a pruned DNN workload bound to a crossbar size, with one
+// LayerMapping per layer. Owns the pruned model on the heap so the mappings'
+// internal pointers stay valid for the object's lifetime.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "dnn/pruning.hpp"
+#include "ou/mapper.hpp"
+
+namespace odin::ou {
+
+class MappedModel {
+ public:
+  MappedModel(dnn::PrunedModel pruned, int crossbar_size)
+      : pruned_(std::make_unique<dnn::PrunedModel>(std::move(pruned))),
+        crossbar_size_(crossbar_size) {
+    mappings_.reserve(pruned_->model.layers.size());
+    for (std::size_t i = 0; i < pruned_->model.layers.size(); ++i)
+      mappings_.emplace_back(pruned_->model.layers[i], pruned_->patterns[i],
+                             crossbar_size);
+  }
+
+  MappedModel(const MappedModel&) = delete;
+  MappedModel& operator=(const MappedModel&) = delete;
+  MappedModel(MappedModel&&) = default;
+  MappedModel& operator=(MappedModel&&) = default;
+
+  const dnn::DnnModel& model() const noexcept { return pruned_->model; }
+  const dnn::PrunedModel& pruned() const noexcept { return *pruned_; }
+  int crossbar_size() const noexcept { return crossbar_size_; }
+
+  std::size_t layer_count() const noexcept { return mappings_.size(); }
+  const LayerMapping& mapping(std::size_t layer) const noexcept {
+    assert(layer < mappings_.size());
+    return mappings_[layer];
+  }
+
+ private:
+  std::unique_ptr<dnn::PrunedModel> pruned_;
+  int crossbar_size_;
+  std::vector<LayerMapping> mappings_;
+};
+
+}  // namespace odin::ou

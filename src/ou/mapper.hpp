@@ -1,0 +1,61 @@
+// Maps a (pruned) layer's weight matrix onto a grid of crossbars and counts
+// the live OU blocks for a given OU configuration.
+//
+// The K x M lowered weight matrix is tiled onto ceil(K/c) x ceil(M/c)
+// crossbars of size c. Within each crossbar an (R x C) OU grid is laid over
+// the resident weights; a block containing only zeros is skipped entirely
+// (the sparse-ReRAM-engine optimization the paper builds on). Counts are
+// cached per configuration: they depend only on the weight pattern, never on
+// time, so one scan per (layer, OU shape) serves every inference run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dnn/layer_desc.hpp"
+#include "dnn/pattern.hpp"
+#include "ou/ou_config.hpp"
+
+namespace odin::ou {
+
+/// OU activity for one layer under one OU shape.
+struct OuCounts {
+  std::int64_t live_blocks = 0;      ///< non-skippable blocks, all crossbars
+  std::int64_t max_blocks_per_xbar = 0;  ///< bottleneck crossbar
+  std::int64_t total_ou_cycles = 0;  ///< live_blocks * spatial_positions
+  std::int64_t max_ou_cycles_per_xbar = 0;
+  double occupancy = 0.0;  ///< live / laid-out blocks (1.0 = dense)
+};
+
+class LayerMapping {
+ public:
+  /// `pattern` must match the layer's lowered dimensions.
+  LayerMapping(const dnn::LayerDescriptor& layer,
+               const dnn::WeightPattern& pattern, int crossbar_size);
+
+  const dnn::LayerDescriptor& layer() const noexcept { return *layer_; }
+  int crossbar_size() const noexcept { return crossbar_size_; }
+
+  /// Crossbars the layer occupies: ceil(K/c) * ceil(M/c).
+  std::int64_t crossbars() const noexcept { return crossbars_; }
+
+  /// Cells that must be written when (re)programming this layer.
+  std::int64_t programmed_cells() const noexcept;
+
+  /// Wordline rows that must be driven during programming.
+  std::int64_t programmed_rows() const noexcept { return pattern_->rows(); }
+
+  /// Live-block counts for an OU shape; computed once then cached.
+  const OuCounts& counts(OuConfig config) const;
+
+ private:
+  OuCounts compute(OuConfig config) const;
+
+  const dnn::LayerDescriptor* layer_;
+  const dnn::WeightPattern* pattern_;
+  int crossbar_size_;
+  std::int64_t crossbars_;
+  mutable std::map<OuConfig, OuCounts> cache_;
+};
+
+}  // namespace odin::ou

@@ -1,0 +1,60 @@
+#include "ou/nonideality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odin::ou {
+
+double NonIdealityModel::layer_sensitivity(int index,
+                                           int layer_count) const noexcept {
+  if (layer_count <= 1) return params_.sensitivity_max;
+  const double frac =
+      static_cast<double>(index) / static_cast<double>(layer_count);
+  return 1.0 + (params_.sensitivity_max - 1.0) *
+                   std::exp(-params_.sensitivity_decay * frac);
+}
+
+double NonIdealityModel::total_nf(double elapsed_s,
+                                  OuConfig config) const noexcept {
+  return reram::relative_conductance_error(device_, elapsed_s, config.rows,
+                                           config.cols, wire_scale_);
+}
+
+double NonIdealityModel::ir_nf(double elapsed_s,
+                               OuConfig config) const noexcept {
+  return reram::nonideality_components(device_, elapsed_s, config.rows,
+                                       config.cols, wire_scale_)
+      .ir_drop;
+}
+
+double NonIdealityModel::drift_nf(double elapsed_s) const noexcept {
+  return reram::nonideality_components(device_, elapsed_s, 1, 1, wire_scale_)
+      .drift;
+}
+
+bool NonIdealityModel::feasible(double elapsed_s, OuConfig config,
+                                double sensitivity) const noexcept {
+  const auto parts =
+      reram::nonideality_components(device_, elapsed_s, config.rows,
+                                    config.cols, wire_scale_);
+  return parts.total() <= params_.eta_total &&
+         sensitivity * parts.ir_drop <= params_.eta_ir;
+}
+
+bool NonIdealityModel::reprogram_required(double elapsed_s,
+                                          const OuLevelGrid& grid,
+                                          double sensitivity) const noexcept {
+  return !feasible(elapsed_s, grid.min_config(), sensitivity);
+}
+
+int NonIdealityModel::max_feasible_sum(double elapsed_s,
+                                       const OuLevelGrid& grid,
+                                       double sensitivity) const noexcept {
+  int best = 0;
+  for (const OuConfig& cfg : grid.all_configs())
+    if (feasible(elapsed_s, cfg, sensitivity))
+      best = std::max(best, cfg.sum());
+  return best;
+}
+
+}  // namespace odin::ou

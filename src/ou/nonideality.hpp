@@ -1,0 +1,90 @@
+// Non-ideality model: paper Eqs. 3-4 with the layer-sensitivity extension
+// and the calibrated constants justified in DESIGN.md §4.
+//
+// Two constraints gate an OU configuration for layer j at elapsed time t:
+//
+//  1. Total conductance error (Eq. 4, exact):
+//         NF_total(R, C, t) = |G_ON - G_eff(R, C, t)| / G_ON  <=  eta
+//     The drift component is OU-independent and grows monotonically, so this
+//     is what eventually forces OU shrinking (Fig. 4) and, once even the
+//     minimum OU violates it, device reprogramming (Algorithm 1 line 7).
+//
+//  2. IR-drop component scaled by layer sensitivity:
+//         s_j * NF_ir(R, C, t)  <=  eta_ir
+//     Early layers matter more for accuracy (paper Sec. III-A); IR-drop is
+//     the spatially-varying error that hurts them, while the drift component
+//     is a global scale factor. Scaling only the IR term keeps the
+//     reprogramming cadence device-global (matching Fig. 6's counts) while
+//     still forcing fine OUs (e.g. 16x8) onto early layers at t0 (Fig. 3).
+#pragma once
+
+#include "ou/ou_config.hpp"
+#include "reram/device.hpp"
+
+namespace odin::ou {
+
+struct NonIdealityParams {
+  /// Threshold on NF_total. The paper states eta = 0.5% as an accuracy-loss
+  /// budget; our surrogate maps 4% relative conductance error to ~0.5%
+  /// accuracy loss (DESIGN.md §4), and 0.04 reproduces Fig. 6's counts.
+  double eta_total = 0.04;
+  /// IR-drop budget at sensitivity 1. 0.024 allows R+C <= 72 for the least
+  /// sensitive layers at t0 and R+C <= 24 for the most sensitive ones.
+  double eta_ir = 0.024;
+  /// Layer sensitivity s_j = 1 + (max-1) * exp(-decay * index / layers).
+  double sensitivity_max = 3.0;
+  double sensitivity_decay = 3.0;
+};
+
+class NonIdealityModel {
+ public:
+  /// Reference crossbar dimension for the wire-length scaling of Eq. 4
+  /// (the paper's arrays are 128x128).
+  static constexpr int kReferenceCrossbar = 128;
+
+  /// `crossbar_size` sets the wire-length scale of the IR-drop term
+  /// (Sec. V-D sensitivity analysis); 128 reproduces Eq. 4 verbatim.
+  NonIdealityModel(reram::DeviceParams device, NonIdealityParams params,
+                   int crossbar_size = kReferenceCrossbar)
+      : device_(device), params_(params),
+        wire_scale_(static_cast<double>(crossbar_size) /
+                    kReferenceCrossbar) {}
+
+  const reram::DeviceParams& device() const noexcept { return device_; }
+  const NonIdealityParams& params() const noexcept { return params_; }
+  double wire_scale() const noexcept { return wire_scale_; }
+
+  /// s_j for a layer at position `index` of `layer_count`.
+  double layer_sensitivity(int index, int layer_count) const noexcept;
+
+  /// Relative total conductance error (Eq. 4 / G_ON) at `elapsed` seconds
+  /// since programming.
+  double total_nf(double elapsed_s, OuConfig config) const noexcept;
+
+  /// IR-drop component of the error, relative to G_ON.
+  double ir_nf(double elapsed_s, OuConfig config) const noexcept;
+
+  /// Drift component (OU-independent), relative to G_ON.
+  double drift_nf(double elapsed_s) const noexcept;
+
+  /// Both constraints for a layer with sensitivity s.
+  bool feasible(double elapsed_s, OuConfig config,
+                double sensitivity) const noexcept;
+
+  /// Algorithm 1 line 7: no OU size can satisfy the constraint. NF is
+  /// monotone in R + C, so checking the grid's minimum config is exact.
+  bool reprogram_required(double elapsed_s, const OuLevelGrid& grid,
+                          double sensitivity) const noexcept;
+
+  /// Largest feasible R + C at `elapsed` for sensitivity s (0 if none);
+  /// useful to property-test monotone OU shrinking.
+  int max_feasible_sum(double elapsed_s, const OuLevelGrid& grid,
+                       double sensitivity) const noexcept;
+
+ private:
+  reram::DeviceParams device_;
+  NonIdealityParams params_;
+  double wire_scale_;
+};
+
+}  // namespace odin::ou

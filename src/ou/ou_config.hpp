@@ -1,0 +1,84 @@
+// Operation-Unit (OU) configurations and the discrete size grid Odin
+// searches over.
+//
+// Paper Sec. V-A: for a 128x128 crossbar, R and C are constrained to 2^L
+// with integer L in [2, 7] — six discrete values {4, 8, 16, 32, 64, 128}.
+// Smaller crossbars truncate the grid at the crossbar dimension.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace odin::ou {
+
+/// One OU shape: `rows` wordlines x `cols` bitlines activated per cycle.
+struct OuConfig {
+  int rows = 16;
+  int cols = 16;
+
+  int sum() const noexcept { return rows + cols; }
+  long long product() const noexcept {
+    return static_cast<long long>(rows) * cols;
+  }
+  auto operator<=>(const OuConfig&) const = default;
+
+  std::string to_string() const {
+    return std::to_string(rows) + "x" + std::to_string(cols);
+  }
+};
+
+/// The discrete level grid: level l maps to size 2^(l + kMinExponent).
+class OuLevelGrid {
+ public:
+  static constexpr int kMinExponent = 2;  ///< smallest OU side = 4
+  static constexpr int kMaxExponent = 7;  ///< largest OU side = 128
+
+  explicit OuLevelGrid(int crossbar_size) : crossbar_size_(crossbar_size) {
+    assert(common::is_pow2(crossbar_size) && crossbar_size >= 4);
+    const int top = std::min(kMaxExponent, common::log2_exact(crossbar_size));
+    levels_ = top - kMinExponent + 1;
+  }
+
+  int crossbar_size() const noexcept { return crossbar_size_; }
+
+  /// Number of discrete sizes per dimension (6 for a 128x128 crossbar).
+  int levels() const noexcept { return levels_; }
+
+  int size_at(int level) const noexcept {
+    assert(level >= 0 && level < levels_);
+    return 1 << (level + kMinExponent);
+  }
+
+  /// Level of an exact grid size; -1 if the size is not on the grid.
+  int level_of(int size) const noexcept {
+    if (!common::is_pow2(size)) return -1;
+    const int l = common::log2_exact(size) - kMinExponent;
+    return (l >= 0 && l < levels_) ? l : -1;
+  }
+
+  OuConfig config_at(int row_level, int col_level) const noexcept {
+    return {size_at(row_level), size_at(col_level)};
+  }
+
+  /// All levels^2 configurations, row-major in (row_level, col_level).
+  std::vector<OuConfig> all_configs() const {
+    std::vector<OuConfig> out;
+    out.reserve(static_cast<std::size_t>(levels_) * levels_);
+    for (int r = 0; r < levels_; ++r)
+      for (int c = 0; c < levels_; ++c) out.push_back(config_at(r, c));
+    return out;
+  }
+
+  /// Smallest (most IR-drop-tolerant) configuration on the grid.
+  OuConfig min_config() const noexcept { return config_at(0, 0); }
+
+ private:
+  int crossbar_size_;
+  int levels_;
+};
+
+}  // namespace odin::ou

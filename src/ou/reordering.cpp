@@ -1,0 +1,90 @@
+#include "ou/reordering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace odin::ou {
+
+RowOrder similarity_row_order(const dnn::WeightPattern& pattern,
+                              int signature_cols) {
+  assert(signature_cols >= 1);
+  const int rows = pattern.rows();
+  const int cols = pattern.cols();
+  const int groups = (cols + signature_cols - 1) / signature_cols;
+
+  struct Key {
+    std::int64_t nonzeros;
+    std::vector<std::uint8_t> signature;
+  };
+  std::vector<Key> keys(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    Key& key = keys[static_cast<std::size_t>(r)];
+    key.nonzeros = pattern.block_nonzeros(r, 0, 1, cols);
+    key.signature.resize(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+      key.signature[static_cast<std::size_t>(g)] =
+          pattern.block_live(r, g * signature_cols, 1, signature_cols) ? 1
+                                                                       : 0;
+  }
+  RowOrder order(static_cast<std::size_t>(rows));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const Key& ka = keys[static_cast<std::size_t>(a)];
+    const Key& kb = keys[static_cast<std::size_t>(b)];
+    if ((ka.nonzeros == 0) != (kb.nonzeros == 0))
+      return ka.nonzeros == 0;  // dead rows first
+    if (ka.signature != kb.signature) return ka.signature < kb.signature;
+    return ka.nonzeros < kb.nonzeros;
+  });
+  return order;
+}
+
+RowOrder density_row_order(const dnn::WeightPattern& pattern) {
+  const int rows = pattern.rows();
+  std::vector<std::int64_t> count(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r)
+    count[static_cast<std::size_t>(r)] =
+        pattern.block_nonzeros(r, 0, 1, pattern.cols());
+  RowOrder order(static_cast<std::size_t>(rows));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return count[static_cast<std::size_t>(a)] <
+           count[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+dnn::WeightPattern apply_row_order(const dnn::WeightPattern& pattern,
+                                   std::span<const int> order) {
+  assert(is_permutation(order, pattern.rows()));
+  dnn::WeightPattern out(pattern.rows(), pattern.cols());
+  for (int r = 0; r < pattern.rows(); ++r) {
+    const int src = order[static_cast<std::size_t>(r)];
+    for (int c = 0; c < pattern.cols(); ++c)
+      if (pattern.test(src, c)) out.set(r, c);
+  }
+  return out;
+}
+
+std::int64_t permutation_storage_bits(int rows) {
+  int bits = 0;
+  int v = 1;
+  while (v < rows) {
+    v <<= 1;
+    ++bits;
+  }
+  return static_cast<std::int64_t>(rows) * std::max(bits, 1);
+}
+
+bool is_permutation(std::span<const int> order, int rows) {
+  if (static_cast<int>(order.size()) != rows) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(rows), false);
+  for (int v : order) {
+    if (v < 0 || v >= rows || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+}  // namespace odin::ou

@@ -1,0 +1,44 @@
+// Offline row (filter) reordering — the PattPIM / RePIM-style enhancement
+// the paper discusses in Sec. II.
+//
+// Permuting the rows of a layer's weight matrix so that rows with similar
+// zero patterns sit together turns scattered zeros into whole all-zero OU
+// blocks, increasing the skip rate. The catch the paper points out: the
+// permutation is computed OFFLINE for a given network (and, for stored-
+// index designs, per OU configuration), so it fights runtime adaptation —
+// bench/ablation_row_reorder quantifies both the benefit and the index
+// storage it drags in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dnn/pattern.hpp"
+
+namespace odin::ou {
+
+/// A permutation: new_row r holds old row `order[r]`.
+using RowOrder = std::vector<int>;
+
+/// Group rows by zero-pattern similarity: rows are sorted by their
+/// occupancy signature at `signature_cols`-column granularity (dead rows
+/// first, then lexicographically by which column groups they touch).
+RowOrder similarity_row_order(const dnn::WeightPattern& pattern,
+                              int signature_cols = 16);
+
+/// Sort rows by non-zero count only (the simplest density clustering).
+RowOrder density_row_order(const dnn::WeightPattern& pattern);
+
+/// Materialize the permuted pattern.
+dnn::WeightPattern apply_row_order(const dnn::WeightPattern& pattern,
+                                   std::span<const int> order);
+
+/// Bits to store the permutation (one input index per row) — the "input
+/// indices" buffer prior work keeps (Sec. II).
+std::int64_t permutation_storage_bits(int rows);
+
+/// True iff `order` is a permutation of [0, rows).
+bool is_permutation(std::span<const int> order, int rows);
+
+}  // namespace odin::ou

@@ -1,0 +1,123 @@
+#include "ou/search.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace odin::ou {
+
+double LayerContext::violation(OuConfig config) const {
+  const auto& p = nonideal->params();
+  const double total = nonideal->total_nf(elapsed_s, config);
+  const double ir = sensitivity * nonideal->ir_nf(elapsed_s, config);
+  return std::max({0.0, total - p.eta_total, ir - p.eta_ir});
+}
+
+namespace {
+
+/// Lexicographic candidate score: any feasible config beats any infeasible
+/// one; feasible configs compare by EDP, infeasible ones by violation (so a
+/// greedy walk still descends toward the feasible region).
+struct Score {
+  bool feasible = false;
+  double value = std::numeric_limits<double>::infinity();
+
+  bool better_than(const Score& o) const noexcept {
+    if (feasible != o.feasible) return feasible;
+    return value < o.value;
+  }
+};
+
+Score evaluate(const LayerContext& ctx, OuConfig config, int& evaluations) {
+  ++evaluations;
+  if (ctx.feasible(config)) return {true, ctx.edp(config)};
+  return {false, ctx.violation(config)};
+}
+
+int snap_level(const OuLevelGrid& grid, int size) {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int l = 0; l < grid.levels(); ++l) {
+    const double d = std::abs(std::log2(static_cast<double>(size)) -
+                              std::log2(static_cast<double>(grid.size_at(l))));
+    if (d < best_dist) {
+      best_dist = d;
+      best = l;
+    }
+  }
+  return best;
+}
+
+/// One greedy descent; updates `result` with the best feasible config seen.
+void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
+                 SearchResult& result) {
+  const OuLevelGrid& grid = *ctx.grid;
+  Score current = evaluate(ctx, grid.config_at(rl, cl), result.evaluations);
+  auto consider = [&](const Score& s, OuConfig cfg) {
+    if (s.feasible && s.value < result.edp) {
+      result.found = true;
+      result.edp = s.value;
+      result.best = cfg;
+    }
+  };
+  consider(current, grid.config_at(rl, cl));
+
+  for (int step = 0; step < max_steps; ++step) {
+    constexpr std::array<std::array<int, 2>, 4> kMoves{
+        {{+1, 0}, {-1, 0}, {0, +1}, {0, -1}}};
+    Score best_neighbor;
+    int best_rl = rl, best_cl = cl;
+    for (const auto& mv : kMoves) {
+      const int nrl = rl + mv[0];
+      const int ncl = cl + mv[1];
+      if (nrl < 0 || nrl >= grid.levels() || ncl < 0 || ncl >= grid.levels())
+        continue;
+      const OuConfig cfg = grid.config_at(nrl, ncl);
+      const Score s = evaluate(ctx, cfg, result.evaluations);
+      consider(s, cfg);
+      if (s.better_than(best_neighbor)) {
+        best_neighbor = s;
+        best_rl = nrl;
+        best_cl = ncl;
+      }
+    }
+    if (!best_neighbor.better_than(current)) break;  // local optimum
+    current = best_neighbor;
+    rl = best_rl;
+    cl = best_cl;
+  }
+}
+
+}  // namespace
+
+SearchResult exhaustive_search(const LayerContext& ctx) {
+  assert(ctx.grid != nullptr);
+  SearchResult result;
+  for (const OuConfig& cfg : ctx.grid->all_configs()) {
+    const Score s = evaluate(ctx, cfg, result.evaluations);
+    if (s.feasible && s.value < result.edp) {
+      result.found = true;
+      result.edp = s.value;
+      result.best = cfg;
+    }
+  }
+  return result;
+}
+
+SearchResult resource_bounded_search(const LayerContext& ctx, OuConfig start,
+                                     int max_steps) {
+  assert(ctx.grid != nullptr && max_steps >= 0);
+  const OuLevelGrid& grid = *ctx.grid;
+  SearchResult result;
+  greedy_from(ctx, snap_level(grid, start.rows), snap_level(grid, start.cols),
+              max_steps, result);
+  if (!result.found) {
+    // The policy's neighbourhood is entirely infeasible; fall back to the
+    // most drift-tolerant corner (feasible unless reprogramming is due).
+    greedy_from(ctx, 0, 0, max_steps, result);
+  }
+  return result;
+}
+
+}  // namespace odin::ou

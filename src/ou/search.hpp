@@ -1,0 +1,58 @@
+// Best-OU search (Algorithm 1, line 6): exhaustive (EX) and resource-bounded
+// (RB) variants.
+//
+// EX scans the full discrete grid (36 configurations on a 128x128 crossbar).
+// RB is the paper's low-overhead alternative: a greedy local search seeded at
+// the policy's prediction, taking at most K steps, each step evaluating the
+// four +-1-level neighbours and moving to the best. With K = 3 this costs
+// ~13 evaluations vs EX's 36 — the ~3x timing-overhead gap the paper reports
+// (Sec. V-B), which bench/micro_search_overhead measures.
+#pragma once
+
+#include <limits>
+
+#include "ou/cost_model.hpp"
+#include "ou/mapper.hpp"
+#include "ou/nonideality.hpp"
+#include "ou/ou_config.hpp"
+
+namespace odin::ou {
+
+/// Everything needed to evaluate OU candidates for one layer at one moment.
+struct LayerContext {
+  const LayerMapping* mapping = nullptr;
+  const OuCostModel* cost = nullptr;
+  const NonIdealityModel* nonideal = nullptr;
+  const OuLevelGrid* grid = nullptr;
+  double elapsed_s = 0.0;   ///< time since last programming
+  double sensitivity = 1.0; ///< s_j of this layer
+
+  double edp(OuConfig config) const {
+    return cost->layer_edp(mapping->counts(config), config,
+                           mapping->layer().activation_sparsity);
+  }
+  bool feasible(OuConfig config) const {
+    return nonideal->feasible(elapsed_s, config, sensitivity);
+  }
+  /// How badly `config` violates the constraints (0 when feasible).
+  double violation(OuConfig config) const;
+};
+
+struct SearchResult {
+  OuConfig best{};
+  double edp = std::numeric_limits<double>::infinity();
+  bool found = false;   ///< a feasible configuration exists in the search
+  int evaluations = 0;  ///< EDP/NF evaluations performed (timing proxy)
+};
+
+/// Scan every configuration on the grid.
+SearchResult exhaustive_search(const LayerContext& ctx);
+
+/// Greedy local search from `start` (snapped to the grid), at most
+/// `max_steps` moves (paper's K, default 3). If nothing feasible is reached
+/// from `start`, restarts once from the grid's minimum configuration, which
+/// is feasible whenever reprogramming is not required.
+SearchResult resource_bounded_search(const LayerContext& ctx, OuConfig start,
+                                     int max_steps = 3);
+
+}  // namespace odin::ou

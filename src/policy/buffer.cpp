@@ -1,0 +1,27 @@
+#include "policy/buffer.hpp"
+
+#include "policy/policy.hpp"
+
+namespace odin::policy {
+
+void ReplayBuffer::add(const Features& features, ou::OuConfig best) {
+  if (full()) return;
+  entries_.push_back({features, best});
+}
+
+nn::Dataset ReplayBuffer::to_dataset(const ou::OuLevelGrid& grid) const {
+  nn::Dataset data;
+  data.inputs = nn::Matrix(entries_.size(), Features::kCount);
+  data.labels.assign(2, std::vector<int>());
+  data.labels[0].reserve(entries_.size());
+  data.labels[1].reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto arr = entries_[i].features.to_array();
+    for (std::size_t f = 0; f < arr.size(); ++f) data.inputs(i, f) = arr[f];
+    data.labels[0].push_back(grid.level_of(entries_[i].best.rows));
+    data.labels[1].push_back(grid.level_of(entries_[i].best.cols));
+  }
+  return data;
+}
+
+}  // namespace odin::policy

@@ -1,0 +1,44 @@
+// The on-chip training-example buffer (Algorithm 1, lines 10-11).
+//
+// Stores (Phi, (R,C)*) pairs produced when the policy's decision disagrees
+// with the search's best decision. When full (paper: 50 entries, 0.35 KB),
+// the aggregated examples retrain the policy and the buffer is reset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/train.hpp"
+#include "ou/ou_config.hpp"
+#include "policy/features.hpp"
+
+namespace odin::policy {
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity = 50) : capacity_(capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool full() const noexcept { return entries_.size() >= capacity_; }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Adds an example; silently drops when already full (the hardware buffer
+  /// cannot grow — the update fires before more examples are produced).
+  void add(const Features& features, ou::OuConfig best);
+
+  /// Materialize the contents as a supervised dataset for OuPolicy::train.
+  nn::Dataset to_dataset(const ou::OuLevelGrid& grid) const;
+
+  void reset() noexcept { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Features features;
+    ou::OuConfig best;
+  };
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace odin::policy

@@ -1,0 +1,28 @@
+#include "policy/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odin::policy {
+
+namespace {
+constexpr double kMaxKernel = 7.0;
+constexpr double kLogHorizon = 8.0;  ///< log10 of the 1e8 s drift horizon
+}  // namespace
+
+Features extract_features(const dnn::LayerDescriptor& layer, int layer_count,
+                          double elapsed_s) noexcept {
+  Features f;
+  f.layer_position =
+      layer_count > 1 ? static_cast<double>(layer.index) /
+                            static_cast<double>(layer_count - 1)
+                      : 0.0;
+  f.sparsity = std::clamp(layer.weight_sparsity, 0.0, 1.0);
+  f.kernel = std::clamp(static_cast<double>(layer.kernel) / kMaxKernel,
+                        0.0, 1.0);
+  const double t = std::max(elapsed_s, 1.0);
+  f.log_time = std::clamp(std::log10(t) / kLogHorizon, 0.0, 1.0);
+  return f;
+}
+
+}  // namespace odin::policy

@@ -1,0 +1,35 @@
+// Feature extraction — paper Sec. III-A.
+//
+// Phi_1: neural-layer identifier (position; early layers are more accuracy-
+//        critical), normalized by layer count.
+// Phi_2: weight sparsity in [0, 1].
+// Phi_3: kernel size, normalized by the largest kernel in common use (7).
+// Phi_4: inference time elapsed since the device was programmed; drift is a
+//        power law, so the feature is log-scaled across the [t0, 1e8 s]
+//        horizon.
+#pragma once
+
+#include <array>
+
+#include "dnn/layer_desc.hpp"
+
+namespace odin::policy {
+
+struct Features {
+  double layer_position = 0.0;  ///< Phi_1, in [0, 1]
+  double sparsity = 0.0;        ///< Phi_2, in [0, 1]
+  double kernel = 0.0;          ///< Phi_3, in (0, 1]
+  double log_time = 0.0;        ///< Phi_4, in [0, 1]
+
+  std::array<double, 4> to_array() const noexcept {
+    return {layer_position, sparsity, kernel, log_time};
+  }
+  static constexpr std::size_t kCount = 4;
+};
+
+/// Build the feature vector for `layer` of a `layer_count`-layer network at
+/// `elapsed_s` seconds since programming.
+Features extract_features(const dnn::LayerDescriptor& layer, int layer_count,
+                          double elapsed_s) noexcept;
+
+}  // namespace odin::policy

@@ -1,0 +1,88 @@
+#include "policy/offline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "ou/search.hpp"
+
+namespace odin::policy {
+
+nn::Dataset build_offline_dataset(
+    std::span<const ou::MappedModel* const> known_models,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    const ou::OuLevelGrid& grid, const OfflineTrainConfig& config) {
+  struct Example {
+    Features features;
+    ou::OuConfig best;
+  };
+  std::vector<Example> examples;
+
+  const auto times = common::logspace(config.t_start_s, config.t_end_s,
+                                      static_cast<std::size_t>(
+                                          config.time_samples));
+  for (const ou::MappedModel* mm : known_models) {
+    assert(mm != nullptr);
+    const int layer_count = static_cast<int>(mm->layer_count());
+    for (double t : times) {
+      for (std::size_t j = 0; j < mm->layer_count(); ++j) {
+        const auto& layer = mm->model().layers[j];
+        ou::LayerContext ctx{
+            .mapping = &mm->mapping(j),
+            .cost = &cost,
+            .nonideal = &nonideal,
+            .grid = &grid,
+            .elapsed_s = t,
+            .sensitivity = nonideal.layer_sensitivity(layer.index,
+                                                      layer_count),
+        };
+        const auto result = ou::exhaustive_search(ctx);
+        if (!result.found) continue;  // reprogram regime: no label to learn
+        examples.push_back(
+            {extract_features(layer, layer_count, t), result.best});
+      }
+    }
+  }
+
+  // Deterministic uniform subsample down to the example budget.
+  if (examples.size() > config.max_examples) {
+    common::Rng rng(config.subsample_seed);
+    std::vector<std::size_t> order(examples.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    order.resize(config.max_examples);
+    std::sort(order.begin(), order.end());
+    std::vector<Example> kept;
+    kept.reserve(order.size());
+    for (std::size_t idx : order) kept.push_back(examples[idx]);
+    examples = std::move(kept);
+  }
+
+  nn::Dataset data;
+  data.inputs = nn::Matrix(examples.size(), Features::kCount);
+  data.labels.assign(2, std::vector<int>());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    const auto arr = examples[i].features.to_array();
+    for (std::size_t f = 0; f < arr.size(); ++f) data.inputs(i, f) = arr[f];
+    data.labels[0].push_back(grid.level_of(examples[i].best.rows));
+    data.labels[1].push_back(grid.level_of(examples[i].best.cols));
+  }
+  return data;
+}
+
+OuPolicy train_offline_policy(
+    std::span<const ou::MappedModel* const> known_models,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    const ou::OuLevelGrid& grid, const OfflineTrainConfig& config,
+    PolicyConfig policy_config) {
+  OuPolicy policy(grid, policy_config);
+  const nn::Dataset data = build_offline_dataset(known_models, nonideal,
+                                                 cost, grid, config);
+  if (data.size() > 0) policy.train(data, config.train_options);
+  return policy;
+}
+
+}  // namespace odin::policy

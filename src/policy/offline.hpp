@@ -1,0 +1,48 @@
+// Offline policy bootstrap — paper Sec. III / V-A.
+//
+// The offline policy is trained at design time from known DNNs: for each
+// known workload, sampled across the drift horizon, the exhaustive search
+// labels every layer with its best OU configuration; up to 500 such
+// (Phi, (R,C)*) examples train the MLP policy. The paper's protocol is
+// leave-one-family-out: to evaluate on (say) VGG models, the offline policy
+// is built from the ResNet / GoogLeNet / DenseNet / ViT workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ou/cost_model.hpp"
+#include "ou/mapped_model.hpp"
+#include "ou/nonideality.hpp"
+#include "policy/policy.hpp"
+
+namespace odin::policy {
+
+struct OfflineTrainConfig {
+  std::size_t max_examples = 500;  ///< paper: up to 500 training examples
+  int time_samples = 8;            ///< per model, log-spaced over horizon
+  double t_start_s = 1.0;
+  double t_end_s = 1e8;
+  nn::TrainOptions train_options{.epochs = 200, .batch_size = 16,
+                                 .learning_rate = 1e-2,
+                                 .shuffle_seed = 0x0ff1};
+  std::uint64_t subsample_seed = 0x5ab5;
+};
+
+/// Exhaustively label every (layer, time sample) of the known workloads and
+/// build the supervised dataset (capped at max_examples by deterministic
+/// uniform subsampling).
+nn::Dataset build_offline_dataset(
+    std::span<const ou::MappedModel* const> known_models,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    const ou::OuLevelGrid& grid, const OfflineTrainConfig& config = {});
+
+/// Convenience: build the dataset and train a fresh policy on it.
+OuPolicy train_offline_policy(
+    std::span<const ou::MappedModel* const> known_models,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    const ou::OuLevelGrid& grid, const OfflineTrainConfig& config = {},
+    PolicyConfig policy_config = {});
+
+}  // namespace odin::policy

@@ -1,0 +1,84 @@
+#include "policy/policy.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace odin::policy {
+
+namespace {
+nn::MlpConfig make_mlp_config(const ou::OuLevelGrid& grid,
+                              const PolicyConfig& config) {
+  nn::MlpConfig mlp;
+  mlp.inputs = Features::kCount;
+  mlp.hidden = {config.hidden_width};
+  mlp.heads = {static_cast<std::size_t>(grid.levels()),
+               static_cast<std::size_t>(grid.levels())};
+  return mlp;
+}
+}  // namespace
+
+OuPolicy::OuPolicy(const ou::OuLevelGrid& grid, PolicyConfig config)
+    : grid_(grid), config_(config),
+      mlp_(make_mlp_config(grid, config), config.init_seed) {}
+
+OuPolicy OuPolicy::clone() {
+  OuPolicy out(grid_, config_);
+  const auto src = mlp_.parameters();
+  const auto dst = out.mlp_.parameters();
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  return out;
+}
+
+ou::OuConfig OuPolicy::predict(const Features& features) {
+  const auto arr = features.to_array();
+  const auto levels = mlp_.predict(arr);
+  assert(levels.size() == 2);
+  return grid_.config_at(levels[0], levels[1]);
+}
+
+std::vector<std::vector<double>> OuPolicy::predict_proba(
+    const Features& features) {
+  const auto arr = features.to_array();
+  return mlp_.predict_proba(arr);
+}
+
+double OuPolicy::prediction_entropy(const Features& features) {
+  const auto probs = predict_proba(features);
+  double total = 0.0;
+  for (const auto& head : probs) {
+    double h = 0.0;
+    for (double p : head)
+      if (p > 0.0) h -= p * std::log(p);
+    total += h / std::log(static_cast<double>(head.size()));
+  }
+  return total / static_cast<double>(probs.size());
+}
+
+nn::TrainResult OuPolicy::train(const nn::Dataset& data,
+                                const nn::TrainOptions& options) {
+  return nn::fit(mlp_, data, options);
+}
+
+void OuPolicy::append_example(nn::Dataset& data, const Features& features,
+                              const ou::OuLevelGrid& grid,
+                              ou::OuConfig best) {
+  const int rl = grid.level_of(best.rows);
+  const int cl = grid.level_of(best.cols);
+  assert(rl >= 0 && cl >= 0);
+  const std::size_t n = data.inputs.rows();
+  nn::Matrix grown(n + 1, Features::kCount);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto src = data.inputs.row(r);
+    auto dst = grown.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  const auto arr = features.to_array();
+  for (std::size_t i = 0; i < arr.size(); ++i) grown(n, i) = arr[i];
+  data.inputs = std::move(grown);
+  if (data.labels.size() != 2) data.labels.assign(2, {});
+  data.labels[0].push_back(rl);
+  data.labels[1].push_back(cl);
+}
+
+}  // namespace odin::policy

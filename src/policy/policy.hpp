@@ -1,0 +1,62 @@
+// The OU configuration policy pi(Phi, Theta) — paper Sec. III-A / V-A.
+//
+// A multi-output MLP classifier: 4 input features, a small ReLU trunk, and
+// two independent softmax heads of `grid.levels()` classes each (6 for a
+// 128x128 crossbar) choosing the discrete OU height and width levels.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/mlp.hpp"
+#include "nn/train.hpp"
+#include "ou/ou_config.hpp"
+#include "policy/features.hpp"
+
+namespace odin::policy {
+
+struct PolicyConfig {
+  std::size_t hidden_width = 16;
+  std::uint64_t init_seed = 0x0d1e;
+};
+
+class OuPolicy {
+ public:
+  OuPolicy(const ou::OuLevelGrid& grid, PolicyConfig config = {});
+
+  /// Independent policy with identical parameters (the MLP's polymorphic
+  /// layers make the class move-only; cloning is explicit).
+  OuPolicy clone();
+
+  const ou::OuLevelGrid& grid() const noexcept { return grid_; }
+
+  /// pi(Phi): the OU configuration the current parameters choose.
+  ou::OuConfig predict(const Features& features);
+
+  /// Per-head (row level, col level) probabilities.
+  std::vector<std::vector<double>> predict_proba(const Features& features);
+
+  /// Mean normalized entropy of the two output heads in [0, 1]: 0 = fully
+  /// confident, 1 = uniform. Used by the entropy-gated search extension
+  /// (skip the search when the policy is confident — cf. the authors'
+  /// uncertainty-aware online learning line of work [27]).
+  double prediction_entropy(const Features& features);
+
+  /// Train on a supervised dataset of (Phi, best levels) rows.
+  nn::TrainResult train(const nn::Dataset& data,
+                        const nn::TrainOptions& options);
+
+  /// Build one supervised row from a feature vector and a best config.
+  static void append_example(nn::Dataset& data, const Features& features,
+                             const ou::OuLevelGrid& grid,
+                             ou::OuConfig best);
+
+  nn::MultiHeadMlp& mlp() noexcept { return mlp_; }
+  std::size_t parameter_count() { return mlp_.parameter_count(); }
+
+ private:
+  ou::OuLevelGrid grid_;
+  PolicyConfig config_;
+  nn::MultiHeadMlp mlp_;
+};
+
+}  // namespace odin::policy

@@ -1,0 +1,53 @@
+#include "policy/serialization.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace odin::policy {
+
+namespace {
+constexpr const char* kMagic = "odin-policy";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_policy(const OuPolicy& policy, std::ostream& out) {
+  // Serialization needs the parameter values; predict paths are non-const,
+  // so we clone through a const_cast-free copy of the handle.
+  OuPolicy& mutable_policy = const_cast<OuPolicy&>(policy);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << policy.grid().crossbar_size() << ' '
+      << mutable_policy.mlp().config().hidden.front() << '\n';
+  out.precision(17);
+  for (nn::Parameter* p : mutable_policy.mlp().parameters()) {
+    out << p->value.rows() << ' ' << p->value.cols() << '\n';
+    for (double v : p->value.flat()) out << v << ' ';
+    out << '\n';
+  }
+}
+
+std::optional<OuPolicy> load_policy(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion)
+    return std::nullopt;
+  int crossbar = 0;
+  std::size_t hidden = 0;
+  if (!(in >> crossbar >> hidden) || crossbar < 4 || hidden == 0)
+    return std::nullopt;
+
+  PolicyConfig config;
+  config.hidden_width = hidden;
+  OuPolicy policy{ou::OuLevelGrid(crossbar), config};
+  for (nn::Parameter* p : policy.mlp().parameters()) {
+    std::size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols) || rows != p->value.rows() ||
+        cols != p->value.cols())
+      return std::nullopt;
+    for (double& v : p->value.flat())
+      if (!(in >> v)) return std::nullopt;
+  }
+  return policy;
+}
+
+}  // namespace odin::policy

@@ -1,0 +1,23 @@
+// Policy persistence: save/load the OU policy parameters as a small,
+// human-readable text format. The offline bootstrap (exhaustive labelling
+// of the known DNNs) is the expensive step of deployment; persisting its
+// result lets a deployment ship the design-time policy the way the paper's
+// architecture stores Theta_0 on chip.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "policy/policy.hpp"
+
+namespace odin::policy {
+
+/// Format: a header line ("odin-policy 1"), the grid's crossbar size, the
+/// hidden width, then every parameter tensor as "rows cols" + values.
+void save_policy(const OuPolicy& policy, std::ostream& out);
+
+/// Reconstructs a policy; returns nullopt on malformed input or if the
+/// architecture in the stream does not round-trip.
+std::optional<OuPolicy> load_policy(std::istream& in);
+
+}  // namespace odin::policy

@@ -1,0 +1,65 @@
+#include "policy/table_policy.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace odin::policy {
+
+void TablePolicy::add(const Features& features, ou::OuConfig best) {
+  Entry entry{features.to_array(), best};
+  if (entries_.size() < capacity_) {
+    entries_.push_back(entry);
+  } else {
+    entries_[next_slot_] = entry;
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+}
+
+void TablePolicy::add_dataset(const nn::Dataset& data) {
+  assert(data.labels.size() == 2);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Features f;
+    f.layer_position = data.inputs(i, 0);
+    f.sparsity = data.inputs(i, 1);
+    f.kernel = data.inputs(i, 2);
+    f.log_time = data.inputs(i, 3);
+    add(f, grid_.config_at(data.labels[0][i], data.labels[1][i]));
+  }
+}
+
+ou::OuConfig TablePolicy::predict(const Features& features) const {
+  if (entries_.empty()) return {16, 16};
+  const auto phi = features.to_array();
+  double best_dist = std::numeric_limits<double>::infinity();
+  const Entry* best = nullptr;
+  for (const Entry& e : entries_) {
+    double d = 0.0;
+    for (std::size_t k = 0; k < phi.size(); ++k) {
+      const double diff = phi[k] - e.phi[k];
+      d += diff * diff;
+    }
+    if (d < best_dist) {
+      best_dist = d;
+      best = &e;
+    }
+  }
+  return best->best;
+}
+
+double TablePolicy::accuracy_on(const nn::Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Features f;
+    f.layer_position = data.inputs(i, 0);
+    f.sparsity = data.inputs(i, 1);
+    f.kernel = data.inputs(i, 2);
+    f.log_time = data.inputs(i, 3);
+    const ou::OuConfig pred = predict(f);
+    if (pred == grid_.config_at(data.labels[0][i], data.labels[1][i]))
+      ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+}  // namespace odin::policy

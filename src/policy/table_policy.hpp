@@ -1,0 +1,62 @@
+// Table-based OU policy — the alternative the paper rejects.
+//
+// Sec. III-A: "it is not scalable to store optimized OU configurations for
+// unlimited configurations of DNN models... Thus, we employ a neural
+// network-based policy." This class implements the rejected design — a
+// stored table of (Phi -> best config) examples answered by nearest
+// neighbour — so the claim can be measured instead of assumed:
+// bench/ablation_policy_representation compares prediction quality vs
+// storage for both representations as the example budget grows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nn/train.hpp"
+#include "ou/ou_config.hpp"
+#include "policy/features.hpp"
+
+namespace odin::policy {
+
+class TablePolicy {
+ public:
+  explicit TablePolicy(const ou::OuLevelGrid& grid,
+                       std::size_t capacity = 500)
+      : grid_(grid), capacity_(capacity) {}
+
+  const ou::OuLevelGrid& grid() const noexcept { return grid_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Insert an example; once full, new examples overwrite the oldest
+  /// (ring-buffer semantics — the only bounded-memory option a table has).
+  void add(const Features& features, ou::OuConfig best);
+
+  /// Bulk-load from a supervised dataset (as produced by the offline
+  /// labelling pipeline).
+  void add_dataset(const nn::Dataset& data);
+
+  /// Nearest-neighbour answer (Euclidean over the 4 normalized features).
+  /// Falls back to 16x16 when empty.
+  ou::OuConfig predict(const Features& features) const;
+
+  /// Bytes to store the table: 4 quantized feature bytes + 1 packed config
+  /// byte per entry (same quantization the paper's 0.35 KB buffer uses).
+  std::size_t storage_bytes() const noexcept { return entries_.size() * 5; }
+
+  /// Fraction of `data` answered with the exact stored best config.
+  double accuracy_on(const nn::Dataset& data) const;
+
+ private:
+  struct Entry {
+    std::array<double, Features::kCount> phi;
+    ou::OuConfig best;
+  };
+  ou::OuLevelGrid grid_;
+  std::size_t capacity_;
+  std::size_t next_slot_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace odin::policy

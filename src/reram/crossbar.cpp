@@ -1,0 +1,208 @@
+#include "reram/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odin::reram {
+
+Crossbar::Crossbar(int size, DeviceParams device,
+                   std::optional<NoiseModel> noise, IrModel ir_model)
+    : size_(size),
+      device_(device),
+      noise_(std::move(noise)),
+      ir_model_(ir_model),
+      conductance_s_(static_cast<std::size_t>(size) * size, device.g_off_s),
+      sign_(static_cast<std::size_t>(size) * size, 0) {
+  assert(size > 0);
+}
+
+void Crossbar::program(std::span<const double> weights, int rows, int cols,
+                       double at_time_s) {
+  assert(rows >= 0 && rows <= size_ && cols >= 0 && cols <= size_);
+  assert(weights.size() == static_cast<std::size_t>(rows) * cols);
+  programmed_cells_ = 0;
+  if (noise_ && drift_coeff_.empty())
+    drift_coeff_.assign(conductance_s_.size(), device_.drift_coefficient);
+  // Stuck-at-faults are a property of the array, not of a write: sample
+  // them once, on the first programming pass.
+  const bool sample_faults = noise_ && fault_.empty() &&
+                             (noise_->params().stuck_on_rate > 0.0 ||
+                              noise_->params().stuck_off_rate > 0.0);
+  if (sample_faults) {
+    fault_.assign(conductance_s_.size(),
+                  static_cast<std::int8_t>(CellFault::kNone));
+    for (std::int8_t& f : fault_) {
+      const CellFault cell = noise_->cell_fault();
+      f = static_cast<std::int8_t>(cell);
+      if (cell != CellFault::kNone) ++faulty_cells_;
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double w = weights[static_cast<std::size_t>(r) * cols + c];
+      const std::size_t idx = static_cast<std::size_t>(r) * size_ + c;
+      double g = quantize_weight_to_conductance(device_, std::abs(w));
+      if (noise_) {
+        g = noise_->programmed(g);
+        drift_coeff_[idx] = noise_->cell_drift_coefficient(device_);
+      }
+      std::int8_t sign =
+          static_cast<std::int8_t>(w > 0.0 ? 1 : (w < 0.0 ? -1 : 0));
+      if (!fault_.empty()) {
+        const auto f = static_cast<CellFault>(fault_[idx]);
+        if (f == CellFault::kStuckOn) {
+          g = device_.g_on_s;
+          if (sign == 0) sign = 1;  // the stuck filament conducts anyway
+        } else if (f == CellFault::kStuckOff) {
+          g = device_.g_off_s;
+          sign = 0;
+        }
+      }
+      conductance_s_[idx] = g;
+      sign_[idx] = sign;
+      if (sign_[idx] != 0) ++programmed_cells_;
+    }
+  }
+  programmed_at_s_ = at_time_s;
+  live_rows_ = rows;
+  live_cols_ = cols;
+}
+
+double Crossbar::ideal_weight(int row, int col) const {
+  const std::size_t idx = static_cast<std::size_t>(row) * size_ + col;
+  if (sign_[idx] == 0) return 0.0;
+  return sign_[idx] * conductance_to_weight(device_, conductance_s_[idx]);
+}
+
+double Crossbar::degradation_factor(double t_s, int ou_rows,
+                                    int ou_cols) const {
+  // Multiplicative degradation shared by all cells in the activated OU:
+  // the ratio of Eq. 4's effective conductance to the pristine G_ON.
+  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+  return effective_conductance(device_, elapsed, ou_rows, ou_cols) /
+         device_.g_on_s;
+}
+
+double Crossbar::ir_factor(double t_s, int ou_rows, int ou_cols) const {
+  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+  return effective_conductance(device_, elapsed, ou_rows, ou_cols) /
+         drift_conductance(device_, elapsed);
+}
+
+double Crossbar::ir_factor_at(double t_s, int row_in_ou,
+                              int col_in_ou) const {
+  // Cell-position path length: (r + 1) wordline + (c + 1) bitline segments.
+  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+  const double g_drift = drift_conductance(device_, elapsed);
+  const double series =
+      device_.r_wire_ohm * static_cast<double>(row_in_ou + col_in_ou + 2);
+  return (1.0 / (1.0 / g_drift + series)) / g_drift;
+}
+
+double Crossbar::cell_drift_factor(std::size_t idx, double elapsed_s) const {
+  const double v = drift_coeff_.empty() ? device_.drift_coefficient
+                                        : drift_coeff_[idx];
+  return std::pow(std::max(elapsed_s, device_.t0_s) / device_.t0_s, -v);
+}
+
+double Crossbar::effective_weight(int row, int col, double t_s, int ou_rows,
+                                  int ou_cols) const {
+  const std::size_t idx = static_cast<std::size_t>(row) * size_ + col;
+  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+  const double ir = ir_model_ == IrModel::kSpatial
+                        ? ir_factor_at(t_s, row % ou_rows, col % ou_cols)
+                        : ir_factor(t_s, ou_rows, ou_cols);
+  return ideal_weight(row, col) * cell_drift_factor(idx, elapsed) * ir;
+}
+
+double Crossbar::quantize_adc(double value, double full_scale,
+                              int adc_bits) const {
+  assert(adc_bits >= 1 && full_scale > 0.0);
+  const double levels = static_cast<double>((1 << adc_bits) - 1);
+  // Bipolar ADC: the differential column current spans [-FS, +FS].
+  const double clamped = std::clamp(value, -full_scale, full_scale);
+  const double code = std::round((clamped + full_scale) / (2 * full_scale) *
+                                 levels);
+  return code / levels * 2 * full_scale - full_scale;
+}
+
+std::vector<double> Crossbar::mvm_ou(std::span<const double> input, int row0,
+                                     int ou_rows, int col0, int ou_cols,
+                                     double t_s, int adc_bits) {
+  assert(static_cast<int>(input.size()) == ou_rows);
+  assert(row0 >= 0 && row0 + ou_rows <= size_);
+  assert(col0 >= 0 && col0 + ou_cols <= size_);
+  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+  const bool spatial = ir_model_ == IrModel::kSpatial;
+  const double lumped_ir = spatial ? 1.0 : ir_factor(t_s, ou_rows, ou_cols);
+  const bool uniform_drift = drift_coeff_.empty();
+  const double nominal_drift =
+      uniform_drift ? cell_drift_factor(0, elapsed) : 1.0;
+  std::vector<double> out(static_cast<std::size_t>(ou_cols), 0.0);
+  for (int c = 0; c < ou_cols; ++c) {
+    double acc = 0.0;
+    for (int r = 0; r < ou_rows; ++r) {
+      const std::size_t idx =
+          static_cast<std::size_t>(row0 + r) * size_ + (col0 + c);
+      if (sign_[idx] == 0) continue;
+      double g = conductance_s_[idx];
+      if (noise_) g = noise_->read(g);
+      double w = sign_[idx] * conductance_to_weight(device_, g);
+      if (!uniform_drift) w *= cell_drift_factor(idx, elapsed);
+      if (spatial) w *= ir_factor_at(t_s, r, c);
+      acc += input[static_cast<std::size_t>(r)] * w;
+    }
+    acc *= lumped_ir * nominal_drift;
+    out[static_cast<std::size_t>(c)] =
+        quantize_adc(acc, static_cast<double>(ou_rows), adc_bits);
+  }
+  return out;
+}
+
+std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,
+                                  int ou_cols, double t_s, int adc_bits) {
+  assert(static_cast<int>(input.size()) >= live_rows_);
+  std::vector<double> out(static_cast<std::size_t>(live_cols_), 0.0);
+  for (int r0 = 0; r0 < live_rows_; r0 += ou_rows) {
+    const int rows = std::min(ou_rows, live_rows_ - r0);
+    std::vector<double> slice(input.begin() + r0, input.begin() + r0 + rows);
+    for (int c0 = 0; c0 < live_cols_; c0 += ou_cols) {
+      const int cols = std::min(ou_cols, live_cols_ - c0);
+      const auto part = mvm_ou(slice, r0, rows, c0, cols, t_s, adc_bits);
+      for (int c = 0; c < cols; ++c)
+        out[static_cast<std::size_t>(c0 + c)] +=
+            part[static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Crossbar::ideal_mvm(std::span<const double> input) const {
+  assert(static_cast<int>(input.size()) >= live_rows_);
+  std::vector<double> out(static_cast<std::size_t>(live_cols_), 0.0);
+  for (int r = 0; r < live_rows_; ++r) {
+    const double x = input[static_cast<std::size_t>(r)];
+    if (x == 0.0) continue;
+    for (int c = 0; c < live_cols_; ++c)
+      out[static_cast<std::size_t>(c)] += x * ideal_weight(r, c);
+  }
+  return out;
+}
+
+double Crossbar::weight_rms_error(double t_s, int ou_rows, int ou_cols) const {
+  if (live_rows_ == 0 || live_cols_ == 0) return 0.0;
+  double acc = 0.0;
+  std::int64_t n = 0;
+  for (int r = 0; r < live_rows_; ++r) {
+    for (int c = 0; c < live_cols_; ++c) {
+      const double d =
+          ideal_weight(r, c) - effective_weight(r, c, t_s, ou_rows, ou_cols);
+      acc += d * d;
+      ++n;
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+}  // namespace odin::reram

@@ -1,0 +1,126 @@
+// Behavioural ReRAM crossbar model.
+//
+// Stores a weight matrix as differentially encoded multi-level-cell
+// conductances and evaluates analog matrix-vector products at Operation-Unit
+// (OU) granularity, applying the deterministic non-idealities of
+// reram/device.hpp (conductance drift, IR-drop) plus stochastic read noise,
+// and quantizing each column output through an ADC of configurable
+// precision. This is the substrate the Monte-Carlo accuracy evaluator and
+// the micro-benchmarks exercise; the analytical cost models in src/ou do not
+// need cell-level state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "reram/device.hpp"
+#include "reram/noise.hpp"
+
+namespace odin::reram {
+
+/// How IR drop is applied across an activated OU.
+enum class IrModel {
+  /// Eq. 4 verbatim: one effective series resistance R_wire * (R + C) for
+  /// every cell of the OU (the analytical models' view).
+  kLumped,
+  /// Position-dependent: cell (r, c) of the OU sees R_wire * (r + c + 2)
+  /// wire segments — cells far from the drivers degrade more, and Eq. 4's
+  /// lumped value is the far-corner worst case.
+  kSpatial,
+};
+
+class Crossbar {
+ public:
+  /// A crossbar of `size` x `size` cells. If `noise` is provided, writes and
+  /// reads are perturbed stochastically (including any stuck-at-faults its
+  /// params enable); otherwise they are deterministic.
+  Crossbar(int size, DeviceParams device,
+           std::optional<NoiseModel> noise = std::nullopt,
+           IrModel ir_model = IrModel::kLumped);
+
+  int size() const noexcept { return size_; }
+  const DeviceParams& device() const noexcept { return device_; }
+
+  /// Program a row-major weight block (values in [-1, 1]) into the top-left
+  /// corner of the array at absolute time `at_time_s`. Rows/cols beyond the
+  /// block keep their previous contents. Resets the drift clock for the
+  /// whole array (reprogramming is array-granular, as in the paper).
+  void program(std::span<const double> weights, int rows, int cols,
+               double at_time_s);
+
+  /// Wall-clock moment of the most recent (re)programming.
+  double programmed_at_s() const noexcept { return programmed_at_s_; }
+
+  /// Number of cells carrying live weights (for reprogramming energy).
+  std::int64_t programmed_cells() const noexcept { return programmed_cells_; }
+
+  /// Cells stuck at G_ON / G_OFF by permanent faults (0 without noise).
+  std::int64_t faulty_cells() const noexcept { return faulty_cells_; }
+
+  IrModel ir_model() const noexcept { return ir_model_; }
+
+  /// The signed weight a cell would ideally contribute (post-quantization,
+  /// no drift / IR-drop / noise).
+  double ideal_weight(int row, int col) const;
+
+  /// The signed weight the cell effectively contributes at absolute time
+  /// `t_s` when read inside an OU activating `ou_rows` x `ou_cols` cells.
+  /// With a NoiseModel attached, each cell drifts with its own sampled
+  /// coefficient (cell-to-cell drift variation — the effect that erodes
+  /// *relative* weight structure over time); without one, drift is the
+  /// uniform device nominal.
+  double effective_weight(int row, int col, double t_s, int ou_rows,
+                          int ou_cols) const;
+
+  /// Analog MVM of one OU window: output[c] = sum_r in[r] * W_eff[r][c],
+  /// each column quantized by an ADC of `adc_bits` (full scale = ou_rows,
+  /// the worst-case column current). `input` has `ou_rows` entries.
+  std::vector<double> mvm_ou(std::span<const double> input, int row0,
+                             int ou_rows, int col0, int ou_cols, double t_s,
+                             int adc_bits);
+
+  /// Full programmed-region MVM composed of (ou_rows x ou_cols) OU passes
+  /// with partial sums accumulated digitally (shift-and-add path).
+  std::vector<double> mvm(std::span<const double> input, int ou_rows,
+                          int ou_cols, double t_s, int adc_bits);
+
+  /// Ideal (float) MVM over the programmed region, for error measurement.
+  std::vector<double> ideal_mvm(std::span<const double> input) const;
+
+  /// RMS error between ideal and effective weights over the programmed
+  /// region at time t under an (ou_rows x ou_cols) activation pattern.
+  double weight_rms_error(double t_s, int ou_rows, int ou_cols) const;
+
+  int programmed_rows() const noexcept { return live_rows_; }
+  int programmed_cols() const noexcept { return live_cols_; }
+
+ private:
+  /// Uniform (device-nominal) degradation: drift x IR-drop, as a factor.
+  double degradation_factor(double t_s, int ou_rows, int ou_cols) const;
+  /// IR-drop-only factor (G_eff / G_drift); the drift part is per cell.
+  /// Lumped across the OU (kLumped) or for a specific cell position within
+  /// it (kSpatial).
+  double ir_factor(double t_s, int ou_rows, int ou_cols) const;
+  double ir_factor_at(double t_s, int row_in_ou, int col_in_ou) const;
+  /// Per-cell drift factor (t/t0)^(-v_i); uniform v without a NoiseModel.
+  double cell_drift_factor(std::size_t idx, double elapsed_s) const;
+  double quantize_adc(double value, double full_scale, int adc_bits) const;
+
+  int size_;
+  DeviceParams device_;
+  std::optional<NoiseModel> noise_;
+  IrModel ir_model_;
+  std::vector<double> conductance_s_;  ///< programmed magnitudes (siemens)
+  std::vector<std::int8_t> sign_;      ///< -1 / 0 / +1 per cell
+  std::vector<double> drift_coeff_;    ///< per-cell v (empty = uniform)
+  std::vector<std::int8_t> fault_;     ///< CellFault per cell (empty = none)
+  double programmed_at_s_ = 0.0;
+  std::int64_t programmed_cells_ = 0;
+  std::int64_t faulty_cells_ = 0;
+  int live_rows_ = 0;
+  int live_cols_ = 0;
+};
+
+}  // namespace odin::reram

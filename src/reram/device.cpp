@@ -1,0 +1,62 @@
+#include "reram/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odin::reram {
+
+double drift_conductance(const DeviceParams& p, double t_s) noexcept {
+  const double t = std::max(t_s, p.t0_s);
+  return p.g_on_s * std::pow(t / p.t0_s, -p.drift_coefficient);
+}
+
+double effective_conductance(const DeviceParams& p, double t_s, int rows,
+                             int cols, double wire_scale) noexcept {
+  assert(rows >= 1 && cols >= 1 && wire_scale > 0.0);
+  const double g_drift = drift_conductance(p, t_s);
+  const double series_r =
+      p.r_wire_ohm * static_cast<double>(rows + cols) * wire_scale;
+  return 1.0 / (1.0 / g_drift + series_r);
+}
+
+double conductance_error(const DeviceParams& p, double t_s, int rows,
+                         int cols, double wire_scale) noexcept {
+  return std::abs(p.g_on_s -
+                  effective_conductance(p, t_s, rows, cols, wire_scale));
+}
+
+double relative_conductance_error(const DeviceParams& p, double t_s,
+                                  int rows, int cols,
+                                  double wire_scale) noexcept {
+  return conductance_error(p, t_s, rows, cols, wire_scale) / p.g_on_s;
+}
+
+NonIdealityComponents nonideality_components(const DeviceParams& p,
+                                             double t_s, int rows, int cols,
+                                             double wire_scale) noexcept {
+  const double g_drift = drift_conductance(p, t_s);
+  const double g_eff =
+      effective_conductance(p, t_s, rows, cols, wire_scale);
+  return NonIdealityComponents{
+      .drift = (p.g_on_s - g_drift) / p.g_on_s,
+      .ir_drop = (g_drift - g_eff) / p.g_on_s,
+  };
+}
+
+double quantize_weight_to_conductance(const DeviceParams& p,
+                                      double weight_magnitude) noexcept {
+  const double w = std::clamp(weight_magnitude, 0.0, 1.0);
+  const int top = p.levels() - 1;
+  const int level = static_cast<int>(std::lround(w * top));
+  const double frac = static_cast<double>(level) / static_cast<double>(top);
+  return p.g_off_s + frac * (p.g_on_s - p.g_off_s);
+}
+
+double conductance_to_weight(const DeviceParams& p,
+                             double conductance_s) noexcept {
+  const double frac = (conductance_s - p.g_off_s) / (p.g_on_s - p.g_off_s);
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+}  // namespace odin::reram

@@ -1,0 +1,93 @@
+// ReRAM device model: Table II parameters, conductance drift (paper Eq. 3),
+// IR-drop-degraded effective conductance and conductance error (paper Eq. 4),
+// and weight <-> multi-level-cell conductance quantization.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace odin::reram {
+
+/// Device & crossbar electrical parameters (paper Table II), plus the write
+/// costs that NeuroSim-style models need for the reprogramming accounting.
+///
+/// Calibration note (see DESIGN.md §4): the paper lists v = 0.2 s^-1, but
+/// that value drains G_ON within seconds and contradicts the paper's own
+/// reprogramming counts in Fig. 6 (16x16 reprogrammed every ~2.3e6 s). We
+/// keep Eq. 3 structurally exact and default v to the calibrated 0.0021 so
+/// the Fig. 6 / Fig. 8 shapes reproduce; `paper_drift_coefficient` preserves
+/// the printed value for reference.
+struct DeviceParams {
+  double g_on_s = 333.0 * units::uS;    ///< ON-state conductance
+  double g_off_s = 0.33 * units::uS;    ///< OFF-state conductance
+  double r_wire_ohm = 1.0 * units::ohm; ///< per-cell crossbar wire resistance
+  double drift_coefficient = 0.00213;   ///< calibrated v (dimensionless)
+  double t0_s = 1.0 * units::s;         ///< reference time after programming
+  int bits_per_cell = 2;                ///< multi-level cell (Table I)
+
+  /// Write (programming) cost per cell. A single SET/RESET pulse is O(1) pJ,
+  /// but programming analog multi-level cells to precision takes tens of
+  /// write-verify iterations (program-verify loops dominate, cf. Re2fresh
+  /// [18]); the effective per-cell cost is O(100) pJ and per-row write-verify
+  /// time is O(1) us.
+  double write_energy_per_cell_j = 900.0 * units::pJ;
+  double write_latency_per_row_s = 2.0 * units::us;
+
+  static constexpr double paper_drift_coefficient = 0.2;  ///< as printed
+
+  /// Number of distinct conductance levels a cell can store.
+  int levels() const noexcept { return 1 << bits_per_cell; }
+};
+
+/// Paper Eq. 3: G_drift(t) = G_ON * (t / t0)^(-v).
+/// `t_s` is wall-clock time elapsed since the cells were (re)programmed,
+/// clamped below at t0 (the model is defined for t >= t0).
+double drift_conductance(const DeviceParams& p, double t_s) noexcept;
+
+/// Paper Eq. 4: effective conductance seen through the IR-drop voltage
+/// divider when an OU of `rows` x `cols` cells is activated concurrently:
+///   G_eff = 1 / ( 1/G_drift(t) + R_wire * (rows + cols) * wire_scale )
+/// `wire_scale` models the crossbar-size dependence the paper's sensitivity
+/// analysis relies on (Sec. V-D: "as we scale down the crossbar size, the
+/// impact of crossbar non-idealities reduces"): an activated word/bitline
+/// physically spans the whole crossbar, so its resistance scales with the
+/// crossbar dimension. wire_scale = crossbar_size / 128 — exactly Eq. 4 at
+/// the paper's reference 128x128 array.
+double effective_conductance(const DeviceParams& p, double t_s, int rows,
+                             int cols, double wire_scale = 1.0) noexcept;
+
+/// Paper Eq. 4: conductance error  dG = | G_ON - G_eff |.
+double conductance_error(const DeviceParams& p, double t_s, int rows,
+                         int cols, double wire_scale = 1.0) noexcept;
+
+/// dG normalized by G_ON — the dimensionless non-ideality factor (NF) that
+/// Algorithm 1 compares against the threshold eta.
+double relative_conductance_error(const DeviceParams& p, double t_s,
+                                  int rows, int cols,
+                                  double wire_scale = 1.0) noexcept;
+
+/// Split Eq. 4 into its two physical components, both normalized by G_ON:
+/// the global drift loss (OU-independent) and the IR-drop loss (grows with
+/// rows + cols). Their sum equals relative_conductance_error exactly.
+struct NonIdealityComponents {
+  double drift;    ///< (G_ON - G_drift) / G_ON
+  double ir_drop;  ///< (G_drift - G_eff) / G_ON
+  double total() const noexcept { return drift + ir_drop; }
+};
+NonIdealityComponents nonideality_components(const DeviceParams& p,
+                                             double t_s, int rows, int cols,
+                                             double wire_scale = 1.0) noexcept;
+
+/// Quantize a weight in [-1, 1] onto a signed pair of multi-level cells
+/// (positive and negative columns, the standard differential encoding).
+/// Returns the conductance the *positive* path programs; the caller holds
+/// the sign. Level 0 maps to G_OFF, the top level to G_ON.
+double quantize_weight_to_conductance(const DeviceParams& p,
+                                      double weight_magnitude) noexcept;
+
+/// Inverse of quantize_weight_to_conductance: conductance -> magnitude.
+double conductance_to_weight(const DeviceParams& p,
+                             double conductance_s) noexcept;
+
+}  // namespace odin::reram

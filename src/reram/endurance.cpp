@@ -1,0 +1,39 @@
+#include "reram/endurance.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace odin::reram {
+
+double EnduranceModel::failure_fraction(double cycles) const noexcept {
+  if (cycles <= 0.0) return 0.0;
+  const double x = cycles / params_.characteristic_cycles;
+  return 1.0 - std::exp(-std::pow(x, params_.shape));
+}
+
+double EnduranceModel::cycles_to_failure_budget(
+    double budget) const noexcept {
+  if (budget <= 0.0) return 0.0;
+  if (budget >= 1.0) return std::numeric_limits<double>::infinity();
+  // Invert F(n): n = eta * (-ln(1 - budget))^(1/beta).
+  return params_.characteristic_cycles *
+         std::pow(-std::log(1.0 - budget), 1.0 / params_.shape);
+}
+
+double EnduranceModel::sample_lifetime(common::Rng& rng) const noexcept {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return params_.characteristic_cycles *
+         std::pow(-std::log(u), 1.0 / params_.shape);
+}
+
+double EnduranceModel::lifetime_seconds(double reprograms_per_horizon,
+                                        double horizon_s,
+                                        double budget) const noexcept {
+  if (reprograms_per_horizon <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  const double budget_cycles = cycles_to_failure_budget(budget);
+  return budget_cycles / reprograms_per_horizon * horizon_s;
+}
+
+}  // namespace odin::reram

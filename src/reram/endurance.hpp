@@ -1,0 +1,58 @@
+// ReRAM endurance (write wear) model.
+//
+// Every program-verify campaign stresses the cells; after enough write
+// cycles, cells fail permanently (typically stuck). ReRAM endurance is
+// O(1e6-1e12) cycles device-to-device; with per-cell Weibull-distributed
+// lifetimes, the expected stuck-cell fraction after n reprogramming
+// campaigns is F(n) = 1 - exp(-(n / eta)^beta).
+//
+// The paper never discusses wear, but it compounds its own argument: the
+// 16x16 baseline's ~45 reprograms per 1e8 s horizon cost endurance as well
+// as energy, and over a device lifetime the reprogram-hungry schemes burn
+// through write budget Odin never spends. bench/endurance_projection
+// quantifies this.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace odin::reram {
+
+struct EnduranceParams {
+  /// Weibull scale: characteristic lifetime in write campaigns. One
+  /// campaign = one whole-array write-verify pass (which itself is ~15
+  /// pulses, see ProgramVerifyModel); 2e5 campaigns ~ 3e6 pulse-level
+  /// writes, a conservative analog-ReRAM figure.
+  double characteristic_cycles = 2e5;
+  /// Weibull shape (> 1: wear-out dominated, the usual regime).
+  double shape = 1.8;
+};
+
+class EnduranceModel {
+ public:
+  explicit EnduranceModel(EnduranceParams params = {}) : params_(params) {}
+
+  const EnduranceParams& params() const noexcept { return params_; }
+
+  /// Expected fraction of cells failed after `cycles` write campaigns.
+  double failure_fraction(double cycles) const noexcept;
+
+  /// Write campaigns until the expected failure fraction reaches
+  /// `budget` (e.g. 1e-3 = 0.1% stuck cells, a typical ECC ceiling).
+  double cycles_to_failure_budget(double budget) const noexcept;
+
+  /// Sample one cell's lifetime (in campaigns).
+  double sample_lifetime(common::Rng& rng) const noexcept;
+
+  /// Device lifetime in seconds for a scheme that reprograms
+  /// `reprograms_per_horizon` times every `horizon_s`, before the stuck
+  /// fraction crosses `budget`.
+  double lifetime_seconds(double reprograms_per_horizon, double horizon_s,
+                          double budget = 1e-3) const noexcept;
+
+ private:
+  EnduranceParams params_;
+};
+
+}  // namespace odin::reram

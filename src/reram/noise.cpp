@@ -1,0 +1,4 @@
+#include "reram/noise.hpp"
+
+// NoiseModel is header-only today; this translation unit anchors the library
+// target and is the place sampled-noise tables would live if profiles grow.

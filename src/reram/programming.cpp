@@ -1,0 +1,57 @@
+#include "reram/programming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odin::reram {
+
+double ProgramVerifyModel::tolerance_for(
+    const DeviceParams& device) const noexcept {
+  const double spacing =
+      (device.g_on_s - device.g_off_s) /
+      static_cast<double>(device.levels() - 1);
+  return 0.1 * spacing / device.g_on_s;
+}
+
+int ProgramVerifyModel::iterations_for(double rel_tolerance) const noexcept {
+  if (rel_tolerance >= params_.initial_sigma) return 1;
+  const double k = std::log(rel_tolerance / params_.initial_sigma) /
+                   std::log(params_.convergence_rate);
+  return std::min(params_.max_iterations,
+                  static_cast<int>(std::ceil(k)));
+}
+
+common::EnergyLatency ProgramVerifyModel::cell_cost(
+    const DeviceParams& device) const noexcept {
+  const int iters = iterations_for(tolerance_for(device));
+  return common::EnergyLatency{
+      .energy_j = params_.reset_energy_j +
+                  iters * (params_.pulse_energy_j + params_.verify_energy_j),
+      .latency_s = params_.reset_duration_s +
+                   iters * (params_.pulse_duration_s +
+                            params_.verify_duration_s),
+  };
+}
+
+double ProgramVerifyModel::row_latency_s(
+    const DeviceParams& device) const noexcept {
+  return cell_cost(device).latency_s;
+}
+
+int ProgramVerifyModel::simulate_write(const DeviceParams& device,
+                                       common::Rng& rng) const {
+  const double tol = tolerance_for(device);
+  double error = params_.initial_sigma * (0.5 + rng.uniform());
+  int iters = 0;
+  while (error > tol && iters < params_.max_iterations) {
+    ++iters;
+    // Noisy convergence: each pulse removes a random share of the error
+    // around the nominal rate.
+    const double rate =
+        std::clamp(params_.convergence_rate + 0.1 * rng.normal(), 0.5, 0.99);
+    error *= rate;
+  }
+  return std::max(iters, 1);
+}
+
+}  // namespace odin::reram

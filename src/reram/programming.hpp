@@ -1,0 +1,68 @@
+// Write-verify (program-verify) model for analog multi-level ReRAM cells.
+//
+// Programming a cell to an analog target is iterative: apply a partial
+// SET/RESET pulse, read back, repeat until the stored conductance is within
+// tolerance. Each iteration multiplies the residual error by a convergence
+// factor < 1, so the iteration count is logarithmic in the demanded
+// precision. The DeviceParams write-cost constants used by the reprogramming
+// accounting are *derived* from this model (see the coherence test in
+// tests/test_reram_programming.cpp): for 2-bit cells the defaults work out
+// to ~0.9 nJ and ~2 us per wordline — the numbers behind Fig. 6's
+// reprogramming overheads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "reram/device.hpp"
+
+namespace odin::reram {
+
+struct ProgramVerifyParams {
+  double pulse_energy_j = 30.0 * units::pJ;   ///< one partial SET/RESET
+  double pulse_duration_s = 70.0 * units::ns;
+  double verify_energy_j = 5.0 * units::pJ;   ///< read-back per iteration
+  double verify_duration_s = 30.0 * units::ns;
+  /// Initial relative conductance error after the first blind pulse.
+  double initial_sigma = 0.35;
+  /// Residual-error multiplier per write-verify iteration.
+  double convergence_rate = 0.85;
+  /// Upfront RESET (erase to G_OFF) before re-targeting, per cell.
+  double reset_energy_j = 235.0 * units::pJ;
+  double reset_duration_s = 100.0 * units::ns;
+  int max_iterations = 64;
+};
+
+class ProgramVerifyModel {
+ public:
+  explicit ProgramVerifyModel(ProgramVerifyParams params = {})
+      : params_(params) {}
+
+  const ProgramVerifyParams& params() const noexcept { return params_; }
+
+  /// Verify tolerance for a cell storing `bits_per_cell` levels: a tenth of
+  /// the level spacing, relative to G_ON (standard half-margin practice
+  /// with guard band).
+  double tolerance_for(const DeviceParams& device) const noexcept;
+
+  /// Iterations needed to bring the residual under `rel_tolerance`.
+  int iterations_for(double rel_tolerance) const noexcept;
+
+  /// Deterministic per-cell programming cost at the device's tolerance.
+  common::EnergyLatency cell_cost(const DeviceParams& device) const noexcept;
+
+  /// Latency to write one wordline: cells on a row are programmed in
+  /// parallel by the column drivers, so the row takes as long as its
+  /// worst-case cell.
+  double row_latency_s(const DeviceParams& device) const noexcept;
+
+  /// Stochastic single-cell write for validation: returns the iteration
+  /// count actually used (error shrinks by a noisy factor each round).
+  int simulate_write(const DeviceParams& device, common::Rng& rng) const;
+
+ private:
+  ProgramVerifyParams params_;
+};
+
+}  // namespace odin::reram

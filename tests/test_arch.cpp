@@ -1,0 +1,112 @@
+// Tests for the architecture module: Table I accounting, the mesh NoC,
+// system mapping and the Sec. V-E overhead model.
+#include <gtest/gtest.h>
+
+#include "arch/components.hpp"
+#include "arch/noc.hpp"
+#include "arch/overhead.hpp"
+#include "arch/system.hpp"
+#include "dnn/zoo.hpp"
+
+namespace odin::arch {
+namespace {
+
+TEST(Components, TableIAreaSumsToPaperHeadline) {
+  // Paper: tile area 0.28 mm^2 (the rows sum to 0.2822).
+  EXPECT_NEAR(tile_area_mm2(), 0.2822, 1e-6);
+  EXPECT_EQ(tile_components().size(), 9u);
+}
+
+TEST(Components, TileCapacity) {
+  const TileConfig tile;
+  EXPECT_EQ(tile.cell_capacity(), 96LL * 128 * 128);
+  EXPECT_EQ(tile.adcs, 96);
+  EXPECT_DOUBLE_EQ(tile.frequency_hz, 1.2e9);
+}
+
+TEST(Components, SystemTotals) {
+  const PimConfig pim;
+  EXPECT_EQ(pim.pes, 36);
+  EXPECT_EQ(pim.total_crossbars(), 36LL * 4 * 96);
+  EXPECT_NEAR(pim.system_area_mm2(), 36 * 4 * 0.2822, 1e-6);
+}
+
+TEST(Adc, ReconfigurableRangeClampsAndScales) {
+  const ReconfigurableAdc adc;
+  EXPECT_EQ(adc.clamp_bits(2), 3);
+  EXPECT_EQ(adc.clamp_bits(5), 5);
+  EXPECT_EQ(adc.clamp_bits(9), 6);
+  EXPECT_GT(adc.conversion_energy_j(6), adc.conversion_energy_j(3));
+  EXPECT_NEAR(adc.conversion_latency_s(6) / adc.conversion_latency_s(3),
+              2.0, 1e-12);
+}
+
+TEST(Noc, XyHopsAreManhattan) {
+  const NocModel noc(6, 6);
+  EXPECT_EQ(noc.hops(0, 0), 0);
+  EXPECT_EQ(noc.hops(0, 5), 5);    // same row
+  EXPECT_EQ(noc.hops(0, 30), 5);   // same column
+  EXPECT_EQ(noc.hops(0, 35), 10);  // opposite corner
+  EXPECT_EQ(noc.hops(7, 14), noc.hops(14, 7));  // symmetric
+}
+
+TEST(Noc, AverageHopsMatchesClosedFormApproximation) {
+  const NocModel noc(6, 6);
+  // Mean Manhattan distance on an n x n mesh ~ 2*(n^2-1)/(3n) = 3.888...
+  EXPECT_NEAR(noc.average_hops(), 2.0 * 35.0 / 18.0, 1e-9);
+}
+
+TEST(Noc, TransferPipelinesFlits) {
+  const NocModel noc(6, 6);
+  const auto p = noc.params();
+  const auto one_flit = noc.transfer(32, 4);
+  EXPECT_DOUBLE_EQ(one_flit.energy_j, p.hop_energy_per_flit_j * 4);
+  EXPECT_DOUBLE_EQ(one_flit.latency_s, p.hop_latency_s * 4);
+  const auto ten_flits = noc.transfer(320, 4);
+  EXPECT_DOUBLE_EQ(ten_flits.energy_j, p.hop_energy_per_flit_j * 40);
+  // Pipelined: 4 + 10 - 1 hops of latency, not 40.
+  EXPECT_DOUBLE_EQ(ten_flits.latency_s, p.hop_latency_s * 13);
+  EXPECT_DOUBLE_EQ(noc.transfer(0, 4).energy_j, 0.0);
+}
+
+TEST(System, MapsVgg11WithinCapacity) {
+  const SystemModel system{PimConfig{}};
+  const auto mapping = system.map(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  EXPECT_EQ(mapping.placements.size(), 10u);
+  EXPECT_GT(mapping.crossbars_used, 0);
+  EXPECT_LE(mapping.utilization, 1.0);
+  EXPECT_GT(mapping.noc_per_inference.energy_j, 0.0);
+  // Placements cover increasing layers in order.
+  for (std::size_t i = 0; i < mapping.placements.size(); ++i)
+    EXPECT_EQ(mapping.placements[i].layer_index, static_cast<int>(i));
+}
+
+TEST(System, SmallerCrossbarsNeedMoreOfThem) {
+  const SystemModel system{PimConfig{}};
+  const auto model = dnn::make_vgg11(data::DatasetKind::kCifar10);
+  const auto at128 = system.map(model, 128);
+  const auto at64 = system.map(model, 64);
+  const auto at32 = system.map(model, 32);
+  EXPECT_GT(at64.crossbars_used, at128.crossbars_used);
+  EXPECT_GT(at32.crossbars_used, at64.crossbars_used);
+}
+
+TEST(Overhead, PaperPercentages) {
+  const OverheadModel overhead(OverheadParams{}, PimConfig{});
+  // Sec. V-E: controller 1.8% of tile, online learning 0.2% of system,
+  // buffer 0.35 KB.
+  EXPECT_NEAR(overhead.controller_tile_fraction(), 0.018, 0.0005);
+  EXPECT_NEAR(overhead.learning_system_fraction(), 0.002, 0.0005);
+  EXPECT_NEAR(overhead.buffer_bytes(), 350.0, 1.0);
+}
+
+TEST(Overhead, PredictionAndUpdateCosts) {
+  const OverheadModel overhead(OverheadParams{}, PimConfig{});
+  const double latency = 1e-3;
+  EXPECT_NEAR(overhead.prediction_energy_j(latency), 0.14e-3 * 1e-3, 1e-12);
+  EXPECT_NEAR(overhead.prediction_latency_s(latency), 0.9e-5, 1e-12);
+  EXPECT_NEAR(overhead.total_update_energy_j(10), 2.2e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace odin::arch

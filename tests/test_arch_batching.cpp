@@ -1,0 +1,63 @@
+// Tests for batched, inter-layer-pipelined inference cost.
+#include <gtest/gtest.h>
+
+#include "arch/batching.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::arch {
+namespace {
+
+struct Fixture {
+  ou::MappedModel model = testing::tiny_mapped();
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+};
+
+TEST(Batching, BatchOfOneEqualsFillLatency) {
+  Fixture fx;
+  const auto b1 = batched_inference_cost(fx.model, {16, 16}, fx.cost, 1);
+  EXPECT_DOUBLE_EQ(b1.total.latency_s, b1.fill_latency_s);
+  EXPECT_GT(b1.bottleneck_latency_s, 0.0);
+  EXPECT_LE(b1.bottleneck_latency_s, b1.fill_latency_s);
+}
+
+TEST(Batching, LatencyFollowsPipelineFormula) {
+  Fixture fx;
+  const auto b1 = batched_inference_cost(fx.model, {16, 16}, fx.cost, 1);
+  const auto b8 = batched_inference_cost(fx.model, {16, 16}, fx.cost, 8);
+  EXPECT_NEAR(b8.total.latency_s,
+              b1.fill_latency_s + 7.0 * b1.bottleneck_latency_s, 1e-12);
+  // Energy is exactly linear in the batch.
+  EXPECT_NEAR(b8.total.energy_j, 8.0 * b1.total.energy_j, 1e-18);
+}
+
+TEST(Batching, PipeliningBeatsSequentialExecution) {
+  Fixture fx;
+  const auto b16 = batched_inference_cost(fx.model, {16, 16}, fx.cost, 16);
+  const auto b1 = batched_inference_cost(fx.model, {16, 16}, fx.cost, 1);
+  EXPECT_LT(b16.total.latency_s, 16.0 * b1.total.latency_s);
+}
+
+TEST(Batching, ThroughputIsInverseBottleneck) {
+  Fixture fx;
+  const auto b = batched_inference_cost(fx.model, {16, 16}, fx.cost, 4);
+  EXPECT_NEAR(b.throughput_ips * b.bottleneck_latency_s, 1.0, 1e-12);
+  EXPECT_GE(b.bottleneck_layer, 0);
+  EXPECT_LT(b.bottleneck_layer, static_cast<int>(fx.model.layer_count()));
+}
+
+TEST(Batching, PerLayerConfigsCanMoveTheBottleneck) {
+  Fixture fx;
+  // Uniform fine OUs: the biggest layer dominates. Giving that layer a
+  // coarse OU while keeping the rest fine must not increase throughput's
+  // bottleneck above the uniform-fine value.
+  const auto fine = batched_inference_cost(fx.model, {4, 4}, fx.cost, 4);
+  std::vector<ou::OuConfig> mixed(fx.model.layer_count(), ou::OuConfig{4, 4});
+  mixed[static_cast<std::size_t>(fine.bottleneck_layer)] = {32, 32};
+  const auto rebalanced =
+      batched_inference_cost(fx.model, mixed, fx.cost, 4);
+  EXPECT_LT(rebalanced.bottleneck_latency_s, fine.bottleneck_latency_s);
+  EXPECT_GT(rebalanced.throughput_ips, fine.throughput_ips);
+}
+
+}  // namespace
+}  // namespace odin::arch

@@ -1,0 +1,100 @@
+// Tests for the tile-pipeline bottleneck analysis.
+#include <gtest/gtest.h>
+
+#include "arch/pipeline.hpp"
+
+namespace odin::arch {
+namespace {
+
+dnn::LayerDescriptor mid_layer() {
+  dnn::LayerDescriptor l;
+  l.name = "conv";
+  l.fan_in = 1152;
+  l.outputs = 256;
+  l.spatial_positions = 64;
+  l.kernel = 3;
+  return l;
+}
+
+ou::OuCounts dense_counts(const dnn::LayerDescriptor& l, ou::OuConfig cfg,
+                          int crossbar = 128) {
+  // Closed-form dense counts for the bottleneck crossbar.
+  const std::int64_t blocks =
+      ((crossbar + cfg.rows - 1) / cfg.rows) *
+      ((crossbar + cfg.cols - 1) / cfg.cols);
+  ou::OuCounts c;
+  c.live_blocks = blocks;
+  c.max_blocks_per_xbar = blocks;
+  c.total_ou_cycles = blocks * l.spatial_positions;
+  c.max_ou_cycles_per_xbar = blocks * l.spatial_positions;
+  c.occupancy = 1.0;
+  return c;
+}
+
+TEST(Pipeline, AdcIsTheBottleneckAtStandardConfigs) {
+  // Paper Sec. III-B's premise, checked rather than assumed.
+  const auto layer = mid_layer();
+  const ou::CostParams cost;
+  for (ou::OuConfig cfg : {ou::OuConfig{16, 16}, ou::OuConfig{32, 32},
+                           ou::OuConfig{8, 4}}) {
+    const auto analysis =
+        analyze_layer(layer, dense_counts(layer, cfg), cfg, cost);
+    EXPECT_EQ(analysis.bottleneck, PipelineStage::kAdcConvert)
+        << cfg.to_string();
+    EXPECT_GT(analysis.share(PipelineStage::kAdcConvert), 0.5)
+        << cfg.to_string();
+  }
+}
+
+TEST(Pipeline, StageTimesArePositiveAndSumToTotal) {
+  const auto layer = mid_layer();
+  const ou::CostParams cost;
+  const ou::OuConfig cfg{16, 16};
+  const auto analysis =
+      analyze_layer(layer, dense_counts(layer, cfg), cfg, cost);
+  double sum = 0.0;
+  for (int s = 0; s < static_cast<int>(PipelineStage::kCount); ++s) {
+    EXPECT_GT(analysis.stage_time_s[static_cast<std::size_t>(s)], 0.0);
+    sum += analysis.stage_time_s[static_cast<std::size_t>(s)];
+  }
+  EXPECT_DOUBLE_EQ(analysis.total_time_s, sum);
+  EXPECT_LE(analysis.bottleneck_time_s, analysis.total_time_s);
+  EXPECT_DOUBLE_EQ(
+      analysis.bottleneck_time_s,
+      analysis.stage_time_s[static_cast<int>(analysis.bottleneck)]);
+}
+
+TEST(Pipeline, FinerOusSpendMoreTimeConverting) {
+  const auto layer = mid_layer();
+  const ou::CostParams cost;
+  const auto coarse = analyze_layer(layer, dense_counts(layer, {32, 32}),
+                                    {32, 32}, cost);
+  const auto fine =
+      analyze_layer(layer, dense_counts(layer, {4, 4}), {4, 4}, cost);
+  EXPECT_GT(fine.stage_time_s[static_cast<int>(PipelineStage::kAdcConvert)],
+            coarse.stage_time_s[static_cast<int>(
+                PipelineStage::kAdcConvert)]);
+}
+
+TEST(Pipeline, FetchAndWritebackAreOuIndependent) {
+  const auto layer = mid_layer();
+  const ou::CostParams cost;
+  const auto a =
+      analyze_layer(layer, dense_counts(layer, {8, 8}), {8, 8}, cost);
+  const auto b =
+      analyze_layer(layer, dense_counts(layer, {64, 64}), {64, 64}, cost);
+  EXPECT_DOUBLE_EQ(
+      a.stage_time_s[static_cast<int>(PipelineStage::kEdramFetch)],
+      b.stage_time_s[static_cast<int>(PipelineStage::kEdramFetch)]);
+  EXPECT_DOUBLE_EQ(
+      a.stage_time_s[static_cast<int>(PipelineStage::kWriteback)],
+      b.stage_time_s[static_cast<int>(PipelineStage::kWriteback)]);
+}
+
+TEST(Pipeline, StageNamesAreHuman) {
+  EXPECT_EQ(stage_name(PipelineStage::kAdcConvert), "ADC convert");
+  EXPECT_EQ(stage_name(PipelineStage::kEdramFetch), "eDRAM fetch");
+}
+
+}  // namespace
+}  // namespace odin::arch

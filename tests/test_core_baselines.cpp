@@ -1,0 +1,94 @@
+// Tests for the homogeneous-OU baseline runners.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/experiment.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::core {
+namespace {
+
+struct Fixture {
+  ou::MappedModel model = testing::tiny_mapped();
+  ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                ou::NonIdealityParams{}};
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+};
+
+TEST(Baselines, PaperConfigsArePresent) {
+  const auto configs = paper_baseline_configs();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0], (ou::OuConfig{16, 16}));
+  EXPECT_EQ(configs[1], (ou::OuConfig{16, 4}));
+  EXPECT_EQ(configs[2], (ou::OuConfig{9, 8}));
+  EXPECT_EQ(configs[3], (ou::OuConfig{8, 4}));
+}
+
+TEST(HomogeneousRunner, InferenceCostIsTimeInvariant) {
+  Fixture fx;
+  HomogeneousRunner runner(fx.model, fx.nonideal, fx.cost, {16, 16});
+  const auto r1 = runner.run_inference(1.0);
+  const auto r2 = runner.run_inference(100.0);
+  EXPECT_DOUBLE_EQ(r1.inference.energy_j, r2.inference.energy_j);
+  EXPECT_DOUBLE_EQ(r1.inference.latency_s, r2.inference.latency_s);
+}
+
+TEST(HomogeneousRunner, ReprogramsAtItsOwnCrossing) {
+  Fixture fx;
+  HomogeneousRunner runner(fx.model, fx.nonideal, fx.cost, {16, 16});
+  // 16x16 crossing is near 2e6 s with the calibrated constants.
+  EXPECT_FALSE(runner.run_inference(1e6).reprogrammed);
+  EXPECT_TRUE(runner.run_inference(4e6).reprogrammed);
+  EXPECT_EQ(runner.reprogram_count(), 1);
+  EXPECT_DOUBLE_EQ(runner.programmed_at_s(), 4e6);
+}
+
+TEST(HomogeneousRunner, CoarserOusReprogramMoreOften) {
+  // The Fig. 6 ordering: 16x16 reprograms far more than 8x4 over the
+  // horizon.
+  Fixture fx;
+  const HorizonConfig horizon{.t_start_s = 1.0, .t_end_s = 1e8, .runs = 300};
+  HomogeneousRunner coarse(fx.model, fx.nonideal, fx.cost, {16, 16});
+  HomogeneousRunner fine(fx.model, fx.nonideal, fx.cost, {8, 4});
+  for (double t : run_schedule(horizon)) {
+    coarse.run_inference(t);
+    fine.run_inference(t);
+  }
+  EXPECT_GT(coarse.reprogram_count(), 10 * fine.reprogram_count());
+  EXPECT_GE(fine.reprogram_count(), 1);
+}
+
+TEST(HomogeneousRunner, DisabledReprogrammingNeverFires) {
+  Fixture fx;
+  HomogeneousRunner runner(fx.model, fx.nonideal, fx.cost, {16, 16},
+                           /*reprogram_enabled=*/false);
+  for (double t : {1.0, 1e4, 1e7, 1e8}) {
+    const auto run = runner.run_inference(t);
+    EXPECT_FALSE(run.reprogrammed);
+  }
+  EXPECT_EQ(runner.reprogram_count(), 0);
+}
+
+TEST(HomogeneousRunner, FinerOuCostsMoreEnergyPerInference) {
+  // With the per-cycle fixed costs, 8x4 pays more energy per inference
+  // than 16x16 on the same workload (paper Sec. V-C).
+  Fixture fx;
+  HomogeneousRunner coarse(fx.model, fx.nonideal, fx.cost, {16, 16});
+  HomogeneousRunner fine(fx.model, fx.nonideal, fx.cost, {8, 4});
+  EXPECT_GT(fine.inference_cost().energy_j,
+            coarse.inference_cost().energy_j);
+  EXPECT_GT(fine.inference_cost().latency_s,
+            coarse.inference_cost().latency_s);
+}
+
+TEST(HomogeneousRunner, FullReprogramCostMatchesModelTotals) {
+  Fixture fx;
+  HomogeneousRunner runner(fx.model, fx.nonideal, fx.cost, {9, 8});
+  common::EnergyLatency manual;
+  for (std::size_t j = 0; j < fx.model.layer_count(); ++j)
+    manual += fx.cost.reprogram_cost(fx.model.mapping(j));
+  EXPECT_DOUBLE_EQ(runner.full_reprogram_cost().energy_j, manual.energy_j);
+}
+
+}  // namespace
+}  // namespace odin::core

@@ -1,0 +1,111 @@
+// CNN-based cross-check of the accuracy surrogate: the Monte-Carlo story
+// (accuracy flat at within-budget error levels, monotone collapse beyond)
+// must hold for convolutional reference models too, not just the MLP the
+// MonteCarloAccuracy evaluator uses — the paper's workloads are CNNs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/sequential.hpp"
+
+namespace odin::core {
+namespace {
+
+class CnnFixture : public ::testing::Test {
+ protected:
+  struct State {
+    nn::Sequential cnn;
+    nn::Dataset test;
+    std::vector<nn::Matrix> pristine;
+    double ideal;
+  };
+
+  static State& state() {
+    static State s = [] {
+      data::SyntheticDataset dataset(
+          data::DatasetSpec::for_kind(data::DatasetKind::kCifar10), 31);
+      const nn::Dataset train = dataset.as_feature_dataset(240, 2);
+      common::Rng rng(5);
+      State st;
+      st.cnn.add(std::make_unique<nn::Conv2dLayer>(
+          nn::ConvSpec{.in_channels = 3, .out_channels = 8, .kernel = 3,
+                       .stride = 1, .padding = 1},
+          16, 16, rng));
+      st.cnn.add(std::make_unique<nn::Relu>());
+      st.cnn.add(std::make_unique<nn::MaxPool2Layer>(8, 16, 16));
+      st.cnn.add(std::make_unique<nn::Dense>(8 * 8 * 8, 10, rng));
+      nn::TrainOptions opt;
+      opt.epochs = 10;
+      opt.batch_size = 16;
+      opt.learning_rate = 2e-3;
+      nn::fit_sequential(st.cnn, train, opt);
+
+      const nn::Dataset all = dataset.as_feature_dataset(320, 2);
+      st.test.inputs = nn::Matrix(80, all.inputs.cols());
+      st.test.labels.assign(1, std::vector<int>(80));
+      for (std::size_t i = 0; i < 80; ++i) {
+        auto src = all.inputs.row(240 + i);
+        std::copy(src.begin(), src.end(), st.test.inputs.row(i).begin());
+        st.test.labels[0][i] = all.labels[0][240 + i];
+      }
+      for (nn::Parameter* p : st.cnn.parameters())
+        st.pristine.push_back(p->value);
+      st.ideal = st.cnn.accuracy(st.test);
+      return st;
+    }();
+    return s;
+  }
+
+  /// Injects device-style errors (drift shrink + IR-scaled noise), measures
+  /// accuracy, restores the weights.
+  static double accuracy_under(double drift_nf, double ir_nf,
+                               std::uint64_t seed) {
+    State& st = state();
+    common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    auto params = st.cnn.parameters();
+    for (nn::Parameter* p : params)
+      for (double& v : p->value.flat())
+        v = v * (1.0 - drift_nf) + 1.5 * ir_nf * std::abs(v) * rng.normal();
+    const double acc = st.cnn.accuracy(st.test);
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i]->value = st.pristine[i];
+    return acc;
+  }
+};
+
+TEST_F(CnnFixture, CnnLearnsTheTask) { EXPECT_GT(state().ideal, 0.7); }
+
+TEST_F(CnnFixture, WithinBudgetErrorsAreHarmless) {
+  // The calibrated horizon's worst case: ~4% drift, ~1% IR.
+  double acc = 0.0;
+  for (std::uint64_t s = 1; s <= 3; ++s) acc += accuracy_under(0.04, 0.01, s);
+  EXPECT_GT(acc / 3.0, state().ideal - 0.08);
+}
+
+TEST_F(CnnFixture, SevereErrorsCollapseAccuracy) {
+  double acc = 0.0;
+  for (std::uint64_t s = 1; s <= 3; ++s) acc += accuracy_under(0.6, 0.5, s);
+  EXPECT_LT(acc / 3.0, state().ideal - 0.25);
+}
+
+TEST_F(CnnFixture, DecayIsMonotoneOnAverage) {
+  auto mean_acc = [&](double d, double ir) {
+    double acc = 0.0;
+    for (std::uint64_t s = 1; s <= 4; ++s) acc += accuracy_under(d, ir, s);
+    return acc / 4.0;
+  };
+  const double mild = mean_acc(0.1, 0.05);
+  const double severe = mean_acc(0.6, 0.45);
+  EXPECT_GT(mild, severe);
+}
+
+TEST_F(CnnFixture, RestorationIsExact) {
+  const double before = state().cnn.accuracy(state().test);
+  accuracy_under(0.5, 0.4, 9);
+  EXPECT_DOUBLE_EQ(state().cnn.accuracy(state().test), before);
+}
+
+}  // namespace
+}  // namespace odin::core

@@ -1,0 +1,99 @@
+// Tests for the entropy-gated search extension.
+#include <gtest/gtest.h>
+
+#include "core/odin.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::core {
+namespace {
+
+struct Fixture {
+  ou::MappedModel model = testing::tiny_mapped();
+  ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                ou::NonIdealityParams{}};
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+
+  OdinController controller(double gate, std::size_t buffer = 50) {
+    OdinConfig cfg;
+    cfg.entropy_gate = gate;
+    cfg.buffer_capacity = buffer;
+    return OdinController(model, nonideal, cost,
+                          policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+  }
+};
+
+TEST(EntropyGate, DisabledGateNeverSkips) {
+  Fixture fx;
+  auto ctl = fx.controller(-1.0);
+  for (double t : {1.0, 10.0, 100.0})
+    EXPECT_EQ(ctl.run_inference(t).searches_skipped, 0);
+}
+
+TEST(EntropyGate, FullyOpenGateSkipsEveryFeasiblePrediction) {
+  Fixture fx;
+  auto ctl = fx.controller(1.1);  // entropy is always < 1.1
+  const RunResult run = ctl.run_inference(1.0);
+  // Every layer whose prediction was feasible skipped its search.
+  int feasible_predictions = 0;
+  const int n = static_cast<int>(run.decisions.size());
+  for (int j = 0; j < n; ++j) {
+    const auto& d = run.decisions[static_cast<std::size_t>(j)];
+    if (fx.nonideal.feasible(run.elapsed_s, d.policy_choice,
+                             fx.nonideal.layer_sensitivity(j, n)))
+      ++feasible_predictions;
+  }
+  EXPECT_EQ(run.searches_skipped, feasible_predictions);
+  // Gated layers execute exactly the policy's choice with zero evaluations.
+  for (const auto& d : run.decisions)
+    if (d.evaluations == 0) {
+      EXPECT_EQ(d.executed, d.policy_choice);
+      EXPECT_FALSE(d.mismatch);
+    }
+}
+
+TEST(EntropyGate, GatedLayersProduceNoTrainingExamples) {
+  Fixture fx;
+  auto gated = fx.controller(1.1, /*buffer=*/4);
+  auto vanilla = fx.controller(-1.0, /*buffer=*/4);
+  int gated_updates = 0, vanilla_updates = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (gated.run_inference(1.0 + i).policy_updated) ++gated_updates;
+    if (vanilla.run_inference(1.0 + i).policy_updated) ++vanilla_updates;
+  }
+  // The untrained-but-confident gated policy never fills its buffer from
+  // skipped layers; the vanilla controller does.
+  EXPECT_LE(gated_updates, vanilla_updates);
+  EXPECT_GE(vanilla_updates, 1);
+}
+
+TEST(EntropyGate, InfeasiblePredictionStillSearches) {
+  // Late in the horizon the (untrained) policy's coarse predictions are
+  // infeasible: the gate must not bypass the constraint check.
+  Fixture fx;
+  auto ctl = fx.controller(1.1);
+  const RunResult run = ctl.run_inference(4e7);
+  const int n = static_cast<int>(run.decisions.size());
+  for (int j = 0; j < n; ++j) {
+    const auto& d = run.decisions[static_cast<std::size_t>(j)];
+    EXPECT_TRUE(fx.nonideal.feasible(run.elapsed_s, d.executed,
+                                     fx.nonideal.layer_sensitivity(j, n)))
+        << j;
+  }
+}
+
+TEST(EntropyGate, SkippingReducesTotalEvaluations) {
+  Fixture fx;
+  auto gated = fx.controller(1.1);
+  auto vanilla = fx.controller(-1.0);
+  int gated_evals = 0, vanilla_evals = 0;
+  for (double t : {1.0, 2.0, 4.0, 8.0}) {
+    for (const auto& d : gated.run_inference(t).decisions)
+      gated_evals += d.evaluations;
+    for (const auto& d : vanilla.run_inference(t).decisions)
+      vanilla_evals += d.evaluations;
+  }
+  EXPECT_LT(gated_evals, vanilla_evals);
+}
+
+}  // namespace
+}  // namespace odin::core

@@ -1,0 +1,148 @@
+// Tests for OdinController — Algorithm 1's online loop.
+#include <gtest/gtest.h>
+
+#include "core/odin.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::core {
+namespace {
+
+struct Fixture {
+  ou::MappedModel model = testing::tiny_mapped();
+  ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                ou::NonIdealityParams{}};
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+
+  OdinController controller(OdinConfig cfg = {}) {
+    return OdinController(model, nonideal, cost,
+                          policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+  }
+};
+
+TEST(OdinController, RunProducesOneDecisionPerLayer) {
+  Fixture fx;
+  auto ctl = fx.controller();
+  const RunResult run = ctl.run_inference(1.0);
+  EXPECT_EQ(run.decisions.size(), fx.model.layer_count());
+  EXPECT_FALSE(run.reprogrammed);
+  EXPECT_GT(run.inference.energy_j, 0.0);
+  EXPECT_GT(run.inference.latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(run.reprogram.energy_j, 0.0);
+}
+
+TEST(OdinController, ExecutedConfigsAreFeasible) {
+  Fixture fx;
+  auto ctl = fx.controller();
+  for (double t : {1.0, 1e3, 1e6, 4e7}) {
+    const RunResult run = ctl.run_inference(t);
+    const int n = static_cast<int>(fx.model.layer_count());
+    for (int j = 0; j < n; ++j) {
+      const double s = fx.nonideal.layer_sensitivity(j, n);
+      EXPECT_TRUE(fx.nonideal.feasible(run.elapsed_s,
+                                       run.decisions[static_cast<std::size_t>(j)].executed, s))
+          << "t=" << t << " layer " << j;
+    }
+  }
+}
+
+TEST(OdinController, ReprogramsWhenDriftExceedsAllOus) {
+  Fixture fx;
+  auto ctl = fx.controller();
+  ctl.run_inference(1.0);
+  const RunResult run = ctl.run_inference(1e8);  // beyond the 4x4 crossing
+  EXPECT_TRUE(run.reprogrammed);
+  EXPECT_EQ(ctl.reprogram_count(), 1);
+  EXPECT_GT(run.reprogram.energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(ctl.programmed_at_s(), 1e8);
+  // After reprogramming the drift clock restarts: the next run far later
+  // triggers again.
+  const RunResult run2 = ctl.run_inference(2.5e8);
+  EXPECT_TRUE(run2.reprogrammed);
+  EXPECT_EQ(ctl.reprogram_count(), 2);
+}
+
+TEST(OdinController, ElapsedResetAfterReprogram) {
+  Fixture fx;
+  auto ctl = fx.controller();
+  const RunResult run = ctl.run_inference(1e8);
+  EXPECT_TRUE(run.reprogrammed);
+  EXPECT_DOUBLE_EQ(run.elapsed_s, fx.nonideal.device().t0_s);
+}
+
+TEST(OdinController, BufferFillTriggersPolicyUpdate) {
+  Fixture fx;
+  OdinConfig cfg;
+  cfg.buffer_capacity = 6;  // one run's worth of mismatches at most
+  cfg.update_options.epochs = 10;
+  auto ctl = fx.controller(cfg);
+  // An untrained policy mismatches almost every layer; within a few runs
+  // the 6-entry buffer must fill and trigger an update.
+  int updates = 0;
+  for (int i = 0; i < 6; ++i) {
+    const RunResult run = ctl.run_inference(1.0 + i);
+    if (run.policy_updated) ++updates;
+  }
+  EXPECT_GE(updates, 1);
+  EXPECT_EQ(ctl.update_count(), updates);
+}
+
+TEST(OdinController, MismatchesDecreaseAsPolicyAdapts) {
+  Fixture fx;
+  OdinConfig cfg;
+  cfg.buffer_capacity = 12;
+  cfg.update_options.epochs = 120;
+  auto ctl = fx.controller(cfg);
+  int early_mismatches = 0, late_mismatches = 0;
+  for (int i = 0; i < 5; ++i)
+    early_mismatches += ctl.run_inference(1.0 + i).mismatches;
+  for (int i = 0; i < 30; ++i) ctl.run_inference(10.0 + i);
+  for (int i = 0; i < 5; ++i)
+    late_mismatches += ctl.run_inference(50.0 + i).mismatches;
+  EXPECT_LT(late_mismatches, early_mismatches);
+}
+
+TEST(OdinController, ExhaustiveSearchModeMatchesOrBeatsRb) {
+  Fixture fx;
+  OdinConfig rb_cfg;
+  OdinConfig ex_cfg;
+  ex_cfg.search = SearchKind::kExhaustive;
+  auto rb = fx.controller(rb_cfg);
+  auto ex = fx.controller(ex_cfg);
+  const RunResult rb_run = rb.run_inference(1.0);
+  const RunResult ex_run = ex.run_inference(1.0);
+  // EX evaluates the full grid; RB must not evaluate more.
+  int rb_evals = 0, ex_evals = 0;
+  for (const auto& d : rb_run.decisions) rb_evals += d.evaluations;
+  for (const auto& d : ex_run.decisions) ex_evals += d.evaluations;
+  EXPECT_LT(rb_evals, ex_evals);
+  // Paper Sec. V-B: EX timing overhead ~3x RB.
+  EXPECT_GT(static_cast<double>(ex_evals) / rb_evals, 2.0);
+}
+
+TEST(OdinController, DeterministicAcrossIdenticalRuns) {
+  Fixture fx;
+  auto a = fx.controller();
+  auto b = fx.controller();
+  for (double t : {1.0, 10.0, 100.0}) {
+    const RunResult ra = a.run_inference(t);
+    const RunResult rb = b.run_inference(t);
+    EXPECT_DOUBLE_EQ(ra.inference.energy_j, rb.inference.energy_j);
+    EXPECT_EQ(ra.mismatches, rb.mismatches);
+    for (std::size_t j = 0; j < ra.decisions.size(); ++j)
+      EXPECT_EQ(ra.decisions[j].executed, rb.decisions[j].executed);
+  }
+}
+
+TEST(OdinController, FullReprogramCostCoversAllLayers) {
+  Fixture fx;
+  auto ctl = fx.controller();
+  const auto cost = ctl.full_reprogram_cost();
+  common::EnergyLatency manual;
+  for (std::size_t j = 0; j < fx.model.layer_count(); ++j)
+    manual += fx.cost.reprogram_cost(fx.model.mapping(j));
+  EXPECT_DOUBLE_EQ(cost.energy_j, manual.energy_j);
+  EXPECT_DOUBLE_EQ(cost.latency_s, manual.latency_s);
+}
+
+}  // namespace
+}  // namespace odin::core

@@ -1,0 +1,66 @@
+// Tests for the run-trace CSV recorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::core {
+namespace {
+
+TEST(RunTrace, RecordsDistilledRunData) {
+  const ou::MappedModel model = testing::tiny_mapped();
+  const ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                      ou::NonIdealityParams{}};
+  const ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  OdinController controller(model, nonideal, cost,
+                            policy::OuPolicy(ou::OuLevelGrid(128)));
+  RunTrace trace;
+  int i = 0;
+  for (double t : {1.0, 10.0, 100.0})
+    trace.record(i++, controller.run_inference(t));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.records()[0].run, 0);
+  EXPECT_DOUBLE_EQ(trace.records()[2].time_s, 100.0);
+  EXPECT_GT(trace.records()[0].energy_j, 0.0);
+  EXPECT_GT(trace.records()[0].mean_ou_product, 0.0);
+}
+
+TEST(RunTrace, CsvHasHeaderAndOneLinePerRecord) {
+  RunTrace trace;
+  RunResult run;
+  run.time_s = 5.0;
+  run.elapsed_s = 5.0;
+  run.mismatches = 2;
+  run.inference = {.energy_j = 1e-6, .latency_s = 1e-3};
+  run.decisions.push_back({{16, 16}, {16, 8}, true, 9});
+  trace.record(7, run);
+  std::stringstream out;
+  trace.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("run,time_s"), std::string::npos);
+  EXPECT_NE(text.find("\n7,5,"), std::string::npos);
+  // header + 1 record = 2 newline-terminated lines
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  // mean product of the single decision: 16*8 = 128
+  EXPECT_NE(text.find(",128"), std::string::npos);
+}
+
+TEST(RunTrace, ReprogramEventsAreFlagged) {
+  const ou::MappedModel model = testing::tiny_mapped();
+  const ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                      ou::NonIdealityParams{}};
+  const ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  OdinController controller(model, nonideal, cost,
+                            policy::OuPolicy(ou::OuLevelGrid(128)));
+  RunTrace trace;
+  trace.record(0, controller.run_inference(1.0));
+  trace.record(1, controller.run_inference(1e8));  // forces a reprogram
+  EXPECT_FALSE(trace.records()[0].reprogrammed);
+  EXPECT_TRUE(trace.records()[1].reprogrammed);
+  EXPECT_GT(trace.records()[1].energy_j, trace.records()[0].energy_j);
+}
+
+}  // namespace
+}  // namespace odin::core

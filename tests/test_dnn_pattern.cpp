@@ -1,0 +1,100 @@
+// Tests for WeightPattern, including a randomized property check of the
+// word-level block queries against a naive reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dnn/pattern.hpp"
+
+namespace odin::dnn {
+namespace {
+
+TEST(WeightPattern, SetTestClearAndCount) {
+  WeightPattern p(4, 4);
+  EXPECT_EQ(p.nonzeros(), 0);
+  p.set(1, 2);
+  EXPECT_TRUE(p.test(1, 2));
+  EXPECT_FALSE(p.test(2, 1));
+  EXPECT_EQ(p.nonzeros(), 1);
+  p.set(1, 2);  // idempotent
+  EXPECT_EQ(p.nonzeros(), 1);
+  p.clear(1, 2);
+  EXPECT_FALSE(p.test(1, 2));
+  EXPECT_EQ(p.nonzeros(), 0);
+  p.clear(1, 2);  // idempotent
+  EXPECT_EQ(p.nonzeros(), 0);
+}
+
+TEST(WeightPattern, SparsityFraction) {
+  WeightPattern p(2, 5);
+  p.set(0, 0);
+  p.set(1, 4);
+  EXPECT_DOUBLE_EQ(p.sparsity(), 1.0 - 2.0 / 10.0);
+}
+
+TEST(WeightPattern, BlockLiveBasics) {
+  WeightPattern p(8, 8);
+  p.set(3, 5);
+  EXPECT_TRUE(p.block_live(0, 0, 8, 8));
+  EXPECT_TRUE(p.block_live(3, 5, 1, 1));
+  EXPECT_TRUE(p.block_live(2, 4, 2, 2));
+  EXPECT_FALSE(p.block_live(0, 0, 3, 5));
+  EXPECT_FALSE(p.block_live(4, 6, 4, 2));
+}
+
+TEST(WeightPattern, BlockClipsAtMatrixEdge) {
+  WeightPattern p(5, 5);
+  p.set(4, 4);
+  // Block extends past the edge; clipped rectangle still finds the bit.
+  EXPECT_TRUE(p.block_live(4, 4, 16, 16));
+  EXPECT_EQ(p.block_nonzeros(4, 4, 16, 16), 1);
+  // Fully out of range.
+  EXPECT_FALSE(p.block_live(5, 5, 4, 4));
+  EXPECT_EQ(p.block_nonzeros(5, 5, 4, 4), 0);
+}
+
+TEST(WeightPattern, CrossesWordBoundaries) {
+  WeightPattern p(2, 200);
+  p.set(0, 63);
+  p.set(0, 64);
+  p.set(1, 127);
+  p.set(1, 128);
+  EXPECT_EQ(p.block_nonzeros(0, 60, 1, 8), 2);   // spans words 0/1
+  EXPECT_EQ(p.block_nonzeros(1, 120, 1, 16), 2); // spans words 1/2
+  EXPECT_TRUE(p.block_live(0, 63, 1, 1));
+  EXPECT_TRUE(p.block_live(0, 64, 1, 1));
+  EXPECT_FALSE(p.block_live(0, 65, 1, 62));
+}
+
+TEST(WeightPattern, RandomizedBlockQueriesMatchNaiveReference) {
+  common::Rng rng(1234);
+  const int rows = 37, cols = 131;  // deliberately non-aligned dims
+  WeightPattern p(rows, cols);
+  std::vector<std::vector<bool>> ref(rows, std::vector<bool>(cols, false));
+  for (int i = 0; i < 400; ++i) {
+    const int r = static_cast<int>(rng.uniform_index(rows));
+    const int c = static_cast<int>(rng.uniform_index(cols));
+    p.set(r, c);
+    ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = true;
+  }
+  std::int64_t expected_nonzeros = 0;
+  for (const auto& row : ref)
+    for (bool b : row) expected_nonzeros += b ? 1 : 0;
+  EXPECT_EQ(p.nonzeros(), expected_nonzeros);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    const int r0 = static_cast<int>(rng.uniform_index(rows));
+    const int c0 = static_cast<int>(rng.uniform_index(cols));
+    const int h = 1 + static_cast<int>(rng.uniform_index(20));
+    const int w = 1 + static_cast<int>(rng.uniform_index(80));
+    std::int64_t naive = 0;
+    for (int r = r0; r < std::min(r0 + h, rows); ++r)
+      for (int c = c0; c < std::min(c0 + w, cols); ++c)
+        naive += ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] ? 1 : 0;
+    EXPECT_EQ(p.block_nonzeros(r0, c0, h, w), naive)
+        << "rect " << r0 << "," << c0 << " " << h << "x" << w;
+    EXPECT_EQ(p.block_live(r0, c0, h, w), naive > 0);
+  }
+}
+
+}  // namespace
+}  // namespace odin::dnn

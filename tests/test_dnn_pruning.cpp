@@ -1,0 +1,120 @@
+// Tests for the crossbar-aware pruner: sparsity targeting, determinism,
+// and the row-structured zero patterns that OU skipping relies on.
+#include <gtest/gtest.h>
+
+#include "dnn/pruning.hpp"
+#include "dnn/zoo.hpp"
+
+namespace odin::dnn {
+namespace {
+
+LayerDescriptor conv_layer(int in_ch, int out_ch, int kernel, int index = 0) {
+  LayerDescriptor l;
+  l.name = "test";
+  l.type = LayerType::kConv;
+  l.index = index;
+  l.kernel = kernel;
+  l.in_channels = in_ch;
+  l.out_channels = out_ch;
+  l.fan_in = in_ch * kernel * kernel;
+  l.outputs = out_ch;
+  l.spatial_positions = 64;
+  return l;
+}
+
+TEST(TargetSparsity, GrowsWithFanIn) {
+  const double small = target_sparsity(conv_layer(3, 64, 3));    // fan_in 27
+  const double mid = target_sparsity(conv_layer(64, 64, 3));     // 576
+  const double large = target_sparsity(conv_layer(512, 512, 3)); // 4608
+  EXPECT_LT(small, mid);
+  EXPECT_LE(mid, large);
+  EXPECT_LE(large, 0.80);
+  EXPECT_GE(small, 0.10);
+}
+
+TEST(TargetSparsity, CompactProjectionsPrunedLess) {
+  // Same fan-in, but a 1x1 projection is less redundant than a 3x3 conv.
+  const auto proj = conv_layer(128, 128, 1);
+  auto conv = conv_layer(128, 128, 3);
+  conv.fan_in = proj.fan_in;  // equalize fan-in to isolate the kernel term
+  EXPECT_LT(target_sparsity(proj), target_sparsity(conv));
+}
+
+TEST(PruneLayer, AchievesTargetWithinTolerance) {
+  const auto layer = conv_layer(64, 128, 3);
+  const WeightPattern p = prune_layer(layer, 42);
+  const double target = target_sparsity(layer);
+  EXPECT_NEAR(p.sparsity(), target, 0.06);  // jitter 0.04 + quantile error
+}
+
+TEST(PruneLayer, IsDeterministic) {
+  const auto layer = conv_layer(32, 64, 3);
+  const WeightPattern a = prune_layer(layer, 7);
+  const WeightPattern b = prune_layer(layer, 7);
+  ASSERT_EQ(a.nonzeros(), b.nonzeros());
+  for (int r = 0; r < layer.fan_in; ++r)
+    for (int c = 0; c < layer.outputs; ++c)
+      ASSERT_EQ(a.test(r, c), b.test(r, c));
+}
+
+TEST(PruneLayer, DifferentSeedsDiffer) {
+  const auto layer = conv_layer(32, 64, 3);
+  const WeightPattern a = prune_layer(layer, 7);
+  const WeightPattern b = prune_layer(layer, 8);
+  bool differs = a.nonzeros() != b.nonzeros();
+  for (int r = 0; !differs && r < layer.fan_in; ++r)
+    for (int c = 0; !differs && c < layer.outputs; ++c)
+      differs = a.test(r, c) != b.test(r, c);
+  EXPECT_TRUE(differs);
+}
+
+TEST(PruneLayer, ProducesRowStructuredZeros) {
+  // The shared row-importance factor should kill entire rows — the pattern
+  // crossbar-aware pruning creates and OU row-skipping exploits. Expect the
+  // fraction of fully-dead rows to be well above what an independent
+  // Bernoulli pattern would produce (which is s^cols ~ 0 for 256 cols).
+  const auto layer = conv_layer(64, 256, 3);
+  const WeightPattern p = prune_layer(layer, 99);
+  int dead_rows = 0;
+  for (int r = 0; r < layer.fan_in; ++r)
+    if (!p.block_live(r, 0, 1, layer.outputs)) ++dead_rows;
+  EXPECT_GT(dead_rows, layer.fan_in / 10);
+  EXPECT_LT(dead_rows, layer.fan_in);  // but not everything
+}
+
+TEST(PruneLayer, NeverFullyZero) {
+  auto layer = conv_layer(2, 2, 1);
+  layer.fan_in = 2;
+  const WeightPattern p = prune_layer(layer, 1);
+  EXPECT_GE(p.nonzeros(), 1);
+}
+
+TEST(PruneModel, UpdatesDescriptorsAndKeepsAlignment) {
+  const PrunedModel pm =
+      prune_model(make_vgg11(data::DatasetKind::kCifar10), 2024);
+  ASSERT_EQ(pm.patterns.size(), pm.model.layers.size());
+  for (std::size_t i = 0; i < pm.patterns.size(); ++i) {
+    const auto& layer = pm.model.layers[i];
+    const auto& pattern = pm.patterns[i];
+    EXPECT_EQ(pattern.rows(), layer.fan_in);
+    EXPECT_EQ(pattern.cols(), layer.outputs);
+    EXPECT_DOUBLE_EQ(layer.weight_sparsity, pattern.sparsity());
+    EXPECT_GT(layer.weight_sparsity, 0.05);
+    EXPECT_LT(layer.weight_sparsity, 0.95);
+  }
+  EXPECT_GT(pm.total_nonzeros(), 0);
+  EXPECT_LT(pm.total_nonzeros(), pm.model.total_weights());
+}
+
+TEST(PruneModel, SkipProjectionsAreLowSparsity) {
+  // Fig. 3: ResNet18 layers 13/18 (the 1x1 skips) have markedly lower
+  // sparsity than the wide 3x3 convs around them.
+  const PrunedModel pm =
+      prune_model(make_resnet18(data::DatasetKind::kCifar10), 2024);
+  const double skip = pm.model.layers[12].weight_sparsity;   // conv4_1_skip
+  const double conv = pm.model.layers[13].weight_sparsity;   // conv4_2a
+  EXPECT_LT(skip, conv - 0.15);
+}
+
+}  // namespace
+}  // namespace odin::dnn

@@ -1,0 +1,53 @@
+// Shared fixtures for the core-level tests: a small synthetic DNN so the
+// online-learning loops run in milliseconds.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "ou/mapped_model.hpp"
+
+namespace odin::testing {
+
+/// A 6-layer CNN-shaped workload, small enough for fast tests but with the
+/// sparsity/kernel/position diversity the policy features need.
+inline dnn::DnnModel tiny_model(const std::string& name = "TinyNet",
+                                dnn::Family family = dnn::Family::kVgg) {
+  dnn::DnnModel model;
+  model.name = name;
+  model.family = family;
+  model.dataset = data::DatasetKind::kCifar10;
+  struct Spec {
+    const char* layer_name;
+    int in_ch, out_ch, kernel, positions;
+  };
+  const Spec specs[] = {
+      {"conv1", 3, 32, 3, 16 * 16},  {"conv2", 32, 64, 3, 8 * 8},
+      {"skip", 32, 64, 1, 8 * 8},    {"conv3", 64, 128, 3, 4 * 4},
+      {"conv4", 128, 128, 3, 4 * 4}, {"fc", 128, 10, 1, 1},
+  };
+  int index = 0;
+  for (const Spec& s : specs) {
+    dnn::LayerDescriptor l;
+    l.name = s.layer_name;
+    l.type = s.kernel == 1 && s.positions == 1
+                 ? dnn::LayerType::kFullyConnected
+                 : dnn::LayerType::kConv;
+    l.index = index++;
+    l.kernel = s.kernel;
+    l.in_channels = s.in_ch;
+    l.out_channels = s.out_ch;
+    l.fan_in = s.in_ch * s.kernel * s.kernel;
+    l.outputs = s.out_ch;
+    l.spatial_positions = s.positions;
+    model.layers.push_back(std::move(l));
+  }
+  return model;
+}
+
+inline ou::MappedModel tiny_mapped(int crossbar_size = 128,
+                                   std::uint64_t seed = 0xbeef) {
+  return ou::MappedModel(dnn::prune_model(tiny_model(), seed), crossbar_size);
+}
+
+}  // namespace odin::testing

@@ -1,0 +1,131 @@
+// End-to-end integration: offline bootstrap -> online adaptation on an
+// unseen model -> horizon totals. Exercises the full Algorithm 1 pipeline
+// the way the Fig. 5/6/8 benches do, at test scale.
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+#include "core/experiment.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::core {
+namespace {
+
+class Pipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    known_a_ = std::make_unique<ou::MappedModel>(testing::tiny_mapped(128, 11));
+    known_b_ = std::make_unique<ou::MappedModel>(testing::tiny_mapped(128, 22));
+    unseen_ = std::make_unique<ou::MappedModel>(testing::tiny_mapped(128, 99));
+  }
+
+  policy::OuPolicy bootstrap() {
+    policy::OfflineTrainConfig cfg;
+    cfg.time_samples = 5;
+    cfg.train_options.epochs = 120;
+    const std::vector<const ou::MappedModel*> known{known_a_.get(),
+                                                    known_b_.get()};
+    return policy::train_offline_policy(known, nonideal_, cost_, grid_, cfg);
+  }
+
+  ou::OuLevelGrid grid_{128};
+  ou::NonIdealityModel nonideal_{reram::DeviceParams{},
+                                 ou::NonIdealityParams{}};
+  ou::OuCostModel cost_{ou::CostParams{}, reram::DeviceParams{}};
+  std::unique_ptr<ou::MappedModel> known_a_, known_b_, unseen_;
+};
+
+TEST_F(Pipeline, OfflinePolicyTransfersToUnseenModel) {
+  policy::OuPolicy offline = bootstrap();
+  policy::OuPolicy untrained(grid_);
+
+  // Measure first-run mismatch rates on the unseen model: the bootstrapped
+  // policy should agree with the search more often than a random one.
+  auto mismatch_rate = [&](policy::OuPolicy policy) {
+    OdinController ctl(*unseen_, nonideal_, cost_, std::move(policy));
+    const RunResult run = ctl.run_inference(1.0);
+    return static_cast<double>(run.mismatches) / run.decisions.size();
+  };
+  const double offline_rate = mismatch_rate(std::move(offline));
+  const double untrained_rate = mismatch_rate(std::move(untrained));
+  EXPECT_LE(offline_rate, untrained_rate);
+}
+
+TEST_F(Pipeline, OdinBeatsEveryHomogeneousBaselineOnTotalEdp) {
+  const HorizonConfig horizon{.t_start_s = 1.0, .t_end_s = 1e8, .runs = 250};
+  OdinController controller(*unseen_, nonideal_, cost_, bootstrap());
+  const auto odin = simulate_odin(controller, horizon);
+
+  for (const ou::OuConfig cfg : paper_baseline_configs()) {
+    const auto base =
+        simulate_homogeneous(*unseen_, nonideal_, cost_, cfg, horizon);
+    EXPECT_LT(odin.total_edp(), base.total_edp()) << cfg.to_string();
+  }
+}
+
+TEST_F(Pipeline, OdinHoldsAccuracyWhileBaselineWithoutReprogramDecays) {
+  const AccuracyModel accuracy{AccuracyParams{}};
+  OdinController controller(*unseen_, nonideal_, cost_, bootstrap());
+
+  double odin_min_acc = 1.0;
+  for (double t : {1.0, 1e3, 1e6, 3e7, 9.9e7}) {
+    const RunResult run = controller.run_inference(t);
+    std::vector<ou::OuConfig> configs;
+    configs.reserve(run.decisions.size());
+    for (const auto& d : run.decisions) configs.push_back(d.executed);
+    odin_min_acc = std::min(
+        odin_min_acc,
+        accuracy.estimate(*unseen_, configs, run.elapsed_s, nonideal_));
+  }
+  const double static_acc_end = accuracy.estimate_homogeneous(
+      *unseen_, {16, 16}, 9.9e7, nonideal_);
+  EXPECT_GT(odin_min_acc, 0.85 * accuracy.params().ideal_accuracy);
+  EXPECT_LT(static_acc_end, odin_min_acc);
+}
+
+TEST_F(Pipeline, OnlineUpdatesBeatAFrozenPolicy) {
+  // The claim behind Fig. 5: starting from the same (here: untrained)
+  // parameters, a policy that keeps learning from the search's corrections
+  // agrees with the best decisions far more often than one that never
+  // updates (frozen = buffer too large to ever fill).
+  OdinConfig adapting;
+  adapting.buffer_capacity = 10;
+  adapting.update_options.epochs = 80;
+  OdinConfig frozen;
+  frozen.buffer_capacity = 100'000;
+
+  OdinController adaptive(*unseen_, nonideal_, cost_,
+                          policy::OuPolicy(grid_), adapting);
+  OdinController fixed(*unseen_, nonideal_, cost_, policy::OuPolicy(grid_),
+                       frozen);
+  const HorizonConfig horizon{.t_start_s = 1.0, .t_end_s = 1e6, .runs = 60};
+  int adaptive_mismatches = 0, fixed_mismatches = 0;
+  for (double t : run_schedule(horizon)) {
+    adaptive_mismatches += adaptive.run_inference(t).mismatches;
+    fixed_mismatches += fixed.run_inference(t).mismatches;
+  }
+  EXPECT_GE(adaptive.update_count(), 1);
+  EXPECT_EQ(fixed.update_count(), 0);
+  EXPECT_LT(adaptive_mismatches, fixed_mismatches);
+}
+
+TEST_F(Pipeline, CrossbarSizeSweepKeepsOdinAhead) {
+  // Fig. 9's qualitative claim on the tiny workload: Odin's advantage
+  // holds across 128/64/32 crossbars.
+  for (int crossbar : {128, 64, 32}) {
+    ou::MappedModel model = testing::tiny_mapped(crossbar, 7);
+    const ou::OuLevelGrid grid(crossbar);
+    const ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                        ou::NonIdealityParams{}, crossbar};
+    OdinController controller(model, nonideal, cost_,
+                              policy::OuPolicy(grid));
+    const HorizonConfig horizon{.t_start_s = 1.0, .t_end_s = 1e8,
+                                .runs = 150};
+    const auto odin = simulate_odin(controller, horizon);
+    const auto base =
+        simulate_homogeneous(model, nonideal, cost_, {16, 16}, horizon);
+    EXPECT_LT(odin.total_edp(), base.total_edp()) << crossbar;
+  }
+}
+
+}  // namespace
+}  // namespace odin::core

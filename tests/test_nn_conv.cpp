@@ -1,0 +1,105 @@
+// Tests for the im2col / conv2d forward path used by the crossbar-mapped
+// inference demo and the Monte-Carlo reference networks.
+#include <gtest/gtest.h>
+
+#include "nn/conv.hpp"
+
+namespace odin::nn {
+namespace {
+
+Image make_image(int c, int h, int w, double start = 0.0) {
+  Image img{c, h, w, std::vector<double>(static_cast<std::size_t>(c) * h * w)};
+  double v = start;
+  for (double& x : img.data) x = v++;
+  return img;
+}
+
+TEST(Im2Col, ShapeMatchesSpec) {
+  const Image img = make_image(3, 8, 8);
+  const ConvSpec spec{.in_channels = 3, .out_channels = 4, .kernel = 3,
+                      .stride = 1, .padding = 1};
+  const Matrix cols = im2col(img, spec);
+  EXPECT_EQ(cols.rows(), 64u);          // 8*8 positions
+  EXPECT_EQ(cols.cols(), 27u);          // 3*3*3 patch
+  EXPECT_EQ(spec.out_dim(8), 8);
+  EXPECT_EQ(spec.patch_size(), 27);
+}
+
+TEST(Im2Col, CenterPatchHasNoPaddingZeros) {
+  const Image img = make_image(1, 4, 4, 1.0);  // values 1..16
+  const ConvSpec spec{.in_channels = 1, .out_channels = 1, .kernel = 3,
+                      .stride = 1, .padding = 1};
+  const Matrix cols = im2col(img, spec);
+  // Position (1,1) -> row 5; its receptive field is rows 0..2 x cols 0..2.
+  const auto row = cols.row(5);
+  const double expected[] = {1, 2, 3, 5, 6, 7, 9, 10, 11};
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(i)], expected[i]);
+}
+
+TEST(Im2Col, CornerPatchIsZeroPadded) {
+  const Image img = make_image(1, 4, 4, 1.0);
+  const ConvSpec spec{.in_channels = 1, .out_channels = 1, .kernel = 3,
+                      .stride = 1, .padding = 1};
+  const Matrix cols = im2col(img, spec);
+  // Position (0,0): top row and left column of the patch are padding.
+  const auto row = cols.row(0);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[3], 0.0);
+  EXPECT_DOUBLE_EQ(row[4], 1.0);  // image (0,0)
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  const Image img = make_image(1, 5, 5, 1.0);
+  const ConvSpec spec{.in_channels = 1, .out_channels = 1, .kernel = 3,
+                      .stride = 1, .padding = 1};
+  Matrix w(9, 1);  // delta kernel: center tap = 1
+  w(4, 0) = 1.0;
+  const std::vector<double> bias{0.0};
+  const Image out = conv2d(img, spec, w, bias);
+  ASSERT_EQ(out.size(), img.size());
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x)
+      EXPECT_DOUBLE_EQ(out.at(0, y, x), img.at(0, y, x));
+}
+
+TEST(Conv2d, StrideReducesSpatialDims) {
+  const Image img = make_image(2, 8, 8);
+  const ConvSpec spec{.in_channels = 2, .out_channels = 3, .kernel = 3,
+                      .stride = 2, .padding = 1};
+  Matrix w(spec.patch_size(), 3);
+  const std::vector<double> bias{0.5, 0.5, 0.5};
+  const Image out = conv2d(img, spec, w, bias);
+  EXPECT_EQ(out.channels, 3);
+  EXPECT_EQ(out.height, 4);
+  EXPECT_EQ(out.width, 4);
+  // Zero weights -> bias everywhere.
+  for (double v : out.data) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(Maxpool2, PicksWindowMaximum) {
+  Image img = make_image(1, 4, 4);
+  const Image out = maxpool2(img);
+  EXPECT_EQ(out.height, 2);
+  EXPECT_EQ(out.width, 2);
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 0), img.at(0, 1, 1));
+  EXPECT_DOUBLE_EQ(out.at(0, 1, 1), img.at(0, 3, 3));
+}
+
+TEST(ReluInplace, ZeroesNegatives) {
+  Image img{1, 1, 3, {-1.0, 0.0, 2.0}};
+  relu_inplace(img);
+  EXPECT_DOUBLE_EQ(img.data[0], 0.0);
+  EXPECT_DOUBLE_EQ(img.data[2], 2.0);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  Image img{2, 2, 2, {1, 2, 3, 4, 10, 10, 10, 10}};
+  const auto pooled = global_avg_pool(img);
+  ASSERT_EQ(pooled.size(), 2u);
+  EXPECT_DOUBLE_EQ(pooled[0], 2.5);
+  EXPECT_DOUBLE_EQ(pooled[1], 10.0);
+}
+
+}  // namespace
+}  // namespace odin::nn

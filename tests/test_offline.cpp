@@ -1,0 +1,118 @@
+// Tests for the offline policy bootstrap (paper Sec. V-A protocol).
+#include <gtest/gtest.h>
+
+#include "policy/offline.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::policy {
+namespace {
+
+struct Fixture {
+  ou::MappedModel model_a = testing::tiny_mapped(128, 1);
+  ou::MappedModel model_b = testing::tiny_mapped(128, 2);
+  ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                ou::NonIdealityParams{}};
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  ou::OuLevelGrid grid{128};
+
+  std::vector<const ou::MappedModel*> models() const {
+    return {&model_a, &model_b};
+  }
+  OfflineTrainConfig fast_config() const {
+    OfflineTrainConfig cfg;
+    cfg.time_samples = 4;
+    cfg.train_options.epochs = 60;
+    return cfg;
+  }
+};
+
+TEST(Offline, DatasetRespectsExampleBudget) {
+  Fixture fx;
+  auto cfg = fx.fast_config();
+  cfg.max_examples = 10;
+  const auto models = fx.models();
+  const nn::Dataset data =
+      build_offline_dataset(models, fx.nonideal, fx.cost, fx.grid, cfg);
+  EXPECT_EQ(data.size(), 10u);
+}
+
+TEST(Offline, DatasetLabelsAreValidGridLevels) {
+  Fixture fx;
+  const auto models = fx.models();
+  const nn::Dataset data = build_offline_dataset(models, fx.nonideal,
+                                                 fx.cost, fx.grid,
+                                                 fx.fast_config());
+  // 2 models x 4 time samples x 6 layers = 48 candidates, but the last
+  // sample (t = 1e8 s) is in the reprogram regime where no OU is feasible
+  // and no label exists, leaving 36.
+  EXPECT_EQ(data.size(), 36u);
+  ASSERT_EQ(data.labels.size(), 2u);
+  for (std::size_t h = 0; h < 2; ++h) {
+    for (int label : data.labels[h]) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, fx.grid.levels());
+    }
+  }
+  // Feature values are normalized.
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t f = 0; f < data.inputs.cols(); ++f) {
+      EXPECT_GE(data.inputs(i, f), 0.0);
+      EXPECT_LE(data.inputs(i, f), 1.0);
+    }
+}
+
+TEST(Offline, DatasetIsDeterministic) {
+  Fixture fx;
+  const auto models = fx.models();
+  const nn::Dataset a = build_offline_dataset(models, fx.nonideal, fx.cost,
+                                              fx.grid, fx.fast_config());
+  const nn::Dataset b = build_offline_dataset(models, fx.nonideal, fx.cost,
+                                              fx.grid, fx.fast_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t f = 0; f < a.inputs.cols(); ++f)
+      EXPECT_DOUBLE_EQ(a.inputs(i, f), b.inputs(i, f));
+}
+
+TEST(Offline, TrainedPolicyBeatsUntrainedOnItsOwnData) {
+  Fixture fx;
+  const auto models = fx.models();
+  const auto cfg = fx.fast_config();
+  const nn::Dataset data =
+      build_offline_dataset(models, fx.nonideal, fx.cost, fx.grid, cfg);
+
+  OuPolicy untrained(fx.grid);
+  OuPolicy trained =
+      train_offline_policy(models, fx.nonideal, fx.cost, fx.grid, cfg);
+  const double acc_untrained =
+      nn::exact_match_accuracy(untrained.mlp(), data);
+  const double acc_trained = nn::exact_match_accuracy(trained.mlp(), data);
+  EXPECT_GT(acc_trained, acc_untrained + 0.1);
+  EXPECT_GT(acc_trained, 0.5);
+}
+
+TEST(Offline, LateTimeLabelsAreFinerThanEarly) {
+  // The offline labels must encode the Fig. 4 shift: best configs at the
+  // end of the horizon have smaller R+C than at t0.
+  Fixture fx;
+  auto cfg = fx.fast_config();
+  cfg.time_samples = 2;  // exactly t0 and 1e8... 1e8 is infeasible, use 5e7
+  cfg.t_end_s = 5e7;
+  const auto models = fx.models();
+  const nn::Dataset data = build_offline_dataset(models, fx.nonideal,
+                                                 fx.cost, fx.grid, cfg);
+  ASSERT_EQ(data.size(), 24u);  // 2 models x 2 times x 6 layers
+  double early_sum = 0.0, late_sum = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double sum = fx.grid.size_at(data.labels[0][i]) +
+                       fx.grid.size_at(data.labels[1][i]);
+    if (data.inputs(i, 3) < 0.5)
+      early_sum += sum;
+    else
+      late_sum += sum;
+  }
+  EXPECT_GT(early_sum, late_sum);
+}
+
+}  // namespace
+}  // namespace odin::policy

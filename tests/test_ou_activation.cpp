@@ -1,0 +1,87 @@
+// Tests for the activation-sparsity handling modes of the cost model.
+#include <gtest/gtest.h>
+
+#include "ou/cost_model.hpp"
+#include "dnn/zoo.hpp"
+
+namespace odin::ou {
+namespace {
+
+OuCounts counts_of(std::int64_t total, std::int64_t max_per_xbar) {
+  OuCounts c;
+  c.live_blocks = total;
+  c.max_blocks_per_xbar = max_per_xbar;
+  c.total_ou_cycles = total;
+  c.max_ou_cycles_per_xbar = max_per_xbar;
+  c.occupancy = 1.0;
+  return c;
+}
+
+TEST(ActivationHandling, NoneIsIdentity) {
+  CostParams p;  // default kNone
+  EXPECT_DOUBLE_EQ(p.activation_cycle_factor(16, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(p.activation_cycle_factor(4, 0.5), 1.0);
+}
+
+TEST(ActivationHandling, RowSkipOnlyPaysOffForTinyOus) {
+  CostParams p;
+  p.activation_handling = ActivationHandling::kRowSkip;
+  // All R inputs must be zero to skip: s^R collapses fast with R.
+  EXPECT_NEAR(p.activation_cycle_factor(1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(p.activation_cycle_factor(4, 0.5), 1.0 - 0.0625, 1e-12);
+  EXPECT_NEAR(p.activation_cycle_factor(16, 0.5), 1.0, 1e-4);
+  // Monotone in R.
+  double prev = 0.0;
+  for (int r : {1, 2, 4, 8, 16, 32}) {
+    const double f = p.activation_cycle_factor(r, 0.5);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(ActivationHandling, CompactionScalesWithSparsityDirectly) {
+  CostParams p;
+  p.activation_handling = ActivationHandling::kCompaction;
+  EXPECT_DOUBLE_EQ(p.activation_cycle_factor(16, 0.45), 0.55);
+  EXPECT_DOUBLE_EQ(p.activation_cycle_factor(4, 0.45), 0.55);  // R-free
+}
+
+TEST(ActivationHandling, ClampsOutOfRangeSparsity) {
+  CostParams p;
+  p.activation_handling = ActivationHandling::kCompaction;
+  EXPECT_DOUBLE_EQ(p.activation_cycle_factor(8, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.activation_cycle_factor(8, 1.5), 0.0);
+}
+
+TEST(ActivationHandling, CompactionReducesCostButPaysIndexEnergy) {
+  const reram::DeviceParams dev;
+  CostParams off;
+  CostParams on;
+  on.activation_handling = ActivationHandling::kCompaction;
+  const OuCostModel base(off, dev);
+  const OuCostModel compacting(on, dev);
+  const auto counts = counts_of(1000, 100);
+  const OuConfig cfg{16, 16};
+  const auto cost_off = base.layer_cost(counts, cfg, 0.45);
+  const auto cost_on = compacting.layer_cost(counts, cfg, 0.45);
+  EXPECT_LT(cost_on.total().energy_j, cost_off.total().energy_j);
+  EXPECT_LT(cost_on.total().latency_s, cost_off.total().latency_s);
+  // The index-fetch surcharge exists: with zero sparsity, compaction is
+  // strictly worse than doing nothing.
+  const auto dense_on = compacting.layer_cost(counts, cfg, 0.0);
+  const auto dense_off = base.layer_cost(counts, cfg, 0.0);
+  EXPECT_GT(dense_on.total().energy_j, dense_off.total().energy_j);
+}
+
+TEST(ActivationHandling, ZooAssignsPlausibleActivationSparsities) {
+  const auto model = dnn::make_resnet18(data::DatasetKind::kCifar10);
+  EXPECT_DOUBLE_EQ(model.layers.front().activation_sparsity, 0.0);
+  for (std::size_t j = 1; j < model.layers.size(); ++j) {
+    const auto& l = model.layers[j];
+    EXPECT_GT(l.activation_sparsity, 0.0) << l.name;
+    EXPECT_LT(l.activation_sparsity, 0.7) << l.name;
+  }
+}
+
+}  // namespace
+}  // namespace odin::ou

@@ -1,0 +1,60 @@
+// Tests for the OU index-storage model (the paper's Sec. II argument about
+// stored-index schemes vs runtime-configurable OUs).
+#include <gtest/gtest.h>
+
+#include "ou/compression.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::ou {
+namespace {
+
+TEST(IndexStorage, AddressBits) {
+  EXPECT_EQ(IndexStorageModel(128).address_bits(), 7);
+  EXPECT_EQ(IndexStorageModel(64).address_bits(), 6);
+  EXPECT_EQ(IndexStorageModel(32).address_bits(), 5);
+}
+
+TEST(IndexStorage, LayerBitsMatchClosedForm) {
+  const ou::MappedModel model = testing::tiny_mapped();
+  const IndexStorageModel storage(model.crossbar_size());
+  const OuConfig cfg{16, 16};
+  const auto& counts = model.mapping(0).counts(cfg);
+  EXPECT_EQ(storage.layer_index_bits(model.mapping(0), cfg),
+            counts.live_blocks * (16 + 16) * 7);
+}
+
+TEST(IndexStorage, ModelBitsSumOverLayers) {
+  const ou::MappedModel model = testing::tiny_mapped();
+  const IndexStorageModel storage(model.crossbar_size());
+  const OuConfig cfg{8, 4};
+  std::int64_t manual = 0;
+  for (std::size_t j = 0; j < model.layer_count(); ++j)
+    manual += storage.layer_index_bits(model.mapping(j), cfg);
+  EXPECT_EQ(storage.model_index_bits(model, cfg), manual);
+  EXPECT_GT(manual, 0);
+}
+
+TEST(IndexStorage, UnionGrowsLinearlyWithTrackedConfigs) {
+  // The paper's "unlimited storage" argument: every configuration a
+  // time-varying scheme visits needs its own tables.
+  const ou::MappedModel model = testing::tiny_mapped();
+  const IndexStorageModel storage(model.crossbar_size());
+  const std::vector<OuConfig> one{{16, 16}};
+  const std::vector<OuConfig> several{{16, 16}, {16, 8}, {8, 8}, {8, 4},
+                                      {4, 4}};
+  const auto single = storage.model_index_bits_union(model, one);
+  const auto many = storage.model_index_bits_union(model, several);
+  EXPECT_GT(many, 3 * single);
+}
+
+TEST(IndexStorage, FinerOusNeedMoreIndexBitsOnDenseLayers) {
+  // Finer OUs mean more live blocks on dense data; each block's per-entry
+  // cost shrinks slower than the count grows.
+  const ou::MappedModel model = testing::tiny_mapped();
+  const IndexStorageModel storage(model.crossbar_size());
+  EXPECT_GT(storage.model_index_bits(model, {4, 4}),
+            storage.model_index_bits(model, {32, 32}));
+}
+
+}  // namespace
+}  // namespace odin::ou

@@ -1,0 +1,117 @@
+// Tests for the analytical cost model: Eq. 1-2 proportionalities, ADC
+// precision clamping, peripheral terms and reprogramming cost.
+#include <gtest/gtest.h>
+
+#include "ou/cost_model.hpp"
+
+namespace odin::ou {
+namespace {
+
+OuCostModel make_model() {
+  return OuCostModel(CostParams{}, reram::DeviceParams{});
+}
+
+OuCounts counts_of(std::int64_t total, std::int64_t max_per_xbar) {
+  OuCounts c;
+  c.live_blocks = total;
+  c.max_blocks_per_xbar = max_per_xbar;
+  c.total_ou_cycles = total;
+  c.max_ou_cycles_per_xbar = max_per_xbar;
+  c.occupancy = 1.0;
+  return c;
+}
+
+TEST(CostParams, AdcBitsFollowTableI) {
+  const CostParams p;
+  EXPECT_EQ(p.adc_bits(4), 3);    // clamped up to the 3-bit floor
+  EXPECT_EQ(p.adc_bits(8), 3);
+  EXPECT_EQ(p.adc_bits(9), 4);    // ceil(log2 9) = 4
+  EXPECT_EQ(p.adc_bits(16), 4);
+  EXPECT_EQ(p.adc_bits(32), 5);
+  EXPECT_EQ(p.adc_bits(64), 6);
+  EXPECT_EQ(p.adc_bits(128), 6);  // clamped to the 6-bit ceiling
+}
+
+TEST(CostModel, EnergyScalesLinearlyWithOuCycles) {
+  const auto m = make_model();
+  const OuConfig cfg{16, 16};
+  const auto c1 = m.layer_cost(counts_of(100, 50), cfg);
+  const auto c2 = m.layer_cost(counts_of(200, 50), cfg);
+  EXPECT_NEAR(c2.total().energy_j, 2.0 * c1.total().energy_j, 1e-18);
+  // Latency depends on the bottleneck crossbar, unchanged here.
+  EXPECT_DOUBLE_EQ(c2.total().latency_s, c1.total().latency_s);
+}
+
+TEST(CostModel, LatencyScalesWithBottleneckCrossbar) {
+  const auto m = make_model();
+  const OuConfig cfg{16, 16};
+  const auto c1 = m.layer_cost(counts_of(100, 25), cfg);
+  const auto c2 = m.layer_cost(counts_of(100, 50), cfg);
+  EXPECT_NEAR(c2.total().latency_s, 2.0 * c1.total().latency_s, 1e-15);
+  EXPECT_DOUBLE_EQ(c2.total().energy_j, c1.total().energy_j);
+}
+
+TEST(CostModel, AdcEnergyFollowsEq2Shape) {
+  // Eq. 2: E_adc ~ bits * R * C per cycle. Compare two configs with equal
+  // cycle counts.
+  const auto m = make_model();
+  const auto counts = counts_of(10, 10);
+  const auto a = m.layer_cost(counts, {16, 16});  // bits 4, R*C = 256
+  const auto b = m.layer_cost(counts, {32, 16});  // bits 5, R*C = 512
+  EXPECT_NEAR(b.adc.energy_j / a.adc.energy_j, (5.0 * 512) / (4.0 * 256),
+              1e-9);
+}
+
+TEST(CostModel, AdcLatencyFollowsEq1Shape) {
+  const auto m = make_model();
+  const auto counts = counts_of(10, 10);
+  const auto a = m.layer_cost(counts, {16, 16});  // bits 4, C 16
+  const auto b = m.layer_cost(counts, {16, 32});  // bits 4, C 32
+  EXPECT_NEAR(b.adc.latency_s / a.adc.latency_s, 2.0, 1e-9);
+}
+
+TEST(CostModel, FixedCycleCostsPenalizeFineOus) {
+  // Same work (R*C*cycles constant) split into 4x more cycles must cost
+  // more peripheral energy — the effect that makes 8x4 homogeneous OUs
+  // energy-hungry (paper Sec. V-C).
+  const auto m = make_model();
+  const auto coarse = m.layer_cost(counts_of(100, 100), {16, 16});
+  const auto fine = m.layer_cost(counts_of(400, 400), {8, 8});
+  EXPECT_GT(fine.peripheral.energy_j, coarse.peripheral.energy_j);
+  EXPECT_GT(fine.total().latency_s, coarse.total().latency_s);
+}
+
+TEST(CostModel, EdpIsEnergyTimesLatency) {
+  const auto m = make_model();
+  const auto counts = counts_of(123, 45);
+  const OuConfig cfg{32, 8};
+  const auto cost = m.layer_cost(counts, cfg);
+  EXPECT_DOUBLE_EQ(m.layer_edp(counts, cfg),
+                   cost.total().energy_j * cost.total().latency_s);
+}
+
+TEST(CostModel, ReprogramCostScalesWithCellsAndRows) {
+  const auto m = make_model();
+  const reram::DeviceParams dev;
+  const auto c = m.reprogram_cost(1000, 64);
+  EXPECT_DOUBLE_EQ(c.energy_j, 1000 * dev.write_energy_per_cell_j);
+  EXPECT_DOUBLE_EQ(c.latency_s, 64 * dev.write_latency_per_row_s);
+  const auto c2 = m.reprogram_cost(2000, 128);
+  EXPECT_DOUBLE_EQ(c2.energy_j, 2.0 * c.energy_j);
+  EXPECT_DOUBLE_EQ(c2.latency_s, 2.0 * c.latency_s);
+}
+
+TEST(CostModel, ComponentBreakdownSumsToTotal) {
+  const auto m = make_model();
+  const auto counts = counts_of(10, 5);
+  const auto cost = m.layer_cost(counts, {16, 8});
+  EXPECT_DOUBLE_EQ(cost.total().energy_j,
+                   cost.adc.energy_j + cost.peripheral.energy_j);
+  EXPECT_DOUBLE_EQ(cost.total().latency_s,
+                   cost.adc.latency_s + cost.peripheral.latency_s);
+  EXPECT_GT(cost.adc.energy_j, 0.0);
+  EXPECT_GT(cost.peripheral.energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace odin::ou

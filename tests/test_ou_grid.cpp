@@ -1,0 +1,61 @@
+// Tests for the discrete OU level grid (paper Sec. V-A).
+#include <gtest/gtest.h>
+
+#include "ou/ou_config.hpp"
+
+namespace odin::ou {
+namespace {
+
+TEST(OuConfig, BasicAccessors) {
+  const OuConfig c{16, 8};
+  EXPECT_EQ(c.sum(), 24);
+  EXPECT_EQ(c.product(), 128);
+  EXPECT_EQ(c.to_string(), "16x8");
+  EXPECT_EQ(c, (OuConfig{16, 8}));
+  EXPECT_NE(c, (OuConfig{8, 16}));
+}
+
+TEST(OuLevelGrid, PaperGridFor128Crossbar) {
+  const OuLevelGrid grid(128);
+  EXPECT_EQ(grid.levels(), 6);  // {4, 8, 16, 32, 64, 128}
+  EXPECT_EQ(grid.size_at(0), 4);
+  EXPECT_EQ(grid.size_at(5), 128);
+  EXPECT_EQ(grid.all_configs().size(), 36u);
+  EXPECT_EQ(grid.min_config(), (OuConfig{4, 4}));
+}
+
+TEST(OuLevelGrid, TruncatesForSmallerCrossbars) {
+  EXPECT_EQ(OuLevelGrid(64).levels(), 5);
+  EXPECT_EQ(OuLevelGrid(32).levels(), 4);
+  EXPECT_EQ(OuLevelGrid(32).all_configs().size(), 16u);
+  EXPECT_EQ(OuLevelGrid(32).size_at(3), 32);
+}
+
+TEST(OuLevelGrid, LevelOfRoundTrips) {
+  const OuLevelGrid grid(128);
+  for (int l = 0; l < grid.levels(); ++l)
+    EXPECT_EQ(grid.level_of(grid.size_at(l)), l);
+  EXPECT_EQ(grid.level_of(9), -1);    // not a power of two
+  EXPECT_EQ(grid.level_of(2), -1);    // below the grid
+  EXPECT_EQ(grid.level_of(256), -1);  // above the grid
+}
+
+TEST(OuLevelGrid, ConfigAtComposesLevels) {
+  const OuLevelGrid grid(128);
+  EXPECT_EQ(grid.config_at(2, 1), (OuConfig{16, 8}));
+  EXPECT_EQ(grid.config_at(5, 5), (OuConfig{128, 128}));
+}
+
+TEST(OuLevelGrid, AllConfigsAreUniqueAndOnGrid) {
+  const OuLevelGrid grid(64);
+  const auto configs = grid.all_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_GE(grid.level_of(configs[i].rows), 0);
+    EXPECT_GE(grid.level_of(configs[i].cols), 0);
+    for (std::size_t j = i + 1; j < configs.size(); ++j)
+      EXPECT_NE(configs[i], configs[j]);
+  }
+}
+
+}  // namespace
+}  // namespace odin::ou

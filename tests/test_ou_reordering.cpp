@@ -1,0 +1,97 @@
+// Tests for the offline row-reordering optimization.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ou/mapper.hpp"
+#include "ou/reordering.hpp"
+
+namespace odin::ou {
+namespace {
+
+dnn::WeightPattern scattered_pattern(int rows, int cols, double density,
+                                     std::uint64_t seed) {
+  // Rows alternate dead / dense, interleaved — the worst case for block
+  // skipping, the best case for reordering.
+  common::Rng rng(seed);
+  dnn::WeightPattern p(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    if (r % 2 == 1) continue;  // every odd row dead
+    for (int c = 0; c < cols; ++c)
+      if (rng.bernoulli(density)) p.set(r, c);
+  }
+  return p;
+}
+
+TEST(Reordering, ProducesValidPermutations) {
+  const auto p = scattered_pattern(64, 64, 0.6, 3);
+  const RowOrder sim = similarity_row_order(p);
+  const RowOrder den = density_row_order(p);
+  EXPECT_TRUE(is_permutation(sim, 64));
+  EXPECT_TRUE(is_permutation(den, 64));
+}
+
+TEST(Reordering, PreservesNonzeroCount) {
+  const auto p = scattered_pattern(48, 32, 0.5, 7);
+  const auto reordered = apply_row_order(p, similarity_row_order(p));
+  EXPECT_EQ(reordered.nonzeros(), p.nonzeros());
+  EXPECT_EQ(reordered.rows(), p.rows());
+  EXPECT_EQ(reordered.cols(), p.cols());
+}
+
+TEST(Reordering, ClustersDeadRowsFirst) {
+  const auto p = scattered_pattern(32, 32, 0.8, 11);
+  const auto reordered = apply_row_order(p, similarity_row_order(p));
+  // The 16 dead rows must now be the leading rows.
+  for (int r = 0; r < 16; ++r)
+    EXPECT_FALSE(reordered.block_live(r, 0, 1, 32)) << r;
+  for (int r = 16; r < 32; ++r)
+    EXPECT_TRUE(reordered.block_live(r, 0, 1, 32)) << r;
+}
+
+TEST(Reordering, ImprovesOuSkippingOnInterleavedPatterns) {
+  dnn::LayerDescriptor layer;
+  layer.fan_in = 128;
+  layer.outputs = 128;
+  layer.spatial_positions = 1;
+  const auto p = scattered_pattern(128, 128, 0.7, 13);
+  const auto reordered = apply_row_order(p, similarity_row_order(p));
+  const LayerMapping before(layer, p, 128);
+  const LayerMapping after(layer, reordered, 128);
+  // Interleaved dead rows defeat 8-row blocks entirely; clustering halves
+  // the live blocks.
+  const OuConfig cfg{8, 16};
+  EXPECT_LT(after.counts(cfg).live_blocks, before.counts(cfg).live_blocks);
+  EXPECT_LE(after.counts(cfg).live_blocks,
+            before.counts(cfg).live_blocks / 2 + 1);
+}
+
+TEST(Reordering, NeverHurtsRowGranularSkipping) {
+  // At R = 1 every dead row is already skipped; reordering cannot change
+  // the live count.
+  dnn::LayerDescriptor layer;
+  layer.fan_in = 64;
+  layer.outputs = 64;
+  layer.spatial_positions = 1;
+  const auto p = scattered_pattern(64, 64, 0.5, 17);
+  const auto reordered = apply_row_order(p, similarity_row_order(p));
+  const LayerMapping before(layer, p, 64);
+  const LayerMapping after(layer, reordered, 64);
+  EXPECT_EQ(after.counts({1, 64}).live_blocks,
+            before.counts({1, 64}).live_blocks);
+}
+
+TEST(Reordering, PermutationStorageBits) {
+  EXPECT_EQ(permutation_storage_bits(128), 128 * 7);
+  EXPECT_EQ(permutation_storage_bits(1), 1);
+  EXPECT_EQ(permutation_storage_bits(4608), 4608 * 13);
+}
+
+TEST(Reordering, IsPermutationRejectsBadInputs) {
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 1}, 3));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 1, 3}, 3));
+  EXPECT_TRUE(is_permutation(std::vector<int>{2, 0, 1}, 3));
+}
+
+}  // namespace
+}  // namespace odin::ou

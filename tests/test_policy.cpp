@@ -1,0 +1,157 @@
+// Tests for feature extraction, the MLP OU policy and the replay buffer.
+#include <gtest/gtest.h>
+
+#include "policy/buffer.hpp"
+#include "policy/features.hpp"
+#include "policy/policy.hpp"
+
+namespace odin::policy {
+namespace {
+
+dnn::LayerDescriptor layer_at(int index, double sparsity, int kernel) {
+  dnn::LayerDescriptor l;
+  l.index = index;
+  l.weight_sparsity = sparsity;
+  l.kernel = kernel;
+  l.fan_in = 64;
+  l.outputs = 64;
+  return l;
+}
+
+TEST(Features, NormalizedIntoUnitRanges) {
+  const Features f = extract_features(layer_at(10, 0.6, 3), 21, 1e4);
+  EXPECT_NEAR(f.layer_position, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(f.sparsity, 0.6);
+  EXPECT_NEAR(f.kernel, 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(f.log_time, 0.5, 1e-9);  // log10(1e4)/8
+}
+
+TEST(Features, ClampsExtremes) {
+  const Features early = extract_features(layer_at(0, 0.0, 1), 10, 0.1);
+  EXPECT_DOUBLE_EQ(early.layer_position, 0.0);
+  EXPECT_DOUBLE_EQ(early.log_time, 0.0);  // below t0 clamps
+  const Features late = extract_features(layer_at(9, 1.0, 7), 10, 1e12);
+  EXPECT_DOUBLE_EQ(late.layer_position, 1.0);
+  EXPECT_DOUBLE_EQ(late.log_time, 1.0);
+  EXPECT_DOUBLE_EQ(late.kernel, 1.0);
+}
+
+TEST(Features, SingleLayerNetworkPositionIsZero) {
+  const Features f = extract_features(layer_at(0, 0.5, 3), 1, 1.0);
+  EXPECT_DOUBLE_EQ(f.layer_position, 0.0);
+}
+
+TEST(OuPolicy, PredictsConfigsOnTheGrid) {
+  const ou::OuLevelGrid grid(128);
+  OuPolicy policy(grid);
+  const Features f = extract_features(layer_at(3, 0.5, 3), 10, 100.0);
+  const ou::OuConfig cfg = policy.predict(f);
+  EXPECT_GE(grid.level_of(cfg.rows), 0);
+  EXPECT_GE(grid.level_of(cfg.cols), 0);
+}
+
+TEST(OuPolicy, ProbabilitiesAreDistributions) {
+  const ou::OuLevelGrid grid(64);
+  OuPolicy policy(grid);
+  const Features f = extract_features(layer_at(1, 0.3, 1), 5, 10.0);
+  const auto probs = policy.predict_proba(f);
+  ASSERT_EQ(probs.size(), 2u);
+  for (const auto& head : probs) {
+    ASSERT_EQ(head.size(), static_cast<std::size_t>(grid.levels()));
+    double sum = 0.0;
+    for (double p : head) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(OuPolicy, LearnsADeterministicMapping) {
+  // Rule: high sparsity -> small OU (level 0), low sparsity -> big (level 4).
+  const ou::OuLevelGrid grid(128);
+  OuPolicy policy(grid);
+  nn::Dataset data;
+  common::Rng rng(8);
+  for (int i = 0; i < 120; ++i) {
+    const double sparsity = rng.uniform();
+    Features f;
+    f.layer_position = rng.uniform();
+    f.sparsity = sparsity;
+    f.kernel = 3.0 / 7.0;
+    f.log_time = rng.uniform();
+    const int level = sparsity > 0.5 ? 0 : 4;
+    OuPolicy::append_example(data, f, grid,
+                             grid.config_at(level, level));
+  }
+  nn::TrainOptions opt;
+  opt.epochs = 150;
+  const auto result = policy.train(data, opt);
+  EXPECT_LT(result.final_loss, result.initial_loss);
+
+  Features sparse;
+  sparse.sparsity = 0.9;
+  sparse.kernel = 3.0 / 7.0;
+  sparse.layer_position = 0.5;
+  sparse.log_time = 0.5;
+  Features dense = sparse;
+  dense.sparsity = 0.1;
+  EXPECT_EQ(policy.predict(sparse), grid.config_at(0, 0));
+  EXPECT_EQ(policy.predict(dense), grid.config_at(4, 4));
+}
+
+TEST(OuPolicy, ParameterCountIsTiny) {
+  // The paper stresses low overhead: 4 -> 16 -> 2x6 is O(300) parameters.
+  const ou::OuLevelGrid grid(128);
+  OuPolicy policy(grid);
+  EXPECT_LT(policy.parameter_count(), 1000u);
+}
+
+TEST(ReplayBuffer, FillsAndReportsFull) {
+  ReplayBuffer buffer(3);
+  const ou::OuLevelGrid grid(128);
+  Features f;
+  EXPECT_TRUE(buffer.empty());
+  buffer.add(f, {4, 4});
+  buffer.add(f, {8, 8});
+  EXPECT_FALSE(buffer.full());
+  buffer.add(f, {16, 16});
+  EXPECT_TRUE(buffer.full());
+  EXPECT_EQ(buffer.size(), 3u);
+  // Overflow is dropped.
+  buffer.add(f, {32, 32});
+  EXPECT_EQ(buffer.size(), 3u);
+}
+
+TEST(ReplayBuffer, DatasetRoundTripsLabels) {
+  ReplayBuffer buffer(4);
+  const ou::OuLevelGrid grid(128);
+  Features f;
+  f.sparsity = 0.25;
+  buffer.add(f, {16, 8});
+  buffer.add(f, {4, 128});
+  const nn::Dataset data = buffer.to_dataset(grid);
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.labels[0][0], grid.level_of(16));
+  EXPECT_EQ(data.labels[1][0], grid.level_of(8));
+  EXPECT_EQ(data.labels[0][1], grid.level_of(4));
+  EXPECT_EQ(data.labels[1][1], grid.level_of(128));
+  EXPECT_DOUBLE_EQ(data.inputs(0, 1), 0.25);
+}
+
+TEST(ReplayBuffer, ResetEmpties) {
+  ReplayBuffer buffer(2);
+  Features f;
+  buffer.add(f, {4, 4});
+  buffer.reset();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(ReplayBuffer, DefaultCapacityMatchesPaper) {
+  ReplayBuffer buffer;
+  EXPECT_EQ(buffer.capacity(), 50u);
+}
+
+}  // namespace
+}  // namespace odin::policy

@@ -1,0 +1,73 @@
+// Tests for policy save/load round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "policy/serialization.hpp"
+
+namespace odin::policy {
+namespace {
+
+Features probe(double sparsity) {
+  Features f;
+  f.layer_position = 0.4;
+  f.sparsity = sparsity;
+  f.kernel = 3.0 / 7.0;
+  f.log_time = 0.25;
+  return f;
+}
+
+TEST(Serialization, RoundTripPreservesPredictions) {
+  OuPolicy original{ou::OuLevelGrid(128)};
+  // Nudge the parameters away from initialization so the test is not
+  // trivially satisfied by re-initialization.
+  for (nn::Parameter* p : original.mlp().parameters())
+    for (double& v : p->value.flat()) v += 0.01;
+
+  std::stringstream stream;
+  save_policy(original, stream);
+  auto loaded = load_policy(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->grid().crossbar_size(), 128);
+
+  for (double s : {0.0, 0.3, 0.7, 1.0}) {
+    const auto a = original.predict_proba(probe(s));
+    const auto b = loaded->predict_proba(probe(s));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t h = 0; h < a.size(); ++h)
+      for (std::size_t k = 0; k < a[h].size(); ++k)
+        EXPECT_DOUBLE_EQ(a[h][k], b[h][k]);
+  }
+}
+
+TEST(Serialization, PreservesGridSize) {
+  OuPolicy original{ou::OuLevelGrid(32)};
+  std::stringstream stream;
+  save_policy(original, stream);
+  auto loaded = load_policy(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->grid().crossbar_size(), 32);
+  EXPECT_EQ(loaded->grid().levels(), 4);
+}
+
+TEST(Serialization, RejectsGarbage) {
+  std::stringstream bad("not a policy at all");
+  EXPECT_FALSE(load_policy(bad).has_value());
+}
+
+TEST(Serialization, RejectsTruncatedStream) {
+  OuPolicy original{ou::OuLevelGrid(128)};
+  std::stringstream stream;
+  save_policy(original, stream);
+  std::string text = stream.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_FALSE(load_policy(truncated).has_value());
+}
+
+TEST(Serialization, RejectsWrongVersion) {
+  std::stringstream bad("odin-policy 99\n128 16\n");
+  EXPECT_FALSE(load_policy(bad).has_value());
+}
+
+}  // namespace
+}  // namespace odin::policy

@@ -1,0 +1,75 @@
+// Tests for the table-based policy strawman.
+#include <gtest/gtest.h>
+
+#include "policy/table_policy.hpp"
+
+namespace odin::policy {
+namespace {
+
+Features probe(double position, double sparsity) {
+  Features f;
+  f.layer_position = position;
+  f.sparsity = sparsity;
+  f.kernel = 3.0 / 7.0;
+  f.log_time = 0.5;
+  return f;
+}
+
+TEST(TablePolicy, EmptyFallsBackTo16x16) {
+  TablePolicy table{ou::OuLevelGrid(128)};
+  EXPECT_EQ(table.predict(probe(0.5, 0.5)), (ou::OuConfig{16, 16}));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.storage_bytes(), 0u);
+}
+
+TEST(TablePolicy, ExactMatchReturnsStoredAnswer) {
+  TablePolicy table{ou::OuLevelGrid(128)};
+  table.add(probe(0.1, 0.9), {4, 8});
+  table.add(probe(0.9, 0.2), {64, 32});
+  EXPECT_EQ(table.predict(probe(0.1, 0.9)), (ou::OuConfig{4, 8}));
+  EXPECT_EQ(table.predict(probe(0.9, 0.2)), (ou::OuConfig{64, 32}));
+}
+
+TEST(TablePolicy, NearestNeighbourInterpolates) {
+  TablePolicy table{ou::OuLevelGrid(128)};
+  table.add(probe(0.0, 0.0), {64, 64});
+  table.add(probe(1.0, 1.0), {4, 4});
+  EXPECT_EQ(table.predict(probe(0.1, 0.1)), (ou::OuConfig{64, 64}));
+  EXPECT_EQ(table.predict(probe(0.9, 0.9)), (ou::OuConfig{4, 4}));
+}
+
+TEST(TablePolicy, RingBufferOverwritesOldest) {
+  TablePolicy table{ou::OuLevelGrid(128), 2};
+  table.add(probe(0.0, 0.0), {4, 4});
+  table.add(probe(1.0, 1.0), {8, 8});
+  EXPECT_EQ(table.size(), 2u);
+  // Third insert evicts the first entry.
+  table.add(probe(0.0, 0.1), {32, 32});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.predict(probe(0.0, 0.0)), (ou::OuConfig{32, 32}));
+}
+
+TEST(TablePolicy, StorageGrowsLinearly) {
+  TablePolicy table{ou::OuLevelGrid(128), 100};
+  for (int i = 0; i < 60; ++i)
+    table.add(probe(i / 60.0, 0.5), {16, 16});
+  EXPECT_EQ(table.storage_bytes(), 60u * 5);
+}
+
+TEST(TablePolicy, DatasetRoundTrip) {
+  const ou::OuLevelGrid grid(128);
+  nn::Dataset data;
+  data.inputs = nn::Matrix(2, 4);
+  data.inputs(0, 0) = 0.2;
+  data.inputs(1, 0) = 0.8;
+  data.labels.assign(2, {0, 0});
+  data.labels[0] = {1, 4};
+  data.labels[1] = {2, 3};
+  TablePolicy table{grid};
+  table.add_dataset(data);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.accuracy_on(data), 1.0);
+}
+
+}  // namespace
+}  // namespace odin::policy

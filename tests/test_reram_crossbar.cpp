@@ -1,0 +1,181 @@
+// Tests for the behavioural crossbar model: programming, analog MVM at OU
+// granularity, ADC quantization, and drift-induced weight error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reram/crossbar.hpp"
+
+namespace odin::reram {
+namespace {
+
+std::vector<double> level_weights(const DeviceParams& p, int rows, int cols,
+                                  common::Rng& rng) {
+  // Weights on exact quantization levels, so ideal_weight round-trips.
+  std::vector<double> w(static_cast<std::size_t>(rows) * cols);
+  const int top = p.levels() - 1;
+  for (double& v : w) {
+    const int lvl = static_cast<int>(rng.uniform_index(p.levels()));
+    const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    v = sign * static_cast<double>(lvl) / top;
+  }
+  return w;
+}
+
+TEST(Crossbar, ProgramRoundTripsQuantizedWeights) {
+  const DeviceParams dev;
+  Crossbar xbar(16, dev);
+  common::Rng rng(5);
+  const auto w = level_weights(dev, 8, 8, rng);
+  xbar.program(w, 8, 8, 0.0);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      EXPECT_NEAR(xbar.ideal_weight(r, c), w[static_cast<std::size_t>(r) * 8 + c],
+                  1e-12);
+}
+
+TEST(Crossbar, ProgrammedCellsCountsNonzeros) {
+  const DeviceParams dev;
+  Crossbar xbar(8, dev);
+  const std::vector<double> w{1.0, 0.0, -1.0, 0.0};
+  xbar.program(w, 2, 2, 0.0);
+  EXPECT_EQ(xbar.programmed_cells(), 2);
+  EXPECT_EQ(xbar.programmed_rows(), 2);
+  EXPECT_EQ(xbar.programmed_cols(), 2);
+}
+
+TEST(Crossbar, IdealMvmMatchesManualDotProduct) {
+  const DeviceParams dev;
+  Crossbar xbar(8, dev);
+  // 2x3: columns are [1,-1], [1/3, 1/3], [0, 1].
+  const std::vector<double> w{1.0, 1.0 / 3.0, 0.0, -1.0, 1.0 / 3.0, 1.0};
+  xbar.program(w, 2, 3, 0.0);
+  const std::vector<double> in{0.5, 1.0};
+  const auto out = xbar.ideal_mvm(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 0.5 - 1.0, 1e-12);
+  EXPECT_NEAR(out[1], 0.5 / 3.0 + 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out[2], 1.0, 1e-12);
+}
+
+TEST(Crossbar, AnalogMvmApproachesIdealAtT0WithFineAdc) {
+  const DeviceParams dev;
+  Crossbar xbar(32, dev);
+  common::Rng rng(11);
+  const auto w = level_weights(dev, 32, 32, rng);
+  xbar.program(w, 32, 32, 0.0);
+  std::vector<double> in(32);
+  for (double& v : in) v = rng.uniform();
+  const auto ideal = xbar.ideal_mvm(in);
+  // Small OU (4x4) at t0: only ~0.27% IR-drop degradation + 12-bit ADC.
+  const auto analog = xbar.mvm(in, 4, 4, dev.t0_s, 12);
+  for (std::size_t i = 0; i < ideal.size(); ++i)
+    EXPECT_NEAR(analog[i], ideal[i], std::abs(ideal[i]) * 0.01 + 0.05);
+}
+
+TEST(Crossbar, CoarserOuProducesLargerError) {
+  const DeviceParams dev;
+  Crossbar xbar(128, dev);
+  common::Rng rng(13);
+  const auto w = level_weights(dev, 128, 128, rng);
+  xbar.program(w, 128, 128, 0.0);
+  const double e_fine = xbar.weight_rms_error(1.0, 4, 4);
+  const double e_coarse = xbar.weight_rms_error(1.0, 128, 128);
+  EXPECT_LT(e_fine, e_coarse);
+}
+
+TEST(Crossbar, ErrorGrowsWithDriftTime) {
+  const DeviceParams dev;
+  Crossbar xbar(32, dev);
+  common::Rng rng(17);
+  const auto w = level_weights(dev, 32, 32, rng);
+  xbar.program(w, 32, 32, 0.0);
+  double prev = xbar.weight_rms_error(1.0, 16, 16);
+  for (double t : {1e2, 1e4, 1e6, 1e8}) {
+    const double e = xbar.weight_rms_error(t, 16, 16);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Crossbar, ReprogramResetsDriftClock) {
+  const DeviceParams dev;
+  Crossbar xbar(16, dev);
+  common::Rng rng(19);
+  const auto w = level_weights(dev, 16, 16, rng);
+  xbar.program(w, 16, 16, 0.0);
+  const double degraded = xbar.weight_rms_error(1e8, 8, 8);
+  xbar.program(w, 16, 16, 1e8);  // reprogram at 1e8 s
+  const double refreshed = xbar.weight_rms_error(1e8 + 1.0, 8, 8);
+  // Reprogramming removes the accumulated drift error; the residual is the
+  // (much smaller) IR-drop term. With the calibrated v the ratio is ~8x.
+  EXPECT_LT(refreshed, degraded * 0.2);
+  EXPECT_DOUBLE_EQ(xbar.programmed_at_s(), 1e8);
+}
+
+TEST(Crossbar, OuComposedMvmEqualsWholeRegionPass) {
+  const DeviceParams dev;
+  Crossbar xbar(16, dev);
+  common::Rng rng(23);
+  const auto w = level_weights(dev, 16, 16, rng);
+  xbar.program(w, 16, 16, 0.0);
+  std::vector<double> in(16);
+  for (double& v : in) v = rng.uniform();
+  // With a very fine ADC and the same OU degradation, partial sums across
+  // row bands must add up to the single-band result within ADC resolution.
+  const auto whole = xbar.mvm(in, 16, 16, dev.t0_s, 14);
+  auto ideal = xbar.ideal_mvm(in);
+  for (std::size_t i = 0; i < whole.size(); ++i)
+    EXPECT_NEAR(whole[i], ideal[i] * 0.9895, 0.05);  // 16+16 lines IR drop
+}
+
+// ADC precision sweep: quantization error shrinks monotonically with bits.
+class AdcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcSweep, ErrorBoundedByLsb) {
+  const DeviceParams dev;
+  Crossbar xbar(16, dev);
+  common::Rng rng(29);
+  const auto w = level_weights(dev, 16, 16, rng);
+  xbar.program(w, 16, 16, 0.0);
+  std::vector<double> in(16, 1.0);
+  const int bits = GetParam();
+  const auto out = xbar.mvm_ou(in, 0, 16, 0, 16, dev.t0_s, bits);
+  const auto ideal = xbar.ideal_mvm(in);
+  const double full_scale = 16.0;
+  const double lsb = 2.0 * full_scale / ((1 << bits) - 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Error = IR-drop (~1%) + at most one LSB of quantization.
+    EXPECT_LE(std::abs(out[i] - ideal[i]),
+              std::abs(ideal[i]) * 0.015 + lsb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsRange, AdcSweep, ::testing::Values(3, 4, 5, 6, 8));
+
+TEST(Crossbar, ProgramNoiseChangesStoredValuesButBoundedly) {
+  const DeviceParams dev;
+  NoiseParams np;
+  Crossbar noisy(16, dev, NoiseModel(np, 77));
+  Crossbar clean(16, dev);
+  common::Rng rng(31);
+  const auto w = level_weights(dev, 16, 16, rng);
+  noisy.program(w, 16, 16, 0.0);
+  clean.program(w, 16, 16, 0.0);
+  double max_rel = 0.0;
+  bool any_diff = false;
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      const double a = noisy.ideal_weight(r, c);
+      const double b = clean.ideal_weight(r, c);
+      if (a != b) any_diff = true;
+      if (b != 0.0) max_rel = std::max(max_rel, std::abs(a - b) / std::abs(b));
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_LT(max_rel, 6.0 * np.program_sigma + 0.35);  // quantization + noise
+}
+
+}  // namespace
+}  // namespace odin::reram

@@ -1,0 +1,147 @@
+// Unit + property tests for the ReRAM device model (paper Eqs. 3-4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reram/device.hpp"
+
+namespace odin::reram {
+namespace {
+
+DeviceParams params() { return DeviceParams{}; }
+
+TEST(Device, TableIiDefaults) {
+  const DeviceParams p = params();
+  EXPECT_DOUBLE_EQ(p.g_on_s, 333e-6);
+  EXPECT_DOUBLE_EQ(p.g_off_s, 0.33e-6);
+  EXPECT_DOUBLE_EQ(p.r_wire_ohm, 1.0);
+  EXPECT_EQ(p.bits_per_cell, 2);
+  EXPECT_EQ(p.levels(), 4);
+  EXPECT_DOUBLE_EQ(DeviceParams::paper_drift_coefficient, 0.2);
+}
+
+TEST(Device, DriftEqualsGonAtT0) {
+  const DeviceParams p = params();
+  EXPECT_DOUBLE_EQ(drift_conductance(p, p.t0_s), p.g_on_s);
+  // Times before t0 clamp to t0 (model domain).
+  EXPECT_DOUBLE_EQ(drift_conductance(p, 0.0), p.g_on_s);
+}
+
+TEST(Device, DriftFollowsEq3PowerLaw) {
+  const DeviceParams p = params();
+  for (double t : {10.0, 1e3, 1e6, 1e8}) {
+    const double expected = p.g_on_s * std::pow(t, -p.drift_coefficient);
+    EXPECT_NEAR(drift_conductance(p, t), expected, expected * 1e-12);
+  }
+}
+
+TEST(Device, DriftIsMonotoneDecreasingInTime) {
+  const DeviceParams p = params();
+  double prev = drift_conductance(p, 1.0);
+  for (double t = 10.0; t <= 1e8; t *= 10.0) {
+    const double g = drift_conductance(p, t);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Device, EffectiveConductanceMatchesEq4ClosedForm) {
+  const DeviceParams p = params();
+  const double t = 1e4;
+  const int rows = 16, cols = 16;
+  const double g_drift = drift_conductance(p, t);
+  const double expected =
+      1.0 / (1.0 / g_drift + p.r_wire_ohm * (rows + cols));
+  EXPECT_NEAR(effective_conductance(p, t, rows, cols), expected, 1e-18);
+}
+
+TEST(Device, ErrorComponentsSumToTotal) {
+  const DeviceParams p = params();
+  for (double t : {1.0, 1e2, 1e5, 1e8}) {
+    for (int side : {4, 16, 64}) {
+      const auto c = nonideality_components(p, t, side, side);
+      EXPECT_NEAR(c.total(), relative_conductance_error(p, t, side, side),
+                  1e-12);
+      EXPECT_GE(c.drift, 0.0);
+      EXPECT_GE(c.ir_drop, 0.0);
+    }
+  }
+}
+
+TEST(Device, DriftComponentIsOuIndependent) {
+  const DeviceParams p = params();
+  const double t = 1e5;
+  const double d1 = nonideality_components(p, t, 4, 4).drift;
+  const double d2 = nonideality_components(p, t, 64, 64).drift;
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+TEST(Device, AtT0ErrorIsPureIrDrop) {
+  const DeviceParams p = params();
+  const auto c = nonideality_components(p, p.t0_s, 16, 16);
+  EXPECT_NEAR(c.drift, 0.0, 1e-12);
+  // 333 uS * 1 ohm * 32 lines ~ 1.05% relative error.
+  EXPECT_NEAR(c.ir_drop, 0.010544, 1e-4);
+}
+
+// Property sweep: the non-ideality factor is monotone in both time and
+// activated line count (the physics Odin's shrinking policy relies on).
+class NfMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(NfMonotonicity, IncreasesWithOuSize) {
+  const DeviceParams p = params();
+  const double t = GetParam();
+  double prev = -1.0;
+  for (int side : {4, 8, 16, 32, 64, 128}) {
+    const double nf = relative_conductance_error(p, t, side, side);
+    EXPECT_GT(nf, prev);
+    prev = nf;
+  }
+}
+
+TEST_P(NfMonotonicity, IncreasesWithTimeForAnyOu) {
+  const DeviceParams p = params();
+  const double t = GetParam();
+  for (int side : {4, 16, 64}) {
+    EXPECT_LT(relative_conductance_error(p, t, side, side),
+              relative_conductance_error(p, t * 10.0, side, side));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossHorizon, NfMonotonicity,
+                         ::testing::Values(1.0, 1e2, 1e4, 1e6, 1e7));
+
+TEST(Device, QuantizationRoundTripsLevelValues) {
+  const DeviceParams p = params();
+  // The 4 exact levels of a 2-bit cell survive the round trip.
+  for (int level = 0; level < p.levels(); ++level) {
+    const double w = static_cast<double>(level) / (p.levels() - 1);
+    const double g = quantize_weight_to_conductance(p, w);
+    EXPECT_NEAR(conductance_to_weight(p, g), w, 1e-12);
+  }
+}
+
+TEST(Device, QuantizationSnapsToNearestLevel) {
+  const DeviceParams p = params();
+  // 0.4 is nearer to level 1 (1/3) than level 2 (2/3).
+  const double g = quantize_weight_to_conductance(p, 0.4);
+  EXPECT_NEAR(conductance_to_weight(p, g), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Device, QuantizationClampsOutOfRange) {
+  const DeviceParams p = params();
+  EXPECT_DOUBLE_EQ(quantize_weight_to_conductance(p, 2.0), p.g_on_s);
+  EXPECT_DOUBLE_EQ(quantize_weight_to_conductance(p, -1.0), p.g_off_s);
+}
+
+TEST(Device, CalibratedDriftKeepsMinOuFeasibleForMostOfHorizon) {
+  // DESIGN.md §4: the 4x4 crossing should fall in the last ~half decade of
+  // the horizon so Odin reprograms exactly once.
+  const DeviceParams p = params();
+  const double eta = 0.04;
+  EXPECT_LT(relative_conductance_error(p, 3e7, 4, 4), eta);
+  EXPECT_GT(relative_conductance_error(p, 1e8, 4, 4), eta);
+}
+
+}  // namespace
+}  // namespace odin::reram

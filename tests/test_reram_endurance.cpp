@@ -1,0 +1,61 @@
+// Tests for the Weibull endurance (write-wear) model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reram/endurance.hpp"
+
+namespace odin::reram {
+namespace {
+
+TEST(Endurance, FailureFractionIsMonotoneCdf) {
+  const EnduranceModel model;
+  EXPECT_DOUBLE_EQ(model.failure_fraction(0.0), 0.0);
+  double prev = 0.0;
+  for (double n = 1e3; n <= 1e7; n *= 10.0) {
+    const double f = model.failure_fraction(n);
+    EXPECT_GT(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_NEAR(model.failure_fraction(1e9), 1.0, 1e-9);
+}
+
+TEST(Endurance, CharacteristicLifeIs63Percent) {
+  const EnduranceModel model;
+  EXPECT_NEAR(model.failure_fraction(model.params().characteristic_cycles),
+              1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(Endurance, BudgetInversionRoundTrips) {
+  const EnduranceModel model;
+  for (double budget : {1e-4, 1e-3, 1e-2, 0.5}) {
+    const double n = model.cycles_to_failure_budget(budget);
+    EXPECT_NEAR(model.failure_fraction(n), budget, budget * 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(model.cycles_to_failure_budget(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(model.cycles_to_failure_budget(1.0)));
+}
+
+TEST(Endurance, SampledLifetimesMatchTheCdf) {
+  const EnduranceModel model;
+  common::Rng rng(11);
+  constexpr int kN = 20'000;
+  const double probe = model.params().characteristic_cycles;
+  int below = 0;
+  for (int i = 0; i < kN; ++i)
+    if (model.sample_lifetime(rng) < probe) ++below;
+  EXPECT_NEAR(static_cast<double>(below) / kN, 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(Endurance, FewerReprogramsMeanLongerLifetime) {
+  const EnduranceModel model;
+  // Fig. 6's counts: 48 reprograms per 1e8 s (16x16) vs 1 (Odin).
+  const double base = model.lifetime_seconds(48.0, 1e8);
+  const double odin = model.lifetime_seconds(1.0, 1e8);
+  EXPECT_NEAR(odin / base, 48.0, 1e-6);
+  EXPECT_TRUE(std::isinf(model.lifetime_seconds(0.0, 1e8)));
+}
+
+}  // namespace
+}  // namespace odin::reram

@@ -1,0 +1,134 @@
+// Tests for the stuck-at-fault injection and the spatial IR-drop model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reram/crossbar.hpp"
+
+namespace odin::reram {
+namespace {
+
+std::vector<double> ones(int n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 1.0);
+}
+
+TEST(StuckAtFaults, NoFaultsWithoutNoiseModel) {
+  Crossbar xbar(16, DeviceParams{});
+  xbar.program(ones(256), 16, 16, 0.0);
+  EXPECT_EQ(xbar.faulty_cells(), 0);
+}
+
+TEST(StuckAtFaults, FaultRateMatchesParams) {
+  NoiseParams np;
+  np.stuck_on_rate = 0.05;
+  np.stuck_off_rate = 0.05;
+  Crossbar xbar(64, DeviceParams{}, NoiseModel(np, 7));
+  xbar.program(ones(64 * 64), 64, 64, 0.0);
+  // 10% of 4096 cells, with Monte-Carlo slack.
+  EXPECT_NEAR(static_cast<double>(xbar.faulty_cells()), 409.6, 120.0);
+}
+
+TEST(StuckAtFaults, FaultsSurviveReprogramming) {
+  NoiseParams np;
+  np.stuck_off_rate = 0.2;
+  Crossbar xbar(16, DeviceParams{}, NoiseModel(np, 3));
+  xbar.program(ones(256), 16, 16, 0.0);
+  const auto faults_before = xbar.faulty_cells();
+  ASSERT_GT(faults_before, 0);
+  xbar.program(ones(256), 16, 16, 100.0);
+  EXPECT_EQ(xbar.faulty_cells(), faults_before);
+}
+
+TEST(StuckAtFaults, StuckOffCellsReadAsZero) {
+  NoiseParams np;
+  np.stuck_off_rate = 1.0;  // every cell broken
+  np.program_sigma = 0.0;
+  np.read_sigma = 0.0;
+  Crossbar xbar(8, DeviceParams{}, NoiseModel(np, 5));
+  xbar.program(ones(64), 8, 8, 0.0);
+  EXPECT_EQ(xbar.programmed_cells(), 0);
+  const auto out = xbar.mvm_ou(ones(8), 0, 8, 0, 8, 1.0, 12);
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-2);
+}
+
+TEST(StuckAtFaults, StuckOnCellsConductRegardlessOfTarget) {
+  NoiseParams np;
+  np.stuck_on_rate = 1.0;
+  np.program_sigma = 0.0;
+  np.read_sigma = 0.0;
+  Crossbar xbar(8, DeviceParams{}, NoiseModel(np, 5));
+  // Target all-zero weights; the stuck-on cells conduct at G_ON anyway.
+  xbar.program(std::vector<double>(64, 0.0), 8, 8, 0.0);
+  EXPECT_EQ(xbar.programmed_cells(), 64);
+  const auto out = xbar.mvm_ou(ones(8), 0, 8, 0, 8, 1.0, 12);
+  for (double v : out) EXPECT_GT(v, 5.0);  // ~8 x 1 x 0.995 per column
+}
+
+TEST(StuckAtFaults, ModerateFaultsPerturbMvm) {
+  NoiseParams clean_np;  // no faults
+  NoiseParams faulty_np;
+  faulty_np.stuck_off_rate = 0.05;
+  faulty_np.program_sigma = 0.0;
+  faulty_np.read_sigma = 0.0;
+  clean_np.program_sigma = 0.0;
+  clean_np.read_sigma = 0.0;
+  Crossbar clean(32, DeviceParams{}, NoiseModel(clean_np, 9));
+  Crossbar faulty(32, DeviceParams{}, NoiseModel(faulty_np, 9));
+  common::Rng rng(11);
+  std::vector<double> w(1024);
+  for (double& v : w) v = rng.uniform(-1.0, 1.0);
+  clean.program(w, 32, 32, 0.0);
+  faulty.program(w, 32, 32, 0.0);
+  const auto a = clean.mvm_ou(ones(32), 0, 32, 0, 32, 1.0, 12);
+  const auto b = faulty.mvm_ou(ones(32), 0, 32, 0, 32, 1.0, 12);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SpatialIr, FarCornerDegradesMoreThanNearCorner) {
+  Crossbar xbar(64, DeviceParams{}, std::nullopt, IrModel::kSpatial);
+  xbar.program(ones(64 * 64), 64, 64, 0.0);
+  const double near = xbar.effective_weight(0, 0, 1.0, 64, 64);
+  const double far = xbar.effective_weight(63, 63, 1.0, 64, 64);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.9);  // still a small effect at these parameters
+}
+
+TEST(SpatialIr, LumpedModelIsTheWorstCaseEnvelope) {
+  // Eq. 4's lumped factor uses R + C segments — the far corner's path —
+  // so every cell in the spatial model does at least as well.
+  Crossbar spatial(32, DeviceParams{}, std::nullopt, IrModel::kSpatial);
+  Crossbar lumped(32, DeviceParams{}, std::nullopt, IrModel::kLumped);
+  spatial.program(ones(1024), 32, 32, 0.0);
+  lumped.program(ones(1024), 32, 32, 0.0);
+  for (int r = 0; r < 32; r += 7) {
+    for (int c = 0; c < 32; c += 7) {
+      EXPECT_GE(spatial.effective_weight(r, c, 1.0, 32, 32),
+                lumped.effective_weight(r, c, 1.0, 32, 32) - 1e-12)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(SpatialIr, MvmErrorLowerThanLumpedOnAverage) {
+  Crossbar spatial(32, DeviceParams{}, std::nullopt, IrModel::kSpatial);
+  Crossbar lumped(32, DeviceParams{}, std::nullopt, IrModel::kLumped);
+  common::Rng rng(13);
+  std::vector<double> w(1024);
+  for (double& v : w) v = rng.uniform(0.0, 1.0);
+  spatial.program(w, 32, 32, 0.0);
+  lumped.program(w, 32, 32, 0.0);
+  const auto ideal = spatial.ideal_mvm(ones(32));
+  const auto s = spatial.mvm(ones(32), 32, 32, 1.0, 12);
+  const auto l = lumped.mvm(ones(32), 32, 32, 1.0, 12);
+  double se = 0.0, le = 0.0;
+  for (std::size_t i = 0; i < ideal.size(); ++i) {
+    se += std::abs(s[i] - ideal[i]);
+    le += std::abs(l[i] - ideal[i]);
+  }
+  EXPECT_LT(se, le);
+}
+
+}  // namespace
+}  // namespace odin::reram

@@ -1,0 +1,93 @@
+// Tests for the write-verify programming model, including the coherence
+// check that derives DeviceParams' flat write-cost constants from it.
+#include <gtest/gtest.h>
+
+#include "reram/programming.hpp"
+
+namespace odin::reram {
+namespace {
+
+TEST(ProgramVerify, ToleranceTightensWithMoreBitsPerCell) {
+  const ProgramVerifyModel model;
+  DeviceParams two_bit;
+  DeviceParams three_bit;
+  three_bit.bits_per_cell = 3;
+  EXPECT_GT(model.tolerance_for(two_bit), model.tolerance_for(three_bit));
+}
+
+TEST(ProgramVerify, IterationsGrowLogarithmicallyWithPrecision) {
+  const ProgramVerifyModel model;
+  const int loose = model.iterations_for(0.1);
+  const int tight = model.iterations_for(0.01);
+  const int tighter = model.iterations_for(0.001);
+  EXPECT_LT(loose, tight);
+  EXPECT_LT(tight, tighter);
+  // Log scaling: each decade of precision costs the same extra iterations.
+  EXPECT_NEAR(tighter - tight, tight - loose, 2);
+}
+
+TEST(ProgramVerify, TrivialToleranceTakesOnePulse) {
+  const ProgramVerifyModel model;
+  EXPECT_EQ(model.iterations_for(0.5), 1);
+}
+
+TEST(ProgramVerify, IterationsAreCappedAtMax) {
+  ProgramVerifyParams params;
+  params.max_iterations = 10;
+  const ProgramVerifyModel model(params);
+  EXPECT_EQ(model.iterations_for(1e-12), 10);
+}
+
+TEST(ProgramVerify, DerivesTheDeviceWriteConstants) {
+  // DeviceParams' flat constants (900 pJ/cell, 2 us/row) must agree with
+  // the physical write-verify model within 25% — they are the same story
+  // told twice (see programming.hpp).
+  const ProgramVerifyModel model;
+  const DeviceParams dev;
+  const auto cost = model.cell_cost(dev);
+  EXPECT_NEAR(cost.energy_j, dev.write_energy_per_cell_j,
+              0.25 * dev.write_energy_per_cell_j);
+  EXPECT_NEAR(model.row_latency_s(dev), dev.write_latency_per_row_s,
+              0.25 * dev.write_latency_per_row_s);
+}
+
+TEST(ProgramVerify, CellCostDecomposition) {
+  const ProgramVerifyModel model;
+  const DeviceParams dev;
+  const auto& p = model.params();
+  const int iters = model.iterations_for(model.tolerance_for(dev));
+  const auto cost = model.cell_cost(dev);
+  EXPECT_DOUBLE_EQ(cost.energy_j,
+                   p.reset_energy_j +
+                       iters * (p.pulse_energy_j + p.verify_energy_j));
+  EXPECT_DOUBLE_EQ(cost.latency_s,
+                   p.reset_duration_s +
+                       iters * (p.pulse_duration_s + p.verify_duration_s));
+}
+
+TEST(ProgramVerify, StochasticWritesCenterOnDeterministicCount) {
+  const ProgramVerifyModel model;
+  const DeviceParams dev;
+  const int nominal = model.iterations_for(model.tolerance_for(dev));
+  common::Rng rng(42);
+  double mean = 0.0;
+  constexpr int kTrials = 500;
+  for (int i = 0; i < kTrials; ++i)
+    mean += model.simulate_write(dev, rng);
+  mean /= kTrials;
+  EXPECT_NEAR(mean, nominal, 0.35 * nominal);
+}
+
+TEST(ProgramVerify, StochasticWritesAlwaysTerminate) {
+  const ProgramVerifyModel model;
+  const DeviceParams dev;
+  common::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int iters = model.simulate_write(dev, rng);
+    EXPECT_GE(iters, 1);
+    EXPECT_LE(iters, model.params().max_iterations);
+  }
+}
+
+}  // namespace
+}  // namespace odin::reram

@@ -1,0 +1,232 @@
+// odin_cli — command-line driver for the Odin library.
+//
+//   odin_cli workloads
+//       List the paper's nine workloads (plus extensions) with their
+//       lowered sizes, sparsity and crossbar footprints.
+//   odin_cli simulate  <workload> [--crossbar N] [--runs N] [--ou RxC]
+//       Horizon simulation of Odin vs a homogeneous baseline on one
+//       workload; prints totals and the EDP advantage.
+//   odin_cli train-policy <output-file> [--exclude FAMILY] [--crossbar N]
+//       Offline-bootstrap a policy (leave-one-family-out) and save it.
+//   odin_cli best-ou <workload> [--layer J] [--time T]
+//       Exhaustive best OU configuration per layer at a given drift time.
+//
+// All randomness is seeded; outputs are reproducible.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "ou/search.hpp"
+#include "policy/serialization.hpp"
+
+using namespace odin;
+
+namespace {
+
+std::map<std::string, dnn::DnnModel (*)(data::DatasetKind)> builders() {
+  return {
+      {"resnet18", dnn::make_resnet18},   {"resnet34", dnn::make_resnet34},
+      {"resnet50", dnn::make_resnet50},   {"vgg11", dnn::make_vgg11},
+      {"vgg16", dnn::make_vgg16},         {"vgg19", dnn::make_vgg19},
+      {"googlenet", dnn::make_googlenet},
+      {"densenet121", dnn::make_densenet121},
+      {"vit", dnn::make_vit},             {"mobilenetv1", dnn::make_mobilenetv1},
+  };
+}
+
+std::optional<std::string> flag_value(int argc, char** argv,
+                                      const char* name) {
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::string(argv[i + 1]);
+  return std::nullopt;
+}
+
+std::optional<dnn::DnnModel> build_workload(const std::string& name) {
+  const auto reg = builders();
+  const auto it = reg.find(name);
+  if (it == reg.end()) return std::nullopt;
+  // CLI workloads default to CIFAR-10 shapes.
+  return it->second(data::DatasetKind::kCifar10);
+}
+
+std::optional<ou::OuConfig> parse_ou(const std::string& text) {
+  const auto x = text.find('x');
+  if (x == std::string::npos) return std::nullopt;
+  const int r = std::atoi(text.substr(0, x).c_str());
+  const int c = std::atoi(text.substr(x + 1).c_str());
+  if (r < 1 || c < 1) return std::nullopt;
+  return ou::OuConfig{r, c};
+}
+
+int cmd_workloads() {
+  const core::Setup setup;
+  const arch::SystemModel system = setup.make_system();
+  common::Table table({"workload", "layers", "lowered weights",
+                       "sparsity %", "crossbars", "MACs"});
+  auto add = [&](dnn::DnnModel model) {
+    const auto pruned = dnn::prune_model(model, setup.prune_seed);
+    const auto mapping = system.map(pruned.model);
+    table.add_row({pruned.model.name,
+                   common::Table::integer(
+                       static_cast<long long>(pruned.model.layers.size())),
+                   common::Table::integer(pruned.model.total_weights()),
+                   common::Table::num(
+                       100.0 * pruned.model.overall_sparsity(), 3),
+                   common::Table::integer(mapping.crossbars_used),
+                   common::Table::integer(pruned.model.total_macs())});
+  };
+  for (dnn::DnnModel& m : dnn::paper_workloads()) add(std::move(m));
+  add(dnn::make_mobilenetv1(data::DatasetKind::kCifar10));
+  common::print_table("available workloads (paper nine + extensions)",
+                      table);
+  return 0;
+}
+
+int cmd_simulate(const std::string& workload, int argc, char** argv) {
+  auto model = build_workload(workload);
+  if (!model) {
+    std::fprintf(stderr, "unknown workload '%s' (try: odin_cli workloads)\n",
+                 workload.c_str());
+    return 1;
+  }
+  const int crossbar =
+      std::atoi(flag_value(argc, argv, "--crossbar").value_or("128").c_str());
+  core::HorizonConfig horizon;
+  horizon.runs =
+      std::atoi(flag_value(argc, argv, "--runs").value_or("400").c_str());
+  const auto baseline =
+      parse_ou(flag_value(argc, argv, "--ou").value_or("16x16"));
+  if (!baseline) {
+    std::fprintf(stderr, "bad --ou (expected RxC)\n");
+    return 1;
+  }
+
+  const core::Setup setup;
+  const ou::NonIdealityModel nonideal = setup.make_nonideality(crossbar);
+  const ou::OuCostModel cost = setup.make_cost();
+  const ou::MappedModel mapped = setup.make_mapped(std::move(*model),
+                                                   crossbar);
+  core::OdinController controller(mapped, nonideal, cost,
+                                  policy::OuPolicy(ou::OuLevelGrid(crossbar)));
+  const auto odin = core::simulate_odin(controller, horizon);
+  const auto base = core::simulate_homogeneous(mapped, nonideal, cost,
+                                               *baseline, horizon);
+  common::Table table({"scheme", "energy (mJ)", "latency (s)", "EDP (Js)",
+                       "reprograms"});
+  table.add_row({"Odin", common::Table::num(odin.total().energy_j * 1e3, 4),
+                 common::Table::num(odin.total().latency_s, 4),
+                 common::Table::num(odin.total_edp(), 4),
+                 common::Table::integer(odin.reprograms)});
+  table.add_row({baseline->to_string(),
+                 common::Table::num(base.total().energy_j * 1e3, 4),
+                 common::Table::num(base.total().latency_s, 4),
+                 common::Table::num(base.total_edp(), 4),
+                 common::Table::integer(base.reprograms)});
+  common::print_table(mapped.model().name + " over [t0, 1e8 s], " +
+                          std::to_string(horizon.runs) + " runs",
+                      table);
+  std::printf("Odin EDP advantage: %.2fx\n",
+              base.total_edp() / odin.total_edp());
+  return 0;
+}
+
+int cmd_train_policy(const std::string& path, int argc, char** argv) {
+  const std::string family =
+      flag_value(argc, argv, "--exclude").value_or("VGG");
+  const int crossbar =
+      std::atoi(flag_value(argc, argv, "--crossbar").value_or("128").c_str());
+  const std::map<std::string, dnn::Family> families{
+      {"ResNet", dnn::Family::kResNet},   {"VGG", dnn::Family::kVgg},
+      {"GoogLeNet", dnn::Family::kGoogLeNet},
+      {"DenseNet", dnn::Family::kDenseNet}, {"ViT", dnn::Family::kViT}};
+  const auto it = families.find(family);
+  if (it == families.end()) {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 1;
+  }
+  const core::Setup setup;
+  std::printf("bootstrapping policy (excluding %s, crossbar %d)...\n",
+              family.c_str(), crossbar);
+  policy::OuPolicy policy =
+      core::offline_policy_excluding(setup, it->second, crossbar);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  policy::save_policy(policy, out);
+  std::printf("saved %zu-parameter policy to %s\n", policy.parameter_count(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_best_ou(const std::string& workload, int argc, char** argv) {
+  auto model = build_workload(workload);
+  if (!model) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 1;
+  }
+  const double t =
+      std::atof(flag_value(argc, argv, "--time").value_or("1").c_str());
+  const int only_layer =
+      std::atoi(flag_value(argc, argv, "--layer").value_or("-1").c_str());
+
+  const core::Setup setup;
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+  const ou::MappedModel mapped = setup.make_mapped(std::move(*model));
+  const ou::OuLevelGrid grid(mapped.crossbar_size());
+  const int n = static_cast<int>(mapped.layer_count());
+
+  common::Table table({"layer", "name", "sparsity %", "best OU",
+                       "EDP (Js)"});
+  for (int j = 0; j < n; ++j) {
+    if (only_layer >= 0 && j != only_layer) continue;
+    const auto& layer = mapped.model().layers[static_cast<std::size_t>(j)];
+    ou::LayerContext ctx{
+        .mapping = &mapped.mapping(static_cast<std::size_t>(j)),
+        .cost = &cost,
+        .nonideal = &nonideal,
+        .grid = &grid,
+        .elapsed_s = t,
+        .sensitivity = nonideal.layer_sensitivity(j, n)};
+    const auto best = ou::exhaustive_search(ctx);
+    table.add_row({common::Table::integer(j + 1), layer.name,
+                   common::Table::num(100.0 * layer.weight_sparsity, 3),
+                   best.found ? best.best.to_string() : "REPROGRAM",
+                   best.found ? common::Table::num(best.edp, 4) : "-"});
+  }
+  char title[96];
+  std::snprintf(title, sizeof(title), "%s best OU at t = %g s",
+                mapped.model().name.c_str(), t);
+  common::print_table(title, table);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: odin_cli <command> [...]\n"
+               "  workloads\n"
+               "  simulate <workload> [--crossbar N] [--runs N] [--ou RxC]\n"
+               "  train-policy <file> [--exclude FAMILY] [--crossbar N]\n"
+               "  best-ou <workload> [--layer J] [--time T]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "workloads") return cmd_workloads();
+  if (cmd == "simulate" && argc >= 3) return cmd_simulate(argv[2], argc, argv);
+  if (cmd == "train-policy" && argc >= 3)
+    return cmd_train_policy(argv[2], argc, argv);
+  if (cmd == "best-ou" && argc >= 3) return cmd_best_ou(argv[2], argc, argv);
+  return usage();
+}
