@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 using namespace odin;
@@ -54,16 +55,33 @@ int main() {
   double max_reduction = 0.0;
   std::string max_reduction_at;
 
-  for (const auto& mm : mapped) {
-    const auto noc = system.map(mm->model()).noc_per_inference;
-    std::vector<core::AggregateResult> results;
-    for (const ou::OuConfig cfg : baselines)
-      results.push_back(core::simulate_homogeneous(*mm, nonideal, cost, cfg,
-                                                   horizon, noc));
-    policy::OuPolicy policy = policies.at(mm->model().family)->clone();
-    core::OdinController controller(*mm, nonideal, cost, std::move(policy));
-    results.push_back(
-        core::simulate_odin(controller, horizon, noc, &overhead));
+  // Per-workload arms are independent; clone each arm's policy up front
+  // (clone() is not const-safe on a shared policy), then fan out. Within an
+  // arm the baseline sweep fans out again when lanes are idle; nested
+  // regions degrade to inline execution, never deadlock.
+  std::vector<policy::OuPolicy> arm_policies;
+  arm_policies.reserve(mapped.size());
+  for (const auto& mm : mapped)
+    arm_policies.push_back(policies.at(mm->model().family)->clone());
+  const auto arms = common::parallel_transform(
+      mapped.size(), 1, [&](std::size_t i) {
+        const auto& mm = mapped[i];
+        const auto noc = system.map(mm->model()).noc_per_inference;
+        std::vector<core::AggregateResult> results =
+            core::simulate_homogeneous_sweep(*mm, nonideal, cost, baselines,
+                                             horizon, noc);
+        core::OdinController controller(*mm, nonideal, cost,
+                                        std::move(arm_policies[i]));
+        results.push_back(
+            core::simulate_odin(controller, horizon, noc, &overhead));
+        std::printf("[run] %-12s done (%.1fs)\n", mm->model().name.c_str(),
+                    clock.seconds());
+        return results;
+      });
+
+  for (std::size_t w = 0; w < mapped.size(); ++w) {
+    const auto& mm = mapped[w];
+    const std::vector<core::AggregateResult>& results = arms[w];
 
     const double norm = results[0].inference_edp();  // 16x16 inferencing EDP
     const double odin_edp = results.back().total_edp();
@@ -87,8 +105,6 @@ int main() {
     row.push_back(common::Table::num(results[0].total_edp() / odin_edp, 3));
     row.push_back(common::Table::num(best_baseline / odin_edp, 3));
     table.add_row(std::move(row));
-    std::printf("[run] %-12s done (%.1fs)\n", mm->model().name.c_str(),
-                clock.seconds());
   }
   common::print_table(
       "Fig. 8: total EDP normalized to (16x16) inferencing EDP", table);

@@ -1,0 +1,146 @@
+// Parallel execution layer: a lazily-initialized global thread pool and
+// deterministic fork-join helpers built on it.
+//
+// Design contract (see DESIGN.md "Threading model"):
+//   * Pool size comes from the ODIN_THREADS environment variable at first
+//     use (default: hardware_concurrency). ODIN_THREADS=1 forces every
+//     helper onto the plain sequential path — no worker threads exist.
+//   * parallel_for / parallel_transform split [begin, end) into fixed
+//     chunks of `grain` indices. Chunk *assignment* to workers is dynamic,
+//     but every index writes only its own slot, so outputs never depend on
+//     scheduling. Reductions are the caller's job and must combine results
+//     in index order; under that rule parallel runs are bitwise identical
+//     to ODIN_THREADS=1.
+//   * The first exception thrown by any chunk is captured and rethrown on
+//     the calling thread; remaining chunks are skipped (not cancelled
+//     mid-flight).
+//   * Steady state performs no heap allocation inside the pool: one job
+//     descriptor is reused, workers claim chunks with an atomic counter.
+//   * Nested calls (a parallel region spawned from inside a worker) run
+//     inline on the worker — parallelism does not compound and can never
+//     deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace odin::common {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use. Thread count is read
+  /// from ODIN_THREADS once; use set_threads() to override afterwards.
+  static ThreadPool& instance();
+
+  /// Total execution lanes including the calling thread (>= 1).
+  int threads() const noexcept { return threads_; }
+
+  /// Reconfigure the pool (tears down and respawns workers). Intended for
+  /// tests and startup code; must not race with an active parallel region.
+  void set_threads(int n);
+
+  using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  /// Invoke fn(ctx, b, e) over chunks of [begin, end) no larger than
+  /// `grain` (0 = pick automatically). Blocks until every chunk finished;
+  /// rethrows the first chunk exception. Runs inline when the range fits
+  /// one chunk, the pool is single-threaded, or we are already inside a
+  /// worker.
+  void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                  ChunkFn fn, void* ctx);
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  explicit ThreadPool(int threads);
+
+  void start_workers();
+  void stop_workers();
+  void worker_loop();
+  /// Claim and execute chunks of the current job until none remain.
+  void drain_job();
+  void record_exception();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Serializes top-level parallel regions (one job at a time).
+  std::mutex job_mutex_;
+
+  // Current job descriptor; reused across jobs, no per-job allocation.
+  ChunkFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_grain_ = 1;
+  // Atomic: a straggler from the previous job re-checks the chunk count
+  // while the next descriptor is being written (its claimed index is past
+  // kJobClosed either way, but the load must still be race-free).
+  std::atomic<std::size_t> job_chunks_{0};
+  std::atomic<std::size_t> job_next_{0};
+  std::atomic<std::size_t> job_pending_{0};
+  std::atomic<bool> job_failed_{false};
+  std::exception_ptr job_error_;
+  std::mutex error_mutex_;
+
+  // Worker wakeup: epoch bumps when a job is posted.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+namespace detail {
+
+template <typename Fn>
+void invoke_chunk(void* ctx, std::size_t begin, std::size_t end) {
+  (*static_cast<std::decay_t<Fn>*>(ctx))(begin, end);
+}
+
+}  // namespace detail
+
+/// fn(chunk_begin, chunk_end) per chunk. Use when the body wants per-chunk
+/// scratch state (allocated once per chunk, not once per index).
+template <typename Fn>
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t grain, Fn&& fn) {
+  ThreadPool::instance().run_chunks(begin, end, grain,
+                                    &detail::invoke_chunk<Fn>,
+                                    const_cast<void*>(
+                                        static_cast<const void*>(&fn)));
+}
+
+/// fn(i) for every i in [begin, end).
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  parallel_for_chunks(begin, end, grain,
+                      [&fn](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) fn(i);
+                      });
+}
+
+/// out[i] = fn(i) for i in [0, n); results land in index order regardless
+/// of scheduling, so reductions over `out` are deterministic.
+template <typename Fn>
+auto parallel_transform(std::size_t n, std::size_t grain, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+  std::vector<std::decay_t<decltype(fn(std::size_t{}))>> out(n);
+  parallel_for_chunks(0, n, grain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace odin::common

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/parallel.hpp"
+
 namespace odin::core {
 
 std::vector<ou::OuConfig> paper_baseline_configs() {
@@ -18,17 +20,24 @@ HomogeneousRunner::HomogeneousRunner(const ou::MappedModel& model,
       cost_(&cost),
       config_(config),
       reprogram_enabled_(reprogram_enabled) {
-  for (std::size_t j = 0; j < model.layer_count(); ++j)
-    inference_cost_ +=
-        cost.layer_cost(model.mapping(j).counts(config), config,
+  // Per-layer costs are independent (the first counts() call scans the
+  // weight pattern); combine in layer order so the sum is bitwise stable.
+  const auto per_layer = common::parallel_transform(
+      model.layer_count(), 1, [&](std::size_t j) {
+        return cost
+            .layer_cost(model.mapping(j).counts(config), config,
                         model.model().layers[j].activation_sparsity)
             .total();
+      });
+  for (const common::EnergyLatency& c : per_layer) inference_cost_ += c;
 }
 
 common::EnergyLatency HomogeneousRunner::full_reprogram_cost() const {
+  const auto per_layer = common::parallel_transform(
+      model_->layer_count(), 1,
+      [&](std::size_t j) { return cost_->reprogram_cost(model_->mapping(j)); });
   common::EnergyLatency total;
-  for (std::size_t j = 0; j < model_->layer_count(); ++j)
-    total += cost_->reprogram_cost(model_->mapping(j));
+  for (const common::EnergyLatency& c : per_layer) total += c;
   return total;
 }
 

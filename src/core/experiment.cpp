@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 
 namespace odin::core {
 
@@ -71,6 +72,17 @@ AggregateResult simulate_homogeneous(
   }
   agg.reprograms = runner.reprogram_count();
   return agg;
+}
+
+std::vector<AggregateResult> simulate_homogeneous_sweep(
+    const ou::MappedModel& model, const ou::NonIdealityModel& nonideal,
+    const ou::OuCostModel& cost, std::span<const ou::OuConfig> configs,
+    const HorizonConfig& horizon, common::EnergyLatency per_run_extra,
+    bool reprogram_enabled) {
+  return common::parallel_transform(configs.size(), 1, [&](std::size_t i) {
+    return simulate_homogeneous(model, nonideal, cost, configs[i], horizon,
+                                per_run_extra, reprogram_enabled);
+  });
 }
 
 AggregateResult simulate_odin(OdinController& controller,

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,15 @@ struct AggregateResult {
 AggregateResult simulate_homogeneous(
     const ou::MappedModel& model, const ou::NonIdealityModel& nonideal,
     const ou::OuCostModel& cost, ou::OuConfig config,
+    const HorizonConfig& horizon,
+    common::EnergyLatency per_run_extra = {}, bool reprogram_enabled = true);
+
+/// Simulate several homogeneous baseline arms concurrently (each arm is an
+/// independent horizon walk). Results land in `configs` order and are
+/// bitwise identical to calling simulate_homogeneous per config.
+std::vector<AggregateResult> simulate_homogeneous_sweep(
+    const ou::MappedModel& model, const ou::NonIdealityModel& nonideal,
+    const ou::OuCostModel& cost, std::span<const ou::OuConfig> configs,
     const HorizonConfig& horizon,
     common::EnergyLatency per_run_extra = {}, bool reprogram_enabled = true);
 

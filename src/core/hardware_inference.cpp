@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 
 namespace odin::core {
 
@@ -43,39 +44,58 @@ HardwareMlpRunner::HardwareMlpRunner(nn::MultiHeadMlp& model,
 }
 
 void HardwareMlpRunner::program(double t_s) {
+  // Crossbars are independent: each one owns its own noise stream, derived
+  // from the crossbar's global index so the parallel build assigns exactly
+  // the seeds the sequential walk (one pre-incremented counter) would.
   std::uint64_t stream = noise_seed_;
   for (MappedLayer& layer : layers_) {
+    const std::size_t cells = static_cast<std::size_t>(layer.grid_rows) *
+                              static_cast<std::size_t>(layer.grid_cols);
     layer.crossbars.clear();
-    for (int gr = 0; gr < layer.grid_rows; ++gr) {
-      for (int gc = 0; gc < layer.grid_cols; ++gc) {
-        const int rows = std::min<std::int64_t>(
-            crossbar_size_,
-            static_cast<std::int64_t>(layer.in_features) -
-                static_cast<std::int64_t>(gr) * crossbar_size_);
-        const int cols = std::min<std::int64_t>(
-            crossbar_size_,
-            static_cast<std::int64_t>(layer.out_features) -
-                static_cast<std::int64_t>(gc) * crossbar_size_);
-        std::vector<double> block(static_cast<std::size_t>(rows) * cols);
-        for (int r = 0; r < rows; ++r)
-          for (int c = 0; c < cols; ++c)
-            block[static_cast<std::size_t>(r) * cols + c] =
-                layer.weights[(static_cast<std::size_t>(gr) *
-                                   crossbar_size_ +
-                               r) *
-                                  layer.out_features +
-                              static_cast<std::size_t>(gc) * crossbar_size_ +
-                              c];
-        auto xbar =
-            noise_seed_ == 0
-                ? std::make_unique<reram::Crossbar>(crossbar_size_, device_)
-                : std::make_unique<reram::Crossbar>(
-                      crossbar_size_, device_,
-                      reram::NoiseModel(reram::NoiseParams{}, ++stream));
-        xbar->program(block, rows, cols, t_s);
-        layer.crossbars.push_back(std::move(xbar));
-      }
-    }
+    layer.crossbars.resize(cells);
+    const std::uint64_t layer_stream_base = stream;
+    if (noise_seed_ != 0) stream += cells;
+    common::parallel_for_chunks(
+        0, cells, 0, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          // One scratch block per chunk, sized once to the full crossbar;
+          // later resizes stay within capacity (no per-cell allocation).
+          std::vector<double> block;
+          block.reserve(static_cast<std::size_t>(crossbar_size_) *
+                        crossbar_size_);
+          for (std::size_t k = chunk_begin; k < chunk_end; ++k) {
+            const int gr = static_cast<int>(k / layer.grid_cols);
+            const int gc = static_cast<int>(k % layer.grid_cols);
+            const int rows = std::min<std::int64_t>(
+                crossbar_size_,
+                static_cast<std::int64_t>(layer.in_features) -
+                    static_cast<std::int64_t>(gr) * crossbar_size_);
+            const int cols = std::min<std::int64_t>(
+                crossbar_size_,
+                static_cast<std::int64_t>(layer.out_features) -
+                    static_cast<std::int64_t>(gc) * crossbar_size_);
+            block.resize(static_cast<std::size_t>(rows) * cols);
+            for (int r = 0; r < rows; ++r)
+              for (int c = 0; c < cols; ++c)
+                block[static_cast<std::size_t>(r) * cols + c] =
+                    layer.weights[(static_cast<std::size_t>(gr) *
+                                       crossbar_size_ +
+                                   r) *
+                                      layer.out_features +
+                                  static_cast<std::size_t>(gc) *
+                                      crossbar_size_ +
+                                  c];
+            auto xbar =
+                noise_seed_ == 0
+                    ? std::make_unique<reram::Crossbar>(crossbar_size_,
+                                                        device_)
+                    : std::make_unique<reram::Crossbar>(
+                          crossbar_size_, device_,
+                          reram::NoiseModel(reram::NoiseParams{},
+                                            layer_stream_base + k + 1));
+            xbar->program(block, rows, cols, t_s);
+            layer.crossbars[k] = std::move(xbar);
+          }
+        });
   }
 }
 
@@ -100,21 +120,29 @@ std::vector<double> HardwareMlpRunner::forward_layer(
     scaled[i] = input[i] / in_max;
 
   std::vector<double> out(layer.out_features, 0.0);
-  for (int gr = 0; gr < layer.grid_rows; ++gr) {
-    const std::size_t row0 = static_cast<std::size_t>(gr) * crossbar_size_;
-    const std::size_t rows =
-        std::min<std::size_t>(crossbar_size_, layer.in_features - row0);
-    const std::span<const double> slice{scaled.data() + row0, rows};
-    for (int gc = 0; gc < layer.grid_cols; ++gc) {
-      const std::size_t col0 = static_cast<std::size_t>(gc) * crossbar_size_;
-      reram::Crossbar& xbar =
-          *layer.crossbars[static_cast<std::size_t>(gr) * layer.grid_cols +
-                           gc];
-      const auto partial = xbar.mvm(slice, ou.rows, ou.cols, t_s, adc_bits);
-      for (std::size_t c = 0; c < partial.size(); ++c)
-        out[col0 + c] += partial[c];
-    }
-  }
+  // Grid-column tasks touch disjoint crossbars (each with its own noise
+  // stream) and disjoint output ranges; per output column the partial sums
+  // accumulate in increasing-gr order exactly as the sequential walk does,
+  // so the reduction is bitwise deterministic.
+  common::parallel_for(
+      0, static_cast<std::size_t>(layer.grid_cols), 1, [&](std::size_t gc) {
+        const std::size_t col0 = gc * crossbar_size_;
+        for (int gr = 0; gr < layer.grid_rows; ++gr) {
+          const std::size_t row0 =
+              static_cast<std::size_t>(gr) * crossbar_size_;
+          const std::size_t rows =
+              std::min<std::size_t>(crossbar_size_, layer.in_features - row0);
+          const std::span<const double> slice{scaled.data() + row0, rows};
+          reram::Crossbar& xbar =
+              *layer.crossbars[static_cast<std::size_t>(gr) *
+                                   layer.grid_cols +
+                               gc];
+          const auto partial =
+              xbar.mvm(slice, ou.rows, ou.cols, t_s, adc_bits);
+          for (std::size_t c = 0; c < partial.size(); ++c)
+            out[col0 + c] += partial[c];
+        }
+      });
   // Undo the scalings and add the (digitally stored) bias.
   for (std::size_t c = 0; c < out.size(); ++c)
     out[c] = out[c] * layer.weight_scale * in_max + layer.bias[c];

@@ -13,6 +13,7 @@ OdinController::OdinController(const ou::MappedModel& model,
       nonideal_(&nonideal),
       cost_(&cost),
       grid_(model.crossbar_size()),
+      nf_cache_(nonideal, grid_),
       policy_(std::move(policy)),
       buffer_(config.buffer_capacity),
       config_(config) {
@@ -45,6 +46,7 @@ RunResult OdinController::run_inference(double t_s) {
     elapsed = nonideal_->device().t0_s;
   }
   run.elapsed_s = elapsed;
+  nf_cache_.rebuild(elapsed);
 
   run.decisions.reserve(model_->layer_count());
   for (std::size_t j = 0; j < model_->layer_count(); ++j) {
@@ -60,6 +62,7 @@ RunResult OdinController::run_inference(double t_s) {
         .cost = cost_,
         .nonideal = nonideal_,
         .grid = &grid_,
+        .cache = &nf_cache_,
         .elapsed_s = elapsed,
         .sensitivity = nonideal_->layer_sensitivity(layer.index, layer_count),
     };

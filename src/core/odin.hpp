@@ -93,6 +93,9 @@ class OdinController {
   const ou::NonIdealityModel* nonideal_;
   const ou::OuCostModel* cost_;
   ou::OuLevelGrid grid_;
+  /// Per-drift-step memo of the NF factors, rebuilt at the top of each run
+  /// and shared read-only by every layer's search.
+  ou::NonIdealityCache nf_cache_;
   policy::OuPolicy policy_;
   policy::ReplayBuffer buffer_;
   OdinConfig config_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/parallel.hpp"
+
 namespace odin::core {
 
 common::EnergyLatency ServingResult::total() const noexcept {
@@ -64,6 +66,15 @@ ServingResult serve_with_odin(
   const auto bounds =
       segment_bounds(schedule.size(), config.segments);
 
+  // The serving walk itself is inherently sequential (the policy carries
+  // its learning from segment to segment), but each segment's tenant-switch
+  // programming cost is a pure per-layer sum — precompute the arms
+  // concurrently and consume them in segment order.
+  const auto switch_costs = common::parallel_transform(
+      bounds.size(), 1, [&](std::size_t s) {
+        return full_programming_cost(*tenants[s % tenants.size()], cost);
+      });
+
   policy::OuPolicy policy = std::move(initial_policy);
   for (std::size_t s = 0; s < bounds.size(); ++s) {
     const std::size_t tenant_idx = s % tenants.size();
@@ -72,7 +83,7 @@ ServingResult serve_with_odin(
 
     // Tenant switch: the incoming network's weights are programmed onto
     // the arrays (drift clock starts fresh at the segment's first run).
-    result.programming += full_programming_cost(tenant, cost);
+    result.programming += switch_costs[s];
     ++result.switches;
 
     OdinController controller(tenant, nonideal, cost, policy.clone(),
@@ -107,22 +118,39 @@ ServingResult serve_with_homogeneous(
   const auto schedule = run_schedule(config.horizon);
   const auto bounds = segment_bounds(schedule.size(), config.segments);
 
+  // With a fixed OU there is no state carried between segments: every
+  // segment is an independent arm. Each arm produces a partial TenantStats
+  // plus its switch programming cost; partials combine in segment order, so
+  // the totals do not depend on scheduling (the single-threaded path folds
+  // the very same per-segment partials).
+  struct SegmentOutcome {
+    common::EnergyLatency programming;
+    TenantStats partial;
+  };
+  const auto outcomes = common::parallel_transform(
+      bounds.size(), 1, [&](std::size_t s) {
+        const ou::MappedModel& tenant = *tenants[s % tenants.size()];
+        SegmentOutcome seg;
+        seg.programming = full_programming_cost(tenant, cost);
+        HomogeneousRunner runner(tenant, nonideal, cost, ou);
+        runner.reset_drift_clock(schedule[bounds[s].first]);
+        for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
+          const BaselineRunResult run = runner.run_inference(schedule[i]);
+          seg.partial.inference += run.inference;
+          seg.partial.reprogram += run.reprogram;
+          ++seg.partial.runs;
+        }
+        seg.partial.reprograms = runner.reprogram_count();
+        return seg;
+      });
   for (std::size_t s = 0; s < bounds.size(); ++s) {
-    const std::size_t tenant_idx = s % tenants.size();
-    const ou::MappedModel& tenant = *tenants[tenant_idx];
-    TenantStats& stats = result.tenants[tenant_idx];
-    result.programming += full_programming_cost(tenant, cost);
+    TenantStats& stats = result.tenants[s % tenants.size()];
+    result.programming += outcomes[s].programming;
     ++result.switches;
-
-    HomogeneousRunner runner(tenant, nonideal, cost, ou);
-    runner.reset_drift_clock(schedule[bounds[s].first]);
-    for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
-      const BaselineRunResult run = runner.run_inference(schedule[i]);
-      stats.inference += run.inference;
-      stats.reprogram += run.reprogram;
-      ++stats.runs;
-    }
-    stats.reprograms += runner.reprogram_count();
+    stats.inference += outcomes[s].partial.inference;
+    stats.reprogram += outcomes[s].partial.reprogram;
+    stats.runs += outcomes[s].partial.runs;
+    stats.reprograms += outcomes[s].partial.reprograms;
   }
   return result;
 }

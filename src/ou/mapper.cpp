@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "common/math.hpp"
 
@@ -10,7 +11,8 @@ namespace odin::ou {
 LayerMapping::LayerMapping(const dnn::LayerDescriptor& layer,
                            const dnn::WeightPattern& pattern,
                            int crossbar_size)
-    : layer_(&layer), pattern_(&pattern), crossbar_size_(crossbar_size) {
+    : layer_(&layer), pattern_(&pattern), crossbar_size_(crossbar_size),
+      cache_mutex_(std::make_unique<std::shared_mutex>()) {
   assert(pattern.rows() == layer.fan_in && pattern.cols() == layer.outputs);
   assert(crossbar_size > 0);
   crossbars_ = common::ceil_div(layer.fan_in, crossbar_size) *
@@ -22,9 +24,17 @@ std::int64_t LayerMapping::programmed_cells() const noexcept {
 }
 
 const OuCounts& LayerMapping::counts(OuConfig config) const {
-  auto it = cache_.find(config);
-  if (it == cache_.end()) it = cache_.emplace(config, compute(config)).first;
-  return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(*cache_mutex_);
+    const auto it = cache_.find(config);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: the scan is pure, and if two threads race on
+  // the same config they produce identical values (first insert wins).
+  OuCounts fresh = compute(config);
+  std::unique_lock<std::shared_mutex> lock(*cache_mutex_);
+  // std::map nodes are stable, so the reference survives later inserts.
+  return cache_.emplace(config, fresh).first->second;
 }
 
 OuCounts LayerMapping::compute(OuConfig config) const {

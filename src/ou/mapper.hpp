@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 
 #include "dnn/layer_desc.hpp"
 #include "dnn/pattern.hpp"
@@ -46,6 +48,9 @@ class LayerMapping {
   std::int64_t programmed_rows() const noexcept { return pattern_->rows(); }
 
   /// Live-block counts for an OU shape; computed once then cached.
+  /// Thread-safe: concurrent searches share one mapping, so the cache is
+  /// guarded by a read-mostly lock (the scan itself runs unlocked — it is
+  /// pure, and racing computations produce identical values).
   const OuCounts& counts(OuConfig config) const;
 
  private:
@@ -56,6 +61,8 @@ class LayerMapping {
   int crossbar_size_;
   std::int64_t crossbars_;
   mutable std::map<OuConfig, OuCounts> cache_;
+  // Behind unique_ptr so LayerMapping stays movable (vector storage).
+  mutable std::unique_ptr<std::shared_mutex> cache_mutex_;
 };
 
 }  // namespace odin::ou

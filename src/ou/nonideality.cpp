@@ -57,4 +57,61 @@ int NonIdealityModel::max_feasible_sum(double elapsed_s,
   return best;
 }
 
+NonIdealityCache::NonIdealityCache(const NonIdealityModel& model,
+                                   const OuLevelGrid& grid)
+    : model_(&model), grid_(grid) {
+  const std::size_t entries =
+      static_cast<std::size_t>(grid.levels()) * grid.levels();
+  total_.resize(entries);
+  ir_.resize(entries);
+  comp_total_.resize(entries);
+}
+
+int NonIdealityCache::index_of(OuConfig config) const noexcept {
+  const int rl = grid_.level_of(config.rows);
+  const int cl = grid_.level_of(config.cols);
+  if (rl < 0 || cl < 0) return -1;
+  return rl * grid_.levels() + cl;
+}
+
+void NonIdealityCache::rebuild(double elapsed_s) {
+  if (matches(elapsed_s)) return;
+  for (int rl = 0; rl < grid_.levels(); ++rl) {
+    for (int cl = 0; cl < grid_.levels(); ++cl) {
+      const OuConfig cfg = grid_.config_at(rl, cl);
+      const std::size_t i = static_cast<std::size_t>(rl) * grid_.levels() +
+                            cl;
+      total_[i] = model_->total_nf(elapsed_s, cfg);
+      const auto parts = reram::nonideality_components(
+          model_->device(), elapsed_s, cfg.rows, cfg.cols,
+          model_->wire_scale());
+      ir_[i] = parts.ir_drop;
+      comp_total_[i] = parts.total();
+    }
+  }
+  elapsed_s_ = elapsed_s;
+  built_ = true;
+}
+
+double NonIdealityCache::total_nf(OuConfig config) const noexcept {
+  const int i = index_of(config);
+  if (i < 0) return model_->total_nf(elapsed_s_, config);
+  return total_[static_cast<std::size_t>(i)];
+}
+
+double NonIdealityCache::ir_nf(OuConfig config) const noexcept {
+  const int i = index_of(config);
+  if (i < 0) return model_->ir_nf(elapsed_s_, config);
+  return ir_[static_cast<std::size_t>(i)];
+}
+
+bool NonIdealityCache::feasible(OuConfig config,
+                                double sensitivity) const noexcept {
+  const int i = index_of(config);
+  if (i < 0) return model_->feasible(elapsed_s_, config, sensitivity);
+  const auto& p = model_->params();
+  return comp_total_[static_cast<std::size_t>(i)] <= p.eta_total &&
+         sensitivity * ir_[static_cast<std::size_t>(i)] <= p.eta_ir;
+}
+
 }  // namespace odin::ou

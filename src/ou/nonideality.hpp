@@ -18,6 +18,8 @@
 //     still forcing fine OUs (e.g. 16x8) onto early layers at t0 (Fig. 3).
 #pragma once
 
+#include <vector>
+
 #include "ou/ou_config.hpp"
 #include "reram/device.hpp"
 
@@ -85,6 +87,51 @@ class NonIdealityModel {
   reram::DeviceParams device_;
   NonIdealityParams params_;
   double wire_scale_;
+};
+
+/// Memoized NF factors for every configuration of one level grid at a fixed
+/// elapsed-time bucket. total_nf / ir_nf are pure in (config, elapsed) yet
+/// re-evaluated thousands of times per search sweep (every candidate of
+/// every layer of every greedy step shares one drift step), so the
+/// controller rebuilds this once per drift step and the searches read it.
+///
+/// Concurrency contract: rebuild() is single-threaded (call before fanning
+/// out); the accessors are const reads and safe to share across threads.
+/// Values are produced by the exact NonIdealityModel calls they replace, so
+/// cached and uncached searches are bitwise identical.
+class NonIdealityCache {
+ public:
+  NonIdealityCache(const NonIdealityModel& model, const OuLevelGrid& grid);
+
+  /// Recompute every grid entry for a new elapsed bucket; no-op when the
+  /// bucket is unchanged.
+  void rebuild(double elapsed_s);
+
+  /// True when the cache holds entries for exactly this elapsed time.
+  bool matches(double elapsed_s) const noexcept {
+    return built_ && elapsed_s == elapsed_s_;
+  }
+
+  const NonIdealityModel& model() const noexcept { return *model_; }
+
+  double total_nf(OuConfig config) const noexcept;
+  double ir_nf(OuConfig config) const noexcept;
+  /// Both constraints, as NonIdealityModel::feasible evaluates them (via
+  /// the components' sum, which differs from total_nf by FP rounding).
+  bool feasible(OuConfig config, double sensitivity) const noexcept;
+
+ private:
+  /// Dense slot for an on-grid config; -1 when the config is off-grid
+  /// (accessors then fall back to the model).
+  int index_of(OuConfig config) const noexcept;
+
+  const NonIdealityModel* model_;
+  OuLevelGrid grid_;
+  double elapsed_s_ = 0.0;
+  bool built_ = false;
+  std::vector<double> total_;       ///< relative_conductance_error form
+  std::vector<double> ir_;          ///< IR-drop component
+  std::vector<double> comp_total_;  ///< drift + ir component sum form
 };
 
 }  // namespace odin::ou

@@ -5,12 +5,18 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace odin::ou {
 
 double LayerContext::violation(OuConfig config) const {
   const auto& p = nonideal->params();
-  const double total = nonideal->total_nf(elapsed_s, config);
-  const double ir = sensitivity * nonideal->ir_nf(elapsed_s, config);
+  const bool cached = cache != nullptr && cache->matches(elapsed_s);
+  const double total = cached ? cache->total_nf(config)
+                              : nonideal->total_nf(elapsed_s, config);
+  const double ir =
+      sensitivity * (cached ? cache->ir_nf(config)
+                            : nonideal->ir_nf(elapsed_s, config));
   return std::max({0.0, total - p.eta_total, ir - p.eta_ir});
 }
 
@@ -29,18 +35,22 @@ struct Score {
   }
 };
 
-Score evaluate(const LayerContext& ctx, OuConfig config, int& evaluations) {
-  ++evaluations;
+/// Pure candidate evaluation — safe to run concurrently; callers account
+/// for SearchResult::evaluations themselves.
+Score evaluate(const LayerContext& ctx, OuConfig config) {
   if (ctx.feasible(config)) return {true, ctx.edp(config)};
   return {false, ctx.violation(config)};
 }
 
 int snap_level(const OuLevelGrid& grid, int size) {
+  // Grid sizes are exact powers of two: log2(size_at(l)) is the integer
+  // l + kMinExponent, so only the start size needs a log2 per call.
+  const double target = std::log2(static_cast<double>(size));
   int best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
   for (int l = 0; l < grid.levels(); ++l) {
-    const double d = std::abs(std::log2(static_cast<double>(size)) -
-                              std::log2(static_cast<double>(grid.size_at(l))));
+    const double d =
+        std::abs(target - static_cast<double>(l + OuLevelGrid::kMinExponent));
     if (d < best_dist) {
       best_dist = d;
       best = l;
@@ -53,7 +63,8 @@ int snap_level(const OuLevelGrid& grid, int size) {
 void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
                  SearchResult& result) {
   const OuLevelGrid& grid = *ctx.grid;
-  Score current = evaluate(ctx, grid.config_at(rl, cl), result.evaluations);
+  Score current = evaluate(ctx, grid.config_at(rl, cl));
+  ++result.evaluations;
   auto consider = [&](const Score& s, OuConfig cfg) {
     if (s.feasible && s.value < result.edp) {
       result.found = true;
@@ -66,20 +77,32 @@ void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
   for (int step = 0; step < max_steps; ++step) {
     constexpr std::array<std::array<int, 2>, 4> kMoves{
         {{+1, 0}, {-1, 0}, {0, +1}, {0, -1}}};
-    Score best_neighbor;
-    int best_rl = rl, best_cl = cl;
+    // Collect the in-grid neighbours, score them concurrently (evaluate is
+    // pure), then reduce in move order — the same winner the sequential
+    // walk picks, including its first-wins tie-breaking.
+    std::array<std::array<int, 2>, 4> candidates{};
+    std::size_t n = 0;
     for (const auto& mv : kMoves) {
       const int nrl = rl + mv[0];
       const int ncl = cl + mv[1];
       if (nrl < 0 || nrl >= grid.levels() || ncl < 0 || ncl >= grid.levels())
         continue;
-      const OuConfig cfg = grid.config_at(nrl, ncl);
-      const Score s = evaluate(ctx, cfg, result.evaluations);
-      consider(s, cfg);
-      if (s.better_than(best_neighbor)) {
-        best_neighbor = s;
-        best_rl = nrl;
-        best_cl = ncl;
+      candidates[n++] = {nrl, ncl};
+    }
+    const auto scores =
+        common::parallel_transform(n, 1, [&](std::size_t i) {
+          return evaluate(ctx, grid.config_at(candidates[i][0],
+                                              candidates[i][1]));
+        });
+    result.evaluations += static_cast<int>(n);
+    Score best_neighbor;
+    int best_rl = rl, best_cl = cl;
+    for (std::size_t i = 0; i < n; ++i) {
+      consider(scores[i], grid.config_at(candidates[i][0], candidates[i][1]));
+      if (scores[i].better_than(best_neighbor)) {
+        best_neighbor = scores[i];
+        best_rl = candidates[i][0];
+        best_cl = candidates[i][1];
       }
     }
     if (!best_neighbor.better_than(current)) break;  // local optimum
@@ -94,12 +117,18 @@ void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
 SearchResult exhaustive_search(const LayerContext& ctx) {
   assert(ctx.grid != nullptr);
   SearchResult result;
-  for (const OuConfig& cfg : ctx.grid->all_configs()) {
-    const Score s = evaluate(ctx, cfg, result.evaluations);
-    if (s.feasible && s.value < result.edp) {
+  // Score all candidates concurrently, reduce in grid order (the argmin is
+  // scheduling-independent: comparisons only, no FP accumulation).
+  const auto configs = ctx.grid->all_configs();
+  const auto scores = common::parallel_transform(
+      configs.size(), 4,
+      [&](std::size_t i) { return evaluate(ctx, configs[i]); });
+  result.evaluations = static_cast<int>(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (scores[i].feasible && scores[i].value < result.edp) {
       result.found = true;
-      result.edp = s.value;
-      result.best = cfg;
+      result.edp = scores[i].value;
+      result.best = configs[i];
     }
   }
   return result;

@@ -24,6 +24,10 @@ struct LayerContext {
   const OuCostModel* cost = nullptr;
   const NonIdealityModel* nonideal = nullptr;
   const OuLevelGrid* grid = nullptr;
+  /// Optional per-drift-step memo of the NF factors (see NonIdealityCache);
+  /// consulted only while it matches elapsed_s, so a stale cache degrades
+  /// to the direct model calls rather than to wrong answers.
+  const NonIdealityCache* cache = nullptr;
   double elapsed_s = 0.0;   ///< time since last programming
   double sensitivity = 1.0; ///< s_j of this layer
 
@@ -32,6 +36,8 @@ struct LayerContext {
                            mapping->layer().activation_sparsity);
   }
   bool feasible(OuConfig config) const {
+    if (cache != nullptr && cache->matches(elapsed_s))
+      return cache->feasible(config, sensitivity);
     return nonideal->feasible(elapsed_s, config, sensitivity);
   }
   /// How badly `config` violates the constraints (0 when feasible).

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "ou/search.hpp"
 
@@ -18,33 +19,46 @@ nn::Dataset build_offline_dataset(
     Features features;
     ou::OuConfig best;
   };
-  std::vector<Example> examples;
 
   const auto times = common::logspace(config.t_start_s, config.t_end_s,
                                       static_cast<std::size_t>(
                                           config.time_samples));
-  for (const ou::MappedModel* mm : known_models) {
+  // Fan out one task per (model, drift step): every task runs the
+  // exhaustive label search over that model's layers with its own NF memo.
+  // Tasks are flattened in the sequential nesting order (model outer, time
+  // inner), and their example batches concatenate in task order, so the
+  // dataset is identical to the single-threaded build.
+  const std::size_t tasks = known_models.size() * times.size();
+  auto batches = common::parallel_transform(tasks, 1, [&](std::size_t task) {
+    const ou::MappedModel* mm = known_models[task / times.size()];
     assert(mm != nullptr);
+    const double t = times[task % times.size()];
     const int layer_count = static_cast<int>(mm->layer_count());
-    for (double t : times) {
-      for (std::size_t j = 0; j < mm->layer_count(); ++j) {
-        const auto& layer = mm->model().layers[j];
-        ou::LayerContext ctx{
-            .mapping = &mm->mapping(j),
-            .cost = &cost,
-            .nonideal = &nonideal,
-            .grid = &grid,
-            .elapsed_s = t,
-            .sensitivity = nonideal.layer_sensitivity(layer.index,
-                                                      layer_count),
-        };
-        const auto result = ou::exhaustive_search(ctx);
-        if (!result.found) continue;  // reprogram regime: no label to learn
-        examples.push_back(
-            {extract_features(layer, layer_count, t), result.best});
-      }
+    ou::NonIdealityCache nf_cache(nonideal, grid);
+    nf_cache.rebuild(t);
+    std::vector<Example> batch;
+    for (std::size_t j = 0; j < mm->layer_count(); ++j) {
+      const auto& layer = mm->model().layers[j];
+      ou::LayerContext ctx{
+          .mapping = &mm->mapping(j),
+          .cost = &cost,
+          .nonideal = &nonideal,
+          .grid = &grid,
+          .cache = &nf_cache,
+          .elapsed_s = t,
+          .sensitivity = nonideal.layer_sensitivity(layer.index,
+                                                    layer_count),
+      };
+      const auto result = ou::exhaustive_search(ctx);
+      if (!result.found) continue;  // reprogram regime: no label to learn
+      batch.push_back(
+          {extract_features(layer, layer_count, t), result.best});
     }
-  }
+    return batch;
+  });
+  std::vector<Example> examples;
+  for (auto& batch : batches)
+    examples.insert(examples.end(), batch.begin(), batch.end());
 
   // Deterministic uniform subsample down to the example budget.
   if (examples.size() > config.max_examples) {

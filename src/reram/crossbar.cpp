@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace odin::reram {
 
 Crossbar::Crossbar(int size, DeviceParams device,
@@ -164,16 +166,42 @@ std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,
                                   int ou_cols, double t_s, int adc_bits) {
   assert(static_cast<int>(input.size()) >= live_rows_);
   std::vector<double> out(static_cast<std::size_t>(live_cols_), 0.0);
-  for (int r0 = 0; r0 < live_rows_; r0 += ou_rows) {
-    const int rows = std::min(ou_rows, live_rows_ - r0);
-    std::vector<double> slice(input.begin() + r0, input.begin() + r0 + rows);
-    for (int c0 = 0; c0 < live_cols_; c0 += ou_cols) {
-      const int cols = std::min(ou_cols, live_cols_ - c0);
+  // Column blocks write disjoint output ranges, and each column's partial
+  // sums accumulate in increasing-r0 order regardless of scheduling, so
+  // results are bitwise identical to the sequential pass. Read noise draws
+  // from the crossbar's single RNG stream, so the noisy path must stay
+  // sequential to preserve the draw order.
+  const std::size_t col_blocks = static_cast<std::size_t>(
+      (live_cols_ + ou_cols - 1) / std::max(ou_cols, 1));
+  auto column_block = [&](std::size_t i) {
+    const int c0 = static_cast<int>(i) * ou_cols;
+    const int cols = std::min(ou_cols, live_cols_ - c0);
+    for (int r0 = 0; r0 < live_rows_; r0 += ou_rows) {
+      const int rows = std::min(ou_rows, live_rows_ - r0);
+      const std::span<const double> slice{input.data() + r0,
+                                          static_cast<std::size_t>(rows)};
       const auto part = mvm_ou(slice, r0, rows, c0, cols, t_s, adc_bits);
       for (int c = 0; c < cols; ++c)
         out[static_cast<std::size_t>(c0 + c)] +=
             part[static_cast<std::size_t>(c)];
     }
+  };
+  if (noise_) {
+    // Original OU visit order (r0 outer), which fixes the RNG draw order.
+    for (int r0 = 0; r0 < live_rows_; r0 += ou_rows) {
+      const int rows = std::min(ou_rows, live_rows_ - r0);
+      const std::span<const double> slice{input.data() + r0,
+                                          static_cast<std::size_t>(rows)};
+      for (int c0 = 0; c0 < live_cols_; c0 += ou_cols) {
+        const int cols = std::min(ou_cols, live_cols_ - c0);
+        const auto part = mvm_ou(slice, r0, rows, c0, cols, t_s, adc_bits);
+        for (int c = 0; c < cols; ++c)
+          out[static_cast<std::size_t>(c0 + c)] +=
+              part[static_cast<std::size_t>(c)];
+      }
+    }
+  } else {
+    common::parallel_for(0, col_blocks, 1, column_block);
   }
   return out;
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Parallel-layer benchmark harness.
+#
+# Runs the google-benchmark microbenches (micro_mvm, micro_search_overhead)
+# plus the two macro arms (fig8_edp_all_dnns, batching_throughput) under
+# ODIN_THREADS=1 and ODIN_THREADS=<N>, and merges everything into
+# BENCH_parallel.json at the repo root with per-mode wall clocks and the
+# resulting speedups.
+#
+# Usage: tools/run_bench.sh [build-dir] [threads]
+#   build-dir  defaults to <repo>/build
+#   threads    defaults to nproc (the "parallel" arm; 1 is always run too)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build}"
+THREADS="${2:-$(nproc)}"
+OUT="$REPO/BENCH_parallel.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bin in micro_mvm micro_search_overhead fig8_edp_all_dnns \
+           batching_throughput; do
+  if [ ! -x "$BUILD/bench/$bin" ]; then
+    echo "error: $BUILD/bench/$bin missing — build first:" >&2
+    echo "  cmake -B $BUILD -S $REPO && cmake --build $BUILD -j" >&2
+    exit 1
+  fi
+done
+
+run_micro() {  # $1 = binary name, $2 = ODIN_THREADS
+  echo "[bench] $1 (ODIN_THREADS=$2)" >&2
+  ODIN_THREADS="$2" "$BUILD/bench/$1" \
+    --benchmark_out="$TMP/$1_t$2.json" \
+    --benchmark_out_format=json --benchmark_format=console >/dev/null
+}
+
+wall_clock() {  # $1 = binary name, $2 = ODIN_THREADS; prints seconds
+  echo "[bench] $1 (ODIN_THREADS=$2, wall clock)" >&2
+  local t0 t1
+  t0=$(date +%s.%N)
+  ODIN_THREADS="$2" "$BUILD/bench/$1" >"$TMP/$1_t$2.log"
+  t1=$(date +%s.%N)
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+
+for t in 1 "$THREADS"; do
+  run_micro micro_mvm "$t"
+  run_micro micro_search_overhead "$t"
+done
+
+FIG8_SEQ=$(wall_clock fig8_edp_all_dnns 1)
+FIG8_PAR=$(wall_clock fig8_edp_all_dnns "$THREADS")
+BATCH_SEQ=$(wall_clock batching_throughput 1)
+BATCH_PAR=$(wall_clock batching_throughput "$THREADS")
+
+python3 - "$OUT" "$THREADS" "$TMP" \
+    "$FIG8_SEQ" "$FIG8_PAR" "$BATCH_SEQ" "$BATCH_PAR" <<'PY'
+import json, os, sys
+
+out, threads, tmp = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+fig8_seq, fig8_par, batch_seq, batch_par = map(float, sys.argv[4:8])
+
+def load(name, t):
+    with open(os.path.join(tmp, f"{name}_t{t}.json")) as f:
+        return json.load(f)
+
+def benchmarks(doc):
+    return {
+        b["name"]: {"real_time": b["real_time"], "cpu_time": b["cpu_time"],
+                    "time_unit": b["time_unit"]}
+        for b in doc["benchmarks"]
+    }
+
+report = {
+    "threads": threads,
+    "host_cpus": os.cpu_count(),
+    "micro": {},
+    "macro_wall_clock_s": {
+        "fig8_edp_all_dnns": {
+            "threads_1": fig8_seq, "threads_n": fig8_par,
+            "speedup": fig8_seq / fig8_par if fig8_par > 0 else None,
+        },
+        "batching_throughput": {
+            "threads_1": batch_seq, "threads_n": batch_par,
+            "speedup": batch_seq / batch_par if batch_par > 0 else None,
+        },
+    },
+}
+for name in ("micro_mvm", "micro_search_overhead"):
+    seq, par = benchmarks(load(name, 1)), benchmarks(load(name, threads))
+    report["micro"][name] = {
+        "context": load(name, threads)["context"],
+        "threads_1": seq,
+        "threads_n": par,
+        "speedup": {
+            k: (seq[k]["real_time"] / par[k]["real_time"]
+                if k in seq and par[k]["real_time"] > 0 else None)
+            for k in par
+        },
+    }
+
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"[bench] wrote {out}")
+PY
