@@ -1,0 +1,194 @@
+// Extension — fault-injection campaign: serving a wearing, faulting device.
+//
+// Every scheme serves the same 1e8 s horizon on a device whose endurance is
+// deliberately poor (characteristic lifetime ~80 write campaigns instead of
+// 2e5), whose wordline/bitline drivers fail stochastically per campaign,
+// with one mid-horizon drift burst and a 15% write-verify failure rate.
+// Prior-work homogeneous baselines see the measured fault floor in their
+// reprogram check but have no recovery policy: once permanent faults push
+// the floor over eta they reprogram on every run, each campaign wearing the
+// array further — a thrash spiral. The Odin controller's recovery layer
+// (recoverability gate, bounded retries, degraded mode with guardrailed
+// eta-relaxation) completes the horizon with a bounded write budget.
+//
+// --json PATH writes the per-scheme summary to PATH (BENCH_faults.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/accuracy.hpp"
+#include "reram/fault_injection.hpp"
+
+using namespace odin;
+
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 0xfa117;
+
+/// The shared fault schedule: every scheme gets a fresh injector with the
+/// same seed, so the underlying lifetime population and burst windows are
+/// identical and only the scheme's own campaign history differs.
+reram::FaultScheduleParams campaign_schedule() {
+  reram::FaultScheduleParams p;
+  p.endurance.characteristic_cycles = 80.0;
+  p.endurance.shape = 1.8;
+  p.tracked_cells = 4096;
+  p.wordline_fail_rate = 2e-4;
+  p.bitline_fail_rate = 2e-4;
+  p.array_lines = 128;
+  p.write_fail_rate = 0.15;
+  p.bursts = {{.start_s = 1e6, .duration_s = 5e6, .multiplier = 8.0}};
+  return p;
+}
+
+struct SchemeOutcome {
+  std::string label;
+  common::EnergyLatency total;
+  int reprograms = 0;
+  int retries = 0;
+  int degraded_runs = 0;
+  int write_verify_failures = 0;
+  double final_fault_fraction = 0.0;
+  double mean_accuracy = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  bench::banner("Extension: fault-injection campaign (wearing device)");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+  const core::AccuracyModel accuracy{core::AccuracyParams{}};
+
+  const ou::MappedModel vgg11 =
+      setup.make_mapped(dnn::make_vgg11(data::DatasetKind::kCifar10));
+  const core::HorizonConfig horizon{};
+  const auto schedule = core::run_schedule(horizon);
+
+  std::vector<SchemeOutcome> outcomes;
+
+  for (ou::OuConfig cfg : core::paper_baseline_configs()) {
+    reram::FaultInjector faults(campaign_schedule(), kFaultSeed);
+    core::HomogeneousRunner runner(vgg11, nonideal, cost, cfg, true,
+                                   &faults);
+    SchemeOutcome out;
+    out.label = cfg.to_string();
+    double acc_sum = 0.0;
+    for (double t : schedule) {
+      const core::BaselineRunResult run = runner.run_inference(t);
+      out.total += run.inference + run.reprogram;
+      acc_sum += accuracy.estimate_homogeneous(
+          vgg11, cfg, run.elapsed_s * faults.drift_time_multiplier(t),
+          nonideal, faults.fault_fraction());
+    }
+    out.reprograms = runner.reprogram_count();
+    out.final_fault_fraction = faults.fault_fraction();
+    out.mean_accuracy = acc_sum / static_cast<double>(schedule.size());
+    outcomes.push_back(std::move(out));
+  }
+
+  // Two Odin arms: a fresh device, and one inherited after 12 campaigns of
+  // prior wear (~3% stuck — over the stuck-cell budget), which forces the
+  // degraded path: recoverability gate, guardrailed eta-relaxation,
+  // completed horizon with at most one wasted reprogram.
+  for (const auto& [label, prior_wear] :
+       {std::pair<const char*, int>{"Odin", 0}, {"Odin (pre-worn)", 12}}) {
+    reram::FaultInjector faults(campaign_schedule(), kFaultSeed);
+    for (int k = 0; k < prior_wear; ++k) faults.program_campaign();
+    core::OdinController controller(vgg11, nonideal, cost,
+                                    policy::OuPolicy(ou::OuLevelGrid(128)),
+                                    core::OdinConfig{}, &faults);
+    SchemeOutcome out;
+    out.label = label;
+    double acc_sum = 0.0;
+    for (double t : schedule) {
+      const core::RunResult run = controller.run_inference(t);
+      out.total += run.inference + run.reprogram;
+      out.write_verify_failures += run.write_verify_failed ? 1 : 0;
+      acc_sum += run.estimated_accuracy;
+    }
+    out.reprograms = controller.reprogram_count();
+    out.retries = controller.retry_count();
+    out.degraded_runs = controller.degraded_run_count();
+    out.final_fault_fraction = controller.measured_fault_fraction();
+    out.mean_accuracy = acc_sum / static_cast<double>(schedule.size());
+    outcomes.push_back(std::move(out));
+  }
+
+  common::Table table({"scheme", "EDP (J*s)", "reprograms", "retries",
+                       "degraded runs", "final fault frac",
+                       "mean accuracy"});
+  for (const SchemeOutcome& o : outcomes)
+    table.add_row({o.label, common::Table::num(o.total.edp(), 4),
+                   common::Table::integer(o.reprograms),
+                   common::Table::integer(o.retries),
+                   common::Table::integer(o.degraded_runs),
+                   common::Table::num(o.final_fault_fraction, 4),
+                   common::Table::num(o.mean_accuracy, 4)});
+  common::print_table(
+      "VGG11/CIFAR-10, 1e8 s horizon, wearing device (eta = 80 campaigns)",
+      table);
+  std::printf(
+      "\n[shape] the homogeneous baselines reprogram into their own fault "
+      "floor — every campaign raises it, so late in the horizon they thrash "
+      "(reprogram every run) while accuracy collapses. Odin's recovery "
+      "layer stops reprogramming once read-verify shows it cannot help, "
+      "serves degraded under the guardrailed eta-relaxation, and spends an "
+      "order of magnitude less write budget.\n");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    const reram::FaultScheduleParams sched = campaign_schedule();
+    std::fprintf(f,
+                 "{\n"
+                 "  \"workload\": \"VGG11/CIFAR-10\",\n"
+                 "  \"horizon_s\": %.3e,\n"
+                 "  \"runs\": %d,\n"
+                 "  \"fault_schedule\": {\n"
+                 "    \"characteristic_cycles\": %.1f,\n"
+                 "    \"weibull_shape\": %.2f,\n"
+                 "    \"wordline_fail_rate\": %.2e,\n"
+                 "    \"bitline_fail_rate\": %.2e,\n"
+                 "    \"write_fail_rate\": %.2f,\n"
+                 "    \"burst\": {\"start_s\": %.2e, \"duration_s\": %.2e, "
+                 "\"multiplier\": %.1f}\n"
+                 "  },\n"
+                 "  \"schemes\": [\n",
+                 horizon.t_end_s, horizon.runs,
+                 sched.endurance.characteristic_cycles, sched.endurance.shape,
+                 sched.wordline_fail_rate, sched.bitline_fail_rate,
+                 sched.write_fail_rate, sched.bursts[0].start_s,
+                 sched.bursts[0].duration_s, sched.bursts[0].multiplier);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const SchemeOutcome& o = outcomes[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"energy_j\": %.6e, "
+                   "\"latency_s\": %.6e, \"edp\": %.6e, "
+                   "\"reprograms\": %d, \"retries\": %d, "
+                   "\"degraded_runs\": %d, \"write_verify_failures\": %d, "
+                   "\"final_fault_fraction\": %.6f, "
+                   "\"mean_accuracy\": %.6f}%s\n",
+                   o.label.c_str(), o.total.energy_j, o.total.latency_s,
+                   o.total.edp(), o.reprograms, o.retries, o.degraded_runs,
+                   o.write_verify_failures, o.final_fault_fraction,
+                   o.mean_accuracy,
+                   i + 1 < outcomes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path);
+  }
+  return 0;
+}

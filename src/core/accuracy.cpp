@@ -16,7 +16,8 @@ double AccuracyModel::loss_from_excess(double excess) const noexcept {
 
 double AccuracyModel::effective_excess(
     const ou::MappedModel& model, std::span<const ou::OuConfig> configs,
-    double elapsed_s, const ou::NonIdealityModel& nonideal) const {
+    double elapsed_s, const ou::NonIdealityModel& nonideal,
+    double extra_nf) const {
   assert(configs.size() == model.layer_count());
   const int layer_count = static_cast<int>(model.layer_count());
   const auto& ni = nonideal.params();
@@ -28,7 +29,7 @@ double AccuracyModel::effective_excess(
     const double total = nonideal.total_nf(elapsed_s, configs[j]);
     const double ir = nonideal.ir_nf(elapsed_s, configs[j]);
     const double excess =
-        std::max(0.0, total - ni.eta_total) +
+        std::max(0.0, total + extra_nf - ni.eta_total) +
         params_.ir_excess_weight * std::max(0.0, s * ir - ni.eta_ir);
     weighted += s * excess;
     weight_sum += s;
@@ -39,17 +40,18 @@ double AccuracyModel::effective_excess(
 double AccuracyModel::estimate(const ou::MappedModel& model,
                                std::span<const ou::OuConfig> configs,
                                double elapsed_s,
-                               const ou::NonIdealityModel& nonideal) const {
+                               const ou::NonIdealityModel& nonideal,
+                               double extra_nf) const {
   const double excess =
-      effective_excess(model, configs, elapsed_s, nonideal);
+      effective_excess(model, configs, elapsed_s, nonideal, extra_nf);
   return params_.ideal_accuracy * (1.0 - loss_from_excess(excess));
 }
 
 double AccuracyModel::estimate_homogeneous(
     const ou::MappedModel& model, ou::OuConfig config, double elapsed_s,
-    const ou::NonIdealityModel& nonideal) const {
+    const ou::NonIdealityModel& nonideal, double extra_nf) const {
   std::vector<ou::OuConfig> configs(model.layer_count(), config);
-  return estimate(model, configs, elapsed_s, nonideal);
+  return estimate(model, configs, elapsed_s, nonideal, extra_nf);
 }
 
 MonteCarloAccuracy::MonteCarloAccuracy(const data::SyntheticDataset& dataset,

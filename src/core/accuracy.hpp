@@ -57,22 +57,28 @@ class AccuracyModel {
 
   /// Constraint excess of a network where layer j runs with `configs[j]`
   /// at `elapsed_s`: the sensitivity-weighted mean over layers of
-  ///   max(0, NF_total_j - eta) + w_ir * max(0, s_j * NF_ir_j - eta_ir).
+  ///   max(0, NF_total_j + extra_nf - eta) +
+  ///   w_ir * max(0, s_j * NF_ir_j - eta_ir).
   /// Zero whenever every layer satisfies Algorithm 1's constraints.
+  /// `extra_nf` is an OU-independent error floor (the measured stuck-cell
+  /// fraction of a faulty array); 0 for a healthy device.
   double effective_excess(const ou::MappedModel& model,
                           std::span<const ou::OuConfig> configs,
                           double elapsed_s,
-                          const ou::NonIdealityModel& nonideal) const;
+                          const ou::NonIdealityModel& nonideal,
+                          double extra_nf = 0.0) const;
 
   /// Estimated accuracy for per-layer configurations.
   double estimate(const ou::MappedModel& model,
                   std::span<const ou::OuConfig> configs, double elapsed_s,
-                  const ou::NonIdealityModel& nonideal) const;
+                  const ou::NonIdealityModel& nonideal,
+                  double extra_nf = 0.0) const;
 
   /// Estimated accuracy when every layer uses the same configuration.
   double estimate_homogeneous(const ou::MappedModel& model,
                               ou::OuConfig config, double elapsed_s,
-                              const ou::NonIdealityModel& nonideal) const;
+                              const ou::NonIdealityModel& nonideal,
+                              double extra_nf = 0.0) const;
 
  private:
   AccuracyParams params_;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/parallel.hpp"
+#include "reram/fault_injection.hpp"
 
 namespace odin::core {
 
@@ -14,12 +15,14 @@ HomogeneousRunner::HomogeneousRunner(const ou::MappedModel& model,
                                      const ou::NonIdealityModel& nonideal,
                                      const ou::OuCostModel& cost,
                                      ou::OuConfig config,
-                                     bool reprogram_enabled)
+                                     bool reprogram_enabled,
+                                     reram::FaultInjector* faults)
     : model_(&model),
       nonideal_(&nonideal),
       cost_(&cost),
       config_(config),
-      reprogram_enabled_(reprogram_enabled) {
+      reprogram_enabled_(reprogram_enabled),
+      faults_(faults) {
   // Per-layer costs are independent (the first counts() call scans the
   // weight pattern); combine in layer order so the sum is bitwise stable.
   const auto per_layer = common::parallel_transform(
@@ -47,13 +50,21 @@ BaselineRunResult HomogeneousRunner::run_inference(double t_s) {
   run.time_s = t_s;
   double elapsed = t_s - programmed_at_s_;
   // Reprogram when this OU's own total non-ideality crosses the threshold
-  // (prior work has no finer knob: the OU size is fixed).
+  // (prior work has no finer knob: the OU size is fixed). Permanent faults
+  // raise the floor and drift bursts speed the clock, but the baseline has
+  // no notion of either being unrecoverable — when the floor alone exceeds
+  // eta it reprograms on every run, accelerating its own wear.
+  const double burst =
+      faults_ != nullptr ? faults_->drift_time_multiplier(t_s) : 1.0;
+  const double fault_nf =
+      faults_ != nullptr ? faults_->fault_fraction() : 0.0;
   if (reprogram_enabled_ &&
-      nonideal_->total_nf(elapsed, config_) >
+      nonideal_->total_nf(elapsed * burst, config_) + fault_nf >
           nonideal_->params().eta_total) {
     run.reprogrammed = true;
     run.reprogram = full_reprogram_cost();
     ++reprogram_count_;
+    if (faults_ != nullptr) faults_->program_campaign();  // convergence ignored
     programmed_at_s_ = t_s;
     elapsed = nonideal_->device().t0_s;
   }

@@ -12,6 +12,10 @@
 #include "ou/mapped_model.hpp"
 #include "ou/nonideality.hpp"
 
+namespace odin::reram {
+class FaultInjector;
+}
+
 namespace odin::core {
 
 /// The four homogeneous configurations from prior work.
@@ -29,10 +33,15 @@ class HomogeneousRunner {
  public:
   /// `reprogram_enabled = false` models the Fig. 7 "without reprogramming"
   /// curves: the device keeps drifting and accuracy decays.
+  /// `faults` (optional, caller-owned): prior-work baselines see the fault
+  /// floor in their reprogram check but have no recovery policy — once
+  /// permanent faults push the floor over eta they reprogram every run,
+  /// wearing the array further (the thrash the Odin loop avoids).
   HomogeneousRunner(const ou::MappedModel& model,
                     const ou::NonIdealityModel& nonideal,
                     const ou::OuCostModel& cost, ou::OuConfig config,
-                    bool reprogram_enabled = true);
+                    bool reprogram_enabled = true,
+                    reram::FaultInjector* faults = nullptr);
 
   BaselineRunResult run_inference(double t_s);
 
@@ -55,6 +64,7 @@ class HomogeneousRunner {
   const ou::OuCostModel* cost_;
   ou::OuConfig config_;
   bool reprogram_enabled_;
+  reram::FaultInjector* faults_ = nullptr;  ///< caller-owned, may be null
   common::EnergyLatency inference_cost_;
   double programmed_at_s_ = 0.0;
   int reprogram_count_ = 0;

@@ -60,8 +60,9 @@ AggregateResult simulate_homogeneous(
     const ou::MappedModel& model, const ou::NonIdealityModel& nonideal,
     const ou::OuCostModel& cost, ou::OuConfig config,
     const HorizonConfig& horizon, common::EnergyLatency per_run_extra,
-    bool reprogram_enabled) {
-  HomogeneousRunner runner(model, nonideal, cost, config, reprogram_enabled);
+    bool reprogram_enabled, reram::FaultInjector* faults) {
+  HomogeneousRunner runner(model, nonideal, cost, config, reprogram_enabled,
+                           faults);
   AggregateResult agg;
   agg.label = config.to_string();
   for (double t : run_schedule(horizon)) {
@@ -103,6 +104,8 @@ AggregateResult simulate_odin(OdinController& controller,
     agg.reprogram += run.reprogram;
     agg.mismatches += run.mismatches;
     agg.searches_skipped += run.searches_skipped;
+    agg.program_retries += run.program_retries;
+    agg.degraded_runs += run.degraded ? 1 : 0;
     ++agg.runs;
   }
   agg.reprograms = controller.reprogram_count();

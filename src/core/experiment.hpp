@@ -82,6 +82,8 @@ struct AggregateResult {
   int policy_updates = 0;
   int mismatches = 0;
   int searches_skipped = 0;  ///< entropy-gated layers (0 for baselines)
+  int program_retries = 0;   ///< extra write-verify attempts (Odin only)
+  int degraded_runs = 0;     ///< runs served in degraded mode (Odin only)
   common::EnergyLatency inference;  ///< incl. NoC and prediction overhead
   common::EnergyLatency reprogram;
 
@@ -93,12 +95,14 @@ struct AggregateResult {
 };
 
 /// Simulate a homogeneous baseline across the horizon. `per_run_extra` is
-/// added to every run (NoC activation traffic).
+/// added to every run (NoC activation traffic). `faults` (caller-owned,
+/// optional) makes every reprogram advance the device's wear campaign.
 AggregateResult simulate_homogeneous(
     const ou::MappedModel& model, const ou::NonIdealityModel& nonideal,
     const ou::OuCostModel& cost, ou::OuConfig config,
     const HorizonConfig& horizon,
-    common::EnergyLatency per_run_extra = {}, bool reprogram_enabled = true);
+    common::EnergyLatency per_run_extra = {}, bool reprogram_enabled = true,
+    reram::FaultInjector* faults = nullptr);
 
 /// Simulate several homogeneous baseline arms concurrently (each arm is an
 /// independent horizon walk). Results land in `configs` order and are

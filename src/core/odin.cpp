@@ -2,13 +2,38 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/accuracy.hpp"
+#include "reram/fault_injection.hpp"
 
 namespace odin::core {
+
+namespace {
+
+/// Largest constraint excess the accuracy guardrail tolerates: the excess x
+/// at which ideal * (1 - loss(x)) falls to the floor, inverted through the
+/// surrogate's saturating ramp. Unbounded when even the saturated loss
+/// keeps accuracy above the floor.
+double guardrail_excess(const FaultPolicy& fp, const AccuracyParams& acc) {
+  if (fp.ideal_accuracy <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  const double max_loss = 1.0 - fp.accuracy_floor / fp.ideal_accuracy;
+  if (max_loss <= 0.0) return 0.0;
+  if (max_loss >= acc.max_drop)
+    return std::numeric_limits<double>::infinity();
+  return acc.excess_saturation *
+         std::pow(max_loss / acc.max_drop, 1.0 / acc.exponent);
+}
+
+}  // namespace
 
 OdinController::OdinController(const ou::MappedModel& model,
                                const ou::NonIdealityModel& nonideal,
                                const ou::OuCostModel& cost,
-                               policy::OuPolicy policy, OdinConfig config)
+                               policy::OuPolicy policy, OdinConfig config,
+                               reram::FaultInjector* faults)
     : model_(&model),
       nonideal_(&nonideal),
       cost_(&cost),
@@ -16,8 +41,13 @@ OdinController::OdinController(const ou::MappedModel& model,
       nf_cache_(nonideal, grid_),
       policy_(std::move(policy)),
       buffer_(config.buffer_capacity),
-      config_(config) {
+      config_(config),
+      faults_(faults) {
   assert(policy_.grid().crossbar_size() == model.crossbar_size());
+  assert(config_.fault.max_program_attempts >= 1);
+  // A pre-worn device (e.g. inherited across a tenant switch) starts from
+  // its current measured health, not from a pristine assumption.
+  if (faults_ != nullptr) health_fraction_ = faults_->fault_fraction();
 }
 
 common::EnergyLatency OdinController::full_reprogram_cost() const {
@@ -33,26 +63,114 @@ RunResult OdinController::run_inference(double t_s) {
   run.time_s = t_s;
 
   const int layer_count = static_cast<int>(model_->layer_count());
+  const FaultPolicy& fp = config_.fault;
+  const double t0 = nonideal_->device().t0_s;
+  const double burst =
+      faults_ != nullptr ? faults_->drift_time_multiplier(t_s) : 1.0;
   double elapsed = t_s - programmed_at_s_;
+  double fault_nf = fp.fault_nf_weight * health_fraction_;
 
-  // Algorithm 1, lines 7-8: drift is device-global, so if the most
-  // drift-tolerant configuration fails for the least sensitive layer, no
-  // layer has a feasible OU and the device is reprogrammed (clock reset).
-  if (nonideal_->reprogram_required(elapsed, grid_, 1.0)) {
-    run.reprogrammed = true;
-    run.reprogram = full_reprogram_cost();
-    ++reprogram_count_;
-    programmed_at_s_ = t_s;
-    elapsed = nonideal_->device().t0_s;
+  // Algorithm 1, lines 7-8, fault-aware: drift is device-global, so if the
+  // most drift-tolerant configuration fails for the least sensitive layer,
+  // no layer has a feasible OU. Reprogramming resets the drift clock — but
+  // only helps when the *measured* permanent-fault floor leaves headroom at
+  // a fresh clock; otherwise every campaign would be wasted wear and the
+  // loop would reprogram forever (the livelock this policy removes).
+  if (nonideal_->reprogram_required(elapsed * burst, grid_, 1.0, fault_nf,
+                                    eta_scale_)) {
+    const bool recoverable =
+        !degraded_ &&
+        !nonideal_->reprogram_required(t0, grid_, 1.0, fault_nf, 1.0);
+    if (recoverable) {
+      run.reprogrammed = true;
+      ++reprogram_count_;
+      const common::EnergyLatency attempt = full_reprogram_cost();
+      run.reprogram += attempt;
+      bool converged = faults_ == nullptr || faults_->program_campaign();
+      int attempts = 1;
+      // Bounded retries with escalating verify windows: each retry is a
+      // full write-verify campaign (it wears the array again) whose
+      // latency grows by the backoff factor.
+      while (!converged && attempts < fp.max_program_attempts) {
+        common::EnergyLatency retry = attempt;
+        retry.latency_s *=
+            std::pow(fp.retry_backoff, static_cast<double>(attempts));
+        run.reprogram += retry;
+        converged = faults_->program_campaign();
+        ++attempts;
+      }
+      run.program_retries = attempts - 1;
+      retry_count_ += run.program_retries;
+      programmed_at_s_ = t_s;
+      elapsed = t0;
+      // Post-program read-verify: refresh the measured health map.
+      if (faults_ != nullptr) {
+        health_fraction_ = faults_->fault_fraction();
+        fault_nf = fp.fault_nf_weight * health_fraction_;
+      }
+      if (!converged) {
+        run.write_verify_failed = true;
+        degraded_ = true;
+      }
+      // Livelock cap: if the freshly programmed array still violates eta,
+      // or it is over its stuck-cell budget, another campaign cannot help —
+      // degrade instead of reprogramming again next run.
+      if (nonideal_->reprogram_required(t0, grid_, 1.0, fault_nf, 1.0) ||
+          health_fraction_ > fp.stuck_cell_budget)
+        degraded_ = true;
+    } else {
+      degraded_ = true;
+    }
+    if (degraded_ &&
+        nonideal_->reprogram_required(elapsed * burst, grid_, 1.0, fault_nf,
+                                      eta_scale_)) {
+      // Controlled eta-relaxation: widen the budgets step by step until the
+      // minimum OU is admitted, bounded by the hard ceiling and by the
+      // accuracy guardrail (relaxation admits configurations whose
+      // constraint excess reaches (scale - 1) * eta, and the surrogate maps
+      // that excess to an accuracy drop).
+      const AccuracyParams acc{.ideal_accuracy = fp.ideal_accuracy};
+      const double excess_cap = guardrail_excess(fp, acc);
+      const double scale_cap =
+          std::min(fp.eta_relax_max,
+                   1.0 + excess_cap / nonideal_->params().eta_total);
+      while (eta_scale_ < scale_cap &&
+             nonideal_->reprogram_required(elapsed * burst, grid_, 1.0,
+                                           fault_nf, eta_scale_)) {
+        eta_scale_ = std::min(eta_scale_ * fp.eta_relax_step, scale_cap);
+      }
+      if (nonideal_->reprogram_required(elapsed * burst, grid_, 1.0,
+                                        fault_nf, eta_scale_))
+        run.accuracy_floor_hit = true;  // guardrail bound before feasibility
+    }
   }
   run.elapsed_s = elapsed;
-  nf_cache_.rebuild(elapsed);
+  run.degraded = degraded_;
+  if (degraded_) ++degraded_runs_;
+  run.fault_fraction = health_fraction_;
+  run.eta_scale = eta_scale_;
+  // Surrogate accuracy of this run: the minimum OU's excess over the
+  // *unrelaxed* budget (relaxation changes what is admitted, not the
+  // physics) through the saturating loss ramp.
+  {
+    const AccuracyModel acc_model(
+        AccuracyParams{.ideal_accuracy = fp.ideal_accuracy});
+    const double min_total =
+        nonideal_->total_nf(elapsed * burst, grid_.min_config());
+    const double excess = std::max(
+        0.0, min_total + fault_nf - nonideal_->params().eta_total);
+    run.estimated_accuracy =
+        fp.ideal_accuracy * (1.0 - acc_model.loss_from_excess(excess));
+  }
+
+  const double drift_s = elapsed * burst;  ///< drift-effective elapsed time
+  nf_cache_.rebuild(drift_s);
 
   run.decisions.reserve(model_->layer_count());
   for (std::size_t j = 0; j < model_->layer_count(); ++j) {
     const auto& layer = model_->model().layers[j];
     const policy::Features phi =
-        policy::extract_features(layer, layer_count, elapsed);
+        policy::extract_features(layer, layer_count, drift_s);
 
     LayerDecision decision;
     decision.policy_choice = policy_.predict(phi);  // line 5
@@ -63,8 +181,10 @@ RunResult OdinController::run_inference(double t_s) {
         .nonideal = nonideal_,
         .grid = &grid_,
         .cache = &nf_cache_,
-        .elapsed_s = elapsed,
+        .elapsed_s = drift_s,
         .sensitivity = nonideal_->layer_sensitivity(layer.index, layer_count),
+        .nf_floor = fault_nf,
+        .eta_scale = eta_scale_,
     };
 
     // Entropy-gate extension: a confident, feasible policy prediction is
@@ -85,11 +205,13 @@ RunResult OdinController::run_inference(double t_s) {
               : ou::resource_bounded_search(ctx, decision.policy_choice,
                                             config_.search_steps);
       decision.evaluations = best.evaluations;
-      // A feasible config always exists here: reprogramming was handled
-      // above and the sensitivity-scaled IR constraint admits the minimum
-      // OU.
-      assert(best.found);
-      decision.executed = best.best;
+      // When healthy, a feasible config always exists here (reprogramming
+      // was handled above and the sensitivity-scaled IR constraint admits
+      // the minimum OU). A degraded array whose relaxation was capped by
+      // the accuracy guardrail can leave the whole grid infeasible — the
+      // run still completes on the most fault-tolerant corner.
+      assert(best.found || degraded_);
+      decision.executed = best.found ? best.best : grid_.min_config();
     }
     decision.mismatch = decision.executed != decision.policy_choice;
 

@@ -1,9 +1,16 @@
-// OdinController — the online learning loop of Algorithm 1.
+// OdinController — the online learning loop of Algorithm 1, extended with
+// fault-tolerant serving.
 //
 // Per inference run at wall-clock time t:
 //   1. If even the minimum OU violates the non-ideality constraint for the
 //      elapsed drift, reprogram the ReRAM cells (cost accounted, drift clock
-//      reset) before inferencing (lines 7-8).
+//      reset) before inferencing (lines 7-8) — but only when a fresh
+//      programming pass can actually restore feasibility. Measured permanent
+//      faults (stuck cells, dead peripheral lines) survive every write, so
+//      once the post-program read-verify shows the fresh array still
+//      violating eta, the controller stops reprogramming (no livelock),
+//      enters degraded mode, and serves the rest of the horizon under a
+//      bounded eta-relaxation schedule with an accuracy guardrail.
 //   2. For each layer: extract features Phi, predict (R,C) with the current
 //      policy (line 5), run the best-OU search (line 6; resource-bounded by
 //      default, exhaustive optionally), execute the layer with the best
@@ -23,9 +30,40 @@
 #include "policy/buffer.hpp"
 #include "policy/policy.hpp"
 
+namespace odin::reram {
+class FaultInjector;
+}
+
 namespace odin::core {
 
 enum class SearchKind { kResourceBounded, kExhaustive };
+
+/// Recovery policy for permanent device damage (stuck cells, dead lines,
+/// non-converging writes). All thresholds act on the *measured* health the
+/// post-program read-verify reports, never on the injector's ground truth.
+struct FaultPolicy {
+  /// Write-verify attempts per reprogram before giving up (>= 1).
+  int max_program_attempts = 3;
+  /// Each retry escalates its verify window: attempt k's latency is the
+  /// base programming latency x backoff^k (energy is per-campaign).
+  double retry_backoff = 2.0;
+  /// Measured fault fraction above which the array is marked degraded and
+  /// further reprogramming (which wears it further) is withheld.
+  double stuck_cell_budget = 0.02;
+  /// Conversion from measured stuck-cell fraction to the OU-independent
+  /// conductance-error floor entering the feasibility checks (a stuck cell
+  /// is O(1) wrong relative to G_ON, so ~1).
+  double fault_nf_weight = 1.0;
+  /// Degraded-mode eta relaxation: multiplicative step per escalation and
+  /// the hard ceiling on the cumulative factor.
+  double eta_relax_step = 1.5;
+  double eta_relax_max = 4.0;
+  /// Accuracy guardrail: relaxation stops widening the budgets once the
+  /// constraint excess it would admit drives the estimated accuracy (via
+  /// the core/accuracy surrogate at `ideal_accuracy`) below this floor.
+  double ideal_accuracy = 0.92;
+  double accuracy_floor = 0.75;
+};
 
 struct OdinConfig {
   SearchKind search = SearchKind::kResourceBounded;
@@ -39,6 +77,7 @@ struct OdinConfig {
   /// choice is feasible, the choice is executed without running the search
   /// at all. Negative disables the gate (vanilla Algorithm 1).
   double entropy_gate = -1.0;
+  FaultPolicy fault{};
 };
 
 struct LayerDecision {
@@ -55,6 +94,14 @@ struct RunResult {
   bool policy_updated = false;
   int mismatches = 0;
   int searches_skipped = 0;  ///< layers served by the entropy gate
+  /// Fault-recovery surface of this run.
+  bool degraded = false;            ///< controller is in degraded mode
+  bool write_verify_failed = false; ///< all programming attempts exhausted
+  bool accuracy_floor_hit = false;  ///< guardrail capped the eta relaxation
+  int program_retries = 0;          ///< extra write-verify attempts this run
+  double fault_fraction = 0.0;      ///< measured health (last read-verify)
+  double eta_scale = 1.0;           ///< relaxation factor in effect
+  double estimated_accuracy = 0.0;  ///< surrogate accuracy for this run
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
   std::vector<LayerDecision> decisions;  ///< one per layer
@@ -64,10 +111,14 @@ class OdinController {
  public:
   /// `policy` is typically the offline-bootstrapped policy; Odin owns and
   /// keeps adapting it. All referenced objects must outlive the controller.
+  /// `faults` (optional, caller-owned) is the device's fault schedule: each
+  /// programming attempt advances its wear, and its read-verify health
+  /// feeds the feasibility checks and the degradation policy.
   OdinController(const ou::MappedModel& model,
                  const ou::NonIdealityModel& nonideal,
                  const ou::OuCostModel& cost, policy::OuPolicy policy,
-                 OdinConfig config = {});
+                 OdinConfig config = {},
+                 reram::FaultInjector* faults = nullptr);
 
   /// One inference run at absolute time `t_s` (monotonically increasing
   /// across calls). Returns everything that happened during the run.
@@ -76,6 +127,12 @@ class OdinController {
   int reprogram_count() const noexcept { return reprogram_count_; }
   int update_count() const noexcept { return update_count_; }
   double programmed_at_s() const noexcept { return programmed_at_s_; }
+  /// Fault-recovery state.
+  bool degraded() const noexcept { return degraded_; }
+  int retry_count() const noexcept { return retry_count_; }
+  int degraded_run_count() const noexcept { return degraded_runs_; }
+  double measured_fault_fraction() const noexcept { return health_fraction_; }
+  double eta_scale() const noexcept { return eta_scale_; }
 
   /// Declare that the weights were (re)programmed at `t_s` by an external
   /// event (e.g. a tenant switch that remapped the arrays); the cost of
@@ -99,9 +156,19 @@ class OdinController {
   policy::OuPolicy policy_;
   policy::ReplayBuffer buffer_;
   OdinConfig config_;
+  reram::FaultInjector* faults_ = nullptr;  ///< caller-owned, may be null
   double programmed_at_s_ = 0.0;
   int reprogram_count_ = 0;
   int update_count_ = 0;
+  /// Measured device health (read-verify after the last programming pass).
+  double health_fraction_ = 0.0;
+  /// Degraded mode: reprogramming cannot restore feasibility (or the array
+  /// is over its stuck-cell budget / write-verify stopped converging), so
+  /// the controller serves under relaxed budgets instead of reprogramming.
+  bool degraded_ = false;
+  double eta_scale_ = 1.0;  ///< ratcheting relaxation factor (>= 1)
+  int retry_count_ = 0;
+  int degraded_runs_ = 0;
 };
 
 }  // namespace odin::core

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/parallel.hpp"
+#include "reram/fault_injection.hpp"
 
 namespace odin::core {
 
@@ -21,6 +22,18 @@ int ServingResult::total_mismatches() const noexcept {
 int ServingResult::total_runs() const noexcept {
   int n = 0;
   for (const TenantStats& s : tenants) n += s.runs;
+  return n;
+}
+
+int ServingResult::total_retries() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.retries;
+  return n;
+}
+
+int ServingResult::total_degraded_runs() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.degraded_runs;
   return n;
 }
 
@@ -54,7 +67,8 @@ common::EnergyLatency full_programming_cost(const ou::MappedModel& model,
 ServingResult serve_with_odin(
     std::vector<const ou::MappedModel*> tenants,
     const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
-    policy::OuPolicy initial_policy, const ServingConfig& config) {
+    policy::OuPolicy initial_policy, const ServingConfig& config,
+    reram::FaultInjector* faults) {
   assert(!tenants.empty());
   ServingResult result;
   result.label = "Odin";
@@ -83,11 +97,13 @@ ServingResult serve_with_odin(
 
     // Tenant switch: the incoming network's weights are programmed onto
     // the arrays (drift clock starts fresh at the segment's first run).
+    // That programming is itself a wear campaign on the shared device.
     result.programming += switch_costs[s];
     ++result.switches;
+    if (faults != nullptr) faults->program_campaign();
 
     OdinController controller(tenant, nonideal, cost, policy.clone(),
-                              config.odin);
+                              config.odin, faults);
     // Align the controller's drift clock with the programming moment.
     controller.reset_drift_clock(schedule[bounds[s].first]);
     for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
@@ -95,9 +111,11 @@ ServingResult serve_with_odin(
       stats.inference += run.inference;
       stats.reprogram += run.reprogram;
       stats.mismatches += run.mismatches;
+      stats.degraded_runs += run.degraded ? 1 : 0;
       ++stats.runs;
     }
     stats.reprograms += controller.reprogram_count();
+    stats.retries += controller.retry_count();
     result.policy_updates += controller.update_count();
     policy = controller.policy().clone();  // carry the learning forward
   }
@@ -107,7 +125,8 @@ ServingResult serve_with_odin(
 ServingResult serve_with_homogeneous(
     std::vector<const ou::MappedModel*> tenants,
     const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
-    ou::OuConfig ou, const ServingConfig& config) {
+    ou::OuConfig ou, const ServingConfig& config,
+    reram::FaultInjector* faults) {
   assert(!tenants.empty());
   ServingResult result;
   result.label = ou.to_string();
@@ -122,27 +141,37 @@ ServingResult serve_with_homogeneous(
   // segment is an independent arm. Each arm produces a partial TenantStats
   // plus its switch programming cost; partials combine in segment order, so
   // the totals do not depend on scheduling (the single-threaded path folds
-  // the very same per-segment partials).
+  // the very same per-segment partials). A fault injector is shared wear
+  // state — every campaign changes what later segments see — so with one
+  // attached the walk must be sequential in segment order instead.
   struct SegmentOutcome {
     common::EnergyLatency programming;
     TenantStats partial;
   };
-  const auto outcomes = common::parallel_transform(
-      bounds.size(), 1, [&](std::size_t s) {
-        const ou::MappedModel& tenant = *tenants[s % tenants.size()];
-        SegmentOutcome seg;
-        seg.programming = full_programming_cost(tenant, cost);
-        HomogeneousRunner runner(tenant, nonideal, cost, ou);
-        runner.reset_drift_clock(schedule[bounds[s].first]);
-        for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
-          const BaselineRunResult run = runner.run_inference(schedule[i]);
-          seg.partial.inference += run.inference;
-          seg.partial.reprogram += run.reprogram;
-          ++seg.partial.runs;
-        }
-        seg.partial.reprograms = runner.reprogram_count();
-        return seg;
-      });
+  auto run_segment = [&](std::size_t s) {
+    const ou::MappedModel& tenant = *tenants[s % tenants.size()];
+    SegmentOutcome seg;
+    seg.programming = full_programming_cost(tenant, cost);
+    if (faults != nullptr) faults->program_campaign();  // switch programming
+    HomogeneousRunner runner(tenant, nonideal, cost, ou, true, faults);
+    runner.reset_drift_clock(schedule[bounds[s].first]);
+    for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
+      const BaselineRunResult run = runner.run_inference(schedule[i]);
+      seg.partial.inference += run.inference;
+      seg.partial.reprogram += run.reprogram;
+      ++seg.partial.runs;
+    }
+    seg.partial.reprograms = runner.reprogram_count();
+    return seg;
+  };
+  std::vector<SegmentOutcome> outcomes;
+  if (faults != nullptr) {
+    outcomes.reserve(bounds.size());
+    for (std::size_t s = 0; s < bounds.size(); ++s)
+      outcomes.push_back(run_segment(s));
+  } else {
+    outcomes = common::parallel_transform(bounds.size(), 1, run_segment);
+  }
   for (std::size_t s = 0; s < bounds.size(); ++s) {
     TenantStats& stats = result.tenants[s % tenants.size()];
     result.programming += outcomes[s].programming;

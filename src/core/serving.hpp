@@ -36,6 +36,8 @@ struct TenantStats {
   int runs = 0;
   int reprograms = 0;  ///< drift-triggered only (switch programming separate)
   int mismatches = 0;
+  int retries = 0;        ///< extra write-verify attempts on this tenant
+  int degraded_runs = 0;  ///< runs this tenant served in degraded mode
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
 };
@@ -51,19 +53,28 @@ struct ServingResult {
   double total_edp() const noexcept { return total().edp(); }
   int total_mismatches() const noexcept;
   int total_runs() const noexcept;
+  int total_retries() const noexcept;
+  int total_degraded_runs() const noexcept;
 };
 
 /// Serve `tenants` (non-owning; must outlive the call) with one adapting
 /// Odin policy. `initial_policy` is typically offline-bootstrapped.
+/// `faults` (caller-owned, optional) is the shared device wear state: every
+/// tenant-switch programming and every drift-triggered reprogram advances
+/// it, and each segment's controller consumes its measured health.
 ServingResult serve_with_odin(
     std::vector<const ou::MappedModel*> tenants,
     const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
-    policy::OuPolicy initial_policy, const ServingConfig& config = {});
+    policy::OuPolicy initial_policy, const ServingConfig& config = {},
+    reram::FaultInjector* faults = nullptr);
 
-/// Serve the same traffic with a fixed homogeneous OU configuration.
+/// Serve the same traffic with a fixed homogeneous OU configuration. With
+/// `faults` the segment walk runs sequentially (wear is shared state);
+/// without it the arms are independent and run concurrently.
 ServingResult serve_with_homogeneous(
     std::vector<const ou::MappedModel*> tenants,
     const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
-    ou::OuConfig ou, const ServingConfig& config = {});
+    ou::OuConfig ou, const ServingConfig& config = {},
+    reram::FaultInjector* faults = nullptr);
 
 }  // namespace odin::core

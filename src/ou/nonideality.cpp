@@ -33,18 +33,21 @@ double NonIdealityModel::drift_nf(double elapsed_s) const noexcept {
 }
 
 bool NonIdealityModel::feasible(double elapsed_s, OuConfig config,
-                                double sensitivity) const noexcept {
+                                double sensitivity, double extra_nf,
+                                double eta_scale) const noexcept {
   const auto parts =
       reram::nonideality_components(device_, elapsed_s, config.rows,
                                     config.cols, wire_scale_);
-  return parts.total() <= params_.eta_total &&
-         sensitivity * parts.ir_drop <= params_.eta_ir;
+  return parts.total() + extra_nf <= params_.eta_total * eta_scale &&
+         sensitivity * parts.ir_drop <= params_.eta_ir * eta_scale;
 }
 
 bool NonIdealityModel::reprogram_required(double elapsed_s,
                                           const OuLevelGrid& grid,
-                                          double sensitivity) const noexcept {
-  return !feasible(elapsed_s, grid.min_config(), sensitivity);
+                                          double sensitivity, double extra_nf,
+                                          double eta_scale) const noexcept {
+  return !feasible(elapsed_s, grid.min_config(), sensitivity, extra_nf,
+                   eta_scale);
 }
 
 int NonIdealityModel::max_feasible_sum(double elapsed_s,
@@ -105,13 +108,18 @@ double NonIdealityCache::ir_nf(OuConfig config) const noexcept {
   return ir_[static_cast<std::size_t>(i)];
 }
 
-bool NonIdealityCache::feasible(OuConfig config,
-                                double sensitivity) const noexcept {
+bool NonIdealityCache::feasible(OuConfig config, double sensitivity,
+                                double extra_nf,
+                                double eta_scale) const noexcept {
   const int i = index_of(config);
-  if (i < 0) return model_->feasible(elapsed_s_, config, sensitivity);
+  if (i < 0)
+    return model_->feasible(elapsed_s_, config, sensitivity, extra_nf,
+                            eta_scale);
   const auto& p = model_->params();
-  return comp_total_[static_cast<std::size_t>(i)] <= p.eta_total &&
-         sensitivity * ir_[static_cast<std::size_t>(i)] <= p.eta_ir;
+  return comp_total_[static_cast<std::size_t>(i)] + extra_nf <=
+             p.eta_total * eta_scale &&
+         sensitivity * ir_[static_cast<std::size_t>(i)] <=
+             p.eta_ir * eta_scale;
 }
 
 }  // namespace odin::ou

@@ -69,14 +69,20 @@ class NonIdealityModel {
   /// Drift component (OU-independent), relative to G_ON.
   double drift_nf(double elapsed_s) const noexcept;
 
-  /// Both constraints for a layer with sensitivity s.
-  bool feasible(double elapsed_s, OuConfig config,
-                double sensitivity) const noexcept;
+  /// Both constraints for a layer with sensitivity s. `extra_nf` is an
+  /// OU-independent error floor added to the total term — the measured
+  /// stuck-cell fraction a read-verify pass reports (writes cannot remove
+  /// it, so unlike drift it survives reprogramming). `eta_scale` widens
+  /// both budgets (>= 1), the controlled relaxation a degraded controller
+  /// applies instead of reprogramming a permanently damaged array.
+  bool feasible(double elapsed_s, OuConfig config, double sensitivity,
+                double extra_nf = 0.0, double eta_scale = 1.0) const noexcept;
 
   /// Algorithm 1 line 7: no OU size can satisfy the constraint. NF is
   /// monotone in R + C, so checking the grid's minimum config is exact.
   bool reprogram_required(double elapsed_s, const OuLevelGrid& grid,
-                          double sensitivity) const noexcept;
+                          double sensitivity, double extra_nf = 0.0,
+                          double eta_scale = 1.0) const noexcept;
 
   /// Largest feasible R + C at `elapsed` for sensitivity s (0 if none);
   /// useful to property-test monotone OU shrinking.
@@ -118,7 +124,9 @@ class NonIdealityCache {
   double ir_nf(OuConfig config) const noexcept;
   /// Both constraints, as NonIdealityModel::feasible evaluates them (via
   /// the components' sum, which differs from total_nf by FP rounding).
-  bool feasible(OuConfig config, double sensitivity) const noexcept;
+  /// `extra_nf` / `eta_scale` match NonIdealityModel::feasible.
+  bool feasible(OuConfig config, double sensitivity, double extra_nf = 0.0,
+                double eta_scale = 1.0) const noexcept;
 
  private:
   /// Dense slot for an on-grid config; -1 when the config is off-grid

@@ -17,7 +17,8 @@ double LayerContext::violation(OuConfig config) const {
   const double ir =
       sensitivity * (cached ? cache->ir_nf(config)
                             : nonideal->ir_nf(elapsed_s, config));
-  return std::max({0.0, total - p.eta_total, ir - p.eta_ir});
+  return std::max({0.0, total + nf_floor - p.eta_total * eta_scale,
+                   ir - p.eta_ir * eta_scale});
 }
 
 namespace {

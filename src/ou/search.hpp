@@ -30,6 +30,11 @@ struct LayerContext {
   const NonIdealityCache* cache = nullptr;
   double elapsed_s = 0.0;   ///< time since last programming
   double sensitivity = 1.0; ///< s_j of this layer
+  /// Measured OU-independent error floor (stuck-cell fraction from the last
+  /// read-verify, already weighted); 0 on a healthy array.
+  double nf_floor = 0.0;
+  /// Budget relaxation a degraded controller applies (>= 1; 1 = strict).
+  double eta_scale = 1.0;
 
   double edp(OuConfig config) const {
     return cost->layer_edp(mapping->counts(config), config,
@@ -37,8 +42,9 @@ struct LayerContext {
   }
   bool feasible(OuConfig config) const {
     if (cache != nullptr && cache->matches(elapsed_s))
-      return cache->feasible(config, sensitivity);
-    return nonideal->feasible(elapsed_s, config, sensitivity);
+      return cache->feasible(config, sensitivity, nf_floor, eta_scale);
+    return nonideal->feasible(elapsed_s, config, sensitivity, nf_floor,
+                              eta_scale);
   }
   /// How badly `config` violates the constraints (0 when feasible).
   double violation(OuConfig config) const;

@@ -19,11 +19,24 @@ Crossbar::Crossbar(int size, DeviceParams device,
   assert(size > 0);
 }
 
+void Crossbar::attach_endurance(const EnduranceModel& model,
+                                std::uint64_t seed) {
+  common::Rng rng(seed);
+  wear_lifetime_.resize(conductance_s_.size());
+  wear_polarity_.resize(conductance_s_.size());
+  for (std::size_t i = 0; i < wear_lifetime_.size(); ++i) {
+    wear_lifetime_[i] = model.sample_lifetime(rng);
+    wear_polarity_[i] = static_cast<std::int8_t>(
+        rng.bernoulli(0.5) ? CellFault::kStuckOn : CellFault::kStuckOff);
+  }
+}
+
 void Crossbar::program(std::span<const double> weights, int rows, int cols,
                        double at_time_s) {
   assert(rows >= 0 && rows <= size_ && cols >= 0 && cols <= size_);
   assert(weights.size() == static_cast<std::size_t>(rows) * cols);
   programmed_cells_ = 0;
+  ++program_campaigns_;
   if (noise_ && drift_coeff_.empty())
     drift_coeff_.assign(conductance_s_.size(), device_.drift_coefficient);
   // Stuck-at-faults are a property of the array, not of a write: sample
@@ -38,6 +51,21 @@ void Crossbar::program(std::span<const double> weights, int rows, int cols,
       const CellFault cell = noise_->cell_fault();
       f = static_cast<std::int8_t>(cell);
       if (cell != CellFault::kNone) ++faulty_cells_;
+    }
+  }
+  // Endurance wear: this campaign may push cells past their lifetime. Worn
+  // cells join the permanent fault map and, like the sampled stuck-at
+  // population, survive every later write.
+  if (!wear_lifetime_.empty()) {
+    if (fault_.empty())
+      fault_.assign(conductance_s_.size(),
+                    static_cast<std::int8_t>(CellFault::kNone));
+    for (std::size_t i = 0; i < wear_lifetime_.size(); ++i) {
+      if (wear_lifetime_[i] <= static_cast<double>(program_campaigns_) &&
+          static_cast<CellFault>(fault_[i]) == CellFault::kNone) {
+        fault_[i] = wear_polarity_[i];
+        ++faulty_cells_;
+      }
     }
   }
   for (int r = 0; r < rows; ++r) {

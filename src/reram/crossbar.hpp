@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "reram/device.hpp"
+#include "reram/endurance.hpp"
 #include "reram/noise.hpp"
 
 namespace odin::reram {
@@ -58,6 +59,24 @@ class Crossbar {
 
   /// Cells stuck at G_ON / G_OFF by permanent faults (0 without noise).
   std::int64_t faulty_cells() const noexcept { return faulty_cells_; }
+
+  /// Permanent fault state of one cell (kNone when no faults are modelled).
+  CellFault cell_fault(int row, int col) const noexcept {
+    if (fault_.empty()) return CellFault::kNone;
+    return static_cast<CellFault>(
+        fault_[static_cast<std::size_t>(row) * size_ + col]);
+  }
+
+  /// Attach a write-wear model: every subsequent program() counts as one
+  /// write-verify campaign, and cells whose sampled Weibull lifetime the
+  /// campaign count crosses become permanently stuck (polarity sampled per
+  /// cell: an over-SET filament sticks on, a broken one sticks off). All
+  /// lifetimes and polarities are drawn up front from `seed`, so wear is
+  /// deterministic regardless of how reads interleave with writes.
+  void attach_endurance(const EnduranceModel& model, std::uint64_t seed);
+
+  /// Write campaigns applied so far (0 until the first program()).
+  int program_campaigns() const noexcept { return program_campaigns_; }
 
   IrModel ir_model() const noexcept { return ir_model_; }
 
@@ -116,6 +135,10 @@ class Crossbar {
   std::vector<std::int8_t> sign_;      ///< -1 / 0 / +1 per cell
   std::vector<double> drift_coeff_;    ///< per-cell v (empty = uniform)
   std::vector<std::int8_t> fault_;     ///< CellFault per cell (empty = none)
+  std::vector<double> wear_lifetime_;  ///< campaigns until wear-out (empty =
+                                       ///< no endurance model attached)
+  std::vector<std::int8_t> wear_polarity_;  ///< CellFault once worn out
+  int program_campaigns_ = 0;
   double programmed_at_s_ = 0.0;
   std::int64_t programmed_cells_ = 0;
   std::int64_t faulty_cells_ = 0;

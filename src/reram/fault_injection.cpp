@@ -1,0 +1,103 @@
+#include "reram/fault_injection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odin::reram {
+
+FaultInjector::FaultInjector(FaultScheduleParams params, std::uint64_t seed)
+    : params_(std::move(params)), rng_(seed) {
+  assert(params_.tracked_cells > 0 && params_.array_lines > 0);
+  const EnduranceModel endurance(params_.endurance);
+  lifetimes_.reserve(static_cast<std::size_t>(params_.tracked_cells));
+  for (int i = 0; i < params_.tracked_cells; ++i)
+    lifetimes_.push_back(endurance.sample_lifetime(rng_));
+  std::sort(lifetimes_.begin(), lifetimes_.end());
+}
+
+bool FaultInjector::program_campaign() {
+  ++campaigns_;
+  // Endurance wear: cells whose sampled lifetime the campaign count has now
+  // crossed become permanently stuck.
+  stuck_cells_ = static_cast<int>(
+      std::upper_bound(lifetimes_.begin(), lifetimes_.end(),
+                       static_cast<double>(campaigns_)) -
+      lifetimes_.begin());
+  // Peripheral drivers: each still-working line survives this campaign's
+  // write stress with probability 1 - rate.
+  if (params_.wordline_fail_rate > 0.0) {
+    const int alive = params_.array_lines - failed_wl_;
+    for (int i = 0; i < alive; ++i)
+      if (rng_.bernoulli(params_.wordline_fail_rate)) ++failed_wl_;
+  }
+  if (params_.bitline_fail_rate > 0.0) {
+    const int alive = params_.array_lines - failed_bl_;
+    for (int i = 0; i < alive; ++i)
+      if (rng_.bernoulli(params_.bitline_fail_rate)) ++failed_bl_;
+  }
+  // Write-verify convergence of the campaign itself.
+  return !rng_.bernoulli(params_.write_fail_rate);
+}
+
+double FaultInjector::stuck_cell_fraction() const noexcept {
+  return static_cast<double>(stuck_cells_) /
+         static_cast<double>(params_.tracked_cells);
+}
+
+double FaultInjector::peripheral_fraction() const noexcept {
+  const double wl = static_cast<double>(failed_wl_) /
+                    static_cast<double>(params_.array_lines);
+  const double bl = static_cast<double>(failed_bl_) /
+                    static_cast<double>(params_.array_lines);
+  return 1.0 - (1.0 - wl) * (1.0 - bl);
+}
+
+double FaultInjector::fault_fraction() const noexcept {
+  const double f =
+      1.0 - (1.0 - stuck_cell_fraction()) * (1.0 - peripheral_fraction());
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double FaultInjector::drift_time_multiplier(double t_s) const noexcept {
+  double m = 1.0;
+  for (const DriftBurst& b : params_.bursts)
+    if (t_s >= b.start_s && t_s < b.start_s + b.duration_s)
+      m *= std::max(b.multiplier, 1.0);
+  return m;
+}
+
+CrossbarHealth read_verify(const Crossbar& xbar, int ou_rows, int ou_cols,
+                           double stuck_budget) {
+  assert(ou_rows > 0 && ou_cols > 0);
+  CrossbarHealth health;
+  health.ou_rows = ou_rows;
+  health.ou_cols = ou_cols;
+  const int rows = xbar.programmed_rows();
+  const int cols = xbar.programmed_cols();
+  for (int r0 = 0; r0 < rows; r0 += ou_rows) {
+    const int wr = std::min(ou_rows, rows - r0);
+    for (int c0 = 0; c0 < cols; c0 += ou_cols) {
+      const int wc = std::min(ou_cols, cols - c0);
+      OuWindowHealth window{r0, c0, 0};
+      for (int r = r0; r < r0 + wr; ++r)
+        for (int c = c0; c < c0 + wc; ++c)
+          if (xbar.cell_fault(r, c) != CellFault::kNone) ++window.stuck;
+      health.stuck_cells += window.stuck;
+      health.scanned_cells += static_cast<std::int64_t>(wr) * wc;
+      health.worst_window_stuck =
+          std::max(health.worst_window_stuck, window.stuck);
+      health.worst_window_fraction =
+          std::max(health.worst_window_fraction,
+                   static_cast<double>(window.stuck) /
+                       static_cast<double>(wr * wc));
+      health.windows.push_back(window);
+    }
+  }
+  if (health.scanned_cells > 0)
+    health.fault_fraction = static_cast<double>(health.stuck_cells) /
+                            static_cast<double>(health.scanned_cells);
+  health.degraded = health.fault_fraction > stuck_budget;
+  return health;
+}
+
+}  // namespace odin::reram

@@ -1,0 +1,131 @@
+// Fault-injection campaigns and post-programming read-verify.
+//
+// The controller-visible fault surface of a ReRAM deployment has four
+// ingredients the drift model alone cannot produce:
+//
+//  * endurance wear — every whole-array write-verify campaign stresses the
+//    cells; with per-cell Weibull lifetimes (reram/endurance) the stuck
+//    fraction ratchets up with each campaign and writes cannot undo it,
+//  * peripheral failures — wordline/bitline drivers die per campaign,
+//    taking a whole line of cells with them,
+//  * drift bursts — temporary thermal/voltage events that accelerate the
+//    apparent drift clock for a window of wall-clock time,
+//  * write-verify non-convergence — a programming campaign that exhausts
+//    its pulse budget without reaching tolerance.
+//
+// FaultInjector schedules all four deterministically from one seed, at the
+// analytic granularity OdinController works at (device-global fractions).
+// read_verify() is the behavioural counterpart: it scans an actual Crossbar
+// after programming and produces a per-OU-window health map, the measured
+// signal the recovery policy consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reram/crossbar.hpp"
+#include "reram/endurance.hpp"
+
+namespace odin::reram {
+
+/// One temporary drift acceleration window (e.g. a thermal event): while
+/// active, elapsed-since-programming is multiplied by `multiplier` before
+/// entering the drift law, so the apparent non-ideality spikes and then
+/// returns to the baseline trajectory when the burst ends.
+struct DriftBurst {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double multiplier = 1.0;  ///< >= 1; 1 is a no-op
+};
+
+struct FaultScheduleParams {
+  /// Weibull wear model for the tracked-cell population.
+  EnduranceParams endurance{};
+  /// Size of the virtual cell population whose lifetimes are sampled; sets
+  /// the resolution of stuck_cell_fraction (1/tracked_cells).
+  int tracked_cells = 4096;
+  /// Per-line, per-campaign failure probability of wordline / bitline
+  /// peripheral drivers (a failed line disables its whole row / column).
+  double wordline_fail_rate = 0.0;
+  double bitline_fail_rate = 0.0;
+  /// Lines per array dimension (the crossbar size).
+  int array_lines = 128;
+  /// Probability that one write-verify campaign exhausts its pulse budget
+  /// without converging.
+  double write_fail_rate = 0.0;
+  /// Deterministic drift-burst schedule (wall-clock windows).
+  std::vector<DriftBurst> bursts{};
+};
+
+/// Deterministic fault schedule along the serving horizon. All randomness
+/// flows from the constructor seed; campaigns advance sequentially (the
+/// control loop is sequential), so two injectors with equal seeds and equal
+/// campaign histories agree bitwise.
+class FaultInjector {
+ public:
+  FaultInjector(FaultScheduleParams params, std::uint64_t seed);
+
+  /// One whole-array write-verify campaign: wears the tracked cells, may
+  /// fail peripheral drivers, and reports whether the campaign converged
+  /// (false = the pulse budget ran out above tolerance).
+  bool program_campaign();
+
+  int campaigns() const noexcept { return campaigns_; }
+
+  /// Fraction of cells stuck from endurance wear after the campaigns so far.
+  double stuck_cell_fraction() const noexcept;
+  /// Fraction of the array covered by failed wordlines / bitlines.
+  double peripheral_fraction() const noexcept;
+  /// Combined unusable-cell fraction (independent overlap), in [0, 1].
+  double fault_fraction() const noexcept;
+
+  int failed_wordlines() const noexcept { return failed_wl_; }
+  int failed_bitlines() const noexcept { return failed_bl_; }
+
+  /// Elapsed-time multiplier at wall-clock `t_s` (>= 1; 1 outside bursts).
+  /// Overlapping bursts compound multiplicatively.
+  double drift_time_multiplier(double t_s) const noexcept;
+
+  const FaultScheduleParams& params() const noexcept { return params_; }
+
+ private:
+  FaultScheduleParams params_;
+  common::Rng rng_;
+  std::vector<double> lifetimes_;  ///< sorted sampled cell lifetimes
+  int campaigns_ = 0;
+  int stuck_cells_ = 0;
+  int failed_wl_ = 0;
+  int failed_bl_ = 0;
+};
+
+/// Stuck-cell count of one OU window of the programmed region.
+struct OuWindowHealth {
+  int row0 = 0;
+  int col0 = 0;
+  int stuck = 0;
+};
+
+/// Post-programming read-verify result for one crossbar: the per-OU-window
+/// stuck-cell map plus the aggregates the recovery policy gates on.
+struct CrossbarHealth {
+  int ou_rows = 0;
+  int ou_cols = 0;
+  std::int64_t stuck_cells = 0;
+  std::int64_t scanned_cells = 0;
+  int worst_window_stuck = 0;
+  double fault_fraction = 0.0;        ///< stuck / scanned
+  double worst_window_fraction = 0.0; ///< worst window's stuck / window size
+  bool degraded = false;              ///< fault_fraction > stuck_budget
+  std::vector<OuWindowHealth> windows;
+};
+
+/// Read back the programmed region of `xbar` window by window (the same
+/// (ou_rows x ou_cols) tiling the MVM path uses) and count cells whose
+/// stored state cannot track their target — the permanent stuck-at
+/// population. Marks the result degraded when the overall stuck fraction
+/// exceeds `stuck_budget`.
+CrossbarHealth read_verify(const Crossbar& xbar, int ou_rows, int ou_cols,
+                           double stuck_budget);
+
+}  // namespace odin::reram

@@ -1,0 +1,191 @@
+// Tests for the fault-injection layer: FaultInjector campaign scheduling,
+// Crossbar endurance wear, and the post-programming read-verify health map.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reram/fault_injection.hpp"
+
+namespace odin::reram {
+namespace {
+
+std::vector<double> ones(int n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 1.0);
+}
+
+FaultScheduleParams worn_schedule() {
+  FaultScheduleParams p;
+  p.endurance.characteristic_cycles = 10.0;
+  p.endurance.shape = 1.8;
+  p.tracked_cells = 4096;
+  return p;
+}
+
+TEST(FaultInjector, DeterministicGivenSeedAndCampaignHistory) {
+  FaultScheduleParams p = worn_schedule();
+  p.wordline_fail_rate = 0.05;
+  p.bitline_fail_rate = 0.05;
+  p.write_fail_rate = 0.3;
+  FaultInjector a(p, 42);
+  FaultInjector b(p, 42);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(a.program_campaign(), b.program_campaign()) << "campaign " << k;
+    EXPECT_EQ(a.failed_wordlines(), b.failed_wordlines());
+    EXPECT_EQ(a.failed_bitlines(), b.failed_bitlines());
+    EXPECT_DOUBLE_EQ(a.fault_fraction(), b.fault_fraction());
+  }
+  FaultInjector c(p, 43);  // different seed, different trajectory
+  for (int k = 0; k < 20; ++k) c.program_campaign();
+  EXPECT_NE(a.fault_fraction(), c.fault_fraction());
+}
+
+TEST(FaultInjector, StuckFractionTracksWeibullExpectation) {
+  const FaultScheduleParams p = worn_schedule();
+  FaultInjector inj(p, 7);
+  EXPECT_DOUBLE_EQ(inj.stuck_cell_fraction(), 0.0);
+  const EnduranceModel model(p.endurance);
+  double prev = 0.0;
+  for (int n : {2, 5, 10, 20}) {
+    while (inj.campaigns() < n) inj.program_campaign();
+    const double measured = inj.stuck_cell_fraction();
+    const double expected = model.failure_fraction(static_cast<double>(n));
+    EXPECT_GE(measured, prev);  // wear never heals
+    // 4096 tracked cells: Monte-Carlo slack ~4 sigma of the binomial.
+    const double sigma =
+        std::sqrt(expected * (1.0 - expected) / p.tracked_cells);
+    EXPECT_NEAR(measured, expected, 4.0 * sigma + 1e-3) << "n=" << n;
+    prev = measured;
+  }
+}
+
+TEST(FaultInjector, PeripheralFailuresAccumulateAndCompound) {
+  FaultScheduleParams p;  // no endurance wear: isolate the peripherals
+  p.endurance.characteristic_cycles = 1e12;
+  p.wordline_fail_rate = 0.1;
+  p.bitline_fail_rate = 0.1;
+  p.array_lines = 128;
+  FaultInjector inj(p, 11);
+  for (int k = 0; k < 40; ++k) inj.program_campaign();
+  EXPECT_GT(inj.failed_wordlines(), 0);
+  EXPECT_GT(inj.failed_bitlines(), 0);
+  EXPECT_LE(inj.failed_wordlines(), p.array_lines);
+  const double wl = static_cast<double>(inj.failed_wordlines()) /
+                    p.array_lines;
+  const double bl = static_cast<double>(inj.failed_bitlines()) /
+                    p.array_lines;
+  // Independent-overlap composition, and the total includes it.
+  EXPECT_NEAR(inj.peripheral_fraction(), 1.0 - (1.0 - wl) * (1.0 - bl),
+              1e-12);
+  EXPECT_GE(inj.fault_fraction(), inj.peripheral_fraction() - 1e-12);
+  EXPECT_LE(inj.fault_fraction(), 1.0);
+}
+
+TEST(FaultInjector, WriteConvergenceFollowsFailRate) {
+  FaultScheduleParams always = worn_schedule();
+  always.write_fail_rate = 0.0;
+  FaultInjector ok(always, 3);
+  for (int k = 0; k < 10; ++k) EXPECT_TRUE(ok.program_campaign());
+
+  FaultScheduleParams never = worn_schedule();
+  never.write_fail_rate = 1.0;
+  FaultInjector bad(never, 3);
+  for (int k = 0; k < 10; ++k) EXPECT_FALSE(bad.program_campaign());
+}
+
+TEST(FaultInjector, DriftBurstsMultiplyInsideTheirWindows) {
+  FaultScheduleParams p;
+  p.bursts = {{.start_s = 100.0, .duration_s = 50.0, .multiplier = 4.0},
+              {.start_s = 120.0, .duration_s = 100.0, .multiplier = 3.0}};
+  FaultInjector inj(p, 1);
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(50.0), 1.0);    // before
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(110.0), 4.0);   // first only
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(130.0), 12.0);  // overlap
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(180.0), 3.0);   // second only
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(500.0), 1.0);   // after
+}
+
+TEST(CrossbarEndurance, WearAccumulatesAcrossCampaigns) {
+  Crossbar xbar(32, DeviceParams{});
+  xbar.attach_endurance(EnduranceModel({.characteristic_cycles = 5.0,
+                                        .shape = 1.8}),
+                        99);
+  EXPECT_EQ(xbar.program_campaigns(), 0);
+  std::int64_t prev = 0;
+  for (int k = 1; k <= 10; ++k) {
+    xbar.program(ones(1024), 32, 32, static_cast<double>(k));
+    EXPECT_EQ(xbar.program_campaigns(), k);
+    EXPECT_GE(xbar.faulty_cells(), prev);  // monotone: writes cannot heal
+    prev = xbar.faulty_cells();
+  }
+  // After 2x the characteristic lifetime most cells are gone:
+  // F(10) = 1 - exp(-2^1.8) ~ 0.97.
+  EXPECT_GT(static_cast<double>(prev), 0.8 * 1024);
+}
+
+TEST(CrossbarEndurance, NoWearWithoutAttachedModel) {
+  Crossbar xbar(16, DeviceParams{});
+  for (int k = 1; k <= 50; ++k)
+    xbar.program(ones(256), 16, 16, static_cast<double>(k));
+  EXPECT_EQ(xbar.faulty_cells(), 0);
+  EXPECT_EQ(xbar.program_campaigns(), 50);
+}
+
+TEST(ReadVerify, CleanArrayReportsHealthy) {
+  Crossbar xbar(32, DeviceParams{});
+  xbar.program(ones(1024), 32, 32, 0.0);
+  const CrossbarHealth health = read_verify(xbar, 8, 8, 0.01);
+  EXPECT_EQ(health.stuck_cells, 0);
+  EXPECT_EQ(health.scanned_cells, 1024);
+  EXPECT_EQ(health.windows.size(), 16u);  // (32/8)^2
+  EXPECT_DOUBLE_EQ(health.fault_fraction, 0.0);
+  EXPECT_FALSE(health.degraded);
+}
+
+TEST(ReadVerify, CountsMatchTheCrossbarFaultMap) {
+  NoiseParams np;
+  np.stuck_on_rate = 0.03;
+  np.stuck_off_rate = 0.03;
+  Crossbar xbar(64, DeviceParams{}, NoiseModel(np, 21));
+  xbar.program(ones(64 * 64), 64, 64, 0.0);
+  const CrossbarHealth health = read_verify(xbar, 16, 16, 0.01);
+  EXPECT_EQ(health.stuck_cells, xbar.faulty_cells());
+  EXPECT_EQ(health.scanned_cells, 64 * 64);
+  // The per-window counts decompose the total.
+  std::int64_t sum = 0;
+  int worst = 0;
+  for (const OuWindowHealth& w : health.windows) {
+    sum += w.stuck;
+    worst = std::max(worst, w.stuck);
+  }
+  EXPECT_EQ(sum, health.stuck_cells);
+  EXPECT_EQ(worst, health.worst_window_stuck);
+  // ~6% stuck against a 1% budget: degraded.
+  EXPECT_TRUE(health.degraded);
+  EXPECT_GT(health.worst_window_fraction, 0.0);
+}
+
+TEST(ReadVerify, BudgetGatesTheDegradedFlag) {
+  NoiseParams np;
+  np.stuck_off_rate = 0.02;
+  Crossbar xbar(64, DeviceParams{}, NoiseModel(np, 5));
+  xbar.program(ones(64 * 64), 64, 64, 0.0);
+  const CrossbarHealth tight = read_verify(xbar, 8, 8, 1e-4);
+  const CrossbarHealth loose = read_verify(xbar, 8, 8, 0.5);
+  EXPECT_TRUE(tight.degraded);
+  EXPECT_FALSE(loose.degraded);
+  EXPECT_DOUBLE_EQ(tight.fault_fraction, loose.fault_fraction);
+}
+
+TEST(ReadVerify, WindowsTileThePartiallyProgrammedRegion) {
+  // A 20x12 block on a 32-array with 8x8 windows: ragged edges must still
+  // be scanned exactly once.
+  Crossbar xbar(32, DeviceParams{});
+  xbar.program(ones(20 * 12), 20, 12, 0.0);
+  const CrossbarHealth health = read_verify(xbar, 8, 8, 0.01);
+  EXPECT_EQ(health.scanned_cells, 20 * 12);
+  EXPECT_EQ(health.windows.size(), 3u * 2u);  // ceil(20/8) x ceil(12/8)
+}
+
+}  // namespace
+}  // namespace odin::reram

@@ -14,6 +14,7 @@
 #include "core/serving.hpp"
 #include "data/synthetic.hpp"
 #include "policy/offline.hpp"
+#include "reram/fault_injection.hpp"
 #include "test_helpers.hpp"
 
 namespace odin::core {
@@ -111,6 +112,58 @@ TEST(ParallelDeterminism, HomogeneousServingBitwiseIdentical) {
 
 TEST(ParallelDeterminism, OdinServingBitwiseIdentical) {
   expect_same_serving(run_serving(1, true), run_serving(8, true));
+}
+
+ServingResult run_faulty_serving(int threads, bool odin) {
+  common::ThreadPool::instance().set_threads(threads);
+  ou::MappedModel a = testing::tiny_mapped();
+  ou::MappedModel b = testing::tiny_mapped(128, 0x51ee7);
+  ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                ou::NonIdealityParams{}};
+  ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  ServingConfig cfg;
+  cfg.horizon = {.t_start_s = 1.0, .t_end_s = 1e8, .runs = 48};
+  cfg.segments = 4;
+  // A schedule that exercises every fault path: wear over the serving
+  // lifetime, peripheral failures, flaky writes, and one drift burst.
+  reram::FaultScheduleParams p;
+  p.endurance.characteristic_cycles = 12.0;
+  p.endurance.shape = 1.8;
+  p.wordline_fail_rate = 1e-3;
+  p.bitline_fail_rate = 1e-3;
+  p.write_fail_rate = 0.4;
+  p.bursts = {{.start_s = 1e5, .duration_s = 1e6, .multiplier = 5.0}};
+  reram::FaultInjector faults(p, 0xfade);
+  if (odin)
+    return serve_with_odin({&a, &b}, nonideal, cost,
+                           policy::OuPolicy(ou::OuLevelGrid(128)), cfg,
+                           &faults);
+  return serve_with_homogeneous({&a, &b}, nonideal, cost,
+                                ou::OuConfig{.rows = 8, .cols = 4}, cfg,
+                                &faults);
+}
+
+void expect_same_fault_counters(const ServingResult& seq,
+                                const ServingResult& par) {
+  expect_same_serving(seq, par);
+  EXPECT_EQ(seq.total_retries(), par.total_retries());
+  EXPECT_EQ(seq.total_degraded_runs(), par.total_degraded_runs());
+  for (std::size_t i = 0; i < seq.tenants.size(); ++i) {
+    EXPECT_EQ(seq.tenants[i].retries, par.tenants[i].retries);
+    EXPECT_EQ(seq.tenants[i].degraded_runs, par.tenants[i].degraded_runs);
+  }
+}
+
+TEST(ParallelDeterminism, FaultyOdinServingBitwiseIdentical) {
+  // The injector draws on the controller thread only; candidate evaluation
+  // stays pure, so the fault path keeps the bitwise contract.
+  expect_same_fault_counters(run_faulty_serving(1, true),
+                             run_faulty_serving(8, true));
+}
+
+TEST(ParallelDeterminism, FaultyHomogeneousServingBitwiseIdentical) {
+  expect_same_fault_counters(run_faulty_serving(1, false),
+                             run_faulty_serving(8, false));
 }
 
 std::vector<double> run_hardware(int threads) {

@@ -5,7 +5,8 @@
 # plus the two macro arms (fig8_edp_all_dnns, batching_throughput) under
 # ODIN_THREADS=1 and ODIN_THREADS=<N>, and merges everything into
 # BENCH_parallel.json at the repo root with per-mode wall clocks and the
-# resulting speedups.
+# resulting speedups. Also runs the fault-injection campaign arm
+# (fault_campaign), which writes BENCH_faults.json directly.
 #
 # Usage: tools/run_bench.sh [build-dir] [threads]
 #   build-dir  defaults to <repo>/build
@@ -20,7 +21,7 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for bin in micro_mvm micro_search_overhead fig8_edp_all_dnns \
-           batching_throughput; do
+           batching_throughput fault_campaign; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "error: $BUILD/bench/$bin missing — build first:" >&2
     echo "  cmake -B $BUILD -S $REPO && cmake --build $BUILD -j" >&2
@@ -48,6 +49,10 @@ for t in 1 "$THREADS"; do
   run_micro micro_mvm "$t"
   run_micro micro_search_overhead "$t"
 done
+
+echo "[bench] fault_campaign -> BENCH_faults.json" >&2
+"$BUILD/bench/fault_campaign" --json "$REPO/BENCH_faults.json" \
+  >"$TMP/fault_campaign.log"
 
 FIG8_SEQ=$(wall_clock fig8_edp_all_dnns 1)
 FIG8_PAR=$(wall_clock fig8_edp_all_dnns "$THREADS")
