@@ -1,7 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the behavioural crossbar: analog
 // OU MVM across OU shapes and ADC precisions, and the full-array pass.
+// Each kernel benchmark has a *Reference twin that times the original
+// per-cell kernel (tests/reference_kernel.hpp) on identical state;
+// tools/run_bench.sh pairs them into the old-vs-new speedup table of
+// BENCH_mvm_kernel.json.
 #include <benchmark/benchmark.h>
 
+#include "reference_kernel.hpp"
 #include "reram/crossbar.hpp"
 
 using namespace odin;
@@ -76,6 +81,55 @@ void BM_WeightRmsError(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightRmsError);
+
+void BM_MvmSingleOuReference(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  const auto in = input_vector(rows);
+  const int bits = 6;
+  for (auto _ : state) {
+    auto out = testref::mvm_ou(xbar, in, 0, rows, 0, cols, 1.0, bits);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_MvmSingleOuReference)
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({64, 64});
+
+void BM_MvmFullArrayByOuShapeReference(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  const int side = static_cast<int>(state.range(0));
+  const auto in = input_vector(128);
+  for (auto _ : state) {
+    auto out = testref::mvm(xbar, in, side, side, 1.0, 6);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_MvmFullArrayByOuShapeReference)->Arg(4)->Arg(16)->Arg(128);
+
+void BM_IdealMvmReference(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  const auto in = input_vector(128);
+  for (auto _ : state) {
+    auto out = testref::ideal_mvm(xbar, in);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_IdealMvmReference);
+
+void BM_WeightRmsErrorReference(benchmark::State& state) {
+  auto& xbar = programmed_crossbar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testref::weight_rms_error(xbar, 1e6, 16, 16));
+  }
+}
+BENCHMARK(BM_WeightRmsErrorReference);
 
 void BM_Reprogram(benchmark::State& state) {
   reram::Crossbar xbar(128, reram::DeviceParams{});

@@ -25,7 +25,22 @@ int threads_from_env() {
 constexpr std::size_t kJobClosed =
     std::numeric_limits<std::size_t>::max() / 2;
 
+std::size_t min_work_from_env() {
+  if (const char* env = std::getenv("ODIN_PARALLEL_MIN_NS")) {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v >= 0) return static_cast<std::size_t>(v);
+  }
+  // Fork-join (wake + join) costs a handful of microseconds; below ~100us
+  // of total work the pool cannot break even even at perfect scaling.
+  return 100'000;
+}
+
 }  // namespace
+
+std::size_t ThreadPool::min_parallel_work_ns() noexcept {
+  static const std::size_t cutoff = min_work_from_env();
+  return cutoff;
+}
 
 ThreadPool& ThreadPool::instance() {
   static ThreadPool pool(threads_from_env());
@@ -108,16 +123,25 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_chunks(std::size_t begin, std::size_t end,
-                            std::size_t grain, ChunkFn fn, void* ctx) {
+                            std::size_t grain, ChunkFn fn, void* ctx,
+                            std::size_t cost_hint_ns) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   std::size_t g = grain;
   if (g == 0)
     g = std::max<std::size_t>(
         1, n / (static_cast<std::size_t>(threads_) * 4));
-  // Sequential path: single-lane pool, a range that fits one chunk, or a
-  // nested region (already on a worker — running inline avoids deadlock).
-  if (threads_ <= 1 || n <= g || tls_in_parallel_region) {
+  // Minimum-work grain: when the caller's cost hint says the whole region
+  // is below the fork-join break-even point, don't wake the pool at all.
+  // (Overflow-safe: treat saturated products as "plenty of work".)
+  const bool too_small =
+      cost_hint_ns != 0 &&
+      n <= min_parallel_work_ns() / cost_hint_ns &&
+      n * cost_hint_ns < min_parallel_work_ns();
+  // Sequential path: single-lane pool, a range that fits one chunk, a
+  // region below the work cutoff, or a nested region (already on a worker
+  // — running inline avoids deadlock).
+  if (threads_ <= 1 || n <= g || too_small || tls_in_parallel_region) {
     const bool was_in_region = tls_in_parallel_region;
     tls_in_parallel_region = true;
     try {

@@ -19,6 +19,13 @@
 //   * Nested calls (a parallel region spawned from inside a worker) run
 //     inline on the worker — parallelism does not compound and can never
 //     deadlock.
+//   * Callers that know their per-item cost pass it as `cost_hint_ns`
+//     (estimated nanoseconds per index). When items x cost_hint_ns is
+//     below the fork-join break-even threshold the region runs on the
+//     plain inline path — waking workers for a few microseconds of work
+//     is a slowdown, not a speedup. cost_hint_ns = 0 (the default) means
+//     "unknown / heavy": always eligible for the pool, the pre-hint
+//     behaviour.
 #pragma once
 
 #include <atomic>
@@ -51,10 +58,16 @@ class ThreadPool {
   /// Invoke fn(ctx, b, e) over chunks of [begin, end) no larger than
   /// `grain` (0 = pick automatically). Blocks until every chunk finished;
   /// rethrows the first chunk exception. Runs inline when the range fits
-  /// one chunk, the pool is single-threaded, or we are already inside a
-  /// worker.
+  /// one chunk, the pool is single-threaded, we are already inside a
+  /// worker, or the estimated total work (items x cost_hint_ns, when the
+  /// hint is nonzero) is below the fork-join break-even threshold.
   void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
-                  ChunkFn fn, void* ctx);
+                  ChunkFn fn, void* ctx, std::size_t cost_hint_ns = 0);
+
+  /// Total-work cutoff (nanoseconds) below which hinted regions run
+  /// inline. Read once from ODIN_PARALLEL_MIN_NS (default 100000 = 100us,
+  /// several times the measured fork-join wake+join overhead).
+  static std::size_t min_parallel_work_ns() noexcept;
 
   ~ThreadPool();
 
@@ -112,34 +125,43 @@ void invoke_chunk(void* ctx, std::size_t begin, std::size_t end) {
 
 /// fn(chunk_begin, chunk_end) per chunk. Use when the body wants per-chunk
 /// scratch state (allocated once per chunk, not once per index).
+/// `cost_hint_ns` estimates the per-item cost in nanoseconds; nonzero
+/// hints let small regions skip the pool entirely (see ThreadPool).
 template <typename Fn>
 void parallel_for_chunks(std::size_t begin, std::size_t end,
-                         std::size_t grain, Fn&& fn) {
+                         std::size_t grain, Fn&& fn,
+                         std::size_t cost_hint_ns = 0) {
   ThreadPool::instance().run_chunks(begin, end, grain,
                                     &detail::invoke_chunk<Fn>,
                                     const_cast<void*>(
-                                        static_cast<const void*>(&fn)));
+                                        static_cast<const void*>(&fn)),
+                                    cost_hint_ns);
 }
 
 /// fn(i) for every i in [begin, end).
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  Fn&& fn) {
+                  Fn&& fn, std::size_t cost_hint_ns = 0) {
   parallel_for_chunks(begin, end, grain,
                       [&fn](std::size_t b, std::size_t e) {
                         for (std::size_t i = b; i < e; ++i) fn(i);
-                      });
+                      },
+                      cost_hint_ns);
 }
 
 /// out[i] = fn(i) for i in [0, n); results land in index order regardless
 /// of scheduling, so reductions over `out` are deterministic.
 template <typename Fn>
-auto parallel_transform(std::size_t n, std::size_t grain, Fn&& fn)
+auto parallel_transform(std::size_t n, std::size_t grain, Fn&& fn,
+                        std::size_t cost_hint_ns = 0)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
   std::vector<std::decay_t<decltype(fn(std::size_t{}))>> out(n);
-  parallel_for_chunks(0, n, grain, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
-  });
+  parallel_for_chunks(
+      0, n, grain,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
+      },
+      cost_hint_ns);
   return out;
 }
 

@@ -105,8 +105,13 @@ double MonteCarloAccuracy::accuracy_under(double drift_nf, double ir_nf,
       v = v * shrink + sigma * std::abs(v) * rng.normal();
   }
   const double acc = evaluate();
-  for (std::size_t i = 0; i < params.size(); ++i)
-    params[i]->value = pristine_[i];
+  // Restore in place: the shapes never change, so copying into the live
+  // storage avoids reallocating every parameter matrix per trial.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto src = pristine_[i].flat();
+    auto dst = params[i]->value.flat();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
   return acc;
 }
 

@@ -40,6 +40,18 @@ HardwareMlpRunner::HardwareMlpRunner(nn::MultiHeadMlp& model,
   const auto heads = model.head_dense();
   assert(!heads.empty());
   lower(heads.front());  // reference nets are single-head
+  std::size_t max_features = 1;
+  int max_grid_cols = 1;
+  for (const MappedLayer& layer : layers_) {
+    max_features = std::max({max_features, layer.in_features,
+                             layer.out_features});
+    max_grid_cols = std::max(max_grid_cols, layer.grid_cols);
+  }
+  scaled_scratch_.resize(max_features);
+  act_a_.resize(max_features);
+  act_b_.resize(max_features);
+  partial_scratch_.resize(static_cast<std::size_t>(max_grid_cols) *
+                          crossbar_size_);
   program(device_.t0_s);
 }
 
@@ -55,8 +67,12 @@ void HardwareMlpRunner::program(double t_s) {
     layer.crossbars.resize(cells);
     const std::uint64_t layer_stream_base = stream;
     if (noise_seed_ != 0) stream += cells;
+    // ~20ns per programmed cell (quantize + optional noise draws).
+    const std::size_t program_cost_ns =
+        static_cast<std::size_t>(crossbar_size_) * crossbar_size_ * 20;
     common::parallel_for_chunks(
-        0, cells, 0, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        0, cells, 0,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
           // One scratch block per chunk, sized once to the full crossbar;
           // later resizes stay within capacity (no per-cell allocation).
           std::vector<double> block;
@@ -95,7 +111,8 @@ void HardwareMlpRunner::program(double t_s) {
             xbar->program(block, rows, cols, t_s);
             layer.crossbars[k] = std::move(xbar);
           }
-        });
+        },
+        program_cost_ns);
   }
 }
 
@@ -106,63 +123,86 @@ std::int64_t HardwareMlpRunner::programmed_cells() const noexcept {
   return cells;
 }
 
-std::vector<double> HardwareMlpRunner::forward_layer(
-    const MappedLayer& layer, std::span<const double> input, ou::OuConfig ou,
-    double t_s) {
+void HardwareMlpRunner::forward_layer(const MappedLayer& layer,
+                                      std::span<const double> input,
+                                      ou::OuConfig ou, double t_s,
+                                      std::span<double> out) {
   assert(input.size() == layer.in_features);
+  assert(out.size() == layer.out_features);
   const int adc_bits = adc_policy_.adc_bits(ou.rows);
   // Inputs are driven in [0, 1]-ish range; scale by the max magnitude so
   // the DAC range is used and undo afterwards (standard input scaling).
   double in_max = 1e-12;
   for (double v : input) in_max = std::max(in_max, std::abs(v));
-  std::vector<double> scaled(input.size());
+  double* scaled = scaled_scratch_.data();
   for (std::size_t i = 0; i < input.size(); ++i)
     scaled[i] = input[i] / in_max;
 
-  std::vector<double> out(layer.out_features, 0.0);
+  std::fill(out.begin(), out.end(), 0.0);
   // Grid-column tasks touch disjoint crossbars (each with its own noise
-  // stream) and disjoint output ranges; per output column the partial sums
-  // accumulate in increasing-gr order exactly as the sequential walk does,
-  // so the reduction is bitwise deterministic.
+  // stream), disjoint output ranges and disjoint partial-sum slices; per
+  // output column the partial sums accumulate in increasing-gr order
+  // exactly as the sequential walk does, so the reduction is bitwise
+  // deterministic. Cost hint: ~2ns per cell of the column strip.
+  const std::size_t strip_cost_ns = static_cast<std::size_t>(
+      static_cast<std::size_t>(layer.grid_rows) * crossbar_size_ *
+      crossbar_size_ * 2);
   common::parallel_for(
-      0, static_cast<std::size_t>(layer.grid_cols), 1, [&](std::size_t gc) {
+      0, static_cast<std::size_t>(layer.grid_cols), 1,
+      [&](std::size_t gc) {
         const std::size_t col0 = gc * crossbar_size_;
+        double* partial = partial_scratch_.data() + gc * crossbar_size_;
         for (int gr = 0; gr < layer.grid_rows; ++gr) {
           const std::size_t row0 =
               static_cast<std::size_t>(gr) * crossbar_size_;
           const std::size_t rows =
               std::min<std::size_t>(crossbar_size_, layer.in_features - row0);
-          const std::span<const double> slice{scaled.data() + row0, rows};
+          const std::span<const double> slice{scaled + row0, rows};
           reram::Crossbar& xbar =
               *layer.crossbars[static_cast<std::size_t>(gr) *
                                    layer.grid_cols +
                                gc];
-          const auto partial =
-              xbar.mvm(slice, ou.rows, ou.cols, t_s, adc_bits);
-          for (std::size_t c = 0; c < partial.size(); ++c)
+          const std::size_t cols =
+              static_cast<std::size_t>(xbar.programmed_cols());
+          xbar.mvm(slice, ou.rows, ou.cols, t_s, adc_bits,
+                   std::span<double>(partial, cols));
+          for (std::size_t c = 0; c < cols; ++c)
             out[col0 + c] += partial[c];
         }
-      });
+      },
+      strip_cost_ns);
   // Undo the scalings and add the (digitally stored) bias.
   for (std::size_t c = 0; c < out.size(); ++c)
     out[c] = out[c] * layer.weight_scale * in_max + layer.bias[c];
-  return out;
+}
+
+std::span<const double> HardwareMlpRunner::forward_all(
+    std::span<const double> input, ou::OuConfig ou, double t_s) {
+  std::copy(input.begin(), input.end(), act_a_.begin());
+  std::size_t width = input.size();
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    forward_layer(layers_[i], {act_a_.data(), width}, ou, t_s,
+                  {act_b_.data(), layers_[i].out_features});
+    width = layers_[i].out_features;
+    for (std::size_t j = 0; j < width; ++j)
+      if (act_b_[j] < 0.0) act_b_[j] = 0.0;  // ReLU in the output register
+    act_a_.swap(act_b_);
+  }
+  const MappedLayer& head = layers_.back();
+  forward_layer(head, {act_a_.data(), width}, ou, t_s,
+                {act_b_.data(), head.out_features});
+  return {act_b_.data(), head.out_features};
 }
 
 std::vector<double> HardwareMlpRunner::logits(std::span<const double> input,
                                               ou::OuConfig ou, double t_s) {
-  std::vector<double> x(input.begin(), input.end());
-  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
-    x = forward_layer(layers_[i], x, ou, t_s);
-    for (double& v : x)
-      if (v < 0.0) v = 0.0;  // ReLU in the output register path
-  }
-  return forward_layer(layers_.back(), x, ou, t_s);
+  const auto out = forward_all(input, ou, t_s);
+  return std::vector<double>(out.begin(), out.end());
 }
 
 int HardwareMlpRunner::predict(std::span<const double> input, ou::OuConfig ou,
                                double t_s) {
-  return static_cast<int>(common::argmax(logits(input, ou, t_s)));
+  return static_cast<int>(common::argmax(forward_all(input, ou, t_s)));
 }
 
 double HardwareMlpRunner::accuracy(const nn::Dataset& data, ou::OuConfig ou,

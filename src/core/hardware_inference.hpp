@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/mlp.hpp"
@@ -66,15 +67,30 @@ class HardwareMlpRunner {
     int grid_cols = 0;
   };
 
-  std::vector<double> forward_layer(const MappedLayer& layer,
-                                    std::span<const double> input,
-                                    ou::OuConfig ou, double t_s);
+  /// Evaluate one layer into `out` (size = layer.out_features). Uses the
+  /// member scratch buffers; no heap allocation in steady state.
+  void forward_layer(const MappedLayer& layer, std::span<const double> input,
+                     ou::OuConfig ou, double t_s, std::span<double> out);
+
+  /// Full forward pass; returns a span over the internal activation buffer
+  /// holding the head-0 logits (valid until the next forward call).
+  std::span<const double> forward_all(std::span<const double> input,
+                                      ou::OuConfig ou, double t_s);
 
   reram::DeviceParams device_;
   int crossbar_size_;
   std::uint64_t noise_seed_;
   ou::CostParams adc_policy_;  ///< for the bits-from-R rule
   std::vector<MappedLayer> layers_;  ///< trunk denses then the single head
+
+  // Reusable forward-pass scratch, sized once to the widest layer: the
+  // scaled input, the activation ping-pong pair, and one partial-sum slice
+  // per grid column (each parallel grid-column task owns its own slice).
+  // No per-call heap allocation in forward_layer steady state.
+  std::vector<double> scaled_scratch_;
+  std::vector<double> act_a_;
+  std::vector<double> act_b_;
+  std::vector<double> partial_scratch_;  ///< grid_cols x crossbar_size flat
 };
 
 }  // namespace odin::core

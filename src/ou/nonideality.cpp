@@ -79,17 +79,23 @@ int NonIdealityCache::index_of(OuConfig config) const noexcept {
 
 void NonIdealityCache::rebuild(double elapsed_s) {
   if (matches(elapsed_s)) return;
+  // One elapsed time, many OU shapes: the drift pow is shape-independent,
+  // so evaluate it once and sweep the grid through the given-drift form of
+  // Eq. 4 — bitwise the same values the per-config calls produce.
+  const reram::DeviceParams& dev = model_->device();
+  const double g_drift = reram::drift_conductance(dev, elapsed_s);
+  const double drift_nf = (dev.g_on_s - g_drift) / dev.g_on_s;
   for (int rl = 0; rl < grid_.levels(); ++rl) {
     for (int cl = 0; cl < grid_.levels(); ++cl) {
       const OuConfig cfg = grid_.config_at(rl, cl);
       const std::size_t i = static_cast<std::size_t>(rl) * grid_.levels() +
                             cl;
-      total_[i] = model_->total_nf(elapsed_s, cfg);
-      const auto parts = reram::nonideality_components(
-          model_->device(), elapsed_s, cfg.rows, cfg.cols,
-          model_->wire_scale());
-      ir_[i] = parts.ir_drop;
-      comp_total_[i] = parts.total();
+      const double g_eff = reram::effective_conductance_given_drift(
+          dev, g_drift, cfg.rows, cfg.cols, model_->wire_scale());
+      total_[i] = std::abs(dev.g_on_s - g_eff) / dev.g_on_s;
+      const double ir_nf = (g_drift - g_eff) / dev.g_on_s;
+      ir_[i] = ir_nf;
+      comp_total_[i] = drift_nf + ir_nf;
     }
   }
   elapsed_s_ = elapsed_s;

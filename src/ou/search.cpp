@@ -43,6 +43,12 @@ Score evaluate(const LayerContext& ctx, OuConfig config) {
   return {false, ctx.violation(config)};
 }
 
+/// Analytic evaluation is ~1us per candidate; fan-outs of a handful of
+/// neighbours (or one small grid) sit far below the fork-join break-even,
+/// so the hint keeps them on the inline path (BENCH_parallel.json showed
+/// sub-1.0x "speedups" when these tiny regions woke the pool).
+constexpr std::size_t kEvaluateCostNs = 1000;
+
 int snap_level(const OuLevelGrid& grid, int size) {
   // Grid sizes are exact powers of two: log2(size_at(l)) is the integer
   // l + kMinExponent, so only the start size needs a log2 per call.
@@ -91,10 +97,13 @@ void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
       candidates[n++] = {nrl, ncl};
     }
     const auto scores =
-        common::parallel_transform(n, 1, [&](std::size_t i) {
-          return evaluate(ctx, grid.config_at(candidates[i][0],
-                                              candidates[i][1]));
-        });
+        common::parallel_transform(
+            n, 1,
+            [&](std::size_t i) {
+              return evaluate(ctx, grid.config_at(candidates[i][0],
+                                                  candidates[i][1]));
+            },
+            kEvaluateCostNs);
     result.evaluations += static_cast<int>(n);
     Score best_neighbor;
     int best_rl = rl, best_cl = cl;
@@ -123,7 +132,8 @@ SearchResult exhaustive_search(const LayerContext& ctx) {
   const auto configs = ctx.grid->all_configs();
   const auto scores = common::parallel_transform(
       configs.size(), 4,
-      [&](std::size_t i) { return evaluate(ctx, configs[i]); });
+      [&](std::size_t i) { return evaluate(ctx, configs[i]); },
+      kEvaluateCostNs);
   result.evaluations = static_cast<int>(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     if (scores[i].feasible && scores[i].value < result.edp) {

@@ -8,6 +8,16 @@
 
 namespace odin::reram {
 
+namespace {
+
+/// Rough per-cell kernel cost in nanoseconds, used as the parallel_for
+/// work hint: the plane kernel is a couple of fused multiply-adds per cell,
+/// the counter-based noisy kernel pays an RNG construction + Box-Muller.
+constexpr std::size_t kPlaneCellCostNs = 2;
+constexpr std::size_t kNoisyCellCostNs = 60;
+
+}  // namespace
+
 Crossbar::Crossbar(int size, DeviceParams device,
                    std::optional<NoiseModel> noise, IrModel ir_model)
     : size_(size),
@@ -15,7 +25,8 @@ Crossbar::Crossbar(int size, DeviceParams device,
       noise_(std::move(noise)),
       ir_model_(ir_model),
       conductance_s_(static_cast<std::size_t>(size) * size, device.g_off_s),
-      sign_(static_cast<std::size_t>(size) * size, 0) {
+      sign_(static_cast<std::size_t>(size) * size, 0),
+      weight_plane_(static_cast<std::size_t>(size) * size, 0.0) {
   assert(size > 0);
 }
 
@@ -91,18 +102,24 @@ void Crossbar::program(std::span<const double> weights, int rows, int cols,
       }
       conductance_s_[idx] = g;
       sign_[idx] = sign;
+      // Fold sign * conductance_to_weight into the column-major plane —
+      // exactly the product the kernel used to form per access.
+      weight_plane_[static_cast<std::size_t>(c) * size_ + r] =
+          sign == 0 ? 0.0
+                    : static_cast<double>(sign) *
+                          conductance_to_weight(device_, g);
       if (sign_[idx] != 0) ++programmed_cells_;
     }
   }
   programmed_at_s_ = at_time_s;
   live_rows_ = rows;
   live_cols_ = cols;
+  // New weights / drift coefficients: every elapsed-keyed cache is stale.
+  plane_elapsed_ = -1.0;
 }
 
 double Crossbar::ideal_weight(int row, int col) const {
-  const std::size_t idx = static_cast<std::size_t>(row) * size_ + col;
-  if (sign_[idx] == 0) return 0.0;
-  return sign_[idx] * conductance_to_weight(device_, conductance_s_[idx]);
+  return weight_plane_[static_cast<std::size_t>(col) * size_ + row];
 }
 
 double Crossbar::degradation_factor(double t_s, int ou_rows,
@@ -112,12 +129,6 @@ double Crossbar::degradation_factor(double t_s, int ou_rows,
   const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
   return effective_conductance(device_, elapsed, ou_rows, ou_cols) /
          device_.g_on_s;
-}
-
-double Crossbar::ir_factor(double t_s, int ou_rows, int ou_cols) const {
-  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
-  return effective_conductance(device_, elapsed, ou_rows, ou_cols) /
-         drift_conductance(device_, elapsed);
 }
 
 double Crossbar::ir_factor_at(double t_s, int row_in_ou,
@@ -136,14 +147,72 @@ double Crossbar::cell_drift_factor(std::size_t idx, double elapsed_s) const {
   return std::pow(std::max(elapsed_s, device_.t0_s) / device_.t0_s, -v);
 }
 
+double Crossbar::ensure_planes(double t_s) const {
+  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+  if (elapsed == plane_elapsed_) return elapsed;
+  // Uniform (device-nominal) drift factor — the whole drift story when no
+  // NoiseModel sampled per-cell exponents.
+  uniform_drift_factor_ =
+      std::pow(std::max(elapsed, device_.t0_s) / device_.t0_s,
+               -device_.drift_coefficient);
+  if (ir_model_ == IrModel::kSpatial) {
+    // ir_factor_at depends only on (r_in_ou + c_in_ou), so one diagonal
+    // table covers every OU shape; the kernel indexes it at c + r, which
+    // is unit-stride along the inner row loop.
+    const double g_drift = drift_conductance(device_, elapsed);
+    ir_table_.resize(static_cast<std::size_t>(2 * size_ - 1));
+    for (int s = 0; s < 2 * size_ - 1; ++s) {
+      const double series =
+          device_.r_wire_ohm * static_cast<double>(s + 2);
+      ir_table_[static_cast<std::size_t>(s)] =
+          (1.0 / (1.0 / g_drift + series)) / g_drift;
+    }
+  } else {
+    // Same diagonal trick for the lumped model: ir_factor depends only on
+    // ou_rows + ou_cols, and recomputing it per OU call costs two pows —
+    // which would dominate small-OU passes (a 4x4 sweep of a 128x128
+    // array makes 1024 of them).
+    const double g_drift = drift_conductance(device_, elapsed);
+    lumped_ir_table_.resize(static_cast<std::size_t>(2 * size_ + 1));
+    for (int s = 0; s <= 2 * size_; ++s) {
+      const double series = device_.r_wire_ohm * static_cast<double>(s);
+      lumped_ir_table_[static_cast<std::size_t>(s)] =
+          (1.0 / (1.0 / g_drift + series)) / g_drift;
+    }
+  }
+  if (!drift_coeff_.empty()) {
+    // Per-cell drift: one pow per cell per *distinct timestamp* instead of
+    // per access. eff_plane_ folds the factor into the weight plane so the
+    // noiseless kernel stays a plain dot product.
+    const std::size_t cells = conductance_s_.size();
+    drift_plane_.resize(cells);
+    eff_plane_.resize(cells);
+    for (int c = 0; c < size_; ++c) {
+      for (int r = 0; r < size_; ++r) {
+        const std::size_t rm = static_cast<std::size_t>(r) * size_ + c;
+        const std::size_t cm = static_cast<std::size_t>(c) * size_ + r;
+        const double f = cell_drift_factor(rm, elapsed);
+        drift_plane_[cm] = f;
+        eff_plane_[cm] = weight_plane_[cm] * f;
+      }
+    }
+  }
+  plane_elapsed_ = elapsed;
+  return elapsed;
+}
+
 double Crossbar::effective_weight(int row, int col, double t_s, int ou_rows,
                                   int ou_cols) const {
-  const std::size_t idx = static_cast<std::size_t>(row) * size_ + col;
-  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
-  const double ir = ir_model_ == IrModel::kSpatial
-                        ? ir_factor_at(t_s, row % ou_rows, col % ou_cols)
-                        : ir_factor(t_s, ou_rows, ou_cols);
-  return ideal_weight(row, col) * cell_drift_factor(idx, elapsed) * ir;
+  ensure_planes(t_s);
+  const std::size_t cm = static_cast<std::size_t>(col) * size_ + row;
+  const double drift =
+      drift_coeff_.empty() ? uniform_drift_factor_ : drift_plane_[cm];
+  const double ir =
+      ir_model_ == IrModel::kSpatial
+          ? ir_table_[static_cast<std::size_t>(row % ou_rows +
+                                               col % ou_cols)]
+          : lumped_ir_table_[static_cast<std::size_t>(ou_rows + ou_cols)];
+  return weight_plane_[cm] * drift * ir;
 }
 
 double Crossbar::quantize_adc(double value, double full_scale,
@@ -157,48 +226,121 @@ double Crossbar::quantize_adc(double value, double full_scale,
   return code / levels * 2 * full_scale - full_scale;
 }
 
-std::vector<double> Crossbar::mvm_ou(std::span<const double> input, int row0,
-                                     int ou_rows, int col0, int ou_cols,
-                                     double t_s, int adc_bits) {
-  assert(static_cast<int>(input.size()) == ou_rows);
-  assert(row0 >= 0 && row0 + ou_rows <= size_);
-  assert(col0 >= 0 && col0 + ou_cols <= size_);
-  const double elapsed = std::max(t_s - programmed_at_s_, device_.t0_s);
+void Crossbar::ou_kernel(std::span<const double> input, int row0, int ou_rows,
+                         int col0, int ou_cols, double t_s, int adc_bits,
+                         std::uint64_t epoch, std::span<double> out,
+                         bool accumulate) {
   const bool spatial = ir_model_ == IrModel::kSpatial;
-  const double lumped_ir = spatial ? 1.0 : ir_factor(t_s, ou_rows, ou_cols);
+  const double lumped_ir =
+      spatial ? 1.0
+              : lumped_ir_table_[static_cast<std::size_t>(ou_rows + ou_cols)];
   const bool uniform_drift = drift_coeff_.empty();
-  const double nominal_drift =
-      uniform_drift ? cell_drift_factor(0, elapsed) : 1.0;
-  std::vector<double> out(static_cast<std::size_t>(ou_cols), 0.0);
+  const double nominal_drift = uniform_drift ? uniform_drift_factor_ : 1.0;
+  const double full_scale = static_cast<double>(ou_rows);
+  if (!noise_) {
+    // Dense branch-free path: the plane already holds sign * weight (and
+    // the drift factor when it is per-cell); the inner row loop is a
+    // unit-stride dot product. Zero-sign cells contribute exact zeros, so
+    // the accumulator matches the old skip-if-zero walk bit for bit.
+    const double* plane =
+        (uniform_drift ? weight_plane_ : eff_plane_).data();
+    for (int c = 0; c < ou_cols; ++c) {
+      const double* col =
+          plane + static_cast<std::size_t>(col0 + c) * size_ + row0;
+      double acc = 0.0;
+      if (spatial) {
+        const double* irt = ir_table_.data() + c;  // irt[r] = ir(r + c)
+        for (int r = 0; r < ou_rows; ++r) {
+          const double w = col[r] * irt[r];
+          acc += input[static_cast<std::size_t>(r)] * w;
+        }
+      } else {
+        for (int r = 0; r < ou_rows; ++r)
+          acc += input[static_cast<std::size_t>(r)] * col[r];
+      }
+      acc *= lumped_ir * nominal_drift;
+      const double q = quantize_adc(acc, full_scale, adc_bits);
+      if (accumulate)
+        out[static_cast<std::size_t>(c)] += q;
+      else
+        out[static_cast<std::size_t>(c)] = q;
+    }
+    return;
+  }
+  // Noisy path: conductances are perturbed per access, so the weight
+  // conversion cannot be precomputed — but the drift plane and IR table
+  // still replace the per-cell pow / divisions.
+  const bool counter = read_stream_ == ReadNoiseStream::kCounterBased;
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(size_) * static_cast<std::uint64_t>(size_);
   for (int c = 0; c < ou_cols; ++c) {
+    const std::size_t col_base =
+        static_cast<std::size_t>(col0 + c) * size_ + row0;
+    const double* drift_col =
+        uniform_drift ? nullptr : drift_plane_.data() + col_base;
+    const double* irt = spatial ? ir_table_.data() + c : nullptr;
     double acc = 0.0;
     for (int r = 0; r < ou_rows; ++r) {
       const std::size_t idx =
           static_cast<std::size_t>(row0 + r) * size_ + (col0 + c);
       if (sign_[idx] == 0) continue;
       double g = conductance_s_[idx];
-      if (noise_) g = noise_->read(g);
+      g = counter ? noise_->read_at(g, epoch * cells + idx)
+                  : noise_->read(g);
       double w = sign_[idx] * conductance_to_weight(device_, g);
-      if (!uniform_drift) w *= cell_drift_factor(idx, elapsed);
-      if (spatial) w *= ir_factor_at(t_s, r, c);
+      if (!uniform_drift) w *= drift_col[r];
+      if (spatial) w *= irt[r];
       acc += input[static_cast<std::size_t>(r)] * w;
     }
     acc *= lumped_ir * nominal_drift;
-    out[static_cast<std::size_t>(c)] =
-        quantize_adc(acc, static_cast<double>(ou_rows), adc_bits);
+    const double q = quantize_adc(acc, full_scale, adc_bits);
+    if (accumulate)
+      out[static_cast<std::size_t>(c)] += q;
+    else
+      out[static_cast<std::size_t>(c)] = q;
   }
+}
+
+void Crossbar::mvm_ou(std::span<const double> input, int row0, int ou_rows,
+                      int col0, int ou_cols, double t_s, int adc_bits,
+                      std::span<double> out) {
+  assert(static_cast<int>(input.size()) == ou_rows);
+  assert(static_cast<int>(out.size()) >= ou_cols);
+  assert(row0 >= 0 && row0 + ou_rows <= size_);
+  assert(col0 >= 0 && col0 + ou_cols <= size_);
+  ensure_planes(t_s);
+  std::uint64_t epoch = 0;
+  if (noise_ && read_stream_ == ReadNoiseStream::kCounterBased)
+    epoch = mvm_epoch_++;
+  ou_kernel(input, row0, ou_rows, col0, ou_cols, t_s, adc_bits, epoch, out,
+            /*accumulate=*/false);
+}
+
+std::vector<double> Crossbar::mvm_ou(std::span<const double> input, int row0,
+                                     int ou_rows, int col0, int ou_cols,
+                                     double t_s, int adc_bits) {
+  std::vector<double> out(static_cast<std::size_t>(ou_cols), 0.0);
+  mvm_ou(input, row0, ou_rows, col0, ou_cols, t_s, adc_bits,
+         std::span<double>(out));
   return out;
 }
 
-std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,
-                                  int ou_cols, double t_s, int adc_bits) {
+void Crossbar::mvm(std::span<const double> input, int ou_rows, int ou_cols,
+                   double t_s, int adc_bits, std::span<double> out) {
   assert(static_cast<int>(input.size()) >= live_rows_);
-  std::vector<double> out(static_cast<std::size_t>(live_cols_), 0.0);
+  assert(static_cast<int>(out.size()) >= live_cols_);
+  std::fill(out.begin(), out.begin() + live_cols_, 0.0);
+  ensure_planes(t_s);
+  const bool counter =
+      noise_ && read_stream_ == ReadNoiseStream::kCounterBased;
+  std::uint64_t epoch = 0;
+  if (counter) epoch = mvm_epoch_++;
   // Column blocks write disjoint output ranges, and each column's partial
   // sums accumulate in increasing-r0 order regardless of scheduling, so
-  // results are bitwise identical to the sequential pass. Read noise draws
-  // from the crossbar's single RNG stream, so the noisy path must stay
-  // sequential to preserve the draw order.
+  // results are bitwise identical to the sequential pass. With the legacy
+  // sequential noise stream the draw order pins the OU visit order, so
+  // that path stays sequential; the counter-based stream is
+  // schedule-independent and rides the parallel path.
   const std::size_t col_blocks = static_cast<std::size_t>(
       (live_cols_ + ou_cols - 1) / std::max(ou_cols, 1));
   auto column_block = [&](std::size_t i) {
@@ -208,13 +350,13 @@ std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,
       const int rows = std::min(ou_rows, live_rows_ - r0);
       const std::span<const double> slice{input.data() + r0,
                                           static_cast<std::size_t>(rows)};
-      const auto part = mvm_ou(slice, r0, rows, c0, cols, t_s, adc_bits);
-      for (int c = 0; c < cols; ++c)
-        out[static_cast<std::size_t>(c0 + c)] +=
-            part[static_cast<std::size_t>(c)];
+      ou_kernel(slice, r0, rows, c0, cols, t_s, adc_bits, epoch,
+                out.subspan(static_cast<std::size_t>(c0),
+                            static_cast<std::size_t>(cols)),
+                /*accumulate=*/true);
     }
   };
-  if (noise_) {
+  if (noise_ && !counter) {
     // Original OU visit order (r0 outer), which fixes the RNG draw order.
     for (int r0 = 0; r0 < live_rows_; r0 += ou_rows) {
       const int rows = std::min(ou_rows, live_rows_ - r0);
@@ -222,38 +364,71 @@ std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,
                                           static_cast<std::size_t>(rows)};
       for (int c0 = 0; c0 < live_cols_; c0 += ou_cols) {
         const int cols = std::min(ou_cols, live_cols_ - c0);
-        const auto part = mvm_ou(slice, r0, rows, c0, cols, t_s, adc_bits);
-        for (int c = 0; c < cols; ++c)
-          out[static_cast<std::size_t>(c0 + c)] +=
-              part[static_cast<std::size_t>(c)];
+        ou_kernel(slice, r0, rows, c0, cols, t_s, adc_bits, epoch,
+                  out.subspan(static_cast<std::size_t>(c0),
+                              static_cast<std::size_t>(cols)),
+                  /*accumulate=*/true);
       }
     }
   } else {
-    common::parallel_for(0, col_blocks, 1, column_block);
+    const std::size_t block_cost_ns =
+        static_cast<std::size_t>(live_rows_) *
+        static_cast<std::size_t>(std::max(ou_cols, 1)) *
+        (counter ? kNoisyCellCostNs : kPlaneCellCostNs);
+    common::parallel_for(0, col_blocks, 1, column_block, block_cost_ns);
   }
+}
+
+std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,
+                                  int ou_cols, double t_s, int adc_bits) {
+  std::vector<double> out(static_cast<std::size_t>(live_cols_), 0.0);
+  mvm(input, ou_rows, ou_cols, t_s, adc_bits, std::span<double>(out));
   return out;
 }
 
 std::vector<double> Crossbar::ideal_mvm(std::span<const double> input) const {
   assert(static_cast<int>(input.size()) >= live_rows_);
   std::vector<double> out(static_cast<std::size_t>(live_cols_), 0.0);
-  for (int r = 0; r < live_rows_; ++r) {
-    const double x = input[static_cast<std::size_t>(r)];
-    if (x == 0.0) continue;
-    for (int c = 0; c < live_cols_; ++c)
-      out[static_cast<std::size_t>(c)] += x * ideal_weight(r, c);
+  // Column-major plane walk: per output column the accumulation order over
+  // r is the same increasing-r order the row-major walk produced, so the
+  // result is unchanged — but the inner loop is now a unit-stride dot
+  // product with no per-cell conversion.
+  for (int c = 0; c < live_cols_; ++c) {
+    const double* col =
+        weight_plane_.data() + static_cast<std::size_t>(c) * size_;
+    double acc = 0.0;
+    for (int r = 0; r < live_rows_; ++r)
+      acc += input[static_cast<std::size_t>(r)] * col[r];
+    out[static_cast<std::size_t>(c)] = acc;
   }
   return out;
 }
 
 double Crossbar::weight_rms_error(double t_s, int ou_rows, int ou_cols) const {
   if (live_rows_ == 0 || live_cols_ == 0) return 0.0;
+  ensure_planes(t_s);
+  const bool spatial = ir_model_ == IrModel::kSpatial;
+  const bool uniform_drift = drift_coeff_.empty();
+  const double lumped_ir =
+      spatial ? 1.0
+              : lumped_ir_table_[static_cast<std::size_t>(ou_rows + ou_cols)];
   double acc = 0.0;
   std::int64_t n = 0;
+  // Row-major accumulation order preserved; the per-cell values come from
+  // the planes instead of a pow + divisions per cell.
   for (int r = 0; r < live_rows_; ++r) {
     for (int c = 0; c < live_cols_; ++c) {
-      const double d =
-          ideal_weight(r, c) - effective_weight(r, c, t_s, ou_rows, ou_cols);
+      const std::size_t cm = static_cast<std::size_t>(c) * size_ + r;
+      const double ideal = weight_plane_[cm];
+      const double driftw = uniform_drift
+                                ? ideal * uniform_drift_factor_
+                                : eff_plane_[cm];
+      const double ir =
+          spatial ? ir_table_[static_cast<std::size_t>(r % ou_rows +
+                                                       c % ou_cols)]
+                  : lumped_ir;
+      const double eff = driftw * ir;
+      const double d = ideal - eff;
       acc += d * d;
       ++n;
     }

@@ -8,6 +8,15 @@
 // precision. This is the substrate the Monte-Carlo accuracy evaluator and
 // the micro-benchmarks exercise; the analytical cost models in src/ou do not
 // need cell-level state.
+//
+// Hot-path layout (DESIGN.md §11): the MVM kernel never touches device
+// physics per cell. program() folds sign * conductance_to_weight(g) into a
+// contiguous column-major weight plane; per-cell drift factors and the
+// IR-drop tile are tabulated once per distinct elapsed time and reused by
+// every mvm / weight_rms_error / effective_weight call at that timestamp.
+// The planes are arithmetically identical to what the per-cell walk
+// computed, so kernel outputs are bitwise unchanged (pinned by
+// tests/test_mvm_kernel.cpp against the reference kernel).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +43,20 @@ enum class IrModel {
 
 class Crossbar {
  public:
+  /// Where stochastic read-noise draws come from when a NoiseModel is
+  /// attached.
+  enum class ReadNoiseStream {
+    /// One shared sequential RNG; draw order is the kernel's cell visit
+    /// order, so the noisy MVM must run its OU tiles sequentially. This is
+    /// the legacy stream the seed-compat tests pin.
+    kSequential,
+    /// Counter-based: each draw is a pure function of (seed, cell index,
+    /// mvm epoch), so draws are schedule-independent and the noisy path
+    /// can use the same parallel column-block schedule as the noiseless
+    /// one while staying seed-deterministic.
+    kCounterBased,
+  };
+
   /// A crossbar of `size` x `size` cells. If `noise` is provided, writes and
   /// reads are perturbed stochastically (including any stuck-at-faults its
   /// params enable); otherwise they are deterministic.
@@ -48,6 +71,7 @@ class Crossbar {
   /// corner of the array at absolute time `at_time_s`. Rows/cols beyond the
   /// block keep their previous contents. Resets the drift clock for the
   /// whole array (reprogramming is array-granular, as in the paper).
+  /// Rebuilds the weight plane and invalidates the drift/IR caches.
   void program(std::span<const double> weights, int rows, int cols,
                double at_time_s);
 
@@ -80,6 +104,18 @@ class Crossbar {
 
   IrModel ir_model() const noexcept { return ir_model_; }
 
+  /// Select the read-noise stream (default kSequential, the legacy shared
+  /// RNG). Only meaningful with a NoiseModel attached.
+  void set_read_noise_stream(ReadNoiseStream mode) noexcept {
+    read_stream_ = mode;
+  }
+  ReadNoiseStream read_noise_stream() const noexcept { return read_stream_; }
+
+  /// Build (or refresh) the drift/IR caches for timestamp `t_s`. mvm and
+  /// friends do this lazily; call it explicitly before handing the same
+  /// crossbar to concurrent readers so the first touch does not race.
+  void prepare(double t_s) const { ensure_planes(t_s); }
+
   /// The signed weight a cell would ideally contribute (post-quantization,
   /// no drift / IR-drop / noise).
   double ideal_weight(int row, int col) const;
@@ -100,10 +136,21 @@ class Crossbar {
                              int ou_rows, int col0, int ou_cols, double t_s,
                              int adc_bits);
 
+  /// Allocation-free variant: writes the `ou_cols` column outputs into the
+  /// caller-provided `out` (the steady-state path).
+  void mvm_ou(std::span<const double> input, int row0, int ou_rows, int col0,
+              int ou_cols, double t_s, int adc_bits, std::span<double> out);
+
   /// Full programmed-region MVM composed of (ou_rows x ou_cols) OU passes
   /// with partial sums accumulated digitally (shift-and-add path).
   std::vector<double> mvm(std::span<const double> input, int ou_rows,
                           int ou_cols, double t_s, int adc_bits);
+
+  /// Allocation-free variant: zero-fills out[0, programmed_cols) and
+  /// accumulates the OU partial sums there. `out` must have at least
+  /// programmed_cols() entries.
+  void mvm(std::span<const double> input, int ou_rows, int ou_cols,
+           double t_s, int adc_bits, std::span<double> out);
 
   /// Ideal (float) MVM over the programmed region, for error measurement.
   std::vector<double> ideal_mvm(std::span<const double> input) const;
@@ -115,22 +162,49 @@ class Crossbar {
   int programmed_rows() const noexcept { return live_rows_; }
   int programmed_cols() const noexcept { return live_cols_; }
 
+  /// Raw cell state, row-major (for the pinned reference kernel and
+  /// introspection; the hot path reads the column-major planes instead).
+  std::span<const double> conductances() const noexcept {
+    return conductance_s_;
+  }
+  std::span<const std::int8_t> signs() const noexcept { return sign_; }
+  /// Per-cell drift exponents; empty means the uniform device nominal.
+  std::span<const double> drift_coefficients() const noexcept {
+    return drift_coeff_;
+  }
+
  private:
   /// Uniform (device-nominal) degradation: drift x IR-drop, as a factor.
   double degradation_factor(double t_s, int ou_rows, int ou_cols) const;
-  /// IR-drop-only factor (G_eff / G_drift); the drift part is per cell.
-  /// Lumped across the OU (kLumped) or for a specific cell position within
-  /// it (kSpatial).
-  double ir_factor(double t_s, int ou_rows, int ou_cols) const;
+  /// IR-drop-only factor (G_eff / G_drift) for a specific cell position
+  /// within the OU (kSpatial). The hot paths read the elapsed-keyed tables
+  /// instead: ir_table_ (per cell position) and lumped_ir_table_ (per
+  /// activated OU perimeter rows + cols).
   double ir_factor_at(double t_s, int row_in_ou, int col_in_ou) const;
   /// Per-cell drift factor (t/t0)^(-v_i); uniform v without a NoiseModel.
   double cell_drift_factor(std::size_t idx, double elapsed_s) const;
   double quantize_adc(double value, double full_scale, int adc_bits) const;
 
+  /// Refresh the per-timestamp caches (drift plane, effective plane, IR
+  /// tile, nominal drift factor) if `t_s` maps to a different elapsed time
+  /// than the cached one. Returns the elapsed time. Mutates only the
+  /// `mutable` cache members; not safe against concurrent first touch (see
+  /// prepare()).
+  double ensure_planes(double t_s) const;
+
+  /// The OU kernel proper. Caches must be valid for `t_s` (ensure_planes).
+  /// Writes (accumulate = false) or adds (accumulate = true) the quantized
+  /// column outputs into out[0, ou_cols). `epoch` feeds the counter-based
+  /// read-noise stream and is ignored otherwise.
+  void ou_kernel(std::span<const double> input, int row0, int ou_rows,
+                 int col0, int ou_cols, double t_s, int adc_bits,
+                 std::uint64_t epoch, std::span<double> out, bool accumulate);
+
   int size_;
   DeviceParams device_;
   std::optional<NoiseModel> noise_;
   IrModel ir_model_;
+  ReadNoiseStream read_stream_ = ReadNoiseStream::kSequential;
   std::vector<double> conductance_s_;  ///< programmed magnitudes (siemens)
   std::vector<std::int8_t> sign_;      ///< -1 / 0 / +1 per cell
   std::vector<double> drift_coeff_;    ///< per-cell v (empty = uniform)
@@ -138,6 +212,21 @@ class Crossbar {
   std::vector<double> wear_lifetime_;  ///< campaigns until wear-out (empty =
                                        ///< no endurance model attached)
   std::vector<std::int8_t> wear_polarity_;  ///< CellFault once worn out
+
+  // Precomputed planes (DESIGN.md §11). weight_plane_ is column-major
+  // (plane[c * size + r]) so the kernel's inner row loop is unit-stride; it
+  // is rebuilt eagerly by program(). The drift-dependent caches are keyed
+  // by elapsed-since-programming and rebuilt lazily (mutable: const readers
+  // like weight_rms_error build them on first touch).
+  std::vector<double> weight_plane_;  ///< sign * c2w(g), column-major
+  mutable std::vector<double> drift_plane_;  ///< per-cell (t/t0)^-v, col-major
+  mutable std::vector<double> eff_plane_;    ///< weight * drift, col-major
+  mutable std::vector<double> ir_table_;     ///< ir_factor_at by r+c (kSpatial)
+  mutable std::vector<double> lumped_ir_table_;  ///< ir_factor by R+C
+  mutable double uniform_drift_factor_ = 1.0;
+  mutable double plane_elapsed_ = -1.0;  ///< cache key; < 0 = invalid
+
+  std::uint64_t mvm_epoch_ = 0;  ///< counter-based read-noise epoch
   int program_campaigns_ = 0;
   double programmed_at_s_ = 0.0;
   std::int64_t programmed_cells_ = 0;

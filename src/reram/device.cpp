@@ -14,10 +14,8 @@ double drift_conductance(const DeviceParams& p, double t_s) noexcept {
 double effective_conductance(const DeviceParams& p, double t_s, int rows,
                              int cols, double wire_scale) noexcept {
   assert(rows >= 1 && cols >= 1 && wire_scale > 0.0);
-  const double g_drift = drift_conductance(p, t_s);
-  const double series_r =
-      p.r_wire_ohm * static_cast<double>(rows + cols) * wire_scale;
-  return 1.0 / (1.0 / g_drift + series_r);
+  return effective_conductance_given_drift(p, drift_conductance(p, t_s),
+                                           rows, cols, wire_scale);
 }
 
 double conductance_error(const DeviceParams& p, double t_s, int rows,
@@ -42,21 +40,6 @@ NonIdealityComponents nonideality_components(const DeviceParams& p,
       .drift = (p.g_on_s - g_drift) / p.g_on_s,
       .ir_drop = (g_drift - g_eff) / p.g_on_s,
   };
-}
-
-double quantize_weight_to_conductance(const DeviceParams& p,
-                                      double weight_magnitude) noexcept {
-  const double w = std::clamp(weight_magnitude, 0.0, 1.0);
-  const int top = p.levels() - 1;
-  const int level = static_cast<int>(std::lround(w * top));
-  const double frac = static_cast<double>(level) / static_cast<double>(top);
-  return p.g_off_s + frac * (p.g_on_s - p.g_off_s);
-}
-
-double conductance_to_weight(const DeviceParams& p,
-                             double conductance_s) noexcept {
-  const double frac = (conductance_s - p.g_off_s) / (p.g_on_s - p.g_off_s);
-  return std::clamp(frac, 0.0, 1.0);
 }
 
 }  // namespace odin::reram

@@ -3,6 +3,7 @@
 // and weight <-> multi-level-cell conductance quantization.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "common/units.hpp"
@@ -57,6 +58,21 @@ double drift_conductance(const DeviceParams& p, double t_s) noexcept;
 double effective_conductance(const DeviceParams& p, double t_s, int rows,
                              int cols, double wire_scale = 1.0) noexcept;
 
+/// Eq. 4 with the drift term already evaluated: lets callers that sweep OU
+/// shapes at one fixed elapsed time (the plane/tile caches, the nonideality
+/// cache rebuild) hoist the std::pow out of their loop. Bitwise identical
+/// to effective_conductance(p, t_s, ...) when `g_drift_s` equals
+/// drift_conductance(p, t_s).
+inline double effective_conductance_given_drift(const DeviceParams& p,
+                                                double g_drift_s, int rows,
+                                                int cols,
+                                                double wire_scale = 1.0)
+    noexcept {
+  const double series_r =
+      p.r_wire_ohm * static_cast<double>(rows + cols) * wire_scale;
+  return 1.0 / (1.0 / g_drift_s + series_r);
+}
+
 /// Paper Eq. 4: conductance error  dG = | G_ON - G_eff |.
 double conductance_error(const DeviceParams& p, double t_s, int rows,
                          int cols, double wire_scale = 1.0) noexcept;
@@ -83,11 +99,25 @@ NonIdealityComponents nonideality_components(const DeviceParams& p,
 /// (positive and negative columns, the standard differential encoding).
 /// Returns the conductance the *positive* path programs; the caller holds
 /// the sign. Level 0 maps to G_OFF, the top level to G_ON.
-double quantize_weight_to_conductance(const DeviceParams& p,
-                                      double weight_magnitude) noexcept;
+/// Inline: the crossbar's plane build and the pinned reference kernel both
+/// run this per cell and want it folded into their loops.
+inline double quantize_weight_to_conductance(const DeviceParams& p,
+                                             double weight_magnitude)
+    noexcept {
+  const double w = weight_magnitude < 0.0
+                       ? 0.0
+                       : (weight_magnitude > 1.0 ? 1.0 : weight_magnitude);
+  const int top = p.levels() - 1;
+  const int level = static_cast<int>(std::lround(w * top));
+  const double frac = static_cast<double>(level) / static_cast<double>(top);
+  return p.g_off_s + frac * (p.g_on_s - p.g_off_s);
+}
 
 /// Inverse of quantize_weight_to_conductance: conductance -> magnitude.
-double conductance_to_weight(const DeviceParams& p,
-                             double conductance_s) noexcept;
+inline double conductance_to_weight(const DeviceParams& p,
+                                    double conductance_s) noexcept {
+  const double frac = (conductance_s - p.g_off_s) / (p.g_on_s - p.g_off_s);
+  return frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac);
+}
 
 }  // namespace odin::reram

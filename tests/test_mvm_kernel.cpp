@@ -1,0 +1,307 @@
+// Golden bitwise-equivalence tests for the plane-based MVM kernel
+// (DESIGN.md §11): the restructured hot path must reproduce the original
+// per-cell kernel (tests/reference_kernel.hpp) bit for bit across OU
+// shapes, IR models, heterogeneous drift and fault-injected arrays — plus
+// the cache-invalidation, counter-based-noise and zero-allocation
+// guarantees the restructuring introduced.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/hardware_inference.hpp"
+#include "reference_kernel.hpp"
+#include "reram/crossbar.hpp"
+
+// --- Allocation counter -----------------------------------------------------
+// Counts every global operator new so steady-state paths can assert they
+// allocate nothing. Only the count is instrumented; allocation itself is
+// forwarded to malloc/free.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace odin::reram {
+namespace {
+
+constexpr int kSize = 128;
+constexpr int kLiveRows = 112;  // partial tiles on both axes
+constexpr int kLiveCols = 96;
+constexpr int kAdcBits = 6;
+
+struct OuShape {
+  int rows;
+  int cols;
+};
+constexpr OuShape kShapes[] = {{4, 4}, {8, 4}, {16, 16}, {64, 64}};
+
+std::vector<double> random_block(std::uint64_t seed, int rows, int cols) {
+  common::Rng rng(seed);
+  std::vector<double> w(static_cast<std::size_t>(rows) * cols);
+  for (double& v : w)
+    v = rng.bernoulli(0.4) ? rng.uniform(-1.0, 1.0) : 0.0;
+  return w;
+}
+
+std::vector<double> random_input(std::uint64_t seed, int n) {
+  common::Rng rng(seed);
+  std::vector<double> in(static_cast<std::size_t>(n));
+  for (double& v : in) v = rng.uniform();
+  return in;
+}
+
+Crossbar make_crossbar(IrModel ir, std::optional<NoiseModel> noise,
+                       double program_t = 0.0) {
+  Crossbar x(kSize, DeviceParams{}, std::move(noise), ir);
+  x.program(random_block(9, kLiveRows, kLiveCols), kLiveRows, kLiveCols,
+            program_t);
+  return x;
+}
+
+/// Exact bit-pattern comparison — stricter than EXPECT_EQ on doubles
+/// (which would let +0.0 == -0.0 slide).
+void expect_bitwise(std::span<const double> got,
+                    std::span<const double> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << what << " diverges at column " << i << ": " << got[i] << " vs "
+        << want[i];
+}
+
+/// Compare the crossbar's mvm / mvm_ou / ideal_mvm / weight_rms_error
+/// against the reference kernel at `t_s`.
+void expect_matches_reference(Crossbar& x, double t_s) {
+  const auto in = random_input(11, kSize);
+  for (const OuShape& ou : kShapes) {
+    SCOPED_TRACE(::testing::Message() << "OU " << ou.rows << "x" << ou.cols
+                                      << " t=" << t_s);
+    const auto got = x.mvm(in, ou.rows, ou.cols, t_s, kAdcBits);
+    const auto want = testref::mvm(x, in, ou.rows, ou.cols, t_s, kAdcBits);
+    expect_bitwise(got, want, "mvm");
+  }
+  // One OU window away from the origin (row0/col0 offsets exercised).
+  const auto slice = random_input(13, 16);
+  const auto got_ou = x.mvm_ou(slice, 32, 16, 48, 16, t_s, kAdcBits);
+  const auto want_ou = testref::mvm_ou(x, slice, 32, 16, 48, 16, t_s,
+                                       kAdcBits);
+  expect_bitwise(got_ou, want_ou, "mvm_ou");
+  const auto got_ideal = x.ideal_mvm(in);
+  const auto want_ideal = testref::ideal_mvm(x, in);
+  expect_bitwise(got_ideal, want_ideal, "ideal_mvm");
+  for (const OuShape& ou : kShapes) {
+    const double got_rms = x.weight_rms_error(t_s, ou.rows, ou.cols);
+    const double want_rms = testref::weight_rms_error(x, t_s, ou.rows,
+                                                      ou.cols);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got_rms),
+              std::bit_cast<std::uint64_t>(want_rms))
+        << "weight_rms_error OU " << ou.rows << "x" << ou.cols;
+  }
+}
+
+TEST(MvmKernel, NoiselessMatchesReferenceLumped) {
+  Crossbar x = make_crossbar(IrModel::kLumped, std::nullopt);
+  expect_matches_reference(x, 1.0);
+  expect_matches_reference(x, 3.5e5);
+}
+
+TEST(MvmKernel, NoiselessMatchesReferenceSpatial) {
+  Crossbar x = make_crossbar(IrModel::kSpatial, std::nullopt);
+  expect_matches_reference(x, 1.0);
+  expect_matches_reference(x, 3.5e5);
+}
+
+// Heterogeneous drift: each cell got its own sampled drift exponent at
+// program time. All stochastic *read* magnitudes are zero, so the noisy
+// walk computes exactly the values the reference derives from the stored
+// state (a read draw multiplies by exactly 1.0).
+NoiseParams drift_only_noise() {
+  NoiseParams p;
+  p.program_sigma = 0.02;  // perturbs stored conductance — fine, the
+                           // reference reads the stored value back
+  p.read_sigma = 0.0;
+  p.drift_coeff_sigma = 0.10;
+  return p;
+}
+
+TEST(MvmKernel, PerCellDriftMatchesReference) {
+  for (IrModel ir : {IrModel::kLumped, IrModel::kSpatial}) {
+    Crossbar x = make_crossbar(ir, NoiseModel(drift_only_noise(), 21));
+    ASSERT_FALSE(x.drift_coefficients().empty());
+    expect_matches_reference(x, 1.0);
+    expect_matches_reference(x, 3.5e5);
+  }
+}
+
+TEST(MvmKernel, FaultInjectedMatchesReference) {
+  NoiseParams p = drift_only_noise();
+  p.stuck_on_rate = 0.02;
+  p.stuck_off_rate = 0.03;
+  for (IrModel ir : {IrModel::kLumped, IrModel::kSpatial}) {
+    Crossbar x = make_crossbar(ir, NoiseModel(p, 33));
+    ASSERT_GT(x.faulty_cells(), 0);
+    expect_matches_reference(x, 3.5e5);
+  }
+}
+
+TEST(MvmKernel, EffectiveWeightMatchesReference) {
+  for (IrModel ir : {IrModel::kLumped, IrModel::kSpatial}) {
+    Crossbar x = make_crossbar(ir, NoiseModel(drift_only_noise(), 21));
+    for (int r : {0, 7, 63, kLiveRows - 1}) {
+      for (int c : {0, 5, 50, kLiveCols - 1}) {
+        const double got = x.effective_weight(r, c, 2.0e4, 16, 16);
+        const double want = testref::effective_weight(x, r, c, 2.0e4, 16, 16);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                  std::bit_cast<std::uint64_t>(want))
+            << "cell (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+// --- Cache invalidation -----------------------------------------------------
+
+TEST(MvmKernel, PlaneCacheTracksTimestampChanges) {
+  Crossbar x = make_crossbar(IrModel::kSpatial,
+                             NoiseModel(drift_only_noise(), 21));
+  const auto in = random_input(11, kSize);
+  const auto at_t1 = x.mvm(in, 16, 16, 1.0, kAdcBits);
+  expect_bitwise(at_t1, testref::mvm(x, in, 16, 16, 1.0, kAdcBits),
+                 "t1 first visit");
+  const auto at_t2 = x.mvm(in, 16, 16, 2.0e6, kAdcBits);
+  expect_bitwise(at_t2, testref::mvm(x, in, 16, 16, 2.0e6, kAdcBits),
+                 "t2 after t1");
+  // Drift must actually have moved the output, otherwise the test is
+  // vacuous.
+  bool moved = false;
+  for (std::size_t i = 0; i < at_t1.size(); ++i)
+    if (at_t1[i] != at_t2[i]) moved = true;
+  EXPECT_TRUE(moved);
+  // Round-trip back to t1: the rebuilt cache reproduces the first visit
+  // exactly.
+  const auto at_t1_again = x.mvm(in, 16, 16, 1.0, kAdcBits);
+  expect_bitwise(at_t1_again, at_t1, "t1 revisited");
+}
+
+TEST(MvmKernel, ReprogramInvalidatesPlanes) {
+  Crossbar x = make_crossbar(IrModel::kLumped, std::nullopt);
+  const auto in = random_input(11, kSize);
+  const auto before = x.mvm(in, 16, 16, 5.0e5, kAdcBits);
+  // New weights at a later absolute time: both the weight plane and the
+  // elapsed-keyed caches must refresh.
+  x.program(random_block(77, kLiveRows, kLiveCols), kLiveRows, kLiveCols,
+            1.0e5);
+  const auto after = x.mvm(in, 16, 16, 5.0e5, kAdcBits);
+  expect_bitwise(after, testref::mvm(x, in, 16, 16, 5.0e5, kAdcBits),
+                 "post-reprogram");
+  bool moved = false;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    if (before[i] != after[i]) moved = true;
+  EXPECT_TRUE(moved);
+}
+
+// --- Counter-based read-noise stream ----------------------------------------
+
+NoiseParams read_noise_only() {
+  NoiseParams p;
+  p.program_sigma = 0.0;
+  p.read_sigma = 0.05;  // large enough to survive ADC quantization
+  p.drift_coeff_sigma = 0.0;
+  return p;
+}
+
+TEST(MvmKernel, DefaultStreamIsSequential) {
+  Crossbar x(kSize, DeviceParams{}, NoiseModel(read_noise_only(), 5));
+  EXPECT_EQ(x.read_noise_stream(), Crossbar::ReadNoiseStream::kSequential);
+}
+
+TEST(MvmKernel, CounterStreamIsScheduleIndependent) {
+  const auto in = random_input(11, kSize);
+  auto run = [&](int threads) {
+    common::ThreadPool::instance().set_threads(threads);
+    Crossbar x = make_crossbar(IrModel::kSpatial,
+                               NoiseModel(read_noise_only(), 5));
+    x.set_read_noise_stream(Crossbar::ReadNoiseStream::kCounterBased);
+    // Two epochs: outputs must be reproducible per epoch regardless of
+    // schedule, and distinct across epochs (fresh draws).
+    auto first = x.mvm(in, 16, 16, 1.0, 12);
+    auto second = x.mvm(in, 16, 16, 1.0, 12);
+    return std::pair(first, second);
+  };
+  const int hw = common::ThreadPool::instance().threads();
+  const auto parallel = run(4);
+  const auto sequential = run(1);
+  common::ThreadPool::instance().set_threads(hw);
+  expect_bitwise(parallel.first, sequential.first, "epoch 0");
+  expect_bitwise(parallel.second, sequential.second, "epoch 1");
+  bool epoch_moves = false;
+  for (std::size_t i = 0; i < parallel.first.size(); ++i)
+    if (parallel.first[i] != parallel.second[i]) epoch_moves = true;
+  EXPECT_TRUE(epoch_moves) << "successive epochs reuse identical draws";
+}
+
+TEST(MvmKernel, CounterDrawsArePureFunctionsOfTheStream) {
+  NoiseModel noise(read_noise_only(), 5);
+  const double g = 200e-6;
+  EXPECT_EQ(noise.read_at(g, 42), noise.read_at(g, 42));
+  EXPECT_NE(noise.read_at(g, 42), noise.read_at(g, 43));
+}
+
+// --- Zero allocation in steady state ----------------------------------------
+
+TEST(MvmKernel, SpanMvmDoesNotAllocateInSteadyState) {
+  Crossbar x = make_crossbar(IrModel::kSpatial, std::nullopt);
+  const auto in = random_input(11, kSize);
+  std::vector<double> out(static_cast<std::size_t>(kLiveCols));
+  x.mvm(in, 16, 16, 2.0, kAdcBits, out);  // warm caches (and the pool)
+  const std::uint64_t before = g_allocations.load();
+  for (int rep = 0; rep < 8; ++rep) x.mvm(in, 16, 16, 2.0, kAdcBits, out);
+  x.mvm_ou(std::span<const double>(in).subspan(0, 16), 0, 16, 0, 16, 2.0,
+           kAdcBits, out);
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "span mvm/mvm_ou allocated on a warm cache";
+}
+
+}  // namespace
+}  // namespace odin::reram
+
+namespace odin::core {
+namespace {
+
+TEST(MvmKernel, ForwardPassDoesNotAllocateInSteadyState) {
+  nn::MultiHeadMlp model(
+      nn::MlpConfig{.inputs = 48, .hidden = {32}, .heads = {10}}, 5);
+  HardwareMlpRunner hw(model, reram::DeviceParams{}, 64);
+  std::vector<double> input(48);
+  common::Rng rng(3);
+  for (double& v : input) v = rng.uniform();
+  (void)hw.predict(input, {16, 16}, 1.0);  // warm scratch + planes
+  const std::uint64_t before = g_allocations.load();
+  int votes = 0;
+  for (int rep = 0; rep < 8; ++rep) votes += hw.predict(input, {16, 16}, 1.0);
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "predict allocated in steady state (votes " << votes << ")";
+}
+
+}  // namespace
+}  // namespace odin::core

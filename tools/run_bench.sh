@@ -1,33 +1,39 @@
 #!/usr/bin/env bash
-# Parallel-layer benchmark harness.
+# Benchmark harness.
 #
-# Runs the google-benchmark microbenches (micro_mvm, micro_search_overhead)
-# plus the two macro arms (fig8_edp_all_dnns, batching_throughput) under
-# ODIN_THREADS=1 and ODIN_THREADS=<N>, and merges everything into
-# BENCH_parallel.json at the repo root with per-mode wall clocks and the
-# resulting speedups. Also runs the fault-injection campaign arm
-# (fault_campaign), which writes BENCH_faults.json directly.
+# Configures and builds a Release tree (debug-build timings are
+# meaningless for the kernel comparisons), runs the google-benchmark
+# microbenches (micro_mvm, micro_search_overhead) plus the two macro arms
+# (fig8_edp_all_dnns, batching_throughput) under ODIN_THREADS=1 and
+# ODIN_THREADS=<N>, and merges everything into BENCH_parallel.json at the
+# repo root with per-mode wall clocks and the resulting speedups. The
+# single-thread micro_mvm run is additionally paired old-kernel-vs-new
+# (the BM_*Reference twins time the pinned per-cell kernel) into
+# BENCH_mvm_kernel.json. Also runs the fault-injection campaign arm
+# (fault_campaign), which writes BENCH_faults.json directly. Every emitted
+# JSON records the build type and git revision it was measured from.
 #
 # Usage: tools/run_bench.sh [build-dir] [threads]
-#   build-dir  defaults to <repo>/build
+#   build-dir  defaults to <repo>/build-release (configured Release here)
 #   threads    defaults to nproc (the "parallel" arm; 1 is always run too)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$REPO/build}"
+BUILD="${1:-$REPO/build-release}"
 THREADS="${2:-$(nproc)}"
 OUT="$REPO/BENCH_parallel.json"
+KERNEL_OUT="$REPO/BENCH_mvm_kernel.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for bin in micro_mvm micro_search_overhead fig8_edp_all_dnns \
-           batching_throughput fault_campaign; do
-  if [ ! -x "$BUILD/bench/$bin" ]; then
-    echo "error: $BUILD/bench/$bin missing — build first:" >&2
-    echo "  cmake -B $BUILD -S $REPO && cmake --build $BUILD -j" >&2
-    exit 1
-  fi
-done
+echo "[bench] configuring Release build in $BUILD" >&2
+cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release >"$TMP/cmake.log"
+cmake --build "$BUILD" -j --target \
+    micro_mvm micro_search_overhead fig8_edp_all_dnns \
+    batching_throughput fault_campaign >"$TMP/build.log"
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+GIT_SHA="$(git -C "$REPO" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 run_micro() {  # $1 = binary name, $2 = ODIN_THREADS
   echo "[bench] $1 (ODIN_THREADS=$2)" >&2
@@ -59,12 +65,14 @@ FIG8_PAR=$(wall_clock fig8_edp_all_dnns "$THREADS")
 BATCH_SEQ=$(wall_clock batching_throughput 1)
 BATCH_PAR=$(wall_clock batching_throughput "$THREADS")
 
-python3 - "$OUT" "$THREADS" "$TMP" \
+python3 - "$OUT" "$KERNEL_OUT" "$THREADS" "$TMP" "$BUILD_TYPE" "$GIT_SHA" \
     "$FIG8_SEQ" "$FIG8_PAR" "$BATCH_SEQ" "$BATCH_PAR" <<'PY'
 import json, os, sys
 
-out, threads, tmp = sys.argv[1], int(sys.argv[2]), sys.argv[3]
-fig8_seq, fig8_par, batch_seq, batch_par = map(float, sys.argv[4:8])
+out, kernel_out = sys.argv[1], sys.argv[2]
+threads, tmp = int(sys.argv[3]), sys.argv[4]
+build_type, git_sha = sys.argv[5], sys.argv[6]
+fig8_seq, fig8_par, batch_seq, batch_par = map(float, sys.argv[7:11])
 
 def load(name, t):
     with open(os.path.join(tmp, f"{name}_t{t}.json")) as f:
@@ -78,6 +86,8 @@ def benchmarks(doc):
     }
 
 report = {
+    "build_type": build_type,
+    "git_sha": git_sha,
     "threads": threads,
     "host_cpus": os.cpu_count(),
     "micro": {},
@@ -109,4 +119,41 @@ with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(f"[bench] wrote {out}")
+
+# Old-vs-new kernel table: every BM_<x>Reference/<args> run pairs with the
+# plane-based BM_<x>/<args> from the same single-thread binary run.
+single = benchmarks(load("micro_mvm", 1))
+pairs = {}
+for name, ref in single.items():
+    base, slash, args = name.partition("/")
+    if not base.endswith("Reference"):
+        continue
+    new_name = base[: -len("Reference")] + slash + args
+    new = single.get(new_name)
+    if new is None:
+        continue
+    pairs[new_name] = {
+        "time_unit": new["time_unit"],
+        "old_real_time": ref["real_time"],
+        "new_real_time": new["real_time"],
+        "speedup": (ref["real_time"] / new["real_time"]
+                    if new["real_time"] > 0 else None),
+    }
+
+kernel_report = {
+    "build_type": build_type,
+    "git_sha": git_sha,
+    "threads": 1,
+    "note": "old = pinned per-cell reference kernel, new = precomputed "
+            "effective-weight planes; single-thread (ODIN_THREADS=1)",
+    "kernels": pairs,
+}
+with open(kernel_out, "w") as f:
+    json.dump(kernel_report, f, indent=2)
+    f.write("\n")
+print(f"[bench] wrote {kernel_out}")
+for name, row in sorted(pairs.items()):
+    print(f"[bench]   {name}: {row['old_real_time']:.1f} -> "
+          f"{row['new_real_time']:.1f} {row['time_unit']} "
+          f"({row['speedup']:.2f}x)")
 PY
