@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the serving-state checkpoint (core/checkpoint) to detect torn or
+// corrupted writes before any payload byte is trusted. Not cryptographic —
+// it guards against disk/crash corruption, not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odin::common {
+
+/// CRC of `size` bytes at `data`. Chain blocks by passing the previous
+/// result as `seed` (standard init/finalize xor handled internally).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace odin::common

@@ -1,0 +1,349 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/crc32.hpp"
+
+namespace odin::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'D', 'I', 'N', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+/// Frame: magic(8) + version(4) + sequence(8) + payload size(8) + crc(4).
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 4;
+/// Refuse absurd payloads before allocating (a corrupt size field must not
+/// drive a multi-gigabyte read).
+constexpr std::uint64_t kMaxPayload = 1ull << 30;
+
+void encode_energy(const common::EnergyLatency& e, common::ByteWriter& out) {
+  out.f64(e.energy_j);
+  out.f64(e.latency_s);
+}
+
+common::EnergyLatency decode_energy(common::ByteReader& in) {
+  common::EnergyLatency e;
+  e.energy_j = in.f64();
+  e.latency_s = in.f64();
+  return e;
+}
+
+void encode_entries(const std::vector<policy::ReplayBuffer::Entry>& entries,
+                    common::ByteWriter& out) {
+  out.u64(entries.size());
+  for (const auto& e : entries) {
+    for (double v : e.features.to_array()) out.f64(v);
+    out.i32(e.best.rows);
+    out.i32(e.best.cols);
+  }
+}
+
+bool decode_entries(common::ByteReader& in,
+                    std::vector<policy::ReplayBuffer::Entry>& entries) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > (1u << 24)) return false;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    policy::ReplayBuffer::Entry e;
+    e.features.layer_position = in.f64();
+    e.features.sparsity = in.f64();
+    e.features.kernel = in.f64();
+    e.features.log_time = in.f64();
+    e.best.rows = in.i32();
+    e.best.cols = in.i32();
+    entries.push_back(e);
+  }
+  return in.ok();
+}
+
+void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
+  out.str(t.name);
+  out.i32(t.runs);
+  out.i32(t.reprograms);
+  out.i32(t.mismatches);
+  out.i32(t.retries);
+  out.i32(t.degraded_runs);
+  out.i32(t.updates_accepted);
+  out.i32(t.updates_rejected);
+  out.i32(t.updates_rolled_back);
+  out.i64(t.buffer_dropped);
+  out.i64(t.buffer_quarantined);
+  encode_energy(t.inference, out);
+  encode_energy(t.reprogram, out);
+}
+
+TenantStats decode_tenant(common::ByteReader& in) {
+  TenantStats t;
+  t.name = in.str();
+  t.runs = in.i32();
+  t.reprograms = in.i32();
+  t.mismatches = in.i32();
+  t.retries = in.i32();
+  t.degraded_runs = in.i32();
+  t.updates_accepted = in.i32();
+  t.updates_rejected = in.i32();
+  t.updates_rolled_back = in.i32();
+  t.buffer_dropped = in.i64();
+  t.buffer_quarantined = in.i64();
+  t.inference = decode_energy(in);
+  t.reprogram = decode_energy(in);
+  return t;
+}
+
+void encode_controller(const ControllerSnapshot& c, common::ByteWriter& out) {
+  out.f64(c.programmed_at_s);
+  out.i32(c.reprogram_count);
+  out.i32(c.update_count);
+  out.f64(c.health_fraction);
+  out.boolean(c.degraded);
+  out.f64(c.eta_scale);
+  out.i32(c.retry_count);
+  out.i32(c.degraded_runs);
+  out.i32(c.updates_accepted);
+  out.i32(c.updates_rejected);
+  out.i32(c.updates_rolled_back);
+  out.i32(c.probation_left);
+  out.i64(c.probation_mismatches);
+  out.i64(c.probation_layers);
+  out.f64(c.pre_update_rate);
+  out.f64(c.mismatch_rate_ema);
+  encode_entries(c.buffer_entries, out);
+  encode_entries(c.buffer_quarantine, out);
+  encode_entries(c.last_update_batch, out);
+  out.u64(c.buffer_dropped);
+  out.u64(c.buffer_quarantine_hits);
+  out.str(c.policy_blob);
+  out.str(c.last_good_blob);
+}
+
+bool decode_controller(common::ByteReader& in, ControllerSnapshot& c) {
+  c.programmed_at_s = in.f64();
+  c.reprogram_count = in.i32();
+  c.update_count = in.i32();
+  c.health_fraction = in.f64();
+  c.degraded = in.boolean();
+  c.eta_scale = in.f64();
+  c.retry_count = in.i32();
+  c.degraded_runs = in.i32();
+  c.updates_accepted = in.i32();
+  c.updates_rejected = in.i32();
+  c.updates_rolled_back = in.i32();
+  c.probation_left = in.i32();
+  c.probation_mismatches = in.i64();
+  c.probation_layers = in.i64();
+  c.pre_update_rate = in.f64();
+  c.mismatch_rate_ema = in.f64();
+  if (!decode_entries(in, c.buffer_entries)) return false;
+  if (!decode_entries(in, c.buffer_quarantine)) return false;
+  if (!decode_entries(in, c.last_update_batch)) return false;
+  c.buffer_dropped = in.u64();
+  c.buffer_quarantine_hits = in.u64();
+  c.policy_blob = in.str();
+  c.last_good_blob = in.str();
+  return in.ok();
+}
+
+std::string slot_path(const std::string& base, int slot) {
+  return base + (slot == 0 ? ".a" : ".b");
+}
+
+/// Frame checksum over sequence + payload size + payload, so a bit flip in
+/// the header's mutable fields (not just the payload) is detected too.
+std::uint32_t frame_crc(std::uint64_t sequence, const std::string& payload) {
+  common::ByteWriter meta;
+  meta.u64(sequence);
+  meta.u64(payload.size());
+  const std::uint32_t seed =
+      common::crc32(meta.bytes().data(), meta.bytes().size());
+  return common::crc32(payload.data(), payload.size(), seed);
+}
+
+/// Header fields of one framed file; nullopt when the frame is invalid.
+struct Frame {
+  std::uint64_t sequence = 0;
+  std::string payload;
+};
+
+std::optional<Frame> read_frame(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char header[kHeaderSize];
+  if (!in.read(header, static_cast<std::streamsize>(kHeaderSize)))
+    return std::nullopt;
+  common::ByteReader hr(std::string_view(header, kHeaderSize));
+  char magic[8];
+  for (char& m : magic) m = static_cast<char>(hr.u8());
+  if (std::string_view(magic, 8) != std::string_view(kMagic, 8))
+    return std::nullopt;
+  if (hr.u32() != kVersion) return std::nullopt;
+  Frame frame;
+  frame.sequence = hr.u64();
+  const std::uint64_t size = hr.u64();
+  const std::uint32_t crc = hr.u32();
+  if (size > kMaxPayload) return std::nullopt;
+  frame.payload.resize(size);
+  if (!in.read(frame.payload.data(), static_cast<std::streamsize>(size)))
+    return std::nullopt;  // torn write: payload shorter than the header says
+  if (frame_crc(frame.sequence, frame.payload) != crc)
+    return std::nullopt;  // bit rot / partial overwrite
+  return frame;
+}
+
+bool write_frame(const std::string& path, std::uint64_t sequence,
+                 const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    common::ByteWriter header;
+    for (char m : kMagic) header.u8(static_cast<std::uint8_t>(m));
+    header.u32(kVersion);
+    header.u64(sequence);
+    header.u64(payload.size());
+    header.u32(frame_crc(sequence, payload));
+    out.write(header.bytes().data(),
+              static_cast<std::streamsize>(header.bytes().size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) return false;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Flush file contents to stable storage before the rename publishes it;
+  // a crash between rename and data reaching disk must not produce a slot
+  // whose header is durable but whose payload is not (the CRC would catch
+  // it, but the previous checkpoint would be lost for nothing).
+  if (std::FILE* f = std::fopen(tmp.c_str(), "rb")) {
+    fsync(fileno(f));
+    std::fclose(f);
+  }
+#endif
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+void encode_checkpoint(const ServingCheckpoint& ckpt,
+                       common::ByteWriter& out) {
+  out.u64(ckpt.segment);
+  out.u64(ckpt.next_run);
+  out.i32(ckpt.segments);
+  out.i32(ckpt.horizon_runs);
+  out.f64(ckpt.t_start_s);
+  out.f64(ckpt.t_end_s);
+  out.u64(ckpt.tenant_names.size());
+  for (const std::string& name : ckpt.tenant_names) out.str(name);
+  out.str(ckpt.result.label);
+  out.u64(ckpt.result.tenants.size());
+  for (const TenantStats& t : ckpt.result.tenants) encode_tenant(t, out);
+  encode_energy(ckpt.result.programming, out);
+  out.i32(ckpt.result.switches);
+  out.i32(ckpt.result.policy_updates);
+  encode_controller(ckpt.controller, out);
+  out.boolean(ckpt.has_faults);
+  out.i32(ckpt.wear.campaigns);
+  out.i32(ckpt.wear.stuck_cells);
+  out.i32(ckpt.wear.failed_wordlines);
+  out.i32(ckpt.wear.failed_bitlines);
+  out.u64(ckpt.health_maps.size());
+  for (const reram::CrossbarHealth& h : ckpt.health_maps)
+    reram::encode_health(h, out);
+}
+
+std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in) {
+  ServingCheckpoint ckpt;
+  ckpt.segment = in.u64();
+  ckpt.next_run = in.u64();
+  ckpt.segments = in.i32();
+  ckpt.horizon_runs = in.i32();
+  ckpt.t_start_s = in.f64();
+  ckpt.t_end_s = in.f64();
+  const std::uint64_t names = in.u64();
+  if (!in.ok() || names > (1u << 16)) return std::nullopt;
+  for (std::uint64_t i = 0; i < names; ++i)
+    ckpt.tenant_names.push_back(in.str());
+  ckpt.result.label = in.str();
+  const std::uint64_t tenants = in.u64();
+  if (!in.ok() || tenants > (1u << 16)) return std::nullopt;
+  for (std::uint64_t i = 0; i < tenants; ++i)
+    ckpt.result.tenants.push_back(decode_tenant(in));
+  ckpt.result.programming = decode_energy(in);
+  ckpt.result.switches = in.i32();
+  ckpt.result.policy_updates = in.i32();
+  ckpt.result.resumed = true;
+  if (!decode_controller(in, ckpt.controller)) return std::nullopt;
+  ckpt.has_faults = in.boolean();
+  ckpt.wear.campaigns = in.i32();
+  ckpt.wear.stuck_cells = in.i32();
+  ckpt.wear.failed_wordlines = in.i32();
+  ckpt.wear.failed_bitlines = in.i32();
+  const std::uint64_t maps = in.u64();
+  if (!in.ok() || maps > (1u << 16)) return std::nullopt;
+  for (std::uint64_t i = 0; i < maps; ++i) {
+    auto health = reram::decode_health(in);
+    if (!health.has_value()) return std::nullopt;
+    ckpt.health_maps.push_back(std::move(*health));
+  }
+  if (!in.ok()) return std::nullopt;
+  return ckpt;
+}
+
+CheckpointWriter::CheckpointWriter(std::string base_path)
+    : base_(std::move(base_path)) {
+  // Continue the sequence across restarts and aim the first write at the
+  // slot that is stale (or invalid) so the newest good checkpoint is never
+  // the one being overwritten.
+  std::uint64_t seq[2] = {0, 0};
+  bool valid[2] = {false, false};
+  for (int slot = 0; slot < 2; ++slot)
+    if (const auto frame = read_frame(slot_path(base_, slot))) {
+      seq[slot] = frame->sequence;
+      valid[slot] = true;
+    }
+  sequence_ = std::max(seq[0], seq[1]);
+  if (valid[0] && (!valid[1] || seq[0] > seq[1]))
+    next_slot_ = 1;
+  else
+    next_slot_ = 0;
+}
+
+bool CheckpointWriter::write(ServingCheckpoint& ckpt) {
+  ckpt.sequence = sequence_ + 1;
+  common::ByteWriter payload;
+  encode_checkpoint(ckpt, payload);
+  if (!write_frame(slot_path(base_, next_slot_), ckpt.sequence,
+                   payload.bytes()))
+    return false;
+  sequence_ = ckpt.sequence;
+  next_slot_ = 1 - next_slot_;
+  return true;
+}
+
+std::optional<ServingCheckpoint> load_checkpoint_file(
+    const std::string& path) {
+  const auto frame = read_frame(path);
+  if (!frame.has_value()) return std::nullopt;
+  common::ByteReader reader(frame->payload);
+  auto ckpt = decode_checkpoint(reader);
+  if (ckpt.has_value()) ckpt->sequence = frame->sequence;
+  return ckpt;
+}
+
+std::optional<ServingCheckpoint> load_latest_checkpoint(
+    const std::string& base_path) {
+  std::optional<ServingCheckpoint> best;
+  for (int slot = 0; slot < 2; ++slot) {
+    auto ckpt = load_checkpoint_file(slot_path(base_path, slot));
+    if (ckpt.has_value() &&
+        (!best.has_value() || ckpt->sequence > best->sequence))
+      best = std::move(ckpt);
+  }
+  return best;
+}
+
+}  // namespace odin::core

@@ -1,0 +1,107 @@
+// Crash-safe checkpoint/restore of the multi-tenant serving state.
+//
+// A production serving process must survive being killed at any moment: the
+// adapted policy, the replay buffer (including quarantined batches), the
+// drift clock, the guardrail's probation state, the accumulated per-tenant
+// energy/latency totals and the device's wear history are all state that a
+// restart would otherwise silently reset. This layer persists all of it.
+//
+// Durability contract (DESIGN.md §12):
+//  * framed & checksummed — a fixed header (magic, version, sequence,
+//    payload size, CRC-32 of the payload) is validated before any payload
+//    byte is trusted, so a torn or bit-flipped file is detected, never
+//    parsed;
+//  * atomic — each write goes to `<slot>.tmp`, is flushed (fsync where
+//    available), then renamed over the slot, so a crash mid-write leaves
+//    the previous slot contents intact;
+//  * double-buffered — writes alternate between `<base>.a` and `<base>.b`;
+//    the loader picks the valid slot with the highest sequence number and
+//    falls back to the other when the newest write was torn. Two
+//    independent failures are required to lose all serving state.
+//
+// The device's stochastic wear state is NOT serialized bit-by-bit: the
+// FaultInjector's randomness is a pure function of (seed, campaign count),
+// so the checkpoint stores the campaign-count fingerprint and resume
+// replays it (FaultInjector::fast_forward), verifying the fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.hpp"
+#include "core/odin.hpp"
+#include "core/serving.hpp"
+#include "reram/fault_injection.hpp"
+
+namespace odin::core {
+
+/// The complete serving state at a run boundary. `segment`/`next_run`
+/// locate the resume point: the next inference to execute is
+/// schedule[next_run] inside `segment` (whose tenant-switch programming
+/// already happened and is already accounted in `result`).
+struct ServingCheckpoint {
+  /// Monotone write counter (assigned by CheckpointWriter).
+  std::uint64_t sequence = 0;
+  /// Resume position.
+  std::uint64_t segment = 0;
+  std::uint64_t next_run = 0;
+  /// Configuration fingerprint — resume refuses a checkpoint taken under a
+  /// different horizon/segment layout or tenant set.
+  int segments = 0;
+  int horizon_runs = 0;
+  double t_start_s = 0.0;
+  double t_end_s = 0.0;
+  std::vector<std::string> tenant_names;
+  /// Accumulated serving totals up to (but excluding) next_run.
+  ServingResult result;
+  /// The in-flight controller (policy, buffer, guard, drift clock).
+  ControllerSnapshot controller;
+  /// Device wear fingerprint (meaningful when has_faults).
+  bool has_faults = false;
+  reram::FaultInjector::WearState wear;
+  /// Measured per-crossbar health maps from the last read-verify, when the
+  /// serving path tracks them (may be empty).
+  std::vector<reram::CrossbarHealth> health_maps;
+};
+
+/// Payload codec (no framing). decode returns nullopt on truncation or a
+/// version/shape mismatch; framing and CRC are the file layer's job.
+void encode_checkpoint(const ServingCheckpoint& ckpt,
+                       common::ByteWriter& out);
+std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in);
+
+/// Double-buffered atomic checkpoint file pair (`<base>.a` / `<base>.b`).
+/// Construction scans existing slots so sequence numbers keep increasing
+/// across process restarts and the next write targets the older slot.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string base_path);
+
+  /// Serialize + frame `ckpt` (its `sequence` is overwritten with the next
+  /// number) and atomically replace the older slot. Returns false on I/O
+  /// failure (the previous slots are untouched).
+  bool write(ServingCheckpoint& ckpt);
+
+  std::uint64_t last_sequence() const noexcept { return sequence_; }
+  const std::string& base_path() const noexcept { return base_; }
+
+ private:
+  std::string base_;
+  std::uint64_t sequence_ = 0;
+  int next_slot_ = 0;  ///< 0 = ".a", 1 = ".b"
+};
+
+/// Parse and validate one checkpoint file: header magic/version, payload
+/// size, CRC, then payload decode. nullopt on any failure.
+std::optional<ServingCheckpoint> load_checkpoint_file(
+    const std::string& path);
+
+/// Load the newest valid checkpoint of the `<base>.a`/`<base>.b` pair. A
+/// corrupt or torn slot is skipped and the other slot is used — this is the
+/// crash-fallback path the fuzz tests exercise.
+std::optional<ServingCheckpoint> load_latest_checkpoint(
+    const std::string& base_path);
+
+}  // namespace odin::core

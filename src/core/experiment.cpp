@@ -110,6 +110,12 @@ AggregateResult simulate_odin(OdinController& controller,
   }
   agg.reprograms = controller.reprogram_count();
   agg.policy_updates = controller.update_count();
+  agg.updates_accepted = controller.updates_accepted();
+  agg.updates_rejected = controller.updates_rejected();
+  agg.updates_rolled_back = controller.updates_rolled_back();
+  agg.buffer_dropped = static_cast<long long>(controller.buffer_dropped());
+  agg.buffer_quarantined =
+      static_cast<long long>(controller.buffer_quarantined());
   if (overhead != nullptr)
     agg.inference.energy_j +=
         overhead->total_update_energy_j(agg.policy_updates);

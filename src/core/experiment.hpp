@@ -84,6 +84,12 @@ struct AggregateResult {
   int searches_skipped = 0;  ///< entropy-gated layers (0 for baselines)
   int program_retries = 0;   ///< extra write-verify attempts (Odin only)
   int degraded_runs = 0;     ///< runs served in degraded mode (Odin only)
+  /// Update-guardrail counters (Odin only; zero while the guard is off).
+  int updates_accepted = 0;
+  int updates_rejected = 0;
+  int updates_rolled_back = 0;
+  long long buffer_dropped = 0;      ///< replay-buffer saturation drops
+  long long buffer_quarantined = 0;  ///< entries held in quarantine at end
   common::EnergyLatency inference;  ///< incl. NoC and prediction overhead
   common::EnergyLatency reprogram;
 

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/binary_io.hpp"
 #include "core/accuracy.hpp"
+#include "policy/serialization.hpp"
 #include "reram/fault_injection.hpp"
 
 namespace odin::core {
@@ -189,9 +191,13 @@ RunResult OdinController::run_inference(double t_s) {
 
     // Entropy-gate extension: a confident, feasible policy prediction is
     // executed without invoking the search (and produces no training
-    // example — the gate only opens when the policy has converged).
+    // example — the gate only opens when the policy has converged). The
+    // gate stays closed while a promotion is on probation: probation is an
+    // audit of the freshly promoted policy, and a confidently *wrong*
+    // policy (e.g. one retrained inside a drift burst) would otherwise
+    // skip the very searches that expose its mispredictions.
     const bool gated =
-        config_.entropy_gate >= 0.0 &&
+        config_.entropy_gate >= 0.0 && probation_left_ == 0 &&
         policy_.prediction_entropy(phi) < config_.entropy_gate &&
         ctx.feasible(decision.policy_choice);
     if (gated) {
@@ -227,13 +233,236 @@ RunResult OdinController::run_inference(double t_s) {
     run.decisions.push_back(decision);
   }
 
-  if (buffer_.full()) {  // line 11
+  observe_mismatch_rate(run, layer_count);
+  // A controller on probation defers retraining until the verdict on the
+  // last promotion is in (overflowing examples are dropped and counted),
+  // so a rollback target is never itself an unvetted policy.
+  if (probation_left_ == 0)
+    maybe_update_policy(run, drift_s, fault_nf);  // line 11, guarded
+  run.buffer_dropped = buffer_.dropped();
+  return run;
+}
+
+void OdinController::observe_mismatch_rate(RunResult& run, int layer_count) {
+  const GuardPolicy& gp = config_.guard;
+  if (probation_left_ > 0) {
+    probation_mismatches_ += run.mismatches;
+    probation_layers_ += layer_count;
+    if (--probation_left_ == 0) {
+      const double rate =
+          static_cast<double>(probation_mismatches_) /
+          static_cast<double>(std::max<long long>(probation_layers_, 1));
+      const double threshold = std::max(
+          gp.rollback_rate_floor, gp.rollback_rate_factor * pre_update_rate_);
+      if (rate > threshold && last_good_policy_.has_value()) {
+        // The promotion looked fine in shadow but mispredicts massively in
+        // live traffic (e.g. it was trained and evaluated inside a drift
+        // burst that has since passed): reinstate the last-known-good
+        // policy and quarantine the batch that taught the bad behaviour.
+        policy_ = last_good_policy_->clone();
+        buffer_.quarantine_batch(last_update_batch_);
+        ++updates_rolled_back_;
+        run.update_rolled_back = true;
+        mismatch_rate_ema_ = pre_update_rate_;
+      }
+      last_good_policy_.reset();
+      last_update_batch_.clear();
+      probation_mismatches_ = probation_layers_ = 0;
+    }
+    return;
+  }
+  const double run_rate = layer_count > 0
+                              ? static_cast<double>(run.mismatches) /
+                                    static_cast<double>(layer_count)
+                              : 0.0;
+  mismatch_rate_ema_ =
+      (1.0 - gp.rate_alpha) * mismatch_rate_ema_ + gp.rate_alpha * run_rate;
+}
+
+void OdinController::maybe_update_policy(RunResult& run, double drift_s,
+                                         double fault_nf) {
+  if (!buffer_.full()) return;
+  const GuardPolicy& gp = config_.guard;
+  if (!gp.enabled) {  // vanilla Algorithm 1: promote unconditionally
     policy_.train(buffer_.to_dataset(grid_), config_.update_options);
     buffer_.reset();
     ++update_count_;
+    ++updates_accepted_;
     run.policy_updated = true;
+    return;
   }
-  return run;
+
+  // Holdout split: every stride-th entry is withheld from the retrain and
+  // scores candidate-vs-incumbent label agreement.
+  const std::vector<policy::ReplayBuffer::Entry> batch = buffer_.entries();
+  const int stride = std::max(
+      2, static_cast<int>(std::lround(
+             1.0 / std::clamp(gp.holdout_fraction, 0.05, 0.5))));
+  nn::Dataset train_data;
+  std::vector<policy::ReplayBuffer::Entry> holdout;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (static_cast<int>(i % static_cast<std::size_t>(stride)) ==
+        stride - 1)
+      holdout.push_back(batch[i]);
+    else
+      policy::OuPolicy::append_example(train_data, batch[i].features, grid_,
+                                       batch[i].best);
+  }
+
+  policy::OuPolicy candidate = policy_.clone();
+  if (train_data.size() > 0)
+    candidate.train(train_data, config_.update_options);
+
+  // Shadow evaluation: holdout agreement plus the current tenant's layer
+  // set at the current drift (the exact contexts the next runs will see).
+  const int layer_count = static_cast<int>(model_->layer_count());
+  struct Score {
+    double holdout_acc = 1.0;
+    double edp = 0.0;
+    double feasible_rate = 1.0;
+    bool sane = true;
+  };
+  auto score = [&](policy::OuPolicy& p) {
+    Score s;
+    if (!holdout.empty()) {
+      int agree = 0;
+      for (const auto& e : holdout)
+        if (p.predict(e.features) == e.best) ++agree;
+      s.holdout_acc =
+          static_cast<double>(agree) / static_cast<double>(holdout.size());
+    }
+    int feasible = 0;
+    for (std::size_t j = 0; j < model_->layer_count(); ++j) {
+      const auto& layer = model_->model().layers[j];
+      const policy::Features phi =
+          policy::extract_features(layer, layer_count, drift_s);
+      const ou::OuConfig cfg = p.predict(phi);
+      const ou::LayerContext ctx{
+          .mapping = &model_->mapping(j),
+          .cost = cost_,
+          .nonideal = nonideal_,
+          .grid = &grid_,
+          .cache = &nf_cache_,
+          .elapsed_s = drift_s,
+          .sensitivity =
+              nonideal_->layer_sensitivity(layer.index, layer_count),
+          .nf_floor = fault_nf,
+          .eta_scale = eta_scale_,
+      };
+      s.edp += ctx.edp(cfg);
+      if (ctx.feasible(cfg)) ++feasible;
+      const double entropy = p.prediction_entropy(phi);
+      s.sane = s.sane && std::isfinite(entropy) && entropy >= 0.0 &&
+               entropy <= 1.0 + 1e-9;
+    }
+    s.feasible_rate = layer_count > 0 ? static_cast<double>(feasible) /
+                                            static_cast<double>(layer_count)
+                                      : 1.0;
+    s.sane = s.sane && std::isfinite(s.edp);
+    return s;
+  };
+
+  const Score inc = score(policy_);
+  const Score cand = score(candidate);
+  const bool accepted =
+      candidate.weights_finite() && cand.sane &&
+      cand.holdout_acc >= inc.holdout_acc - gp.holdout_slack &&
+      cand.edp <= inc.edp * (1.0 + gp.max_edp_regression) &&
+      cand.feasible_rate >= inc.feasible_rate - gp.max_feasibility_drop;
+
+  if (accepted) {
+    last_good_policy_ = policy_.clone();
+    last_update_batch_ = batch;
+    policy_ = std::move(candidate);
+    buffer_.reset();
+    ++update_count_;
+    ++updates_accepted_;
+    run.policy_updated = true;
+    probation_left_ = std::max(gp.probation_runs, 0);
+    probation_mismatches_ = probation_layers_ = 0;
+    pre_update_rate_ = mismatch_rate_ema_;
+    if (probation_left_ == 0) {  // probation disabled: promote outright
+      last_good_policy_.reset();
+      last_update_batch_.clear();
+    }
+  } else {
+    buffer_.quarantine_contents();
+    ++updates_rejected_;
+    run.update_rejected = true;
+  }
+}
+
+ControllerSnapshot OdinController::snapshot() {
+  ControllerSnapshot s;
+  s.programmed_at_s = programmed_at_s_;
+  s.reprogram_count = reprogram_count_;
+  s.update_count = update_count_;
+  s.health_fraction = health_fraction_;
+  s.degraded = degraded_;
+  s.eta_scale = eta_scale_;
+  s.retry_count = retry_count_;
+  s.degraded_runs = degraded_runs_;
+  s.updates_accepted = updates_accepted_;
+  s.updates_rejected = updates_rejected_;
+  s.updates_rolled_back = updates_rolled_back_;
+  s.probation_left = probation_left_;
+  s.probation_mismatches = probation_mismatches_;
+  s.probation_layers = probation_layers_;
+  s.pre_update_rate = pre_update_rate_;
+  s.mismatch_rate_ema = mismatch_rate_ema_;
+  s.buffer_entries = buffer_.entries();
+  s.buffer_quarantine = buffer_.quarantined_entries();
+  s.last_update_batch = last_update_batch_;
+  s.buffer_dropped = buffer_.dropped();
+  s.buffer_quarantine_hits = buffer_.quarantine_hits();
+  common::ByteWriter policy_bytes;
+  policy::save_policy_binary(policy_, policy_bytes);
+  s.policy_blob = policy_bytes.bytes();
+  if (last_good_policy_.has_value()) {
+    common::ByteWriter last_good_bytes;
+    policy::save_policy_binary(*last_good_policy_, last_good_bytes);
+    s.last_good_blob = last_good_bytes.bytes();
+  }
+  return s;
+}
+
+bool OdinController::restore(const ControllerSnapshot& s) {
+  common::ByteReader policy_bytes(s.policy_blob);
+  std::optional<policy::OuPolicy> restored =
+      policy::load_policy_binary(policy_bytes);
+  if (!restored.has_value() ||
+      restored->grid().crossbar_size() != grid_.crossbar_size())
+    return false;
+  std::optional<policy::OuPolicy> last_good;
+  if (!s.last_good_blob.empty()) {
+    common::ByteReader last_good_bytes(s.last_good_blob);
+    last_good = policy::load_policy_binary(last_good_bytes);
+    if (!last_good.has_value() ||
+        last_good->grid().crossbar_size() != grid_.crossbar_size())
+      return false;
+  }
+  policy_ = std::move(*restored);
+  last_good_policy_ = std::move(last_good);
+  programmed_at_s_ = s.programmed_at_s;
+  reprogram_count_ = s.reprogram_count;
+  update_count_ = s.update_count;
+  health_fraction_ = s.health_fraction;
+  degraded_ = s.degraded;
+  eta_scale_ = s.eta_scale;
+  retry_count_ = s.retry_count;
+  degraded_runs_ = s.degraded_runs;
+  updates_accepted_ = s.updates_accepted;
+  updates_rejected_ = s.updates_rejected;
+  updates_rolled_back_ = s.updates_rolled_back;
+  probation_left_ = s.probation_left;
+  probation_mismatches_ = s.probation_mismatches;
+  probation_layers_ = s.probation_layers;
+  pre_update_rate_ = s.pre_update_rate;
+  mismatch_rate_ema_ = s.mismatch_rate_ema;
+  buffer_.restore(s.buffer_entries, s.buffer_quarantine, s.buffer_dropped,
+                  s.buffer_quarantine_hits);
+  last_update_batch_ = s.last_update_batch;
+  return true;
 }
 
 }  // namespace odin::core

@@ -20,6 +20,9 @@
 //      it (line 11).
 #pragma once
 
+#include <cstddef>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -65,6 +68,43 @@ struct FaultPolicy {
   double accuracy_floor = 0.75;
 };
 
+/// Guardrail for the online policy update (extension over Algorithm 1's
+/// unconditional line-11 retrain). A retrained candidate is first
+/// shadow-evaluated against the incumbent — on a holdout slice of the
+/// replay buffer and on the current tenant's layer set at the current
+/// drift — and promoted only when it does not regress; a promoted
+/// candidate then serves a probation window during which a mismatch-rate
+/// explosion rolls the controller back to the last-known-good policy.
+/// Rejected and rolled-back batches are quarantined in the replay buffer
+/// so poisoned supervision (e.g. labels recorded inside a drift burst) is
+/// not re-learned. Off by default: vanilla Algorithm 1 promotes every
+/// retrain, which keeps the paper-faithful loop bit-identical.
+struct GuardPolicy {
+  bool enabled = false;
+  /// Fraction of buffer entries held out of the retrain and used to score
+  /// candidate vs incumbent label agreement.
+  double holdout_fraction = 0.25;
+  /// Candidate holdout accuracy may fall below the incumbent's by at most
+  /// this before the update is rejected (the candidate trained on the
+  /// batch should at least match the incumbent on held-out labels).
+  double holdout_slack = 0.10;
+  /// Shadow EDP over the tenant's layer set: the candidate's predicted
+  /// configurations may cost at most (1 + this) x the incumbent's.
+  double max_edp_regression = 0.05;
+  /// DeltaG-feasibility rate over the layer set: the candidate's rate may
+  /// fall below the incumbent's by at most this.
+  double max_feasibility_drop = 0.0;
+  /// Post-promotion probation: number of runs to watch before the update
+  /// is declared last-known-good.
+  int probation_runs = 6;
+  /// Roll back when the probation mismatch rate exceeds
+  /// max(rollback_rate_floor, rollback_rate_factor x pre-update EMA rate).
+  double rollback_rate_factor = 3.0;
+  double rollback_rate_floor = 0.60;
+  /// Smoothing of the trailing per-run mismatch-rate EMA.
+  double rate_alpha = 0.2;
+};
+
 struct OdinConfig {
   SearchKind search = SearchKind::kResourceBounded;
   int search_steps = 3;  ///< the paper's K
@@ -78,6 +118,7 @@ struct OdinConfig {
   /// at all. Negative disables the gate (vanilla Algorithm 1).
   double entropy_gate = -1.0;
   FaultPolicy fault{};
+  GuardPolicy guard{};
 };
 
 struct LayerDecision {
@@ -91,7 +132,12 @@ struct RunResult {
   double time_s = 0.0;
   double elapsed_s = 0.0;  ///< since last programming, after any reprogram
   bool reprogrammed = false;
-  bool policy_updated = false;
+  bool policy_updated = false;  ///< a retrain was promoted this run
+  /// Guardrail surface: a retrain was rejected by the shadow evaluation /
+  /// a promoted update was reverted at the end of its probation window.
+  bool update_rejected = false;
+  bool update_rolled_back = false;
+  std::size_t buffer_dropped = 0;  ///< cumulative buffer-full drops so far
   int mismatches = 0;
   int searches_skipped = 0;  ///< layers served by the entropy gate
   /// Fault-recovery surface of this run.
@@ -105,6 +151,39 @@ struct RunResult {
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
   std::vector<LayerDecision> decisions;  ///< one per layer
+};
+
+/// Resumable controller state: everything run_inference mutates, with the
+/// policies captured as binary blobs (policy/serialization). Produced by
+/// OdinController::snapshot and consumed by restore; the serving checkpoint
+/// (core/checkpoint) embeds one of these verbatim.
+struct ControllerSnapshot {
+  double programmed_at_s = 0.0;
+  int reprogram_count = 0;
+  int update_count = 0;
+  double health_fraction = 0.0;
+  bool degraded = false;
+  double eta_scale = 1.0;
+  int retry_count = 0;
+  int degraded_runs = 0;
+  /// Guardrail state.
+  int updates_accepted = 0;
+  int updates_rejected = 0;
+  int updates_rolled_back = 0;
+  int probation_left = 0;
+  long long probation_mismatches = 0;
+  long long probation_layers = 0;
+  double pre_update_rate = 0.0;
+  double mismatch_rate_ema = 0.0;
+  /// Replay-buffer state.
+  std::vector<policy::ReplayBuffer::Entry> buffer_entries;
+  std::vector<policy::ReplayBuffer::Entry> buffer_quarantine;
+  std::vector<policy::ReplayBuffer::Entry> last_update_batch;
+  std::size_t buffer_dropped = 0;
+  std::size_t buffer_quarantine_hits = 0;
+  /// Policies (save_policy_binary blobs; last_good empty when absent).
+  std::string policy_blob;
+  std::string last_good_blob;
 };
 
 class OdinController {
@@ -127,6 +206,21 @@ class OdinController {
   int reprogram_count() const noexcept { return reprogram_count_; }
   int update_count() const noexcept { return update_count_; }
   double programmed_at_s() const noexcept { return programmed_at_s_; }
+  /// Guardrail counters (accepted == update_count when the guard is off).
+  int updates_accepted() const noexcept { return updates_accepted_; }
+  int updates_rejected() const noexcept { return updates_rejected_; }
+  int updates_rolled_back() const noexcept { return updates_rolled_back_; }
+  /// Replay-buffer observability.
+  std::size_t buffer_dropped() const noexcept { return buffer_.dropped(); }
+  std::size_t buffer_quarantined() const noexcept {
+    return buffer_.quarantined();
+  }
+
+  /// Capture / reinstate the full mutable state (crash-safe serving).
+  /// restore returns false when a policy blob fails to decode; the
+  /// controller is left unchanged in that case.
+  ControllerSnapshot snapshot();
+  bool restore(const ControllerSnapshot& snap);
   /// Fault-recovery state.
   bool degraded() const noexcept { return degraded_; }
   int retry_count() const noexcept { return retry_count_; }
@@ -169,6 +263,22 @@ class OdinController {
   double eta_scale_ = 1.0;  ///< ratcheting relaxation factor (>= 1)
   int retry_count_ = 0;
   int degraded_runs_ = 0;
+  /// Guardrail state (see GuardPolicy). The incumbent that a promotion
+  /// displaced is kept until its successor survives probation; the batch
+  /// that trained the promotion is kept so a rollback can quarantine it.
+  int updates_accepted_ = 0;
+  int updates_rejected_ = 0;
+  int updates_rolled_back_ = 0;
+  int probation_left_ = 0;
+  long long probation_mismatches_ = 0;
+  long long probation_layers_ = 0;
+  double pre_update_rate_ = 0.0;
+  double mismatch_rate_ema_ = 0.0;
+  std::optional<policy::OuPolicy> last_good_policy_;
+  std::vector<policy::ReplayBuffer::Entry> last_update_batch_;
+
+  void observe_mismatch_rate(RunResult& run, int layer_count);
+  void maybe_update_policy(RunResult& run, double drift_s, double fault_nf);
 };
 
 }  // namespace odin::core

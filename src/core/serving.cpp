@@ -1,8 +1,10 @@
 #include "core/serving.hpp"
 
 #include <cassert>
+#include <memory>
 
 #include "common/parallel.hpp"
+#include "core/checkpoint.hpp"
 #include "reram/fault_injection.hpp"
 
 namespace odin::core {
@@ -37,6 +39,36 @@ int ServingResult::total_degraded_runs() const noexcept {
   return n;
 }
 
+int ServingResult::total_updates_accepted() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.updates_accepted;
+  return n;
+}
+
+int ServingResult::total_updates_rejected() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.updates_rejected;
+  return n;
+}
+
+int ServingResult::total_updates_rolled_back() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.updates_rolled_back;
+  return n;
+}
+
+long long ServingResult::total_buffer_dropped() const noexcept {
+  long long n = 0;
+  for (const TenantStats& s : tenants) n += s.buffer_dropped;
+  return n;
+}
+
+long long ServingResult::total_buffer_quarantined() const noexcept {
+  long long n = 0;
+  for (const TenantStats& s : tenants) n += s.buffer_quarantined;
+  return n;
+}
+
 namespace {
 
 /// Contiguous segment boundaries over the run schedule.
@@ -64,11 +96,18 @@ common::EnergyLatency full_programming_cost(const ou::MappedModel& model,
 
 }  // namespace
 
-ServingResult serve_with_odin(
-    std::vector<const ou::MappedModel*> tenants,
+namespace {
+
+/// One driver for both the fresh and the resumed walk. `resume` (optional)
+/// positions the walk mid-horizon: totals start from the checkpointed
+/// result, the first segment skips its (already charged) switch
+/// programming, and the controller state is reinstated verbatim. Returns
+/// nullopt only when a resume checkpoint fails to reinstate.
+std::optional<ServingResult> serve_odin_impl(
+    std::vector<const ou::MappedModel*>& tenants,
     const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
     policy::OuPolicy initial_policy, const ServingConfig& config,
-    reram::FaultInjector* faults) {
+    reram::FaultInjector* faults, const ServingCheckpoint* resume) {
   assert(!tenants.empty());
   ServingResult result;
   result.label = "Odin";
@@ -89,37 +128,166 @@ ServingResult serve_with_odin(
         return full_programming_cost(*tenants[s % tenants.size()], cost);
       });
 
+  std::size_t s0 = 0;
+  std::size_t i0 = 0;
+  if (resume != nullptr) {
+    result = resume->result;
+    result.resumed = true;
+    s0 = static_cast<std::size_t>(resume->segment);
+    i0 = static_cast<std::size_t>(resume->next_run);
+    if (s0 >= bounds.size() || i0 < bounds[s0].first ||
+        i0 > bounds[s0].second)
+      return std::nullopt;
+  }
+
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!config.checkpoint.base_path.empty())
+    writer = std::make_unique<CheckpointWriter>(config.checkpoint.base_path);
+
+  auto make_checkpoint = [&](std::size_t seg, std::size_t next_run,
+                             OdinController& controller) {
+    ServingCheckpoint ckpt;
+    ckpt.segment = seg;
+    ckpt.next_run = next_run;
+    ckpt.segments = config.segments;
+    ckpt.horizon_runs = config.horizon.runs;
+    ckpt.t_start_s = config.horizon.t_start_s;
+    ckpt.t_end_s = config.horizon.t_end_s;
+    for (const ou::MappedModel* t : tenants)
+      ckpt.tenant_names.push_back(t->model().name);
+    ckpt.result = result;
+    ckpt.controller = controller.snapshot();
+    if (faults != nullptr) {
+      ckpt.has_faults = true;
+      ckpt.wear = faults->wear_state();
+    }
+    return ckpt;
+  };
+
+  int invocation_runs = 0;  ///< runs served by THIS process (max_runs cap)
+  int runs_since_ckpt = 0;
+  bool stopped = false;
+
   policy::OuPolicy policy = std::move(initial_policy);
-  for (std::size_t s = 0; s < bounds.size(); ++s) {
+  for (std::size_t s = s0; s < bounds.size() && !stopped; ++s) {
     const std::size_t tenant_idx = s % tenants.size();
     const ou::MappedModel& tenant = *tenants[tenant_idx];
     TenantStats& stats = result.tenants[tenant_idx];
+    const bool resuming = resume != nullptr && s == s0;
 
-    // Tenant switch: the incoming network's weights are programmed onto
-    // the arrays (drift clock starts fresh at the segment's first run).
-    // That programming is itself a wear campaign on the shared device.
-    result.programming += switch_costs[s];
-    ++result.switches;
-    if (faults != nullptr) faults->program_campaign();
+    if (!resuming) {
+      // Tenant switch: the incoming network's weights are programmed onto
+      // the arrays (drift clock starts fresh at the segment's first run).
+      // That programming is itself a wear campaign on the shared device.
+      // A resumed first segment already paid this before the checkpoint
+      // (its campaign is part of the replayed wear fingerprint).
+      result.programming += switch_costs[s];
+      ++result.switches;
+      if (faults != nullptr) faults->program_campaign();
+    }
 
     OdinController controller(tenant, nonideal, cost, policy.clone(),
                               config.odin, faults);
-    // Align the controller's drift clock with the programming moment.
-    controller.reset_drift_clock(schedule[bounds[s].first]);
-    for (std::size_t i = bounds[s].first; i < bounds[s].second; ++i) {
+    if (resuming) {
+      if (!controller.restore(resume->controller)) return std::nullopt;
+    } else {
+      // Align the controller's drift clock with the programming moment.
+      controller.reset_drift_clock(schedule[bounds[s].first]);
+    }
+
+    const std::size_t seg_start = resuming ? i0 : bounds[s].first;
+    for (std::size_t i = seg_start; i < bounds[s].second; ++i) {
       const RunResult run = controller.run_inference(schedule[i]);
       stats.inference += run.inference;
       stats.reprogram += run.reprogram;
       stats.mismatches += run.mismatches;
       stats.degraded_runs += run.degraded ? 1 : 0;
       ++stats.runs;
+      ++invocation_runs;
+      ++runs_since_ckpt;
+
+      // The horizon's very last run needs no checkpoint; everything else
+      // checkpoints on the period, and a max_runs stop forces a final
+      // write so the simulated crash loses nothing.
+      const bool horizon_done =
+          s + 1 == bounds.size() && i + 1 == bounds[s].second;
+      const bool budget_hit =
+          config.max_runs > 0 && invocation_runs >= config.max_runs;
+      const bool periodic = writer != nullptr &&
+                            config.checkpoint.every_runs > 0 &&
+                            runs_since_ckpt >= config.checkpoint.every_runs;
+      if (!horizon_done && (budget_hit || periodic)) {
+        if (writer != nullptr) {
+          ServingCheckpoint ckpt = make_checkpoint(s, i + 1, controller);
+          writer->write(ckpt);
+          runs_since_ckpt = 0;
+        }
+        if (budget_hit) {
+          // Partial return: the in-flight segment's controller counters
+          // are not folded in (they are accounted at segment end, which
+          // this segment has not reached); the checkpoint carries them.
+          stopped = true;
+          break;
+        }
+      }
     }
+    if (stopped) break;
     stats.reprograms += controller.reprogram_count();
     stats.retries += controller.retry_count();
+    stats.updates_accepted += controller.updates_accepted();
+    stats.updates_rejected += controller.updates_rejected();
+    stats.updates_rolled_back += controller.updates_rolled_back();
+    stats.buffer_dropped +=
+        static_cast<long long>(controller.buffer_dropped());
+    stats.buffer_quarantined +=
+        static_cast<long long>(controller.buffer_quarantined());
     result.policy_updates += controller.update_count();
     policy = controller.policy().clone();  // carry the learning forward
   }
   return result;
+}
+
+}  // namespace
+
+ServingResult serve_with_odin(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    policy::OuPolicy initial_policy, const ServingConfig& config,
+    reram::FaultInjector* faults) {
+  auto result = serve_odin_impl(tenants, nonideal, cost,
+                                std::move(initial_policy), config, faults,
+                                nullptr);
+  assert(result.has_value());  // only a resume checkpoint can fail
+  return std::move(*result);
+}
+
+std::optional<ServingResult> resume_with_odin(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    const ServingCheckpoint& ckpt, const ServingConfig& config,
+    reram::FaultInjector* faults) {
+  assert(!tenants.empty());
+  // Fingerprint validation: the checkpoint must have been taken under this
+  // exact horizon/segment layout and tenant set.
+  if (ckpt.segments != config.segments ||
+      ckpt.horizon_runs != config.horizon.runs ||
+      ckpt.t_start_s != config.horizon.t_start_s ||
+      ckpt.t_end_s != config.horizon.t_end_s)
+    return std::nullopt;
+  if (ckpt.tenant_names.size() != tenants.size()) return std::nullopt;
+  for (std::size_t i = 0; i < tenants.size(); ++i)
+    if (ckpt.tenant_names[i] != tenants[i]->model().name)
+      return std::nullopt;
+  if (ckpt.result.tenants.size() != tenants.size()) return std::nullopt;
+  // Device wear: replay the campaign history on the caller's freshly
+  // seeded injector and verify the fingerprint.
+  if (ckpt.has_faults != (faults != nullptr)) return std::nullopt;
+  if (faults != nullptr && !faults->fast_forward(ckpt.wear))
+    return std::nullopt;
+
+  const ou::OuLevelGrid grid(tenants.front()->crossbar_size());
+  return serve_odin_impl(tenants, nonideal, cost, policy::OuPolicy(grid),
+                         config, faults, &ckpt);
 }
 
 ServingResult serve_with_homogeneous(

@@ -15,12 +15,23 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 
 namespace odin::core {
+
+/// Periodic crash-safe checkpointing of the Odin serving walk (see
+/// core/checkpoint.hpp for the file format and durability contract).
+struct CheckpointConfig {
+  /// Base path of the double-buffered pair (`<base>.a` / `<base>.b`).
+  /// Empty disables checkpointing.
+  std::string base_path;
+  /// Write a checkpoint after every N inference runs (>= 1).
+  int every_runs = 25;
+};
 
 struct ServingConfig {
   HorizonConfig horizon{};
@@ -29,6 +40,12 @@ struct ServingConfig {
   /// once).
   int segments = 6;
   OdinConfig odin{};
+  CheckpointConfig checkpoint{};
+  /// Crash-simulation hook: when > 0, serve at most this many inference
+  /// runs in this invocation (a final checkpoint is forced when
+  /// checkpointing is enabled) and return the partial result. 0 = serve
+  /// the whole horizon.
+  int max_runs = 0;
 };
 
 struct TenantStats {
@@ -38,6 +55,14 @@ struct TenantStats {
   int mismatches = 0;
   int retries = 0;        ///< extra write-verify attempts on this tenant
   int degraded_runs = 0;  ///< runs this tenant served in degraded mode
+  /// Update-guardrail surface (zero while the guard is disabled).
+  int updates_accepted = 0;
+  int updates_rejected = 0;
+  int updates_rolled_back = 0;
+  /// Replay-buffer observability: examples dropped at saturation and
+  /// entries held in quarantine while serving this tenant.
+  long long buffer_dropped = 0;
+  long long buffer_quarantined = 0;
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
 };
@@ -48,6 +73,9 @@ struct ServingResult {
   common::EnergyLatency programming;  ///< tenant-switch (re)programming
   int switches = 0;
   int policy_updates = 0;
+  /// True when this result was produced by resuming from a checkpoint
+  /// (totals include the pre-crash prefix).
+  bool resumed = false;
 
   common::EnergyLatency total() const noexcept;
   double total_edp() const noexcept { return total().edp(); }
@@ -55,6 +83,11 @@ struct ServingResult {
   int total_runs() const noexcept;
   int total_retries() const noexcept;
   int total_degraded_runs() const noexcept;
+  int total_updates_accepted() const noexcept;
+  int total_updates_rejected() const noexcept;
+  int total_updates_rolled_back() const noexcept;
+  long long total_buffer_dropped() const noexcept;
+  long long total_buffer_quarantined() const noexcept;
 };
 
 /// Serve `tenants` (non-owning; must outlive the call) with one adapting
@@ -75,6 +108,20 @@ ServingResult serve_with_homogeneous(
     std::vector<const ou::MappedModel*> tenants,
     const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
     ou::OuConfig ou, const ServingConfig& config = {},
+    reram::FaultInjector* faults = nullptr);
+
+struct ServingCheckpoint;  // core/checkpoint.hpp
+
+/// Continue an interrupted serve_with_odin from `ckpt` (typically obtained
+/// via load_latest_checkpoint). `config` and `tenants` must match the
+/// original invocation (validated against the checkpoint's fingerprint) and
+/// `faults`, when used originally, must be a freshly constructed injector
+/// with the original seed/schedule — its wear is replayed and verified.
+/// Returns nullopt when the checkpoint does not match this configuration.
+std::optional<ServingResult> resume_with_odin(
+    std::vector<const ou::MappedModel*> tenants,
+    const ou::NonIdealityModel& nonideal, const ou::OuCostModel& cost,
+    const ServingCheckpoint& ckpt, const ServingConfig& config = {},
     reram::FaultInjector* faults = nullptr);
 
 }  // namespace odin::core

@@ -1,12 +1,28 @@
 #include "policy/buffer.hpp"
 
+#include <algorithm>
+
 #include "policy/policy.hpp"
 
 namespace odin::policy {
 
-void ReplayBuffer::add(const Features& features, ou::OuConfig best) {
-  if (full()) return;
-  entries_.push_back({features, best});
+bool ReplayBuffer::is_quarantined(const Entry& entry) const noexcept {
+  return std::find(quarantine_.begin(), quarantine_.end(), entry) !=
+         quarantine_.end();
+}
+
+bool ReplayBuffer::add(const Features& features, ou::OuConfig best) {
+  const Entry entry{features, best};
+  if (is_quarantined(entry)) {
+    ++quarantine_hits_;
+    return false;
+  }
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  entries_.push_back(entry);
+  return true;
 }
 
 nn::Dataset ReplayBuffer::to_dataset(const ou::OuLevelGrid& grid) const {
@@ -22,6 +38,26 @@ nn::Dataset ReplayBuffer::to_dataset(const ou::OuLevelGrid& grid) const {
     data.labels[1].push_back(grid.level_of(entries_[i].best.cols));
   }
   return data;
+}
+
+void ReplayBuffer::quarantine_contents() {
+  quarantine_batch(entries_);
+  entries_.clear();
+}
+
+void ReplayBuffer::quarantine_batch(const std::vector<Entry>& batch) {
+  for (const Entry& e : batch)
+    if (!is_quarantined(e)) quarantine_.push_back(e);
+}
+
+void ReplayBuffer::restore(std::vector<Entry> entries,
+                           std::vector<Entry> quarantined,
+                           std::size_t dropped,
+                           std::size_t quarantine_hits) {
+  entries_ = std::move(entries);
+  quarantine_ = std::move(quarantined);
+  dropped_ = dropped;
+  quarantine_hits_ = quarantine_hits;
 }
 
 }  // namespace odin::policy

@@ -3,6 +3,17 @@
 // Stores (Phi, (R,C)*) pairs produced when the policy's decision disagrees
 // with the search's best decision. When full (paper: 50 entries, 0.35 KB),
 // the aggregated examples retrain the policy and the buffer is reset.
+//
+// Two robustness extensions over the paper's buffer:
+//  * saturation is observable — examples arriving while the buffer is full
+//    cannot be stored (the hardware buffer cannot grow), and every such
+//    drop is counted so serving can surface it instead of losing the
+//    signal silently;
+//  * quarantine — when a retrain produced from the buffer's contents is
+//    rejected or rolled back by the update guardrail (core/odin), the
+//    offending batch is moved to a quarantine set and `add` refuses
+//    byte-identical examples from then on, so poisoned supervision labels
+//    (e.g. from a drift-burst window) are not re-learned.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +27,16 @@ namespace odin::policy {
 
 class ReplayBuffer {
  public:
+  struct Entry {
+    Features features;
+    ou::OuConfig best;
+
+    bool operator==(const Entry& other) const noexcept {
+      return features.to_array() == other.features.to_array() &&
+             best == other.best;
+    }
+  };
+
   explicit ReplayBuffer(std::size_t capacity = 50) : capacity_(capacity) {}
 
   std::size_t capacity() const noexcept { return capacity_; }
@@ -23,22 +44,48 @@ class ReplayBuffer {
   bool full() const noexcept { return entries_.size() >= capacity_; }
   bool empty() const noexcept { return entries_.empty(); }
 
-  /// Adds an example; silently drops when already full (the hardware buffer
-  /// cannot grow — the update fires before more examples are produced).
-  void add(const Features& features, ou::OuConfig best);
+  /// Adds an example. Quarantined examples are refused; when the buffer is
+  /// already full the example is dropped and counted. Returns whether the
+  /// example was stored.
+  bool add(const Features& features, ou::OuConfig best);
+
+  /// Examples that arrived while the buffer was full (cumulative).
+  std::size_t dropped() const noexcept { return dropped_; }
+  /// Examples refused because they matched a quarantined entry.
+  std::size_t quarantine_hits() const noexcept { return quarantine_hits_; }
+  /// Entries currently held in the quarantine set.
+  std::size_t quarantined() const noexcept { return quarantine_.size(); }
 
   /// Materialize the contents as a supervised dataset for OuPolicy::train.
   nn::Dataset to_dataset(const ou::OuLevelGrid& grid) const;
 
+  /// Move the current contents into the quarantine set (guardrail verdict:
+  /// this batch poisoned a retrain) and clear the buffer.
+  void quarantine_contents();
+  /// Add one batch of previously extracted entries to the quarantine set
+  /// (rollback path: the batch was consumed by a promoted update that later
+  /// failed probation).
+  void quarantine_batch(const std::vector<Entry>& batch);
+
   void reset() noexcept { entries_.clear(); }
 
+  /// State access for the serving checkpoint (core/checkpoint) and the
+  /// guardrail's rollback bookkeeping.
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  const std::vector<Entry>& quarantined_entries() const noexcept {
+    return quarantine_;
+  }
+  void restore(std::vector<Entry> entries, std::vector<Entry> quarantined,
+               std::size_t dropped, std::size_t quarantine_hits);
+
  private:
-  struct Entry {
-    Features features;
-    ou::OuConfig best;
-  };
+  bool is_quarantined(const Entry& entry) const noexcept;
+
   std::size_t capacity_;
   std::vector<Entry> entries_;
+  std::vector<Entry> quarantine_;
+  std::size_t dropped_ = 0;
+  std::size_t quarantine_hits_ = 0;
 };
 
 }  // namespace odin::policy

@@ -1,7 +1,9 @@
 #include "policy/policy.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace odin::policy {
 
@@ -55,9 +57,49 @@ double OuPolicy::prediction_entropy(const Features& features) {
   return total / static_cast<double>(probs.size());
 }
 
+bool OuPolicy::weights_finite() {
+  for (nn::Parameter* p : mlp_.parameters())
+    for (double v : p->value.flat())
+      if (!std::isfinite(v)) return false;
+  return true;
+}
+
 nn::TrainResult OuPolicy::train(const nn::Dataset& data,
                                 const nn::TrainOptions& options) {
-  return nn::fit(mlp_, data, options);
+  // Input sanitizer: a non-finite feature (corrupted sensor, poisoned
+  // supervision) would propagate NaN through every gradient of the batch.
+  // Features are normalized to [0, 1] by construction, so clamping into
+  // that range is the faithful repair.
+  const nn::Dataset* train_data = &data;
+  nn::Dataset sanitized;
+  std::size_t repaired = 0;
+  for (double v : data.inputs.flat())
+    if (!(std::isfinite(v) && v >= 0.0 && v <= 1.0)) ++repaired;
+  if (repaired > 0) {
+    sanitized = data;
+    for (double& v : sanitized.inputs.flat()) {
+      if (!std::isfinite(v)) v = 0.0;
+      v = std::clamp(v, 0.0, 1.0);
+    }
+    sanitized_inputs_ += repaired;
+    train_data = &sanitized;
+  }
+
+  // Snapshot the parameters so a training run that still diverges to
+  // NaN/Inf (e.g. an exploding loss) can be undone instead of leaving the
+  // serving policy unusable.
+  std::vector<nn::Matrix> before;
+  for (nn::Parameter* p : mlp_.parameters()) before.push_back(p->value);
+
+  const nn::TrainResult result = nn::fit(mlp_, *train_data, options);
+
+  if (!weights_finite()) {
+    const auto params = mlp_.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i]->value = before[i];
+    ++nonfinite_recoveries_;
+  }
+  return result;
 }
 
 void OuPolicy::append_example(nn::Dataset& data, const Features& features,

@@ -42,8 +42,25 @@ class OuPolicy {
   double prediction_entropy(const Features& features);
 
   /// Train on a supervised dataset of (Phi, best levels) rows.
+  ///
+  /// Hardened against non-finite supervision: NaN/Inf feature values are
+  /// clamped before the gradient steps run (counted in
+  /// `sanitized_inputs`), and if training still leaves any weight
+  /// non-finite the pre-training parameters are restored wholesale
+  /// (counted in `nonfinite_recoveries`), so predict() never sees a
+  /// poisoned parameter set.
   nn::TrainResult train(const nn::Dataset& data,
                         const nn::TrainOptions& options);
+
+  /// True when every parameter value is finite.
+  bool weights_finite();
+
+  /// Feature values clamped by train()'s input sanitizer (cumulative).
+  std::size_t sanitized_inputs() const noexcept { return sanitized_inputs_; }
+  /// Trainings whose result was discarded for non-finite weights.
+  std::size_t nonfinite_recoveries() const noexcept {
+    return nonfinite_recoveries_;
+  }
 
   /// Build one supervised row from a feature vector and a best config.
   static void append_example(nn::Dataset& data, const Features& features,
@@ -57,6 +74,8 @@ class OuPolicy {
   ou::OuLevelGrid grid_;
   PolicyConfig config_;
   nn::MultiHeadMlp mlp_;
+  std::size_t sanitized_inputs_ = 0;
+  std::size_t nonfinite_recoveries_ = 0;
 };
 
 }  // namespace odin::policy

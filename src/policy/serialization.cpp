@@ -26,6 +26,38 @@ void save_policy(const OuPolicy& policy, std::ostream& out) {
   }
 }
 
+void save_policy_binary(const OuPolicy& policy, common::ByteWriter& out) {
+  OuPolicy& mutable_policy = const_cast<OuPolicy&>(policy);
+  out.i32(policy.grid().crossbar_size());
+  out.u64(mutable_policy.mlp().config().hidden.front());
+  for (nn::Parameter* p : mutable_policy.mlp().parameters()) {
+    out.u64(p->value.rows());
+    out.u64(p->value.cols());
+    for (double v : p->value.flat()) out.f64(v);
+  }
+}
+
+std::optional<OuPolicy> load_policy_binary(common::ByteReader& in) {
+  const int crossbar = in.i32();
+  const std::size_t hidden = in.u64();
+  if (!in.ok() || crossbar < 4 || (crossbar & (crossbar - 1)) != 0 ||
+      hidden == 0 || hidden > 4096)
+    return std::nullopt;
+
+  PolicyConfig config;
+  config.hidden_width = hidden;
+  OuPolicy policy{ou::OuLevelGrid(crossbar), config};
+  for (nn::Parameter* p : policy.mlp().parameters()) {
+    const std::size_t rows = in.u64();
+    const std::size_t cols = in.u64();
+    if (!in.ok() || rows != p->value.rows() || cols != p->value.cols())
+      return std::nullopt;
+    for (double& v : p->value.flat()) v = in.f64();
+  }
+  if (!in.ok()) return std::nullopt;
+  return policy;
+}
+
 std::optional<OuPolicy> load_policy(std::istream& in) {
   std::string magic;
   int version = 0;

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <optional>
 
+#include "common/binary_io.hpp"
 #include "policy/policy.hpp"
 
 namespace odin::policy {
@@ -19,5 +20,16 @@ void save_policy(const OuPolicy& policy, std::ostream& out);
 /// Reconstructs a policy; returns nullopt on malformed input or if the
 /// architecture in the stream does not round-trip.
 std::optional<OuPolicy> load_policy(std::istream& in);
+
+/// Binary form used inside the crash-safe serving checkpoint
+/// (core/checkpoint): exact bit-for-bit parameter round-trip (doubles are
+/// encoded as their IEEE-754 bits, not decimal text). Layout: crossbar
+/// size, hidden width, then every parameter tensor as rows/cols + values,
+/// all little-endian.
+void save_policy_binary(const OuPolicy& policy, common::ByteWriter& out);
+
+/// Binary counterpart of load_policy: nullopt on truncated input or an
+/// architecture mismatch. The caller owns CRC/framing checks.
+std::optional<OuPolicy> load_policy_binary(common::ByteReader& in);
 
 }  // namespace odin::policy

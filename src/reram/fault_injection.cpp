@@ -39,6 +39,15 @@ bool FaultInjector::program_campaign() {
   return !rng_.bernoulli(params_.write_fail_rate);
 }
 
+bool FaultInjector::fast_forward(const WearState& state) {
+  if (state.campaigns < campaigns_) return false;
+  while (campaigns_ < state.campaigns) program_campaign();
+  return campaigns_ == state.campaigns &&
+         stuck_cells_ == state.stuck_cells &&
+         failed_wl_ == state.failed_wordlines &&
+         failed_bl_ == state.failed_bitlines;
+}
+
 double FaultInjector::stuck_cell_fraction() const noexcept {
   return static_cast<double>(stuck_cells_) /
          static_cast<double>(params_.tracked_cells);
@@ -97,6 +106,47 @@ CrossbarHealth read_verify(const Crossbar& xbar, int ou_rows, int ou_cols,
     health.fault_fraction = static_cast<double>(health.stuck_cells) /
                             static_cast<double>(health.scanned_cells);
   health.degraded = health.fault_fraction > stuck_budget;
+  return health;
+}
+
+void encode_health(const CrossbarHealth& health, common::ByteWriter& out) {
+  out.i32(health.ou_rows);
+  out.i32(health.ou_cols);
+  out.i64(health.stuck_cells);
+  out.i64(health.scanned_cells);
+  out.i32(health.worst_window_stuck);
+  out.f64(health.fault_fraction);
+  out.f64(health.worst_window_fraction);
+  out.boolean(health.degraded);
+  out.u64(health.windows.size());
+  for (const OuWindowHealth& w : health.windows) {
+    out.i32(w.row0);
+    out.i32(w.col0);
+    out.i32(w.stuck);
+  }
+}
+
+std::optional<CrossbarHealth> decode_health(common::ByteReader& in) {
+  CrossbarHealth health;
+  health.ou_rows = in.i32();
+  health.ou_cols = in.i32();
+  health.stuck_cells = in.i64();
+  health.scanned_cells = in.i64();
+  health.worst_window_stuck = in.i32();
+  health.fault_fraction = in.f64();
+  health.worst_window_fraction = in.f64();
+  health.degraded = in.boolean();
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > (1u << 24)) return std::nullopt;
+  health.windows.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    OuWindowHealth w;
+    w.row0 = in.i32();
+    w.col0 = in.i32();
+    w.stuck = in.i32();
+    health.windows.push_back(w);
+  }
+  if (!in.ok()) return std::nullopt;
   return health;
 }
 

@@ -21,8 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/binary_io.hpp"
 #include "common/rng.hpp"
 #include "reram/crossbar.hpp"
 #include "reram/endurance.hpp"
@@ -89,6 +91,27 @@ class FaultInjector {
 
   const FaultScheduleParams& params() const noexcept { return params_; }
 
+  /// Durable wear state for the serving checkpoint. The RNG stream is not
+  /// serialized: all randomness is a pure function of (seed, campaign
+  /// history), so a freshly seeded injector replays `campaigns` campaigns
+  /// to reach the identical state — the counters here double as a
+  /// fingerprint that the replay is verified against.
+  struct WearState {
+    int campaigns = 0;
+    int stuck_cells = 0;
+    int failed_wordlines = 0;
+    int failed_bitlines = 0;
+  };
+  WearState wear_state() const noexcept {
+    return {campaigns_, stuck_cells_, failed_wl_, failed_bl_};
+  }
+
+  /// Replay `state.campaigns` campaigns on this (freshly constructed,
+  /// identically seeded) injector and verify the resulting wear matches
+  /// the fingerprint. Returns false — leaving the injector mid-replay — on
+  /// a mismatch (different seed or schedule than the checkpointed run).
+  bool fast_forward(const WearState& state);
+
  private:
   FaultScheduleParams params_;
   common::Rng rng_;
@@ -127,5 +150,12 @@ struct CrossbarHealth {
 /// exceeds `stuck_budget`.
 CrossbarHealth read_verify(const Crossbar& xbar, int ou_rows, int ou_cols,
                            double stuck_budget);
+
+/// Binary encode/decode of a measured health map (core/checkpoint embeds
+/// the maps so a resumed process serves from the same measured state
+/// instead of a pristine assumption). decode returns nullopt on truncated
+/// or inconsistent input.
+void encode_health(const CrossbarHealth& health, common::ByteWriter& out);
+std::optional<CrossbarHealth> decode_health(common::ByteReader& in);
 
 }  // namespace odin::reram

@@ -1,0 +1,258 @@
+// Crash-safe checkpoint layer: payload round-trip properties, the
+// double-buffered atomic file pair, and corruption fuzzing (random byte
+// flips must always be detected and must always fall back to the other
+// slot — the durability contract of core/checkpoint.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "policy/serialization.hpp"
+#include "test_helpers.hpp"
+
+namespace odin::core {
+namespace {
+
+std::string temp_base(const std::string& tag) {
+  return ::testing::TempDir() + "odin_ckpt_" + tag;
+}
+
+void remove_slots(const std::string& base) {
+  std::remove((base + ".a").c_str());
+  std::remove((base + ".b").c_str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A checkpoint with every field populated non-trivially: the controller
+/// snapshot comes from a real controller that has served runs, filled its
+/// buffer and promoted at least one update.
+ServingCheckpoint sample_checkpoint(const ou::MappedModel& tenant) {
+  const ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                      ou::NonIdealityParams{}};
+  const ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  OdinConfig cfg;
+  cfg.buffer_capacity = 8;
+  cfg.update_options.epochs = 20;
+  OdinController controller(tenant, nonideal, cost,
+                            policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+  double t = 1.0;
+  for (int i = 0; i < 12; ++i, t *= 3.0) controller.run_inference(t);
+
+  ServingCheckpoint ckpt;
+  ckpt.segment = 2;
+  ckpt.next_run = 41;
+  ckpt.segments = 6;
+  ckpt.horizon_runs = 120;
+  ckpt.t_start_s = 1.0;
+  ckpt.t_end_s = 1e8;
+  ckpt.tenant_names = {"TinyNet", "OtherNet"};
+  ckpt.result.label = "Odin";
+  ckpt.result.tenants.resize(2);
+  ckpt.result.tenants[0].name = "TinyNet";
+  ckpt.result.tenants[0].runs = 41;
+  ckpt.result.tenants[0].mismatches = 77;
+  ckpt.result.tenants[0].buffer_dropped = 5;
+  ckpt.result.tenants[0].inference = {1.25e-3, 3.5e-4};
+  ckpt.result.tenants[1].name = "OtherNet";
+  ckpt.result.programming = {2.0e-3, 1.0e-4};
+  ckpt.result.switches = 3;
+  ckpt.result.policy_updates = 4;
+  ckpt.controller = controller.snapshot();
+  ckpt.has_faults = true;
+  ckpt.wear = {7, 12, 1, 0};
+  reram::CrossbarHealth health;
+  health.ou_rows = 8;
+  health.ou_cols = 16;
+  health.stuck_cells = 9;
+  health.scanned_cells = 4096;
+  health.fault_fraction = 9.0 / 4096.0;
+  health.windows = {{0, 0, 3}, {8, 16, 6}};
+  ckpt.health_maps.push_back(std::move(health));
+  return ckpt;
+}
+
+TEST(Checkpoint, PayloadRoundTripIsExact) {
+  const auto tenant = testing::tiny_mapped();
+  const ServingCheckpoint ckpt = sample_checkpoint(tenant);
+
+  common::ByteWriter encoded;
+  encode_checkpoint(ckpt, encoded);
+  common::ByteReader reader(encoded.bytes());
+  const auto decoded = decode_checkpoint(reader);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(reader.exhausted());
+
+  // Spot-check the fields a resume depends on...
+  EXPECT_EQ(decoded->segment, 2u);
+  EXPECT_EQ(decoded->next_run, 41u);
+  EXPECT_EQ(decoded->tenant_names, ckpt.tenant_names);
+  EXPECT_TRUE(decoded->result.resumed);
+  EXPECT_EQ(decoded->result.tenants[0].mismatches, 77);
+  EXPECT_EQ(decoded->wear.campaigns, 7);
+  ASSERT_EQ(decoded->health_maps.size(), 1u);
+  EXPECT_EQ(decoded->health_maps[0].windows.size(), 2u);
+  EXPECT_EQ(decoded->controller.buffer_entries, ckpt.controller.buffer_entries);
+  EXPECT_EQ(decoded->controller.policy_blob, ckpt.controller.policy_blob);
+  // ...then pin full equality through the codec itself: re-encoding the
+  // decoded checkpoint must reproduce the identical byte stream.
+  common::ByteWriter reencoded;
+  encode_checkpoint(*decoded, reencoded);
+  EXPECT_EQ(encoded.bytes(), reencoded.bytes());
+}
+
+TEST(Checkpoint, TruncatedPayloadIsRejectedNotCrashed) {
+  const auto tenant = testing::tiny_mapped();
+  common::ByteWriter encoded;
+  encode_checkpoint(sample_checkpoint(tenant), encoded);
+  // Every strict prefix must decode to nullopt (fail-soft reader).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                          encoded.bytes().size() / 2,
+                          encoded.bytes().size() - 1}) {
+    common::ByteReader reader(
+        std::string_view(encoded.bytes()).substr(0, cut));
+    EXPECT_FALSE(decode_checkpoint(reader).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Checkpoint, PolicyBlobRoundTripsThroughBinarySerialization) {
+  policy::OuPolicy policy{ou::OuLevelGrid(128)};
+  common::ByteWriter out;
+  policy::save_policy_binary(policy, out);
+  common::ByteReader in(out.bytes());
+  auto restored = policy::load_policy_binary(in);
+  ASSERT_TRUE(restored.has_value());
+  // Same parameters => same predictions everywhere we probe.
+  for (double s : {0.0, 0.3, 0.9}) {
+    policy::Features f{0.5, s, 0.6, 0.4};
+    EXPECT_EQ(restored->predict(f), policy.predict(f));
+  }
+}
+
+TEST(Checkpoint, WriterAlternatesSlotsAndSequencesSurviveRestart) {
+  const std::string base = temp_base("writer");
+  remove_slots(base);
+  const auto tenant = testing::tiny_mapped();
+  ServingCheckpoint ckpt = sample_checkpoint(tenant);
+  {
+    CheckpointWriter writer(base);
+    EXPECT_TRUE(writer.write(ckpt));
+    EXPECT_EQ(ckpt.sequence, 1u);
+    EXPECT_TRUE(writer.write(ckpt));
+    EXPECT_TRUE(writer.write(ckpt));
+    EXPECT_EQ(writer.last_sequence(), 3u);
+  }
+  // Both slots exist; the pair's newest is sequence 3.
+  ASSERT_FALSE(read_file(base + ".a").empty());
+  ASSERT_FALSE(read_file(base + ".b").empty());
+  const auto latest = load_latest_checkpoint(base);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->sequence, 3u);
+  // A new writer (process restart) continues the sequence — it must never
+  // reuse a number or overwrite the newest slot first.
+  CheckpointWriter writer2(base);
+  EXPECT_EQ(writer2.last_sequence(), 3u);
+  EXPECT_TRUE(writer2.write(ckpt));
+  EXPECT_EQ(ckpt.sequence, 4u);
+  EXPECT_EQ(load_latest_checkpoint(base)->sequence, 4u);
+  remove_slots(base);
+}
+
+TEST(Checkpoint, CorruptionFuzzEveryByteFlipFallsBackToOtherSlot) {
+  const std::string base = temp_base("fuzz");
+  remove_slots(base);
+  const auto tenant = testing::tiny_mapped();
+  ServingCheckpoint ckpt = sample_checkpoint(tenant);
+  CheckpointWriter writer(base);
+  ASSERT_TRUE(writer.write(ckpt));  // seq 1 -> .a
+  ASSERT_TRUE(writer.write(ckpt));  // seq 2 -> .b
+  const std::string newest = base + ".b";
+  const std::string pristine = read_file(newest);
+  ASSERT_FALSE(pristine.empty());
+
+  common::Rng rng(0xfa11);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupt = pristine;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(corrupt.size()));
+    const int bit = static_cast<int>(rng.uniform() * 8.0);
+    corrupt[pos % corrupt.size()] ^= static_cast<char>(1 << (bit % 8));
+    write_file(newest, corrupt);
+    // The flipped slot must be detected (header checks or CRC) and the
+    // loader must fall back to the older-but-valid slot. No crash, ever.
+    EXPECT_FALSE(load_checkpoint_file(newest).has_value())
+        << "undetected flip at byte " << pos;
+    const auto fallback = load_latest_checkpoint(base);
+    ASSERT_TRUE(fallback.has_value());
+    EXPECT_EQ(fallback->sequence, 1u);
+  }
+  // Torn write (truncation) is detected the same way.
+  write_file(newest, pristine.substr(0, pristine.size() / 2));
+  EXPECT_FALSE(load_checkpoint_file(newest).has_value());
+  EXPECT_EQ(load_latest_checkpoint(base)->sequence, 1u);
+  // Restoring the pristine bytes restores the newest checkpoint.
+  write_file(newest, pristine);
+  EXPECT_EQ(load_latest_checkpoint(base)->sequence, 2u);
+  remove_slots(base);
+}
+
+TEST(Checkpoint, BothSlotsCorruptMeansNulloptNotCrash) {
+  const std::string base = temp_base("allbad");
+  remove_slots(base);
+  write_file(base + ".a", "definitely not a checkpoint");
+  write_file(base + ".b", std::string(200, '\0'));
+  EXPECT_FALSE(load_latest_checkpoint(base).has_value());
+  remove_slots(base);
+}
+
+TEST(Checkpoint, ControllerSnapshotRestoreRoundTrip) {
+  const auto tenant = testing::tiny_mapped();
+  const ou::NonIdealityModel nonideal{reram::DeviceParams{},
+                                      ou::NonIdealityParams{}};
+  const ou::OuCostModel cost{ou::CostParams{}, reram::DeviceParams{}};
+  OdinConfig cfg;
+  cfg.buffer_capacity = 8;
+  cfg.update_options.epochs = 20;
+  OdinController a(tenant, nonideal, cost,
+                   policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+  double t = 1.0;
+  for (int i = 0; i < 10; ++i, t *= 3.0) a.run_inference(t);
+  ControllerSnapshot snap = a.snapshot();
+
+  OdinController b(tenant, nonideal, cost,
+                   policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+  ASSERT_TRUE(b.restore(snap));
+  // The restored controller continues bitwise like the original.
+  for (int i = 0; i < 6; ++i, t *= 2.0) {
+    const RunResult ra = a.run_inference(t);
+    const RunResult rb = b.run_inference(t);
+    EXPECT_EQ(ra.mismatches, rb.mismatches);
+    EXPECT_EQ(ra.reprogrammed, rb.reprogrammed);
+    EXPECT_EQ(ra.inference.energy_j, rb.inference.energy_j);
+    EXPECT_EQ(ra.inference.latency_s, rb.inference.latency_s);
+  }
+  EXPECT_EQ(a.update_count(), b.update_count());
+
+  // A corrupted policy blob is refused and leaves the target unchanged.
+  ControllerSnapshot bad = snap;
+  bad.policy_blob = "garbage";
+  OdinController c(tenant, nonideal, cost,
+                   policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+  EXPECT_FALSE(c.restore(bad));
+  EXPECT_EQ(c.update_count(), 0);
+}
+
+}  // namespace
+}  // namespace odin::core

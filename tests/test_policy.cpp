@@ -1,6 +1,9 @@
 // Tests for feature extraction, the MLP OU policy and the replay buffer.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "policy/buffer.hpp"
 #include "policy/features.hpp"
 #include "policy/policy.hpp"
@@ -107,6 +110,65 @@ TEST(OuPolicy, ParameterCountIsTiny) {
   EXPECT_LT(policy.parameter_count(), 1000u);
 }
 
+TEST(OuPolicy, TrainSanitizesNonFiniteFeaturesAndStaysFinite) {
+  // Poisoned supervision: NaN/Inf feature values (e.g. from a corrupted
+  // sensor path) must not leave the policy with non-finite weights.
+  const ou::OuLevelGrid grid(128);
+  OuPolicy policy(grid);
+  nn::Dataset data;
+  common::Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    Features f;
+    f.layer_position = rng.uniform();
+    f.sparsity = rng.uniform();
+    f.kernel = 3.0 / 7.0;
+    f.log_time = rng.uniform();
+    OuPolicy::append_example(data, f, grid, grid.config_at(2, 2));
+  }
+  // Corrupt a handful of rows with every flavour of non-finite value.
+  data.inputs(3, 0) = std::numeric_limits<double>::quiet_NaN();
+  data.inputs(7, 1) = std::numeric_limits<double>::infinity();
+  data.inputs(11, 2) = -std::numeric_limits<double>::infinity();
+  data.inputs(13, 3) = 1e300;  // finite but absurd: clamped to [0, 1]
+
+  nn::TrainOptions opt;
+  opt.epochs = 60;
+  const auto result = policy.train(data, opt);
+  EXPECT_TRUE(policy.weights_finite());
+  EXPECT_GE(policy.sanitized_inputs(), 4u);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+  // Predictions remain well-formed after the poisoned training round.
+  Features probe;
+  probe.sparsity = 0.5;
+  probe.kernel = 3.0 / 7.0;
+  const ou::OuConfig cfg = policy.predict(probe);
+  EXPECT_GE(grid.level_of(cfg.rows), 0);
+  EXPECT_GE(grid.level_of(cfg.cols), 0);
+}
+
+TEST(OuPolicy, CleanDataIsNeverSanitized) {
+  // Legitimate features are clamped to [0, 1] at extraction, so the
+  // sanitizer must be a bitwise no-op on them (guards the vanilla loop's
+  // determinism).
+  const ou::OuLevelGrid grid(128);
+  OuPolicy policy(grid);
+  nn::Dataset data;
+  common::Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    Features f;
+    f.layer_position = rng.uniform();
+    f.sparsity = rng.uniform();
+    f.kernel = 1.0;
+    f.log_time = rng.uniform();
+    OuPolicy::append_example(data, f, grid, grid.config_at(1, 1));
+  }
+  nn::TrainOptions opt;
+  opt.epochs = 30;
+  policy.train(data, opt);
+  EXPECT_EQ(policy.sanitized_inputs(), 0u);
+  EXPECT_EQ(policy.nonfinite_recoveries(), 0u);
+}
+
 TEST(ReplayBuffer, FillsAndReportsFull) {
   ReplayBuffer buffer(3);
   const ou::OuLevelGrid grid(128);
@@ -151,6 +213,62 @@ TEST(ReplayBuffer, ResetEmpties) {
 TEST(ReplayBuffer, DefaultCapacityMatchesPaper) {
   ReplayBuffer buffer;
   EXPECT_EQ(buffer.capacity(), 50u);
+}
+
+TEST(ReplayBuffer, CountsSaturationDrops) {
+  ReplayBuffer buffer(2);
+  Features f;
+  EXPECT_TRUE(buffer.add(f, {4, 4}));
+  f.sparsity = 0.5;
+  EXPECT_TRUE(buffer.add(f, {8, 8}));
+  EXPECT_EQ(buffer.dropped(), 0u);
+  f.sparsity = 0.75;
+  EXPECT_FALSE(buffer.add(f, {16, 16}));
+  EXPECT_FALSE(buffer.add(f, {32, 32}));
+  EXPECT_EQ(buffer.dropped(), 2u);
+  // Drops survive a retrain reset (cumulative observability).
+  buffer.reset();
+  EXPECT_EQ(buffer.dropped(), 2u);
+}
+
+TEST(ReplayBuffer, QuarantineRefusesPoisonedExamples) {
+  ReplayBuffer buffer(4);
+  Features poisoned;
+  poisoned.log_time = 0.9;
+  buffer.add(poisoned, {4, 4});
+  buffer.quarantine_contents();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.quarantined(), 1u);
+  // The identical (features, label) pair is refused from now on...
+  EXPECT_FALSE(buffer.add(poisoned, {4, 4}));
+  EXPECT_EQ(buffer.quarantine_hits(), 1u);
+  // ...but the same features with a different label are fresh evidence.
+  EXPECT_TRUE(buffer.add(poisoned, {8, 8}));
+
+  // quarantine_batch covers the rollback path (batch already extracted).
+  Features other;
+  other.sparsity = 0.3;
+  buffer.quarantine_batch({{other, {16, 16}}});
+  EXPECT_EQ(buffer.quarantined(), 2u);
+  EXPECT_FALSE(buffer.add(other, {16, 16}));
+}
+
+TEST(ReplayBuffer, RestoreReinstatesCheckpointedState) {
+  ReplayBuffer original(3);
+  Features f;
+  f.kernel = 1.0;
+  original.add(f, {4, 8});
+  original.quarantine_contents();
+  original.add(f, {8, 8});
+
+  ReplayBuffer restored(3);
+  restored.restore(original.entries(), original.quarantined_entries(),
+                   original.dropped(), original.quarantine_hits());
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.quarantined(), 1u);
+  EXPECT_TRUE(restored.entries() == original.entries());
+  // The restored quarantine keeps refusing the poisoned pair.
+  EXPECT_FALSE(restored.add(f, {4, 8}));
 }
 
 }  // namespace

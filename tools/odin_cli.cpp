@@ -10,6 +10,14 @@
 //       Offline-bootstrap a policy (leave-one-family-out) and save it.
 //   odin_cli best-ou <workload> [--layer J] [--time T]
 //       Exhaustive best OU configuration per layer at a given drift time.
+//   odin_cli checkpoint <base> [--workload W] [--runs N] [--segments K]
+//                              [--every N] [--max-runs N] [--crossbar N]
+//       Serve with periodic crash-safe checkpoints to <base>.a/<base>.b;
+//       --max-runs simulates a crash after N inference runs.
+//   odin_cli resume <base> [--workload W] [--runs N] [--segments K]
+//                          [--crossbar N]
+//       Load the newest valid checkpoint of the pair and finish the
+//       interrupted serving horizon (flags must match the original).
 //
 // All randomness is seeded; outputs are reproducible.
 #include <cstdio>
@@ -20,7 +28,9 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
+#include "core/serving.hpp"
 #include "ou/search.hpp"
 #include "policy/serialization.hpp"
 
@@ -208,13 +218,123 @@ int cmd_best_ou(const std::string& workload, int argc, char** argv) {
   return 0;
 }
 
+/// Shared setup for the checkpoint/resume pair — both invocations must
+/// build the identical serving configuration or the checkpoint's
+/// fingerprint validation will (correctly) refuse to resume.
+core::ServingConfig serving_config_from_flags(int argc, char** argv) {
+  core::ServingConfig config;
+  config.horizon.runs =
+      std::atoi(flag_value(argc, argv, "--runs").value_or("120").c_str());
+  config.segments =
+      std::atoi(flag_value(argc, argv, "--segments").value_or("4").c_str());
+  config.checkpoint.every_runs =
+      std::atoi(flag_value(argc, argv, "--every").value_or("25").c_str());
+  config.max_runs =
+      std::atoi(flag_value(argc, argv, "--max-runs").value_or("0").c_str());
+  return config;
+}
+
+void print_serving_summary(const core::ServingResult& result) {
+  common::Table table({"tenant", "runs", "mismatches", "reprograms",
+                       "EDP (Js)"});
+  for (const core::TenantStats& t : result.tenants)
+    table.add_row({t.name, common::Table::integer(t.runs),
+                   common::Table::integer(t.mismatches),
+                   common::Table::integer(t.reprograms),
+                   common::Table::num((t.inference + t.reprogram).edp(), 4)});
+  common::print_table(result.resumed ? "serving result (resumed)"
+                                     : "serving result",
+                      table);
+  std::printf(
+      "total: %d runs, EDP %.4f Js, %d policy updates "
+      "(%d accepted, %d rejected, %d rolled back), %lld dropped\n",
+      result.total_runs(), result.total_edp(), result.policy_updates,
+      result.total_updates_accepted(), result.total_updates_rejected(),
+      result.total_updates_rolled_back(), result.total_buffer_dropped());
+}
+
+int cmd_checkpoint(const std::string& base, int argc, char** argv) {
+  const std::string workload =
+      flag_value(argc, argv, "--workload").value_or("resnet18");
+  auto model = build_workload(workload);
+  if (!model) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 1;
+  }
+  const int crossbar =
+      std::atoi(flag_value(argc, argv, "--crossbar").value_or("128").c_str());
+  core::ServingConfig config = serving_config_from_flags(argc, argv);
+  config.checkpoint.base_path = base;
+
+  const core::Setup setup;
+  const ou::NonIdealityModel nonideal = setup.make_nonideality(crossbar);
+  const ou::OuCostModel cost = setup.make_cost();
+  const ou::MappedModel mapped = setup.make_mapped(std::move(*model),
+                                                   crossbar);
+  const auto result = core::serve_with_odin(
+      {&mapped}, nonideal, cost,
+      policy::OuPolicy(ou::OuLevelGrid(crossbar)), config);
+  print_serving_summary(result);
+  if (config.max_runs > 0 && result.total_runs() < config.horizon.runs)
+    std::printf("stopped after %d runs (simulated crash); resume with:\n"
+                "  odin_cli resume %s --workload %s --runs %d --segments %d"
+                " --crossbar %d\n",
+                result.total_runs(), base.c_str(), workload.c_str(),
+                config.horizon.runs, config.segments, crossbar);
+  return 0;
+}
+
+int cmd_resume(const std::string& base, int argc, char** argv) {
+  auto ckpt = core::load_latest_checkpoint(base);
+  if (!ckpt) {
+    std::fprintf(stderr, "no valid checkpoint at %s.{a,b}\n", base.c_str());
+    return 1;
+  }
+  const std::string workload =
+      flag_value(argc, argv, "--workload").value_or("resnet18");
+  auto model = build_workload(workload);
+  if (!model) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 1;
+  }
+  const int crossbar =
+      std::atoi(flag_value(argc, argv, "--crossbar").value_or("128").c_str());
+  core::ServingConfig config = serving_config_from_flags(argc, argv);
+  config.checkpoint.base_path = base;  // keep checkpointing while resuming
+  config.max_runs = 0;                 // finish the horizon
+
+  const core::Setup setup;
+  const ou::NonIdealityModel nonideal = setup.make_nonideality(crossbar);
+  const ou::OuCostModel cost = setup.make_cost();
+  const ou::MappedModel mapped = setup.make_mapped(std::move(*model),
+                                                   crossbar);
+  std::printf("loaded checkpoint seq %llu (segment %llu, next run %llu)\n",
+              static_cast<unsigned long long>(ckpt->sequence),
+              static_cast<unsigned long long>(ckpt->segment),
+              static_cast<unsigned long long>(ckpt->next_run));
+  const auto result =
+      core::resume_with_odin({&mapped}, nonideal, cost, *ckpt, config);
+  if (!result) {
+    std::fprintf(stderr,
+                 "checkpoint does not match this configuration "
+                 "(check --runs/--segments/--workload/--crossbar)\n");
+    return 1;
+  }
+  print_serving_summary(*result);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: odin_cli <command> [...]\n"
                "  workloads\n"
                "  simulate <workload> [--crossbar N] [--runs N] [--ou RxC]\n"
                "  train-policy <file> [--exclude FAMILY] [--crossbar N]\n"
-               "  best-ou <workload> [--layer J] [--time T]\n");
+               "  best-ou <workload> [--layer J] [--time T]\n"
+               "  checkpoint <base> [--workload W] [--runs N] [--segments K]"
+               " [--every N] [--max-runs N] [--crossbar N]\n"
+               "  resume <base> [--workload W] [--runs N] [--segments K]"
+               " [--crossbar N]\n");
   return 2;
 }
 
@@ -228,5 +348,11 @@ int main(int argc, char** argv) {
   if (cmd == "train-policy" && argc >= 3)
     return cmd_train_policy(argv[2], argc, argv);
   if (cmd == "best-ou" && argc >= 3) return cmd_best_ou(argv[2], argc, argv);
+  // <base> is positional; a flag in its place would otherwise become a
+  // checkpoint file literally named "--workload.a".
+  if (cmd == "checkpoint" && argc >= 3 && argv[2][0] != '-')
+    return cmd_checkpoint(argv[2], argc, argv);
+  if (cmd == "resume" && argc >= 3 && argv[2][0] != '-')
+    return cmd_resume(argv[2], argc, argv);
   return usage();
 }

@@ -10,8 +10,11 @@
 # single-thread micro_mvm run is additionally paired old-kernel-vs-new
 # (the BM_*Reference twins time the pinned per-cell kernel) into
 # BENCH_mvm_kernel.json. Also runs the fault-injection campaign arm
-# (fault_campaign), which writes BENCH_faults.json directly. Every emitted
-# JSON records the build type and git revision it was measured from.
+# (fault_campaign), which writes BENCH_faults.json directly, and the
+# robustness arm (robustness_overhead: checkpoint write/restore latency,
+# guard shadow-eval overhead, drift-burst rollback behaviour), which
+# writes BENCH_robustness.json. Every emitted JSON records the build type
+# and git revision it was measured from.
 #
 # Usage: tools/run_bench.sh [build-dir] [threads]
 #   build-dir  defaults to <repo>/build-release (configured Release here)
@@ -30,7 +33,7 @@ echo "[bench] configuring Release build in $BUILD" >&2
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release >"$TMP/cmake.log"
 cmake --build "$BUILD" -j --target \
     micro_mvm micro_search_overhead fig8_edp_all_dnns \
-    batching_throughput fault_campaign >"$TMP/build.log"
+    batching_throughput fault_campaign robustness_overhead >"$TMP/build.log"
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
 GIT_SHA="$(git -C "$REPO" rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -59,6 +62,10 @@ done
 echo "[bench] fault_campaign -> BENCH_faults.json" >&2
 "$BUILD/bench/fault_campaign" --json "$REPO/BENCH_faults.json" \
   >"$TMP/fault_campaign.log"
+
+echo "[bench] robustness_overhead -> BENCH_robustness.json" >&2
+"$BUILD/bench/robustness_overhead" --json "$REPO/BENCH_robustness.json" \
+  >"$TMP/robustness_overhead.log"
 
 FIG8_SEQ=$(wall_clock fig8_edp_all_dnns 1)
 FIG8_PAR=$(wall_clock fig8_edp_all_dnns "$THREADS")
