@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activation_sparsity.dir/ablation_activation_sparsity.cpp.o"
+  "CMakeFiles/ablation_activation_sparsity.dir/ablation_activation_sparsity.cpp.o.d"
+  "ablation_activation_sparsity"
+  "ablation_activation_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activation_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_size.dir/ablation_buffer_size.cpp.o"
+  "CMakeFiles/ablation_buffer_size.dir/ablation_buffer_size.cpp.o.d"
+  "ablation_buffer_size"
+  "ablation_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_entropy_gate.dir/ablation_entropy_gate.cpp.o"
+  "CMakeFiles/ablation_entropy_gate.dir/ablation_entropy_gate.cpp.o.d"
+  "ablation_entropy_gate"
+  "ablation_entropy_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_entropy_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_storage.dir/ablation_index_storage.cpp.o"
+  "CMakeFiles/ablation_index_storage.dir/ablation_index_storage.cpp.o.d"
+  "ablation_index_storage"
+  "ablation_index_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

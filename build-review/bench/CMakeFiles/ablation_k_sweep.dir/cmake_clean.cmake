@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_k_sweep.dir/ablation_k_sweep.cpp.o"
+  "CMakeFiles/ablation_k_sweep.dir/ablation_k_sweep.cpp.o.d"
+  "ablation_k_sweep"
+  "ablation_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_tenant.dir/ablation_multi_tenant.cpp.o"
+  "CMakeFiles/ablation_multi_tenant.dir/ablation_multi_tenant.cpp.o.d"
+  "ablation_multi_tenant"
+  "ablation_multi_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

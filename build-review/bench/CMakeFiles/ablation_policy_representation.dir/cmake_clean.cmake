@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_representation.dir/ablation_policy_representation.cpp.o"
+  "CMakeFiles/ablation_policy_representation.dir/ablation_policy_representation.cpp.o.d"
+  "ablation_policy_representation"
+  "ablation_policy_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

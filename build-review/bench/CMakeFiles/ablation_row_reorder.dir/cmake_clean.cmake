@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_row_reorder.dir/ablation_row_reorder.cpp.o"
+  "CMakeFiles/ablation_row_reorder.dir/ablation_row_reorder.cpp.o.d"
+  "ablation_row_reorder"
+  "ablation_row_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_row_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

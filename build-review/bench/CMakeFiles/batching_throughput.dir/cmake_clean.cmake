@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_throughput.dir/batching_throughput.cpp.o"
+  "CMakeFiles/batching_throughput.dir/batching_throughput.cpp.o.d"
+  "batching_throughput"
+  "batching_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_projection.dir/endurance_projection.cpp.o"
+  "CMakeFiles/endurance_projection.dir/endurance_projection.cpp.o.d"
+  "endurance_projection"
+  "endurance_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_layerwise_ou.dir/fig3_layerwise_ou.cpp.o"
+  "CMakeFiles/fig3_layerwise_ou.dir/fig3_layerwise_ou.cpp.o.d"
+  "fig3_layerwise_ou"
+  "fig3_layerwise_ou.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_layerwise_ou.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

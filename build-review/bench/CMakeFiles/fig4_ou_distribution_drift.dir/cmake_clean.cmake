@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ou_distribution_drift.dir/fig4_ou_distribution_drift.cpp.o"
+  "CMakeFiles/fig4_ou_distribution_drift.dir/fig4_ou_distribution_drift.cpp.o.d"
+  "fig4_ou_distribution_drift"
+  "fig4_ou_distribution_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ou_distribution_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

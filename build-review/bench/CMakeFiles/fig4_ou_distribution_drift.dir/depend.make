@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_ou_distribution_drift.
+# This may be replaced when dependencies are built.

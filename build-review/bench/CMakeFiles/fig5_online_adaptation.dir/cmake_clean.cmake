@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_online_adaptation.dir/fig5_online_adaptation.cpp.o"
+  "CMakeFiles/fig5_online_adaptation.dir/fig5_online_adaptation.cpp.o.d"
+  "fig5_online_adaptation"
+  "fig5_online_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_online_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_latency_vgg11.dir/fig6_energy_latency_vgg11.cpp.o"
+  "CMakeFiles/fig6_energy_latency_vgg11.dir/fig6_energy_latency_vgg11.cpp.o.d"
+  "fig6_energy_latency_vgg11"
+  "fig6_energy_latency_vgg11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_latency_vgg11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_energy_latency_vgg11.
+# This may be replaced when dependencies are built.

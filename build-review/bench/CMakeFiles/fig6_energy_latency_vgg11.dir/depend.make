@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_energy_latency_vgg11.
+# This may be replaced when dependencies are built.

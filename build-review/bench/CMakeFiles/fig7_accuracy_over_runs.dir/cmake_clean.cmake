@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accuracy_over_runs.dir/fig7_accuracy_over_runs.cpp.o"
+  "CMakeFiles/fig7_accuracy_over_runs.dir/fig7_accuracy_over_runs.cpp.o.d"
+  "fig7_accuracy_over_runs"
+  "fig7_accuracy_over_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accuracy_over_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_edp_all_dnns.dir/fig8_edp_all_dnns.cpp.o"
+  "CMakeFiles/fig8_edp_all_dnns.dir/fig8_edp_all_dnns.cpp.o.d"
+  "fig8_edp_all_dnns"
+  "fig8_edp_all_dnns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_edp_all_dnns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

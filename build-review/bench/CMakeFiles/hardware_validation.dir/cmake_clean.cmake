@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_validation.dir/hardware_validation.cpp.o"
+  "CMakeFiles/hardware_validation.dir/hardware_validation.cpp.o.d"
+  "hardware_validation"
+  "hardware_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mvm.dir/micro_mvm.cpp.o"
+  "CMakeFiles/micro_mvm.dir/micro_mvm.cpp.o.d"
+  "micro_mvm"
+  "micro_mvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

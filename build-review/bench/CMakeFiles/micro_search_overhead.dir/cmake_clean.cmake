@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_search_overhead.dir/micro_search_overhead.cpp.o"
+  "CMakeFiles/micro_search_overhead.dir/micro_search_overhead.cpp.o.d"
+  "micro_search_overhead"
+  "micro_search_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_search_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

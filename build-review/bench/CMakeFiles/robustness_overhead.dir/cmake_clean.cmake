@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_overhead.dir/robustness_overhead.cpp.o"
+  "CMakeFiles/robustness_overhead.dir/robustness_overhead.cpp.o.d"
+  "robustness_overhead"
+  "robustness_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

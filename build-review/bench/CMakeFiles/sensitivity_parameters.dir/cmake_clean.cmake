@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_parameters.dir/sensitivity_parameters.cpp.o"
+  "CMakeFiles/sensitivity_parameters.dir/sensitivity_parameters.cpp.o.d"
+  "sensitivity_parameters"
+  "sensitivity_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_area_report.dir/table1_area_report.cpp.o"
+  "CMakeFiles/table1_area_report.dir/table1_area_report.cpp.o.d"
+  "table1_area_report"
+  "table1_area_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_area_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_reprogramming.dir/drift_reprogramming.cpp.o"
+  "CMakeFiles/drift_reprogramming.dir/drift_reprogramming.cpp.o.d"
+  "drift_reprogramming"
+  "drift_reprogramming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_reprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_injection_accuracy.dir/noise_injection_accuracy.cpp.o"
+  "CMakeFiles/noise_injection_accuracy.dir/noise_injection_accuracy.cpp.o.d"
+  "noise_injection_accuracy"
+  "noise_injection_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_injection_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_conv_demo.dir/pim_conv_demo.cpp.o"
+  "CMakeFiles/pim_conv_demo.dir/pim_conv_demo.cpp.o.d"
+  "pim_conv_demo"
+  "pim_conv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_conv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

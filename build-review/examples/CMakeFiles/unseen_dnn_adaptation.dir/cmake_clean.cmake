@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_dnn_adaptation.dir/unseen_dnn_adaptation.cpp.o"
+  "CMakeFiles/unseen_dnn_adaptation.dir/unseen_dnn_adaptation.cpp.o.d"
+  "unseen_dnn_adaptation"
+  "unseen_dnn_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_dnn_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

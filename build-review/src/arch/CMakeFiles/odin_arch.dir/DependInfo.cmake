@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/batching.cpp" "src/arch/CMakeFiles/odin_arch.dir/batching.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/batching.cpp.o.d"
+  "/root/repo/src/arch/components.cpp" "src/arch/CMakeFiles/odin_arch.dir/components.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/components.cpp.o.d"
+  "/root/repo/src/arch/noc.cpp" "src/arch/CMakeFiles/odin_arch.dir/noc.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/noc.cpp.o.d"
+  "/root/repo/src/arch/overhead.cpp" "src/arch/CMakeFiles/odin_arch.dir/overhead.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/overhead.cpp.o.d"
+  "/root/repo/src/arch/pipeline.cpp" "src/arch/CMakeFiles/odin_arch.dir/pipeline.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/pipeline.cpp.o.d"
+  "/root/repo/src/arch/system.cpp" "src/arch/CMakeFiles/odin_arch.dir/system.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/system.cpp.o.d"
+  "/root/repo/src/arch/training_core.cpp" "src/arch/CMakeFiles/odin_arch.dir/training_core.cpp.o" "gcc" "src/arch/CMakeFiles/odin_arch.dir/training_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dnn/CMakeFiles/odin_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ou/CMakeFiles/odin_ou.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/odin_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/odin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reram/CMakeFiles/odin_reram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_arch.dir/batching.cpp.o"
+  "CMakeFiles/odin_arch.dir/batching.cpp.o.d"
+  "CMakeFiles/odin_arch.dir/components.cpp.o"
+  "CMakeFiles/odin_arch.dir/components.cpp.o.d"
+  "CMakeFiles/odin_arch.dir/noc.cpp.o"
+  "CMakeFiles/odin_arch.dir/noc.cpp.o.d"
+  "CMakeFiles/odin_arch.dir/overhead.cpp.o"
+  "CMakeFiles/odin_arch.dir/overhead.cpp.o.d"
+  "CMakeFiles/odin_arch.dir/pipeline.cpp.o"
+  "CMakeFiles/odin_arch.dir/pipeline.cpp.o.d"
+  "CMakeFiles/odin_arch.dir/system.cpp.o"
+  "CMakeFiles/odin_arch.dir/system.cpp.o.d"
+  "CMakeFiles/odin_arch.dir/training_core.cpp.o"
+  "CMakeFiles/odin_arch.dir/training_core.cpp.o.d"
+  "libodin_arch.a"
+  "libodin_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_common.dir/crc32.cpp.o"
+  "CMakeFiles/odin_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/odin_common.dir/parallel.cpp.o"
+  "CMakeFiles/odin_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/odin_common.dir/table.cpp.o"
+  "CMakeFiles/odin_common.dir/table.cpp.o.d"
+  "libodin_common.a"
+  "libodin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/odin_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/odin_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/odin_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/odin_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/hardware_inference.cpp" "src/core/CMakeFiles/odin_core.dir/hardware_inference.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/hardware_inference.cpp.o.d"
+  "/root/repo/src/core/odin.cpp" "src/core/CMakeFiles/odin_core.dir/odin.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/odin.cpp.o.d"
+  "/root/repo/src/core/serving.cpp" "src/core/CMakeFiles/odin_core.dir/serving.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/serving.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/odin_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/odin_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reram/CMakeFiles/odin_reram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/odin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/odin_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dnn/CMakeFiles/odin_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ou/CMakeFiles/odin_ou.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/arch/CMakeFiles/odin_arch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/policy/CMakeFiles/odin_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

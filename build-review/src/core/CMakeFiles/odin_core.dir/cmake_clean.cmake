@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_core.dir/accuracy.cpp.o"
+  "CMakeFiles/odin_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/odin_core.dir/baselines.cpp.o"
+  "CMakeFiles/odin_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/odin_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/odin_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/odin_core.dir/experiment.cpp.o"
+  "CMakeFiles/odin_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/odin_core.dir/hardware_inference.cpp.o"
+  "CMakeFiles/odin_core.dir/hardware_inference.cpp.o.d"
+  "CMakeFiles/odin_core.dir/odin.cpp.o"
+  "CMakeFiles/odin_core.dir/odin.cpp.o.d"
+  "CMakeFiles/odin_core.dir/serving.cpp.o"
+  "CMakeFiles/odin_core.dir/serving.cpp.o.d"
+  "CMakeFiles/odin_core.dir/trace.cpp.o"
+  "CMakeFiles/odin_core.dir/trace.cpp.o.d"
+  "libodin_core.a"
+  "libodin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

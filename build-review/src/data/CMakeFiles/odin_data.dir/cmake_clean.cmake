@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_data.dir/synthetic.cpp.o"
+  "CMakeFiles/odin_data.dir/synthetic.cpp.o.d"
+  "libodin_data.a"
+  "libodin_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

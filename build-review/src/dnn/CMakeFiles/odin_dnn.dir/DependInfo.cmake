@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/model.cpp" "src/dnn/CMakeFiles/odin_dnn.dir/model.cpp.o" "gcc" "src/dnn/CMakeFiles/odin_dnn.dir/model.cpp.o.d"
+  "/root/repo/src/dnn/pattern.cpp" "src/dnn/CMakeFiles/odin_dnn.dir/pattern.cpp.o" "gcc" "src/dnn/CMakeFiles/odin_dnn.dir/pattern.cpp.o.d"
+  "/root/repo/src/dnn/pruning.cpp" "src/dnn/CMakeFiles/odin_dnn.dir/pruning.cpp.o" "gcc" "src/dnn/CMakeFiles/odin_dnn.dir/pruning.cpp.o.d"
+  "/root/repo/src/dnn/zoo.cpp" "src/dnn/CMakeFiles/odin_dnn.dir/zoo.cpp.o" "gcc" "src/dnn/CMakeFiles/odin_dnn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/odin_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/odin_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_dnn.dir/model.cpp.o"
+  "CMakeFiles/odin_dnn.dir/model.cpp.o.d"
+  "CMakeFiles/odin_dnn.dir/pattern.cpp.o"
+  "CMakeFiles/odin_dnn.dir/pattern.cpp.o.d"
+  "CMakeFiles/odin_dnn.dir/pruning.cpp.o"
+  "CMakeFiles/odin_dnn.dir/pruning.cpp.o.d"
+  "CMakeFiles/odin_dnn.dir/zoo.cpp.o"
+  "CMakeFiles/odin_dnn.dir/zoo.cpp.o.d"
+  "libodin_dnn.a"
+  "libodin_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/odin_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/conv_layer.cpp" "src/nn/CMakeFiles/odin_nn.dir/conv_layer.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/odin_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/odin_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/odin_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/odin_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/odin_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/odin_nn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

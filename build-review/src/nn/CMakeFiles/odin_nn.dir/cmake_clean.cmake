@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_nn.dir/conv.cpp.o"
+  "CMakeFiles/odin_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/odin_nn.dir/conv_layer.cpp.o"
+  "CMakeFiles/odin_nn.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/odin_nn.dir/layers.cpp.o"
+  "CMakeFiles/odin_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/odin_nn.dir/mlp.cpp.o"
+  "CMakeFiles/odin_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/odin_nn.dir/sequential.cpp.o"
+  "CMakeFiles/odin_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/odin_nn.dir/tensor.cpp.o"
+  "CMakeFiles/odin_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/odin_nn.dir/train.cpp.o"
+  "CMakeFiles/odin_nn.dir/train.cpp.o.d"
+  "libodin_nn.a"
+  "libodin_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ou/compression.cpp" "src/ou/CMakeFiles/odin_ou.dir/compression.cpp.o" "gcc" "src/ou/CMakeFiles/odin_ou.dir/compression.cpp.o.d"
+  "/root/repo/src/ou/cost_model.cpp" "src/ou/CMakeFiles/odin_ou.dir/cost_model.cpp.o" "gcc" "src/ou/CMakeFiles/odin_ou.dir/cost_model.cpp.o.d"
+  "/root/repo/src/ou/mapper.cpp" "src/ou/CMakeFiles/odin_ou.dir/mapper.cpp.o" "gcc" "src/ou/CMakeFiles/odin_ou.dir/mapper.cpp.o.d"
+  "/root/repo/src/ou/nonideality.cpp" "src/ou/CMakeFiles/odin_ou.dir/nonideality.cpp.o" "gcc" "src/ou/CMakeFiles/odin_ou.dir/nonideality.cpp.o.d"
+  "/root/repo/src/ou/reordering.cpp" "src/ou/CMakeFiles/odin_ou.dir/reordering.cpp.o" "gcc" "src/ou/CMakeFiles/odin_ou.dir/reordering.cpp.o.d"
+  "/root/repo/src/ou/search.cpp" "src/ou/CMakeFiles/odin_ou.dir/search.cpp.o" "gcc" "src/ou/CMakeFiles/odin_ou.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reram/CMakeFiles/odin_reram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dnn/CMakeFiles/odin_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/odin_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/odin_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_ou.dir/compression.cpp.o"
+  "CMakeFiles/odin_ou.dir/compression.cpp.o.d"
+  "CMakeFiles/odin_ou.dir/cost_model.cpp.o"
+  "CMakeFiles/odin_ou.dir/cost_model.cpp.o.d"
+  "CMakeFiles/odin_ou.dir/mapper.cpp.o"
+  "CMakeFiles/odin_ou.dir/mapper.cpp.o.d"
+  "CMakeFiles/odin_ou.dir/nonideality.cpp.o"
+  "CMakeFiles/odin_ou.dir/nonideality.cpp.o.d"
+  "CMakeFiles/odin_ou.dir/reordering.cpp.o"
+  "CMakeFiles/odin_ou.dir/reordering.cpp.o.d"
+  "CMakeFiles/odin_ou.dir/search.cpp.o"
+  "CMakeFiles/odin_ou.dir/search.cpp.o.d"
+  "libodin_ou.a"
+  "libodin_ou.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_ou.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

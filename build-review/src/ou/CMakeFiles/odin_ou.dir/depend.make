@@ -1,0 +1,2 @@
+# Empty dependencies file for odin_ou.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/buffer.cpp" "src/policy/CMakeFiles/odin_policy.dir/buffer.cpp.o" "gcc" "src/policy/CMakeFiles/odin_policy.dir/buffer.cpp.o.d"
+  "/root/repo/src/policy/features.cpp" "src/policy/CMakeFiles/odin_policy.dir/features.cpp.o" "gcc" "src/policy/CMakeFiles/odin_policy.dir/features.cpp.o.d"
+  "/root/repo/src/policy/offline.cpp" "src/policy/CMakeFiles/odin_policy.dir/offline.cpp.o" "gcc" "src/policy/CMakeFiles/odin_policy.dir/offline.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/policy/CMakeFiles/odin_policy.dir/policy.cpp.o" "gcc" "src/policy/CMakeFiles/odin_policy.dir/policy.cpp.o.d"
+  "/root/repo/src/policy/serialization.cpp" "src/policy/CMakeFiles/odin_policy.dir/serialization.cpp.o" "gcc" "src/policy/CMakeFiles/odin_policy.dir/serialization.cpp.o.d"
+  "/root/repo/src/policy/table_policy.cpp" "src/policy/CMakeFiles/odin_policy.dir/table_policy.cpp.o" "gcc" "src/policy/CMakeFiles/odin_policy.dir/table_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/odin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ou/CMakeFiles/odin_ou.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reram/CMakeFiles/odin_reram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dnn/CMakeFiles/odin_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/odin_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_policy.dir/buffer.cpp.o"
+  "CMakeFiles/odin_policy.dir/buffer.cpp.o.d"
+  "CMakeFiles/odin_policy.dir/features.cpp.o"
+  "CMakeFiles/odin_policy.dir/features.cpp.o.d"
+  "CMakeFiles/odin_policy.dir/offline.cpp.o"
+  "CMakeFiles/odin_policy.dir/offline.cpp.o.d"
+  "CMakeFiles/odin_policy.dir/policy.cpp.o"
+  "CMakeFiles/odin_policy.dir/policy.cpp.o.d"
+  "CMakeFiles/odin_policy.dir/serialization.cpp.o"
+  "CMakeFiles/odin_policy.dir/serialization.cpp.o.d"
+  "CMakeFiles/odin_policy.dir/table_policy.cpp.o"
+  "CMakeFiles/odin_policy.dir/table_policy.cpp.o.d"
+  "libodin_policy.a"
+  "libodin_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

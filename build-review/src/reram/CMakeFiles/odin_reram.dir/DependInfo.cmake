@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reram/crossbar.cpp" "src/reram/CMakeFiles/odin_reram.dir/crossbar.cpp.o" "gcc" "src/reram/CMakeFiles/odin_reram.dir/crossbar.cpp.o.d"
+  "/root/repo/src/reram/device.cpp" "src/reram/CMakeFiles/odin_reram.dir/device.cpp.o" "gcc" "src/reram/CMakeFiles/odin_reram.dir/device.cpp.o.d"
+  "/root/repo/src/reram/endurance.cpp" "src/reram/CMakeFiles/odin_reram.dir/endurance.cpp.o" "gcc" "src/reram/CMakeFiles/odin_reram.dir/endurance.cpp.o.d"
+  "/root/repo/src/reram/fault_injection.cpp" "src/reram/CMakeFiles/odin_reram.dir/fault_injection.cpp.o" "gcc" "src/reram/CMakeFiles/odin_reram.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/reram/noise.cpp" "src/reram/CMakeFiles/odin_reram.dir/noise.cpp.o" "gcc" "src/reram/CMakeFiles/odin_reram.dir/noise.cpp.o.d"
+  "/root/repo/src/reram/programming.cpp" "src/reram/CMakeFiles/odin_reram.dir/programming.cpp.o" "gcc" "src/reram/CMakeFiles/odin_reram.dir/programming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_reram.dir/crossbar.cpp.o"
+  "CMakeFiles/odin_reram.dir/crossbar.cpp.o.d"
+  "CMakeFiles/odin_reram.dir/device.cpp.o"
+  "CMakeFiles/odin_reram.dir/device.cpp.o.d"
+  "CMakeFiles/odin_reram.dir/endurance.cpp.o"
+  "CMakeFiles/odin_reram.dir/endurance.cpp.o.d"
+  "CMakeFiles/odin_reram.dir/fault_injection.cpp.o"
+  "CMakeFiles/odin_reram.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/odin_reram.dir/noise.cpp.o"
+  "CMakeFiles/odin_reram.dir/noise.cpp.o.d"
+  "CMakeFiles/odin_reram.dir/programming.cpp.o"
+  "CMakeFiles/odin_reram.dir/programming.cpp.o.d"
+  "libodin_reram.a"
+  "libodin_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

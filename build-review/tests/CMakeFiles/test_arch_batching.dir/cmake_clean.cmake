@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_batching.dir/test_arch_batching.cpp.o"
+  "CMakeFiles/test_arch_batching.dir/test_arch_batching.cpp.o.d"
+  "test_arch_batching"
+  "test_arch_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_pipeline.dir/test_arch_pipeline.cpp.o"
+  "CMakeFiles/test_arch_pipeline.dir/test_arch_pipeline.cpp.o.d"
+  "test_arch_pipeline"
+  "test_arch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_training_core.dir/test_arch_training_core.cpp.o"
+  "CMakeFiles/test_arch_training_core.dir/test_arch_training_core.cpp.o.d"
+  "test_arch_training_core"
+  "test_arch_training_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_training_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

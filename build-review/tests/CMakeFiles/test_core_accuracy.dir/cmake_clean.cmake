@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_accuracy.dir/test_core_accuracy.cpp.o"
+  "CMakeFiles/test_core_accuracy.dir/test_core_accuracy.cpp.o.d"
+  "test_core_accuracy"
+  "test_core_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

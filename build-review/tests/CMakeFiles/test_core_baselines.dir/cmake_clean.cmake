@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_baselines.dir/test_core_baselines.cpp.o"
+  "CMakeFiles/test_core_baselines.dir/test_core_baselines.cpp.o.d"
+  "test_core_baselines"
+  "test_core_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_entropy_gate.dir/test_core_entropy_gate.cpp.o"
+  "CMakeFiles/test_core_entropy_gate.dir/test_core_entropy_gate.cpp.o.d"
+  "test_core_entropy_gate"
+  "test_core_entropy_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_entropy_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

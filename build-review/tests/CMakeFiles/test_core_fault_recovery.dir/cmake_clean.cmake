@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fault_recovery.dir/test_core_fault_recovery.cpp.o"
+  "CMakeFiles/test_core_fault_recovery.dir/test_core_fault_recovery.cpp.o.d"
+  "test_core_fault_recovery"
+  "test_core_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_hardware.dir/test_core_hardware.cpp.o"
+  "CMakeFiles/test_core_hardware.dir/test_core_hardware.cpp.o.d"
+  "test_core_hardware"
+  "test_core_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

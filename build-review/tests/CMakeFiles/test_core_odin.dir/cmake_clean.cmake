@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_odin.dir/test_core_odin.cpp.o"
+  "CMakeFiles/test_core_odin.dir/test_core_odin.cpp.o.d"
+  "test_core_odin"
+  "test_core_odin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_odin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

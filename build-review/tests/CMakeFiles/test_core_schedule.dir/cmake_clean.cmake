@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_schedule.dir/test_core_schedule.cpp.o"
+  "CMakeFiles/test_core_schedule.dir/test_core_schedule.cpp.o.d"
+  "test_core_schedule"
+  "test_core_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_serving.dir/test_core_serving.cpp.o"
+  "CMakeFiles/test_core_serving.dir/test_core_serving.cpp.o.d"
+  "test_core_serving"
+  "test_core_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

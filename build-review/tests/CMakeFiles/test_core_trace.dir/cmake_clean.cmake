@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_trace.dir/test_core_trace.cpp.o"
+  "CMakeFiles/test_core_trace.dir/test_core_trace.cpp.o.d"
+  "test_core_trace"
+  "test_core_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn_mobilenet.dir/test_dnn_mobilenet.cpp.o"
+  "CMakeFiles/test_dnn_mobilenet.dir/test_dnn_mobilenet.cpp.o.d"
+  "test_dnn_mobilenet"
+  "test_dnn_mobilenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

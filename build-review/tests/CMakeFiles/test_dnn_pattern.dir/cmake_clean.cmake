@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn_pattern.dir/test_dnn_pattern.cpp.o"
+  "CMakeFiles/test_dnn_pattern.dir/test_dnn_pattern.cpp.o.d"
+  "test_dnn_pattern"
+  "test_dnn_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn_pruning.dir/test_dnn_pruning.cpp.o"
+  "CMakeFiles/test_dnn_pruning.dir/test_dnn_pruning.cpp.o.d"
+  "test_dnn_pruning"
+  "test_dnn_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn_zoo.dir/test_dnn_zoo.cpp.o"
+  "CMakeFiles/test_dnn_zoo.dir/test_dnn_zoo.cpp.o.d"
+  "test_dnn_zoo"
+  "test_dnn_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/odin_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/arch/CMakeFiles/odin_arch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/policy/CMakeFiles/odin_policy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ou/CMakeFiles/odin_ou.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reram/CMakeFiles/odin_reram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dnn/CMakeFiles/odin_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/odin_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/odin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/odin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

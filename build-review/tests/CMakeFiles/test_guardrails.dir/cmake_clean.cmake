@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guardrails.dir/test_guardrails.cpp.o"
+  "CMakeFiles/test_guardrails.dir/test_guardrails.cpp.o.d"
+  "test_guardrails"
+  "test_guardrails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guardrails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

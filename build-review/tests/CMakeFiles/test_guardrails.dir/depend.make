@@ -1,0 +1,2 @@
+# Empty dependencies file for test_guardrails.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mvm_kernel.dir/test_mvm_kernel.cpp.o"
+  "CMakeFiles/test_mvm_kernel.dir/test_mvm_kernel.cpp.o.d"
+  "test_mvm_kernel"
+  "test_mvm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mvm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_conv.dir/test_nn_conv.cpp.o"
+  "CMakeFiles/test_nn_conv.dir/test_nn_conv.cpp.o.d"
+  "test_nn_conv"
+  "test_nn_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_sequential.dir/test_nn_sequential.cpp.o"
+  "CMakeFiles/test_nn_sequential.dir/test_nn_sequential.cpp.o.d"
+  "test_nn_sequential"
+  "test_nn_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline.dir/test_offline.cpp.o"
+  "CMakeFiles/test_offline.dir/test_offline.cpp.o.d"
+  "test_offline"
+  "test_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

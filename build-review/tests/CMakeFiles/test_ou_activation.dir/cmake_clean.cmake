@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_activation.dir/test_ou_activation.cpp.o"
+  "CMakeFiles/test_ou_activation.dir/test_ou_activation.cpp.o.d"
+  "test_ou_activation"
+  "test_ou_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_compression.dir/test_ou_compression.cpp.o"
+  "CMakeFiles/test_ou_compression.dir/test_ou_compression.cpp.o.d"
+  "test_ou_compression"
+  "test_ou_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_cost.dir/test_ou_cost.cpp.o"
+  "CMakeFiles/test_ou_cost.dir/test_ou_cost.cpp.o.d"
+  "test_ou_cost"
+  "test_ou_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

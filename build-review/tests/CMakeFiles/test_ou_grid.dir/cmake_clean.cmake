@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_grid.dir/test_ou_grid.cpp.o"
+  "CMakeFiles/test_ou_grid.dir/test_ou_grid.cpp.o.d"
+  "test_ou_grid"
+  "test_ou_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_mapper.dir/test_ou_mapper.cpp.o"
+  "CMakeFiles/test_ou_mapper.dir/test_ou_mapper.cpp.o.d"
+  "test_ou_mapper"
+  "test_ou_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

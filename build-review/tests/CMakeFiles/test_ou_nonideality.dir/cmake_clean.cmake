@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_nonideality.dir/test_ou_nonideality.cpp.o"
+  "CMakeFiles/test_ou_nonideality.dir/test_ou_nonideality.cpp.o.d"
+  "test_ou_nonideality"
+  "test_ou_nonideality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_nonideality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_reordering.dir/test_ou_reordering.cpp.o"
+  "CMakeFiles/test_ou_reordering.dir/test_ou_reordering.cpp.o.d"
+  "test_ou_reordering"
+  "test_ou_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ou_search.dir/test_ou_search.cpp.o"
+  "CMakeFiles/test_ou_search.dir/test_ou_search.cpp.o.d"
+  "test_ou_search"
+  "test_ou_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ou_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

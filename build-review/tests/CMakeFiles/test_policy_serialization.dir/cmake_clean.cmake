@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_serialization.dir/test_policy_serialization.cpp.o"
+  "CMakeFiles/test_policy_serialization.dir/test_policy_serialization.cpp.o.d"
+  "test_policy_serialization"
+  "test_policy_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

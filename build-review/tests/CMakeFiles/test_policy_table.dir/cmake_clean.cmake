@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_table.dir/test_policy_table.cpp.o"
+  "CMakeFiles/test_policy_table.dir/test_policy_table.cpp.o.d"
+  "test_policy_table"
+  "test_policy_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reram_crossbar.dir/test_reram_crossbar.cpp.o"
+  "CMakeFiles/test_reram_crossbar.dir/test_reram_crossbar.cpp.o.d"
+  "test_reram_crossbar"
+  "test_reram_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reram_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reram_device.dir/test_reram_device.cpp.o"
+  "CMakeFiles/test_reram_device.dir/test_reram_device.cpp.o.d"
+  "test_reram_device"
+  "test_reram_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reram_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reram_endurance.dir/test_reram_endurance.cpp.o"
+  "CMakeFiles/test_reram_endurance.dir/test_reram_endurance.cpp.o.d"
+  "test_reram_endurance"
+  "test_reram_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reram_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

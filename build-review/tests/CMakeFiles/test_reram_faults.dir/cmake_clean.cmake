@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reram_faults.dir/test_reram_faults.cpp.o"
+  "CMakeFiles/test_reram_faults.dir/test_reram_faults.cpp.o.d"
+  "test_reram_faults"
+  "test_reram_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reram_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reram_programming.dir/test_reram_programming.cpp.o"
+  "CMakeFiles/test_reram_programming.dir/test_reram_programming.cpp.o.d"
+  "test_reram_programming"
+  "test_reram_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reram_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

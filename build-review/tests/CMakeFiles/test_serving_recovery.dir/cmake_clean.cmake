@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving_recovery.dir/test_serving_recovery.cpp.o"
+  "CMakeFiles/test_serving_recovery.dir/test_serving_recovery.cpp.o.d"
+  "test_serving_recovery"
+  "test_serving_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

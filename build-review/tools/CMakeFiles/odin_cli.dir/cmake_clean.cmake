@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_cli.dir/odin_cli.cpp.o"
+  "CMakeFiles/odin_cli.dir/odin_cli.cpp.o.d"
+  "odin_cli"
+  "odin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
