@@ -1,0 +1,228 @@
+// Extension — serving resilience: what deadline-aware admission control
+// buys (and costs) under overload and drift storms.
+//
+// Two sweeps, one bench:
+//  1. Overload sweep — offered load (per-run search cost inflating service
+//     time past the early-horizon inter-arrival gaps) x shed policy
+//     (block / shed-oldest / shed-newest, bounded FIFO of 2). Reports p50
+//     and p99 sojourn, shed rate and EDP per arm: blocking absorbs the
+//     backlog as tail latency, shedding converts it into degraded runs.
+//  2. Deadline arm — the drift-burst storm campaign with and without a
+//     per-request latency budget. The budget truncates OU searches at
+//     best-so-far and defers in-storm reprogram campaigns, bounding p99.
+//
+// --json PATH writes the summary to PATH (BENCH_serving_resilience.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/resilience.hpp"
+#include "core/serving.hpp"
+#include "reram/fault_injection.hpp"
+
+using namespace odin;
+
+namespace {
+
+struct ArmStats {
+  std::string load;
+  std::string shed;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double shed_rate = 0.0;
+  double edp = 0.0;
+  int shed_runs = 0;
+  int runs = 0;
+};
+
+std::vector<double> pooled_sojourns(const core::ServingResult& r) {
+  std::vector<double> all;
+  for (const auto& t : r.tenants)
+    all.insert(all.end(), t.sojourn_s.begin(), t.sojourn_s.end());
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  bench::banner(
+      "Extension: serving resilience (load shedding + deadline budgets)");
+  const core::Setup setup = bench::default_setup();
+  const ou::NonIdealityModel nonideal = setup.make_nonideality();
+  const ou::OuCostModel cost = setup.make_cost();
+  bench::Stopwatch map_clock;
+  const ou::MappedModel resnet =
+      setup.make_mapped(dnn::make_resnet18(data::DatasetKind::kCifar10));
+  const ou::MappedModel mobilenet =
+      setup.make_mapped(dnn::make_mobilenetv1(data::DatasetKind::kCifar10));
+  const std::vector<const ou::MappedModel*> tenants{&resnet, &mobilenet};
+  std::printf("[setup] 2 tenants mapped in %.1fs\n", map_clock.seconds());
+
+  core::ServingConfig base;
+  base.horizon = core::HorizonConfig{.t_start_s = 1.0, .t_end_s = 1e8,
+                                     .runs = 160};
+  base.segments = 4;
+  base.resilience.enabled = true;
+  base.resilience.queue_capacity = 2;
+  // The breaker is out of scope for this sweep; park it where it can
+  // never trip so the shed/deadline effects are unconfounded.
+  base.resilience.breaker.failure_threshold = 1'000'000;
+
+  // ---- 1. overload sweep: offered load x shed policy ------------------
+  struct Load {
+    const char* name;
+    double eval_cost_s;
+  };
+  const Load loads[] = {{"light", 0.0}, {"moderate", 0.05}, {"heavy", 0.5}};
+  struct Shed {
+    const char* name;
+    core::ShedPolicy policy;
+  };
+  const Shed sheds[] = {{"block", core::ShedPolicy::kBlock},
+                        {"shed-oldest", core::ShedPolicy::kShedOldest},
+                        {"shed-newest", core::ShedPolicy::kShedNewest}};
+
+  std::vector<ArmStats> arms;
+  common::Table table({"load", "shed policy", "p50 sojourn (s)",
+                       "p99 sojourn (s)", "shed rate %", "EDP (Js)"});
+  for (const Load& load : loads) {
+    for (const Shed& shed : sheds) {
+      core::ServingConfig cfg = base;
+      cfg.resilience.search_eval_cost_s = load.eval_cost_s;
+      cfg.resilience.shed = shed.policy;
+      const auto r = core::serve_with_odin(
+          tenants, nonideal, cost,
+          policy::OuPolicy(ou::OuLevelGrid(128)), cfg);
+      ArmStats a;
+      a.load = load.name;
+      a.shed = shed.name;
+      const auto sojourns = pooled_sojourns(r);
+      a.p50_s = core::percentile(sojourns, 50.0);
+      a.p99_s = core::percentile(sojourns, 99.0);
+      a.runs = r.total_runs();
+      a.shed_runs = r.total_shed_runs();
+      a.shed_rate = a.runs > 0
+                        ? static_cast<double>(a.shed_runs) / a.runs
+                        : 0.0;
+      a.edp = r.total_edp();
+      arms.push_back(a);
+      table.add_row({a.load, a.shed, common::Table::num(a.p50_s, 4),
+                     common::Table::num(a.p99_s, 4),
+                     common::Table::num(100.0 * a.shed_rate, 2),
+                     common::Table::num(a.edp, 4)});
+    }
+  }
+  common::print_table(
+      "overload sweep: 2 tenants, 160 runs, FIFO queue of 2 "
+      "(load = simulated per-evaluation search cost)",
+      table);
+
+  // ---- 2. deadline arm: drift-burst storm, bounded vs unbounded -------
+  reram::FaultScheduleParams storm;
+  storm.bursts = {{.start_s = 3.0, .duration_s = 8.0, .multiplier = 1e9}};
+  core::ServingConfig unbounded_cfg = base;
+  unbounded_cfg.odin.search_steps = 6;
+  unbounded_cfg.resilience.search_eval_cost_s = 5e-3;
+  unbounded_cfg.resilience.queue_capacity = 1'000;
+  core::ServingConfig bounded_cfg = unbounded_cfg;
+
+  reram::FaultInjector unbounded_faults(storm, 0x0d15);
+  const auto unbounded = core::serve_with_odin(
+      tenants, nonideal, cost, policy::OuPolicy(ou::OuLevelGrid(128)),
+      unbounded_cfg, &unbounded_faults);
+  // Budget: half a reprogram campaign — inference always fits, a storm
+  // campaign never does, so the deadline arm serves best-effort instead.
+  core::OdinController probe(resnet, nonideal, cost,
+                             policy::OuPolicy(ou::OuLevelGrid(128)),
+                             unbounded_cfg.odin);
+  bounded_cfg.resilience.default_slo_s =
+      0.5 * probe.full_reprogram_cost().latency_s;
+  reram::FaultInjector bounded_faults(storm, 0x0d15);
+  const auto bounded = core::serve_with_odin(
+      tenants, nonideal, cost, policy::OuPolicy(ou::OuLevelGrid(128)),
+      bounded_cfg, &bounded_faults);
+
+  const double p99_unbounded = core::percentile(pooled_sojourns(unbounded),
+                                                99.0);
+  const double p99_bounded = core::percentile(pooled_sojourns(bounded),
+                                              99.0);
+  common::Table deadline_table({"arm", "p99 sojourn (s)", "reprograms",
+                                "deferred", "searches truncated",
+                                "deadline misses"});
+  auto add_deadline_row = [&](const char* label,
+                              const core::ServingResult& r, double p99) {
+    int reprograms = 0;
+    for (const auto& t : r.tenants) reprograms += t.reprograms;
+    deadline_table.add_row(
+        {label, common::Table::num(p99, 5),
+         common::Table::integer(reprograms),
+         common::Table::integer(r.total_deferred_reprograms()),
+         common::Table::integer(r.total_searches_truncated()),
+         common::Table::integer(r.total_deadline_misses())});
+  };
+  add_deadline_row("unbounded", unbounded, p99_unbounded);
+  add_deadline_row("deadline (0.5x reprogram)", bounded, p99_bounded);
+  common::print_table("drift-burst storm: per-request budgets vs none",
+                      deadline_table);
+  std::printf("\n[shape] under the storm the unbounded walk pays a full "
+              "search plus a reprogram campaign per run; the budgeted walk "
+              "truncates searches at best-so-far and defers campaigns to "
+              "after the burst, so its p99 is %.1fx tighter here.\n",
+              p99_bounded > 0.0 ? p99_unbounded / p99_bounded : 0.0);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"workload\": \"ResNet18 + MobileNetV1 / CIFAR-10\",\n"
+                 "  \"horizon_runs\": %d,\n"
+                 "  \"queue_capacity\": 2,\n"
+                 "  \"overload_sweep\": [\n",
+                 base.horizon.runs);
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      const ArmStats& a = arms[i];
+      std::fprintf(f,
+                   "    {\"load\": \"%s\", \"shed_policy\": \"%s\", "
+                   "\"p50_sojourn_s\": %.6e, \"p99_sojourn_s\": %.6e, "
+                   "\"shed_runs\": %d, \"runs\": %d, "
+                   "\"shed_rate\": %.4f, \"edp\": %.6e}%s\n",
+                   a.load.c_str(), a.shed.c_str(), a.p50_s, a.p99_s,
+                   a.shed_runs, a.runs, a.shed_rate, a.edp,
+                   i + 1 < arms.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"deadline_storm\": {\n"
+        "    \"burst\": {\"start_s\": 3.0, \"duration_s\": 8.0, "
+        "\"multiplier\": 1e9},\n"
+        "    \"slo_s\": %.6e,\n"
+        "    \"p99_unbounded_s\": %.6e,\n"
+        "    \"p99_bounded_s\": %.6e,\n"
+        "    \"p99_ratio\": %.3f,\n"
+        "    \"bounded_deferred_reprograms\": %d,\n"
+        "    \"bounded_searches_truncated\": %d,\n"
+        "    \"unbounded_searches_truncated\": %d\n"
+        "  }\n"
+        "}\n",
+        bounded_cfg.resilience.default_slo_s, p99_unbounded, p99_bounded,
+        p99_bounded > 0.0 ? p99_unbounded / p99_bounded : 0.0,
+        bounded.total_deferred_reprograms(),
+        bounded.total_searches_truncated(),
+        unbounded.total_searches_truncated());
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path);
+  }
+  return 0;
+}

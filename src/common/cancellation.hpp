@@ -1,0 +1,38 @@
+// Cooperative cancellation primitive shared by the thread pool, the
+// hung-work watchdog and the deadline-bounded serving paths.
+//
+// A CancellationToken is a one-way latch: once cancelled it stays
+// cancelled until reset(). Cancellation is *cooperative* — nothing is
+// preempted; long-running work (a search loop, a pool chunk, a simulated
+// hung worker) polls cancelled() at its natural yield points and unwinds
+// with its best-so-far result. The watchdog (common/parallel.hpp) cancels
+// tokens from its monitor thread, so all accesses are atomic.
+#pragma once
+
+#include <atomic>
+
+namespace odin::common {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  // The token is shared by address between the issuing side (watchdog,
+  // serving loop) and the cancelled side (pool chunks, search); it must
+  // stay put.
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  /// Re-arm the token for the next operation. Only safe once every observer
+  /// of the previous cancellation has quiesced (e.g. between serving runs).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace odin::common

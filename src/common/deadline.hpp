@@ -1,0 +1,71 @@
+// Per-request deadline budget for wall-clock-bounded serving.
+//
+// The paper's resource-bounded search caps *evaluations* (K steps); a
+// serving SLO caps *time*. A Deadline carries the remaining latency budget
+// of one inference request, in simulated seconds, so the search and the
+// reprogram/retry paths can stop early and return their best-so-far
+// feasible configuration instead of blowing the tenant's SLO.
+//
+// Two clocks feed expiry:
+//  * the simulated budget — callers charge() the simulated latency of the
+//    work they are about to do (a reprogram campaign, a batch of search
+//    evaluations priced at eval_cost_s each). This keeps deadline
+//    behaviour bitwise-reproducible: no real clock enters the decision.
+//  * an optional CancellationToken — the wall-clock escape hatch. The
+//    watchdog (common/parallel.hpp) cancels the token when real time
+//    exceeds its bound, which expires the deadline mid-flight even when
+//    the simulated budget still has headroom (a genuinely hung worker
+//    accrues no simulated cost at all).
+//
+// A null Deadline pointer everywhere means "no deadline" and preserves the
+// pre-resilience behaviour bit for bit.
+#pragma once
+
+#include "common/cancellation.hpp"
+
+namespace odin::common {
+
+class Deadline {
+ public:
+  /// `budget_s`: simulated latency budget (the tenant's SLO minus whatever
+  /// queueing delay the request already paid). `eval_cost_s`: simulated
+  /// cost of one search evaluation (the analytic search's timing proxy).
+  /// `token` (optional, caller-owned): wall-clock cancellation.
+  explicit Deadline(double budget_s, double eval_cost_s = 0.0,
+                    CancellationToken* token = nullptr) noexcept
+      : remaining_s_(budget_s), eval_cost_s_(eval_cost_s), token_(token) {}
+
+  /// Budget exhausted or wall-clock cancelled.
+  bool expired() const noexcept {
+    return remaining_s_ <= 0.0 || (token_ != nullptr && token_->cancelled());
+  }
+
+  /// Would `cost_s` of simulated work still fit? (Does not charge.)
+  bool allows(double cost_s) const noexcept {
+    return !expired() && cost_s <= remaining_s_;
+  }
+
+  /// Deduct `cost_s`; returns false when the deduction exhausted the
+  /// budget (the work charged is still considered done — callers charge
+  /// work they have committed to).
+  bool charge(double cost_s) noexcept {
+    remaining_s_ -= cost_s;
+    return !expired();
+  }
+
+  /// Deduct `n` search evaluations at the configured per-eval price.
+  bool charge_evaluations(int n) noexcept {
+    return charge(static_cast<double>(n) * eval_cost_s_);
+  }
+
+  double remaining_s() const noexcept { return remaining_s_; }
+  double eval_cost_s() const noexcept { return eval_cost_s_; }
+  CancellationToken* token() const noexcept { return token_; }
+
+ private:
+  double remaining_s_ = 0.0;
+  double eval_cost_s_ = 0.0;
+  CancellationToken* token_ = nullptr;  ///< caller-owned, may be null
+};
+
+}  // namespace odin::common

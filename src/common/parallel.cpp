@@ -1,21 +1,43 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
 namespace odin::common {
+
+std::atomic<long long> ThreadPool::stalls_{0};
 
 namespace {
 
 /// Set while a thread is executing chunks, so nested regions run inline.
 thread_local bool tls_in_parallel_region = false;
 
-int threads_from_env() {
-  if (const char* env = std::getenv("ODIN_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(std::min<long>(v, 256));
+/// Strict integer env parse: the whole value must be a decimal number
+/// (strtol alone maps "abc" to 0 and "8cores" to 8, both silently). On
+/// garbage, warn once to stderr and report "unset" so the caller's
+/// default applies.
+bool env_long(const char* name, long long& out) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "odin: ignoring %s='%s' (not an integer); using default\n",
+                 name, env);
+    return false;
   }
+  out = v;
+  return true;
+}
+
+int threads_from_env() {
+  long long v = 0;
+  if (env_long("ODIN_THREADS", v) && v >= 1)
+    return static_cast<int>(std::min<long long>(v, 256));
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
@@ -26,10 +48,9 @@ constexpr std::size_t kJobClosed =
     std::numeric_limits<std::size_t>::max() / 2;
 
 std::size_t min_work_from_env() {
-  if (const char* env = std::getenv("ODIN_PARALLEL_MIN_NS")) {
-    const long long v = std::strtoll(env, nullptr, 10);
-    if (v >= 0) return static_cast<std::size_t>(v);
-  }
+  long long v = 0;
+  if (env_long("ODIN_PARALLEL_MIN_NS", v) && v >= 0)
+    return static_cast<std::size_t>(v);
   // Fork-join (wake + join) costs a handful of microseconds; below ~100us
   // of total work the pool cannot break even even at perfect scaling.
   return 100'000;
@@ -94,7 +115,13 @@ void ThreadPool::drain_job() {
     if (chunk >= job_chunks_.load(std::memory_order_relaxed)) break;
     const std::size_t b = job_begin_ + chunk * job_grain_;
     const std::size_t e = std::min(job_end_, b + job_grain_);
-    if (!job_failed_.load(std::memory_order_relaxed)) {
+    // A failed job skips the remaining bodies; so does a cancelled one
+    // (the watchdog fired, or the caller gave up on the region). The
+    // chunk counters still drain so the join below completes normally.
+    const bool skip =
+        job_failed_.load(std::memory_order_relaxed) ||
+        (job_token_ != nullptr && job_token_->cancelled());
+    if (!skip) {
       try {
         job_fn_(job_ctx_, b, e);
       } catch (...) {
@@ -124,8 +151,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_chunks(std::size_t begin, std::size_t end,
                             std::size_t grain, ChunkFn fn, void* ctx,
-                            std::size_t cost_hint_ns) {
+                            std::size_t cost_hint_ns,
+                            CancellationToken* token) {
   if (begin >= end) return;
+  if (token != nullptr && token->cancelled()) return;  // already cut short
   const std::size_t n = end - begin;
   std::size_t g = grain;
   if (g == 0)
@@ -157,6 +186,7 @@ void ThreadPool::run_chunks(std::size_t begin, std::size_t end,
   std::lock_guard<std::mutex> job_lock(job_mutex_);
   job_fn_ = fn;
   job_ctx_ = ctx;
+  job_token_ = token;
   job_begin_ = begin;
   job_end_ = end;
   job_grain_ = g;
@@ -184,6 +214,68 @@ void ThreadPool::run_chunks(std::size_t begin, std::size_t end,
     std::lock_guard<std::mutex> lock(error_mutex_);
     std::exception_ptr err = std::exchange(job_error_, nullptr);
     if (err) std::rethrow_exception(err);
+  }
+}
+
+Watchdog::Watchdog() : monitor_([this] { monitor_loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+void Watchdog::arm(CancellationToken* token, std::chrono::nanoseconds bound) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!armed_ && "Watchdog::arm while already armed");
+    armed_token_ = token;
+    expiry_ = std::chrono::steady_clock::now() + bound;
+    armed_ = true;
+    fired_ = false;
+    ++generation_;
+  }
+  cv_.notify_all();
+}
+
+bool Watchdog::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool fired = fired_;
+  armed_ = false;
+  armed_token_ = nullptr;
+  fired_ = false;
+  ++generation_;
+  cv_.notify_all();
+  return fired;
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || armed_; });
+    if (stop_) return;
+    const std::uint64_t gen = generation_;
+    // Wait for either the deadline or a disarm (generation bump). A
+    // spurious wake re-enters with the same predicate.
+    cv_.wait_until(lock, expiry_,
+                   [&] { return stop_ || generation_ != gen; });
+    if (stop_) return;
+    if (generation_ != gen) continue;  // disarmed in time
+    if (armed_ && armed_token_ != nullptr) {
+      // The operation overran its wall-time bound: cancel cooperatively
+      // and count the stall. The armed operation's disarm() reports it.
+      armed_token_->cancel();
+      fired_ = true;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      ThreadPool::record_stall();
+      // Stay quiet until the operation disarms (generation bump).
+      cv_.wait(lock, [&] { return stop_ || generation_ != gen; });
+      if (stop_) return;
+    }
   }
 }
 

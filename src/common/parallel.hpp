@@ -26,17 +26,26 @@
 //     is a slowdown, not a speedup. cost_hint_ns = 0 (the default) means
 //     "unknown / heavy": always eligible for the pool, the pre-hint
 //     behaviour.
+//   * A region may carry a CancellationToken. Chunks that have not
+//     started when the token is cancelled are skipped (their indices are
+//     simply not visited); a chunk already running must poll the token
+//     itself. Cancellation is cooperative, never preemptive — see the
+//     Watchdog below for who cancels and why.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/cancellation.hpp"
 
 namespace odin::common {
 
@@ -61,8 +70,22 @@ class ThreadPool {
   /// one chunk, the pool is single-threaded, we are already inside a
   /// worker, or the estimated total work (items x cost_hint_ns, when the
   /// hint is nonzero) is below the fork-join break-even threshold.
+  /// `token` (optional, caller-owned): chunks not yet claimed when the
+  /// token is cancelled are skipped; the call still returns normally and
+  /// the caller checks token->cancelled() to learn the region was cut
+  /// short. Skipped chunks leave their output slots untouched.
   void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
-                  ChunkFn fn, void* ctx, std::size_t cost_hint_ns = 0);
+                  ChunkFn fn, void* ctx, std::size_t cost_hint_ns = 0,
+                  CancellationToken* token = nullptr);
+
+  /// Process-wide count of watchdog-detected stalls (hung chunks that had
+  /// to be cancelled). Incremented by Watchdog when it fires.
+  static long long stall_count() noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  static void record_stall() noexcept {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Total-work cutoff (nanoseconds) below which hinted regions run
   /// inline. Read once from ODIN_PARALLEL_MIN_NS (default 100000 = 100us,
@@ -87,12 +110,15 @@ class ThreadPool {
   int threads_ = 1;
   std::vector<std::thread> workers_;
 
+  static std::atomic<long long> stalls_;
+
   // Serializes top-level parallel regions (one job at a time).
   std::mutex job_mutex_;
 
   // Current job descriptor; reused across jobs, no per-job allocation.
   ChunkFn job_fn_ = nullptr;
   void* job_ctx_ = nullptr;
+  CancellationToken* job_token_ = nullptr;
   std::size_t job_begin_ = 0;
   std::size_t job_end_ = 0;
   std::size_t job_grain_ = 1;
@@ -127,33 +153,38 @@ void invoke_chunk(void* ctx, std::size_t begin, std::size_t end) {
 /// scratch state (allocated once per chunk, not once per index).
 /// `cost_hint_ns` estimates the per-item cost in nanoseconds; nonzero
 /// hints let small regions skip the pool entirely (see ThreadPool).
+/// `token` (optional): unclaimed chunks are skipped once it is cancelled.
 template <typename Fn>
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          std::size_t grain, Fn&& fn,
-                         std::size_t cost_hint_ns = 0) {
+                         std::size_t cost_hint_ns = 0,
+                         CancellationToken* token = nullptr) {
   ThreadPool::instance().run_chunks(begin, end, grain,
                                     &detail::invoke_chunk<Fn>,
                                     const_cast<void*>(
                                         static_cast<const void*>(&fn)),
-                                    cost_hint_ns);
+                                    cost_hint_ns, token);
 }
 
 /// fn(i) for every i in [begin, end).
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  Fn&& fn, std::size_t cost_hint_ns = 0) {
+                  Fn&& fn, std::size_t cost_hint_ns = 0,
+                  CancellationToken* token = nullptr) {
   parallel_for_chunks(begin, end, grain,
                       [&fn](std::size_t b, std::size_t e) {
                         for (std::size_t i = b; i < e; ++i) fn(i);
                       },
-                      cost_hint_ns);
+                      cost_hint_ns, token);
 }
 
 /// out[i] = fn(i) for i in [0, n); results land in index order regardless
-/// of scheduling, so reductions over `out` are deterministic.
+/// of scheduling, so reductions over `out` are deterministic. With a
+/// cancelled token, slots of skipped chunks keep their default value.
 template <typename Fn>
 auto parallel_transform(std::size_t n, std::size_t grain, Fn&& fn,
-                        std::size_t cost_hint_ns = 0)
+                        std::size_t cost_hint_ns = 0,
+                        CancellationToken* token = nullptr)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
   std::vector<std::decay_t<decltype(fn(std::size_t{}))>> out(n);
   parallel_for_chunks(
@@ -161,8 +192,59 @@ auto parallel_transform(std::size_t n, std::size_t grain, Fn&& fn,
       [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
       },
-      cost_hint_ns);
+      cost_hint_ns, token);
   return out;
 }
+
+/// Hung-work watchdog: one monitor thread that cancels a CancellationToken
+/// when an armed operation fails to disarm within its wall-time bound.
+///
+/// Usage per guarded operation:
+///   watchdog.arm(&token, bound);
+///   ... run the work, which polls token.cancelled() ...
+///   bool stalled = watchdog.disarm();
+///
+/// The fired token makes pool regions skip their unclaimed chunks and
+/// makes Deadline::expired() true, so a cooperatively written worker
+/// unwinds with best-so-far results; the serving loop then marks the run
+/// shed instead of deadlocking on it. Every fire bumps the per-instance
+/// stall counter and the process-wide ThreadPool::stall_count().
+class Watchdog {
+ public:
+  Watchdog();
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Start the clock on one operation. `token` must outlive the matching
+  /// disarm(). Re-arming while armed is a bug (asserted in debug builds).
+  void arm(CancellationToken* token, std::chrono::nanoseconds bound);
+
+  /// Stop the clock; returns true when the watchdog fired (the operation
+  /// overran its bound and the token was cancelled).
+  bool disarm();
+
+  /// Stalls detected by THIS watchdog instance.
+  long long stall_count() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void monitor_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  CancellationToken* armed_token_ = nullptr;
+  std::chrono::steady_clock::time_point expiry_{};
+  std::uint64_t generation_ = 0;  ///< bumps on every arm/disarm
+  bool armed_ = false;
+  bool fired_ = false;
+  bool stop_ = false;
+  std::atomic<long long> stalls_{0};
+  // Declared (and therefore constructed) last: the monitor thread starts
+  // only once every member it reads is initialized.
+  std::thread monitor_;
+};
 
 }  // namespace odin::common

@@ -15,7 +15,9 @@ namespace odin::core {
 namespace {
 
 constexpr char kMagic[8] = {'O', 'D', 'I', 'N', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
+/// Oldest payload version this build still decodes (newer builds keep
+/// reading the fields old payloads carry and default the rest).
+constexpr std::uint32_t kMinVersion = 1;
 /// Frame: magic(8) + version(4) + sequence(8) + payload size(8) + crc(4).
 constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 4;
 /// Refuse absurd payloads before allocating (a corrupt size field must not
@@ -76,9 +78,25 @@ void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
   out.i64(t.buffer_quarantined);
   encode_energy(t.inference, out);
   encode_energy(t.reprogram, out);
+  // v2: resilience surface.
+  out.f64(t.slo_s);
+  out.i32(t.shed_runs);
+  out.i32(t.breaker_open_runs);
+  out.i32(t.deadline_misses);
+  out.i32(t.deferred_reprograms);
+  out.i32(t.deadline_stopped_retries);
+  out.i32(t.searches_truncated);
+  out.i32(t.breaker_opens);
+  out.i32(t.breaker_reopens);
+  out.i32(t.breaker_probes);
+  out.i32(t.breaker_closes);
+  out.i32(t.watchdog_stalls);
+  out.u64(t.sojourn_s.size());
+  for (double v : t.sojourn_s) out.f64(v);
 }
 
-TenantStats decode_tenant(common::ByteReader& in) {
+std::optional<TenantStats> decode_tenant(common::ByteReader& in,
+                                         std::uint32_t version) {
   TenantStats t;
   t.name = in.str();
   t.runs = in.i32();
@@ -93,6 +111,26 @@ TenantStats decode_tenant(common::ByteReader& in) {
   t.buffer_quarantined = in.i64();
   t.inference = decode_energy(in);
   t.reprogram = decode_energy(in);
+  if (version >= 2) {
+    t.slo_s = in.f64();
+    t.shed_runs = in.i32();
+    t.breaker_open_runs = in.i32();
+    t.deadline_misses = in.i32();
+    t.deferred_reprograms = in.i32();
+    t.deadline_stopped_retries = in.i32();
+    t.searches_truncated = in.i32();
+    t.breaker_opens = in.i32();
+    t.breaker_reopens = in.i32();
+    t.breaker_probes = in.i32();
+    t.breaker_closes = in.i32();
+    t.watchdog_stalls = in.i32();
+    const std::uint64_t samples = in.u64();
+    if (!in.ok() || samples > (1u << 24)) return std::nullopt;
+    t.sojourn_s.reserve(samples);
+    for (std::uint64_t i = 0; i < samples; ++i)
+      t.sojourn_s.push_back(in.f64());
+  }
+  if (!in.ok()) return std::nullopt;
   return t;
 }
 
@@ -166,6 +204,7 @@ std::uint32_t frame_crc(std::uint64_t sequence, const std::string& payload) {
 
 /// Header fields of one framed file; nullopt when the frame is invalid.
 struct Frame {
+  std::uint32_t version = 0;
   std::uint64_t sequence = 0;
   std::string payload;
 };
@@ -181,8 +220,13 @@ std::optional<Frame> read_frame(const std::string& path) {
   for (char& m : magic) m = static_cast<char>(hr.u8());
   if (std::string_view(magic, 8) != std::string_view(kMagic, 8))
     return std::nullopt;
-  if (hr.u32() != kVersion) return std::nullopt;
   Frame frame;
+  frame.version = hr.u32();
+  // Forward compatibility: older payloads (>= kMinVersion) decode with
+  // defaults for the fields they predate; payloads from a *newer* build
+  // are rejected (their layout is unknown, not merely longer).
+  if (frame.version < kMinVersion || frame.version > kCheckpointVersion)
+    return std::nullopt;
   frame.sequence = hr.u64();
   const std::uint64_t size = hr.u64();
   const std::uint32_t crc = hr.u32();
@@ -203,7 +247,7 @@ bool write_frame(const std::string& path, std::uint64_t sequence,
     if (!out) return false;
     common::ByteWriter header;
     for (char m : kMagic) header.u8(static_cast<std::uint8_t>(m));
-    header.u32(kVersion);
+    header.u32(kCheckpointVersion);
     header.u64(sequence);
     header.u64(payload.size());
     header.u32(frame_crc(sequence, payload));
@@ -253,9 +297,34 @@ void encode_checkpoint(const ServingCheckpoint& ckpt,
   out.u64(ckpt.health_maps.size());
   for (const reram::CrossbarHealth& h : ckpt.health_maps)
     reram::encode_health(h, out);
+  // v2: resilience serving state.
+  out.boolean(ckpt.has_resilience);
+  out.i32(ckpt.shed_policy);
+  out.u64(ckpt.queue_capacity);
+  out.f64(ckpt.busy_until_s);
+  out.u64(ckpt.pending_runs.size());
+  for (std::uint64_t j : ckpt.pending_runs) out.u64(j);
+  out.u64(ckpt.breakers.size());
+  for (const CircuitBreaker::Snapshot& b : ckpt.breakers) {
+    out.i32(b.state);
+    out.u64(b.window_bits);
+    out.i32(b.window_fill);
+    out.i32(b.hold_left);
+    out.i32(b.hold_runs);
+    out.i32(b.opens);
+    out.i32(b.reopens);
+    out.i32(b.probes);
+    out.i32(b.closes);
+  }
+  out.u64(ckpt.fallback_ous.size());
+  for (const ou::OuConfig& c : ckpt.fallback_ous) {
+    out.i32(c.rows);
+    out.i32(c.cols);
+  }
 }
 
-std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in) {
+std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
+                                                   std::uint32_t version) {
   ServingCheckpoint ckpt;
   ckpt.segment = in.u64();
   ckpt.next_run = in.u64();
@@ -270,8 +339,11 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in) {
   ckpt.result.label = in.str();
   const std::uint64_t tenants = in.u64();
   if (!in.ok() || tenants > (1u << 16)) return std::nullopt;
-  for (std::uint64_t i = 0; i < tenants; ++i)
-    ckpt.result.tenants.push_back(decode_tenant(in));
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    auto tenant = decode_tenant(in, version);
+    if (!tenant.has_value()) return std::nullopt;
+    ckpt.result.tenants.push_back(std::move(*tenant));
+  }
   ckpt.result.programming = decode_energy(in);
   ckpt.result.switches = in.i32();
   ckpt.result.policy_updates = in.i32();
@@ -288,6 +360,39 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in) {
     auto health = reram::decode_health(in);
     if (!health.has_value()) return std::nullopt;
     ckpt.health_maps.push_back(std::move(*health));
+  }
+  if (version >= 2) {
+    ckpt.has_resilience = in.boolean();
+    ckpt.shed_policy = in.i32();
+    ckpt.queue_capacity = in.u64();
+    ckpt.busy_until_s = in.f64();
+    const std::uint64_t queued = in.u64();
+    if (!in.ok() || queued > (1u << 24)) return std::nullopt;
+    for (std::uint64_t i = 0; i < queued; ++i)
+      ckpt.pending_runs.push_back(in.u64());
+    const std::uint64_t breakers = in.u64();
+    if (!in.ok() || breakers > (1u << 16)) return std::nullopt;
+    for (std::uint64_t i = 0; i < breakers; ++i) {
+      CircuitBreaker::Snapshot b;
+      b.state = in.i32();
+      b.window_bits = in.u64();
+      b.window_fill = in.i32();
+      b.hold_left = in.i32();
+      b.hold_runs = in.i32();
+      b.opens = in.i32();
+      b.reopens = in.i32();
+      b.probes = in.i32();
+      b.closes = in.i32();
+      ckpt.breakers.push_back(b);
+    }
+    const std::uint64_t fallbacks = in.u64();
+    if (!in.ok() || fallbacks > (1u << 16)) return std::nullopt;
+    for (std::uint64_t i = 0; i < fallbacks; ++i) {
+      ou::OuConfig c;
+      c.rows = in.i32();
+      c.cols = in.i32();
+      ckpt.fallback_ous.push_back(c);
+    }
   }
   if (!in.ok()) return std::nullopt;
   return ckpt;
@@ -329,7 +434,7 @@ std::optional<ServingCheckpoint> load_checkpoint_file(
   const auto frame = read_frame(path);
   if (!frame.has_value()) return std::nullopt;
   common::ByteReader reader(frame->payload);
-  auto ckpt = decode_checkpoint(reader);
+  auto ckpt = decode_checkpoint(reader, frame->version);
   if (ckpt.has_value()) ckpt->sequence = frame->sequence;
   return ckpt;
 }

@@ -37,6 +37,12 @@
 
 namespace odin::core {
 
+/// On-disk payload version. Version 2 added the resilience serving state
+/// (queue, breakers, fallback OUs, per-tenant SLO counters); version-1
+/// frames are still accepted, with every added field defaulting to the
+/// resilience-disabled state.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
 /// The complete serving state at a run boundary. `segment`/`next_run`
 /// locate the resume point: the next inference to execute is
 /// schedule[next_run] inside `segment` (whose tenant-switch programming
@@ -64,13 +70,25 @@ struct ServingCheckpoint {
   /// Measured per-crossbar health maps from the last read-verify, when the
   /// serving path tracks them (may be empty).
   std::vector<reram::CrossbarHealth> health_maps;
+  /// Resilience serving state (v2+; all defaulted when decoding a v1
+  /// frame or when the walk ran with resilience disabled).
+  bool has_resilience = false;
+  std::int32_t shed_policy = 0;      ///< fingerprint: ShedPolicy in force
+  std::uint64_t queue_capacity = 0;  ///< fingerprint: admission bound
+  double busy_until_s = 0.0;         ///< when the FIFO device frees up
+  std::vector<std::uint64_t> pending_runs;  ///< queued arrival indices
+  std::vector<CircuitBreaker::Snapshot> breakers;  ///< one per tenant
+  std::vector<ou::OuConfig> fallback_ous;          ///< one per tenant
 };
 
 /// Payload codec (no framing). decode returns nullopt on truncation or a
-/// version/shape mismatch; framing and CRC are the file layer's job.
+/// shape mismatch; framing, CRC and the version field are the file layer's
+/// job — it passes the frame's version down so older payloads decode with
+/// the fields they actually carry.
 void encode_checkpoint(const ServingCheckpoint& ckpt,
                        common::ByteWriter& out);
-std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in);
+std::optional<ServingCheckpoint> decode_checkpoint(
+    common::ByteReader& in, std::uint32_t version = kCheckpointVersion);
 
 /// Double-buffered atomic checkpoint file pair (`<base>.a` / `<base>.b`).
 /// Construction scans existing slots so sequence numbers keep increasing

@@ -59,7 +59,8 @@ common::EnergyLatency OdinController::full_reprogram_cost() const {
   return total;
 }
 
-RunResult OdinController::run_inference(double t_s) {
+RunResult OdinController::run_inference(double t_s,
+                                        common::Deadline* deadline) {
   assert(t_s >= programmed_at_s_);
   RunResult run;
   run.time_s = t_s;
@@ -83,21 +84,39 @@ RunResult OdinController::run_inference(double t_s) {
     const bool recoverable =
         !degraded_ &&
         !nonideal_->reprogram_required(t0, grid_, 1.0, fault_nf, 1.0);
-    if (recoverable) {
+    // Deadline gate: a reprogram campaign is the single most expensive
+    // thing a run can do. When the remaining budget cannot absorb even the
+    // first attempt's latency, defer the campaign — serve this run
+    // best-effort on the most drift-tolerant corner of the drifted array
+    // (degraded_ is NOT set; the device is healthy, just out of time) and
+    // leave the campaign due for a run with more headroom.
+    const bool deferred = recoverable && deadline != nullptr &&
+                          !deadline->allows(full_reprogram_cost().latency_s);
+    if (deferred) run.deadline_deferred_reprogram = true;
+    if (recoverable && !deferred) {
       run.reprogrammed = true;
       ++reprogram_count_;
       const common::EnergyLatency attempt = full_reprogram_cost();
       run.reprogram += attempt;
+      if (deadline != nullptr) deadline->charge(attempt.latency_s);
       bool converged = faults_ == nullptr || faults_->program_campaign();
       int attempts = 1;
       // Bounded retries with escalating verify windows: each retry is a
       // full write-verify campaign (it wears the array again) whose
-      // latency grows by the backoff factor.
+      // latency grows by the backoff factor. Under a deadline each retry
+      // must also fit the remaining budget — when it no longer does, the
+      // loop gives up early (best-effort: the array keeps whatever the
+      // last campaign achieved; the controller is not marked degraded).
       while (!converged && attempts < fp.max_program_attempts) {
         common::EnergyLatency retry = attempt;
         retry.latency_s *=
             std::pow(fp.retry_backoff, static_cast<double>(attempts));
+        if (deadline != nullptr && !deadline->allows(retry.latency_s)) {
+          run.deadline_stopped_retries = true;
+          break;
+        }
         run.reprogram += retry;
+        if (deadline != nullptr) deadline->charge(retry.latency_s);
         converged = faults_->program_campaign();
         ++attempts;
       }
@@ -112,7 +131,11 @@ RunResult OdinController::run_inference(double t_s) {
       }
       if (!converged) {
         run.write_verify_failed = true;
-        degraded_ = true;
+        // Exhausting every allowed attempt means the writes themselves do
+        // not converge — permanent damage, so degrade. Stopping because
+        // the *deadline* ran out says nothing about the device; the next
+        // unhurried run simply retries.
+        if (!run.deadline_stopped_retries) degraded_ = true;
       }
       // Livelock cap: if the freshly programmed array still violates eta,
       // or it is over its stuck-cell budget, another campaign cannot help —
@@ -120,7 +143,7 @@ RunResult OdinController::run_inference(double t_s) {
       if (nonideal_->reprogram_required(t0, grid_, 1.0, fault_nf, 1.0) ||
           health_fraction_ > fp.stuck_cell_budget)
         degraded_ = true;
-    } else {
+    } else if (!recoverable) {
       degraded_ = true;
     }
     if (degraded_ &&
@@ -187,6 +210,7 @@ RunResult OdinController::run_inference(double t_s) {
         .sensitivity = nonideal_->layer_sensitivity(layer.index, layer_count),
         .nf_floor = fault_nf,
         .eta_scale = eta_scale_,
+        .deadline = deadline,
     };
 
     // Entropy-gate extension: a confident, feasible policy prediction is
@@ -211,12 +235,17 @@ RunResult OdinController::run_inference(double t_s) {
               : ou::resource_bounded_search(ctx, decision.policy_choice,
                                             config_.search_steps);
       decision.evaluations = best.evaluations;
-      // When healthy, a feasible config always exists here (reprogramming
-      // was handled above and the sensitivity-scaled IR constraint admits
-      // the minimum OU). A degraded array whose relaxation was capped by
-      // the accuracy guardrail can leave the whole grid infeasible — the
-      // run still completes on the most fault-tolerant corner.
-      assert(best.found || degraded_);
+      if (best.truncated) ++run.searches_truncated;
+      // When healthy and unhurried, a feasible config always exists here
+      // (reprogramming was handled above and the sensitivity-scaled IR
+      // constraint admits the minimum OU). A degraded array whose
+      // relaxation was capped by the accuracy guardrail can leave the
+      // whole grid infeasible, a deferred reprogram leaves it drifted past
+      // eta, and a truncated search may simply not have reached a feasible
+      // point — in all three the run still completes on the most
+      // fault-tolerant corner.
+      assert(best.found || degraded_ || best.truncated ||
+             run.deadline_deferred_reprogram);
       decision.executed = best.found ? best.best : grid_.min_config();
     }
     decision.mismatch = decision.executed != decision.policy_choice;

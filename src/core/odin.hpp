@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/units.hpp"
 #include "ou/cost_model.hpp"
 #include "ou/mapped_model.hpp"
@@ -148,6 +149,16 @@ struct RunResult {
   double fault_fraction = 0.0;      ///< measured health (last read-verify)
   double eta_scale = 1.0;           ///< relaxation factor in effect
   double estimated_accuracy = 0.0;  ///< surrogate accuracy for this run
+  /// Deadline surface (all false/0 when run without a deadline).
+  /// A required reprogram campaign was deferred because its latency did
+  /// not fit the remaining budget; the run was served best-effort on the
+  /// drifted array instead (the campaign stays due for a later run).
+  bool deadline_deferred_reprogram = false;
+  /// The write-verify retry loop stopped early because the next escalated
+  /// retry no longer fit the budget (the array may be unverified, but the
+  /// controller is NOT ratcheted into degraded mode for it).
+  bool deadline_stopped_retries = false;
+  int searches_truncated = 0;  ///< layer searches cut short by the deadline
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
   std::vector<LayerDecision> decisions;  ///< one per layer
@@ -201,7 +212,12 @@ class OdinController {
 
   /// One inference run at absolute time `t_s` (monotonically increasing
   /// across calls). Returns everything that happened during the run.
-  RunResult run_inference(double t_s);
+  /// `deadline` (optional, caller-owned) bounds the work this run may do:
+  /// reprogram campaigns and retries that do not fit the remaining budget
+  /// are deferred, and the per-layer search stops with its best-so-far
+  /// configuration when the budget runs out. Null (the default) is the
+  /// unbounded pre-resilience behaviour, bit for bit.
+  RunResult run_inference(double t_s, common::Deadline* deadline = nullptr);
 
   int reprogram_count() const noexcept { return reprogram_count_; }
   int update_count() const noexcept { return update_count_; }

@@ -1,13 +1,30 @@
 #include "core/serving.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <thread>
 
+#include "common/cancellation.hpp"
 #include "common/parallel.hpp"
 #include "core/checkpoint.hpp"
 #include "reram/fault_injection.hpp"
 
 namespace odin::core {
+
+double TenantStats::sojourn_percentile(double p) const {
+  return percentile(sojourn_s, p);
+}
+
+double TenantStats::slack_percentile(double p) const {
+  if (slo_s <= 0.0 || sojourn_s.empty()) return 0.0;
+  return slo_s - sojourn_percentile(p);
+}
 
 common::EnergyLatency ServingResult::total() const noexcept {
   common::EnergyLatency t = programming;
@@ -69,6 +86,66 @@ long long ServingResult::total_buffer_quarantined() const noexcept {
   return n;
 }
 
+int ServingResult::total_shed_runs() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.shed_runs;
+  return n;
+}
+
+int ServingResult::total_breaker_open_runs() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.breaker_open_runs;
+  return n;
+}
+
+int ServingResult::total_deadline_misses() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.deadline_misses;
+  return n;
+}
+
+int ServingResult::total_deferred_reprograms() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.deferred_reprograms;
+  return n;
+}
+
+int ServingResult::total_searches_truncated() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.searches_truncated;
+  return n;
+}
+
+int ServingResult::total_breaker_opens() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.breaker_opens;
+  return n;
+}
+
+int ServingResult::total_breaker_reopens() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.breaker_reopens;
+  return n;
+}
+
+int ServingResult::total_breaker_probes() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.breaker_probes;
+  return n;
+}
+
+int ServingResult::total_breaker_closes() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.breaker_closes;
+  return n;
+}
+
+int ServingResult::total_watchdog_stalls() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.watchdog_stalls;
+  return n;
+}
+
 namespace {
 
 /// Contiguous segment boundaries over the run schedule.
@@ -91,6 +168,20 @@ common::EnergyLatency full_programming_cost(const ou::MappedModel& model,
   common::EnergyLatency total;
   for (std::size_t j = 0; j < model.layer_count(); ++j)
     total += cost.reprogram_cost(model.mapping(j));
+  return total;
+}
+
+/// Cost of one degraded fallback serve: plain inference at a fixed
+/// homogeneous OU — no search, no reprogram, no controller involvement.
+common::EnergyLatency fallback_serve_cost(const ou::MappedModel& model,
+                                          const ou::OuCostModel& cost,
+                                          ou::OuConfig ou) {
+  common::EnergyLatency total;
+  for (std::size_t j = 0; j < model.layer_count(); ++j)
+    total += cost
+                 .layer_cost(model.mapping(j).counts(ou), ou,
+                             model.model().layers[j].activation_sparsity)
+                 .total();
   return total;
 }
 
@@ -128,6 +219,28 @@ std::optional<ServingResult> serve_odin_impl(
         return full_programming_cost(*tenants[s % tenants.size()], cost);
       });
 
+  // --- Resilience serving state (inert while res.enabled is false) ---
+  // The device is a single FIFO server: busy_until_s is when it frees up,
+  // `pending` the bounded run queue of this segment's not-yet-served
+  // arrivals. Breakers and the last-known-good fallback OU are per tenant
+  // and persist across segments (and across checkpoints).
+  const ResilienceConfig& res = config.resilience;
+  double busy_until_s = 0.0;
+  std::deque<std::size_t> pending;
+  std::vector<CircuitBreaker> breakers;
+  std::vector<ou::OuConfig> fallback;
+  std::optional<common::Watchdog> watchdog;
+  common::CancellationToken token;
+  if (res.enabled) {
+    breakers.reserve(tenants.size());
+    fallback.reserve(tenants.size());
+    for (const ou::MappedModel* t : tenants) {
+      breakers.emplace_back(res.breaker);
+      fallback.push_back(ou::OuLevelGrid(t->crossbar_size()).min_config());
+    }
+    if (res.watchdog_bound_s > 0.0) watchdog.emplace();
+  }
+
   std::size_t s0 = 0;
   std::size_t i0 = 0;
   if (resume != nullptr) {
@@ -138,7 +251,18 @@ std::optional<ServingResult> serve_odin_impl(
     if (s0 >= bounds.size() || i0 < bounds[s0].first ||
         i0 > bounds[s0].second)
       return std::nullopt;
+    if (res.enabled) {
+      busy_until_s = resume->busy_until_s;
+      for (std::uint64_t j : resume->pending_runs)
+        pending.push_back(static_cast<std::size_t>(j));
+      for (std::size_t i = 0; i < tenants.size(); ++i)
+        breakers[i].restore(resume->breakers[i]);
+      fallback = resume->fallback_ous;
+    }
   }
+  if (res.enabled)
+    for (std::size_t i = 0; i < tenants.size(); ++i)
+      result.tenants[i].slo_s = res.has_slo(i) ? res.slo_s(i) : 0.0;
 
   std::unique_ptr<CheckpointWriter> writer;
   if (!config.checkpoint.base_path.empty())
@@ -160,6 +284,17 @@ std::optional<ServingResult> serve_odin_impl(
     if (faults != nullptr) {
       ckpt.has_faults = true;
       ckpt.wear = faults->wear_state();
+    }
+    if (res.enabled) {
+      ckpt.has_resilience = true;
+      ckpt.shed_policy = static_cast<std::int32_t>(res.shed);
+      ckpt.queue_capacity = res.queue_capacity;
+      ckpt.busy_until_s = busy_until_s;
+      for (std::size_t j : pending)
+        ckpt.pending_runs.push_back(static_cast<std::uint64_t>(j));
+      for (const CircuitBreaker& b : breakers)
+        ckpt.breakers.push_back(b.snapshot());
+      ckpt.fallback_ous = fallback;
     }
     return ckpt;
   };
@@ -195,14 +330,149 @@ std::optional<ServingResult> serve_odin_impl(
       controller.reset_drift_clock(schedule[bounds[s].first]);
     }
 
-    const std::size_t seg_start = resuming ? i0 : bounds[s].first;
-    for (std::size_t i = seg_start; i < bounds[s].second; ++i) {
-      const RunResult run = controller.run_inference(schedule[i]);
+    // --- Per-segment serving lambdas (resilience path) ---
+    // Full service runs the controller (search + any reprogram) under the
+    // tenant's deadline; fallback service bills a plain inference at the
+    // tenant's last-known-good OU. Both advance the device's busy_until
+    // clock, so shedding relieves overload by skipping the expensive parts
+    // (reprogram campaigns and search), not by pretending work is free.
+    const double slo = res.enabled
+                           ? res.slo_s(tenant_idx)
+                           : std::numeric_limits<double>::infinity();
+    CircuitBreaker* breaker = res.enabled ? &breakers[tenant_idx] : nullptr;
+    auto sync_breaker = [&] {
+      stats.breaker_opens = breaker->opens();
+      stats.breaker_reopens = breaker->reopens();
+      stats.breaker_probes = breaker->probes();
+      stats.breaker_closes = breaker->closes();
+    };
+    auto serve_fallback = [&](std::size_t j, bool shed) {
+      const double t_arr = schedule[j];
+      const double start = std::max(busy_until_s, t_arr);
+      const common::EnergyLatency c =
+          fallback_serve_cost(tenant, cost, fallback[tenant_idx]);
+      busy_until_s = start + c.latency_s;
+      stats.inference += c;
+      ++stats.runs;
+      stats.sojourn_s.push_back(busy_until_s - t_arr);
+      if (shed)
+        ++stats.shed_runs;
+      else
+        ++stats.breaker_open_runs;
+    };
+    auto serve_full = [&](std::size_t j) {
+      const double t_arr = schedule[j];
+      const double start = std::max(busy_until_s, t_arr);
+      if (!breaker->allow()) {
+        // Breaker holding open: degraded service, search skipped entirely.
+        serve_fallback(j, false);
+        sync_breaker();
+        return;
+      }
+      token.reset();
+      const bool guarded = watchdog.has_value();
+      if (guarded)
+        watchdog->arm(&token,
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::duration<double>(res.watchdog_bound_s)));
+      RunResult run;
+      bool hung = false;
+      if (guarded && res.hang_run_index >= 0 &&
+          static_cast<long long>(j) == res.hang_run_index) {
+        // Hung-worker simulation: spin (with a failsafe so a broken
+        // watchdog cannot hang the suite) until the watchdog cancels the
+        // token, exactly like a stuck chunk that never returns.
+        const auto failsafe =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!token.cancelled() &&
+               std::chrono::steady_clock::now() < failsafe)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        hung = true;
+      } else {
+        common::Deadline deadline(slo - (start - t_arr),
+                                  res.search_eval_cost_s,
+                                  guarded ? &token : nullptr);
+        run = controller.run_inference(start, &deadline);
+      }
+      const bool stalled = guarded && watchdog->disarm();
+      if (stalled) ++stats.watchdog_stalls;
+      if (hung) {
+        // The run never reached the controller: serve it degraded, count
+        // it shed, and let the breaker see the failure.
+        serve_fallback(j, true);
+        breaker->record(false);
+        sync_breaker();
+        return;
+      }
+      int evals = 0;
+      for (const LayerDecision& d : run.decisions) evals += d.evaluations;
+      const double service =
+          run.inference.latency_s + run.reprogram.latency_s +
+          static_cast<double>(evals) * res.search_eval_cost_s;
+      busy_until_s = start + service;
+      const double sojourn = busy_until_s - t_arr;
+      stats.sojourn_s.push_back(sojourn);
       stats.inference += run.inference;
       stats.reprogram += run.reprogram;
       stats.mismatches += run.mismatches;
       stats.degraded_runs += run.degraded ? 1 : 0;
       ++stats.runs;
+      const bool miss = std::isfinite(slo) && sojourn > slo;
+      if (miss) ++stats.deadline_misses;
+      if (run.deadline_deferred_reprogram) ++stats.deferred_reprograms;
+      if (run.deadline_stopped_retries) ++stats.deadline_stopped_retries;
+      stats.searches_truncated += run.searches_truncated;
+      const bool success = !miss && !run.write_verify_failed && !stalled;
+      breaker->record(success);
+      if (success && !run.decisions.empty())
+        fallback[tenant_idx] = run.decisions.front().executed;
+      sync_breaker();
+    };
+    auto drain_queue = [&](double until_s) {
+      while (!pending.empty() && busy_until_s <= until_s) {
+        const std::size_t j = pending.front();
+        pending.pop_front();
+        serve_full(j);
+      }
+    };
+
+    const std::size_t seg_start = resuming ? i0 : bounds[s].first;
+    for (std::size_t i = seg_start; i < bounds[s].second; ++i) {
+      if (!res.enabled) {
+        const RunResult run = controller.run_inference(schedule[i]);
+        stats.inference += run.inference;
+        stats.reprogram += run.reprogram;
+        stats.mismatches += run.mismatches;
+        stats.degraded_runs += run.degraded ? 1 : 0;
+        ++stats.runs;
+      } else {
+        // Event-driven FIFO: serve whatever the device finished before
+        // this arrival, enqueue it, shed on overflow, then serve it
+        // immediately if the device is idle. Serves happen in arrival
+        // order, so the walk stays deterministic and resumable.
+        const double t_arr = schedule[i];
+        drain_queue(t_arr);
+        pending.push_back(i);
+        if (pending.size() > res.queue_capacity) {
+          switch (res.shed) {
+            case ShedPolicy::kBlock:
+              break;  // unbounded queue: callers absorb the backpressure
+            case ShedPolicy::kShedOldest: {
+              const std::size_t j = pending.front();
+              pending.pop_front();
+              serve_fallback(j, true);
+              break;
+            }
+            case ShedPolicy::kShedNewest: {
+              const std::size_t j = pending.back();
+              pending.pop_back();
+              serve_fallback(j, true);
+              break;
+            }
+          }
+        }
+        drain_queue(t_arr);
+      }
       ++invocation_runs;
       ++runs_since_ckpt;
 
@@ -232,6 +502,10 @@ std::optional<ServingResult> serve_odin_impl(
       }
     }
     if (stopped) break;
+    // Segment end is a tenant switch: the outgoing tenant's queue drains
+    // completely before the device reprograms for the next one.
+    if (res.enabled)
+      drain_queue(std::numeric_limits<double>::infinity());
     stats.reprograms += controller.reprogram_count();
     stats.retries += controller.retry_count();
     stats.updates_accepted += controller.updates_accepted();
@@ -279,6 +553,18 @@ std::optional<ServingResult> resume_with_odin(
     if (ckpt.tenant_names[i] != tenants[i]->model().name)
       return std::nullopt;
   if (ckpt.result.tenants.size() != tenants.size()) return std::nullopt;
+  // Resilience layout: the queue/breaker state only transfers onto the
+  // same admission geometry it was captured under.
+  if (ckpt.has_resilience != config.resilience.enabled) return std::nullopt;
+  if (config.resilience.enabled) {
+    if (ckpt.shed_policy !=
+            static_cast<std::int32_t>(config.resilience.shed) ||
+        ckpt.queue_capacity != config.resilience.queue_capacity)
+      return std::nullopt;
+    if (ckpt.breakers.size() != tenants.size() ||
+        ckpt.fallback_ous.size() != tenants.size())
+      return std::nullopt;
+  }
   // Device wear: replay the campaign history on the caller's freshly
   // seeded injector and verify the fingerprint.
   if (ckpt.has_faults != (faults != nullptr)) return std::nullopt;

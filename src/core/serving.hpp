@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/resilience.hpp"
 
 namespace odin::core {
 
@@ -46,6 +47,10 @@ struct ServingConfig {
   /// checkpointing is enabled) and return the partial result. 0 = serve
   /// the whole horizon.
   int max_runs = 0;
+  /// Deadline/admission/breaker/watchdog layer (core/resilience.hpp).
+  /// Disabled by default: the serving walk is then bit-identical to the
+  /// pre-resilience behaviour.
+  ResilienceConfig resilience{};
 };
 
 struct TenantStats {
@@ -63,8 +68,33 @@ struct TenantStats {
   /// entries held in quarantine while serving this tenant.
   long long buffer_dropped = 0;
   long long buffer_quarantined = 0;
+  /// Resilience surface (all zero while resilience is disabled). A "run"
+  /// below is one arrival of this tenant's traffic; every arrival is served
+  /// exactly once, either fully (controller + search) or by the degraded
+  /// fallback (last-known-good homogeneous OU, no search, no reprogram).
+  double slo_s = 0.0;            ///< latency SLO in force (0 = none/disabled)
+  int shed_runs = 0;             ///< admission-control sheds (queue overflow)
+  int breaker_open_runs = 0;     ///< fallback serves while the breaker held
+  int deadline_misses = 0;       ///< full serves whose sojourn overran the SLO
+  int deferred_reprograms = 0;   ///< campaigns pushed out by the deadline
+  int deadline_stopped_retries = 0;  ///< retry loops cut short by the budget
+  int searches_truncated = 0;    ///< layer searches stopped at best-so-far
+  int breaker_opens = 0;         ///< Closed -> Open trips
+  int breaker_reopens = 0;       ///< failed half-open probes
+  int breaker_probes = 0;        ///< half-open probe runs granted
+  int breaker_closes = 0;        ///< recoveries back to Closed
+  int watchdog_stalls = 0;       ///< hung runs cancelled by the watchdog
+  /// Per-served-run sojourn (queue wait + service latency), in arrival
+  /// order; feeds the percentile reporting below.
+  std::vector<double> sojourn_s;
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
+
+  /// Nearest-rank percentile of the sojourn samples (p in [0, 100]).
+  double sojourn_percentile(double p) const;
+  /// Deadline slack at the same rank: slo_s - sojourn_percentile(p)
+  /// (negative = the SLO was missed at that rank; 0 when no SLO was set).
+  double slack_percentile(double p) const;
 };
 
 struct ServingResult {
@@ -88,6 +118,17 @@ struct ServingResult {
   int total_updates_rolled_back() const noexcept;
   long long total_buffer_dropped() const noexcept;
   long long total_buffer_quarantined() const noexcept;
+  /// Resilience totals (all zero while resilience is disabled).
+  int total_shed_runs() const noexcept;
+  int total_breaker_open_runs() const noexcept;
+  int total_deadline_misses() const noexcept;
+  int total_deferred_reprograms() const noexcept;
+  int total_searches_truncated() const noexcept;
+  int total_breaker_opens() const noexcept;
+  int total_breaker_reopens() const noexcept;
+  int total_breaker_probes() const noexcept;
+  int total_breaker_closes() const noexcept;
+  int total_watchdog_stalls() const noexcept;
 };
 
 /// Serve `tenants` (non-owning; must outlive the call) with one adapting

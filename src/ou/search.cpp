@@ -67,11 +67,15 @@ int snap_level(const OuLevelGrid& grid, int size) {
 }
 
 /// One greedy descent; updates `result` with the best feasible config seen.
+/// A deadline on the context is charged per evaluation; when it expires
+/// the walk stops where it stands (best-so-far is already in `result`).
 void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
                  SearchResult& result) {
   const OuLevelGrid& grid = *ctx.grid;
+  common::Deadline* deadline = ctx.deadline;
   Score current = evaluate(ctx, grid.config_at(rl, cl));
   ++result.evaluations;
+  if (deadline != nullptr) deadline->charge_evaluations(1);
   auto consider = [&](const Score& s, OuConfig cfg) {
     if (s.feasible && s.value < result.edp) {
       result.found = true;
@@ -82,6 +86,10 @@ void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
   consider(current, grid.config_at(rl, cl));
 
   for (int step = 0; step < max_steps; ++step) {
+    if (deadline != nullptr && deadline->expired()) {
+      result.truncated = true;
+      break;
+    }
     constexpr std::array<std::array<int, 2>, 4> kMoves{
         {{+1, 0}, {-1, 0}, {0, +1}, {0, -1}}};
     // Collect the in-grid neighbours, score them concurrently (evaluate is
@@ -103,8 +111,10 @@ void greedy_from(const LayerContext& ctx, int rl, int cl, int max_steps,
               return evaluate(ctx, grid.config_at(candidates[i][0],
                                                   candidates[i][1]));
             },
-            kEvaluateCostNs);
+            kEvaluateCostNs,
+            deadline != nullptr ? deadline->token() : nullptr);
     result.evaluations += static_cast<int>(n);
+    if (deadline != nullptr) deadline->charge_evaluations(static_cast<int>(n));
     Score best_neighbor;
     int best_rl = rl, best_cl = cl;
     for (std::size_t i = 0; i < n; ++i) {
@@ -152,11 +162,14 @@ SearchResult resource_bounded_search(const LayerContext& ctx, OuConfig start,
   SearchResult result;
   greedy_from(ctx, snap_level(grid, start.rows), snap_level(grid, start.cols),
               max_steps, result);
-  if (!result.found) {
+  if (!result.found &&
+      !(ctx.deadline != nullptr && ctx.deadline->expired())) {
     // The policy's neighbourhood is entirely infeasible; fall back to the
     // most drift-tolerant corner (feasible unless reprogramming is due).
     greedy_from(ctx, 0, 0, max_steps, result);
   }
+  if (ctx.deadline != nullptr && ctx.deadline->expired())
+    result.truncated = true;
   return result;
 }
 

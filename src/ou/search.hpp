@@ -11,6 +11,7 @@
 
 #include <limits>
 
+#include "common/deadline.hpp"
 #include "ou/cost_model.hpp"
 #include "ou/mapper.hpp"
 #include "ou/nonideality.hpp"
@@ -35,6 +36,11 @@ struct LayerContext {
   double nf_floor = 0.0;
   /// Budget relaxation a degraded controller applies (>= 1; 1 = strict).
   double eta_scale = 1.0;
+  /// Optional per-request latency budget (see common/deadline.hpp): the
+  /// search charges each evaluation against it and stops early with its
+  /// best-so-far feasible configuration when it expires. Null = unbounded
+  /// (the pre-resilience behaviour, bit for bit).
+  common::Deadline* deadline = nullptr;
 
   double edp(OuConfig config) const {
     return cost->layer_edp(mapping->counts(config), config,
@@ -55,6 +61,9 @@ struct SearchResult {
   double edp = std::numeric_limits<double>::infinity();
   bool found = false;   ///< a feasible configuration exists in the search
   int evaluations = 0;  ///< EDP/NF evaluations performed (timing proxy)
+  /// The deadline expired before the walk finished its K steps (the
+  /// result is the best configuration seen up to that point).
+  bool truncated = false;
 };
 
 /// Scan every configuration on the grid.

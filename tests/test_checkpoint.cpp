@@ -70,9 +70,39 @@ ServingCheckpoint sample_checkpoint(const ou::MappedModel& tenant) {
   ckpt.result.programming = {2.0e-3, 1.0e-4};
   ckpt.result.switches = 3;
   ckpt.result.policy_updates = 4;
+  ckpt.result.tenants[0].slo_s = 2e-3;
+  ckpt.result.tenants[0].shed_runs = 3;
+  ckpt.result.tenants[0].breaker_open_runs = 6;
+  ckpt.result.tenants[0].deadline_misses = 9;
+  ckpt.result.tenants[0].deferred_reprograms = 2;
+  ckpt.result.tenants[0].deadline_stopped_retries = 1;
+  ckpt.result.tenants[0].searches_truncated = 40;
+  ckpt.result.tenants[0].breaker_opens = 2;
+  ckpt.result.tenants[0].breaker_reopens = 1;
+  ckpt.result.tenants[0].breaker_probes = 3;
+  ckpt.result.tenants[0].breaker_closes = 1;
+  ckpt.result.tenants[0].watchdog_stalls = 1;
+  ckpt.result.tenants[0].sojourn_s = {3.5e-4, 1.9e-3, 5.5e-3};
   ckpt.controller = controller.snapshot();
   ckpt.has_faults = true;
   ckpt.wear = {7, 12, 1, 0};
+  ckpt.has_resilience = true;
+  ckpt.shed_policy = 1;  // kShedOldest
+  ckpt.queue_capacity = 8;
+  ckpt.busy_until_s = 123.5;
+  ckpt.pending_runs = {41, 42};
+  CircuitBreaker::Snapshot breaker;
+  breaker.state = 1;  // open, mid-hold
+  breaker.window_bits = 0b1011;
+  breaker.window_fill = 4;
+  breaker.hold_left = 2;
+  breaker.hold_runs = 4;
+  breaker.opens = 2;
+  breaker.reopens = 1;
+  breaker.probes = 3;
+  breaker.closes = 1;
+  ckpt.breakers = {breaker, CircuitBreaker::Snapshot{}};
+  ckpt.fallback_ous = {{4, 4}, {8, 16}};
   reram::CrossbarHealth health;
   health.ou_rows = 8;
   health.ou_cols = 16;
@@ -106,6 +136,16 @@ TEST(Checkpoint, PayloadRoundTripIsExact) {
   EXPECT_EQ(decoded->health_maps[0].windows.size(), 2u);
   EXPECT_EQ(decoded->controller.buffer_entries, ckpt.controller.buffer_entries);
   EXPECT_EQ(decoded->controller.policy_blob, ckpt.controller.policy_blob);
+  EXPECT_TRUE(decoded->has_resilience);
+  EXPECT_EQ(decoded->queue_capacity, 8u);
+  EXPECT_EQ(decoded->pending_runs, ckpt.pending_runs);
+  ASSERT_EQ(decoded->breakers.size(), 2u);
+  EXPECT_EQ(decoded->breakers[0].window_bits, 0b1011u);
+  EXPECT_EQ(decoded->breakers[0].hold_left, 2);
+  ASSERT_EQ(decoded->fallback_ous.size(), 2u);
+  EXPECT_EQ(decoded->fallback_ous[1].cols, 16);
+  EXPECT_EQ(decoded->result.tenants[0].sojourn_s, ckpt.result.tenants[0].sojourn_s);
+  EXPECT_EQ(decoded->result.tenants[0].deadline_misses, 9);
   // ...then pin full equality through the codec itself: re-encoding the
   // decoded checkpoint must reproduce the identical byte stream.
   common::ByteWriter reencoded;
@@ -215,6 +255,137 @@ TEST(Checkpoint, BothSlotsCorruptMeansNulloptNotCrash) {
   write_file(base + ".b", std::string(200, '\0'));
   EXPECT_FALSE(load_latest_checkpoint(base).has_value());
   remove_slots(base);
+}
+
+/// A minimal-but-complete *version 1* payload, written field by field
+/// against the layout v1 shipped with (no resilience fields anywhere).
+/// Exists so a layout drift in the decoder's v1 path is caught even after
+/// every writer in the tree moved on to v2.
+std::string v1_payload() {
+  common::ByteWriter out;
+  out.u64(2);       // segment
+  out.u64(41);      // next_run
+  out.i32(6);       // segments
+  out.i32(120);     // horizon_runs
+  out.f64(1.0);     // t_start_s
+  out.f64(1e8);     // t_end_s
+  out.u64(1);       // tenant_names
+  out.str("TinyNet");
+  out.str("Odin");  // result.label
+  out.u64(1);       // result.tenants
+  {                 // one v1 tenant record
+    out.str("TinyNet");
+    out.i32(41);   // runs
+    out.i32(3);    // reprograms
+    out.i32(77);   // mismatches
+    out.i32(2);    // retries
+    out.i32(1);    // degraded_runs
+    out.i32(4);    // updates_accepted
+    out.i32(0);    // updates_rejected
+    out.i32(0);    // updates_rolled_back
+    out.i64(5);    // buffer_dropped
+    out.i64(0);    // buffer_quarantined
+    out.f64(1.25e-3);  // inference energy/latency
+    out.f64(3.5e-4);
+    out.f64(4.0e-3);  // reprogram energy/latency
+    out.f64(9.0e-4);
+  }
+  out.f64(2.0e-3);  // programming energy/latency
+  out.f64(1.0e-4);
+  out.i32(3);  // switches
+  out.i32(4);  // policy_updates
+  {            // controller snapshot
+    out.f64(12.5);    // programmed_at_s
+    out.i32(3);       // reprogram_count
+    out.i32(4);       // update_count
+    out.f64(1.0);     // health_fraction
+    out.boolean(false);
+    out.f64(1.0);     // eta_scale
+    out.i32(2);       // retry_count
+    out.i32(1);       // degraded_runs
+    out.i32(4);       // updates_accepted
+    out.i32(0);       // updates_rejected
+    out.i32(0);       // updates_rolled_back
+    out.i32(0);       // probation_left
+    out.i64(0);       // probation_mismatches
+    out.i64(0);       // probation_layers
+    out.f64(0.0);     // pre_update_rate
+    out.f64(0.0);     // mismatch_rate_ema
+    out.u64(0);       // buffer_entries
+    out.u64(0);       // buffer_quarantine
+    out.u64(0);       // last_update_batch
+    out.u64(5);       // buffer_dropped
+    out.u64(0);       // buffer_quarantine_hits
+    out.str("");      // policy_blob
+    out.str("");      // last_good_blob
+  }
+  out.boolean(false);  // has_faults
+  out.i32(0);          // wear x4
+  out.i32(0);
+  out.i32(0);
+  out.i32(0);
+  out.u64(0);  // health_maps
+  return out.bytes();
+}
+
+/// Frame a payload the way write_frame does, but with a caller-chosen
+/// version number (write_frame always stamps the current one).
+std::string frame_with_version(std::uint32_t version, std::uint64_t sequence,
+                               const std::string& payload) {
+  common::ByteWriter meta;
+  meta.u64(sequence);
+  meta.u64(payload.size());
+  const std::uint32_t seed =
+      common::crc32(meta.bytes().data(), meta.bytes().size());
+  const std::uint32_t crc = common::crc32(payload.data(), payload.size(), seed);
+  common::ByteWriter header;
+  for (char m : {'O', 'D', 'I', 'N', 'C', 'K', 'P', 'T'})
+    header.u8(static_cast<std::uint8_t>(m));
+  header.u32(version);
+  header.u64(sequence);
+  header.u64(payload.size());
+  header.u32(crc);
+  return header.bytes() + payload;
+}
+
+TEST(Checkpoint, Version1FrameDecodesWithResilienceDefaults) {
+  const std::string path = temp_base("v1frame") + ".a";
+  write_file(path, frame_with_version(1, 9, v1_payload()));
+  const auto ckpt = load_checkpoint_file(path);
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->sequence, 9u);
+  // The v1 fields decode as written...
+  EXPECT_EQ(ckpt->segment, 2u);
+  EXPECT_EQ(ckpt->next_run, 41u);
+  EXPECT_EQ(ckpt->tenant_names, std::vector<std::string>{"TinyNet"});
+  ASSERT_EQ(ckpt->result.tenants.size(), 1u);
+  EXPECT_EQ(ckpt->result.tenants[0].mismatches, 77);
+  EXPECT_EQ(ckpt->controller.update_count, 4);
+  // ...and every field v1 predates comes back in the resilience-disabled
+  // default state: the walk resumes exactly as a pre-resilience build
+  // would have resumed it.
+  EXPECT_FALSE(ckpt->has_resilience);
+  EXPECT_EQ(ckpt->queue_capacity, 0u);
+  EXPECT_EQ(ckpt->busy_until_s, 0.0);
+  EXPECT_TRUE(ckpt->pending_runs.empty());
+  EXPECT_TRUE(ckpt->breakers.empty());
+  EXPECT_TRUE(ckpt->fallback_ous.empty());
+  EXPECT_EQ(ckpt->result.tenants[0].slo_s, 0.0);
+  EXPECT_EQ(ckpt->result.tenants[0].shed_runs, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].deadline_misses, 0);
+  EXPECT_TRUE(ckpt->result.tenants[0].sojourn_s.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FutureVersionFrameIsRejectedNotMisparsed) {
+  // A payload from a newer build has an unknown layout; guessing would be
+  // silent corruption. Same bytes, same CRC — only the version differs.
+  const std::string path = temp_base("v3frame") + ".a";
+  write_file(path, frame_with_version(kCheckpointVersion + 1, 9, v1_payload()));
+  EXPECT_FALSE(load_checkpoint_file(path).has_value());
+  write_file(path, frame_with_version(0, 9, v1_payload()));
+  EXPECT_FALSE(load_checkpoint_file(path).has_value());
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, ControllerSnapshotRestoreRoundTrip) {

@@ -18,14 +18,25 @@
 //                          [--crossbar N]
 //       Load the newest valid checkpoint of the pair and finish the
 //       interrupted serving horizon (flags must match the original).
+//   odin_cli serve [--workloads A,B,C] [--runs N] [--segments K]
+//                  [--crossbar N] [--slo S] [--queue N]
+//                  [--shed block|oldest|newest] [--eval-cost S]
+//                  [--breaker-window N] [--breaker-threshold N]
+//                  [--watchdog-ms N]
+//       Multi-tenant serving with the resilience layer on: per-tenant
+//       latency SLOs, bounded admission queue with load shedding,
+//       circuit breakers and the hung-work watchdog. Reports deadline
+//       slack percentiles, shed/miss counts and breaker transitions.
 //
 // All randomness is seeded; outputs are reproducible.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/checkpoint.hpp"
@@ -253,6 +264,109 @@ void print_serving_summary(const core::ServingResult& result) {
       result.total_updates_rolled_back(), result.total_buffer_dropped());
 }
 
+void print_resilience_summary(const core::ServingResult& result) {
+  common::Table table({"tenant", "SLO (s)", "p50 sojourn", "p99 sojourn",
+                       "p99 slack", "misses", "shed", "brk o/c", "stalls"});
+  for (const core::TenantStats& t : result.tenants) {
+    char brk[32];
+    std::snprintf(brk, sizeof(brk), "%d/%d", t.breaker_opens,
+                  t.breaker_closes);
+    table.add_row({t.name,
+                   t.slo_s > 0.0 ? common::Table::num(t.slo_s, 4) : "-",
+                   common::Table::num(t.sojourn_percentile(50.0), 4),
+                   common::Table::num(t.sojourn_percentile(99.0), 4),
+                   t.slo_s > 0.0
+                       ? common::Table::num(t.slack_percentile(99.0), 4)
+                       : "-",
+                   common::Table::integer(t.deadline_misses),
+                   common::Table::integer(t.shed_runs), brk,
+                   common::Table::integer(t.watchdog_stalls)});
+  }
+  common::print_table("resilience (deadline/queue/breaker/watchdog)", table);
+  std::printf(
+      "resilience: %d shed, %d breaker-held, %d deadline misses, "
+      "%d deferred reprograms, %d truncated searches, "
+      "breakers %d open / %d reopen / %d probe / %d close, %d stalls\n",
+      result.total_shed_runs(), result.total_breaker_open_runs(),
+      result.total_deadline_misses(), result.total_deferred_reprograms(),
+      result.total_searches_truncated(), result.total_breaker_opens(),
+      result.total_breaker_reopens(), result.total_breaker_probes(),
+      result.total_breaker_closes(), result.total_watchdog_stalls());
+}
+
+int cmd_serve(int argc, char** argv) {
+  const std::string list = flag_value(argc, argv, "--workloads")
+                               .value_or("resnet18,vgg11,googlenet");
+  std::vector<std::string> names;
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    if (comma > pos) names.push_back(list.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "--workloads needs at least one name\n");
+    return 1;
+  }
+  const int crossbar =
+      std::atoi(flag_value(argc, argv, "--crossbar").value_or("128").c_str());
+  core::ServingConfig config = serving_config_from_flags(argc, argv);
+  // Default to at least one segment per tenant so every workload serves.
+  if (!flag_value(argc, argv, "--segments"))
+    config.segments = static_cast<int>(std::max<std::size_t>(
+        names.size(), static_cast<std::size_t>(config.segments)));
+  core::ResilienceConfig& res = config.resilience;
+  res.enabled = true;
+  res.default_slo_s =
+      std::atof(flag_value(argc, argv, "--slo").value_or("0").c_str());
+  res.queue_capacity = static_cast<std::size_t>(std::atoi(
+      flag_value(argc, argv, "--queue").value_or("8").c_str()));
+  const std::string shed =
+      flag_value(argc, argv, "--shed").value_or("oldest");
+  if (shed == "block")
+    res.shed = core::ShedPolicy::kBlock;
+  else if (shed == "oldest")
+    res.shed = core::ShedPolicy::kShedOldest;
+  else if (shed == "newest")
+    res.shed = core::ShedPolicy::kShedNewest;
+  else {
+    std::fprintf(stderr, "bad --shed (block|oldest|newest)\n");
+    return 1;
+  }
+  res.search_eval_cost_s =
+      std::atof(flag_value(argc, argv, "--eval-cost").value_or("0").c_str());
+  res.breaker.window = std::atoi(
+      flag_value(argc, argv, "--breaker-window").value_or("8").c_str());
+  res.breaker.failure_threshold = std::atoi(
+      flag_value(argc, argv, "--breaker-threshold").value_or("4").c_str());
+  res.watchdog_bound_s =
+      std::atof(
+          flag_value(argc, argv, "--watchdog-ms").value_or("0").c_str()) *
+      1e-3;
+
+  const core::Setup setup;
+  const ou::NonIdealityModel nonideal = setup.make_nonideality(crossbar);
+  const ou::OuCostModel cost = setup.make_cost();
+  std::vector<ou::MappedModel> owned;
+  owned.reserve(names.size());
+  for (const std::string& name : names) {
+    auto model = build_workload(name);
+    if (!model) {
+      std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+      return 1;
+    }
+    owned.push_back(setup.make_mapped(std::move(*model), crossbar));
+  }
+  std::vector<const ou::MappedModel*> tenants;
+  for (const ou::MappedModel& m : owned) tenants.push_back(&m);
+
+  const auto result = core::serve_with_odin(
+      tenants, nonideal, cost, policy::OuPolicy(ou::OuLevelGrid(crossbar)),
+      config);
+  print_serving_summary(result);
+  print_resilience_summary(result);
+  return 0;
+}
+
 int cmd_checkpoint(const std::string& base, int argc, char** argv) {
   const std::string workload =
       flag_value(argc, argv, "--workload").value_or("resnet18");
@@ -334,7 +448,18 @@ int usage() {
                "  checkpoint <base> [--workload W] [--runs N] [--segments K]"
                " [--every N] [--max-runs N] [--crossbar N]\n"
                "  resume <base> [--workload W] [--runs N] [--segments K]"
-               " [--crossbar N]\n");
+               " [--crossbar N]\n"
+               "  serve [--workloads A,B,C] [--runs N] [--segments K]"
+               " [--crossbar N]\n"
+               "        [--slo S] [--queue N] [--shed block|oldest|newest]"
+               " [--eval-cost S]\n"
+               "        [--breaker-window N] [--breaker-threshold N]"
+               " [--watchdog-ms N]\n"
+               "     (serve counters: shed runs, deadline misses, deferred"
+               " reprograms,\n"
+               "      truncated searches, breaker open/reopen/probe/close,"
+               " watchdog stalls,\n"
+               "      p50/p99 sojourn and deadline slack per tenant)\n");
   return 2;
 }
 
@@ -354,5 +479,6 @@ int main(int argc, char** argv) {
     return cmd_checkpoint(argv[2], argc, argv);
   if (cmd == "resume" && argc >= 3 && argv[2][0] != '-')
     return cmd_resume(argv[2], argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
   return usage();
 }

@@ -13,8 +13,11 @@
 # (fault_campaign), which writes BENCH_faults.json directly, and the
 # robustness arm (robustness_overhead: checkpoint write/restore latency,
 # guard shadow-eval overhead, drift-burst rollback behaviour), which
-# writes BENCH_robustness.json. Every emitted JSON records the build type
-# and git revision it was measured from.
+# writes BENCH_robustness.json, and the resilience arm
+# (serving_resilience: overload/shed-policy sweep plus the deadline-vs-
+# unbounded storm comparison), which writes BENCH_serving_resilience.json.
+# Every emitted JSON records the build type and git revision it was
+# measured from.
 #
 # Usage: tools/run_bench.sh [build-dir] [threads]
 #   build-dir  defaults to <repo>/build-release (configured Release here)
@@ -33,7 +36,8 @@ echo "[bench] configuring Release build in $BUILD" >&2
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release >"$TMP/cmake.log"
 cmake --build "$BUILD" -j --target \
     micro_mvm micro_search_overhead fig8_edp_all_dnns \
-    batching_throughput fault_campaign robustness_overhead >"$TMP/build.log"
+    batching_throughput fault_campaign robustness_overhead \
+    serving_resilience >"$TMP/build.log"
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
 GIT_SHA="$(git -C "$REPO" rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -66,6 +70,10 @@ echo "[bench] fault_campaign -> BENCH_faults.json" >&2
 echo "[bench] robustness_overhead -> BENCH_robustness.json" >&2
 "$BUILD/bench/robustness_overhead" --json "$REPO/BENCH_robustness.json" \
   >"$TMP/robustness_overhead.log"
+
+echo "[bench] serving_resilience -> BENCH_serving_resilience.json" >&2
+"$BUILD/bench/serving_resilience" --json "$REPO/BENCH_serving_resilience.json" \
+  >"$TMP/serving_resilience.log"
 
 FIG8_SEQ=$(wall_clock fig8_edp_all_dnns 1)
 FIG8_PAR=$(wall_clock fig8_edp_all_dnns "$THREADS")
