@@ -1,24 +1,183 @@
-// Extension — batched throughput under inter-layer pipelining: OU sizing
-// changes not just per-image EDP but which layer bottlenecks the pipeline.
-// Odin's layer-wise choices balance the pipeline better than any
-// homogeneous configuration.
+// Extension — batched MVM throughput, kernel to serving.
+//
+// Three sections, one bench:
+//  1. Kernel sweep — batch size x OU shape through one 128x128 crossbar:
+//     "old" is the pre-batching steady state (one span mvm per image),
+//     "new" is the batched plane-kernel GEMM (reram/batch_gemm.hpp, SIMD
+//     across queries). Both paths are verified bitwise identical before
+//     timing; the table reports images/s and the old-vs-new speedup.
+//  2. Pipelined model table — OU sizing changes not just per-image EDP but
+//     which layer bottlenecks the inter-layer pipeline. Odin's layer-wise
+//     choices balance the pipeline better than any homogeneous config.
+//  3. Serving arm — the overloaded resilience walk with deadline-aware
+//     batch formation off vs on: one controller search + one pipelined
+//     pass per batch drains the backlog faster at the same arrival log.
+//
+// --json PATH writes the summary (BENCH_batching.json); --build-type and
+// --git-sha stamp provenance into it (tools/run_bench.sh passes both).
+#include <bit>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "arch/batching.hpp"
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/serving.hpp"
+#include "reram/batch_gemm.hpp"
+#include "reram/crossbar.hpp"
 
 using namespace odin;
 
-int main() {
-  bench::banner("Extension: batched inference throughput (pipelined)");
+namespace {
+
+constexpr int kXbar = 128;
+constexpr int kAdcBits = 6;
+
+struct KernelArm {
+  int ou_rows = 0;
+  int ou_cols = 0;
+  int batch = 0;
+  double single_ips = 0.0;
+  double batched_ips = 0.0;
+  double speedup = 0.0;
+};
+
+std::vector<double> random_panel(std::uint64_t seed, std::size_t n) {
+  common::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform();
+  return v;
+}
+
+/// Run `pass` (which serves `images_per_pass` images) repeatedly until
+/// ~0.15 s of wall clock has accumulated; returns images/s.
+template <typename Fn>
+double measure_ips(int images_per_pass, Fn&& pass) {
+  pass();  // warm planes, pool and scratch outside the timed window
+  long images = 0;
+  bench::Stopwatch clock;
+  double elapsed = 0.0;
+  do {
+    pass();
+    images += images_per_pass;
+    elapsed = clock.seconds();
+  } while (elapsed < 0.15);
+  return static_cast<double>(images) / elapsed;
+}
+
+std::vector<double> pooled_sojourns(const core::ServingResult& r) {
+  std::vector<double> all;
+  for (const auto& t : r.tenants)
+    all.insert(all.end(), t.sojourn_s.begin(), t.sojourn_s.end());
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  const char* build_type = "unknown";
+  const char* git_sha = "unknown";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--build-type") == 0) build_type = argv[i + 1];
+    if (std::strcmp(argv[i], "--git-sha") == 0) git_sha = argv[i + 1];
+  }
+
+  bench::banner("Extension: batched MVM throughput (kernel to serving)");
+
+  // ---- 1. kernel sweep: batch size x OU shape -------------------------
+  reram::Crossbar xbar(kXbar, reram::DeviceParams{}, std::nullopt,
+                       reram::IrModel::kSpatial);
+  xbar.program(random_panel(9, static_cast<std::size_t>(kXbar) * kXbar),
+               kXbar, kXbar, 0.0);
+  const char* simd =
+      reram::gemm::simd_mode_name(reram::gemm::active_simd_mode());
+  std::printf("[setup] 128x128 crossbar, spatial IR, ADC %d bits, SIMD "
+              "dispatch: %s\n",
+              kAdcBits, simd);
+
+  struct OuShape {
+    int rows, cols;
+  };
+  const OuShape shapes[] = {{8, 4}, {16, 16}, {32, 32}, {64, 64}};
+  const int batches[] = {1, 2, 4, 8, 16, 32};
+  const double t_s = 2.0;
+
+  std::vector<KernelArm> kernel_arms;
+  common::Table kernel_table({"OU", "batch", "old 1-query (img/s)",
+                              "new batched (img/s)", "speedup"});
+  for (const OuShape& ou : shapes) {
+    for (int batch : batches) {
+      const auto panel = random_panel(
+          17, static_cast<std::size_t>(batch) * kXbar);
+      std::vector<double> got(static_cast<std::size_t>(batch) * kXbar);
+      std::vector<double> want(got.size());
+      // Bitwise pin before timing: the batched pass must reproduce the
+      // sequential per-query pass exactly.
+      xbar.mvm(panel, batch, kXbar, ou.rows, ou.cols, t_s, kAdcBits, got,
+               kXbar);
+      for (int b = 0; b < batch; ++b)
+        xbar.mvm(std::span<const double>(panel).subspan(
+                     static_cast<std::size_t>(b) * kXbar, kXbar),
+                 ou.rows, ou.cols, t_s, kAdcBits,
+                 std::span<double>(want).subspan(
+                     static_cast<std::size_t>(b) * kXbar, kXbar));
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (std::bit_cast<std::uint64_t>(got[i]) !=
+            std::bit_cast<std::uint64_t>(want[i])) {
+          std::fprintf(stderr,
+                       "error: batched kernel diverges from sequential at "
+                       "OU %dx%d batch %d index %zu\n",
+                       ou.rows, ou.cols, batch, i);
+          return 1;
+        }
+      }
+
+      KernelArm arm;
+      arm.ou_rows = ou.rows;
+      arm.ou_cols = ou.cols;
+      arm.batch = batch;
+      arm.single_ips = measure_ips(batch, [&] {
+        for (int b = 0; b < batch; ++b)
+          xbar.mvm(std::span<const double>(panel).subspan(
+                       static_cast<std::size_t>(b) * kXbar, kXbar),
+                   ou.rows, ou.cols, t_s, kAdcBits,
+                   std::span<double>(want).subspan(
+                       static_cast<std::size_t>(b) * kXbar, kXbar));
+      });
+      arm.batched_ips = measure_ips(batch, [&] {
+        xbar.mvm(panel, batch, kXbar, ou.rows, ou.cols, t_s, kAdcBits, got,
+                 kXbar);
+      });
+      arm.speedup =
+          arm.single_ips > 0.0 ? arm.batched_ips / arm.single_ips : 0.0;
+      kernel_arms.push_back(arm);
+      kernel_table.add_row(
+          {std::to_string(ou.rows) + "x" + std::to_string(ou.cols),
+           common::Table::integer(batch),
+           common::Table::num(arm.single_ips, 4),
+           common::Table::num(arm.batched_ips, 4),
+           common::Table::num(arm.speedup, 3)});
+    }
+  }
+  common::print_table(
+      "kernel sweep: full 128x128 MVM per image, batched GEMM vs repeated "
+      "single-query (bitwise-identical outputs)",
+      kernel_table);
+
+  // ---- 2. pipelined model-level table ---------------------------------
   const core::Setup setup = bench::default_setup();
   const ou::NonIdealityModel nonideal = setup.make_nonideality();
   const ou::OuCostModel cost = setup.make_cost();
+  bench::Stopwatch map_clock;
   const ou::MappedModel resnet18 =
       setup.make_mapped(dnn::make_resnet18(data::DatasetKind::kCifar10));
+  std::printf("[setup] ResNet18 mapped in %.1fs\n", map_clock.seconds());
 
-  // Odin's layer-wise choices at t0 (exhaustive = converged policy).
   core::OdinController controller(resnet18, nonideal, cost,
                                   policy::OuPolicy(ou::OuLevelGrid(128)),
                                   core::OdinConfig{
@@ -28,11 +187,17 @@ int main() {
   for (const auto& d : run.decisions) odin_configs.push_back(d.executed);
 
   constexpr int kBatch = 64;
+  struct PipelineArm {
+    std::string scheme;
+    arch::BatchCost cost;
+  };
+  std::vector<PipelineArm> pipeline_arms;
   common::Table table({"scheme", "throughput (img/s)",
                        "bottleneck layer", "batch-64 latency (s)",
                        "batch-64 energy (mJ)"});
   auto add_row = [&](const std::string& label,
                      const arch::BatchCost& batch) {
+    pipeline_arms.push_back({label, batch});
     table.add_row(
         {label, common::Table::num(batch.throughput_ips, 4),
          resnet18.model().layers[static_cast<std::size_t>(
@@ -49,12 +214,110 @@ int main() {
                                        kBatch));
   common::print_table("ResNet18/CIFAR-10, batch = 64, weights resident",
                       table);
-  std::printf("\n[shape] the pipeline bottleneck is the large early conv in "
-              "every scheme. Fine homogeneous OUs (8x4) throttle it to ~0.4x "
-              "of 16x16's throughput; Odin gives up only ~12%% vs 16x16 — "
-              "the cost of the accuracy-protecting fine OUs on exactly the "
-              "bottleneck (sensitive, early) layers, which the 16x16 "
-              "baseline ignores at the price of early-layer IR-drop error."
-              "\n");
+
+  // ---- 3. serving arm: batch formation off vs on ----------------------
+  core::ServingConfig serving;
+  serving.horizon = core::HorizonConfig{.t_start_s = 1.0, .t_end_s = 1e8,
+                                        .runs = 120};
+  serving.segments = 2;
+  serving.resilience.enabled = true;
+  serving.resilience.queue_capacity = 1'000;
+  serving.resilience.shed = core::ShedPolicy::kBlock;
+  serving.resilience.search_eval_cost_s = 0.5;  // overload the early runs
+  serving.resilience.breaker.failure_threshold = 1'000'000;
+
+  const std::vector<const ou::MappedModel*> tenants{&resnet18};
+  const auto plain = core::serve_with_odin(
+      tenants, nonideal, cost, policy::OuPolicy(ou::OuLevelGrid(128)),
+      serving);
+  core::ServingConfig batched_cfg = serving;
+  batched_cfg.resilience.batching.enabled = true;
+  batched_cfg.resilience.batching.max_batch = 8;
+  const auto batched = core::serve_with_odin(
+      tenants, nonideal, cost, policy::OuPolicy(ou::OuLevelGrid(128)),
+      batched_cfg);
+
+  const double p99_plain = core::percentile(pooled_sojourns(plain), 99.0);
+  const double p99_batched =
+      core::percentile(pooled_sojourns(batched), 99.0);
+  common::Table serving_table({"arm", "p99 sojourn (s)", "batches",
+                               "mean occupancy", "max batch"});
+  serving_table.add_row({"batching off", common::Table::num(p99_plain, 4),
+                         common::Table::integer(0), "-", "-"});
+  serving_table.add_row(
+      {"batching on (cap 8)", common::Table::num(p99_batched, 4),
+       common::Table::integer(batched.total_batches_formed()),
+       common::Table::num(batched.mean_batch_occupancy(), 3),
+       common::Table::integer(batched.max_batch())});
+  common::print_table(
+      "overloaded serving walk (120 runs, per-eval cost 0.5 s): "
+      "deadline-aware batch formation",
+      serving_table);
+
+  std::printf("\n[shape] the batched kernel wins by vectorizing across "
+              "queries (the per-query dot product has a serial reduction "
+              "the compiler cannot vectorize) and by walking the weight "
+              "plane once per batch; in serving, one search per batch plus "
+              "a pipelined pass drains an overloaded queue faster than "
+              "one full serve per arrival.\n");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"build_type\": \"%s\",\n"
+                 "  \"git_sha\": \"%s\",\n"
+                 "  \"simd_mode\": \"%s\",\n"
+                 "  \"note\": \"old = repeated single-query span mvm, new = "
+                 "batched plane-kernel GEMM; bitwise-identical outputs; "
+                 "128x128 crossbar, spatial IR\",\n"
+                 "  \"kernel_sweep\": [\n",
+                 build_type, git_sha, simd);
+    for (std::size_t i = 0; i < kernel_arms.size(); ++i) {
+      const KernelArm& a = kernel_arms[i];
+      std::fprintf(f,
+                   "    {\"ou\": \"%dx%d\", \"batch\": %d, "
+                   "\"old_images_per_s\": %.4e, \"new_images_per_s\": "
+                   "%.4e, \"speedup\": %.3f}%s\n",
+                   a.ou_rows, a.ou_cols, a.batch, a.single_ips,
+                   a.batched_ips, a.speedup,
+                   i + 1 < kernel_arms.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"pipeline_batch64\": [\n");
+    for (std::size_t i = 0; i < pipeline_arms.size(); ++i) {
+      const PipelineArm& a = pipeline_arms[i];
+      std::fprintf(f,
+                   "    {\"scheme\": \"%s\", \"throughput_ips\": %.4e, "
+                   "\"latency_s\": %.4e, \"energy_j\": %.4e}%s\n",
+                   a.scheme.c_str(), a.cost.throughput_ips,
+                   a.cost.total.latency_s, a.cost.total.energy_j,
+                   i + 1 < pipeline_arms.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"serving\": {\n"
+                 "    \"horizon_runs\": %d,\n"
+                 "    \"batch_cap\": 8,\n"
+                 "    \"p99_sojourn_plain_s\": %.6e,\n"
+                 "    \"p99_sojourn_batched_s\": %.6e,\n"
+                 "    \"batches_formed\": %d,\n"
+                 "    \"batch_members\": %d,\n"
+                 "    \"mean_occupancy\": %.3f,\n"
+                 "    \"max_batch\": %d\n"
+                 "  }\n"
+                 "}\n",
+                 serving.horizon.runs, p99_plain, p99_batched,
+                 batched.total_batches_formed(),
+                 batched.total_batch_members(),
+                 batched.mean_batch_occupancy(), batched.max_batch());
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path);
+  }
   return 0;
 }

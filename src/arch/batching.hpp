@@ -26,6 +26,14 @@ struct BatchCost {
   int bottleneck_layer = 0;
   /// Images per second in steady state (1 / bottleneck).
   double throughput_ips = 0.0;
+
+  /// Latency until batch member `k` (0-based, in admission order) drains
+  /// out of the pipeline: the fill plus k bottleneck beats. The last
+  /// member's exit equals total.latency_s; serving uses this to check each
+  /// member's deadline slack before forming a batch.
+  double member_exit_latency_s(int k) const noexcept {
+    return fill_latency_s + static_cast<double>(k) * bottleneck_latency_s;
+  }
 };
 
 /// Cost of `batch` images through `model` with per-layer OU `configs`.

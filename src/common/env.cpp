@@ -1,0 +1,31 @@
+#include "common/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace odin::common {
+
+bool env_long(const char* name, long long& out) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  // strtoll skips leading whitespace; the strict contract does not.
+  if (end == env || *end != '\0' ||
+      (*env != '-' && *env != '+' && (*env < '0' || *env > '9'))) {
+    std::fprintf(stderr,
+                 "odin: ignoring %s='%s' (not an integer); using default\n",
+                 name, env);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+const char* env_string(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return nullptr;
+  return env;
+}
+
+}  // namespace odin::common

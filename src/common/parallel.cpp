@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 #include <limits>
+
+#include "common/env.hpp"
 
 namespace odin::common {
 
@@ -14,25 +14,6 @@ namespace {
 
 /// Set while a thread is executing chunks, so nested regions run inline.
 thread_local bool tls_in_parallel_region = false;
-
-/// Strict integer env parse: the whole value must be a decimal number
-/// (strtol alone maps "abc" to 0 and "8cores" to 8, both silently). On
-/// garbage, warn once to stderr and report "unset" so the caller's
-/// default applies.
-bool env_long(const char* name, long long& out) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return false;
-  char* end = nullptr;
-  const long long v = std::strtoll(env, &end, 10);
-  if (end == env || *end != '\0') {
-    std::fprintf(stderr,
-                 "odin: ignoring %s='%s' (not an integer); using default\n",
-                 name, env);
-    return false;
-  }
-  out = v;
-  return true;
-}
 
 int threads_from_env() {
   long long v = 0;

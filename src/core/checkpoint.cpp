@@ -93,6 +93,11 @@ void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
   out.i32(t.watchdog_stalls);
   out.u64(t.sojourn_s.size());
   for (double v : t.sojourn_s) out.f64(v);
+  // v3: batch-formation surface.
+  out.i32(t.batches_formed);
+  out.i32(t.batch_members);
+  out.i32(t.max_batch);
+  out.i32(t.batch_slo_capped);
 }
 
 std::optional<TenantStats> decode_tenant(common::ByteReader& in,
@@ -129,6 +134,12 @@ std::optional<TenantStats> decode_tenant(common::ByteReader& in,
     t.sojourn_s.reserve(samples);
     for (std::uint64_t i = 0; i < samples; ++i)
       t.sojourn_s.push_back(in.f64());
+  }
+  if (version >= 3) {
+    t.batches_formed = in.i32();
+    t.batch_members = in.i32();
+    t.max_batch = in.i32();
+    t.batch_slo_capped = in.i32();
   }
   if (!in.ok()) return std::nullopt;
   return t;
@@ -321,6 +332,9 @@ void encode_checkpoint(const ServingCheckpoint& ckpt,
     out.i32(c.rows);
     out.i32(c.cols);
   }
+  // v3: batch-formation fingerprint.
+  out.boolean(ckpt.batching_enabled);
+  out.i32(ckpt.batch_cap);
 }
 
 std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
@@ -393,6 +407,10 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
       c.cols = in.i32();
       ckpt.fallback_ous.push_back(c);
     }
+  }
+  if (version >= 3) {
+    ckpt.batching_enabled = in.boolean();
+    ckpt.batch_cap = in.i32();
   }
   if (!in.ok()) return std::nullopt;
   return ckpt;

@@ -38,10 +38,11 @@
 namespace odin::core {
 
 /// On-disk payload version. Version 2 added the resilience serving state
-/// (queue, breakers, fallback OUs, per-tenant SLO counters); version-1
-/// frames are still accepted, with every added field defaulting to the
-/// resilience-disabled state.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// (queue, breakers, fallback OUs, per-tenant SLO counters); version 3
+/// added the batch-formation surface (per-tenant batch counters plus the
+/// batching fingerprint). Older frames are still accepted, with every
+/// added field defaulting to the feature-disabled state.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// The complete serving state at a run boundary. `segment`/`next_run`
 /// locate the resume point: the next inference to execute is
@@ -79,6 +80,10 @@ struct ServingCheckpoint {
   std::vector<std::uint64_t> pending_runs;  ///< queued arrival indices
   std::vector<CircuitBreaker::Snapshot> breakers;  ///< one per tenant
   std::vector<ou::OuConfig> fallback_ous;          ///< one per tenant
+  /// Batch-formation fingerprint (v3+; defaulted for older frames). The
+  /// queue state only transfers onto the same batching geometry.
+  bool batching_enabled = false;
+  std::int32_t batch_cap = 0;  ///< resolved max batch in force
 };
 
 /// Payload codec (no framing). decode returns nullopt on truncation or a

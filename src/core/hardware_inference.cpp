@@ -40,19 +40,25 @@ HardwareMlpRunner::HardwareMlpRunner(nn::MultiHeadMlp& model,
   const auto heads = model.head_dense();
   assert(!heads.empty());
   lower(heads.front());  // reference nets are single-head
-  std::size_t max_features = 1;
-  int max_grid_cols = 1;
   for (const MappedLayer& layer : layers_) {
-    max_features = std::max({max_features, layer.in_features,
-                             layer.out_features});
-    max_grid_cols = std::max(max_grid_cols, layer.grid_cols);
+    max_features_ = std::max({max_features_, layer.in_features,
+                              layer.out_features});
+    max_grid_cols_ = std::max(max_grid_cols_, layer.grid_cols);
   }
-  scaled_scratch_.resize(max_features);
-  act_a_.resize(max_features);
-  act_b_.resize(max_features);
-  partial_scratch_.resize(static_cast<std::size_t>(max_grid_cols) *
-                          crossbar_size_);
+  ensure_batch_scratch(1);
   program(device_.t0_s);
+}
+
+void HardwareMlpRunner::ensure_batch_scratch(int batch) {
+  if (batch <= batch_capacity_) return;
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  scaled_scratch_.resize(nb * max_features_);
+  act_a_.resize(nb * max_features_);
+  act_b_.resize(nb * max_features_);
+  partial_scratch_.resize(static_cast<std::size_t>(max_grid_cols_) * nb *
+                          crossbar_size_);
+  in_scale_.resize(nb);
+  batch_capacity_ = batch;
 }
 
 void HardwareMlpRunner::program(double t_s) {
@@ -176,6 +182,77 @@ void HardwareMlpRunner::forward_layer(const MappedLayer& layer,
     out[c] = out[c] * layer.weight_scale * in_max + layer.bias[c];
 }
 
+void HardwareMlpRunner::forward_layer(const MappedLayer& layer,
+                                      const double* inputs, int batch,
+                                      std::size_t in_stride, ou::OuConfig ou,
+                                      double t_s, double* out,
+                                      std::size_t out_stride) {
+  assert(batch >= 1 && batch <= batch_capacity_);
+  assert(in_stride >= layer.in_features);
+  assert(out_stride >= layer.out_features);
+  const int adc_bits = adc_policy_.adc_bits(ou.rows);
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  // Per-query DAC scaling, identical to the single-query path; the scaled
+  // panel is packed tight (stride = in_features) for the crossbar GEMM.
+  for (int b = 0; b < batch; ++b) {
+    const double* in = inputs + static_cast<std::size_t>(b) * in_stride;
+    double in_max = 1e-12;
+    for (std::size_t i = 0; i < layer.in_features; ++i)
+      in_max = std::max(in_max, std::abs(in[i]));
+    in_scale_[static_cast<std::size_t>(b)] = in_max;
+    double* scaled =
+        scaled_scratch_.data() + static_cast<std::size_t>(b) * layer.in_features;
+    for (std::size_t i = 0; i < layer.in_features; ++i)
+      scaled[i] = in[i] / in_max;
+  }
+  for (int b = 0; b < batch; ++b) {
+    double* ob = out + static_cast<std::size_t>(b) * out_stride;
+    std::fill(ob, ob + layer.out_features, 0.0);
+  }
+  // Same grid-column decomposition as the single-query path (disjoint
+  // crossbars, outputs and partial slabs; increasing-gr accumulation per
+  // column), with each crossbar evaluating the whole batch per visit.
+  const std::size_t strip_cost_ns = static_cast<std::size_t>(
+      static_cast<std::size_t>(layer.grid_rows) * crossbar_size_ *
+      crossbar_size_ * nb * 2);
+  const double* scaled_base = scaled_scratch_.data();
+  common::parallel_for(
+      0, static_cast<std::size_t>(layer.grid_cols), 1,
+      [&](std::size_t gc) {
+        const std::size_t col0 = gc * crossbar_size_;
+        double* partial =
+            partial_scratch_.data() + gc * nb * crossbar_size_;
+        for (int gr = 0; gr < layer.grid_rows; ++gr) {
+          const std::size_t row0 =
+              static_cast<std::size_t>(gr) * crossbar_size_;
+          reram::Crossbar& xbar =
+              *layer.crossbars[static_cast<std::size_t>(gr) *
+                                   layer.grid_cols +
+                               gc];
+          const std::size_t cols =
+              static_cast<std::size_t>(xbar.programmed_cols());
+          // Query b's row slice starts at scaled[b * in_features + row0];
+          // the batched mvm reads it via in_stride = in_features.
+          xbar.mvm({scaled_base + row0,
+                    nb * layer.in_features - row0},
+                   batch, layer.in_features, ou.rows, ou.cols, t_s, adc_bits,
+                   std::span<double>(partial, nb * cols), cols);
+          for (int b = 0; b < batch; ++b) {
+            double* ob = out + static_cast<std::size_t>(b) * out_stride + col0;
+            const double* pb = partial + static_cast<std::size_t>(b) * cols;
+            for (std::size_t c = 0; c < cols; ++c) ob[c] += pb[c];
+          }
+        }
+      },
+      strip_cost_ns);
+  for (int b = 0; b < batch; ++b) {
+    double* ob = out + static_cast<std::size_t>(b) * out_stride;
+    const double in_max = in_scale_[static_cast<std::size_t>(b)];
+    for (std::size_t c = 0; c < layer.out_features; ++c)
+      ob[c] = ob[c] * layer.weight_scale * in_max + layer.bias[c];
+  }
+}
+
 std::span<const double> HardwareMlpRunner::forward_all(
     std::span<const double> input, ou::OuConfig ou, double t_s) {
   std::copy(input.begin(), input.end(), act_a_.begin());
@@ -211,6 +288,74 @@ double HardwareMlpRunner::accuracy(const nn::Dataset& data, ou::OuConfig ou,
   std::size_t hits = 0;
   for (std::size_t i = 0; i < data.size(); ++i)
     if (predict(data.inputs.row(i), ou, t_s) == data.labels[0][i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+std::span<const double> HardwareMlpRunner::forward_all(
+    std::span<const double> inputs, int batch, std::size_t in_stride,
+    ou::OuConfig ou, double t_s) {
+  assert(batch >= 1);
+  ensure_batch_scratch(batch);
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  std::size_t width = layers_.front().in_features;
+  assert(in_stride >= width);
+  assert(inputs.size() >= (nb - 1) * in_stride + width);
+  for (std::size_t b = 0; b < nb; ++b)
+    std::copy_n(inputs.data() + b * in_stride, width,
+                act_a_.data() + b * width);
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    forward_layer(layers_[i], act_a_.data(), batch, width, ou, t_s,
+                  act_b_.data(), layers_[i].out_features);
+    width = layers_[i].out_features;
+    for (std::size_t j = 0; j < nb * width; ++j)
+      if (act_b_[j] < 0.0) act_b_[j] = 0.0;  // ReLU in the output register
+    act_a_.swap(act_b_);
+  }
+  const MappedLayer& head = layers_.back();
+  forward_layer(head, act_a_.data(), batch, width, ou, t_s, act_b_.data(),
+                head.out_features);
+  return {act_b_.data(), nb * head.out_features};
+}
+
+void HardwareMlpRunner::logits(std::span<const double> inputs, int batch,
+                               std::size_t in_stride, ou::OuConfig ou,
+                               double t_s, std::span<double> out) {
+  const auto panel = forward_all(inputs, batch, in_stride, ou, t_s);
+  assert(out.size() >= panel.size());
+  std::copy(panel.begin(), panel.end(), out.begin());
+}
+
+void HardwareMlpRunner::predict(std::span<const double> inputs, int batch,
+                                std::size_t in_stride, ou::OuConfig ou,
+                                double t_s, std::span<int> out) {
+  assert(out.size() >= static_cast<std::size_t>(batch));
+  const auto panel = forward_all(inputs, batch, in_stride, ou, t_s);
+  const std::size_t k = layers_.back().out_features;
+  for (int b = 0; b < batch; ++b)
+    out[static_cast<std::size_t>(b)] = static_cast<int>(
+        common::argmax(panel.subspan(static_cast<std::size_t>(b) * k, k)));
+}
+
+double HardwareMlpRunner::accuracy(const nn::Dataset& data, ou::OuConfig ou,
+                                   double t_s, int batch) {
+  if (data.size() == 0) return 0.0;
+  batch = std::max(batch, 1);
+  std::vector<int> preds(static_cast<std::size_t>(batch));
+  const std::size_t stride = data.inputs.cols();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); i += static_cast<std::size_t>(batch)) {
+    const int b = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(batch),
+                              data.size() - i));
+    // Dataset rows are contiguous, so the row block is already a panel.
+    predict({data.inputs.row(i).data(),
+             (static_cast<std::size_t>(b) - 1) * stride + stride},
+            b, stride, ou, t_s, preds);
+    for (int k = 0; k < b; ++k)
+      if (preds[static_cast<std::size_t>(k)] ==
+          data.labels[0][i + static_cast<std::size_t>(k)])
+        ++hits;
+  }
   return static_cast<double>(hits) / static_cast<double>(data.size());
 }
 

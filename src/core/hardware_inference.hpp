@@ -54,6 +54,26 @@ class HardwareMlpRunner {
   /// Classification accuracy over a dataset (labels from head 0).
   double accuracy(const nn::Dataset& data, ou::OuConfig ou, double t_s);
 
+  /// Batched forward pass: query b reads inputs[b * in_stride,
+  /// + layer-0 in_features) and its head-0 logits land in out[b * K, (b+1)
+  /// * K) with K = head out_features. Runs every layer through the batched
+  /// crossbar GEMM (plane walked once per batch), producing logits bitwise
+  /// identical to `batch` single-query calls; zero heap allocation once
+  /// the scratch has warmed up to `batch`.
+  void logits(std::span<const double> inputs, int batch,
+              std::size_t in_stride, ou::OuConfig ou, double t_s,
+              std::span<double> out);
+
+  /// Batched argmax predictions (head 0), one per query.
+  void predict(std::span<const double> inputs, int batch,
+               std::size_t in_stride, ou::OuConfig ou, double t_s,
+               std::span<int> out);
+
+  /// Classification accuracy evaluated `batch` dataset rows at a time.
+  /// Identical result to the single-query overload.
+  double accuracy(const nn::Dataset& data, ou::OuConfig ou, double t_s,
+                  int batch);
+
  private:
   /// One Dense layer lowered onto a grid of crossbars.
   struct MappedLayer {
@@ -72,10 +92,26 @@ class HardwareMlpRunner {
   void forward_layer(const MappedLayer& layer, std::span<const double> input,
                      ou::OuConfig ou, double t_s, std::span<double> out);
 
+  /// Batched layer evaluation: query b reads inputs[b * in_stride,
+  /// + in_features) and writes out[b * out_stride, + out_features).
+  void forward_layer(const MappedLayer& layer, const double* inputs,
+                     int batch, std::size_t in_stride, ou::OuConfig ou,
+                     double t_s, double* out, std::size_t out_stride);
+
   /// Full forward pass; returns a span over the internal activation buffer
   /// holding the head-0 logits (valid until the next forward call).
   std::span<const double> forward_all(std::span<const double> input,
                                       ou::OuConfig ou, double t_s);
+
+  /// Batched full forward pass; returns the batch x head-out_features
+  /// logits panel (tight stride) in the internal activation buffer.
+  std::span<const double> forward_all(std::span<const double> inputs,
+                                      int batch, std::size_t in_stride,
+                                      ou::OuConfig ou, double t_s);
+
+  /// Grow the forward scratch to hold `batch` queries (monotonic; called
+  /// once per new high-water mark, so the steady state allocates nothing).
+  void ensure_batch_scratch(int batch);
 
   reram::DeviceParams device_;
   int crossbar_size_;
@@ -83,14 +119,19 @@ class HardwareMlpRunner {
   ou::CostParams adc_policy_;  ///< for the bits-from-R rule
   std::vector<MappedLayer> layers_;  ///< trunk denses then the single head
 
-  // Reusable forward-pass scratch, sized once to the widest layer: the
-  // scaled input, the activation ping-pong pair, and one partial-sum slice
-  // per grid column (each parallel grid-column task owns its own slice).
-  // No per-call heap allocation in forward_layer steady state.
+  // Reusable forward-pass scratch, sized to the widest layer times the
+  // batch high-water mark (ensure_batch_scratch): the scaled input panel,
+  // the activation ping-pong pair, one partial-sum slab per grid column
+  // (each parallel grid-column task owns its own slab), and the per-query
+  // DAC scale factors. No per-call heap allocation in steady state.
+  std::size_t max_features_ = 1;
+  int max_grid_cols_ = 1;
+  int batch_capacity_ = 0;
   std::vector<double> scaled_scratch_;
   std::vector<double> act_a_;
   std::vector<double> act_b_;
-  std::vector<double> partial_scratch_;  ///< grid_cols x crossbar_size flat
+  std::vector<double> partial_scratch_;  ///< grid_cols x batch x xbar_size
+  std::vector<double> in_scale_;         ///< per-query input max magnitude
 };
 
 }  // namespace odin::core

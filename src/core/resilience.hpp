@@ -55,6 +55,23 @@ struct BreakerConfig {
   int hold_max_runs = 64;
 };
 
+/// Deadline-aware batch formation over the admission queue. Disabled (the
+/// default) leaves the serving walk identical to unbatched serving; when
+/// enabled, drain time groups up to `resolved_max_batch()` queued
+/// same-tenant runs into one pipelined pass (arch::batched_inference_cost)
+/// — but only while every member's estimated pipeline-exit time keeps its
+/// SLO slack non-negative, so batching never trades one member's deadline
+/// for throughput.
+struct BatchingConfig {
+  bool enabled = false;
+  /// Upper bound on batch size; 0 defers to ODIN_BATCH_MAX (strict parse,
+  /// default 8). Clamped to [1, 1024].
+  int max_batch = 0;
+
+  /// The effective cap after the env fallback and clamping.
+  int resolved_max_batch() const;
+};
+
 /// Per-tenant serving SLOs plus the admission/breaker/watchdog knobs.
 /// Disabled (the default) leaves the serving walk bit-identical to the
 /// pre-resilience code path.
@@ -83,6 +100,8 @@ struct ResilienceConfig {
   /// index spins instead of inferencing until the watchdog cancels it.
   /// Negative disables.
   long long hang_run_index = -1;
+  /// Deadline-aware batch formation over the admission queue.
+  BatchingConfig batching{};
 
   double slo_s(std::size_t tenant) const noexcept {
     const double t = tenant < tenant_slo_s.size() ? tenant_slo_s[tenant] : 0.0;

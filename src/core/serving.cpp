@@ -10,6 +10,7 @@
 #include <optional>
 #include <thread>
 
+#include "arch/batching.hpp"
 #include "common/cancellation.hpp"
 #include "common/parallel.hpp"
 #include "core/checkpoint.hpp"
@@ -146,6 +147,37 @@ int ServingResult::total_watchdog_stalls() const noexcept {
   return n;
 }
 
+int ServingResult::total_batches_formed() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.batches_formed;
+  return n;
+}
+
+int ServingResult::total_batch_members() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.batch_members;
+  return n;
+}
+
+int ServingResult::total_batch_slo_capped() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.batch_slo_capped;
+  return n;
+}
+
+int ServingResult::max_batch() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n = std::max(n, s.max_batch);
+  return n;
+}
+
+double ServingResult::mean_batch_occupancy() const noexcept {
+  const int formed = total_batches_formed();
+  if (formed == 0) return 0.0;
+  return static_cast<double>(total_batch_members()) /
+         static_cast<double>(formed);
+}
+
 namespace {
 
 /// Contiguous segment boundaries over the run schedule.
@@ -225,6 +257,12 @@ std::optional<ServingResult> serve_odin_impl(
   // arrivals. Breakers and the last-known-good fallback OU are per tenant
   // and persist across segments (and across checkpoints).
   const ResilienceConfig& res = config.resilience;
+  // Batch formation (inert unless resilience AND batching are enabled):
+  // drain time groups queued same-tenant runs into one pipelined pass.
+  const bool batching = res.enabled && res.batching.enabled;
+  const int batch_cap = batching ? res.batching.resolved_max_batch() : 1;
+  std::vector<std::size_t> batch_scratch;      // members being formed
+  std::vector<ou::OuConfig> batch_configs;     // per-layer pricing configs
   double busy_until_s = 0.0;
   std::deque<std::size_t> pending;
   std::vector<CircuitBreaker> breakers;
@@ -295,6 +333,8 @@ std::optional<ServingResult> serve_odin_impl(
       for (const CircuitBreaker& b : breakers)
         ckpt.breakers.push_back(b.snapshot());
       ckpt.fallback_ous = fallback;
+      ckpt.batching_enabled = batching;
+      ckpt.batch_cap = batch_cap;
     }
     return ckpt;
   };
@@ -428,11 +468,129 @@ std::optional<ServingResult> serve_odin_impl(
         fallback[tenant_idx] = run.decisions.front().executed;
       sync_breaker();
     };
+    // Would a batch of exactly `members` keep every member's SLO slack
+    // non-negative? Estimated with the pipelined batch-cost model at the
+    // tenant's last-known-good OU (the actual per-layer decisions are not
+    // known until the leader's search runs); member k exits the pipeline
+    // after fill + k bottleneck beats.
+    auto batch_fits = [&](const std::vector<std::size_t>& members) {
+      if (!std::isfinite(slo)) return true;
+      const int b = static_cast<int>(members.size());
+      const arch::BatchCost est = arch::batched_inference_cost(
+          tenant, fallback[tenant_idx], cost, b);
+      const double start = std::max(busy_until_s, schedule[members.back()]);
+      for (int k = 0; k < b; ++k) {
+        const double exit_s = start + est.member_exit_latency_s(k);
+        if (exit_s - schedule[members[static_cast<std::size_t>(k)]] > slo)
+          return false;
+      }
+      return true;
+    };
+    // One pipelined pass over `members` (all queued arrivals of this
+    // segment's tenant, in arrival order). The leader run pays the
+    // controller once — search, any reprogram, the deadline budget — and
+    // its layer decisions price the whole batch through the pipelined
+    // BatchCost model; members are billed their own pipeline-exit sojourn.
+    auto serve_batch = [&](const std::vector<std::size_t>& members) {
+      assert(!members.empty());
+      const int b = static_cast<int>(members.size());
+      ++stats.batches_formed;
+      stats.batch_members += b;
+      stats.max_batch = std::max(stats.max_batch, b);
+      if (b == 1) {
+        serve_full(members.front());
+        return;
+      }
+      const double t_lead = schedule[members.front()];
+      const double start = std::max(busy_until_s, schedule[members.back()]);
+      if (!breaker->allow()) {
+        // Breaker holding open: every member gets the degraded fallback
+        // serve (no pipelined pass, no search).
+        for (std::size_t j : members) serve_fallback(j, false);
+        sync_breaker();
+        return;
+      }
+      token.reset();
+      const bool guarded = watchdog.has_value();
+      if (guarded)
+        watchdog->arm(&token,
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::duration<double>(res.watchdog_bound_s)));
+      // The leader (longest-waiting member) has the tightest budget.
+      common::Deadline deadline(slo - (start - t_lead),
+                                res.search_eval_cost_s,
+                                guarded ? &token : nullptr);
+      RunResult run = controller.run_inference(start, &deadline);
+      const bool stalled = guarded && watchdog->disarm();
+      if (stalled) ++stats.watchdog_stalls;
+      int evals = 0;
+      for (const LayerDecision& d : run.decisions) evals += d.evaluations;
+      // Search + reprogram happen once, before the pipeline fills.
+      const double pre =
+          run.reprogram.latency_s +
+          static_cast<double>(evals) * res.search_eval_cost_s;
+      batch_configs.clear();
+      if (run.decisions.size() == tenant.layer_count()) {
+        for (const LayerDecision& d : run.decisions)
+          batch_configs.push_back(d.executed);
+      } else {
+        batch_configs.assign(tenant.layer_count(), fallback[tenant_idx]);
+      }
+      const arch::BatchCost bc =
+          arch::batched_inference_cost(tenant, batch_configs, cost, b);
+      busy_until_s = start + pre + bc.total.latency_s;
+      stats.inference += bc.total;
+      stats.reprogram += run.reprogram;
+      stats.mismatches += run.mismatches;
+      stats.degraded_runs += run.degraded ? 1 : 0;
+      bool any_miss = false;
+      for (int k = 0; k < b; ++k) {
+        const double sojourn = start + pre + bc.member_exit_latency_s(k) -
+                               schedule[members[static_cast<std::size_t>(k)]];
+        stats.sojourn_s.push_back(sojourn);
+        ++stats.runs;
+        if (std::isfinite(slo) && sojourn > slo) {
+          ++stats.deadline_misses;
+          any_miss = true;
+        }
+      }
+      if (run.deadline_deferred_reprogram) ++stats.deferred_reprograms;
+      if (run.deadline_stopped_retries) ++stats.deadline_stopped_retries;
+      stats.searches_truncated += run.searches_truncated;
+      const bool success = !any_miss && !run.write_verify_failed && !stalled;
+      breaker->record(success);
+      if (success && !run.decisions.empty())
+        fallback[tenant_idx] = run.decisions.front().executed;
+      sync_breaker();
+    };
     auto drain_queue = [&](double until_s) {
       while (!pending.empty() && busy_until_s <= until_s) {
-        const std::size_t j = pending.front();
+        if (!batching) {
+          const std::size_t j = pending.front();
+          pending.pop_front();
+          serve_full(j);
+          continue;
+        }
+        // Grow the batch from the queue front (arrival order) until the
+        // cap, the queue, or a member's deadline slack stops it. The
+        // leader always ships — a single run that will miss anyway is
+        // serve_full's problem, not formation's.
+        batch_scratch.clear();
+        batch_scratch.push_back(pending.front());
         pending.pop_front();
-        serve_full(j);
+        bool slo_capped = false;
+        while (static_cast<int>(batch_scratch.size()) < batch_cap &&
+               !pending.empty()) {
+          batch_scratch.push_back(pending.front());  // candidate member
+          if (!batch_fits(batch_scratch)) {
+            batch_scratch.pop_back();
+            slo_capped = true;
+            break;
+          }
+          pending.pop_front();
+        }
+        if (slo_capped) ++stats.batch_slo_capped;
+        serve_batch(batch_scratch);
       }
     };
 
@@ -563,6 +721,13 @@ std::optional<ServingResult> resume_with_odin(
       return std::nullopt;
     if (ckpt.breakers.size() != tenants.size() ||
         ckpt.fallback_ous.size() != tenants.size())
+      return std::nullopt;
+    // Batch formation changes which runs share a pipelined pass, so the
+    // queue state only transfers onto the same batching geometry.
+    if (ckpt.batching_enabled != config.resilience.batching.enabled)
+      return std::nullopt;
+    if (config.resilience.batching.enabled &&
+        ckpt.batch_cap != config.resilience.batching.resolved_max_batch())
       return std::nullopt;
   }
   // Device wear: replay the campaign history on the caller's freshly

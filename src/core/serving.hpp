@@ -84,6 +84,12 @@ struct TenantStats {
   int breaker_probes = 0;        ///< half-open probe runs granted
   int breaker_closes = 0;        ///< recoveries back to Closed
   int watchdog_stalls = 0;       ///< hung runs cancelled by the watchdog
+  /// Batch-formation surface (all zero while batching is disabled). A
+  /// batch is one pipelined pass over >= 1 queued same-tenant runs.
+  int batches_formed = 0;   ///< pipelined passes (including size-1 batches)
+  int batch_members = 0;    ///< runs served inside those passes
+  int max_batch = 0;        ///< largest batch this tenant saw
+  int batch_slo_capped = 0; ///< batches stopped short by a member's slack
   /// Per-served-run sojourn (queue wait + service latency), in arrival
   /// order; feeds the percentile reporting below.
   std::vector<double> sojourn_s;
@@ -129,6 +135,14 @@ struct ServingResult {
   int total_breaker_probes() const noexcept;
   int total_breaker_closes() const noexcept;
   int total_watchdog_stalls() const noexcept;
+  /// Batch-formation totals (zero while batching is disabled).
+  int total_batches_formed() const noexcept;
+  int total_batch_members() const noexcept;
+  int total_batch_slo_capped() const noexcept;
+  /// Largest batch formed anywhere; 0 when batching never ran.
+  int max_batch() const noexcept;
+  /// Mean members per formed batch (the occupancy figure; 0 when none).
+  double mean_batch_occupancy() const noexcept;
 };
 
 /// Serve `tenants` (non-owning; must outlive the call) with one adapting

@@ -1,0 +1,69 @@
+// AVX2 OU GEMM. This TU alone is compiled with -mavx2 (and, like the
+// other kernel TUs, -ffp-contract=off); ou_gemm only dispatches here
+// after a runtime __builtin_cpu_supports("avx2") check.
+//
+// Vectorization is across the *batch* dimension: one ymm register holds
+// the accumulators of 4 queries for one output column, and the r loop
+// performs the same multiply-then-add per lane, in the same order, as
+// the scalar kernel — which is what makes the result bitwise identical
+// to sequential single-query calls (no horizontal reductions, no FMA).
+#include "reram/batch_gemm.hpp"
+
+#if defined(ODIN_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace odin::reram::gemm {
+
+void ou_gemm_avx2(const double* in_t, int batch, int rows,
+                  const double* colbase, std::size_t col_stride, int cols,
+                  const double* irt, double* acc) {
+  const int bvec = batch & ~3;  // multiple-of-4 query prefix
+  for (int c0 = 0; c0 < cols; c0 += 4) {
+    const int nc = cols - c0 < 4 ? cols - c0 : 4;
+    // Register block: 4 output columns x 4 query lanes. The input panel
+    // row is loaded once per r and reused by every column in the block.
+    for (int b0 = 0; b0 < bvec; b0 += 4) {
+      __m256d accv[4];
+      for (int cc = 0; cc < nc; ++cc) accv[cc] = _mm256_setzero_pd();
+      for (int r = 0; r < rows; ++r) {
+        const __m256d x =
+            _mm256_loadu_pd(in_t + static_cast<std::size_t>(r) * batch + b0);
+        for (int cc = 0; cc < nc; ++cc) {
+          const int c = c0 + cc;
+          const double* col =
+              colbase + static_cast<std::size_t>(c) * col_stride;
+          const double w = irt != nullptr ? col[r] * irt[c + r] : col[r];
+          accv[cc] =
+              _mm256_add_pd(accv[cc], _mm256_mul_pd(x, _mm256_set1_pd(w)));
+        }
+      }
+      for (int cc = 0; cc < nc; ++cc)
+        _mm256_storeu_pd(
+            acc + static_cast<std::size_t>(c0 + cc) * batch + b0, accv[cc]);
+    }
+    // Query tail (batch % 4): scalar, same per-lane operation order.
+    for (int b = bvec; b < batch; ++b) {
+      for (int cc = 0; cc < nc; ++cc) {
+        const int c = c0 + cc;
+        const double* col = colbase + static_cast<std::size_t>(c) * col_stride;
+        const double* irtc = irt != nullptr ? irt + c : nullptr;
+        double a = 0.0;
+        if (irtc != nullptr) {
+          for (int r = 0; r < rows; ++r) {
+            const double w = col[r] * irtc[r];
+            a += in_t[static_cast<std::size_t>(r) * batch + b] * w;
+          }
+        } else {
+          for (int r = 0; r < rows; ++r)
+            a += in_t[static_cast<std::size_t>(r) * batch + b] * col[r];
+        }
+        acc[static_cast<std::size_t>(c) * batch + b] = a;
+      }
+    }
+  }
+}
+
+}  // namespace odin::reram::gemm
+
+#endif  // ODIN_HAVE_AVX2

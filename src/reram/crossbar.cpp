@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/parallel.hpp"
+#include "reram/batch_gemm.hpp"
 
 namespace odin::reram {
 
@@ -316,6 +317,59 @@ void Crossbar::mvm_ou(std::span<const double> input, int row0, int ou_rows,
             /*accumulate=*/false);
 }
 
+void Crossbar::mvm_ou(std::span<const double> inputs, int batch, int row0,
+                      int ou_rows, int col0, int ou_cols, double t_s,
+                      int adc_bits, std::span<double> out) {
+  assert(batch >= 1);
+  assert(inputs.size() >=
+         static_cast<std::size_t>(batch) * static_cast<std::size_t>(ou_rows));
+  assert(out.size() >=
+         static_cast<std::size_t>(batch) * static_cast<std::size_t>(ou_cols));
+  if (noise_) {
+    // Perturbed conductances force a per-query walk; going through the
+    // public single-query entry keeps each query's epoch / RNG draw order
+    // exactly what a standalone call would have used.
+    for (int b = 0; b < batch; ++b)
+      mvm_ou(inputs.subspan(static_cast<std::size_t>(b) * ou_rows,
+                            static_cast<std::size_t>(ou_rows)),
+             row0, ou_rows, col0, ou_cols, t_s, adc_bits,
+             out.subspan(static_cast<std::size_t>(b) * ou_cols,
+                         static_cast<std::size_t>(ou_cols)));
+    return;
+  }
+  assert(row0 >= 0 && row0 + ou_rows <= size_);
+  assert(col0 >= 0 && col0 + ou_cols <= size_);
+  ensure_planes(t_s);
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  batch_in_t_.resize(static_cast<std::size_t>(ou_rows) * nb);
+  batch_acc_.resize(static_cast<std::size_t>(ou_cols) * nb);
+  for (int b = 0; b < batch; ++b)
+    for (int r = 0; r < ou_rows; ++r)
+      batch_in_t_[static_cast<std::size_t>(r) * nb + b] =
+          inputs[static_cast<std::size_t>(b) * ou_rows + r];
+  const bool spatial = ir_model_ == IrModel::kSpatial;
+  const bool uniform_drift = drift_coeff_.empty();
+  const double* plane = (uniform_drift ? weight_plane_ : eff_plane_).data();
+  gemm::ou_gemm(batch_in_t_.data(), batch, ou_rows,
+                plane + static_cast<std::size_t>(col0) * size_ + row0, size_,
+                ou_cols, spatial ? ir_table_.data() : nullptr,
+                batch_acc_.data());
+  // Same epilogue as the single-query kernel: acc * (lumped_ir *
+  // nominal_drift), then the bipolar ADC, per (query, column).
+  const double lumped_ir =
+      spatial ? 1.0
+              : lumped_ir_table_[static_cast<std::size_t>(ou_rows + ou_cols)];
+  const double nominal_drift = uniform_drift ? uniform_drift_factor_ : 1.0;
+  const double factor = lumped_ir * nominal_drift;
+  const double full_scale = static_cast<double>(ou_rows);
+  for (int c = 0; c < ou_cols; ++c) {
+    const double* accc = batch_acc_.data() + static_cast<std::size_t>(c) * nb;
+    for (int b = 0; b < batch; ++b)
+      out[static_cast<std::size_t>(b) * ou_cols + c] =
+          quantize_adc(accc[b] * factor, full_scale, adc_bits);
+  }
+}
+
 std::vector<double> Crossbar::mvm_ou(std::span<const double> input, int row0,
                                      int ou_rows, int col0, int ou_cols,
                                      double t_s, int adc_bits) {
@@ -377,6 +431,87 @@ void Crossbar::mvm(std::span<const double> input, int ou_rows, int ou_cols,
         (counter ? kNoisyCellCostNs : kPlaneCellCostNs);
     common::parallel_for(0, col_blocks, 1, column_block, block_cost_ns);
   }
+}
+
+void Crossbar::mvm(std::span<const double> inputs, int batch,
+                   std::size_t in_stride, int ou_rows, int ou_cols, double t_s,
+                   int adc_bits, std::span<double> out,
+                   std::size_t out_stride) {
+  assert(batch >= 1);
+  assert(in_stride >= static_cast<std::size_t>(live_rows_));
+  assert(out_stride >= static_cast<std::size_t>(live_cols_));
+  assert(inputs.size() >= static_cast<std::size_t>(batch - 1) * in_stride +
+                              static_cast<std::size_t>(live_rows_));
+  assert(out.size() >= static_cast<std::size_t>(batch - 1) * out_stride +
+                           static_cast<std::size_t>(live_cols_));
+  if (noise_) {
+    // Per-query path (see the batched mvm_ou): preserves each query's
+    // epoch and RNG draw order exactly.
+    for (int b = 0; b < batch; ++b)
+      mvm(inputs.subspan(static_cast<std::size_t>(b) * in_stride,
+                         static_cast<std::size_t>(live_rows_)),
+          ou_rows, ou_cols, t_s, adc_bits,
+          out.subspan(static_cast<std::size_t>(b) * out_stride,
+                      static_cast<std::size_t>(live_cols_)));
+    return;
+  }
+  for (int b = 0; b < batch; ++b) {
+    double* ob = out.data() + static_cast<std::size_t>(b) * out_stride;
+    std::fill(ob, ob + live_cols_, 0.0);
+  }
+  ensure_planes(t_s);
+  if (live_rows_ == 0 || live_cols_ == 0) return;
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  // Transpose the query panel once: in_t[r * batch + b]. This is the whole
+  // cache-tiling story — every OU tile of every column block then reads
+  // contiguous batch-rows, and each plane column is walked once per batch
+  // instead of once per query.
+  batch_in_t_.resize(static_cast<std::size_t>(live_rows_) * nb);
+  for (int b = 0; b < batch; ++b)
+    for (int r = 0; r < live_rows_; ++r)
+      batch_in_t_[static_cast<std::size_t>(r) * nb + b] =
+          inputs[static_cast<std::size_t>(b) * in_stride + r];
+  const bool spatial = ir_model_ == IrModel::kSpatial;
+  const bool uniform_drift = drift_coeff_.empty();
+  const double* plane = (uniform_drift ? weight_plane_ : eff_plane_).data();
+  const double* irt = spatial ? ir_table_.data() : nullptr;
+  const double nominal_drift = uniform_drift ? uniform_drift_factor_ : 1.0;
+  const std::size_t col_blocks = static_cast<std::size_t>(
+      (live_cols_ + ou_cols - 1) / std::max(ou_cols, 1));
+  // Each column block owns a disjoint accumulator slab and a disjoint
+  // output column range, so blocks parallelize exactly like the
+  // single-query path; per query the r0 tiles accumulate in increasing
+  // order, keeping results bitwise identical to sequential calls.
+  const std::size_t block_acc = static_cast<std::size_t>(ou_cols) * nb;
+  batch_acc_.resize(col_blocks * block_acc);
+  auto column_block = [&](std::size_t i) {
+    const int c0 = static_cast<int>(i) * ou_cols;
+    const int cols = std::min(ou_cols, live_cols_ - c0);
+    double* acc = batch_acc_.data() + i * block_acc;
+    for (int r0 = 0; r0 < live_rows_; r0 += ou_rows) {
+      const int rows = std::min(ou_rows, live_rows_ - r0);
+      gemm::ou_gemm(batch_in_t_.data() + static_cast<std::size_t>(r0) * nb,
+                    batch, rows,
+                    plane + static_cast<std::size_t>(c0) * size_ + r0, size_,
+                    cols, irt, acc);
+      const double lumped_ir =
+          spatial
+              ? 1.0
+              : lumped_ir_table_[static_cast<std::size_t>(rows + cols)];
+      const double factor = lumped_ir * nominal_drift;
+      const double full_scale = static_cast<double>(rows);
+      for (int c = 0; c < cols; ++c) {
+        const double* accc = acc + static_cast<std::size_t>(c) * nb;
+        for (int b = 0; b < batch; ++b)
+          out[static_cast<std::size_t>(b) * out_stride + c0 + c] +=
+              quantize_adc(accc[b] * factor, full_scale, adc_bits);
+      }
+    }
+  };
+  const std::size_t block_cost_ns = static_cast<std::size_t>(live_rows_) *
+                                    static_cast<std::size_t>(ou_cols) * nb *
+                                    kPlaneCellCostNs;
+  common::parallel_for(0, col_blocks, 1, column_block, block_cost_ns);
 }
 
 std::vector<double> Crossbar::mvm(std::span<const double> input, int ou_rows,

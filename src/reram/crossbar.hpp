@@ -141,6 +141,18 @@ class Crossbar {
   void mvm_ou(std::span<const double> input, int row0, int ou_rows, int col0,
               int ou_cols, double t_s, int adc_bits, std::span<double> out);
 
+  /// Batched OU pass: `batch` queries packed back to back (query b occupies
+  /// inputs[b * ou_rows, (b+1) * ou_rows)); writes out[b * ou_cols + c].
+  /// The drift/IR planes are refreshed once for the whole batch, the input
+  /// panel is transposed once, and the inner loop is a register-blocked
+  /// GEMM (reram/batch_gemm.hpp) — bitwise identical to `batch` sequential
+  /// single-query calls (DESIGN.md §14). With a NoiseModel attached, falls
+  /// back to the sequential per-query path (each query keeps its own
+  /// read-noise epoch / draw order).
+  void mvm_ou(std::span<const double> inputs, int batch, int row0,
+              int ou_rows, int col0, int ou_cols, double t_s, int adc_bits,
+              std::span<double> out);
+
   /// Full programmed-region MVM composed of (ou_rows x ou_cols) OU passes
   /// with partial sums accumulated digitally (shift-and-add path).
   std::vector<double> mvm(std::span<const double> input, int ou_rows,
@@ -151,6 +163,17 @@ class Crossbar {
   /// programmed_cols() entries.
   void mvm(std::span<const double> input, int ou_rows, int ou_cols,
            double t_s, int adc_bits, std::span<double> out);
+
+  /// Batched full-region MVM: query b reads inputs[b * in_stride,
+  /// + programmed_rows) and its outputs land in out[b * out_stride,
+  /// + programmed_cols) (zero-filled first). The strides let callers hand
+  /// in 2-D activation panels directly. Same per-query OU composition and
+  /// accumulation order as the single-query path, so results are bitwise
+  /// identical to `batch` sequential mvm calls; the batch amortizes the
+  /// plane/IR-table walk and vectorizes across queries.
+  void mvm(std::span<const double> inputs, int batch, std::size_t in_stride,
+           int ou_rows, int ou_cols, double t_s, int adc_bits,
+           std::span<double> out, std::size_t out_stride);
 
   /// Ideal (float) MVM over the programmed region, for error measurement.
   std::vector<double> ideal_mvm(std::span<const double> input) const;
@@ -225,6 +248,12 @@ class Crossbar {
   mutable std::vector<double> lumped_ir_table_;  ///< ir_factor by R+C
   mutable double uniform_drift_factor_ = 1.0;
   mutable double plane_elapsed_ = -1.0;  ///< cache key; < 0 = invalid
+
+  // Batched-path scratch (grown on first use, reused afterwards so the
+  // steady state allocates nothing): the transposed input panel
+  // (in_t[r * batch + b]) and the pre-quantization GEMM accumulators.
+  std::vector<double> batch_in_t_;
+  std::vector<double> batch_acc_;
 
   std::uint64_t mvm_epoch_ = 0;  ///< counter-based read-noise epoch
   int program_campaigns_ = 0;

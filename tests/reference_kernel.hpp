@@ -138,6 +138,50 @@ inline std::vector<double> mvm(const reram::Crossbar& x,
   return out;
 }
 
+/// Batched OU reference: N independent single-query reference calls packed
+/// into one tight panel (query b's inputs at inputs[b*ou_rows], outputs at
+/// out[b*ou_cols]) — the sequential semantics the batched kernel must match
+/// bit for bit.
+inline std::vector<double> mvm_ou_batch(const reram::Crossbar& x,
+                                        std::span<const double> inputs,
+                                        int batch, int row0, int ou_rows,
+                                        int col0, int ou_cols, double t_s,
+                                        int adc_bits) {
+  std::vector<double> out(static_cast<std::size_t>(batch) * ou_cols, 0.0);
+  for (int b = 0; b < batch; ++b) {
+    const std::span<const double> in{
+        inputs.data() + static_cast<std::size_t>(b) * ou_rows,
+        static_cast<std::size_t>(ou_rows)};
+    const auto one =
+        mvm_ou(x, in, row0, ou_rows, col0, ou_cols, t_s, adc_bits);
+    std::copy(one.begin(), one.end(),
+              out.begin() + static_cast<std::size_t>(b) * ou_cols);
+  }
+  return out;
+}
+
+/// Batched full-array reference: N sequential single-query full passes,
+/// inputs strided by `in_stride`, outputs packed tight per query.
+inline std::vector<double> mvm_batch(const reram::Crossbar& x,
+                                     std::span<const double> inputs,
+                                     int batch, std::size_t in_stride,
+                                     int ou_rows, int ou_cols, double t_s,
+                                     int adc_bits) {
+  const int live_cols = x.programmed_cols();
+  const int live_rows = x.programmed_rows();
+  std::vector<double> out(
+      static_cast<std::size_t>(batch) * live_cols, 0.0);
+  for (int b = 0; b < batch; ++b) {
+    const std::span<const double> in{
+        inputs.data() + static_cast<std::size_t>(b) * in_stride,
+        static_cast<std::size_t>(live_rows)};
+    const auto one = mvm(x, in, ou_rows, ou_cols, t_s, adc_bits);
+    std::copy(one.begin(), one.end(),
+              out.begin() + static_cast<std::size_t>(b) * live_cols);
+  }
+  return out;
+}
+
 /// Original ideal MVM: row-outer accumulation with zero-input rows skipped.
 inline std::vector<double> ideal_mvm(const reram::Crossbar& x,
                                      std::span<const double> input) {

@@ -1,0 +1,160 @@
+// Strict environment-variable parsing (common/env.hpp) and the knobs
+// built on it: ODIN_SIMD kernel dispatch (reram/batch_gemm.hpp) and the
+// ODIN_BATCH_MAX batch-formation cap (core/resilience.hpp). The contract
+// (DESIGN.md §13/§14): a value must parse in full or it is ignored with a
+// stderr warning and the default applies — a typo never silently changes
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "core/resilience.hpp"
+#include "reram/batch_gemm.hpp"
+
+namespace odin {
+namespace {
+
+/// Scoped setenv/unsetenv so a failing assertion can't leak state into
+/// the next test.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr)
+      ::unsetenv(name);
+    else
+      ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+constexpr const char* kVar = "ODIN_TEST_ENV_VAR";
+
+TEST(Env, LongParsesWholeValue) {
+  long long v = -1;
+  {
+    ScopedEnv env(kVar, "42");
+    EXPECT_TRUE(common::env_long(kVar, v));
+    EXPECT_EQ(v, 42);
+  }
+  {
+    ScopedEnv env(kVar, "-7");
+    EXPECT_TRUE(common::env_long(kVar, v));
+    EXPECT_EQ(v, -7);
+  }
+}
+
+TEST(Env, LongRejectsGarbageAndPartialParses) {
+  for (const char* bad : {"abc", "12abc", "1.5", "", " 3", "3 "}) {
+    long long v = 99;
+    ScopedEnv env(kVar, bad);
+    EXPECT_FALSE(common::env_long(kVar, v)) << "value '" << bad << "'";
+    EXPECT_EQ(v, 99) << "out must be untouched for '" << bad << "'";
+  }
+}
+
+TEST(Env, LongUnsetReturnsFalse) {
+  ScopedEnv env(kVar, nullptr);
+  long long v = 5;
+  EXPECT_FALSE(common::env_long(kVar, v));
+  EXPECT_EQ(v, 5);
+}
+
+TEST(Env, StringReturnsNullWhenUnsetOrEmpty) {
+  {
+    ScopedEnv env(kVar, nullptr);
+    EXPECT_EQ(common::env_string(kVar), nullptr);
+  }
+  {
+    ScopedEnv env(kVar, "");
+    EXPECT_EQ(common::env_string(kVar), nullptr);
+  }
+  {
+    ScopedEnv env(kVar, "hello");
+    ASSERT_NE(common::env_string(kVar), nullptr);
+    EXPECT_STREQ(common::env_string(kVar), "hello");
+  }
+}
+
+TEST(Env, ParseSimdModeIsStrict) {
+  using reram::gemm::SimdMode;
+  SimdMode mode = SimdMode::kAvx2;
+  EXPECT_TRUE(reram::gemm::parse_simd_mode("scalar", mode));
+  EXPECT_EQ(mode, SimdMode::kScalar);
+  EXPECT_TRUE(reram::gemm::parse_simd_mode("avx2", mode));
+  EXPECT_EQ(mode, SimdMode::kAvx2);
+  for (const char* bad : {"AVX2", "sse", "avx2 ", "", "scalar2"}) {
+    SimdMode untouched = SimdMode::kScalar;
+    EXPECT_FALSE(reram::gemm::parse_simd_mode(bad, untouched))
+        << "value '" << bad << "'";
+    EXPECT_EQ(untouched, SimdMode::kScalar);
+  }
+}
+
+TEST(Env, SimdModeFromEnvFollowsStrictContract) {
+  using reram::gemm::SimdMode;
+  {
+    ScopedEnv env("ODIN_SIMD", nullptr);
+    EXPECT_EQ(reram::gemm::simd_mode_from_env(),
+              reram::gemm::default_simd_mode());
+  }
+  {
+    ScopedEnv env("ODIN_SIMD", "scalar");
+    EXPECT_EQ(reram::gemm::simd_mode_from_env(), SimdMode::kScalar);
+  }
+  {
+    // Garbage warns and falls back to the default — never a third state.
+    ScopedEnv env("ODIN_SIMD", "neon");
+    EXPECT_EQ(reram::gemm::simd_mode_from_env(),
+              reram::gemm::default_simd_mode());
+  }
+  {
+    // An explicit avx2 request resolves to avx2 when available and
+    // degrades to scalar (with a warning) when not — never fails.
+    ScopedEnv env("ODIN_SIMD", "avx2");
+    const SimdMode want = reram::gemm::avx2_available()
+                              ? SimdMode::kAvx2
+                              : SimdMode::kScalar;
+    EXPECT_EQ(reram::gemm::simd_mode_from_env(), want);
+  }
+}
+
+TEST(Env, BatchMaxDefaultsAndClamps) {
+  core::BatchingConfig cfg;
+  {
+    ScopedEnv env("ODIN_BATCH_MAX", nullptr);
+    EXPECT_EQ(cfg.resolved_max_batch(), 8);  // baked-in default
+  }
+  {
+    ScopedEnv env("ODIN_BATCH_MAX", "32");
+    EXPECT_EQ(cfg.resolved_max_batch(), 32);
+  }
+  {
+    ScopedEnv env("ODIN_BATCH_MAX", "64batch");  // garbage: warn + default
+    EXPECT_EQ(cfg.resolved_max_batch(), 8);
+  }
+  {
+    ScopedEnv env("ODIN_BATCH_MAX", "0");  // below the floor: default
+    EXPECT_EQ(cfg.resolved_max_batch(), 8);
+  }
+  {
+    ScopedEnv env("ODIN_BATCH_MAX", "99999");  // clamped to the ceiling
+    EXPECT_EQ(cfg.resolved_max_batch(), 1024);
+  }
+  {
+    // An explicit config cap wins over the environment entirely.
+    ScopedEnv env("ODIN_BATCH_MAX", "32");
+    cfg.max_batch = 4;
+    EXPECT_EQ(cfg.resolved_max_batch(), 4);
+    cfg.max_batch = 5000;
+    EXPECT_EQ(cfg.resolved_max_batch(), 1024);
+  }
+}
+
+}  // namespace
+}  // namespace odin

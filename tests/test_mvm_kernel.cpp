@@ -16,7 +16,9 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/hardware_inference.hpp"
+#include "nn/train.hpp"
 #include "reference_kernel.hpp"
+#include "reram/batch_gemm.hpp"
 #include "reram/crossbar.hpp"
 
 // --- Allocation counter -----------------------------------------------------
@@ -35,10 +37,16 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+// GCC's -Wmismatched-new-delete sees through the forwarding operator new
+// above once it inlines into a test body and flags the matching free() as
+// a malloc/new mismatch — a false positive for a counting replacement pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace odin::reram {
 namespace {
@@ -267,6 +275,124 @@ TEST(MvmKernel, CounterDrawsArePureFunctionsOfTheStream) {
   EXPECT_NE(noise.read_at(g, 42), noise.read_at(g, 43));
 }
 
+// --- Batched kernel ----------------------------------------------------------
+// The batched entries must be bitwise identical to N sequential single-query
+// calls (DESIGN.md §14) across OU shapes, batch sizes (including non-multiples
+// of the 4-query SIMD lane width), panel strides, both IR models and both the
+// GEMM fast path (noiseless) and the per-query noisy fallback.
+
+/// Batch sizes straddling the 4-wide SIMD register block (tails of 1-3).
+constexpr int kBatchSizes[] = {1, 2, 4, 5, 8, 11};
+
+void expect_batched_matches_reference(Crossbar& x, double t_s) {
+  constexpr std::size_t kStride = kSize;  // panel row wider than live rows
+  for (const OuShape& ou : kShapes) {
+    for (int batch : kBatchSizes) {
+      SCOPED_TRACE(::testing::Message()
+                   << "OU " << ou.rows << "x" << ou.cols << " batch "
+                   << batch << " t=" << t_s);
+      const auto panel =
+          random_input(17 + static_cast<std::uint64_t>(batch),
+                       batch * static_cast<int>(kStride));
+      std::vector<double> got(static_cast<std::size_t>(batch) * kLiveCols);
+      x.mvm(panel, batch, kStride, ou.rows, ou.cols, t_s, kAdcBits, got,
+            kLiveCols);
+      const auto want = testref::mvm_batch(x, panel, batch, kStride,
+                                           ou.rows, ou.cols, t_s, kAdcBits);
+      expect_bitwise(got, want, "batched mvm");
+    }
+  }
+  // One OU window away from the origin, tight input packing.
+  for (int batch : kBatchSizes) {
+    SCOPED_TRACE(::testing::Message() << "mvm_ou batch " << batch);
+    const auto inputs =
+        random_input(19 + static_cast<std::uint64_t>(batch), batch * 16);
+    std::vector<double> got(static_cast<std::size_t>(batch) * 16);
+    x.mvm_ou(inputs, batch, 32, 16, 48, 16, t_s, kAdcBits, got);
+    const auto want = testref::mvm_ou_batch(x, inputs, batch, 32, 16, 48,
+                                            16, t_s, kAdcBits);
+    expect_bitwise(got, want, "batched mvm_ou");
+  }
+}
+
+TEST(MvmKernel, BatchedMatchesSequentialLumped) {
+  Crossbar x = make_crossbar(IrModel::kLumped, std::nullopt);
+  expect_batched_matches_reference(x, 1.0);
+  expect_batched_matches_reference(x, 3.5e5);
+}
+
+TEST(MvmKernel, BatchedMatchesSequentialSpatial) {
+  Crossbar x = make_crossbar(IrModel::kSpatial, std::nullopt);
+  expect_batched_matches_reference(x, 1.0);
+  expect_batched_matches_reference(x, 3.5e5);
+}
+
+TEST(MvmKernel, BatchedPerCellDriftMatchesSequential) {
+  for (IrModel ir : {IrModel::kLumped, IrModel::kSpatial}) {
+    Crossbar x = make_crossbar(ir, NoiseModel(drift_only_noise(), 21));
+    ASSERT_FALSE(x.drift_coefficients().empty());
+    expect_batched_matches_reference(x, 3.5e5);
+  }
+}
+
+TEST(MvmKernel, BatchedFaultInjectedMatchesSequential) {
+  NoiseParams p = drift_only_noise();
+  p.stuck_on_rate = 0.02;
+  p.stuck_off_rate = 0.03;
+  for (IrModel ir : {IrModel::kLumped, IrModel::kSpatial}) {
+    Crossbar x = make_crossbar(ir, NoiseModel(p, 33));
+    ASSERT_GT(x.faulty_cells(), 0);
+    expect_batched_matches_reference(x, 3.5e5);
+  }
+}
+
+// With live read noise the reference kernel no longer applies, so the pin
+// is directly against N sequential single-query calls on an identically
+// constructed crossbar (same seed -> same draw/epoch sequence).
+TEST(MvmKernel, BatchedNoisyStreamMatchesSequential) {
+  for (auto stream : {Crossbar::ReadNoiseStream::kSequential,
+                      Crossbar::ReadNoiseStream::kCounterBased}) {
+    SCOPED_TRACE(static_cast<int>(stream));
+    Crossbar batched = make_crossbar(IrModel::kSpatial,
+                                     NoiseModel(read_noise_only(), 5));
+    Crossbar seq = make_crossbar(IrModel::kSpatial,
+                                 NoiseModel(read_noise_only(), 5));
+    batched.set_read_noise_stream(stream);
+    seq.set_read_noise_stream(stream);
+    constexpr int kBatch = 5;
+    const auto panel = random_input(23, kBatch * kSize);
+    std::vector<double> got(static_cast<std::size_t>(kBatch) * kLiveCols);
+    batched.mvm(panel, kBatch, kSize, 16, 16, 1.0, 12, got, kLiveCols);
+    std::vector<double> want(got.size());
+    for (int b = 0; b < kBatch; ++b)
+      seq.mvm(std::span<const double>(panel).subspan(
+                  static_cast<std::size_t>(b) * kSize, kLiveRows),
+              16, 16, 1.0, 12,
+              std::span<double>(want).subspan(
+                  static_cast<std::size_t>(b) * kLiveCols, kLiveCols));
+    expect_bitwise(got, want, "noisy batched mvm");
+  }
+}
+
+// The explicit-SIMD path vectorizes across queries with per-lane operation
+// order identical to the scalar kernel, so the two must agree bit for bit.
+TEST(MvmKernel, SimdModesAgreeBitwise) {
+  if (!gemm::avx2_available())
+    GTEST_SKIP() << "AVX2 unavailable in this build/CPU";
+  Crossbar x = make_crossbar(IrModel::kSpatial, std::nullopt);
+  constexpr int kBatch = 7;  // two full 4-query lanes worth minus a tail
+  const auto panel = random_input(29, kBatch * kSize);
+  std::vector<double> scalar_out(static_cast<std::size_t>(kBatch) *
+                                 kLiveCols);
+  std::vector<double> avx2_out(scalar_out.size());
+  gemm::set_simd_mode(gemm::SimdMode::kScalar);
+  x.mvm(panel, kBatch, kSize, 16, 16, 2.0, kAdcBits, scalar_out, kLiveCols);
+  gemm::set_simd_mode(gemm::SimdMode::kAvx2);
+  x.mvm(panel, kBatch, kSize, 16, 16, 2.0, kAdcBits, avx2_out, kLiveCols);
+  gemm::set_simd_mode(gemm::default_simd_mode());
+  expect_bitwise(avx2_out, scalar_out, "scalar vs avx2");
+}
+
 // --- Zero allocation in steady state ----------------------------------------
 
 TEST(MvmKernel, SpanMvmDoesNotAllocateInSteadyState) {
@@ -280,6 +406,26 @@ TEST(MvmKernel, SpanMvmDoesNotAllocateInSteadyState) {
            kAdcBits, out);
   EXPECT_EQ(g_allocations.load() - before, 0u)
       << "span mvm/mvm_ou allocated on a warm cache";
+}
+
+TEST(MvmKernel, BatchedMvmDoesNotAllocateInSteadyState) {
+  Crossbar x = make_crossbar(IrModel::kSpatial, std::nullopt);
+  constexpr int kBatch = 8;
+  const auto panel = random_input(31, kBatch * kSize);
+  std::vector<double> out(static_cast<std::size_t>(kBatch) * kLiveCols);
+  std::vector<double> ou_out(static_cast<std::size_t>(kBatch) * 16);
+  // Warm the planes, the pool and the batch scratch at the target size.
+  x.mvm(panel, kBatch, kSize, 16, 16, 2.0, kAdcBits, out, kLiveCols);
+  x.mvm_ou(std::span<const double>(panel).subspan(0, kBatch * 16), kBatch,
+           32, 16, 48, 16, 2.0, kAdcBits, ou_out);
+  const std::uint64_t before = g_allocations.load();
+  for (int rep = 0; rep < 8; ++rep) {
+    x.mvm(panel, kBatch, kSize, 16, 16, 2.0, kAdcBits, out, kLiveCols);
+    x.mvm_ou(std::span<const double>(panel).subspan(0, kBatch * 16), kBatch,
+             32, 16, 48, 16, 2.0, kAdcBits, ou_out);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "batched mvm/mvm_ou allocated on a warm cache";
 }
 
 }  // namespace
@@ -301,6 +447,82 @@ TEST(MvmKernel, ForwardPassDoesNotAllocateInSteadyState) {
   for (int rep = 0; rep < 8; ++rep) votes += hw.predict(input, {16, 16}, 1.0);
   EXPECT_EQ(g_allocations.load() - before, 0u)
       << "predict allocated in steady state (votes " << votes << ")";
+}
+
+// --- Batched forward path ----------------------------------------------------
+
+HardwareMlpRunner make_runner() {
+  nn::MultiHeadMlp model(
+      nn::MlpConfig{.inputs = 48, .hidden = {32}, .heads = {10}}, 5);
+  return HardwareMlpRunner(model, reram::DeviceParams{}, 64);
+}
+
+std::vector<double> random_panel(std::uint64_t seed, std::size_t n) {
+  std::vector<double> panel(n);
+  common::Rng rng(seed);
+  for (double& v : panel) v = rng.uniform(-1.0, 1.0);
+  return panel;
+}
+
+TEST(MvmKernel, BatchedForwardMatchesSingleQuery) {
+  HardwareMlpRunner hw = make_runner();
+  constexpr int kBatch = 5;  // exercises the 4-query SIMD tail
+  constexpr std::size_t kStride = 48;
+  const auto panel = random_panel(7, kBatch * kStride);
+  std::vector<double> batched(static_cast<std::size_t>(kBatch) * 10);
+  hw.logits(panel, kBatch, kStride, {16, 16}, 1.0, batched);
+  std::vector<int> preds(kBatch);
+  hw.predict(panel, kBatch, kStride, {16, 16}, 1.0, preds);
+  for (int b = 0; b < kBatch; ++b) {
+    const std::span<const double> one_in =
+        std::span<const double>(panel).subspan(
+            static_cast<std::size_t>(b) * kStride, kStride);
+    const auto one = hw.logits(one_in, {16, 16}, 1.0);
+    ASSERT_EQ(one.size(), 10u);
+    for (std::size_t k = 0; k < one.size(); ++k)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                    batched[static_cast<std::size_t>(b) * 10 + k]),
+                std::bit_cast<std::uint64_t>(one[k]))
+          << "query " << b << " logit " << k;
+    EXPECT_EQ(preds[b], hw.predict(one_in, {16, 16}, 1.0)) << "query " << b;
+  }
+}
+
+TEST(MvmKernel, BatchedAccuracyMatchesSingleQuery) {
+  HardwareMlpRunner hw = make_runner();
+  nn::Dataset data;
+  data.inputs = nn::Matrix(23, 48);  // odd count: final partial batch
+  data.labels.assign(1, std::vector<int>(23));
+  common::Rng rng(17);
+  for (std::size_t i = 0; i < 23; ++i) {
+    for (std::size_t f = 0; f < 48; ++f)
+      data.inputs(i, f) = rng.uniform(-1.0, 1.0);
+    data.labels[0][i] = static_cast<int>(i % 10);
+  }
+  const double single = hw.accuracy(data, {16, 16}, 1.0);
+  for (int batch : {1, 4, 8}) {
+    EXPECT_EQ(hw.accuracy(data, {16, 16}, 1.0, batch), single)
+        << "batch " << batch;
+  }
+}
+
+TEST(MvmKernel, BatchedForwardDoesNotAllocateInSteadyState) {
+  HardwareMlpRunner hw = make_runner();
+  constexpr int kBatch = 6;
+  constexpr std::size_t kStride = 48;
+  const auto panel = random_panel(11, kBatch * kStride);
+  std::vector<double> out(static_cast<std::size_t>(kBatch) * 10);
+  std::vector<int> preds(kBatch);
+  // Warm scratch + planes at the target batch size.
+  hw.logits(panel, kBatch, kStride, {16, 16}, 1.0, out);
+  hw.predict(panel, kBatch, kStride, {16, 16}, 1.0, preds);
+  const std::uint64_t before = g_allocations.load();
+  for (int rep = 0; rep < 8; ++rep) {
+    hw.logits(panel, kBatch, kStride, {16, 16}, 1.0, out);
+    hw.predict(panel, kBatch, kStride, {16, 16}, 1.0, preds);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "batched logits/predict allocated in steady state";
 }
 
 }  // namespace

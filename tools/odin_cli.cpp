@@ -22,11 +22,15 @@
 //                  [--crossbar N] [--slo S] [--queue N]
 //                  [--shed block|oldest|newest] [--eval-cost S]
 //                  [--breaker-window N] [--breaker-threshold N]
-//                  [--watchdog-ms N]
+//                  [--watchdog-ms N] [--batch-max N]
 //       Multi-tenant serving with the resilience layer on: per-tenant
 //       latency SLOs, bounded admission queue with load shedding,
 //       circuit breakers and the hung-work watchdog. Reports deadline
 //       slack percentiles, shed/miss counts and breaker transitions.
+//       --batch-max enables deadline-aware batch formation over the
+//       admission queue with the given cap (0 = the ODIN_BATCH_MAX
+//       environment default); the summary then also reports batches
+//       formed, mean occupancy and SLO-capped growth.
 //
 // All randomness is seeded; outputs are reproducible.
 #include <algorithm>
@@ -292,6 +296,13 @@ void print_resilience_summary(const core::ServingResult& result) {
       result.total_searches_truncated(), result.total_breaker_opens(),
       result.total_breaker_reopens(), result.total_breaker_probes(),
       result.total_breaker_closes(), result.total_watchdog_stalls());
+  if (result.total_batches_formed() > 0)
+    std::printf(
+        "batching: %d batches over %d runs (mean occupancy %.2f, "
+        "max batch %d, %d SLO-capped)\n",
+        result.total_batches_formed(), result.total_batch_members(),
+        result.mean_batch_occupancy(), result.max_batch(),
+        result.total_batch_slo_capped());
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -342,6 +353,10 @@ int cmd_serve(int argc, char** argv) {
       std::atof(
           flag_value(argc, argv, "--watchdog-ms").value_or("0").c_str()) *
       1e-3;
+  if (const auto batch_max = flag_value(argc, argv, "--batch-max")) {
+    res.batching.enabled = true;
+    res.batching.max_batch = std::atoi(batch_max->c_str());
+  }
 
   const core::Setup setup;
   const ou::NonIdealityModel nonideal = setup.make_nonideality(crossbar);
@@ -455,11 +470,15 @@ int usage() {
                " [--eval-cost S]\n"
                "        [--breaker-window N] [--breaker-threshold N]"
                " [--watchdog-ms N]\n"
+               "        [--batch-max N]\n"
                "     (serve counters: shed runs, deadline misses, deferred"
                " reprograms,\n"
                "      truncated searches, breaker open/reopen/probe/close,"
                " watchdog stalls,\n"
-               "      p50/p99 sojourn and deadline slack per tenant)\n");
+               "      p50/p99 sojourn and deadline slack per tenant;"
+               " --batch-max N\n"
+               "      enables deadline-aware batch formation, 0 = the"
+               " ODIN_BATCH_MAX default)\n");
   return 2;
 }
 

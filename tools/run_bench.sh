@@ -16,6 +16,9 @@
 # writes BENCH_robustness.json, and the resilience arm
 # (serving_resilience: overload/shed-policy sweep plus the deadline-vs-
 # unbounded storm comparison), which writes BENCH_serving_resilience.json.
+# The batching arm (batching_throughput under ODIN_THREADS=1: batch x OU
+# kernel sweep old-vs-new, the pipelined model table, and the serving
+# batch-formation comparison) writes BENCH_batching.json directly.
 # Every emitted JSON records the build type and git revision it was
 # measured from.
 #
@@ -74,6 +77,14 @@ echo "[bench] robustness_overhead -> BENCH_robustness.json" >&2
 echo "[bench] serving_resilience -> BENCH_serving_resilience.json" >&2
 "$BUILD/bench/serving_resilience" --json "$REPO/BENCH_serving_resilience.json" \
   >"$TMP/serving_resilience.log"
+
+# Single-thread so the kernel sweep isolates the batching/SIMD win from
+# thread-pool scaling (which BENCH_parallel.json already covers).
+echo "[bench] batching_throughput -> BENCH_batching.json" >&2
+ODIN_THREADS=1 "$BUILD/bench/batching_throughput" \
+  --json "$REPO/BENCH_batching.json" \
+  --build-type "$BUILD_TYPE" --git-sha "$GIT_SHA" \
+  >"$TMP/batching_throughput.log"
 
 FIG8_SEQ=$(wall_clock fig8_edp_all_dnns 1)
 FIG8_PAR=$(wall_clock fig8_edp_all_dnns "$THREADS")
