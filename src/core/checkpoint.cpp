@@ -98,6 +98,12 @@ void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
   out.i32(t.batch_members);
   out.i32(t.max_batch);
   out.i32(t.batch_slo_capped);
+  // v4: wear-leveling surface.
+  out.i32(t.rows_remapped);
+  out.i32(t.crossbars_retired);
+  out.i64(t.writes_leveled);
+  out.i32(t.wear_deferred_reprograms);
+  out.i32(t.spares_remaining);
 }
 
 std::optional<TenantStats> decode_tenant(common::ByteReader& in,
@@ -140,6 +146,13 @@ std::optional<TenantStats> decode_tenant(common::ByteReader& in,
     t.batch_members = in.i32();
     t.max_batch = in.i32();
     t.batch_slo_capped = in.i32();
+  }
+  if (version >= 4) {
+    t.rows_remapped = in.i32();
+    t.crossbars_retired = in.i32();
+    t.writes_leveled = in.i64();
+    t.wear_deferred_reprograms = in.i32();
+    t.spares_remaining = in.i32();
   }
   if (!in.ok()) return std::nullopt;
   return t;
@@ -335,6 +348,20 @@ void encode_checkpoint(const ServingCheckpoint& ckpt,
   // v3: batch-formation fingerprint.
   out.boolean(ckpt.batching_enabled);
   out.i32(ckpt.batch_cap);
+  // v4: wear-leveling state. Controller wear counters ride here rather than
+  // in encode_controller, which is unversioned.
+  out.boolean(ckpt.leveling_enabled);
+  out.i32(ckpt.leveling_spare_rows);
+  out.f64(ckpt.leveling_wear_budget);
+  out.i32(ckpt.wear.crossbars_retired);
+  out.i32(ckpt.wear_seg_base_rows_remapped);
+  out.i32(ckpt.wear_seg_base_crossbars_retired);
+  out.i64(ckpt.wear_seg_base_writes_leveled);
+  out.i32(ckpt.controller.wear_deferred_reprograms);
+  out.i32(ckpt.controller.retired_seen);
+  out.u64(ckpt.wear_maps.size());
+  for (const reram::WearMap& m : ckpt.wear_maps)
+    reram::encode_wear_map(m, out);
 }
 
 std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
@@ -411,6 +438,24 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
   if (version >= 3) {
     ckpt.batching_enabled = in.boolean();
     ckpt.batch_cap = in.i32();
+  }
+  if (version >= 4) {
+    ckpt.leveling_enabled = in.boolean();
+    ckpt.leveling_spare_rows = in.i32();
+    ckpt.leveling_wear_budget = in.f64();
+    ckpt.wear.crossbars_retired = in.i32();
+    ckpt.wear_seg_base_rows_remapped = in.i32();
+    ckpt.wear_seg_base_crossbars_retired = in.i32();
+    ckpt.wear_seg_base_writes_leveled = in.i64();
+    ckpt.controller.wear_deferred_reprograms = in.i32();
+    ckpt.controller.retired_seen = in.i32();
+    const std::uint64_t wear_maps = in.u64();
+    if (!in.ok() || wear_maps > (1u << 16)) return std::nullopt;
+    for (std::uint64_t i = 0; i < wear_maps; ++i) {
+      auto map = reram::decode_wear_map(in);
+      if (!map.has_value()) return std::nullopt;
+      ckpt.wear_maps.push_back(std::move(*map));
+    }
   }
   if (!in.ok()) return std::nullopt;
   return ckpt;

@@ -34,15 +34,19 @@
 #include "core/odin.hpp"
 #include "core/serving.hpp"
 #include "reram/fault_injection.hpp"
+#include "reram/wear_leveling.hpp"
 
 namespace odin::core {
 
 /// On-disk payload version. Version 2 added the resilience serving state
 /// (queue, breakers, fallback OUs, per-tenant SLO counters); version 3
 /// added the batch-formation surface (per-tenant batch counters plus the
-/// batching fingerprint). Older frames are still accepted, with every
-/// added field defaulting to the feature-disabled state.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+/// batching fingerprint); version 4 added the wear-leveling surface (the
+/// leveling fingerprint, retirement count, per-segment attribution bases,
+/// controller wear counters and behavioral per-crossbar wear maps). Older
+/// frames are still accepted, with every added field defaulting to the
+/// feature-disabled state (v3 frames decode with empty wear maps).
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// The complete serving state at a run boundary. `segment`/`next_run`
 /// locate the resume point: the next inference to execute is
@@ -84,6 +88,20 @@ struct ServingCheckpoint {
   /// queue state only transfers onto the same batching geometry.
   bool batching_enabled = false;
   std::int32_t batch_cap = 0;  ///< resolved max batch in force
+  /// Wear-leveling state (v4+; defaulted for older frames). The fingerprint
+  /// fields gate resume: a leveled campaign history only replays correctly
+  /// under the same spare pool and wear budget. The seg-base fields restore
+  /// mid-segment per-tenant attribution of the device-global counters.
+  bool leveling_enabled = false;
+  std::int32_t leveling_spare_rows = 0;   ///< resolved pool in force
+  double leveling_wear_budget = 0.0;      ///< resolved budget fraction
+  int wear_seg_base_rows_remapped = 0;
+  int wear_seg_base_crossbars_retired = 0;
+  long long wear_seg_base_writes_leveled = 0;
+  /// Measured per-crossbar wear maps (Crossbar::wear_map), when the serving
+  /// path tracks behavioral crossbars; empty otherwise — and always empty
+  /// when decoding a pre-v4 frame.
+  std::vector<reram::WearMap> wear_maps;
 };
 
 /// Payload codec (no framing). decode returns nullopt on truncation or a

@@ -49,7 +49,26 @@ OdinController::OdinController(const ou::MappedModel& model,
   assert(config_.fault.max_program_attempts >= 1);
   // A pre-worn device (e.g. inherited across a tenant switch) starts from
   // its current measured health, not from a pristine assumption.
-  if (faults_ != nullptr) health_fraction_ = faults_->fault_fraction();
+  if (faults_ != nullptr) {
+    health_fraction_ = faults_->fault_fraction();
+    retired_seen_ = faults_->crossbars_retired();
+  }
+}
+
+int OdinController::rows_remapped() const noexcept {
+  return faults_ != nullptr ? faults_->rows_remapped() : 0;
+}
+
+int OdinController::spares_remaining() const noexcept {
+  return faults_ != nullptr ? faults_->spares_remaining() : 0;
+}
+
+int OdinController::crossbars_retired() const noexcept {
+  return faults_ != nullptr ? faults_->crossbars_retired() : 0;
+}
+
+long long OdinController::writes_leveled() const noexcept {
+  return faults_ != nullptr ? faults_->writes_leveled() : 0;
 }
 
 common::EnergyLatency OdinController::full_reprogram_cost() const {
@@ -79,8 +98,23 @@ RunResult OdinController::run_inference(double t_s,
   // only helps when the *measured* permanent-fault floor leaves headroom at
   // a fresh clock; otherwise every campaign would be wasted wear and the
   // loop would reprogram forever (the livelock this policy removes).
-  if (nonideal_->reprogram_required(elapsed * burst, grid_, 1.0, fault_nf,
-                                    eta_scale_)) {
+  bool reprogram_due = nonideal_->reprogram_required(elapsed * burst, grid_,
+                                                     1.0, fault_nf,
+                                                     eta_scale_);
+  // Wear-aware deferral: on a wear-hot array, every campaign spends scarce
+  // remaining lifetime. Grant one extra eta step (fp.wear_defer_eta) before
+  // paying for it — if the drift fits the relaxed budget, serve this run on
+  // the drifted array and leave the campaign due. Bounded by construction:
+  // once drift exceeds even the relaxed budget, the campaign runs.
+  if (reprogram_due && !degraded_ && faults_ != nullptr &&
+      faults_->wear_hot() &&
+      !nonideal_->reprogram_required(elapsed * burst, grid_, 1.0, fault_nf,
+                                     eta_scale_ * fp.wear_defer_eta)) {
+    run.wear_deferred_reprogram = true;
+    ++wear_deferred_reprograms_;
+    reprogram_due = false;
+  }
+  if (reprogram_due) {
     const bool recoverable =
         !degraded_ &&
         !nonideal_->reprogram_required(t0, grid_, 1.0, fault_nf, 1.0);
@@ -128,6 +162,17 @@ RunResult OdinController::run_inference(double t_s,
       if (faults_ != nullptr) {
         health_fraction_ = faults_->fault_fraction();
         fault_nf = fp.fault_nf_weight * health_fraction_;
+        // Proactive retirement: a campaign that exhausted the spare pool
+        // retired the crossbar and migrated the tenant to a fresh array
+        // (FaultInjector swaps in place). Migration clears the degradation
+        // ladder — the relaxations earned on the dying array do not apply
+        // to the new one.
+        if (faults_->crossbars_retired() > retired_seen_) {
+          retired_seen_ = faults_->crossbars_retired();
+          run.crossbar_retired = true;
+          degraded_ = false;
+          eta_scale_ = 1.0;
+        }
       }
       if (!converged) {
         run.write_verify_failed = true;
@@ -269,6 +314,12 @@ RunResult OdinController::run_inference(double t_s,
   if (probation_left_ == 0)
     maybe_update_policy(run, drift_s, fault_nf);  // line 11, guarded
   run.buffer_dropped = buffer_.dropped();
+  if (faults_ != nullptr) {
+    run.rows_remapped = faults_->rows_remapped();
+    run.spares_remaining = faults_->spares_remaining();
+    run.crossbars_retired = faults_->crossbars_retired();
+    run.writes_leveled = faults_->writes_leveled();
+  }
   return run;
 }
 
@@ -431,6 +482,8 @@ ControllerSnapshot OdinController::snapshot() {
   s.eta_scale = eta_scale_;
   s.retry_count = retry_count_;
   s.degraded_runs = degraded_runs_;
+  s.wear_deferred_reprograms = wear_deferred_reprograms_;
+  s.retired_seen = retired_seen_;
   s.updates_accepted = updates_accepted_;
   s.updates_rejected = updates_rejected_;
   s.updates_rolled_back = updates_rolled_back_;
@@ -480,6 +533,8 @@ bool OdinController::restore(const ControllerSnapshot& s) {
   eta_scale_ = s.eta_scale;
   retry_count_ = s.retry_count;
   degraded_runs_ = s.degraded_runs;
+  wear_deferred_reprograms_ = s.wear_deferred_reprograms;
+  retired_seen_ = s.retired_seen;
   updates_accepted_ = s.updates_accepted;
   updates_rejected_ = s.updates_rejected;
   updates_rolled_back_ = s.updates_rolled_back;

@@ -67,6 +67,13 @@ struct FaultPolicy {
   /// the core/accuracy surrogate at `ideal_accuracy`) below this floor.
   double ideal_accuracy = 0.92;
   double accuracy_floor = 0.75;
+  /// Wear-aware reprogram deferral: when the device reports wear-hot (its
+  /// leveled wear consumed the wear budget's share of projected lifetime),
+  /// a due campaign is deferred as long as the drift still fits inside one
+  /// extra eta-relaxation step of this factor. Once drift exceeds even the
+  /// relaxed budget the campaign runs — one bounded step, so deferral can
+  /// never livelock into serving an infeasible array.
+  double wear_defer_eta = 1.25;
 };
 
 /// Guardrail for the online policy update (extension over Algorithm 1's
@@ -159,6 +166,19 @@ struct RunResult {
   /// controller is NOT ratcheted into degraded mode for it).
   bool deadline_stopped_retries = false;
   int searches_truncated = 0;  ///< layer searches cut short by the deadline
+  /// Wear-leveling surface (all false/0 without a leveling-enabled
+  /// FaultInjector attached).
+  /// A due campaign was deferred because the array is wear-hot and one
+  /// extra eta step still admits the drift (the campaign stays due).
+  bool wear_deferred_reprogram = false;
+  /// A campaign this run exhausted the spare pool: the crossbar was retired
+  /// and the tenant migrated to a fresh array (degradation ladder cleared).
+  bool crossbar_retired = false;
+  /// Cumulative leveling totals after this run (injector-wide).
+  int rows_remapped = 0;
+  int spares_remaining = 0;
+  int crossbars_retired = 0;
+  long long writes_leveled = 0;
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
   std::vector<LayerDecision> decisions;  ///< one per layer
@@ -177,6 +197,9 @@ struct ControllerSnapshot {
   double eta_scale = 1.0;
   int retry_count = 0;
   int degraded_runs = 0;
+  /// Wear-leveling state (payload v4; zero for older checkpoints).
+  int wear_deferred_reprograms = 0;
+  int retired_seen = 0;
   /// Guardrail state.
   int updates_accepted = 0;
   int updates_rejected = 0;
@@ -243,6 +266,14 @@ class OdinController {
   int degraded_run_count() const noexcept { return degraded_runs_; }
   double measured_fault_fraction() const noexcept { return health_fraction_; }
   double eta_scale() const noexcept { return eta_scale_; }
+  /// Wear-leveling surface (0 without a leveling-enabled injector).
+  int wear_deferred_reprograms() const noexcept {
+    return wear_deferred_reprograms_;
+  }
+  int rows_remapped() const noexcept;
+  int spares_remaining() const noexcept;
+  int crossbars_retired() const noexcept;
+  long long writes_leveled() const noexcept;
 
   /// Declare that the weights were (re)programmed at `t_s` by an external
   /// event (e.g. a tenant switch that remapped the arrays); the cost of
@@ -279,6 +310,11 @@ class OdinController {
   double eta_scale_ = 1.0;  ///< ratcheting relaxation factor (>= 1)
   int retry_count_ = 0;
   int degraded_runs_ = 0;
+  /// Wear-leveling observation: campaigns deferred for wear, and the
+  /// injector's retired-crossbar count already folded into this
+  /// controller's state (a delta above it means a migration happened).
+  int wear_deferred_reprograms_ = 0;
+  int retired_seen_ = 0;
   /// Guardrail state (see GuardPolicy). The incumbent that a promotion
   /// displaced is kept until its successor survives probation; the batch
   /// that trained the promotion is kept so a rollback can quarantine it.

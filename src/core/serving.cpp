@@ -178,6 +178,42 @@ double ServingResult::mean_batch_occupancy() const noexcept {
          static_cast<double>(formed);
 }
 
+int ServingResult::total_rows_remapped() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.rows_remapped;
+  return n;
+}
+
+int ServingResult::total_crossbars_retired() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.crossbars_retired;
+  return n;
+}
+
+long long ServingResult::total_writes_leveled() const noexcept {
+  long long n = 0;
+  for (const TenantStats& s : tenants) n += s.writes_leveled;
+  return n;
+}
+
+int ServingResult::total_wear_deferred_reprograms() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.wear_deferred_reprograms;
+  return n;
+}
+
+int ServingResult::spares_remaining() const noexcept {
+  // The pool is device-global: every served tenant's gauge reads the same
+  // shared injector, so the smallest nonzero observation is the current
+  // pool (tenants that never served report 0 and are skipped).
+  int gauge = 0;
+  for (const TenantStats& s : tenants)
+    if (s.runs > 0 && s.spares_remaining > 0 &&
+        (gauge == 0 || s.spares_remaining < gauge))
+      gauge = s.spares_remaining;
+  return gauge;
+}
+
 namespace {
 
 /// Contiguous segment boundaries over the run schedule.
@@ -279,6 +315,14 @@ std::optional<ServingResult> serve_odin_impl(
     if (res.watchdog_bound_s > 0.0) watchdog.emplace();
   }
 
+  // Wear-leveling segment baselines: the shared injector's counters at the
+  // current segment's start, so the segment-end fold attributes only this
+  // segment's deltas to its tenant. Restored from the checkpoint on a
+  // mid-segment resume (the fold happens at segment end, after the resume).
+  int seg_base_rows_remapped = 0;
+  int seg_base_crossbars_retired = 0;
+  long long seg_base_writes_leveled = 0;
+
   std::size_t s0 = 0;
   std::size_t i0 = 0;
   if (resume != nullptr) {
@@ -297,6 +341,9 @@ std::optional<ServingResult> serve_odin_impl(
         breakers[i].restore(resume->breakers[i]);
       fallback = resume->fallback_ous;
     }
+    seg_base_rows_remapped = resume->wear_seg_base_rows_remapped;
+    seg_base_crossbars_retired = resume->wear_seg_base_crossbars_retired;
+    seg_base_writes_leveled = resume->wear_seg_base_writes_leveled;
   }
   if (res.enabled)
     for (std::size_t i = 0; i < tenants.size(); ++i)
@@ -322,6 +369,15 @@ std::optional<ServingResult> serve_odin_impl(
     if (faults != nullptr) {
       ckpt.has_faults = true;
       ckpt.wear = faults->wear_state();
+      const reram::WearLevelingParams& lv = faults->params().leveling;
+      ckpt.leveling_enabled = lv.enabled;
+      if (lv.enabled) {
+        ckpt.leveling_spare_rows = lv.resolved_spare_rows();
+        ckpt.leveling_wear_budget = lv.resolved_wear_budget();
+      }
+      ckpt.wear_seg_base_rows_remapped = seg_base_rows_remapped;
+      ckpt.wear_seg_base_crossbars_retired = seg_base_crossbars_retired;
+      ckpt.wear_seg_base_writes_leveled = seg_base_writes_leveled;
     }
     if (res.enabled) {
       ckpt.has_resilience = true;
@@ -356,6 +412,13 @@ std::optional<ServingResult> serve_odin_impl(
       // That programming is itself a wear campaign on the shared device.
       // A resumed first segment already paid this before the checkpoint
       // (its campaign is part of the replayed wear fingerprint).
+      if (faults != nullptr) {
+        // The switch campaign's wear belongs to the incoming tenant:
+        // baseline the leveling counters before it runs.
+        seg_base_rows_remapped = faults->rows_remapped();
+        seg_base_crossbars_retired = faults->crossbars_retired();
+        seg_base_writes_leveled = faults->writes_leveled();
+      }
       result.programming += switch_costs[s];
       ++result.switches;
       if (faults != nullptr) faults->program_campaign();
@@ -462,7 +525,11 @@ std::optional<ServingResult> serve_odin_impl(
       if (run.deadline_deferred_reprogram) ++stats.deferred_reprograms;
       if (run.deadline_stopped_retries) ++stats.deadline_stopped_retries;
       stats.searches_truncated += run.searches_truncated;
-      const bool success = !miss && !run.write_verify_failed && !stalled;
+      // A crossbar retirement is the device migrating the tenant to a
+      // fresh array — planned sparing, not a tenant failure; it must not
+      // feed the breaker's failure window.
+      const bool success = (!miss && !run.write_verify_failed && !stalled) ||
+                           run.crossbar_retired;
       breaker->record(success);
       if (success && !run.decisions.empty())
         fallback[tenant_idx] = run.decisions.front().executed;
@@ -557,7 +624,10 @@ std::optional<ServingResult> serve_odin_impl(
       if (run.deadline_deferred_reprogram) ++stats.deferred_reprograms;
       if (run.deadline_stopped_retries) ++stats.deadline_stopped_retries;
       stats.searches_truncated += run.searches_truncated;
-      const bool success = !any_miss && !run.write_verify_failed && !stalled;
+      // Retirement/migration is planned sparing, not failure (see above).
+      const bool success =
+          (!any_miss && !run.write_verify_failed && !stalled) ||
+          run.crossbar_retired;
       breaker->record(success);
       if (success && !run.decisions.empty())
         fallback[tenant_idx] = run.decisions.front().executed;
@@ -673,6 +743,17 @@ std::optional<ServingResult> serve_odin_impl(
         static_cast<long long>(controller.buffer_dropped());
     stats.buffer_quarantined +=
         static_cast<long long>(controller.buffer_quarantined());
+    stats.wear_deferred_reprograms += controller.wear_deferred_reprograms();
+    if (faults != nullptr) {
+      // Leveling counters are device-global; attribute this segment's delta
+      // to the tenant that was serving while it accrued.
+      stats.rows_remapped += faults->rows_remapped() - seg_base_rows_remapped;
+      stats.crossbars_retired +=
+          faults->crossbars_retired() - seg_base_crossbars_retired;
+      stats.writes_leveled +=
+          faults->writes_leveled() - seg_base_writes_leveled;
+      stats.spares_remaining = faults->spares_remaining();
+    }
     result.policy_updates += controller.update_count();
     policy = controller.policy().clone();  // carry the learning forward
   }
@@ -731,8 +812,17 @@ std::optional<ServingResult> resume_with_odin(
       return std::nullopt;
   }
   // Device wear: replay the campaign history on the caller's freshly
-  // seeded injector and verify the fingerprint.
+  // seeded injector and verify the fingerprint. Leveling changes how a
+  // campaign count maps to wear, so the knobs must match too.
   if (ckpt.has_faults != (faults != nullptr)) return std::nullopt;
+  if (faults != nullptr) {
+    const reram::WearLevelingParams& lv = faults->params().leveling;
+    if (ckpt.leveling_enabled != lv.enabled) return std::nullopt;
+    if (lv.enabled &&
+        (ckpt.leveling_spare_rows != lv.resolved_spare_rows() ||
+         ckpt.leveling_wear_budget != lv.resolved_wear_budget()))
+      return std::nullopt;
+  }
   if (faults != nullptr && !faults->fast_forward(ckpt.wear))
     return std::nullopt;
 

@@ -90,6 +90,16 @@ struct TenantStats {
   int batch_members = 0;    ///< runs served inside those passes
   int max_batch = 0;        ///< largest batch this tenant saw
   int batch_slo_capped = 0; ///< batches stopped short by a member's slack
+  /// Wear-leveling surface (all zero without a leveling-enabled injector).
+  /// Deltas of the shared device's leveling counters accrued while this
+  /// tenant's segments were being served.
+  int rows_remapped = 0;      ///< worn rows absorbed by the spare pool
+  int crossbars_retired = 0;  ///< pool exhaustions (tenant migrated)
+  long long writes_leveled = 0;      ///< row writes redirected off-identity
+  int wear_deferred_reprograms = 0;  ///< campaigns deferred while wear-hot
+  /// Gauge, not a delta: spare rows left in the device's current pool after
+  /// this tenant's most recent segment.
+  int spares_remaining = 0;
   /// Per-served-run sojourn (queue wait + service latency), in arrival
   /// order; feeds the percentile reporting below.
   std::vector<double> sojourn_s;
@@ -143,6 +153,14 @@ struct ServingResult {
   int max_batch() const noexcept;
   /// Mean members per formed batch (the occupancy figure; 0 when none).
   double mean_batch_occupancy() const noexcept;
+  /// Wear-leveling totals (zero while leveling is disabled).
+  int total_rows_remapped() const noexcept;
+  int total_crossbars_retired() const noexcept;
+  long long total_writes_leveled() const noexcept;
+  int total_wear_deferred_reprograms() const noexcept;
+  /// Spare rows left in the device's current pool (the smallest gauge any
+  /// served tenant observed; 0 while leveling is disabled).
+  int spares_remaining() const noexcept;
 };
 
 /// Serve `tenants` (non-owning; must outlive the call) with one adapting

@@ -34,6 +34,7 @@ Crossbar::Crossbar(int size, DeviceParams device,
 void Crossbar::attach_endurance(const EnduranceModel& model,
                                 std::uint64_t seed) {
   common::Rng rng(seed);
+  endurance_params_ = model.params();
   wear_lifetime_.resize(conductance_s_.size());
   wear_polarity_.resize(conductance_s_.size());
   for (std::size_t i = 0; i < wear_lifetime_.size(); ++i) {
@@ -41,6 +42,131 @@ void Crossbar::attach_endurance(const EnduranceModel& model,
     wear_polarity_[i] = static_cast<std::int8_t>(
         rng.bernoulli(0.5) ? CellFault::kStuckOn : CellFault::kStuckOff);
   }
+}
+
+void Crossbar::enable_wear_leveling(const WearLevelingParams& params) {
+  leveling_ = params;
+  leveling_.enabled = true;
+  spare_budget_ = params.resolved_spare_rows();
+}
+
+bool Crossbar::row_wear_exceeded(int p) const {
+  const std::int64_t writes = row_writes_[static_cast<std::size_t>(p)];
+  if (writes <= 0) return false;
+  // Projected trigger: the row consumed its share of the wear budget.
+  if (row_cycle_budget_ > 0.0 &&
+      static_cast<double>(writes) >= row_cycle_budget_)
+    return true;
+  // Measured trigger: a cell of the row already wore out.
+  if (!wear_lifetime_.empty()) {
+    const std::size_t base = static_cast<std::size_t>(p) * size_;
+    for (int c = 0; c < size_; ++c)
+      if (wear_lifetime_[base + c] <= static_cast<double>(writes)) return true;
+  }
+  return false;
+}
+
+void Crossbar::apply_wear_leveling(int rows) {
+  if (row_writes_.empty()) {
+    row_writes_.assign(static_cast<std::size_t>(size_), 0);
+    row_retired_.assign(static_cast<std::size_t>(size_), 0);
+  }
+  // Per-row retirement cap: explicit test hook, else the wear budget's
+  // share of the projected row wear-out lifetime (the cycle count at which
+  // a row is expected to contain its first worn cell).
+  row_cycle_budget_ = leveling_.row_cycle_budget;
+  if (row_cycle_budget_ <= 0.0 && endurance_params_)
+    row_cycle_budget_ =
+        leveling_.resolved_wear_budget() *
+        EnduranceModel(*endurance_params_)
+            .cycles_to_failure_budget(1.0 / static_cast<double>(size_));
+  // Retire-then-map: rows whose wear (through the previous campaign)
+  // crossed the budget leave the rotation set, as long as the spare budget
+  // holds and enough physical rows survive to carry the logical block.
+  int alive = 0;
+  for (std::uint8_t r : row_retired_) alive += r == 0 ? 1 : 0;
+  for (int p = 0; p < size_; ++p) {
+    if (spares_remaining() <= 0 || alive - 1 < rows) break;
+    if (row_retired_[static_cast<std::size_t>(p)] == 0 &&
+        row_wear_exceeded(p)) {
+      row_retired_[static_cast<std::size_t>(p)] = 1;
+      ++rows_remapped_;
+      --alive;
+    }
+  }
+  // Rotate and rebuild the logical→physical map over the survivors.
+  if (leveling_.rotate && program_campaigns_ > 1) ++rotation_;
+  std::vector<std::int32_t> avail;
+  avail.reserve(static_cast<std::size_t>(alive));
+  for (int p = 0; p < size_; ++p)
+    if (row_retired_[static_cast<std::size_t>(p)] == 0) avail.push_back(p);
+  row_map_.resize(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r)
+    row_map_[static_cast<std::size_t>(r)] = avail[static_cast<std::size_t>(
+        (static_cast<std::int64_t>(r) + rotation_) %
+        static_cast<std::int64_t>(avail.size()))];
+  // Charge this campaign's writes against the mapped physical rows.
+  for (int r = 0; r < rows; ++r) {
+    const int p = row_map_[static_cast<std::size_t>(r)];
+    ++row_writes_[static_cast<std::size_t>(p)];
+    if (p != r) ++writes_leveled_;
+  }
+  // Project physical faults (sampled stuck-at + wear-out, including this
+  // campaign's wear) into the logical fault map the write loop consumes.
+  const bool any_fault = !phys_fault_.empty() || !wear_lifetime_.empty();
+  if (!any_fault) return;
+  fault_.assign(conductance_s_.size(),
+                static_cast<std::int8_t>(CellFault::kNone));
+  faulty_cells_ = 0;
+  for (int r = 0; r < rows; ++r) {
+    const std::size_t pb =
+        static_cast<std::size_t>(row_map_[static_cast<std::size_t>(r)]) *
+        size_;
+    const std::size_t lb = static_cast<std::size_t>(r) * size_;
+    const double writes = static_cast<double>(
+        row_writes_[static_cast<std::size_t>(
+            row_map_[static_cast<std::size_t>(r)])]);
+    for (int c = 0; c < size_; ++c) {
+      std::int8_t f = phys_fault_.empty()
+                          ? static_cast<std::int8_t>(CellFault::kNone)
+                          : phys_fault_[pb + c];
+      if (static_cast<CellFault>(f) == CellFault::kNone &&
+          !wear_lifetime_.empty() && wear_lifetime_[pb + c] <= writes)
+        f = wear_polarity_[pb + c];
+      fault_[lb + c] = f;
+      if (static_cast<CellFault>(f) != CellFault::kNone) ++faulty_cells_;
+    }
+  }
+}
+
+WearMap Crossbar::wear_map() const {
+  WearMap map;
+  if (!leveling_.enabled || row_writes_.empty()) return map;
+  map.rows = size_;
+  map.spare_rows = spare_budget_;
+  map.rotation = rotation_;
+  map.row_writes = row_writes_;
+  map.retired = row_retired_;
+  map.remap = row_map_;
+  map.rows_remapped = rows_remapped_;
+  map.writes_leveled = writes_leveled_;
+  return map;
+}
+
+bool Crossbar::restore_wear_map(const WearMap& map) {
+  if (map.rows == 0) return true;  // empty map: nothing tracked yet
+  if (!leveling_.enabled || map.rows != size_ ||
+      map.spare_rows != spare_budget_ ||
+      map.row_writes.size() != static_cast<std::size_t>(size_) ||
+      map.retired.size() != static_cast<std::size_t>(size_))
+    return false;
+  rotation_ = map.rotation;
+  row_writes_ = map.row_writes;
+  row_retired_ = map.retired;
+  row_map_ = map.remap;
+  rows_remapped_ = map.rows_remapped;
+  writes_leveled_ = map.writes_leveled;
+  return true;
 }
 
 void Crossbar::program(std::span<const double> weights, int rows, int cols,
@@ -52,23 +178,32 @@ void Crossbar::program(std::span<const double> weights, int rows, int cols,
   if (noise_ && drift_coeff_.empty())
     drift_coeff_.assign(conductance_s_.size(), device_.drift_coefficient);
   // Stuck-at-faults are a property of the array, not of a write: sample
-  // them once, on the first programming pass.
-  const bool sample_faults = noise_ && fault_.empty() &&
+  // them once, on the first programming pass. With wear leveling they are
+  // sampled onto *physical* cells (same draw order) and projected into the
+  // logical map by apply_wear_leveling below.
+  std::vector<std::int8_t>& fault_store =
+      leveling_.enabled ? phys_fault_ : fault_;
+  const bool sample_faults = noise_ && fault_store.empty() &&
                              (noise_->params().stuck_on_rate > 0.0 ||
                               noise_->params().stuck_off_rate > 0.0);
   if (sample_faults) {
-    fault_.assign(conductance_s_.size(),
-                  static_cast<std::int8_t>(CellFault::kNone));
-    for (std::int8_t& f : fault_) {
+    fault_store.assign(conductance_s_.size(),
+                       static_cast<std::int8_t>(CellFault::kNone));
+    for (std::int8_t& f : fault_store) {
       const CellFault cell = noise_->cell_fault();
       f = static_cast<std::int8_t>(cell);
-      if (cell != CellFault::kNone) ++faulty_cells_;
+      if (!leveling_.enabled && cell != CellFault::kNone) ++faulty_cells_;
     }
   }
-  // Endurance wear: this campaign may push cells past their lifetime. Worn
-  // cells join the permanent fault map and, like the sampled stuck-at
-  // population, survive every later write.
-  if (!wear_lifetime_.empty()) {
+  if (leveling_.enabled) {
+    // Leveled wear path: rotate/remap the row map, charge per-physical-row
+    // writes, retire budget-crossing rows onto the spare pool, and rebuild
+    // the logical fault map from the physical one.
+    apply_wear_leveling(rows);
+  } else if (!wear_lifetime_.empty()) {
+    // Unleveled endurance wear: this campaign may push cells past their
+    // lifetime. Worn cells join the permanent fault map and, like the
+    // sampled stuck-at population, survive every later write.
     if (fault_.empty())
       fault_.assign(conductance_s_.size(),
                     static_cast<std::int8_t>(CellFault::kNone));

@@ -27,6 +27,7 @@
 #include "reram/device.hpp"
 #include "reram/endurance.hpp"
 #include "reram/noise.hpp"
+#include "reram/wear_leveling.hpp"
 
 namespace odin::reram {
 
@@ -101,6 +102,35 @@ class Crossbar {
 
   /// Write campaigns applied so far (0 until the first program()).
   int program_campaigns() const noexcept { return program_campaigns_; }
+
+  /// Enable wear leveling: subsequent program() calls rotate the
+  /// logical→physical row map, accrue per-physical-row write counts, and
+  /// retire rows whose wear crosses the budget onto the spare pool. The
+  /// mapping never touches logical cell state, so MVM outputs are bitwise
+  /// identical to an unleveled crossbar programmed with the same weights
+  /// (tests/test_mvm_kernel.cpp pins this). Call before the first program().
+  void enable_wear_leveling(const WearLevelingParams& params);
+  bool wear_leveling_enabled() const noexcept { return leveling_.enabled; }
+
+  /// Physical rows retired onto the spare pool so far.
+  std::int64_t rows_remapped() const noexcept { return rows_remapped_; }
+  /// Retirement budget left in the spare pool (0 when leveling is off —
+  /// the next worn row then shows up as stuck cells instead of remapping).
+  int spares_remaining() const noexcept {
+    return leveling_.enabled
+               ? spare_budget_ - static_cast<int>(rows_remapped_)
+               : 0;
+  }
+  /// Row writes redirected to a non-identity physical row by rotation or
+  /// remapping (the "spread" the leveling layer achieved).
+  std::int64_t writes_leveled() const noexcept { return writes_leveled_; }
+
+  /// Durable wear/remap state for the serving checkpoint (payload v4).
+  /// Empty (rows == 0) until leveling is enabled and the first campaign ran.
+  WearMap wear_map() const;
+  /// Restore checkpointed wear state. Leveling must already be enabled with
+  /// the same geometry; returns false (state untouched) on a mismatch.
+  bool restore_wear_map(const WearMap& map);
 
   IrModel ir_model() const noexcept { return ir_model_; }
 
@@ -197,6 +227,16 @@ class Crossbar {
   }
 
  private:
+  /// The leveled half of program(): retire physical rows whose accrued wear
+  /// crossed the budget (while spares remain), advance the rotation, rebuild
+  /// the logical→physical map over the surviving rows, charge this
+  /// campaign's writes, and project physical faults (sampled + wear-out)
+  /// into the logical fault_ map for rows [0, rows).
+  void apply_wear_leveling(int rows);
+  /// True when accrued writes (or measured wear-out) call for retiring
+  /// physical row `p`.
+  bool row_wear_exceeded(int p) const;
+
   /// Uniform (device-nominal) degradation: drift x IR-drop, as a factor.
   double degradation_factor(double t_s, int ou_rows, int ou_cols) const;
   /// IR-drop-only factor (G_eff / G_drift) for a specific cell position
@@ -235,6 +275,23 @@ class Crossbar {
   std::vector<double> wear_lifetime_;  ///< campaigns until wear-out (empty =
                                        ///< no endurance model attached)
   std::vector<std::int8_t> wear_polarity_;  ///< CellFault once worn out
+  std::optional<EnduranceParams> endurance_params_;  ///< from attach_endurance
+
+  // Wear-leveling state (enable_wear_leveling). The map is tracking-only:
+  // logical cell state stays logical, physical rows accrue the wear. When
+  // leveling is on, sampled stuck-at faults and wear-out both live on
+  // physical cells (phys_fault_) and project into the logical fault_ map
+  // through row_map_ on every program().
+  WearLevelingParams leveling_{};
+  int spare_budget_ = 0;                  ///< resolved retirement budget
+  double row_cycle_budget_ = 0.0;         ///< campaigns per row before retire
+  std::vector<std::int32_t> row_map_;     ///< logical → physical row
+  std::vector<std::int64_t> row_writes_;  ///< campaigns per physical row
+  std::vector<std::uint8_t> row_retired_;  ///< 1 = physical row retired
+  std::vector<std::int8_t> phys_fault_;   ///< sampled faults, physical order
+  std::int64_t rotation_ = 0;
+  std::int64_t rows_remapped_ = 0;
+  std::int64_t writes_leveled_ = 0;
 
   // Precomputed planes (DESIGN.md §11). weight_plane_ is column-major
   // (plane[c * size + r]) so the kernel's inner row loop is unit-stride; it

@@ -36,4 +36,26 @@ double EnduranceModel::lifetime_seconds(double reprograms_per_horizon,
   return budget_cycles / reprograms_per_horizon * horizon_s;
 }
 
+double EnduranceModel::leveled_lifetime_seconds(
+    double reprograms_per_horizon, double horizon_s, int array_rows,
+    int spare_rows, int row_cells, double budget) const noexcept {
+  if (reprograms_per_horizon <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  if (array_rows <= 0 || row_cells <= 0 || spare_rows < 0)
+    return lifetime_seconds(reprograms_per_horizon, horizon_s, budget);
+  // Spares absorb whole worn rows: the first worn cell of a row retires the
+  // row, so up to spare_rows / (array_rows * row_cells) of the cell
+  // population can fail before one stuck cell is visible.
+  const double absorbed =
+      static_cast<double>(spare_rows) /
+      (static_cast<double>(array_rows) * static_cast<double>(row_cells));
+  const double budget_cycles = cycles_to_failure_budget(budget + absorbed);
+  // Rotation spreads writes: each campaign charges array_rows row writes
+  // across array_rows + spare_rows physical rows.
+  const double spread =
+      static_cast<double>(array_rows) /
+      static_cast<double>(array_rows + spare_rows);
+  return budget_cycles / spread / reprograms_per_horizon * horizon_s;
+}
+
 }  // namespace odin::reram

@@ -51,6 +51,19 @@ class EnduranceModel {
   double lifetime_seconds(double reprograms_per_horizon, double horizon_s,
                           double budget = 1e-3) const noexcept;
 
+  /// Same projection with wear leveling on: rotation spreads each campaign's
+  /// row writes over `array_rows + spare_rows` physical rows (so per-cell
+  /// wear accrues at array_rows / (array_rows + spare_rows) campaigns per
+  /// campaign), and the spare pool absorbs the first `spare_rows` worn rows
+  /// before any stuck cell becomes visible — raising the tolerable failure
+  /// fraction from `budget` to budget + spare_rows / (array_rows *
+  /// row_cells). The ratio to lifetime_seconds is the leveling extension
+  /// bench/endurance_projection reports.
+  double leveled_lifetime_seconds(double reprograms_per_horizon,
+                                  double horizon_s, int array_rows,
+                                  int spare_rows, int row_cells,
+                                  double budget = 1e-3) const noexcept;
+
  private:
   EnduranceParams params_;
 };

@@ -15,8 +15,56 @@ FaultInjector::FaultInjector(FaultScheduleParams params, std::uint64_t seed)
   std::sort(lifetimes_.begin(), lifetimes_.end());
 }
 
+double FaultInjector::leveled_campaigns() const noexcept {
+  const int spares = params_.leveling.resolved_spare_rows();
+  const double spread =
+      static_cast<double>(params_.array_lines) /
+      static_cast<double>(params_.array_lines + spares);
+  return static_cast<double>(campaigns_ - campaign_base_) * spread;
+}
+
 bool FaultInjector::program_campaign() {
   ++campaigns_;
+  if (params_.leveling.enabled) {
+    // Leveled wear: rotation spreads each campaign over array + spare rows,
+    // and the spare pool absorbs worn rows before any cell is visibly
+    // stuck. Pool exhaustion retires the crossbar in place — the tenant
+    // migrates to a fresh array (lifetimes resampled at this deterministic
+    // point in the RNG stream, peripheral failures cleared) rather than
+    // serving from a dying one.
+    writes_leveled_ += params_.array_lines;
+    const int spares = params_.leveling.resolved_spare_rows();
+    const int worn = static_cast<int>(
+        std::upper_bound(lifetimes_.begin(), lifetimes_.end(),
+                         leveled_campaigns()) -
+        lifetimes_.begin());
+    if (worn > spares) {
+      ++crossbars_retired_;
+      campaign_base_ = campaigns_;
+      remapped_now_ = 0;
+      stuck_cells_ = 0;
+      failed_wl_ = 0;
+      failed_bl_ = 0;
+      const EnduranceModel endurance(params_.endurance);
+      for (double& life : lifetimes_) life = endurance.sample_lifetime(rng_);
+      std::sort(lifetimes_.begin(), lifetimes_.end());
+    } else {
+      remapped_now_ = worn;
+      stuck_cells_ = 0;
+    }
+    // Peripheral drivers and write-verify convergence as below.
+    if (params_.wordline_fail_rate > 0.0) {
+      const int alive = params_.array_lines - failed_wl_;
+      for (int i = 0; i < alive; ++i)
+        if (rng_.bernoulli(params_.wordline_fail_rate)) ++failed_wl_;
+    }
+    if (params_.bitline_fail_rate > 0.0) {
+      const int alive = params_.array_lines - failed_bl_;
+      for (int i = 0; i < alive; ++i)
+        if (rng_.bernoulli(params_.bitline_fail_rate)) ++failed_bl_;
+    }
+    return !rng_.bernoulli(params_.write_fail_rate);
+  }
   // Endurance wear: cells whose sampled lifetime the campaign count has now
   // crossed become permanently stuck.
   stuck_cells_ = static_cast<int>(
@@ -45,7 +93,27 @@ bool FaultInjector::fast_forward(const WearState& state) {
   return campaigns_ == state.campaigns &&
          stuck_cells_ == state.stuck_cells &&
          failed_wl_ == state.failed_wordlines &&
-         failed_bl_ == state.failed_bitlines;
+         failed_bl_ == state.failed_bitlines &&
+         crossbars_retired_ == state.crossbars_retired;
+}
+
+int FaultInjector::rows_remapped() const noexcept {
+  if (!params_.leveling.enabled) return 0;
+  return crossbars_retired_ * params_.leveling.resolved_spare_rows() +
+         remapped_now_;
+}
+
+int FaultInjector::spares_remaining() const noexcept {
+  if (!params_.leveling.enabled) return 0;
+  return params_.leveling.resolved_spare_rows() - remapped_now_;
+}
+
+bool FaultInjector::wear_hot() const noexcept {
+  if (!params_.leveling.enabled) return false;
+  const EnduranceModel endurance(params_.endurance);
+  return leveled_campaigns() >=
+         params_.leveling.resolved_wear_budget() *
+             endurance.cycles_to_failure_budget(1e-3);
 }
 
 double FaultInjector::stuck_cell_fraction() const noexcept {

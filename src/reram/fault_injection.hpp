@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "reram/crossbar.hpp"
 #include "reram/endurance.hpp"
+#include "reram/wear_leveling.hpp"
 
 namespace odin::reram {
 
@@ -58,6 +59,13 @@ struct FaultScheduleParams {
   double write_fail_rate = 0.0;
   /// Deterministic drift-burst schedule (wall-clock windows).
   std::vector<DriftBurst> bursts{};
+  /// Wear leveling (DESIGN.md §15). When enabled, rotation divides per-cell
+  /// wear accrual by (array_lines + spare_rows) / array_lines, the spare
+  /// pool absorbs worn rows before they surface as stuck cells, and a
+  /// crossbar whose pool is exhausted is retired in place: the tenant
+  /// migrates to a fresh array (lifetimes resampled, peripheral failures
+  /// cleared) instead of serving from a dying one.
+  WearLevelingParams leveling{};
 };
 
 /// Deterministic fault schedule along the serving horizon. All randomness
@@ -85,6 +93,22 @@ class FaultInjector {
   int failed_wordlines() const noexcept { return failed_wl_; }
   int failed_bitlines() const noexcept { return failed_bl_; }
 
+  /// Worn rows absorbed by the spare pool, cumulative across retired
+  /// crossbars (0 with leveling off).
+  int rows_remapped() const noexcept;
+  /// Spare rows left in the current crossbar's pool (0 with leveling off).
+  int spares_remaining() const noexcept;
+  /// Crossbars retired (pool exhausted, tenant migrated to a fresh array).
+  int crossbars_retired() const noexcept { return crossbars_retired_; }
+  /// Row writes routed through the leveling layer (array_lines per leveled
+  /// campaign).
+  long long writes_leveled() const noexcept { return writes_leveled_; }
+
+  /// True when the current crossbar's leveled wear has consumed the wear
+  /// budget's share of its projected lifetime — the controller's signal to
+  /// defer wear-expensive reprograms when drift allows it.
+  bool wear_hot() const noexcept;
+
   /// Elapsed-time multiplier at wall-clock `t_s` (>= 1; 1 outside bursts).
   /// Overlapping bursts compound multiplicatively.
   double drift_time_multiplier(double t_s) const noexcept;
@@ -101,9 +125,13 @@ class FaultInjector {
     int stuck_cells = 0;
     int failed_wordlines = 0;
     int failed_bitlines = 0;
+    /// Retired-crossbar count (0 for pre-leveling checkpoints; encoded only
+    /// in payload v4 frames).
+    int crossbars_retired = 0;
   };
   WearState wear_state() const noexcept {
-    return {campaigns_, stuck_cells_, failed_wl_, failed_bl_};
+    return {campaigns_, stuck_cells_, failed_wl_, failed_bl_,
+            crossbars_retired_};
   }
 
   /// Replay `state.campaigns` campaigns on this (freshly constructed,
@@ -113,6 +141,10 @@ class FaultInjector {
   bool fast_forward(const WearState& state);
 
  private:
+  /// Leveled per-cell wear of the current crossbar, in equivalent
+  /// campaigns: rotation spreads campaign writes over array + spare rows.
+  double leveled_campaigns() const noexcept;
+
   FaultScheduleParams params_;
   common::Rng rng_;
   std::vector<double> lifetimes_;  ///< sorted sampled cell lifetimes
@@ -120,6 +152,13 @@ class FaultInjector {
   int stuck_cells_ = 0;
   int failed_wl_ = 0;
   int failed_bl_ = 0;
+  // Wear-leveling state (params_.leveling.enabled). All of it is a pure
+  // function of (seed, campaign count) — retirement resamples lifetimes
+  // from rng_ at a deterministic point — so fast_forward replays it.
+  int campaign_base_ = 0;  ///< campaigns_ when the current crossbar started
+  int remapped_now_ = 0;   ///< worn rows absorbed in the current crossbar
+  int crossbars_retired_ = 0;
+  long long writes_leveled_ = 0;
 };
 
 /// Stuck-cell count of one OU window of the programmed region.

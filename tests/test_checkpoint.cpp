@@ -83,9 +83,33 @@ ServingCheckpoint sample_checkpoint(const ou::MappedModel& tenant) {
   ckpt.result.tenants[0].breaker_closes = 1;
   ckpt.result.tenants[0].watchdog_stalls = 1;
   ckpt.result.tenants[0].sojourn_s = {3.5e-4, 1.9e-3, 5.5e-3};
+  ckpt.result.tenants[0].rows_remapped = 6;
+  ckpt.result.tenants[0].crossbars_retired = 1;
+  ckpt.result.tenants[0].writes_leveled = 384;
+  ckpt.result.tenants[0].wear_deferred_reprograms = 2;
+  ckpt.result.tenants[0].spares_remaining = 10;
   ckpt.controller = controller.snapshot();
+  ckpt.controller.wear_deferred_reprograms = 2;
+  ckpt.controller.retired_seen = 1;
   ckpt.has_faults = true;
-  ckpt.wear = {7, 12, 1, 0};
+  ckpt.wear = {7, 12, 1, 0, 1};
+  ckpt.leveling_enabled = true;
+  ckpt.leveling_spare_rows = 16;
+  ckpt.leveling_wear_budget = 0.8;
+  ckpt.wear_seg_base_rows_remapped = 4;
+  ckpt.wear_seg_base_crossbars_retired = 1;
+  ckpt.wear_seg_base_writes_leveled = 256;
+  {  // a real leveled crossbar's wear map, not a hand-rolled one
+    reram::WearLevelingParams leveling;
+    leveling.enabled = true;
+    leveling.spare_rows = 4;
+    leveling.row_cycle_budget = 2.0;
+    reram::Crossbar xbar(16, reram::DeviceParams{});
+    xbar.enable_wear_leveling(leveling);
+    const std::vector<double> w(64, 0.5);
+    for (int k = 0; k < 7; ++k) xbar.program(w, 8, 8, 1.0 + k);
+    ckpt.wear_maps.push_back(xbar.wear_map());
+  }
   ckpt.has_resilience = true;
   ckpt.shed_policy = 1;  // kShedOldest
   ckpt.queue_capacity = 8;
@@ -146,6 +170,21 @@ TEST(Checkpoint, PayloadRoundTripIsExact) {
   EXPECT_EQ(decoded->fallback_ous[1].cols, 16);
   EXPECT_EQ(decoded->result.tenants[0].sojourn_s, ckpt.result.tenants[0].sojourn_s);
   EXPECT_EQ(decoded->result.tenants[0].deadline_misses, 9);
+  // v4 wear-leveling surface.
+  EXPECT_TRUE(decoded->leveling_enabled);
+  EXPECT_EQ(decoded->leveling_spare_rows, 16);
+  EXPECT_EQ(decoded->leveling_wear_budget, 0.8);
+  EXPECT_EQ(decoded->wear.crossbars_retired, 1);
+  EXPECT_EQ(decoded->wear_seg_base_rows_remapped, 4);
+  EXPECT_EQ(decoded->wear_seg_base_writes_leveled, 256);
+  EXPECT_EQ(decoded->controller.wear_deferred_reprograms, 2);
+  EXPECT_EQ(decoded->controller.retired_seen, 1);
+  EXPECT_EQ(decoded->result.tenants[0].rows_remapped, 6);
+  EXPECT_EQ(decoded->result.tenants[0].spares_remaining, 10);
+  ASSERT_EQ(decoded->wear_maps.size(), 1u);
+  EXPECT_EQ(decoded->wear_maps[0].rows, ckpt.wear_maps[0].rows);
+  EXPECT_EQ(decoded->wear_maps[0].row_writes, ckpt.wear_maps[0].row_writes);
+  EXPECT_EQ(decoded->wear_maps[0].remap, ckpt.wear_maps[0].remap);
   // ...then pin full equality through the codec itself: re-encoding the
   // decoded checkpoint must reproduce the identical byte stream.
   common::ByteWriter reencoded;
@@ -374,6 +413,131 @@ TEST(Checkpoint, Version1FrameDecodesWithResilienceDefaults) {
   EXPECT_EQ(ckpt->result.tenants[0].shed_runs, 0);
   EXPECT_EQ(ckpt->result.tenants[0].deadline_misses, 0);
   EXPECT_TRUE(ckpt->result.tenants[0].sojourn_s.empty());
+  std::remove(path.c_str());
+}
+
+/// A minimal *version 3* payload: the v1 layout plus the v2 resilience
+/// fields and the v3 batching fingerprint, ending exactly where v3 ended —
+/// no wear-leveling tail. Pins the decoder's pre-v4 path.
+std::string v3_payload() {
+  common::ByteWriter out;
+  out.u64(2);       // segment
+  out.u64(41);      // next_run
+  out.i32(6);       // segments
+  out.i32(120);     // horizon_runs
+  out.f64(1.0);     // t_start_s
+  out.f64(1e8);     // t_end_s
+  out.u64(1);       // tenant_names
+  out.str("TinyNet");
+  out.str("Odin");  // result.label
+  out.u64(1);       // result.tenants
+  {                 // one v3 tenant record
+    out.str("TinyNet");
+    out.i32(41);   // runs
+    out.i32(3);    // reprograms
+    out.i32(77);   // mismatches
+    out.i32(2);    // retries
+    out.i32(1);    // degraded_runs
+    out.i32(4);    // updates_accepted
+    out.i32(0);    // updates_rejected
+    out.i32(0);    // updates_rolled_back
+    out.i64(5);    // buffer_dropped
+    out.i64(0);    // buffer_quarantined
+    out.f64(1.25e-3);  // inference energy/latency
+    out.f64(3.5e-4);
+    out.f64(4.0e-3);  // reprogram energy/latency
+    out.f64(9.0e-4);
+    out.f64(0.0);  // v2: slo_s
+    out.i32(0);    // shed_runs
+    out.i32(0);    // breaker_open_runs
+    out.i32(0);    // deadline_misses
+    out.i32(0);    // deferred_reprograms
+    out.i32(0);    // deadline_stopped_retries
+    out.i32(0);    // searches_truncated
+    out.i32(0);    // breaker_opens
+    out.i32(0);    // breaker_reopens
+    out.i32(0);    // breaker_probes
+    out.i32(0);    // breaker_closes
+    out.i32(0);    // watchdog_stalls
+    out.u64(0);    // sojourn samples
+    out.i32(0);    // v3: batches_formed
+    out.i32(0);    // batch_members
+    out.i32(0);    // max_batch
+    out.i32(0);    // batch_slo_capped
+  }
+  out.f64(2.0e-3);  // programming energy/latency
+  out.f64(1.0e-4);
+  out.i32(3);  // switches
+  out.i32(4);  // policy_updates
+  {            // controller snapshot (unversioned, same as v1)
+    out.f64(12.5);    // programmed_at_s
+    out.i32(3);       // reprogram_count
+    out.i32(4);       // update_count
+    out.f64(1.0);     // health_fraction
+    out.boolean(false);
+    out.f64(1.0);     // eta_scale
+    out.i32(2);       // retry_count
+    out.i32(1);       // degraded_runs
+    out.i32(4);       // updates_accepted
+    out.i32(0);       // updates_rejected
+    out.i32(0);       // updates_rolled_back
+    out.i32(0);       // probation_left
+    out.i64(0);       // probation_mismatches
+    out.i64(0);       // probation_layers
+    out.f64(0.0);     // pre_update_rate
+    out.f64(0.0);     // mismatch_rate_ema
+    out.u64(0);       // buffer_entries
+    out.u64(0);       // buffer_quarantine
+    out.u64(0);       // last_update_batch
+    out.u64(5);       // buffer_dropped
+    out.u64(0);       // buffer_quarantine_hits
+    out.str("");      // policy_blob
+    out.str("");      // last_good_blob
+  }
+  out.boolean(true);  // has_faults
+  out.i32(7);         // wear: campaigns
+  out.i32(12);        // stuck_cells
+  out.i32(1);         // failed_wordlines
+  out.i32(0);         // failed_bitlines
+  out.u64(0);         // health_maps
+  out.boolean(false);  // v2: has_resilience
+  out.i32(0);          // shed_policy
+  out.u64(0);          // queue_capacity
+  out.f64(0.0);        // busy_until_s
+  out.u64(0);          // pending_runs
+  out.u64(0);          // breakers
+  out.u64(0);          // fallback_ous
+  out.boolean(false);  // v3: batching_enabled
+  out.i32(0);          // batch_cap
+  return out.bytes();
+}
+
+TEST(Checkpoint, Version3FrameDecodesWithEmptyWearMaps) {
+  const std::string path = temp_base("v3wear") + ".a";
+  write_file(path, frame_with_version(3, 9, v3_payload()));
+  const auto ckpt = load_checkpoint_file(path);
+  ASSERT_TRUE(ckpt.has_value());
+  // The v3 fields decode as written...
+  EXPECT_EQ(ckpt->segment, 2u);
+  EXPECT_TRUE(ckpt->has_faults);
+  EXPECT_EQ(ckpt->wear.campaigns, 7);
+  // ...and the whole wear-leveling surface comes back in the
+  // feature-disabled state a pre-leveling build would have resumed with:
+  // leveling off, retirement count zero, empty wear maps.
+  EXPECT_FALSE(ckpt->leveling_enabled);
+  EXPECT_EQ(ckpt->leveling_spare_rows, 0);
+  EXPECT_EQ(ckpt->leveling_wear_budget, 0.0);
+  EXPECT_EQ(ckpt->wear.crossbars_retired, 0);
+  EXPECT_EQ(ckpt->wear_seg_base_rows_remapped, 0);
+  EXPECT_EQ(ckpt->wear_seg_base_crossbars_retired, 0);
+  EXPECT_EQ(ckpt->wear_seg_base_writes_leveled, 0);
+  EXPECT_EQ(ckpt->controller.wear_deferred_reprograms, 0);
+  EXPECT_EQ(ckpt->controller.retired_seen, 0);
+  EXPECT_TRUE(ckpt->wear_maps.empty());
+  EXPECT_EQ(ckpt->result.tenants[0].rows_remapped, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].crossbars_retired, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].writes_leveled, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].spares_remaining, 0);
   std::remove(path.c_str());
 }
 

@@ -1,9 +1,10 @@
 // Strict environment-variable parsing (common/env.hpp) and the knobs
-// built on it: ODIN_SIMD kernel dispatch (reram/batch_gemm.hpp) and the
-// ODIN_BATCH_MAX batch-formation cap (core/resilience.hpp). The contract
-// (DESIGN.md §13/§14): a value must parse in full or it is ignored with a
-// stderr warning and the default applies — a typo never silently changes
-// behaviour.
+// built on it: ODIN_SIMD kernel dispatch (reram/batch_gemm.hpp), the
+// ODIN_BATCH_MAX batch-formation cap (core/resilience.hpp) and the
+// ODIN_SPARE_ROWS / ODIN_WEAR_BUDGET wear-leveling knobs
+// (reram/wear_leveling.hpp). The contract (DESIGN.md §13/§14/§15): a value
+// must parse in full or it is ignored with a stderr warning and the
+// default applies — a typo never silently changes behaviour.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include "common/env.hpp"
 #include "core/resilience.hpp"
 #include "reram/batch_gemm.hpp"
+#include "reram/wear_leveling.hpp"
 
 namespace odin {
 namespace {
@@ -153,6 +155,68 @@ TEST(Env, BatchMaxDefaultsAndClamps) {
     EXPECT_EQ(cfg.resolved_max_batch(), 4);
     cfg.max_batch = 5000;
     EXPECT_EQ(cfg.resolved_max_batch(), 1024);
+  }
+}
+
+TEST(Env, SpareRowsDefaultsAndClamps) {
+  reram::WearLevelingParams params;
+  {
+    ScopedEnv env("ODIN_SPARE_ROWS", nullptr);
+    EXPECT_EQ(params.resolved_spare_rows(), 16);  // baked-in default
+  }
+  {
+    ScopedEnv env("ODIN_SPARE_ROWS", "32");
+    EXPECT_EQ(params.resolved_spare_rows(), 32);
+  }
+  {
+    ScopedEnv env("ODIN_SPARE_ROWS", "32rows");  // garbage: warn + default
+    EXPECT_EQ(params.resolved_spare_rows(), 16);
+  }
+  {
+    ScopedEnv env("ODIN_SPARE_ROWS", "0");  // below the floor: clamped
+    EXPECT_EQ(params.resolved_spare_rows(), 1);
+  }
+  {
+    ScopedEnv env("ODIN_SPARE_ROWS", "99999");  // clamped to the ceiling
+    EXPECT_EQ(params.resolved_spare_rows(), 512);
+  }
+  {
+    // An explicit config pool wins over the environment entirely.
+    ScopedEnv env("ODIN_SPARE_ROWS", "32");
+    params.spare_rows = 4;
+    EXPECT_EQ(params.resolved_spare_rows(), 4);
+    params.spare_rows = 5000;
+    EXPECT_EQ(params.resolved_spare_rows(), 512);
+  }
+}
+
+TEST(Env, WearBudgetDefaultsAndClamps) {
+  reram::WearLevelingParams params;
+  {
+    ScopedEnv env("ODIN_WEAR_BUDGET", nullptr);
+    EXPECT_DOUBLE_EQ(params.resolved_wear_budget(), 0.80);  // default 80%
+  }
+  {
+    ScopedEnv env("ODIN_WEAR_BUDGET", "50");
+    EXPECT_DOUBLE_EQ(params.resolved_wear_budget(), 0.50);
+  }
+  {
+    ScopedEnv env("ODIN_WEAR_BUDGET", "50%");  // garbage: warn + default
+    EXPECT_DOUBLE_EQ(params.resolved_wear_budget(), 0.80);
+  }
+  {
+    ScopedEnv env("ODIN_WEAR_BUDGET", "0");  // below the floor: clamped
+    EXPECT_DOUBLE_EQ(params.resolved_wear_budget(), 0.01);
+  }
+  {
+    ScopedEnv env("ODIN_WEAR_BUDGET", "250");  // clamped to the ceiling
+    EXPECT_DOUBLE_EQ(params.resolved_wear_budget(), 1.0);
+  }
+  {
+    // An explicit config budget wins over the environment entirely.
+    ScopedEnv env("ODIN_WEAR_BUDGET", "50");
+    params.wear_budget_percent = 25;
+    EXPECT_DOUBLE_EQ(params.resolved_wear_budget(), 0.25);
   }
 }
 

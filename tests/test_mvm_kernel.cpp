@@ -228,6 +228,50 @@ TEST(MvmKernel, ReprogramInvalidatesPlanes) {
   EXPECT_TRUE(moved);
 }
 
+// --- Wear-leveling transparency ---------------------------------------------
+
+// The acceptance pin for wear leveling (DESIGN.md §15): the logical→physical
+// row map is tracking-only, so a heavily remapped/rotated crossbar must
+// produce MVM outputs bitwise identical to an unworn, unleveled crossbar
+// holding the same weights — across campaigns that rotate the map and force
+// spare-row retirements.
+TEST(MvmKernel, WearLevelingIsBitwiseTransparent) {
+  WearLevelingParams leveling;
+  leveling.enabled = true;
+  leveling.rotate = true;
+  leveling.spare_rows = 8;
+  leveling.row_cycle_budget = 2.0;  // force retirements within a few campaigns
+  for (IrModel ir : {IrModel::kLumped, IrModel::kSpatial}) {
+    SCOPED_TRACE(ir == IrModel::kLumped ? "lumped" : "spatial");
+    Crossbar leveled(kSize, DeviceParams{}, std::nullopt, ir);
+    leveled.enable_wear_leveling(leveling);
+    Crossbar plain(kSize, DeviceParams{}, std::nullopt, ir);
+    for (int campaign = 0; campaign < 6; ++campaign) {
+      const auto w = random_block(40 + static_cast<std::uint64_t>(campaign),
+                                  kLiveRows, kLiveCols);
+      const double t = 1.0 + 1e4 * campaign;
+      leveled.program(w, kLiveRows, kLiveCols, t);
+      plain.program(w, kLiveRows, kLiveCols, t);
+      const auto in = random_input(11, kSize);
+      for (const OuShape& ou : kShapes) {
+        const auto got = leveled.mvm(in, ou.rows, ou.cols, t + 50.0,
+                                     kAdcBits);
+        const auto want = plain.mvm(in, ou.rows, ou.cols, t + 50.0,
+                                    kAdcBits);
+        expect_bitwise(got, want, "leveled vs plain mvm");
+      }
+      expect_matches_reference(leveled, t + 50.0);
+    }
+    // The pin is only meaningful if leveling actually moved the map: the
+    // tight cycle budget must have consumed spares and the rotation must
+    // have displaced writes off the identity mapping.
+    EXPECT_GT(leveled.rows_remapped(), 0);
+    EXPECT_LT(leveled.spares_remaining(), leveling.spare_rows);
+    EXPECT_GT(leveled.writes_leveled(), 0);
+    EXPECT_EQ(plain.rows_remapped(), 0);
+  }
+}
+
 // --- Counter-based read-noise stream ----------------------------------------
 
 NoiseParams read_noise_only() {

@@ -31,10 +31,18 @@
 //       admission queue with the given cap (0 = the ODIN_BATCH_MAX
 //       environment default); the summary then also reports batches
 //       formed, mean occupancy and SLO-capped growth.
+//       --wear SEED serves against a wear-leveled fault injector (spare
+//       pool sized by ODIN_SPARE_ROWS, retirement threshold by
+//       ODIN_WEAR_BUDGET) and reports per-tenant wear counters: rows
+//       remapped onto spares, crossbars retired (tenant migrated),
+//       leveled row writes, wear-deferred reprograms and the spare rows
+//       still unused.
 //
 // All randomness is seeded; outputs are reproducible.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -48,6 +56,7 @@
 #include "core/serving.hpp"
 #include "ou/search.hpp"
 #include "policy/serialization.hpp"
+#include "reram/fault_injection.hpp"
 
 using namespace odin;
 
@@ -305,6 +314,27 @@ void print_resilience_summary(const core::ServingResult& result) {
         result.total_batch_slo_capped());
 }
 
+void print_wear_summary(const core::ServingResult& result,
+                        const reram::FaultInjector& faults) {
+  common::Table table({"tenant", "rows remapped", "xbars retired",
+                       "writes leveled", "wear-deferred"});
+  for (const core::TenantStats& t : result.tenants)
+    table.add_row({t.name, common::Table::integer(t.rows_remapped),
+                   common::Table::integer(t.crossbars_retired),
+                   common::Table::integer(
+                       static_cast<int>(t.writes_leveled)),
+                   common::Table::integer(t.wear_deferred_reprograms)});
+  common::print_table("wear leveling (rotate / remap / retire / migrate)",
+                      table);
+  std::printf(
+      "wear: %d rows remapped, %d crossbars retired, %lld writes leveled, "
+      "%d wear-deferred reprograms, %d of %d spare rows remaining\n",
+      result.total_rows_remapped(), result.total_crossbars_retired(),
+      result.total_writes_leveled(),
+      result.total_wear_deferred_reprograms(), result.spares_remaining(),
+      faults.params().leveling.resolved_spare_rows());
+}
+
 int cmd_serve(int argc, char** argv) {
   const std::string list = flag_value(argc, argv, "--workloads")
                                .value_or("resnet18,vgg11,googlenet");
@@ -374,11 +404,22 @@ int cmd_serve(int argc, char** argv) {
   std::vector<const ou::MappedModel*> tenants;
   for (const ou::MappedModel& m : owned) tenants.push_back(&m);
 
+  // --wear SEED: share a wear-leveled injector across the tenants so the
+  // serve report shows the rotate/remap/retire/migrate ladder in action.
+  std::optional<reram::FaultInjector> faults;
+  if (const auto wear_seed = flag_value(argc, argv, "--wear")) {
+    reram::FaultScheduleParams wear;
+    wear.leveling.enabled = true;
+    faults.emplace(wear, static_cast<std::uint64_t>(
+                             std::strtoull(wear_seed->c_str(), nullptr, 10)));
+  }
+
   const auto result = core::serve_with_odin(
       tenants, nonideal, cost, policy::OuPolicy(ou::OuLevelGrid(crossbar)),
-      config);
+      config, faults ? &*faults : nullptr);
   print_serving_summary(result);
   print_resilience_summary(result);
+  if (faults) print_wear_summary(result, *faults);
   return 0;
 }
 
@@ -470,7 +511,7 @@ int usage() {
                " [--eval-cost S]\n"
                "        [--breaker-window N] [--breaker-threshold N]"
                " [--watchdog-ms N]\n"
-               "        [--batch-max N]\n"
+               "        [--batch-max N] [--wear SEED]\n"
                "     (serve counters: shed runs, deadline misses, deferred"
                " reprograms,\n"
                "      truncated searches, breaker open/reopen/probe/close,"
@@ -478,7 +519,13 @@ int usage() {
                "      p50/p99 sojourn and deadline slack per tenant;"
                " --batch-max N\n"
                "      enables deadline-aware batch formation, 0 = the"
-               " ODIN_BATCH_MAX default)\n");
+               " ODIN_BATCH_MAX default;\n"
+               "      --wear SEED serves against a wear-leveled injector"
+               " and reports rows\n"
+               "      remapped, crossbars retired, leveled writes and spare"
+               " rows left —\n"
+               "      pool size from ODIN_SPARE_ROWS, retirement threshold"
+               " from ODIN_WEAR_BUDGET)\n");
   return 2;
 }
 

@@ -19,6 +19,9 @@
 # The batching arm (batching_throughput under ODIN_THREADS=1: batch x OU
 # kernel sweep old-vs-new, the pipelined model table, and the serving
 # batch-formation comparison) writes BENCH_batching.json directly.
+# The endurance arm (endurance_projection: leveled-vs-unleveled lifetime
+# projection per scheme, spare-pool sweep, and the equal-EDP check that
+# leveling is free at serving time) writes BENCH_endurance.json.
 # Every emitted JSON records the build type and git revision it was
 # measured from.
 #
@@ -40,7 +43,7 @@ cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release >"$TMP/cmake.log"
 cmake --build "$BUILD" -j --target \
     micro_mvm micro_search_overhead fig8_edp_all_dnns \
     batching_throughput fault_campaign robustness_overhead \
-    serving_resilience >"$TMP/build.log"
+    serving_resilience endurance_projection >"$TMP/build.log"
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
 GIT_SHA="$(git -C "$REPO" rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -77,6 +80,10 @@ echo "[bench] robustness_overhead -> BENCH_robustness.json" >&2
 echo "[bench] serving_resilience -> BENCH_serving_resilience.json" >&2
 "$BUILD/bench/serving_resilience" --json "$REPO/BENCH_serving_resilience.json" \
   >"$TMP/serving_resilience.log"
+
+echo "[bench] endurance_projection -> BENCH_endurance.json" >&2
+"$BUILD/bench/endurance_projection" --json "$REPO/BENCH_endurance.json" \
+  >"$TMP/endurance_projection.log"
 
 # Single-thread so the kernel sweep isolates the batching/SIMD win from
 # thread-pool scaling (which BENCH_parallel.json already covers).
