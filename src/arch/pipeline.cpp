@@ -61,4 +61,22 @@ PipelineAnalysis analyze_layer(const dnn::LayerDescriptor& layer,
   return out;
 }
 
+InterLayerPipeline interlayer_pipeline(
+    std::span<const double> stage_latency_s) {
+  InterLayerPipeline out;
+  out.stages = static_cast<int>(stage_latency_s.size());
+  for (double s : stage_latency_s) {
+    const double t = std::max(s, 0.0);
+    out.fill_s += t;
+    out.bottleneck_s = std::max(out.bottleneck_s, t);
+  }
+  if (out.stages <= 1 || out.fill_s <= 0.0) {
+    out.bottleneck_s = out.fill_s;
+    out.overlap_factor = 1.0;
+  } else {
+    out.overlap_factor = out.bottleneck_s / out.fill_s;
+  }
+  return out;
+}
+
 }  // namespace odin::arch

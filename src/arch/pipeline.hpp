@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <string>
 
 #include "dnn/layer_desc.hpp"
@@ -59,5 +60,24 @@ PipelineAnalysis analyze_layer(const dnn::LayerDescriptor& layer,
                                ou::OuConfig config,
                                const ou::CostParams& cost_params,
                                const PipelineRates& rates = {});
+
+/// Inter-layer pipeline across PEs: when a network's layers are placed on
+/// several PEs, consecutive inferences overlap — PE k works on request n
+/// while PE k+1 finishes request n-1. The steady-state beat is the slowest
+/// stage; the first request still pays the full fill.
+struct InterLayerPipeline {
+  int stages = 0;
+  double fill_s = 0.0;        ///< first-request latency (sum of stages)
+  double bottleneck_s = 0.0;  ///< steady-state per-request beat (max stage)
+  /// Steady-state service time as a fraction of the unpipelined latency:
+  /// bottleneck / fill. 1.0 when there is at most one stage (nothing to
+  /// overlap) or the stage times are degenerate.
+  double overlap_factor = 1.0;
+};
+
+/// Fold per-stage latencies (one entry per PE holding a contiguous run of
+/// layers, in execution order) into the inter-layer pipeline figure the
+/// fleet scheduler bills per-shard service times with.
+InterLayerPipeline interlayer_pipeline(std::span<const double> stage_latency_s);
 
 }  // namespace odin::arch

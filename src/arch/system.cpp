@@ -8,45 +8,60 @@ namespace odin::arch {
 SystemModel::SystemModel(PimConfig config, NocParams noc_params)
     : config_(config), noc_(config.mesh_x, config.mesh_y, noc_params) {
   assert(config.mesh_x * config.mesh_y == config.pes);
+  all_pes_.reserve(static_cast<std::size_t>(config_.pes));
+  for (int p = 0; p < config_.pes; ++p) all_pes_.push_back(p);
 }
 
-SystemMapping SystemModel::map(const dnn::DnnModel& model, int crossbar_size,
-                               int activation_bits) const {
+std::int64_t SystemModel::crossbars_per_pe(int crossbar_size) const noexcept {
   const int c = crossbar_size > 0 ? crossbar_size : config_.tile.crossbar_size;
   // Crossbars per PE scale with (tile size / crossbar size)^2 when sweeping
   // the crossbar dimension: the tile's memristor area is held constant.
   const int native = config_.tile.crossbar_size;
-  const std::int64_t per_pe = static_cast<std::int64_t>(
+  return static_cast<std::int64_t>(
       config_.tiles_per_pe * config_.tile.crossbars *
       (static_cast<std::int64_t>(native / c) * (native / c)));
+}
+
+SystemMapping SystemModel::map(const dnn::DnnModel& model, int crossbar_size,
+                               int activation_bits) const {
+  return map_onto(model, all_pes_, crossbar_size, activation_bits);
+}
+
+SystemMapping SystemModel::map_onto(const dnn::DnnModel& model,
+                                    std::span<const int> pes,
+                                    int crossbar_size,
+                                    int activation_bits) const {
+  assert(!pes.empty());
+  const int c = crossbar_size > 0 ? crossbar_size : config_.tile.crossbar_size;
+  const std::int64_t per_pe = crossbars_per_pe(crossbar_size);
 
   SystemMapping out;
+  out.pe_load.assign(static_cast<std::size_t>(config_.pes), 0);
   std::int64_t free_in_pe = per_pe;
-  int pe = 0;
+  std::size_t slot = 0;  ///< position in the fill order `pes`
+  auto advance = [&] {
+    slot = (slot + 1) % pes.size();
+    free_in_pe = per_pe;
+  };
   for (const auto& layer : model.layers) {
     const std::int64_t need = common::ceil_div(layer.fan_in, c) *
                               common::ceil_div(layer.outputs, c);
-    if (need > free_in_pe && free_in_pe < per_pe) {
-      pe = (pe + 1) % config_.pes;
-      free_in_pe = per_pe;
-    }
+    if (need > free_in_pe && free_in_pe < per_pe) advance();
     // A layer larger than a whole PE spills into subsequent PEs; its home
     // stays where it starts.
-    out.placements.push_back({layer.index, need, pe});
+    out.placements.push_back({layer.index, need, pes[slot]});
     std::int64_t remaining = need;
     while (remaining > 0) {
       const std::int64_t take = std::min(remaining, free_in_pe);
       remaining -= take;
       free_in_pe -= take;
-      if (free_in_pe == 0 && remaining > 0) {
-        pe = (pe + 1) % config_.pes;
-        free_in_pe = per_pe;
-      }
+      out.pe_load[static_cast<std::size_t>(pes[slot])] += take;
+      if (free_in_pe == 0 && remaining > 0) advance();
     }
     out.crossbars_used += need;
   }
   const std::int64_t available =
-      per_pe * static_cast<std::int64_t>(config_.pes);
+      per_pe * static_cast<std::int64_t>(pes.size());
   out.utilization = available > 0
                         ? static_cast<double>(out.crossbars_used) /
                               static_cast<double>(available)
@@ -56,8 +71,11 @@ SystemMapping SystemModel::map(const dnn::DnnModel& model, int crossbar_size,
     const auto& layer = model.layers[i];
     const std::int64_t bits = static_cast<std::int64_t>(layer.outputs) *
                               layer.spatial_positions * activation_bits;
+    // Only a real PE boundary crosses the mesh: consecutive layers that
+    // share a home PE hand activations through the tile's eDRAM buffer,
+    // which the tile energy table already accounts for.
     const int h = noc_.hops(out.placements[i].pe, out.placements[i + 1].pe);
-    out.noc_per_inference += noc_.transfer(bits, std::max(h, 1));
+    if (h > 0) out.noc_per_inference += noc_.transfer(bits, h);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "arch/components.hpp"
@@ -21,7 +22,10 @@ struct LayerPlacement {
 struct SystemMapping {
   std::vector<LayerPlacement> placements;
   std::int64_t crossbars_used = 0;
-  double utilization = 0.0;  ///< used / available crossbars
+  double utilization = 0.0;  ///< used / available crossbars (of the span)
+  /// Crossbars actually filled per PE, indexed by global PE id (covers
+  /// spill PEs, which LayerPlacement's home field does not).
+  std::vector<std::int64_t> pe_load;
   /// NoC cost of streaming every layer's output activations to the next
   /// layer's home PE, once per inference.
   common::EnergyLatency noc_per_inference;
@@ -34,15 +38,28 @@ class SystemModel {
   const PimConfig& config() const noexcept { return config_; }
   const NocModel& noc() const noexcept { return noc_; }
 
-  /// Greedy in-order placement; `crossbar_size` defaults to the tile's
-  /// (override for the Fig. 9 crossbar-size sweep). `activation_bits` is
-  /// the inter-layer activation precision on the NoC.
+  /// Crossbar slots one PE offers at `crossbar_size` (0 = the tile's
+  /// native): the tile's memristor area is held constant when sweeping the
+  /// crossbar dimension, so capacity scales with (native / size)^2.
+  std::int64_t crossbars_per_pe(int crossbar_size = 0) const noexcept;
+
+  /// Greedy in-order placement over the whole mesh; `crossbar_size`
+  /// defaults to the tile's (override for the Fig. 9 crossbar-size sweep).
+  /// `activation_bits` is the inter-layer activation precision on the NoC.
   SystemMapping map(const dnn::DnnModel& model, int crossbar_size = 0,
                     int activation_bits = 8) const;
+
+  /// The same greedy placement restricted to `pes` (global PE ids, in fill
+  /// order — the fleet scheduler hands each shard its own block here).
+  /// Spill wraps around within the span. map() is exactly
+  /// map_onto(model, {0..pes-1}, ...).
+  SystemMapping map_onto(const dnn::DnnModel& model, std::span<const int> pes,
+                         int crossbar_size = 0, int activation_bits = 8) const;
 
  private:
   PimConfig config_;
   NocModel noc_;
+  std::vector<int> all_pes_;  ///< identity span backing map()
 };
 
 }  // namespace odin::arch

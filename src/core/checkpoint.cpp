@@ -104,6 +104,9 @@ void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
   out.i64(t.writes_leveled);
   out.i32(t.wear_deferred_reprograms);
   out.i32(t.spares_remaining);
+  // v5: fleet service surface.
+  out.f64(t.service_s);
+  out.i32(t.pipelined_runs);
 }
 
 std::optional<TenantStats> decode_tenant(common::ByteReader& in,
@@ -153,6 +156,10 @@ std::optional<TenantStats> decode_tenant(common::ByteReader& in,
     t.writes_leveled = in.i64();
     t.wear_deferred_reprograms = in.i32();
     t.spares_remaining = in.i32();
+  }
+  if (version >= 5) {
+    t.service_s = in.f64();
+    t.pipelined_runs = in.i32();
   }
   if (!in.ok()) return std::nullopt;
   return t;
@@ -362,6 +369,16 @@ void encode_checkpoint(const ServingCheckpoint& ckpt,
   out.u64(ckpt.wear_maps.size());
   for (const reram::WearMap& m : ckpt.wear_maps)
     reram::encode_wear_map(m, out);
+  // v5: fleet surface.
+  out.i32(ckpt.fleet_shards);
+  out.i32(ckpt.fleet_shard_index);
+  out.boolean(ckpt.has_service_models);
+  out.u64(ckpt.service_models.size());
+  for (const TenantServiceModel& m : ckpt.service_models) {
+    out.f64(m.noc_extra.energy_j);
+    out.f64(m.noc_extra.latency_s);
+    out.f64(m.pipeline_overlap);
+  }
 }
 
 std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
@@ -455,6 +472,20 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
       auto map = reram::decode_wear_map(in);
       if (!map.has_value()) return std::nullopt;
       ckpt.wear_maps.push_back(std::move(*map));
+    }
+  }
+  if (version >= 5) {
+    ckpt.fleet_shards = in.i32();
+    ckpt.fleet_shard_index = in.i32();
+    ckpt.has_service_models = in.boolean();
+    const std::uint64_t models = in.u64();
+    if (!in.ok() || models > (1u << 16)) return std::nullopt;
+    for (std::uint64_t i = 0; i < models; ++i) {
+      TenantServiceModel m;
+      m.noc_extra.energy_j = in.f64();
+      m.noc_extra.latency_s = in.f64();
+      m.pipeline_overlap = in.f64();
+      ckpt.service_models.push_back(m);
     }
   }
   if (!in.ok()) return std::nullopt;

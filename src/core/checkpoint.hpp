@@ -43,10 +43,13 @@ namespace odin::core {
 /// added the batch-formation surface (per-tenant batch counters plus the
 /// batching fingerprint); version 4 added the wear-leveling surface (the
 /// leveling fingerprint, retirement count, per-segment attribution bases,
-/// controller wear counters and behavioral per-crossbar wear maps). Older
-/// frames are still accepted, with every added field defaulting to the
-/// feature-disabled state (v3 frames decode with empty wear maps).
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+/// controller wear counters and behavioral per-crossbar wear maps);
+/// version 5 added the fleet surface (shard geometry fingerprint,
+/// placement-derived per-tenant service models, per-tenant service-time and
+/// pipelined-run counters). Older frames are still accepted, with every
+/// added field defaulting to the feature-disabled state (v4 frames decode
+/// as shard 0 of a single-shard fleet with no service models).
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 /// The complete serving state at a run boundary. `segment`/`next_run`
 /// locate the resume point: the next inference to execute is
@@ -102,6 +105,14 @@ struct ServingCheckpoint {
   /// path tracks behavioral crossbars; empty otherwise — and always empty
   /// when decoding a pre-v4 frame.
   std::vector<reram::WearMap> wear_maps;
+  /// Fleet surface (v5+; defaulted for older frames, which decode as shard
+  /// 0 of a single-shard fleet). A shard's checkpoint only resumes onto the
+  /// same shard index of the same-size fleet under the same
+  /// placement-derived service models.
+  std::int32_t fleet_shards = 1;
+  std::int32_t fleet_shard_index = 0;
+  bool has_service_models = false;
+  std::vector<TenantServiceModel> service_models;
 };
 
 /// Payload codec (no framing). decode returns nullopt on truncation or a

@@ -214,6 +214,18 @@ int ServingResult::spares_remaining() const noexcept {
   return gauge;
 }
 
+double ServingResult::total_service_s() const noexcept {
+  double t = 0.0;
+  for (const TenantStats& s : tenants) t += s.service_s;
+  return t;
+}
+
+int ServingResult::total_pipelined_runs() const noexcept {
+  int n = 0;
+  for (const TenantStats& s : tenants) n += s.pipelined_runs;
+  return n;
+}
+
 namespace {
 
 /// Contiguous segment boundaries over the run schedule.
@@ -268,15 +280,35 @@ std::optional<ServingResult> serve_odin_impl(
     policy::OuPolicy initial_policy, const ServingConfig& config,
     reram::FaultInjector* faults, const ServingCheckpoint* resume) {
   assert(!tenants.empty());
+  // Fleet service-time models (empty outside a multi-shard fleet). When
+  // absent, every expression below reduces to the unmodeled walk — the
+  // shards=1 bitwise pin depends on that.
+  const bool modeled = !config.service_models.empty();
+  assert(!modeled || config.service_models.size() == tenants.size());
   ServingResult result;
   result.label = "Odin";
   result.tenants.resize(tenants.size());
   for (std::size_t i = 0; i < tenants.size(); ++i)
     result.tenants[i].name = tenants[i]->model().name;
 
-  const auto schedule = run_schedule(config.horizon);
-  const auto bounds =
-      segment_bounds(schedule.size(), config.segments);
+  const auto schedule =
+      config.schedule.empty() ? run_schedule(config.horizon)
+                              : config.schedule;
+  assert(schedule.size() ==
+         static_cast<std::size_t>(config.horizon.runs));
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  if (config.segment_sizes.empty()) {
+    bounds = segment_bounds(schedule.size(), config.segments);
+  } else {
+    assert(config.segment_sizes.size() ==
+           static_cast<std::size_t>(config.segments));
+    std::size_t start = 0;
+    for (std::size_t n : config.segment_sizes) {
+      bounds.emplace_back(start, start + n);
+      start += n;
+    }
+    assert(start == schedule.size());
+  }
 
   // The serving walk itself is inherently sequential (the policy carries
   // its learning from segment to segment), but each segment's tenant-switch
@@ -366,6 +398,10 @@ std::optional<ServingResult> serve_odin_impl(
       ckpt.tenant_names.push_back(t->model().name);
     ckpt.result = result;
     ckpt.controller = controller.snapshot();
+    ckpt.fleet_shards = config.fleet_shards;
+    ckpt.fleet_shard_index = config.fleet_shard_index;
+    ckpt.has_service_models = modeled;
+    ckpt.service_models = config.service_models;
     if (faults != nullptr) {
       ckpt.has_faults = true;
       ckpt.wear = faults->wear_state();
@@ -404,6 +440,8 @@ std::optional<ServingResult> serve_odin_impl(
     const std::size_t tenant_idx = s % tenants.size();
     const ou::MappedModel& tenant = *tenants[tenant_idx];
     TenantStats& stats = result.tenants[tenant_idx];
+    const TenantServiceModel svc =
+        modeled ? config.service_models[tenant_idx] : TenantServiceModel{};
     const bool resuming = resume != nullptr && s == s0;
 
     if (!resuming) {
@@ -452,10 +490,14 @@ std::optional<ServingResult> serve_odin_impl(
     auto serve_fallback = [&](std::size_t j, bool shed) {
       const double t_arr = schedule[j];
       const double start = std::max(busy_until_s, t_arr);
-      const common::EnergyLatency c =
+      common::EnergyLatency c =
           fallback_serve_cost(tenant, cost, fallback[tenant_idx]);
+      // Fallback serves still cross the shard's NoC (no pipeline credit:
+      // the degraded path runs unoverlapped).
+      if (modeled) c += svc.noc_extra;
       busy_until_s = start + c.latency_s;
       stats.inference += c;
+      stats.service_s += c.latency_s;
       ++stats.runs;
       stats.sojourn_s.push_back(busy_until_s - t_arr);
       if (shed)
@@ -509,10 +551,25 @@ std::optional<ServingResult> serve_odin_impl(
       }
       int evals = 0;
       for (const LayerDecision& d : run.decisions) evals += d.evaluations;
-      const double service =
+      double service =
           run.inference.latency_s + run.reprogram.latency_s +
           static_cast<double>(evals) * res.search_eval_cost_s;
+      if (modeled) {
+        // A primed pipeline (the device was still busy when this request
+        // arrived) serves back-to-back inferences at the overlapped rate;
+        // an idle device pays the full fill. NoC transit is charged either
+        // way.
+        const bool pipelined = start > t_arr && svc.pipeline_overlap < 1.0;
+        if (pipelined) ++stats.pipelined_runs;
+        service = run.inference.latency_s *
+                      (pipelined ? svc.pipeline_overlap : 1.0) +
+                  run.reprogram.latency_s +
+                  static_cast<double>(evals) * res.search_eval_cost_s +
+                  svc.noc_extra.latency_s;
+        stats.inference += svc.noc_extra;
+      }
       busy_until_s = start + service;
+      stats.service_s += service;
       const double sojourn = busy_until_s - t_arr;
       stats.sojourn_s.push_back(sojourn);
       stats.inference += run.inference;
@@ -593,9 +650,17 @@ std::optional<ServingResult> serve_odin_impl(
       int evals = 0;
       for (const LayerDecision& d : run.decisions) evals += d.evaluations;
       // Search + reprogram happen once, before the pipeline fills.
-      const double pre =
+      double pre =
           run.reprogram.latency_s +
           static_cast<double>(evals) * res.search_eval_cost_s;
+      if (modeled) {
+        // The batch's activations cross the NoC once per member; the
+        // latency is pipelined behind the pass and charged up front.
+        pre += svc.noc_extra.latency_s;
+        stats.inference += common::EnergyLatency{
+            svc.noc_extra.energy_j * static_cast<double>(b),
+            svc.noc_extra.latency_s};
+      }
       batch_configs.clear();
       if (run.decisions.size() == tenant.layer_count()) {
         for (const LayerDecision& d : run.decisions)
@@ -606,6 +671,7 @@ std::optional<ServingResult> serve_odin_impl(
       const arch::BatchCost bc =
           arch::batched_inference_cost(tenant, batch_configs, cost, b);
       busy_until_s = start + pre + bc.total.latency_s;
+      stats.service_s += pre + bc.total.latency_s;
       stats.inference += bc.total;
       stats.reprogram += run.reprogram;
       stats.mismatches += run.mismatches;
@@ -672,6 +738,16 @@ std::optional<ServingResult> serve_odin_impl(
         stats.reprogram += run.reprogram;
         stats.mismatches += run.mismatches;
         stats.degraded_runs += run.degraded ? 1 : 0;
+        double service = run.inference.latency_s + run.reprogram.latency_s;
+        if (modeled) {
+          // No admission queue here, so back-to-back segment traffic always
+          // runs with the pipeline primed.
+          stats.inference += svc.noc_extra;
+          service = run.inference.latency_s * svc.pipeline_overlap +
+                    run.reprogram.latency_s + svc.noc_extra.latency_s;
+          if (svc.pipeline_overlap < 1.0) ++stats.pipelined_runs;
+        }
+        stats.service_s += service;
         ++stats.runs;
       } else {
         // Event-driven FIFO: serve whatever the device finished before
@@ -810,6 +886,26 @@ std::optional<ServingResult> resume_with_odin(
     if (config.resilience.batching.enabled &&
         ckpt.batch_cap != config.resilience.batching.resolved_max_batch())
       return std::nullopt;
+  }
+  // Fleet geometry: a shard's checkpoint only transfers onto the same
+  // shard of the same-size fleet, and the placement-derived service models
+  // must match exactly (a placement change alters every service time).
+  if (ckpt.fleet_shards != config.fleet_shards ||
+      ckpt.fleet_shard_index != config.fleet_shard_index)
+    return std::nullopt;
+  if (ckpt.has_service_models != !config.service_models.empty())
+    return std::nullopt;
+  if (ckpt.has_service_models) {
+    if (ckpt.service_models.size() != config.service_models.size())
+      return std::nullopt;
+    for (std::size_t i = 0; i < config.service_models.size(); ++i) {
+      const TenantServiceModel& a = ckpt.service_models[i];
+      const TenantServiceModel& b = config.service_models[i];
+      if (a.noc_extra.energy_j != b.noc_extra.energy_j ||
+          a.noc_extra.latency_s != b.noc_extra.latency_s ||
+          a.pipeline_overlap != b.pipeline_overlap)
+        return std::nullopt;
+    }
   }
   // Device wear: replay the campaign history on the caller's freshly
   // seeded injector and verify the fingerprint. Leveling changes how a

@@ -34,6 +34,22 @@ struct CheckpointConfig {
   int every_runs = 25;
 };
 
+/// Per-tenant service-time model the fleet scheduler derives from its
+/// placement: NoC transit charged on every serve, and the steady-state
+/// inter-layer pipeline overlap applied to back-to-back inferences. Empty
+/// `ServingConfig::service_models` (the default, and always the case for a
+/// single-shard fleet) leaves the serving walk bitwise identical to the
+/// unmodeled loop.
+struct TenantServiceModel {
+  /// Inter-PE activation traffic per inference (arch::SystemMapping's
+  /// noc_per_inference for this tenant's shard placement).
+  common::EnergyLatency noc_extra;
+  /// Steady-state service time as a fraction of unpipelined latency
+  /// (arch::InterLayerPipeline::overlap_factor); applies only when the
+  /// request arrives while the device is busy (the pipeline is primed).
+  double pipeline_overlap = 1.0;
+};
+
 struct ServingConfig {
   HorizonConfig horizon{};
   /// How many contiguous segments the horizon is divided into; tenants are
@@ -51,6 +67,21 @@ struct ServingConfig {
   /// Disabled by default: the serving walk is then bit-identical to the
   /// pre-resilience behaviour.
   ResilienceConfig resilience{};
+  /// Fleet surface (core/fleet.hpp fills these; empty/defaults outside a
+  /// fleet). One entry per tenant, parallel to the `tenants` argument.
+  std::vector<TenantServiceModel> service_models;
+  int fleet_shards = 1;       ///< total shards in the owning fleet
+  int fleet_shard_index = 0;  ///< this loop's shard id in [0, fleet_shards)
+  /// Explicit arrival/drift schedule: when non-empty, replaces the
+  /// logspace run_schedule(horizon) and must hold horizon.runs ascending
+  /// times. The fleet passes each shard the global schedule's slices for
+  /// its member segments so a tenant serves at the same drift times
+  /// regardless of how the fleet is sharded.
+  std::vector<double> schedule;
+  /// Explicit per-segment run counts paired with `schedule`: when
+  /// non-empty, replaces the equal split of segment_bounds (one entry per
+  /// segment, summing to horizon.runs).
+  std::vector<std::size_t> segment_sizes;
 };
 
 struct TenantStats {
@@ -100,6 +131,11 @@ struct TenantStats {
   /// Gauge, not a delta: spare rows left in the device's current pool after
   /// this tenant's most recent segment.
   int spares_remaining = 0;
+  /// Fleet surface (zero outside a multi-shard fleet): wall-clock busy time
+  /// this tenant held its shard's device, and runs that were served at the
+  /// pipelined (overlapped) rate because the pipeline was primed.
+  double service_s = 0.0;
+  int pipelined_runs = 0;
   /// Per-served-run sojourn (queue wait + service latency), in arrival
   /// order; feeds the percentile reporting below.
   std::vector<double> sojourn_s;
@@ -161,6 +197,9 @@ struct ServingResult {
   /// Spare rows left in the device's current pool (the smallest gauge any
   /// served tenant observed; 0 while leveling is disabled).
   int spares_remaining() const noexcept;
+  /// Fleet totals (zero outside a multi-shard fleet).
+  double total_service_s() const noexcept;
+  int total_pipelined_runs() const noexcept;
 };
 
 /// Serve `tenants` (non-owning; must outlive the call) with one adapting

@@ -116,6 +116,15 @@ bool FaultInjector::wear_hot() const noexcept {
              endurance.cycles_to_failure_budget(1e-3);
 }
 
+double FaultInjector::wear_fraction() const noexcept {
+  const EnduranceModel endurance(params_.endurance);
+  const double budget = endurance.cycles_to_failure_budget(1e-3);
+  const double worn = params_.leveling.enabled
+                          ? leveled_campaigns()
+                          : static_cast<double>(campaigns_);
+  return budget > 0.0 ? worn / budget : 0.0;
+}
+
 double FaultInjector::stuck_cell_fraction() const noexcept {
   return static_cast<double>(stuck_cells_) /
          static_cast<double>(params_.tracked_cells);

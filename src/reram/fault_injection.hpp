@@ -109,6 +109,12 @@ class FaultInjector {
   /// defer wear-expensive reprograms when drift allows it.
   bool wear_hot() const noexcept;
 
+  /// Consumed share of the current crossbar's projected lifetime (leveled
+  /// campaigns over the 1e-3 failure-budget cycle count), >= 0 and
+  /// unclamped — >1 means the array outlived its budget. The fleet
+  /// placement uses this to steer tenants toward least-worn shards.
+  double wear_fraction() const noexcept;
+
   /// Elapsed-time multiplier at wall-clock `t_s` (>= 1; 1 outside bursts).
   /// Overlapping bursts compound multiplicatively.
   double drift_time_multiplier(double t_s) const noexcept;

@@ -135,6 +135,14 @@ ServingCheckpoint sample_checkpoint(const ou::MappedModel& tenant) {
   health.fault_fraction = 9.0 / 4096.0;
   health.windows = {{0, 0, 3}, {8, 16, 6}};
   ckpt.health_maps.push_back(std::move(health));
+  // v5 fleet surface: this frame claims to be shard 1 of a 2-shard fleet
+  // with a placement-derived service model per tenant.
+  ckpt.fleet_shards = 2;
+  ckpt.fleet_shard_index = 1;
+  ckpt.has_service_models = true;
+  ckpt.service_models = {{{1.5e-9, 2.5e-7}, 0.62}, {{0.0, 0.0}, 1.0}};
+  ckpt.result.tenants[0].service_s = 4.75e-3;
+  ckpt.result.tenants[0].pipelined_runs = 17;
   return ckpt;
 }
 
@@ -185,6 +193,17 @@ TEST(Checkpoint, PayloadRoundTripIsExact) {
   EXPECT_EQ(decoded->wear_maps[0].rows, ckpt.wear_maps[0].rows);
   EXPECT_EQ(decoded->wear_maps[0].row_writes, ckpt.wear_maps[0].row_writes);
   EXPECT_EQ(decoded->wear_maps[0].remap, ckpt.wear_maps[0].remap);
+  // v5 fleet surface.
+  EXPECT_EQ(decoded->fleet_shards, 2);
+  EXPECT_EQ(decoded->fleet_shard_index, 1);
+  EXPECT_TRUE(decoded->has_service_models);
+  ASSERT_EQ(decoded->service_models.size(), 2u);
+  EXPECT_EQ(decoded->service_models[0].noc_extra.energy_j, 1.5e-9);
+  EXPECT_EQ(decoded->service_models[0].noc_extra.latency_s, 2.5e-7);
+  EXPECT_EQ(decoded->service_models[0].pipeline_overlap, 0.62);
+  EXPECT_EQ(decoded->service_models[1].pipeline_overlap, 1.0);
+  EXPECT_EQ(decoded->result.tenants[0].service_s, 4.75e-3);
+  EXPECT_EQ(decoded->result.tenants[0].pipelined_runs, 17);
   // ...then pin full equality through the codec itself: re-encoding the
   // decoded checkpoint must reproduce the identical byte stream.
   common::ByteWriter reencoded;
@@ -538,6 +557,143 @@ TEST(Checkpoint, Version3FrameDecodesWithEmptyWearMaps) {
   EXPECT_EQ(ckpt->result.tenants[0].crossbars_retired, 0);
   EXPECT_EQ(ckpt->result.tenants[0].writes_leveled, 0);
   EXPECT_EQ(ckpt->result.tenants[0].spares_remaining, 0);
+  std::remove(path.c_str());
+}
+
+/// A minimal *version 4* payload: the v3 layout plus the wear-leveling
+/// tails, ending exactly where v4 ended — no fleet surface. Pins the
+/// decoder's pre-fleet path: a frame written by a single-shard build must
+/// resume as shard 0 of a 1-shard fleet with no service models.
+std::string v4_payload() {
+  common::ByteWriter out;
+  out.u64(2);       // segment
+  out.u64(41);      // next_run
+  out.i32(6);       // segments
+  out.i32(120);     // horizon_runs
+  out.f64(1.0);     // t_start_s
+  out.f64(1e8);     // t_end_s
+  out.u64(1);       // tenant_names
+  out.str("TinyNet");
+  out.str("Odin");  // result.label
+  out.u64(1);       // result.tenants
+  {                 // one v4 tenant record
+    out.str("TinyNet");
+    out.i32(41);   // runs
+    out.i32(3);    // reprograms
+    out.i32(77);   // mismatches
+    out.i32(2);    // retries
+    out.i32(1);    // degraded_runs
+    out.i32(4);    // updates_accepted
+    out.i32(0);    // updates_rejected
+    out.i32(0);    // updates_rolled_back
+    out.i64(5);    // buffer_dropped
+    out.i64(0);    // buffer_quarantined
+    out.f64(1.25e-3);  // inference energy/latency
+    out.f64(3.5e-4);
+    out.f64(4.0e-3);  // reprogram energy/latency
+    out.f64(9.0e-4);
+    out.f64(0.0);  // v2: slo_s
+    out.i32(0);    // shed_runs
+    out.i32(0);    // breaker_open_runs
+    out.i32(0);    // deadline_misses
+    out.i32(0);    // deferred_reprograms
+    out.i32(0);    // deadline_stopped_retries
+    out.i32(0);    // searches_truncated
+    out.i32(0);    // breaker_opens
+    out.i32(0);    // breaker_reopens
+    out.i32(0);    // breaker_probes
+    out.i32(0);    // breaker_closes
+    out.i32(0);    // watchdog_stalls
+    out.u64(0);    // sojourn samples
+    out.i32(0);    // v3: batches_formed
+    out.i32(0);    // batch_members
+    out.i32(0);    // max_batch
+    out.i32(0);    // batch_slo_capped
+    out.i32(6);    // v4: rows_remapped
+    out.i32(1);    // crossbars_retired
+    out.i64(384);  // writes_leveled
+    out.i32(2);    // wear_deferred_reprograms
+    out.i32(10);   // spares_remaining
+  }
+  out.f64(2.0e-3);  // programming energy/latency
+  out.f64(1.0e-4);
+  out.i32(3);  // switches
+  out.i32(4);  // policy_updates
+  {            // controller snapshot (unversioned, same as v1)
+    out.f64(12.5);    // programmed_at_s
+    out.i32(3);       // reprogram_count
+    out.i32(4);       // update_count
+    out.f64(1.0);     // health_fraction
+    out.boolean(false);
+    out.f64(1.0);     // eta_scale
+    out.i32(2);       // retry_count
+    out.i32(1);       // degraded_runs
+    out.i32(4);       // updates_accepted
+    out.i32(0);       // updates_rejected
+    out.i32(0);       // updates_rolled_back
+    out.i32(0);       // probation_left
+    out.i64(0);       // probation_mismatches
+    out.i64(0);       // probation_layers
+    out.f64(0.0);     // pre_update_rate
+    out.f64(0.0);     // mismatch_rate_ema
+    out.u64(0);       // buffer_entries
+    out.u64(0);       // buffer_quarantine
+    out.u64(0);       // last_update_batch
+    out.u64(5);       // buffer_dropped
+    out.u64(0);       // buffer_quarantine_hits
+    out.str("");      // policy_blob
+    out.str("");      // last_good_blob
+  }
+  out.boolean(true);  // has_faults
+  out.i32(7);         // wear: campaigns
+  out.i32(12);        // stuck_cells
+  out.i32(1);         // failed_wordlines
+  out.i32(0);         // failed_bitlines
+  out.u64(0);         // health_maps
+  out.boolean(false);  // v2: has_resilience
+  out.i32(0);          // shed_policy
+  out.u64(0);          // queue_capacity
+  out.f64(0.0);        // busy_until_s
+  out.u64(0);          // pending_runs
+  out.u64(0);          // breakers
+  out.u64(0);          // fallback_ous
+  out.boolean(false);  // v3: batching_enabled
+  out.i32(0);          // batch_cap
+  out.boolean(true);   // v4: leveling_enabled
+  out.i32(16);         // leveling_spare_rows
+  out.f64(0.8);        // leveling_wear_budget
+  out.i32(1);          // wear.crossbars_retired
+  out.i32(4);          // wear_seg_base_rows_remapped
+  out.i32(1);          // wear_seg_base_crossbars_retired
+  out.i64(256);        // wear_seg_base_writes_leveled
+  out.i32(2);          // controller.wear_deferred_reprograms
+  out.i32(1);          // controller.retired_seen
+  out.u64(0);          // wear_maps
+  return out.bytes();
+}
+
+TEST(Checkpoint, Version4FrameDecodesAsSingleShardFleet) {
+  const std::string path = temp_base("v4fleet") + ".a";
+  write_file(path, frame_with_version(4, 9, v4_payload()));
+  const auto ckpt = load_checkpoint_file(path);
+  ASSERT_TRUE(ckpt.has_value());
+  // The v4 fields decode as written...
+  EXPECT_EQ(ckpt->segment, 2u);
+  EXPECT_TRUE(ckpt->leveling_enabled);
+  EXPECT_EQ(ckpt->leveling_spare_rows, 16);
+  EXPECT_EQ(ckpt->wear.crossbars_retired, 1);
+  EXPECT_EQ(ckpt->result.tenants[0].rows_remapped, 6);
+  EXPECT_EQ(ckpt->result.tenants[0].spares_remaining, 10);
+  // ...and the fleet surface comes back in the single-shard default state:
+  // a pre-fleet frame is shard 0 of a 1-shard fleet with no service
+  // models, so resume_with_odin accepts it for the plain serving loop and
+  // resume_fleet refuses to graft it onto a multi-shard campaign.
+  EXPECT_EQ(ckpt->fleet_shards, 1);
+  EXPECT_EQ(ckpt->fleet_shard_index, 0);
+  EXPECT_FALSE(ckpt->has_service_models);
+  EXPECT_TRUE(ckpt->service_models.empty());
+  EXPECT_EQ(ckpt->result.tenants[0].service_s, 0.0);
+  EXPECT_EQ(ckpt->result.tenants[0].pipelined_runs, 0);
   std::remove(path.c_str());
 }
 

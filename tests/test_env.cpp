@@ -2,7 +2,8 @@
 // built on it: ODIN_SIMD kernel dispatch (reram/batch_gemm.hpp), the
 // ODIN_BATCH_MAX batch-formation cap (core/resilience.hpp) and the
 // ODIN_SPARE_ROWS / ODIN_WEAR_BUDGET wear-leveling knobs
-// (reram/wear_leveling.hpp). The contract (DESIGN.md §13/§14/§15): a value
+// (reram/wear_leveling.hpp) and the ODIN_SHARDS fleet shard count
+// (core/fleet.hpp). The contract (DESIGN.md §13/§14/§15/§16): a value
 // must parse in full or it is ignored with a stderr warning and the
 // default applies — a typo never silently changes behaviour.
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include <cstdlib>
 
 #include "common/env.hpp"
+#include "core/fleet.hpp"
 #include "core/resilience.hpp"
 #include "reram/batch_gemm.hpp"
 #include "reram/wear_leveling.hpp"
@@ -187,6 +189,38 @@ TEST(Env, SpareRowsDefaultsAndClamps) {
     EXPECT_EQ(params.resolved_spare_rows(), 4);
     params.spare_rows = 5000;
     EXPECT_EQ(params.resolved_spare_rows(), 512);
+  }
+}
+
+TEST(Env, OdinShardsDefaultsAndClamps) {
+  core::FleetConfig cfg;
+  {
+    ScopedEnv env("ODIN_SHARDS", nullptr);
+    EXPECT_EQ(cfg.resolved_shards(), 1);  // baked-in default: one shard
+  }
+  {
+    ScopedEnv env("ODIN_SHARDS", "9");
+    EXPECT_EQ(cfg.resolved_shards(), 9);
+  }
+  {
+    ScopedEnv env("ODIN_SHARDS", "9shards");  // garbage: warn + default
+    EXPECT_EQ(cfg.resolved_shards(), 1);
+  }
+  {
+    ScopedEnv env("ODIN_SHARDS", "0");  // below the floor: default
+    EXPECT_EQ(cfg.resolved_shards(), 1);
+  }
+  {
+    ScopedEnv env("ODIN_SHARDS", "99");  // clamped to the PE count
+    EXPECT_EQ(cfg.resolved_shards(), cfg.pim.pes);
+  }
+  {
+    // An explicit config shard count wins over the environment entirely.
+    ScopedEnv env("ODIN_SHARDS", "9");
+    cfg.shards = 4;
+    EXPECT_EQ(cfg.resolved_shards(), 4);
+    cfg.shards = 5000;
+    EXPECT_EQ(cfg.resolved_shards(), cfg.pim.pes);
   }
 }
 

@@ -37,6 +37,14 @@
 //       remapped onto spares, crossbars retired (tenant migrated),
 //       leveled row writes, wear-deferred reprograms and the spare rows
 //       still unused.
+//       --shards N partitions the 36-PE mesh into N shards and serves
+//       them concurrently: tenants are placed NoC-/wear-aware
+//       (core/fleet.hpp), each shard runs its own serving loop, and the
+//       report adds a per-shard table plus fleet aggregates (makespan,
+//       images/s, per-request EDP, pooled p99 slack). 0 defers to the
+//       ODIN_SHARDS environment default (1). With --wear, each shard
+//       gets its own injector seeded SEED+k so placement can steer
+//       tenants off worn shards.
 //
 // All randomness is seeded; outputs are reproducible.
 #include <algorithm>
@@ -53,6 +61,7 @@
 #include "common/table.hpp"
 #include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
+#include "core/fleet.hpp"
 #include "core/serving.hpp"
 #include "ou/search.hpp"
 #include "policy/serialization.hpp"
@@ -335,6 +344,43 @@ void print_wear_summary(const core::ServingResult& result,
       faults.params().leveling.resolved_spare_rows());
 }
 
+void print_fleet_summary(const core::FleetResult& fleet,
+                         const std::vector<std::string>& names) {
+  common::Table table({"shard", "tenants", "PEs", "xbars", "runs",
+                       "busy (s)", "EDP (Js)"});
+  for (std::size_t k = 0; k < fleet.shards.size(); ++k) {
+    std::string members;
+    for (int t : fleet.shard_tenants[k]) {
+      if (!members.empty()) members += ",";
+      members += names[static_cast<std::size_t>(t)];
+    }
+    table.add_row(
+        {common::Table::integer(static_cast<long long>(k)),
+         members.empty() ? "-" : members,
+         common::Table::integer(
+             static_cast<long long>(fleet.placement.shard_pes[k].size())),
+         common::Table::integer(fleet.placement.shard_load[k]),
+         common::Table::integer(fleet.shards[k].total_runs()),
+         common::Table::num(fleet.shard_busy_s(k), 4),
+         common::Table::num(fleet.shards[k].total_edp(), 4)});
+  }
+  common::print_table("fleet (NoC-/wear-aware sharded serving)", table);
+  int pipelined = 0, displaced = 0;
+  for (const core::ServingResult& r : fleet.shards)
+    pipelined += r.total_pipelined_runs();
+  for (const core::TenantPlacement& p : fleet.placement.tenants)
+    displaced += p.wear_displaced ? 1 : 0;
+  std::printf(
+      "fleet: %zu shards, %d runs, makespan %.4f s, %.2f images/s, "
+      "per-request EDP %.6g Js, pooled p99 slack %.4f s\n"
+      "placement: load imbalance %.2f, objective %.4f, %d pipelined runs, "
+      "%d tenant(s) steered off worn shards\n",
+      fleet.shards.size(), fleet.total_runs(), fleet.makespan_s(),
+      fleet.aggregate_images_per_s(), fleet.edp_per_request(),
+      fleet.slack_percentile(99.0), fleet.placement.load_imbalance,
+      fleet.placement.objective, pipelined, displaced);
+}
+
 int cmd_serve(int argc, char** argv) {
   const std::string list = flag_value(argc, argv, "--workloads")
                                .value_or("resnet18,vgg11,googlenet");
@@ -403,6 +449,35 @@ int cmd_serve(int argc, char** argv) {
   }
   std::vector<const ou::MappedModel*> tenants;
   for (const ou::MappedModel& m : owned) tenants.push_back(&m);
+
+  // --shards N: partition the mesh and serve shards concurrently. With
+  // --wear each shard owns a private injector seeded SEED+k so the
+  // placement's wear term has distinct device histories to steer by.
+  core::FleetConfig fleet;
+  fleet.serving = config;
+  fleet.shards = std::atoi(
+      flag_value(argc, argv, "--shards").value_or("0").c_str());
+  const int shards = fleet.resolved_shards();
+  if (shards > 1) {
+    std::vector<reram::FaultInjector> owned_faults;
+    std::vector<reram::FaultInjector*> shard_faults;
+    if (const auto wear_seed = flag_value(argc, argv, "--wear")) {
+      reram::FaultScheduleParams wear;
+      wear.leveling.enabled = true;
+      const auto seed = static_cast<std::uint64_t>(
+          std::strtoull(wear_seed->c_str(), nullptr, 10));
+      owned_faults.reserve(static_cast<std::size_t>(shards));
+      for (int k = 0; k < shards; ++k)
+        owned_faults.emplace_back(wear, seed + static_cast<std::uint64_t>(k));
+      for (reram::FaultInjector& f : owned_faults)
+        shard_faults.push_back(&f);
+    }
+    const auto fleet_result = core::serve_fleet(
+        tenants, nonideal, cost,
+        policy::OuPolicy(ou::OuLevelGrid(crossbar)), fleet, shard_faults);
+    print_fleet_summary(fleet_result, names);
+    return 0;
+  }
 
   // --wear SEED: share a wear-leveled injector across the tenants so the
   // serve report shows the rotate/remap/retire/migrate ladder in action.
@@ -511,7 +586,7 @@ int usage() {
                " [--eval-cost S]\n"
                "        [--breaker-window N] [--breaker-threshold N]"
                " [--watchdog-ms N]\n"
-               "        [--batch-max N] [--wear SEED]\n"
+               "        [--batch-max N] [--wear SEED] [--shards N]\n"
                "     (serve counters: shed runs, deadline misses, deferred"
                " reprograms,\n"
                "      truncated searches, breaker open/reopen/probe/close,"
@@ -525,7 +600,10 @@ int usage() {
                "      remapped, crossbars retired, leveled writes and spare"
                " rows left —\n"
                "      pool size from ODIN_SPARE_ROWS, retirement threshold"
-               " from ODIN_WEAR_BUDGET)\n");
+               " from ODIN_WEAR_BUDGET;\n"
+               "      --shards N serves a sharded fleet with NoC-/wear-aware"
+               " placement and\n"
+               "      per-shard loops, 0 = the ODIN_SHARDS default)\n");
   return 2;
 }
 

@@ -22,6 +22,9 @@
 # The endurance arm (endurance_projection: leveled-vs-unleveled lifetime
 # projection per scheme, spare-pool sweep, and the equal-EDP check that
 # leveling is free at serving time) writes BENCH_endurance.json.
+# The fleet arm (fleet_throughput: shard-count sweep over the 36-PE mesh
+# with NoC-aware placement vs the round-robin baseline) writes
+# BENCH_fleet.json.
 # Every emitted JSON records the build type and git revision it was
 # measured from.
 #
@@ -43,7 +46,8 @@ cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release >"$TMP/cmake.log"
 cmake --build "$BUILD" -j --target \
     micro_mvm micro_search_overhead fig8_edp_all_dnns \
     batching_throughput fault_campaign robustness_overhead \
-    serving_resilience endurance_projection >"$TMP/build.log"
+    serving_resilience endurance_projection fleet_throughput \
+    >"$TMP/build.log"
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
 GIT_SHA="$(git -C "$REPO" rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -84,6 +88,11 @@ echo "[bench] serving_resilience -> BENCH_serving_resilience.json" >&2
 echo "[bench] endurance_projection -> BENCH_endurance.json" >&2
 "$BUILD/bench/endurance_projection" --json "$REPO/BENCH_endurance.json" \
   >"$TMP/endurance_projection.log"
+
+echo "[bench] fleet_throughput -> BENCH_fleet.json" >&2
+"$BUILD/bench/fleet_throughput" --json "$REPO/BENCH_fleet.json" \
+  --build-type "$BUILD_TYPE" --git-sha "$GIT_SHA" \
+  >"$TMP/fleet_throughput.log"
 
 # Single-thread so the kernel sweep isolates the batching/SIMD win from
 # thread-pool scaling (which BENCH_parallel.json already covers).
