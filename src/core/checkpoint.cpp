@@ -107,6 +107,9 @@ void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
   // v5: fleet service surface.
   out.f64(t.service_s);
   out.i32(t.pipelined_runs);
+  // v6: bounded-sojourn surface.
+  encode_sojourn_sketch(t.sojourn_sketch, out);
+  out.i64(t.sojourn_dropped);
 }
 
 std::optional<TenantStats> decode_tenant(common::ByteReader& in,
@@ -160,6 +163,10 @@ std::optional<TenantStats> decode_tenant(common::ByteReader& in,
   if (version >= 5) {
     t.service_s = in.f64();
     t.pipelined_runs = in.i32();
+  }
+  if (version >= 6) {
+    if (!decode_sojourn_sketch(in, t.sojourn_sketch)) return std::nullopt;
+    t.sojourn_dropped = in.i64();
   }
   if (!in.ok()) return std::nullopt;
   return t;
@@ -379,6 +386,10 @@ void encode_checkpoint(const ServingCheckpoint& ckpt,
     out.f64(m.noc_extra.latency_s);
     out.f64(m.pipeline_overlap);
   }
+  // v6: scenario surface.
+  out.u64(ckpt.sojourn_cap);
+  out.boolean(ckpt.has_scenario);
+  encode_campaign_state(ckpt.scenario, out);
 }
 
 std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
@@ -487,6 +498,13 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
       m.pipeline_overlap = in.f64();
       ckpt.service_models.push_back(m);
     }
+  }
+  if (version >= 6) {
+    ckpt.sojourn_cap = in.u64();
+    ckpt.has_scenario = in.boolean();
+    auto scenario = decode_campaign_state(in);
+    if (!scenario.has_value()) return std::nullopt;
+    ckpt.scenario = std::move(*scenario);
   }
   if (!in.ok()) return std::nullopt;
   return ckpt;

@@ -32,6 +32,7 @@
 
 #include "common/binary_io.hpp"
 #include "core/odin.hpp"
+#include "core/scenario.hpp"
 #include "core/serving.hpp"
 #include "reram/fault_injection.hpp"
 #include "reram/wear_leveling.hpp"
@@ -46,10 +47,14 @@ namespace odin::core {
 /// controller wear counters and behavioral per-crossbar wear maps);
 /// version 5 added the fleet surface (shard geometry fingerprint,
 /// placement-derived per-tenant service models, per-tenant service-time and
-/// pipelined-run counters). Older frames are still accepted, with every
-/// added field defaulting to the feature-disabled state (v4 frames decode
-/// as shard 0 of a single-shard fleet with no service models).
-inline constexpr std::uint32_t kCheckpointVersion = 5;
+/// pipelined-run counters); version 6 added the scenario surface (the
+/// sojourn retention cap fingerprint, per-tenant streaming sojourn sketches
+/// with their dropped-sample counters, and the campaign-engine state —
+/// arrival cursor, shard clocks/wear, autoscaler accumulators, trajectory
+/// sketches). Older frames are still accepted, with every added field
+/// defaulting to the feature-disabled state (v5 frames decode with an
+/// uncapped sojourn vector, empty sketches and no campaign state).
+inline constexpr std::uint32_t kCheckpointVersion = 6;
 
 /// The complete serving state at a run boundary. `segment`/`next_run`
 /// locate the resume point: the next inference to execute is
@@ -113,6 +118,14 @@ struct ServingCheckpoint {
   std::int32_t fleet_shard_index = 0;
   bool has_service_models = false;
   std::vector<TenantServiceModel> service_models;
+  /// Scenario surface (v6+; defaulted for older frames). `sojourn_cap` is
+  /// a resume fingerprint: a different retention cap would desynchronize
+  /// the sojourn vectors of a resumed walk. The campaign state is only
+  /// meaningful when has_scenario (the scenario engine's checkpoints); the
+  /// plain serving loop writes it defaulted.
+  std::uint64_t sojourn_cap = 0;
+  bool has_scenario = false;
+  CampaignState scenario;
 };
 
 /// Payload codec (no framing). decode returns nullopt on truncation or a

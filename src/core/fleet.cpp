@@ -25,38 +25,6 @@ namespace {
 constexpr double kLoadWeight = 1.0;
 constexpr double kWearWeight = 4.0;
 
-/// PE fill order across the mesh. The boustrophedon (snake) walk keeps
-/// consecutive ids mesh-adjacent, so a shard's contiguous block is compact
-/// and its internal hop distances small; the oblivious baseline uses plain
-/// row-major ids.
-std::vector<int> mesh_fill_order(const arch::PimConfig& pim, bool snake) {
-  std::vector<int> order;
-  order.reserve(static_cast<std::size_t>(pim.pes));
-  for (int y = 0; y < pim.mesh_y; ++y)
-    for (int x = 0; x < pim.mesh_x; ++x) {
-      const int col = snake && (y % 2 == 1) ? pim.mesh_x - 1 - x : x;
-      order.push_back(y * pim.mesh_x + col);
-    }
-  return order;
-}
-
-/// Near-equal contiguous chunks of the fill order, one per shard (the
-/// first `pes % shards` shards get the extra PE).
-std::vector<std::vector<int>> partition_pes(const std::vector<int>& order,
-                                            int shards) {
-  std::vector<std::vector<int>> out(static_cast<std::size_t>(shards));
-  const std::size_t per = order.size() / static_cast<std::size_t>(shards);
-  const std::size_t extra = order.size() % static_cast<std::size_t>(shards);
-  std::size_t pos = 0;
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    const std::size_t take = per + (k < extra ? 1 : 0);
-    out[k].assign(order.begin() + static_cast<std::ptrdiff_t>(pos),
-                  order.begin() + static_cast<std::ptrdiff_t>(pos + take));
-    pos += take;
-  }
-  return out;
-}
-
 /// A tenant's prospective cost on one shard's PE block.
 struct ShardCandidate {
   common::EnergyLatency noc;
@@ -163,6 +131,76 @@ ServingConfig shard_serving_config(const FleetConfig& config,
 
 }  // namespace
 
+std::vector<int> fleet_fill_order(const arch::PimConfig& pim, bool snake) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(pim.pes));
+  for (int y = 0; y < pim.mesh_y; ++y)
+    for (int x = 0; x < pim.mesh_x; ++x) {
+      const int col = snake && (y % 2 == 1) ? pim.mesh_x - 1 - x : x;
+      order.push_back(y * pim.mesh_x + col);
+    }
+  return order;
+}
+
+std::vector<std::vector<int>> fleet_partition_pes(
+    const std::vector<int>& order, int shards) {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(shards));
+  const std::size_t per = order.size() / static_cast<std::size_t>(shards);
+  const std::size_t extra = order.size() % static_cast<std::size_t>(shards);
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const std::size_t take = per + (k < extra ? 1 : 0);
+    out[k].assign(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                  order.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> rescale_shard_blocks(
+    const arch::PimConfig& pim, bool snake,
+    const std::vector<double>& shard_demand) {
+  const std::vector<int> order = fleet_fill_order(pim, snake);
+  const std::size_t K = shard_demand.size();
+  assert(K >= 1 && order.size() >= K);
+  // Largest-remainder apportionment of the PEs over the demand vector with
+  // a one-PE floor per shard. All-zero demand degrades to the equal split.
+  double total = 0.0;
+  for (double d : shard_demand) total += std::max(d, 0.0);
+  if (total <= 0.0) return fleet_partition_pes(order, static_cast<int>(K));
+  const std::size_t spare = order.size() - K;  ///< PEs beyond the floor
+  std::vector<std::size_t> pes(K, 1);
+  std::vector<double> frac(K, 0.0);
+  std::size_t given = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    const double ideal =
+        static_cast<double>(spare) * std::max(shard_demand[k], 0.0) / total;
+    const auto whole = static_cast<std::size_t>(ideal);
+    pes[k] += whole;
+    frac[k] = ideal - static_cast<double>(whole);
+    given += whole;
+  }
+  // Hand out the rounding remainder by descending fractional part; ties
+  // break on the lower shard index so the cut is deterministic.
+  std::vector<std::size_t> by_frac(K);
+  for (std::size_t k = 0; k < K; ++k) by_frac[k] = k;
+  std::sort(by_frac.begin(), by_frac.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (frac[a] != frac[b]) return frac[a] > frac[b];
+              return a < b;
+            });
+  for (std::size_t i = 0; given < spare && i < K; ++i, ++given)
+    ++pes[by_frac[i]];
+  std::vector<std::vector<int>> out(K);
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    out[k].assign(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                  order.begin() + static_cast<std::ptrdiff_t>(pos + pes[k]));
+    pos += pes[k];
+  }
+  return out;
+}
+
 int FleetConfig::resolved_shards() const {
   long long n = shards;
   if (n <= 0) {
@@ -186,7 +224,8 @@ FleetPlacement place_fleet(
   FleetPlacement out;
   out.shards = shards;
   out.shard_pes =
-      partition_pes(mesh_fill_order(config.pim, config.noc_aware), shards);
+      fleet_partition_pes(fleet_fill_order(config.pim, config.noc_aware),
+                          shards);
 
   const arch::SystemModel system(config.pim);
   // Per-layer reference latencies (the grid's minimum OU — the same

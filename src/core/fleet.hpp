@@ -80,6 +80,29 @@ struct FleetPlacement {
   double objective = 0.0;       ///< final global objective value
 };
 
+/// PE fill order across the mesh. The boustrophedon (snake) walk keeps
+/// consecutive ids mesh-adjacent, so a shard's contiguous block is compact
+/// and its internal hop distances small; row-major (snake = false) is the
+/// oblivious baseline. Public because the scenario engine's storm
+/// footprints and the campaign autoscaler share this spatial layout.
+std::vector<int> fleet_fill_order(const arch::PimConfig& pim,
+                                  bool snake = true);
+
+/// Near-equal contiguous chunks of the fill order, one per shard (the
+/// first `pes % shards` shards get the extra PE).
+std::vector<std::vector<int>> fleet_partition_pes(const std::vector<int>& order,
+                                                  int shards);
+
+/// Reactive autoscaling step (DESIGN.md §17): re-cut the fill order into
+/// contiguous shard blocks apportioned to `shard_demand` (largest-remainder
+/// rounding, one-PE floor per shard, deterministic tie-breaks). Shards keep
+/// their index — a demand shift slides the block boundaries along the
+/// snake, so neighbouring shards trade mesh-adjacent PEs instead of
+/// scattering.
+std::vector<std::vector<int>> rescale_shard_blocks(
+    const arch::PimConfig& pim, bool snake,
+    const std::vector<double>& shard_demand);
+
 /// Place `tenants` onto the fleet's shards. `shard_faults` (optional, one
 /// per shard, entries may be null) feeds the wear term.
 FleetPlacement place_fleet(

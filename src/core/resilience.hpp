@@ -102,6 +102,14 @@ struct ResilienceConfig {
   long long hang_run_index = -1;
   /// Deadline-aware batch formation over the admission queue.
   BatchingConfig batching{};
+  /// Upper bound on raw sojourn samples retained per tenant. 0 (the
+  /// default) keeps every sample — the pre-scenario behaviour, exact
+  /// percentiles, and the bitwise pins that compare sojourn vectors. A
+  /// positive cap bounds TenantStats memory during million-request
+  /// campaigns: past the cap the vector stops growing and percentile
+  /// reporting switches to the streaming P^2 sketch (core/sketch.hpp),
+  /// which absorbs every sample either way.
+  std::size_t sojourn_sample_cap = 0;
 
   double slo_s(std::size_t tenant) const noexcept {
     const double t = tenant < tenant_slo_s.size() ? tenant_slo_s[tenant] : 0.0;

@@ -1,0 +1,1162 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <numbers>
+#include <sstream>
+#include <utility>
+
+#include "common/env.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
+
+namespace odin::core {
+
+namespace {
+
+constexpr std::uint64_t kDefaultScenarioSeed = 1;
+
+/// Analytic service model of one shard block: inter-layer pipelining across
+/// the block's PEs speeds back-to-back service up linearly in the extra
+/// PEs (the campaign-scale stand-in for arch::interlayer_pipeline).
+constexpr double kSpeedPerExtraPe = 0.25;
+double shard_speed(int pes) noexcept {
+  return 1.0 + kSpeedPerExtraPe * static_cast<double>(std::max(1, pes) - 1);
+}
+
+/// Drift/fault pricing: a storm's drift multiplier inflates service (more
+/// verify/search work) and energy; the injector's unusable-cell fraction
+/// adds retry overhead on both.
+constexpr double kDriftServiceFactor = 0.5;
+constexpr double kDriftEnergyFactor = 0.25;
+constexpr double kFaultRetryFactor = 2.0;
+/// Degraded out-of-band (shed) service relative to the full path.
+constexpr double kShedServiceFactor = 0.5;
+constexpr double kShedEnergyFactor = 0.6;
+/// Base inference energy per second of base service time.
+constexpr double kEnergyPerServiceSecond = 0.2;
+/// Per-PE demand bar the tenant-migration loop flattens toward after a
+/// rescale (which equalizes only to 1-PE granularity).
+constexpr double kMigrateResidualThreshold = 1.05;
+
+double tier_slo_mult(const ScenarioConfig& c, PriorityTier t) noexcept {
+  switch (t) {
+    case PriorityTier::kGold: return c.gold_slo_mult;
+    case PriorityTier::kSilver: return c.silver_slo_mult;
+    default: return c.bronze_slo_mult;
+  }
+}
+
+/// Contiguous shard blocks with the given per-shard PE counts, cut along
+/// the snake fill order — the shape rescale_shard_blocks produces, so the
+/// counts alone reconstruct the blocks on resume.
+std::vector<std::vector<int>> blocks_from_counts(
+    const arch::PimConfig& pim, const std::vector<std::int32_t>& counts) {
+  const std::vector<int> order = fleet_fill_order(pim, true);
+  std::vector<std::vector<int>> out(counts.size());
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    const auto take = static_cast<std::size_t>(std::max<std::int32_t>(
+        0, counts[k]));
+    out[k].assign(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                  order.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* tier_name(PriorityTier tier) {
+  switch (tier) {
+    case PriorityTier::kGold: return "gold";
+    case PriorityTier::kSilver: return "silver";
+    default: return "bronze";
+  }
+}
+
+std::uint64_t ScenarioConfig::resolved_seed() const {
+  if (seed != 0) return seed;
+  long long v = 0;
+  if (common::env_long("ODIN_SCENARIO_SEED", v) && v >= 1)
+    return static_cast<std::uint64_t>(v);
+  return kDefaultScenarioSeed;
+}
+
+bool AutoscaleConfig::resolved_enabled() const {
+  if (enabled >= 0) return enabled > 0;
+  const char* v = common::env_string("ODIN_AUTOSCALE");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  if (s == "on" || s == "1") return true;
+  if (s == "off" || s == "0") return false;
+  std::fprintf(stderr,
+               "odin: ignoring ODIN_AUTOSCALE='%s' (not on|off|1|0); "
+               "using default (on)\n",
+               v);
+  return true;
+}
+
+double ScenarioTrace::diurnal(double t_s) const {
+  const double amp = std::clamp(config.diurnal_amplitude, 0.0, 0.95);
+  const double phase = 2.0 * std::numbers::pi *
+                       static_cast<double>(config.diurnal_cycles) * t_s /
+                       config.horizon_s;
+  return 1.0 + amp * std::sin(phase - std::numbers::pi / 2.0);
+}
+
+bool ScenarioTrace::crowd_active(std::size_t crowd, double t_s) const {
+  const FlashCrowd& f = flash[crowd];
+  const double start = f.start_frac * config.horizon_s;
+  return t_s >= start && t_s < start + f.duration_frac * config.horizon_s;
+}
+
+bool ScenarioTrace::in_flash_phase(double t_s) const {
+  for (std::size_t c = 0; c < flash.size(); ++c)
+    if (crowd_active(c, t_s)) return true;
+  return false;
+}
+
+double ScenarioTrace::tenant_weight(std::size_t i, double t_s) const {
+  const ScenarioTenant& t = tenants[i];
+  if (t_s < t.arrive_s || t_s >= t.depart_s) return 0.0;
+  double w = t.weight;
+  for (std::size_t c = 0; c < flash.size(); ++c)
+    if (((t.flash_mask >> c) & 1u) != 0 && crowd_active(c, t_s))
+      w *= flash[c].multiplier;
+  return w;
+}
+
+std::vector<int> ScenarioTrace::storm_pes(std::size_t storm) const {
+  const FaultStorm& s = storms[storm];
+  const int cx = s.center_pe % pim.mesh_x;
+  const int cy = s.center_pe / pim.mesh_x;
+  std::vector<int> out;
+  for (int y = 0; y < pim.mesh_y; ++y)
+    for (int x = 0; x < pim.mesh_x; ++x)
+      if (std::abs(x - cx) <= s.radius && std::abs(y - cy) <= s.radius)
+        out.push_back(y * pim.mesh_x + x);
+  return out;
+}
+
+ScenarioTrace build_trace(const ScenarioConfig& config,
+                          const arch::PimConfig& pim) {
+  ScenarioTrace trace;
+  trace.config = config;
+  trace.config.seed = config.resolved_seed();
+  trace.pim = pim;
+  const double h = config.horizon_s;
+  const auto T = static_cast<std::size_t>(std::max(1, config.tenants));
+
+  common::Rng root(trace.config.seed);
+  common::Rng tenant_rng = root.fork(1);
+  common::Rng flash_rng = root.fork(2);
+  common::Rng storm_rng = root.fork(3);
+
+  // Flash-crowd windows (at most 32 — ScenarioTenant::flash_mask width).
+  if (!config.flash.empty()) {
+    trace.flash = config.flash;
+  } else {
+    for (int c = 0; c < std::min(config.flash_crowds, 32); ++c) {
+      FlashCrowd f;
+      f.start_frac = flash_rng.uniform(0.35, 0.75);
+      f.duration_frac = config.flash_duration_frac;
+      f.multiplier = config.flash_multiplier;
+      f.tenant_frac = config.flash_tenant_frac;
+      trace.flash.push_back(f);
+    }
+  }
+  if (trace.flash.size() > 32) trace.flash.resize(32);
+
+  // Fault storms: drawn (or copied), centers resolved, ascending starts.
+  const int pes = std::max(1, pim.pes);
+  if (!config.storms.empty()) {
+    trace.storms = config.storms;
+    for (FaultStorm& s : trace.storms)
+      if (s.center_pe < 0 || s.center_pe >= pes)
+        s.center_pe = static_cast<int>(
+            storm_rng.uniform_index(static_cast<std::uint64_t>(pes)));
+  } else {
+    for (int i = 0; i < config.fault_storms; ++i) {
+      FaultStorm s;
+      s.start_frac = storm_rng.uniform(0.25, 0.85);
+      s.duration_frac = config.storm_duration_frac;
+      s.drift_multiplier = config.storm_drift_multiplier;
+      s.center_pe = static_cast<int>(
+          storm_rng.uniform_index(static_cast<std::uint64_t>(pes)));
+      s.radius = config.storm_radius;
+      s.campaigns = config.storm_campaigns;
+      trace.storms.push_back(s);
+    }
+  }
+  std::sort(trace.storms.begin(), trace.storms.end(),
+            [](const FaultStorm& a, const FaultStorm& b) {
+              if (a.start_frac != b.start_frac)
+                return a.start_frac < b.start_frac;
+              return a.center_pe < b.center_pe;
+            });
+
+  // Tenants: tiers by index share, weights/service scales/churn windows
+  // from the seed. Flash crowds target *contiguous index ranges* — initial
+  // placement below is contiguous too, so a crowd's load lands on one or
+  // two shards (the correlated overload the autoscaler exists for).
+  trace.tenants.resize(T);
+  const auto gold_n = static_cast<std::size_t>(
+      std::clamp(config.gold_share, 0.0, 1.0) * static_cast<double>(T));
+  const auto silver_n = static_cast<std::size_t>(
+      std::clamp(config.gold_share + config.silver_share, 0.0, 1.0) *
+      static_cast<double>(T));
+  std::vector<double> scale(T, 1.0);
+  for (std::size_t i = 0; i < T; ++i) {
+    ScenarioTenant& t = trace.tenants[i];
+    char name[16];
+    std::snprintf(name, sizeof(name), "t%05zu", i);
+    t.name = name;
+    t.tier = i < gold_n ? PriorityTier::kGold
+             : i < silver_n ? PriorityTier::kSilver
+                            : PriorityTier::kBronze;
+    t.weight = tenant_rng.uniform(0.5, 2.0);
+    scale[i] = tenant_rng.uniform(0.5, 3.0);
+    // Churn: tenant 0 is pinned always-active so the arrival process never
+    // goes empty; churned tenants get a late arrival and/or early
+    // departure. Non-churned tenants never depart (the horizon end is not
+    // a departure — arrivals may run slightly past it).
+    const bool churned = i > 0 && tenant_rng.bernoulli(config.churn_frac);
+    const double a = tenant_rng.uniform();
+    const double d = tenant_rng.uniform();
+    if (churned) {
+      t.arrive_s = 0.5 * h * a;
+      t.depart_s = h * (0.55 + 0.45 * d);
+    } else {
+      t.arrive_s = 0.0;
+      t.depart_s = std::numeric_limits<double>::infinity();
+    }
+  }
+  for (std::size_t c = 0; c < trace.flash.size(); ++c) {
+    const auto len = static_cast<std::size_t>(std::clamp(
+        trace.flash[c].tenant_frac, 0.0, 1.0) * static_cast<double>(T));
+    const std::size_t start = flash_rng.uniform_index(T);
+    for (std::size_t j = 0; j < len; ++j)
+      trace.tenants[(start + j) % T].flash_mask |= 1u << c;
+  }
+
+  // Service-time calibration: pick the base unit so mean offered load hits
+  // target_utilization of the initial fleet's service capacity (shard k
+  // retires service-seconds at rate shard_speed(pes_k)).
+  const int shards_for_cal = std::max(1, std::min(pes, 6));
+  const auto blocks = fleet_partition_pes(fleet_fill_order(pim, true),
+                                          shards_for_cal);
+  double capacity = 0.0;
+  for (const auto& b : blocks) capacity += shard_speed(static_cast<int>(b.size()));
+  double wsum = 0.0, wscale = 0.0;
+  for (std::size_t i = 0; i < T; ++i) {
+    wsum += trace.tenants[i].weight;
+    wscale += trace.tenants[i].weight * scale[i];
+  }
+  const double mean_scale = wscale / wsum;
+  const double unit = std::clamp(config.target_utilization, 0.01, 0.99) *
+                      capacity * h /
+                      (static_cast<double>(config.requests) * mean_scale);
+  const double mean_service = unit * mean_scale;
+  for (std::size_t i = 0; i < T; ++i) {
+    ScenarioTenant& t = trace.tenants[i];
+    t.service_s = unit * scale[i];
+    t.energy_j = kEnergyPerServiceSecond * t.service_s;
+    t.slo_s = tier_slo_mult(config, t.tier) * mean_service;
+  }
+
+  trace.base_rate = static_cast<double>(config.requests) / (h * wsum);
+  return trace;
+}
+
+ArrivalGenerator::ArrivalGenerator(const ScenarioTrace& trace)
+    : trace_(&trace), rng_(common::Rng(trace.config.seed).fork(7)) {
+  // Weight-profile change points: churn edges and flash-crowd edges. The
+  // per-tenant weight is piecewise constant between them (diurnal shaping
+  // enters through the rate, not the pick weights).
+  for (const ScenarioTenant& t : trace.tenants) {
+    if (t.arrive_s > 0.0) boundaries_.push_back(t.arrive_s);
+    if (std::isfinite(t.depart_s)) boundaries_.push_back(t.depart_s);
+  }
+  const double h = trace.config.horizon_s;
+  for (const FlashCrowd& f : trace.flash) {
+    boundaries_.push_back(f.start_frac * h);
+    boundaries_.push_back((f.start_frac + f.duration_frac) * h);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  rebuild_cdf();
+}
+
+void ArrivalGenerator::rebuild_cdf() {
+  cdf_.resize(trace_->tenants.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < trace_->tenants.size(); ++i) {
+    sum += trace_->tenant_weight(i, t_);
+    cdf_[i] = sum;
+  }
+}
+
+ArrivalGenerator::Arrival ArrivalGenerator::next() {
+  for (;;) {
+    const double total = cdf_.empty() ? 0.0 : cdf_.back();
+    if (total <= 0.0) {
+      // Everyone inactive: jump to the next change point (tenant 0 is
+      // always-active, so this only happens before a synthetic trace's
+      // first arrival edge).
+      assert(next_boundary_ < boundaries_.size());
+      t_ = boundaries_[next_boundary_++];
+      rebuild_cdf();
+      continue;
+    }
+    const double rate = trace_->base_rate * trace_->diurnal(t_) * total;
+    const double u = rng_.uniform();
+    const double dt = -std::log1p(-u) / rate;
+    if (next_boundary_ < boundaries_.size() &&
+        t_ + dt >= boundaries_[next_boundary_]) {
+      // The exponential gap is memoryless: restart it at the boundary
+      // under the new weight profile instead of carrying residuals.
+      t_ = boundaries_[next_boundary_++];
+      rebuild_cdf();
+      continue;
+    }
+    t_ += dt;
+    const double pick = rng_.uniform() * total;
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), pick);
+    auto tenant = static_cast<std::size_t>(
+        std::distance(cdf_.begin(), it));
+    if (tenant >= cdf_.size()) tenant = cdf_.size() - 1;
+    ++emitted_;
+    return {t_, static_cast<int>(tenant)};
+  }
+}
+
+void ArrivalGenerator::skip(std::uint64_t events) {
+  for (std::uint64_t i = 0; i < events; ++i) next();
+}
+
+// ---------------------------------------------------------------------------
+// Campaign state codec (checkpoint payload v6).
+
+namespace {
+
+template <typename T, typename Fn>
+void encode_vec(const std::vector<T>& v, common::ByteWriter& out, Fn enc) {
+  out.u64(v.size());
+  for (const T& x : v) enc(x);
+}
+
+bool vec_count(common::ByteReader& in, std::uint64_t& n) {
+  n = in.u64();
+  return in.ok() && n <= (1u << 24);
+}
+
+}  // namespace
+
+void encode_campaign_state(const CampaignState& s, common::ByteWriter& out) {
+  out.u64(s.seed);
+  out.u64(s.requests);
+  out.i32(s.tenants);
+  out.i32(s.shards);
+  out.i32(s.epochs);
+  out.boolean(s.autoscale);
+  out.u64(s.next_event);
+  out.f64(s.clock_s);
+  out.i32(s.epoch);
+  out.i32(s.storms_fired);
+  out.i32(s.rescales);
+  out.i64(s.migrations);
+  out.i64(s.storm_campaigns_fired);
+  out.i64(s.misses);
+  out.i64(s.sheds);
+  out.i64(s.flash_requests);
+  out.f64(s.energy_j);
+  out.f64(s.edp_sum);
+  out.f64(s.migration_s);
+  out.f64(s.migration_energy_j);
+  encode_vec(s.shard_busy_until_s, out, [&](double v) { out.f64(v); });
+  encode_vec(s.shard_pes, out, [&](std::int32_t v) { out.i32(v); });
+  encode_vec(s.tenant_shard, out, [&](std::int32_t v) { out.i32(v); });
+  encode_vec(s.shard_demand, out, [&](double v) { out.f64(v); });
+  encode_vec(s.tenant_demand, out, [&](double v) { out.f64(v); });
+  encode_vec(s.shard_wear, out, [&](const reram::FaultInjector::WearState& w) {
+    out.i32(w.campaigns);
+    out.i32(w.stuck_cells);
+    out.i32(w.failed_wordlines);
+    out.i32(w.failed_bitlines);
+    out.i32(w.crossbars_retired);
+  });
+  encode_vec(s.storm_shard_mask, out, [&](std::uint64_t v) { out.u64(v); });
+  encode_sketch(s.slack_p1, out);
+  encode_sketch(s.flash_slack_p1, out);
+  for (const QuantileSketch& q : s.tier_slack_p1) encode_sketch(q, out);
+  encode_sojourn_sketch(s.sojourn, out);
+  encode_vec(s.epoch_energy_j, out, [&](double v) { out.f64(v); });
+  encode_vec(s.epoch_edp_sum, out, [&](double v) { out.f64(v); });
+  encode_vec(s.epoch_requests, out, [&](std::int64_t v) { out.i64(v); });
+  encode_vec(s.epoch_misses, out, [&](std::int64_t v) { out.i64(v); });
+  encode_vec(s.epoch_sheds, out, [&](std::int64_t v) { out.i64(v); });
+  encode_vec(s.epoch_slack_p1, out,
+             [&](const QuantileSketch& q) { encode_sketch(q, out); });
+}
+
+std::optional<CampaignState> decode_campaign_state(common::ByteReader& in) {
+  CampaignState s;
+  s.seed = in.u64();
+  s.requests = in.u64();
+  s.tenants = in.i32();
+  s.shards = in.i32();
+  s.epochs = in.i32();
+  s.autoscale = in.boolean();
+  s.next_event = in.u64();
+  s.clock_s = in.f64();
+  s.epoch = in.i32();
+  s.storms_fired = in.i32();
+  s.rescales = in.i32();
+  s.migrations = in.i64();
+  s.storm_campaigns_fired = in.i64();
+  s.misses = in.i64();
+  s.sheds = in.i64();
+  s.flash_requests = in.i64();
+  s.energy_j = in.f64();
+  s.edp_sum = in.f64();
+  s.migration_s = in.f64();
+  s.migration_energy_j = in.f64();
+  std::uint64_t n = 0;
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.shard_busy_until_s.push_back(in.f64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.shard_pes.push_back(in.i32());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.tenant_shard.push_back(in.i32());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.shard_demand.push_back(in.f64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.tenant_demand.push_back(in.f64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    reram::FaultInjector::WearState w;
+    w.campaigns = in.i32();
+    w.stuck_cells = in.i32();
+    w.failed_wordlines = in.i32();
+    w.failed_bitlines = in.i32();
+    w.crossbars_retired = in.i32();
+    s.shard_wear.push_back(w);
+  }
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.storm_shard_mask.push_back(in.u64());
+  if (!decode_sketch(in, s.slack_p1)) return std::nullopt;
+  if (!decode_sketch(in, s.flash_slack_p1)) return std::nullopt;
+  for (QuantileSketch& q : s.tier_slack_p1)
+    if (!decode_sketch(in, q)) return std::nullopt;
+  if (!decode_sojourn_sketch(in, s.sojourn)) return std::nullopt;
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.epoch_energy_j.push_back(in.f64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.epoch_edp_sum.push_back(in.f64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.epoch_requests.push_back(in.i64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.epoch_misses.push_back(in.i64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) s.epoch_sheds.push_back(in.i64());
+  if (!vec_count(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    QuantileSketch q;
+    if (!decode_sketch(in, q)) return std::nullopt;
+    s.epoch_slack_p1.push_back(q);
+  }
+  if (!in.ok()) return std::nullopt;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign engine.
+
+namespace {
+
+/// Demand-balanced contiguous initial placement: tenant index ranges map
+/// to shards in order, boundaries chosen so each shard's expected demand
+/// share matches its PE share. Contiguity matters: flash crowds target
+/// contiguous index ranges, so their overload lands shard-local.
+std::vector<std::int32_t> initial_placement(
+    const ScenarioTrace& trace, const std::vector<std::int32_t>& shard_pes) {
+  const std::size_t T = trace.tenants.size();
+  const std::size_t K = shard_pes.size();
+  double total = 0.0;
+  std::vector<double> demand(T, 0.0);
+  for (std::size_t i = 0; i < T; ++i) {
+    demand[i] = trace.tenants[i].weight * trace.tenants[i].service_s;
+    total += demand[i];
+  }
+  double pes_total = 0.0;
+  for (std::int32_t p : shard_pes) pes_total += static_cast<double>(p);
+  std::vector<std::int32_t> out(T, 0);
+  std::size_t k = 0;
+  double acc = 0.0, cut = total * static_cast<double>(shard_pes[0]) / pes_total;
+  for (std::size_t i = 0; i < T; ++i) {
+    if (acc >= cut && k + 1 < K) {
+      ++k;
+      cut += total * static_cast<double>(shard_pes[k]) / pes_total;
+    }
+    out[i] = static_cast<std::int32_t>(k);
+    acc += demand[i];
+  }
+  return out;
+}
+
+struct TierAgg {
+  int tenants = 0;
+  std::int64_t runs = 0;
+  std::int64_t misses = 0;
+  std::int64_t sheds = 0;
+};
+
+std::optional<CampaignResult> run_campaign_impl(
+    const CampaignConfig& config, const ServingCheckpoint* resume_ckpt) {
+  ScenarioConfig scfg = config.scenario;
+  scfg.seed = scfg.resolved_seed();
+  const ScenarioTrace trace = build_trace(scfg, config.pim);
+  const int pes_total = std::max(1, config.pim.pes);
+  const int K = std::clamp(config.shards, 1, pes_total);
+  const int E = std::max(1, config.epochs);
+  const bool autoscale = config.autoscale.resolved_enabled();
+  const std::size_t T = trace.tenants.size();
+  const double h = scfg.horizon_s;
+
+  CampaignState st;
+  st.seed = scfg.seed;
+  st.requests = static_cast<std::uint64_t>(std::max<long long>(
+      0, scfg.requests));
+  st.tenants = static_cast<std::int32_t>(T);
+  st.shards = K;
+  st.epochs = E;
+  st.autoscale = autoscale;
+  {
+    const auto blocks =
+        fleet_partition_pes(fleet_fill_order(config.pim, true), K);
+    st.shard_pes.resize(static_cast<std::size_t>(K));
+    for (std::size_t k = 0; k < blocks.size(); ++k)
+      st.shard_pes[k] = static_cast<std::int32_t>(blocks[k].size());
+  }
+  st.shard_busy_until_s.assign(static_cast<std::size_t>(K), 0.0);
+  st.shard_demand.assign(static_cast<std::size_t>(K), 0.0);
+  st.tenant_demand.assign(T, 0.0);
+  st.tenant_shard = initial_placement(trace, st.shard_pes);
+  st.epoch_energy_j.assign(static_cast<std::size_t>(E), 0.0);
+  st.epoch_edp_sum.assign(static_cast<std::size_t>(E), 0.0);
+  st.epoch_requests.assign(static_cast<std::size_t>(E), 0);
+  st.epoch_misses.assign(static_cast<std::size_t>(E), 0);
+  st.epoch_sheds.assign(static_cast<std::size_t>(E), 0);
+  st.epoch_slack_p1.assign(static_cast<std::size_t>(E), QuantileSketch(0.01));
+
+  std::vector<TenantStats> stats(T);
+  for (std::size_t i = 0; i < T; ++i) {
+    stats[i].name = trace.tenants[i].name;
+    stats[i].slo_s = trace.tenants[i].slo_s;
+  }
+
+  // Per-shard device wear: storms fire campaigns and drift windows on the
+  // shards whose PE blocks they overlap.
+  reram::FaultScheduleParams fp;
+  fp.wordline_fail_rate = 2e-3;
+  fp.bitline_fail_rate = 2e-3;
+  fp.write_fail_rate = 0.05;
+  std::vector<std::unique_ptr<reram::FaultInjector>> inj;
+  inj.reserve(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k)
+    inj.push_back(std::make_unique<reram::FaultInjector>(
+        fp, config.fault_seed + static_cast<std::uint64_t>(k)));
+
+  ArrivalGenerator gen(trace);
+
+  if (resume_ckpt != nullptr) {
+    st = resume_ckpt->scenario;
+    stats = resume_ckpt->result.tenants;
+    if (stats.size() != T) return std::nullopt;
+    gen.skip(st.next_event);
+    // Re-apply fired storms' drift windows to the shards they actually
+    // hit, then replay each shard's campaign history against its wear
+    // fingerprint (FaultInjector::fast_forward).
+    if (st.storm_shard_mask.size() !=
+            static_cast<std::size_t>(st.storms_fired) ||
+        st.shard_wear.size() != static_cast<std::size_t>(K))
+      return std::nullopt;
+    for (std::int32_t s = 0; s < st.storms_fired; ++s) {
+      const FaultStorm& storm = trace.storms[static_cast<std::size_t>(s)];
+      const reram::DriftBurst burst{storm.start_frac * h,
+                                    storm.duration_frac * h,
+                                    storm.drift_multiplier};
+      for (int k = 0; k < K; ++k)
+        if ((st.storm_shard_mask[static_cast<std::size_t>(s)] >>
+             static_cast<unsigned>(k)) &
+            1u)
+          inj[static_cast<std::size_t>(k)]->add_burst(burst);
+    }
+    for (int k = 0; k < K; ++k)
+      if (!inj[static_cast<std::size_t>(k)]->fast_forward(
+              st.shard_wear[static_cast<std::size_t>(k)]))
+        return std::nullopt;
+  }
+
+  std::optional<CheckpointWriter> writer;
+  if (!config.checkpoint.base_path.empty())
+    writer.emplace(config.checkpoint.base_path);
+  const int every = std::max(1, config.checkpoint.every_runs);
+
+  auto write_checkpoint = [&]() {
+    if (!writer.has_value()) return;
+    st.shard_wear.resize(static_cast<std::size_t>(K));
+    for (int k = 0; k < K; ++k)
+      st.shard_wear[static_cast<std::size_t>(k)] =
+          inj[static_cast<std::size_t>(k)]->wear_state();
+    ServingCheckpoint ckpt;
+    ckpt.segment = static_cast<std::uint64_t>(st.epoch);
+    ckpt.next_run = st.next_event;
+    ckpt.segments = E;
+    ckpt.horizon_runs = static_cast<int>(std::min<long long>(
+        scfg.requests, std::numeric_limits<int>::max()));
+    ckpt.t_start_s = 0.0;
+    ckpt.t_end_s = h;
+    for (const ScenarioTenant& t : trace.tenants)
+      ckpt.tenant_names.push_back(t.name);
+    ckpt.result.label = "campaign";
+    ckpt.result.tenants = stats;
+    ckpt.sojourn_cap = static_cast<std::uint64_t>(config.sojourn_cap);
+    ckpt.has_scenario = true;
+    ckpt.scenario = st;
+    writer->write(ckpt);
+  };
+
+  // Close epoch `e`'s accumulators and (maybe) autoscale for the next one:
+  // re-cut PE blocks proportionally to the epoch's shard demand, then
+  // migrate tenants off still-overloaded shards. Migration cost is
+  // ledgered, never added to a shard's FIFO clock — off the critical path.
+  auto close_epoch = [&]() {
+    double total = 0.0;
+    for (double d : st.shard_demand) total += d;
+    if (autoscale && total > 0.0) {
+      auto pes_of = [&](std::size_t k) {
+        return static_cast<double>(std::max<std::int32_t>(1, st.shard_pes[k]));
+      };
+      const double mean_pp = total / static_cast<double>(pes_total);
+      double max_pp = 0.0;
+      for (std::size_t k = 0; k < st.shard_demand.size(); ++k)
+        max_pp = std::max(max_pp, st.shard_demand[k] / pes_of(k));
+      if (max_pp > config.autoscale.imbalance_threshold * mean_pp) {
+        const auto blocks =
+            rescale_shard_blocks(config.pim, true, st.shard_demand);
+        for (std::size_t k = 0; k < blocks.size(); ++k)
+          st.shard_pes[k] = static_cast<std::int32_t>(blocks[k].size());
+        ++st.rescales;
+        // Tenant migration: peel the hottest tenants off the most
+        // overloaded shard onto the coolest until per-PE demand flattens
+        // (or no move improves it). Deterministic tie-breaks.
+        for (std::size_t iter = 0; iter < T; ++iter) {
+          std::size_t a = 0, b = 0;
+          double hi = -1.0, lo = std::numeric_limits<double>::infinity();
+          for (std::size_t k = 0; k < st.shard_demand.size(); ++k) {
+            const double pp = st.shard_demand[k] / pes_of(k);
+            if (pp > hi) {
+              hi = pp;
+              a = k;
+            }
+            if (pp < lo) {
+              lo = pp;
+              b = k;
+            }
+          }
+          // The rescale above equalizes per-PE demand only to 1-PE
+          // granularity; migration chases the rounding residual, so its
+          // stop bar sits well below the rescale trigger.
+          if (a == b || hi <= kMigrateResidualThreshold * mean_pp) break;
+          std::size_t best = T;
+          double best_d = 0.0;
+          for (std::size_t i = 0; i < T; ++i)
+            if (st.tenant_shard[i] == static_cast<std::int32_t>(a) &&
+                st.tenant_demand[i] > best_d) {
+              best_d = st.tenant_demand[i];
+              best = i;
+            }
+          if (best == T) break;
+          const double new_a = (st.shard_demand[a] - best_d) / pes_of(a);
+          const double new_b = (st.shard_demand[b] + best_d) / pes_of(b);
+          if (std::max(new_a, new_b) >= hi) break;
+          st.tenant_shard[best] = static_cast<std::int32_t>(b);
+          st.shard_demand[a] -= best_d;
+          st.shard_demand[b] += best_d;
+          ++st.migrations;
+          st.migration_s += config.autoscale.migration_cost_s;
+          st.migration_energy_j += config.autoscale.migration_energy_j;
+        }
+      }
+    }
+    std::fill(st.shard_demand.begin(), st.shard_demand.end(), 0.0);
+    std::fill(st.tenant_demand.begin(), st.tenant_demand.end(), 0.0);
+  };
+
+  long long served_now = 0;
+  bool stopped = false;
+  while (st.next_event < st.requests) {
+    if (config.max_requests > 0 && served_now >= config.max_requests) {
+      stopped = true;
+      break;
+    }
+    const ArrivalGenerator::Arrival arr = gen.next();
+    const double t = arr.t_s;
+    const auto tenant = static_cast<std::size_t>(arr.tenant);
+
+    // Fire due storms: drift window + correlated campaign burst on every
+    // shard whose block owns an affected PE (trace clock, not draws).
+    while (static_cast<std::size_t>(st.storms_fired) < trace.storms.size() &&
+           trace.storms[static_cast<std::size_t>(st.storms_fired)].start_frac *
+                   h <=
+               t) {
+      const auto si = static_cast<std::size_t>(st.storms_fired);
+      const FaultStorm& storm = trace.storms[si];
+      const auto blocks = blocks_from_counts(config.pim, st.shard_pes);
+      std::vector<std::int32_t> shard_of(
+          static_cast<std::size_t>(pes_total), 0);
+      for (std::size_t k = 0; k < blocks.size(); ++k)
+        for (int pe : blocks[k])
+          shard_of[static_cast<std::size_t>(pe)] =
+              static_cast<std::int32_t>(k);
+      std::uint64_t mask = 0;
+      for (int pe : trace.storm_pes(si))
+        mask |= 1ull << static_cast<unsigned>(
+                    shard_of[static_cast<std::size_t>(pe)]);
+      const reram::DriftBurst burst{storm.start_frac * h,
+                                    storm.duration_frac * h,
+                                    storm.drift_multiplier};
+      for (int k = 0; k < K; ++k)
+        if ((mask >> static_cast<unsigned>(k)) & 1u) {
+          inj[static_cast<std::size_t>(k)]->add_burst(burst);
+          inj[static_cast<std::size_t>(k)]->program_campaigns(storm.campaigns);
+          st.storm_campaigns_fired += storm.campaigns;
+        }
+      st.storm_shard_mask.push_back(mask);
+      ++st.storms_fired;
+    }
+
+    // Epoch rollover(s) before serving: close accumulators, autoscale.
+    const int ep = std::min(E - 1, static_cast<int>(t / h *
+                                                    static_cast<double>(E)));
+    while (st.epoch < ep) {
+      close_epoch();
+      ++st.epoch;
+    }
+
+    // Serve on the tenant's shard: FIFO queue, service priced by the PE
+    // block, the injector's drift window and its fault fraction.
+    const ScenarioTenant& sp = trace.tenants[tenant];
+    TenantStats& ts = stats[tenant];
+    const auto k = static_cast<std::size_t>(st.tenant_shard[tenant]);
+    const double mult = inj[k]->drift_time_multiplier(t);
+    const double ff = inj[k]->fault_fraction();
+    const double penal = (1.0 + kDriftServiceFactor * (mult - 1.0)) *
+                         (1.0 + kFaultRetryFactor * ff);
+    const double speed = shard_speed(st.shard_pes[k]);
+    double service = sp.service_s * penal / speed;
+    double energy = sp.energy_j *
+                    (1.0 + kDriftEnergyFactor * (mult - 1.0)) *
+                    (1.0 + kFaultRetryFactor * ff);
+    const double demand_service = service;
+    const double wait = std::max(0.0, st.shard_busy_until_s[k] - t);
+    const bool shed = wait > config.queue_shed_slo_mult * sp.slo_s;
+    double sojourn;
+    if (shed) {
+      // Degraded out-of-band serve: does not occupy the shard's FIFO.
+      service *= kShedServiceFactor;
+      energy *= kShedEnergyFactor;
+      sojourn = service;
+      ++ts.shed_runs;
+      ++st.sheds;
+      ++st.epoch_sheds[static_cast<std::size_t>(st.epoch)];
+    } else {
+      const double start = std::max(st.shard_busy_until_s[k], t);
+      st.shard_busy_until_s[k] = start + service;
+      sojourn = st.shard_busy_until_s[k] - t;
+    }
+    const double slack = sp.slo_s - sojourn;
+    if (sojourn > sp.slo_s) {
+      ++ts.deadline_misses;
+      ++st.misses;
+      ++st.epoch_misses[static_cast<std::size_t>(st.epoch)];
+    }
+    ts.record_sojourn(sojourn, config.sojourn_cap);
+    ++ts.runs;
+    ts.service_s += service;
+    ts.inference.energy_j += energy;
+    ts.inference.latency_s += service;
+    const double edp = energy * service;
+    st.energy_j += energy;
+    st.edp_sum += edp;
+    st.sojourn.add(sojourn);
+    st.slack_p1.add(slack);
+    st.tier_slack_p1[static_cast<int>(sp.tier)].add(slack);
+    if (trace.in_flash_phase(t)) {
+      ++st.flash_requests;
+      st.flash_slack_p1.add(slack);
+    }
+    const auto e = static_cast<std::size_t>(st.epoch);
+    ++st.epoch_requests[e];
+    st.epoch_energy_j[e] += energy;
+    st.epoch_edp_sum[e] += edp;
+    st.epoch_slack_p1[e].add(slack);
+    st.shard_demand[k] += demand_service;
+    st.tenant_demand[tenant] += demand_service;
+    st.clock_s = t;
+
+    ++st.next_event;
+    ++served_now;
+    if (writer.has_value() && served_now % every == 0) write_checkpoint();
+  }
+  write_checkpoint();
+  (void)stopped;
+
+  st.shard_wear.resize(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k)
+    st.shard_wear[static_cast<std::size_t>(k)] =
+        inj[static_cast<std::size_t>(k)]->wear_state();
+
+  CampaignResult r;
+  r.label = autoscale ? "autoscaled" : "static";
+  r.scenario = scfg;
+  r.shards = K;
+  r.autoscaled = autoscale;
+  r.resumed = resume_ckpt != nullptr;
+  r.roster = trace.tenants;
+  r.tenants = std::move(stats);
+  r.trajectory.reserve(static_cast<std::size_t>(E));
+  for (int e = 0; e < E; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    CampaignEpoch ep;
+    ep.t_end_s = h * static_cast<double>(e + 1) / static_cast<double>(E);
+    ep.requests = st.epoch_requests[i];
+    ep.misses = st.epoch_misses[i];
+    ep.sheds = st.epoch_sheds[i];
+    ep.energy_j = st.epoch_energy_j[i];
+    ep.edp_sum = st.epoch_edp_sum[i];
+    ep.p99_slack_s = st.epoch_slack_p1[i].estimate();
+    r.trajectory.push_back(ep);
+  }
+  r.state = std::move(st);
+  return r;
+}
+
+}  // namespace
+
+std::int64_t CampaignResult::requests() const noexcept {
+  return static_cast<std::int64_t>(state.next_event);
+}
+
+double CampaignResult::p99_slack_s() const noexcept {
+  return state.slack_p1.estimate();
+}
+
+double CampaignResult::flash_p99_slack_s() const noexcept {
+  return state.flash_slack_p1.estimate();
+}
+
+double CampaignResult::tier_p99_slack_s(PriorityTier tier) const noexcept {
+  return state.tier_slack_p1[static_cast<int>(tier)].estimate();
+}
+
+double CampaignResult::edp_per_request() const noexcept {
+  return state.next_event > 0
+             ? state.edp_sum / static_cast<double>(state.next_event)
+             : 0.0;
+}
+
+std::string CampaignResult::summary(bool include_trajectory) const {
+  std::string out;
+  char line[512];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  emit("scenario seed=%llu tenants=%d requests=%lld shards=%d epochs=%d "
+       "autoscale=%d\n",
+       static_cast<unsigned long long>(scenario.seed),
+       static_cast<int>(roster.size()),
+       static_cast<long long>(state.requests), shards, state.epochs,
+       autoscaled ? 1 : 0);
+  emit("totals requests=%lld misses=%lld sheds=%lld migrations=%lld "
+       "rescales=%d storms=%d storm_campaigns=%lld\n",
+       static_cast<long long>(state.next_event),
+       static_cast<long long>(state.misses),
+       static_cast<long long>(state.sheds),
+       static_cast<long long>(state.migrations), state.rescales,
+       state.storms_fired,
+       static_cast<long long>(state.storm_campaigns_fired));
+  emit("latency p99_slack_s=%.17g flash_p99_slack_s=%.17g "
+       "flash_requests=%lld sojourn_p99_s=%.17g sojourn_mean_s=%.17g\n",
+       p99_slack_s(), flash_p99_slack_s(),
+       static_cast<long long>(state.flash_requests),
+       state.sojourn.percentile(99.0), state.sojourn.mean());
+  emit("energy total_j=%.17g edp_per_request=%.17g migration_s=%.17g "
+       "migration_energy_j=%.17g\n",
+       state.energy_j, edp_per_request(), state.migration_s,
+       state.migration_energy_j);
+  TierAgg agg[3];
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    TierAgg& a = agg[static_cast<int>(roster[i].tier)];
+    ++a.tenants;
+    a.runs += tenants[i].runs;
+    a.misses += tenants[i].deadline_misses;
+    a.sheds += tenants[i].shed_runs;
+  }
+  for (int tier = 0; tier < 3; ++tier)
+    emit("tier %s tenants=%d runs=%lld misses=%lld sheds=%lld "
+         "p99_slack_s=%.17g\n",
+         tier_name(static_cast<PriorityTier>(tier)), agg[tier].tenants,
+         static_cast<long long>(agg[tier].runs),
+         static_cast<long long>(agg[tier].misses),
+         static_cast<long long>(agg[tier].sheds),
+         state.tier_slack_p1[tier].estimate());
+  if (include_trajectory)
+    for (std::size_t e = 0; e < trajectory.size(); ++e) {
+      const CampaignEpoch& ep = trajectory[e];
+      emit("epoch %zu t_end_s=%.17g requests=%lld misses=%lld sheds=%lld "
+           "p99_slack_s=%.17g edp_per_request=%.17g\n",
+           e, ep.t_end_s, static_cast<long long>(ep.requests),
+           static_cast<long long>(ep.misses),
+           static_cast<long long>(ep.sheds), ep.p99_slack_s,
+           ep.edp_per_request());
+    }
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  auto result = run_campaign_impl(config, nullptr);
+  assert(result.has_value());  // only a resume checkpoint can fail
+  return std::move(*result);
+}
+
+std::optional<CampaignResult> resume_campaign(const CampaignConfig& config) {
+  if (config.checkpoint.base_path.empty()) return std::nullopt;
+  const auto ckpt = load_latest_checkpoint(config.checkpoint.base_path);
+  if (!ckpt.has_value() || !ckpt->has_scenario) return std::nullopt;
+  // Wrong-geometry refusal: the campaign state only reinstates onto the
+  // identical scenario (seed/requests/tenants/shards/epochs/autoscale and
+  // the sojourn retention cap).
+  ScenarioConfig scfg = config.scenario;
+  scfg.seed = scfg.resolved_seed();
+  const int pes_total = std::max(1, config.pim.pes);
+  const CampaignState& s = ckpt->scenario;
+  if (s.seed != scfg.seed ||
+      s.requests != static_cast<std::uint64_t>(
+                        std::max<long long>(0, scfg.requests)) ||
+      s.tenants != std::max(1, scfg.tenants) ||
+      s.shards != std::clamp(config.shards, 1, pes_total) ||
+      s.epochs != std::max(1, config.epochs) ||
+      s.autoscale != config.autoscale.resolved_enabled())
+    return std::nullopt;
+  if (ckpt->sojourn_cap != static_cast<std::uint64_t>(config.sojourn_cap))
+    return std::nullopt;
+  CampaignConfig cont = config;
+  cont.max_requests = 0;
+  return run_campaign_impl(cont, &*ckpt);
+}
+
+void apply_trace_to_serving(const ScenarioTrace& trace, ServingConfig& sc) {
+  const int runs = sc.horizon.runs;
+  const int segs = std::max(1, sc.segments);
+  assert(runs >= segs);
+  ArrivalGenerator gen(trace);
+  std::vector<double> arrivals(static_cast<std::size_t>(runs));
+  for (double& t : arrivals) t = gen.next().t_s;
+  const double lo = arrivals.front();
+  const double hi = arrivals.back();
+  const double span = hi > lo ? hi - lo : 1.0;
+  // Affine map onto the serving horizon, preserving the arrival density.
+  sc.schedule.resize(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i)
+    sc.schedule[i] = sc.horizon.t_start_s +
+                     (arrivals[i] - lo) / span *
+                         (sc.horizon.t_end_s - sc.horizon.t_start_s);
+  // Per-segment run counts follow the arrival density over equal time
+  // bins; every segment keeps at least one run (a tenant switch with zero
+  // serves would be pure programming noise).
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(segs), 0);
+  for (double t : arrivals) {
+    auto bin = static_cast<std::size_t>((t - lo) / span *
+                                        static_cast<double>(segs));
+    if (bin >= sizes.size()) bin = sizes.size() - 1;
+    ++sizes[bin];
+  }
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    while (sizes[b] == 0) {
+      const auto big = static_cast<std::size_t>(std::distance(
+          sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+      if (sizes[big] <= 1) break;
+      --sizes[big];
+      ++sizes[b];
+    }
+  }
+  sc.segment_sizes = std::move(sizes);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-file parser (docs/scenario_format.md).
+
+namespace {
+
+bool parse_f64(const std::string& tok, double& out) {
+  const char* s = tok.c_str();
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+bool parse_i64(const std::string& tok, long long& out) {
+  const char* s = tok.c_str();
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+std::optional<CampaignConfig> parse_scenario(std::istream& in) {
+  CampaignConfig cfg;
+  std::string raw;
+  int lineno = 0;
+  auto fail = [&](const char* why) -> std::optional<CampaignConfig> {
+    std::fprintf(stderr, "odin: scenario line %d: %s: %s\n", lineno, why,
+                 raw.c_str());
+    return std::nullopt;
+  };
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string text = raw;
+    if (const auto hash = text.find('#'); hash != std::string::npos)
+      text.resize(hash);
+    std::istringstream ls(text);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    std::vector<std::string> args;
+    for (std::string a; ls >> a;) args.push_back(a);
+    auto num = [&](std::size_t i, double& v) {
+      return i < args.size() && parse_f64(args[i], v);
+    };
+    auto integer = [&](std::size_t i, long long& v) {
+      return i < args.size() && parse_i64(args[i], v);
+    };
+    long long iv = 0;
+    double fv = 0.0;
+    if (key == "seed") {
+      if (!integer(0, iv) || iv < 1) return fail("want integer >= 1");
+      cfg.scenario.seed = static_cast<std::uint64_t>(iv);
+    } else if (key == "tenants") {
+      if (!integer(0, iv) || iv < 1) return fail("want integer >= 1");
+      cfg.scenario.tenants = static_cast<int>(iv);
+    } else if (key == "requests") {
+      if (!integer(0, iv) || iv < 1) return fail("want integer >= 1");
+      cfg.scenario.requests = iv;
+    } else if (key == "horizon-s") {
+      if (!num(0, fv) || fv <= 0.0) return fail("want number > 0");
+      cfg.scenario.horizon_s = fv;
+    } else if (key == "diurnal-cycles") {
+      if (!integer(0, iv) || iv < 0) return fail("want integer >= 0");
+      cfg.scenario.diurnal_cycles = static_cast<int>(iv);
+    } else if (key == "diurnal-amplitude") {
+      if (!num(0, fv) || fv < 0.0 || fv >= 1.0)
+        return fail("want number in [0, 1)");
+      cfg.scenario.diurnal_amplitude = fv;
+    } else if (key == "churn-frac") {
+      if (!num(0, fv) || fv < 0.0 || fv > 1.0)
+        return fail("want number in [0, 1]");
+      cfg.scenario.churn_frac = fv;
+    } else if (key == "target-utilization") {
+      if (!num(0, fv) || fv <= 0.0 || fv >= 1.0)
+        return fail("want number in (0, 1)");
+      cfg.scenario.target_utilization = fv;
+    } else if (key == "gold-share") {
+      if (!num(0, fv)) return fail("want number");
+      cfg.scenario.gold_share = fv;
+    } else if (key == "silver-share") {
+      if (!num(0, fv)) return fail("want number");
+      cfg.scenario.silver_share = fv;
+    } else if (key == "gold-slo-mult") {
+      if (!num(0, fv) || fv <= 0.0) return fail("want number > 0");
+      cfg.scenario.gold_slo_mult = fv;
+    } else if (key == "silver-slo-mult") {
+      if (!num(0, fv) || fv <= 0.0) return fail("want number > 0");
+      cfg.scenario.silver_slo_mult = fv;
+    } else if (key == "bronze-slo-mult") {
+      if (!num(0, fv) || fv <= 0.0) return fail("want number > 0");
+      cfg.scenario.bronze_slo_mult = fv;
+    } else if (key == "flash") {
+      FlashCrowd f;
+      if (!num(0, f.start_frac) || !num(1, f.duration_frac) ||
+          !num(2, f.multiplier))
+        return fail("want: flash START_FRAC DURATION_FRAC MULT [TENANT_FRAC]");
+      if (args.size() > 3 && !num(3, f.tenant_frac))
+        return fail("bad TENANT_FRAC");
+      cfg.scenario.flash.push_back(f);
+    } else if (key == "storm") {
+      FaultStorm s;
+      long long radius = 1, campaigns = 4, center = -1;
+      if (!num(0, s.start_frac) || !num(1, s.duration_frac) ||
+          !num(2, s.drift_multiplier) || !integer(3, radius) ||
+          !integer(4, campaigns))
+        return fail(
+            "want: storm START_FRAC DURATION_FRAC MULT RADIUS CAMPAIGNS "
+            "[CENTER_PE]");
+      if (args.size() > 5 && !integer(5, center)) return fail("bad CENTER_PE");
+      s.radius = static_cast<int>(radius);
+      s.campaigns = static_cast<int>(campaigns);
+      s.center_pe = static_cast<int>(center);
+      cfg.scenario.storms.push_back(s);
+    } else if (key == "shards") {
+      if (!integer(0, iv) || iv < 1) return fail("want integer >= 1");
+      cfg.shards = static_cast<int>(iv);
+    } else if (key == "epochs") {
+      if (!integer(0, iv) || iv < 1) return fail("want integer >= 1");
+      cfg.epochs = static_cast<int>(iv);
+    } else if (key == "autoscale") {
+      if (args.size() != 1 || (args[0] != "on" && args[0] != "off" &&
+                               args[0] != "1" && args[0] != "0"))
+        return fail("want on|off|1|0");
+      cfg.autoscale.enabled = (args[0] == "on" || args[0] == "1") ? 1 : 0;
+    } else if (key == "sojourn-cap") {
+      if (!integer(0, iv) || iv < 0) return fail("want integer >= 0");
+      cfg.sojourn_cap = static_cast<std::size_t>(iv);
+    } else if (key == "checkpoint") {
+      if (args.size() != 1) return fail("want one path");
+      cfg.checkpoint.base_path = args[0];
+    } else if (key == "checkpoint-every") {
+      if (!integer(0, iv) || iv < 1) return fail("want integer >= 1");
+      cfg.checkpoint.every_runs = static_cast<int>(iv);
+    } else if (key == "fault-seed") {
+      if (!integer(0, iv) || iv < 0) return fail("want integer >= 0");
+      cfg.fault_seed = static_cast<std::uint64_t>(iv);
+    } else if (key == "shed-slo-mult") {
+      if (!num(0, fv) || fv <= 0.0) return fail("want number > 0");
+      cfg.queue_shed_slo_mult = fv;
+    } else {
+      return fail("unknown key");
+    }
+  }
+  return cfg;
+}
+
+std::optional<CampaignConfig> parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "odin: cannot open scenario file: %s\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  return parse_scenario(in);
+}
+
+}  // namespace odin::core

@@ -1,0 +1,359 @@
+// Trace-driven scenario engine: seeded, replayable million-request
+// campaigns over the sharded fleet, with diurnal load, flash crowds,
+// tenant priority tiers, tenant churn, correlated fault storms, and a
+// reactive PE-block autoscaler.
+//
+// Naming note: this is the *workload* trace layer — the deterministic
+// stream of request arrivals, churn and chaos events a campaign replays.
+// It is unrelated to core/trace.hpp, which records per-run *outputs* of a
+// finished walk into a CSV (see the disambiguation note there).
+//
+// Design (DESIGN.md §17):
+//  * ScenarioConfig → build_trace() expands one seed into the full cast:
+//    tenants with tier-derived SLO budgets, arrival weights, service
+//    costs and active windows (churn); flash-crowd windows targeting a
+//    deterministic tenant subset; fault storms pinned to a center PE and
+//    a Chebyshev radius on the mesh, so spatially adjacent PEs — and
+//    therefore adjacent shard blocks of the boustrophedon fill — fail
+//    together.
+//  * ArrivalGenerator turns the trace into a deterministic event stream.
+//    Every event consumes a fixed number of RNG draws, so a resumed
+//    campaign replays the stream to its cursor instead of serializing
+//    generator state (the same replay idiom as FaultInjector).
+//  * run_campaign() drives an analytic fleet model at millions of
+//    requests: per-shard FIFO clocks, service times scaled by the shard's
+//    PE block (inter-layer pipelining) and inflated by the shard
+//    injector's drift multiplier and fault fraction; storms fire
+//    FaultInjector campaigns from the trace clock; an epoch-cadence
+//    autoscaler re-cuts PE blocks (core/fleet rescale_shard_blocks) and
+//    migrates tenants off overloaded shards, charging migrations off the
+//    critical path. All percentile reporting is streaming (core/sketch),
+//    so memory stays bounded at any request count.
+//  * The whole campaign state rides checkpoint payload v6
+//    (core/checkpoint), so a campaign can crash mid-storm and resume
+//    bitwise; wrong-geometry checkpoints are refused via the fingerprint
+//    fields of CampaignState.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/components.hpp"
+#include "common/binary_io.hpp"
+#include "common/rng.hpp"
+#include "core/serving.hpp"
+#include "core/sketch.hpp"
+#include "reram/fault_injection.hpp"
+
+namespace odin::core {
+
+/// Tenant priority tiers, each mapping to a distinct SLO budget
+/// (ScenarioConfig::*_slo_mult, tightest for gold).
+enum class PriorityTier : std::int32_t { kGold = 0, kSilver = 1, kBronze = 2 };
+
+const char* tier_name(PriorityTier tier);
+
+/// One flash-crowd burst: for `duration_frac` of the horizon starting at
+/// `start_frac`, the targeted tenant subset's arrival weight is multiplied
+/// by `multiplier`.
+struct FlashCrowd {
+  double start_frac = 0.5;
+  double duration_frac = 0.04;
+  double multiplier = 8.0;
+  /// Fraction of tenants this crowd targets (the subset is drawn
+  /// deterministically from the trace seed).
+  double tenant_frac = 0.10;
+};
+
+/// One correlated fault storm: a drift-acceleration window plus a burst of
+/// write-verify campaigns, hitting every PE within Chebyshev distance
+/// `radius` of `center_pe` on the mesh — spatial adjacency, not
+/// independent draws. Shards owning an affected PE take the hit together.
+struct FaultStorm {
+  double start_frac = 0.5;
+  double duration_frac = 0.03;
+  double drift_multiplier = 6.0;
+  int center_pe = -1;  ///< global PE id; -1 = drawn from the trace seed
+  int radius = 1;
+  /// Extra FaultInjector campaigns fired per affected shard when the
+  /// storm begins (its correlated programming/wear activity).
+  int campaigns = 4;
+};
+
+/// Reactive autoscaling policy over the campaign fleet.
+struct AutoscaleConfig {
+  /// Tri-state: < 0 defers to ODIN_AUTOSCALE ("on"/"off"/"1"/"0", strict
+  /// parse, garbage warns and keeps the default on), 0 = off, > 0 = on.
+  int enabled = -1;
+  /// Re-cut PE blocks only when max/mean per-PE shard demand over the last
+  /// epoch exceeds this factor (hysteresis against thrashing).
+  double imbalance_threshold = 1.25;
+  /// Per moved tenant: remap/reprogram cost charged to the migration
+  /// ledger — off the critical path, never the serving FIFO.
+  double migration_cost_s = 2e-3;
+  double migration_energy_j = 5e-4;
+
+  bool resolved_enabled() const;
+};
+
+struct ScenarioConfig {
+  /// 0 defers to ODIN_SCENARIO_SEED (strict env_long parse, values >= 1;
+  /// default 1).
+  std::uint64_t seed = 0;
+  int tenants = 64;
+  long long requests = 100'000;
+  /// Wall-clock span the arrival process is calibrated to cover.
+  double horizon_s = 86'400.0;
+  /// Diurnal rate shaping: 1 + amplitude * sin(...) with `cycles` full
+  /// periods across the horizon (trough at t = 0).
+  int diurnal_cycles = 1;
+  double diurnal_amplitude = 0.6;
+  /// Flash crowds; when `flash` is empty, `flash_crowds` windows are drawn
+  /// from the seed with the defaults below.
+  std::vector<FlashCrowd> flash;
+  int flash_crowds = 2;
+  double flash_multiplier = 5.0;
+  double flash_duration_frac = 0.03;
+  double flash_tenant_frac = 0.10;
+  /// Fraction of tenants with a partial lifetime (late arrival and/or
+  /// early departure) — the churn population.
+  double churn_frac = 0.25;
+  /// Fault storms; when `storms` is empty, `fault_storms` are drawn from
+  /// the seed with the defaults below.
+  std::vector<FaultStorm> storms;
+  int fault_storms = 2;
+  double storm_drift_multiplier = 3.0;
+  double storm_duration_frac = 0.03;
+  int storm_radius = 1;
+  int storm_campaigns = 4;
+  /// Tier population shares (bronze takes the remainder) and SLO budgets
+  /// as multiples of the calibrated mean service time.
+  double gold_share = 0.10;
+  double silver_share = 0.30;
+  double gold_slo_mult = 12.0;
+  double silver_slo_mult = 24.0;
+  double bronze_slo_mult = 48.0;
+  /// Mean offered load as a fraction of initial fleet service capacity;
+  /// the per-tenant service times are calibrated to hit it, so flash
+  /// crowds create real transient overload instead of idling.
+  double target_utilization = 0.45;
+
+  std::uint64_t resolved_seed() const;
+};
+
+/// One tenant of the expanded trace.
+struct ScenarioTenant {
+  std::string name;
+  PriorityTier tier = PriorityTier::kBronze;
+  double slo_s = 0.0;
+  double weight = 1.0;     ///< relative arrival weight while active
+  double service_s = 0.0;  ///< calibrated base service time (1-PE, no faults)
+  double energy_j = 0.0;   ///< base inference energy
+  double arrive_s = 0.0;   ///< active window start (churn)
+  double depart_s = 0.0;   ///< active window end
+  std::uint32_t flash_mask = 0;  ///< bit c set = targeted by crowd c
+};
+
+/// The fully expanded, deterministic scenario: same config + seed =>
+/// identical trace, bit for bit.
+struct ScenarioTrace {
+  ScenarioConfig config;  ///< with the seed resolved
+  arch::PimConfig pim;
+  std::vector<ScenarioTenant> tenants;
+  std::vector<FlashCrowd> flash;   ///< resolved windows
+  std::vector<FaultStorm> storms;  ///< resolved, ascending start, center >= 0
+  /// Arrival-rate scale: lambda(t) = base_rate * diurnal(t) * sum of
+  /// active tenant weights (with flash multipliers).
+  double base_rate = 0.0;
+
+  double diurnal(double t_s) const;
+  bool crowd_active(std::size_t crowd, double t_s) const;
+  /// True when any flash crowd is active at t (the "flash phase" the
+  /// bench compares autoscaled vs static placement over).
+  bool in_flash_phase(double t_s) const;
+  /// Effective arrival weight of tenant i at time t (0 while churned out;
+  /// amplified by flash crowds targeting it).
+  double tenant_weight(std::size_t i, double t_s) const;
+  /// Global PE ids within the storm's Chebyshev radius of its center.
+  std::vector<int> storm_pes(std::size_t storm) const;
+};
+
+/// Expand `config` against the mesh geometry. Deterministic.
+ScenarioTrace build_trace(const ScenarioConfig& config,
+                          const arch::PimConfig& pim = {});
+
+/// Deterministic arrival stream over a trace. Each next() consumes exactly
+/// two RNG draws (inter-arrival gap, tenant pick), so skip(n) replays a
+/// prefix cheaply and a resumed campaign reaches the identical stream
+/// state without serializing the generator.
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(const ScenarioTrace& trace);
+
+  struct Arrival {
+    double t_s = 0.0;
+    int tenant = 0;
+  };
+  Arrival next();
+  void skip(std::uint64_t events);
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  double clock_s() const noexcept { return t_; }
+
+ private:
+  void rebuild_cdf();
+
+  const ScenarioTrace* trace_;
+  common::Rng rng_;
+  double t_ = 0.0;
+  std::uint64_t emitted_ = 0;
+  std::vector<double> cdf_;  ///< prefix sums of tenant weights at t_
+  std::vector<double> boundaries_;  ///< times the weight profile changes
+  std::size_t next_boundary_ = 0;
+};
+
+/// Durable campaign-engine state (checkpoint payload v6). The fingerprint
+/// block gates resume — a checkpoint only reinstates onto the identical
+/// scenario geometry; the rest positions the replay (arrival cursor,
+/// per-shard clocks and wear, autoscaler accumulators, sketches, the
+/// trajectory so far).
+struct CampaignState {
+  // Fingerprint.
+  std::uint64_t seed = 0;
+  std::uint64_t requests = 0;
+  std::int32_t tenants = 0;
+  std::int32_t shards = 0;
+  std::int32_t epochs = 0;
+  bool autoscale = false;
+  // Cursor.
+  std::uint64_t next_event = 0;  ///< arrivals already served
+  double clock_s = 0.0;
+  std::int32_t epoch = 0;
+  std::int32_t storms_fired = 0;
+  // Ledgers.
+  std::int32_t rescales = 0;
+  std::int64_t migrations = 0;
+  std::int64_t storm_campaigns_fired = 0;
+  std::int64_t misses = 0;
+  std::int64_t sheds = 0;
+  std::int64_t flash_requests = 0;
+  double energy_j = 0.0;
+  double edp_sum = 0.0;  ///< sum of per-request energy * service latency
+  double migration_s = 0.0;
+  double migration_energy_j = 0.0;
+  // Fleet state.
+  std::vector<double> shard_busy_until_s;
+  std::vector<std::int32_t> shard_pes;  ///< current PE count per shard
+  std::vector<std::int32_t> tenant_shard;
+  std::vector<double> shard_demand;   ///< service demand this epoch
+  std::vector<double> tenant_demand;  ///< per-tenant, same window
+  std::vector<reram::FaultInjector::WearState> shard_wear;
+  /// Shards each fired storm's bursts landed on (bit k = shard k): blocks
+  /// move under autoscaling, so resume re-applies bursts to the shards
+  /// they actually hit, not the shards that own those PEs now.
+  std::vector<std::uint64_t> storm_shard_mask;
+  // Streaming aggregates. p99 slack is the 1st-percentile slack sample,
+  // so the sketches track p = 0.01 over slack.
+  QuantileSketch slack_p1{0.01};
+  QuantileSketch flash_slack_p1{0.01};
+  QuantileSketch tier_slack_p1[3] = {QuantileSketch(0.01), QuantileSketch(0.01),
+                                     QuantileSketch(0.01)};
+  SojournSketch sojourn;
+  // Trajectory so far (one entry per epoch, fixed size `epochs`).
+  std::vector<double> epoch_energy_j;
+  std::vector<double> epoch_edp_sum;
+  std::vector<std::int64_t> epoch_requests;
+  std::vector<std::int64_t> epoch_misses;
+  std::vector<std::int64_t> epoch_sheds;
+  std::vector<QuantileSketch> epoch_slack_p1;
+};
+
+void encode_campaign_state(const CampaignState& s, common::ByteWriter& out);
+std::optional<CampaignState> decode_campaign_state(common::ByteReader& in);
+
+struct CampaignConfig {
+  ScenarioConfig scenario{};
+  arch::PimConfig pim{};
+  /// Initial shard count (clamped to [1, pim.pes]).
+  int shards = 6;
+  AutoscaleConfig autoscale{};
+  /// Trajectory resolution and autoscale cadence.
+  int epochs = 48;
+  /// Per-tenant raw sojourn retention (TenantStats::record_sojourn cap);
+  /// the sketches absorb everything past it. 0 = unbounded.
+  std::size_t sojourn_cap = 64;
+  /// Checkpointing: `every_runs` counts served requests here.
+  CheckpointConfig checkpoint{};
+  /// Crash hook: serve at most this many requests in this invocation
+  /// (forces a final checkpoint when enabled). 0 = run to completion.
+  long long max_requests = 0;
+  /// Per-shard injector seeds are fault_seed + shard index.
+  std::uint64_t fault_seed = 0x0dd5eed;
+  /// Shed (degraded out-of-band service) when queue wait exceeds this
+  /// multiple of the tenant's SLO.
+  double queue_shed_slo_mult = 8.0;
+};
+
+/// Per-epoch trajectory point of a finished (or interrupted) campaign.
+struct CampaignEpoch {
+  double t_end_s = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t misses = 0;
+  std::int64_t sheds = 0;
+  double energy_j = 0.0;
+  double edp_sum = 0.0;
+  double p99_slack_s = 0.0;
+  double edp_per_request() const noexcept {
+    return requests > 0 ? edp_sum / static_cast<double>(requests) : 0.0;
+  }
+};
+
+struct CampaignResult {
+  std::string label;
+  ScenarioConfig scenario;  ///< seed resolved
+  int shards = 1;
+  bool autoscaled = false;
+  bool resumed = false;
+  std::vector<ScenarioTenant> roster;
+  std::vector<TenantStats> tenants;  ///< parallel to roster
+  std::vector<CampaignEpoch> trajectory;
+  CampaignState state;  ///< final engine state (ledgers, sketches)
+
+  std::int64_t requests() const noexcept;
+  double p99_slack_s() const noexcept;
+  double flash_p99_slack_s() const noexcept;
+  double tier_p99_slack_s(PriorityTier tier) const noexcept;
+  double edp_per_request() const noexcept;
+
+  /// Deterministic plain-text summary: same seed => byte-identical output
+  /// (no wall clocks, no host state), so campaign runs diff across PRs.
+  std::string summary(bool include_trajectory = true) const;
+};
+
+/// Run the campaign from the start. Deterministic and single-threaded.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Resume an interrupted campaign from its checkpoint pair. nullopt when
+/// no valid checkpoint exists or its fingerprint does not match `config`
+/// (different seed/requests/tenants/shards/epochs/autoscale — the
+/// wrong-geometry refusal).
+std::optional<CampaignResult> resume_campaign(const CampaignConfig& config);
+
+/// Export the trace's first `sc.horizon.runs` arrivals into an explicit
+/// ServingConfig schedule: arrival times are mapped affinely onto the
+/// serving horizon and the per-segment run counts follow the arrival
+/// density (each segment keeps at least one run), so the real serving
+/// loop (core/serving, core/fleet) runs under scenario-shaped load at
+/// small horizons while the campaign engine scales the same trace to
+/// millions of requests analytically.
+void apply_trace_to_serving(const ScenarioTrace& trace, ServingConfig& sc);
+
+/// Parse a scenario file (docs/scenario_format.md): `key value` lines,
+/// `#` comments, repeated `flash`/`storm` directives. Returns nullopt and
+/// names the offending line on stderr for malformed input.
+std::optional<CampaignConfig> parse_scenario(std::istream& in);
+std::optional<CampaignConfig> parse_scenario_file(const std::string& path);
+
+}  // namespace odin::core

@@ -18,7 +18,16 @@
 
 namespace odin::core {
 
+void TenantStats::record_sojourn(double sojourn, std::size_t cap) {
+  sojourn_sketch.add(sojourn);
+  if (cap == 0 || sojourn_s.size() < cap)
+    sojourn_s.push_back(sojourn);
+  else
+    ++sojourn_dropped;
+}
+
 double TenantStats::sojourn_percentile(double p) const {
+  if (sojourn_dropped > 0) return sojourn_sketch.percentile(p);
   return percentile(sojourn_s, p);
 }
 
@@ -427,6 +436,8 @@ std::optional<ServingResult> serve_odin_impl(
       ckpt.fallback_ous = fallback;
       ckpt.batching_enabled = batching;
       ckpt.batch_cap = batch_cap;
+      ckpt.sojourn_cap =
+          static_cast<std::uint64_t>(res.sojourn_sample_cap);
     }
     return ckpt;
   };
@@ -499,7 +510,7 @@ std::optional<ServingResult> serve_odin_impl(
       stats.inference += c;
       stats.service_s += c.latency_s;
       ++stats.runs;
-      stats.sojourn_s.push_back(busy_until_s - t_arr);
+      stats.record_sojourn(busy_until_s - t_arr, res.sojourn_sample_cap);
       if (shed)
         ++stats.shed_runs;
       else
@@ -571,7 +582,7 @@ std::optional<ServingResult> serve_odin_impl(
       busy_until_s = start + service;
       stats.service_s += service;
       const double sojourn = busy_until_s - t_arr;
-      stats.sojourn_s.push_back(sojourn);
+      stats.record_sojourn(sojourn, res.sojourn_sample_cap);
       stats.inference += run.inference;
       stats.reprogram += run.reprogram;
       stats.mismatches += run.mismatches;
@@ -680,7 +691,7 @@ std::optional<ServingResult> serve_odin_impl(
       for (int k = 0; k < b; ++k) {
         const double sojourn = start + pre + bc.member_exit_latency_s(k) -
                                schedule[members[static_cast<std::size_t>(k)]];
-        stats.sojourn_s.push_back(sojourn);
+        stats.record_sojourn(sojourn, res.sojourn_sample_cap);
         ++stats.runs;
         if (std::isfinite(slo) && sojourn > slo) {
           ++stats.deadline_misses;
@@ -885,6 +896,13 @@ std::optional<ServingResult> resume_with_odin(
       return std::nullopt;
     if (config.resilience.batching.enabled &&
         ckpt.batch_cap != config.resilience.batching.resolved_max_batch())
+      return std::nullopt;
+    // A different retention cap would make the resumed walk's sojourn
+    // vectors diverge from the uninterrupted run's, breaking the bitwise
+    // resume guarantee (v6 frames carry the cap; older frames decode as 0,
+    // matching the only cap that existed when they were written).
+    if (ckpt.sojourn_cap !=
+        static_cast<std::uint64_t>(config.resilience.sojourn_sample_cap))
       return std::nullopt;
   }
   // Fleet geometry: a shard's checkpoint only transfers onto the same

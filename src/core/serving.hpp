@@ -21,6 +21,7 @@
 
 #include "core/experiment.hpp"
 #include "core/resilience.hpp"
+#include "core/sketch.hpp"
 
 namespace odin::core {
 
@@ -137,12 +138,24 @@ struct TenantStats {
   double service_s = 0.0;
   int pipelined_runs = 0;
   /// Per-served-run sojourn (queue wait + service latency), in arrival
-  /// order; feeds the percentile reporting below.
+  /// order; feeds the percentile reporting below. Retention is bounded by
+  /// ResilienceConfig::sojourn_sample_cap (0 = keep all).
   std::vector<double> sojourn_s;
+  /// Streaming percentile sketch fed by *every* sojourn sample, including
+  /// those the cap dropped from the vector; rides checkpoint payload v6.
+  SojournSketch sojourn_sketch;
+  /// Samples the cap kept out of sojourn_s (0 while uncapped).
+  long long sojourn_dropped = 0;
   common::EnergyLatency inference;
   common::EnergyLatency reprogram;
 
+  /// Record one sojourn sample under retention cap `cap` (0 = unbounded):
+  /// always feeds the sketch, appends to the vector only below the cap.
+  void record_sojourn(double sojourn, std::size_t cap);
+
   /// Nearest-rank percentile of the sojourn samples (p in [0, 100]).
+  /// Exact while every sample was retained; the sketch estimate once the
+  /// cap dropped any.
   double sojourn_percentile(double p) const;
   /// Deadline slack at the same rank: slo_s - sojourn_percentile(p)
   /// (negative = the SLO was missed at that rank; 0 when no SLO was set).

@@ -1,0 +1,178 @@
+#include "core/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odin::core {
+
+namespace {
+
+/// Marker i's desired position after n observations (1-based, i in [0, 5)):
+/// 1 + (n - 1) * d_i with d = {0, p/2, p, (1+p)/2, 1}.
+double desired_pos(double p, std::uint64_t n, int i) noexcept {
+  const double d[5] = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  return 1.0 + (static_cast<double>(n) - 1.0) * d[i];
+}
+
+}  // namespace
+
+void QuantileSketch::add(double x) noexcept {
+  if (n_ < 5) {
+    // Initialization phase: buffer the first five observations sorted in
+    // the marker-height slots.
+    q_[n_] = x;
+    ++n_;
+    std::sort(q_.begin(), q_.begin() + static_cast<std::ptrdiff_t>(n_));
+    if (n_ == 5)
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+    return;
+  }
+
+  // Locate the cell containing x and stretch the extremes if needed.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x < q_[1]) {
+    k = 0;
+  } else if (x < q_[2]) {
+    k = 1;
+  } else if (x < q_[3]) {
+    k = 2;
+  } else if (x <= q_[4]) {
+    k = 3;
+  } else {
+    q_[4] = x;
+    k = 3;
+  }
+  ++n_;
+  for (int i = k + 1; i < 5; ++i) ++pos_[i];
+
+  // Nudge the three interior markers toward their desired positions using
+  // the P-squared parabolic interpolation, falling back to linear when the
+  // parabola would leave the markers unsorted.
+  for (int i = 1; i <= 3; ++i) {
+    const double want = desired_pos(p_, n_, i);
+    const double drift = want - static_cast<double>(pos_[i]);
+    const std::int64_t below = pos_[i] - pos_[i - 1];
+    const std::int64_t above = pos_[i + 1] - pos_[i];
+    if ((drift >= 1.0 && above > 1) || (drift <= -1.0 && below > 1)) {
+      const int d = drift >= 1.0 ? 1 : -1;
+      const double nd = static_cast<double>(d);
+      const double np = static_cast<double>(pos_[i]);
+      const double np_lo = static_cast<double>(pos_[i - 1]);
+      const double np_hi = static_cast<double>(pos_[i + 1]);
+      double cand =
+          q_[i] + nd / (np_hi - np_lo) *
+                      ((np - np_lo + nd) * (q_[i + 1] - q_[i]) / (np_hi - np) +
+                       (np_hi - np - nd) * (q_[i] - q_[i - 1]) / (np - np_lo));
+      if (cand <= q_[i - 1] || cand >= q_[i + 1])
+        cand = q_[i] + nd * (q_[i + d] - q_[i]) /
+                           static_cast<double>(pos_[i + d] - pos_[i]);
+      q_[i] = cand;
+      pos_[i] += d;
+    }
+  }
+}
+
+double QuantileSketch::estimate() const noexcept {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact nearest-rank over the sorted buffer (matches
+    // core::percentile's ceil(p * n) rank convention).
+    const double rank = p_ * static_cast<double>(n_);
+    std::size_t idx =
+        rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+    if (idx >= n_) idx = n_ - 1;
+    return q_[idx];
+  }
+  return q_[2];
+}
+
+void encode_sketch(const QuantileSketch& s, common::ByteWriter& out) {
+  const QuantileSketch::State st = s.state();
+  out.f64(st.p);
+  out.u64(st.n);
+  for (double q : st.q) out.f64(q);
+  for (std::int64_t p : st.pos) out.i64(p);
+}
+
+bool decode_sketch(common::ByteReader& in, QuantileSketch& s) {
+  QuantileSketch::State st;
+  st.p = in.f64();
+  st.n = in.u64();
+  for (double& q : st.q) q = in.f64();
+  for (std::int64_t& p : st.pos) p = in.i64();
+  if (!in.ok()) return false;
+  s.restore(st);
+  return true;
+}
+
+SojournSketch::SojournSketch() noexcept {
+  for (std::size_t i = 0; i < kQuantiles; ++i)
+    q_[i] = QuantileSketch(kTracked[i]);
+}
+
+void SojournSketch::add(double x) noexcept {
+  for (auto& sk : q_) sk.add(x);
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double SojournSketch::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  // Knot sequence (percent, value): (0, min), tracked quantiles, (100, max).
+  double xs[kQuantiles + 2];
+  double ys[kQuantiles + 2];
+  xs[0] = 0.0;
+  ys[0] = min_;
+  for (std::size_t i = 0; i < kQuantiles; ++i) {
+    xs[i + 1] = kTracked[i] * 100.0;
+    ys[i + 1] = q_[i].estimate();
+  }
+  xs[kQuantiles + 1] = 100.0;
+  ys[kQuantiles + 1] = max_;
+  const double pc = std::clamp(p, 0.0, 100.0);
+  for (std::size_t i = 0; i + 1 < kQuantiles + 2; ++i) {
+    if (pc <= xs[i + 1]) {
+      const double span = xs[i + 1] - xs[i];
+      if (span <= 0.0) return ys[i + 1];
+      const double f = (pc - xs[i]) / span;
+      return ys[i] + f * (ys[i + 1] - ys[i]);
+    }
+  }
+  return max_;
+}
+
+bool operator==(const SojournSketch& a, const SojournSketch& b) noexcept {
+  return a.q_ == b.q_ && a.count_ == b.count_ && a.min_ == b.min_ &&
+         a.max_ == b.max_ && a.sum_ == b.sum_;
+}
+
+void encode_sojourn_sketch(const SojournSketch& s, common::ByteWriter& out) {
+  for (const auto& sk : s.q_) encode_sketch(sk, out);
+  out.u64(s.count_);
+  out.f64(s.min_);
+  out.f64(s.max_);
+  out.f64(s.sum_);
+}
+
+bool decode_sojourn_sketch(common::ByteReader& in, SojournSketch& s) {
+  for (auto& sk : s.q_) {
+    if (!decode_sketch(in, sk)) return false;
+  }
+  s.count_ = in.u64();
+  s.min_ = in.f64();
+  s.max_ = in.f64();
+  s.sum_ = in.f64();
+  return in.ok();
+}
+
+}  // namespace odin::core

@@ -1,0 +1,114 @@
+// Streaming percentile sketches with bounded, checkpointable state.
+//
+// A million-request campaign cannot afford one double per served request
+// just to report p99 sojourn at the end (1e6 requests x 1e3 tenants would
+// be gigabytes). The P² algorithm (Jain & Chlamtac, CACM 1985) estimates a
+// single quantile online with five markers — five heights, five integer
+// positions — updated in O(1) per observation. The state is a handful of
+// doubles and integers, so it serializes exactly (bit-for-bit) into the
+// serving checkpoint and a resumed campaign continues the estimate as if
+// it had never crashed.
+//
+// SojournSketch bundles the fixed quantile set the serving reports use
+// (p50/p90/p95/p99) plus exact min/max/count/sum, and interpolates between
+// the tracked points for intermediate percentile queries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/binary_io.hpp"
+
+namespace odin::core {
+
+/// One-quantile P² estimator. Deterministic: the estimate is a pure
+/// function of the observation sequence, with no randomness and no
+/// allocation, so two walks that feed identical samples agree bitwise.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double p = 0.99) noexcept : p_(p) {}
+
+  void add(double x) noexcept;
+
+  /// Current estimate of the p-quantile. Exact (nearest-rank on the
+  /// buffered observations) while count() <= 5; 0 when empty.
+  double estimate() const noexcept;
+
+  double quantile_p() const noexcept { return p_; }
+  std::uint64_t count() const noexcept { return n_; }
+
+  /// Exact serialized form; restoring it reproduces the estimator
+  /// bit-for-bit (all state is doubles and integers).
+  struct State {
+    double p = 0.99;
+    std::uint64_t n = 0;
+    std::array<double, 5> q{};        ///< marker heights
+    std::array<std::int64_t, 5> pos{};  ///< marker positions (1-based)
+  };
+  State state() const noexcept { return {p_, n_, q_, pos_}; }
+  void restore(const State& s) noexcept {
+    p_ = s.p;
+    n_ = s.n;
+    q_ = s.q;
+    pos_ = s.pos;
+  }
+
+  friend bool operator==(const QuantileSketch& a,
+                         const QuantileSketch& b) noexcept {
+    return a.p_ == b.p_ && a.n_ == b.n_ && a.q_ == b.q_ && a.pos_ == b.pos_;
+  }
+
+ private:
+  double p_ = 0.99;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> q_{};
+  std::array<std::int64_t, 5> pos_{};
+};
+
+void encode_sketch(const QuantileSketch& s, common::ByteWriter& out);
+/// Overwrites `s` from the stream; false on truncation (reader !ok()).
+bool decode_sketch(common::ByteReader& in, QuantileSketch& s);
+
+/// The bounded-memory percentile surface a tenant keeps when raw sojourn
+/// retention is capped: four P² estimators at the report quantiles plus
+/// exact extremes and mean. ~200 bytes regardless of sample count.
+class SojournSketch {
+ public:
+  SojournSketch() noexcept;
+
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Percentile estimate for p in [0, 100]: piecewise-linear through
+  /// (0, min), the tracked quantiles (50/90/95/99) and (100, max).
+  double percentile(double p) const noexcept;
+
+  friend bool operator==(const SojournSketch& a,
+                         const SojournSketch& b) noexcept;
+
+  static constexpr std::size_t kQuantiles = 4;
+  static constexpr std::array<double, kQuantiles> kTracked = {0.50, 0.90,
+                                                              0.95, 0.99};
+
+  friend void encode_sojourn_sketch(const SojournSketch& s,
+                                    common::ByteWriter& out);
+  friend bool decode_sojourn_sketch(common::ByteReader& in, SojournSketch& s);
+
+ private:
+  std::array<QuantileSketch, kQuantiles> q_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+void encode_sojourn_sketch(const SojournSketch& s, common::ByteWriter& out);
+bool decode_sojourn_sketch(common::ByteReader& in, SojournSketch& s);
+
+}  // namespace odin::core

@@ -1,6 +1,11 @@
 // Run-trace recording: capture per-run records from a horizon simulation
 // and export them as CSV, so downstream users can plot the paper's figures
 // from raw data instead of re-parsing bench output.
+//
+// Naming note: a RunTrace records the *outputs* of a finished walk. It is
+// unrelated to core/scenario.hpp's workload traces (ScenarioTrace /
+// ArrivalGenerator), which are the deterministic *input* stream of request
+// arrivals, churn and chaos events a campaign replays (DESIGN.md §17).
 #pragma once
 
 #include <iosfwd>

@@ -83,6 +83,22 @@ class FaultInjector {
 
   int campaigns() const noexcept { return campaigns_; }
 
+  /// Run `n` campaigns back-to-back — the correlated write activity of a
+  /// fault storm, driven from the scenario trace clock rather than
+  /// independent draws. Returns how many failed to converge.
+  int program_campaigns(int n) {
+    int failed = 0;
+    for (int i = 0; i < n; ++i)
+      if (!program_campaign()) ++failed;
+    return failed;
+  }
+
+  /// Append a drift-acceleration window at runtime (the scenario engine
+  /// injects storm windows from the trace clock this way). Bursts consume
+  /// no randomness, so the (seed, campaign count) replay fingerprint and
+  /// fast_forward are unaffected.
+  void add_burst(const DriftBurst& burst) { params_.bursts.push_back(burst); }
+
   /// Fraction of cells stuck from endurance wear after the campaigns so far.
   double stuck_cell_fraction() const noexcept;
   /// Fraction of the array covered by failed wordlines / bitlines.

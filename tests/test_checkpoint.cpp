@@ -143,6 +143,54 @@ ServingCheckpoint sample_checkpoint(const ou::MappedModel& tenant) {
   ckpt.service_models = {{{1.5e-9, 2.5e-7}, 0.62}, {{0.0, 0.0}, 1.0}};
   ckpt.result.tenants[0].service_s = 4.75e-3;
   ckpt.result.tenants[0].pipelined_runs = 17;
+  // v6 scenario surface: bounded sojourn retention (live per-tenant
+  // sketches past the cap) plus an embedded mid-campaign state.
+  for (int i = 0; i < 9; ++i)
+    ckpt.result.tenants[0].sojourn_sketch.add(1e-4 * (i + 1));
+  ckpt.result.tenants[0].sojourn_dropped = 11;
+  ckpt.sojourn_cap = 64;
+  ckpt.has_scenario = true;
+  ckpt.scenario.seed = 42;
+  ckpt.scenario.requests = 100'000;
+  ckpt.scenario.tenants = 2;
+  ckpt.scenario.shards = 2;
+  ckpt.scenario.epochs = 2;
+  ckpt.scenario.autoscale = true;
+  ckpt.scenario.next_event = 5'120;
+  ckpt.scenario.clock_s = 4'321.0;
+  ckpt.scenario.epoch = 1;
+  ckpt.scenario.storms_fired = 1;
+  ckpt.scenario.rescales = 3;
+  ckpt.scenario.migrations = 7;
+  ckpt.scenario.storm_campaigns_fired = 8;
+  ckpt.scenario.misses = 12;
+  ckpt.scenario.sheds = 2;
+  ckpt.scenario.flash_requests = 640;
+  ckpt.scenario.energy_j = 0.75;
+  ckpt.scenario.edp_sum = 1.5e-3;
+  ckpt.scenario.migration_s = 1.4e-2;
+  ckpt.scenario.migration_energy_j = 3.5e-3;
+  ckpt.scenario.shard_busy_until_s = {4300.0, 4400.5};
+  ckpt.scenario.shard_pes = {20, 16};
+  ckpt.scenario.tenant_shard = {0, 1};
+  ckpt.scenario.shard_demand = {12.5, 3.25};
+  ckpt.scenario.tenant_demand = {10.0, 5.75};
+  ckpt.scenario.shard_wear = {{3, 5, 1, 0, 0}, {1, 2, 0, 1, 0}};
+  ckpt.scenario.storm_shard_mask = {0b01};
+  for (int i = 0; i < 25; ++i) {
+    const double slack = 1e-3 * (i - 4);
+    ckpt.scenario.slack_p1.add(slack);
+    ckpt.scenario.flash_slack_p1.add(slack * 0.5);
+    ckpt.scenario.tier_slack_p1[i % 3].add(slack);
+    ckpt.scenario.sojourn.add(1e-3 * (i + 1));
+  }
+  ckpt.scenario.epoch_energy_j = {0.5, 0.25};
+  ckpt.scenario.epoch_edp_sum = {1e-3, 5e-4};
+  ckpt.scenario.epoch_requests = {3'000, 2'120};
+  ckpt.scenario.epoch_misses = {9, 3};
+  ckpt.scenario.epoch_sheds = {2, 0};
+  ckpt.scenario.epoch_slack_p1.resize(2, QuantileSketch(0.01));
+  ckpt.scenario.epoch_slack_p1[0].add(2e-3);
   return ckpt;
 }
 
@@ -204,6 +252,22 @@ TEST(Checkpoint, PayloadRoundTripIsExact) {
   EXPECT_EQ(decoded->service_models[1].pipeline_overlap, 1.0);
   EXPECT_EQ(decoded->result.tenants[0].service_s, 4.75e-3);
   EXPECT_EQ(decoded->result.tenants[0].pipelined_runs, 17);
+  // v6 scenario surface.
+  EXPECT_EQ(decoded->sojourn_cap, 64u);
+  EXPECT_EQ(decoded->result.tenants[0].sojourn_dropped, 11);
+  EXPECT_TRUE(decoded->result.tenants[0].sojourn_sketch ==
+              ckpt.result.tenants[0].sojourn_sketch);
+  EXPECT_TRUE(decoded->has_scenario);
+  EXPECT_EQ(decoded->scenario.seed, 42u);
+  EXPECT_EQ(decoded->scenario.next_event, 5'120u);
+  EXPECT_EQ(decoded->scenario.clock_s, 4'321.0);
+  EXPECT_EQ(decoded->scenario.shard_pes, ckpt.scenario.shard_pes);
+  EXPECT_EQ(decoded->scenario.storm_shard_mask, ckpt.scenario.storm_shard_mask);
+  EXPECT_TRUE(decoded->scenario.slack_p1 == ckpt.scenario.slack_p1);
+  EXPECT_TRUE(decoded->scenario.sojourn == ckpt.scenario.sojourn);
+  ASSERT_EQ(decoded->scenario.epoch_slack_p1.size(), 2u);
+  EXPECT_TRUE(decoded->scenario.epoch_slack_p1[0] ==
+              ckpt.scenario.epoch_slack_p1[0]);
   // ...then pin full equality through the codec itself: re-encoding the
   // decoded checkpoint must reproduce the identical byte stream.
   common::ByteWriter reencoded;
@@ -694,6 +758,161 @@ TEST(Checkpoint, Version4FrameDecodesAsSingleShardFleet) {
   EXPECT_TRUE(ckpt->service_models.empty());
   EXPECT_EQ(ckpt->result.tenants[0].service_s, 0.0);
   EXPECT_EQ(ckpt->result.tenants[0].pipelined_runs, 0);
+  std::remove(path.c_str());
+}
+
+/// A minimal *version 5* payload: the v4 layout plus the fleet surface,
+/// ending exactly where v5 ended — no scenario tail. Pins the decoder's
+/// pre-scenario path: a frame written before the campaign engine existed
+/// must resume with sojourn retention uncapped and no embedded campaign.
+std::string v5_payload() {
+  common::ByteWriter out;
+  out.u64(2);       // segment
+  out.u64(41);      // next_run
+  out.i32(6);       // segments
+  out.i32(120);     // horizon_runs
+  out.f64(1.0);     // t_start_s
+  out.f64(1e8);     // t_end_s
+  out.u64(1);       // tenant_names
+  out.str("TinyNet");
+  out.str("Odin");  // result.label
+  out.u64(1);       // result.tenants
+  {                 // one v5 tenant record
+    out.str("TinyNet");
+    out.i32(41);   // runs
+    out.i32(3);    // reprograms
+    out.i32(77);   // mismatches
+    out.i32(2);    // retries
+    out.i32(1);    // degraded_runs
+    out.i32(4);    // updates_accepted
+    out.i32(0);    // updates_rejected
+    out.i32(0);    // updates_rolled_back
+    out.i64(5);    // buffer_dropped
+    out.i64(0);    // buffer_quarantined
+    out.f64(1.25e-3);  // inference energy/latency
+    out.f64(3.5e-4);
+    out.f64(4.0e-3);  // reprogram energy/latency
+    out.f64(9.0e-4);
+    out.f64(0.0);  // v2: slo_s
+    out.i32(0);    // shed_runs
+    out.i32(0);    // breaker_open_runs
+    out.i32(0);    // deadline_misses
+    out.i32(0);    // deferred_reprograms
+    out.i32(0);    // deadline_stopped_retries
+    out.i32(0);    // searches_truncated
+    out.i32(0);    // breaker_opens
+    out.i32(0);    // breaker_reopens
+    out.i32(0);    // breaker_probes
+    out.i32(0);    // breaker_closes
+    out.i32(0);    // watchdog_stalls
+    out.u64(2);    // sojourn samples
+    out.f64(3.5e-4);
+    out.f64(1.9e-3);
+    out.i32(0);    // v3: batches_formed
+    out.i32(0);    // batch_members
+    out.i32(0);    // max_batch
+    out.i32(0);    // batch_slo_capped
+    out.i32(6);    // v4: rows_remapped
+    out.i32(1);    // crossbars_retired
+    out.i64(384);  // writes_leveled
+    out.i32(2);    // wear_deferred_reprograms
+    out.i32(10);   // spares_remaining
+    out.f64(4.75e-3);  // v5: service_s
+    out.i32(17);       // pipelined_runs
+  }
+  out.f64(2.0e-3);  // programming energy/latency
+  out.f64(1.0e-4);
+  out.i32(3);  // switches
+  out.i32(4);  // policy_updates
+  {            // controller snapshot (unversioned, same as v1)
+    out.f64(12.5);    // programmed_at_s
+    out.i32(3);       // reprogram_count
+    out.i32(4);       // update_count
+    out.f64(1.0);     // health_fraction
+    out.boolean(false);
+    out.f64(1.0);     // eta_scale
+    out.i32(2);       // retry_count
+    out.i32(1);       // degraded_runs
+    out.i32(4);       // updates_accepted
+    out.i32(0);       // updates_rejected
+    out.i32(0);       // updates_rolled_back
+    out.i32(0);       // probation_left
+    out.i64(0);       // probation_mismatches
+    out.i64(0);       // probation_layers
+    out.f64(0.0);     // pre_update_rate
+    out.f64(0.0);     // mismatch_rate_ema
+    out.u64(0);       // buffer_entries
+    out.u64(0);       // buffer_quarantine
+    out.u64(0);       // last_update_batch
+    out.u64(5);       // buffer_dropped
+    out.u64(0);       // buffer_quarantine_hits
+    out.str("");      // policy_blob
+    out.str("");      // last_good_blob
+  }
+  out.boolean(true);  // has_faults
+  out.i32(7);         // wear: campaigns
+  out.i32(12);        // stuck_cells
+  out.i32(1);         // failed_wordlines
+  out.i32(0);         // failed_bitlines
+  out.u64(0);         // health_maps
+  out.boolean(false);  // v2: has_resilience
+  out.i32(0);          // shed_policy
+  out.u64(0);          // queue_capacity
+  out.f64(0.0);        // busy_until_s
+  out.u64(0);          // pending_runs
+  out.u64(0);          // breakers
+  out.u64(0);          // fallback_ous
+  out.boolean(false);  // v3: batching_enabled
+  out.i32(0);          // batch_cap
+  out.boolean(true);   // v4: leveling_enabled
+  out.i32(16);         // leveling_spare_rows
+  out.f64(0.8);        // leveling_wear_budget
+  out.i32(1);          // wear.crossbars_retired
+  out.i32(4);          // wear_seg_base_rows_remapped
+  out.i32(1);          // wear_seg_base_crossbars_retired
+  out.i64(256);        // wear_seg_base_writes_leveled
+  out.i32(2);          // controller.wear_deferred_reprograms
+  out.i32(1);          // controller.retired_seen
+  out.u64(0);          // wear_maps
+  out.i32(2);          // v5: fleet_shards
+  out.i32(1);          // fleet_shard_index
+  out.boolean(true);   // has_service_models
+  out.u64(1);          // service_models
+  out.f64(1.5e-9);     // noc_extra.energy_j
+  out.f64(2.5e-7);     // noc_extra.latency_s
+  out.f64(0.62);       // pipeline_overlap
+  return out.bytes();
+}
+
+TEST(Checkpoint, Version5FrameDecodesWithScenarioDefaults) {
+  const std::string path = temp_base("v5scenario") + ".a";
+  write_file(path, frame_with_version(5, 9, v5_payload()));
+  const auto ckpt = load_checkpoint_file(path);
+  ASSERT_TRUE(ckpt.has_value());
+  // The v5 fields decode as written...
+  EXPECT_EQ(ckpt->segment, 2u);
+  EXPECT_EQ(ckpt->fleet_shards, 2);
+  EXPECT_EQ(ckpt->fleet_shard_index, 1);
+  ASSERT_EQ(ckpt->service_models.size(), 1u);
+  EXPECT_EQ(ckpt->service_models[0].pipeline_overlap, 0.62);
+  ASSERT_EQ(ckpt->result.tenants.size(), 1u);
+  EXPECT_EQ(ckpt->result.tenants[0].service_s, 4.75e-3);
+  EXPECT_EQ(ckpt->result.tenants[0].pipelined_runs, 17);
+  // ...and the scenario surface comes back in the pre-campaign default
+  // state: retention uncapped (the vector holds every sample, so the
+  // sketch fallback never triggers), no embedded campaign, a
+  // default-constructed CampaignState.
+  EXPECT_EQ(ckpt->sojourn_cap, 0u);
+  EXPECT_FALSE(ckpt->has_scenario);
+  EXPECT_EQ(ckpt->scenario.seed, 0u);
+  EXPECT_EQ(ckpt->scenario.next_event, 0u);
+  EXPECT_TRUE(ckpt->scenario.shard_pes.empty());
+  EXPECT_TRUE(ckpt->scenario.storm_shard_mask.empty());
+  EXPECT_EQ(ckpt->scenario.slack_p1.count(), 0u);
+  EXPECT_EQ(ckpt->result.tenants[0].sojourn_sketch.count(), 0u);
+  EXPECT_EQ(ckpt->result.tenants[0].sojourn_dropped, 0);
+  ASSERT_EQ(ckpt->result.tenants[0].sojourn_s.size(), 2u);
+  EXPECT_EQ(ckpt->result.tenants[0].sojourn_s[1], 1.9e-3);
   std::remove(path.c_str());
 }
 

@@ -3,9 +3,10 @@
 // ODIN_BATCH_MAX batch-formation cap (core/resilience.hpp) and the
 // ODIN_SPARE_ROWS / ODIN_WEAR_BUDGET wear-leveling knobs
 // (reram/wear_leveling.hpp) and the ODIN_SHARDS fleet shard count
-// (core/fleet.hpp). The contract (DESIGN.md §13/§14/§15/§16): a value
-// must parse in full or it is ignored with a stderr warning and the
-// default applies — a typo never silently changes behaviour.
+// (core/fleet.hpp) and the ODIN_SCENARIO_SEED / ODIN_AUTOSCALE campaign
+// knobs (core/scenario.hpp). The contract (DESIGN.md §13/§14/§15/§16/§17):
+// a value must parse in full or it is ignored with a stderr warning and
+// the default applies — a typo never silently changes behaviour.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include "common/env.hpp"
 #include "core/fleet.hpp"
 #include "core/resilience.hpp"
+#include "core/scenario.hpp"
 #include "reram/batch_gemm.hpp"
 #include "reram/wear_leveling.hpp"
 
@@ -221,6 +223,74 @@ TEST(Env, OdinShardsDefaultsAndClamps) {
     EXPECT_EQ(cfg.resolved_shards(), 4);
     cfg.shards = 5000;
     EXPECT_EQ(cfg.resolved_shards(), cfg.pim.pes);
+  }
+}
+
+TEST(Env, ScenarioSeedDefaultsAndFloor) {
+  core::ScenarioConfig cfg;
+  {
+    ScopedEnv env("ODIN_SCENARIO_SEED", nullptr);
+    EXPECT_EQ(cfg.resolved_seed(), 1u);  // baked-in default seed
+  }
+  {
+    ScopedEnv env("ODIN_SCENARIO_SEED", "1234");
+    EXPECT_EQ(cfg.resolved_seed(), 1234u);
+  }
+  {
+    ScopedEnv env("ODIN_SCENARIO_SEED", "12cows");  // garbage: warn+default
+    EXPECT_EQ(cfg.resolved_seed(), 1u);
+  }
+  {
+    ScopedEnv env("ODIN_SCENARIO_SEED", "0");  // below the floor: default
+    EXPECT_EQ(cfg.resolved_seed(), 1u);
+  }
+  {
+    ScopedEnv env("ODIN_SCENARIO_SEED", "-3");  // below the floor: default
+    EXPECT_EQ(cfg.resolved_seed(), 1u);
+  }
+  {
+    // An explicit config seed wins over the environment entirely.
+    ScopedEnv env("ODIN_SCENARIO_SEED", "1234");
+    cfg.seed = 7;
+    EXPECT_EQ(cfg.resolved_seed(), 7u);
+  }
+}
+
+TEST(Env, AutoscaleTriStateFollowsStrictContract) {
+  core::AutoscaleConfig cfg;
+  {
+    ScopedEnv env("ODIN_AUTOSCALE", nullptr);
+    EXPECT_TRUE(cfg.resolved_enabled());  // baked-in default: on
+  }
+  {
+    ScopedEnv env("ODIN_AUTOSCALE", "off");
+    EXPECT_FALSE(cfg.resolved_enabled());
+  }
+  {
+    ScopedEnv env("ODIN_AUTOSCALE", "0");
+    EXPECT_FALSE(cfg.resolved_enabled());
+  }
+  {
+    ScopedEnv env("ODIN_AUTOSCALE", "on");
+    EXPECT_TRUE(cfg.resolved_enabled());
+  }
+  {
+    ScopedEnv env("ODIN_AUTOSCALE", "1");
+    EXPECT_TRUE(cfg.resolved_enabled());
+  }
+  for (const char* bad : {"yes", "ON", "off ", "2", "true"}) {
+    // Garbage warns and falls back to the default — never a third state.
+    ScopedEnv env("ODIN_AUTOSCALE", bad);
+    EXPECT_TRUE(cfg.resolved_enabled()) << "value '" << bad << "'";
+  }
+  {
+    // An explicit config setting wins over the environment entirely.
+    ScopedEnv env("ODIN_AUTOSCALE", "on");
+    cfg.enabled = 0;
+    EXPECT_FALSE(cfg.resolved_enabled());
+    cfg.enabled = 1;
+    ScopedEnv env2("ODIN_AUTOSCALE", "off");
+    EXPECT_TRUE(cfg.resolved_enabled());
   }
 }
 

@@ -45,6 +45,17 @@
 //       ODIN_SHARDS environment default (1). With --wear, each shard
 //       gets its own injector seeded SEED+k so placement can steer
 //       tenants off worn shards.
+//   odin_cli campaign [--file SCENARIO] [--seed N] [--tenants N]
+//                     [--requests N] [--shards N] [--epochs N]
+//                     [--autoscale on|off] [--checkpoint BASE] [--every N]
+//                     [--max-requests N] [--resume]
+//       Seeded, replayable workload-trace campaign (core/scenario.hpp):
+//       diurnal arrivals, flash crowds, tenant churn, correlated fault
+//       storms and reactive autoscaling over the sharded mesh. --file
+//       reads a scenario file (docs/scenario_format.md); flags override
+//       it. --max-requests simulates a crash mid-campaign; --resume
+//       reinstates the newest checkpoint of the pair and finishes the
+//       campaign bitwise-identical to an uninterrupted run.
 //
 // All randomness is seeded; outputs are reproducible.
 #include <algorithm>
@@ -62,6 +73,7 @@
 #include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
 #include "core/fleet.hpp"
+#include "core/scenario.hpp"
 #include "core/serving.hpp"
 #include "ou/search.hpp"
 #include "policy/serialization.hpp"
@@ -569,6 +581,72 @@ int cmd_resume(const std::string& base, int argc, char** argv) {
   return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  core::CampaignConfig cfg;
+  // A scenario file seeds the configuration; flags override it.
+  if (const auto file = flag_value(argc, argv, "--file")) {
+    auto parsed = core::parse_scenario_file(*file);
+    if (!parsed) return 1;
+    cfg = std::move(*parsed);
+  }
+  if (const auto v = flag_value(argc, argv, "--seed"))
+    cfg.scenario.seed = std::strtoull(v->c_str(), nullptr, 10);
+  if (const auto v = flag_value(argc, argv, "--tenants"))
+    cfg.scenario.tenants = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--requests"))
+    cfg.scenario.requests = std::atoll(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--shards"))
+    cfg.shards = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--epochs"))
+    cfg.epochs = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--autoscale")) {
+    if (*v != "on" && *v != "off" && *v != "1" && *v != "0") {
+      std::fprintf(stderr, "bad --autoscale (on|off|1|0)\n");
+      return 1;
+    }
+    cfg.autoscale.enabled = (*v == "on" || *v == "1") ? 1 : 0;
+  }
+  if (const auto v = flag_value(argc, argv, "--checkpoint"))
+    cfg.checkpoint.base_path = *v;
+  if (const auto v = flag_value(argc, argv, "--every"))
+    cfg.checkpoint.every_runs = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--max-requests"))
+    cfg.max_requests = std::atoll(v->c_str());
+
+  bool resume = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+
+  std::optional<core::CampaignResult> result;
+  if (resume) {
+    if (cfg.checkpoint.base_path.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint BASE\n");
+      return 1;
+    }
+    result = core::resume_campaign(cfg);
+    if (!result) {
+      std::fprintf(stderr,
+                   "no matching campaign checkpoint at %s.{a,b} "
+                   "(check --seed/--tenants/--requests/--shards/--epochs/"
+                   "--autoscale)\n",
+                   cfg.checkpoint.base_path.c_str());
+      return 1;
+    }
+  } else {
+    result = core::run_campaign(cfg);
+  }
+  std::fputs(result->summary().c_str(), stdout);
+  if (cfg.max_requests > 0 &&
+      result->requests() < cfg.scenario.requests &&
+      !cfg.checkpoint.base_path.empty())
+    std::printf(
+        "stopped after %lld requests (simulated crash); resume with:\n"
+        "  odin_cli campaign --resume --checkpoint %s [same flags]\n",
+        static_cast<long long>(result->requests()),
+        cfg.checkpoint.base_path.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: odin_cli <command> [...]\n"
@@ -580,6 +658,20 @@ int usage() {
                " [--every N] [--max-runs N] [--crossbar N]\n"
                "  resume <base> [--workload W] [--runs N] [--segments K]"
                " [--crossbar N]\n"
+               "  campaign [--file SCENARIO] [--seed N] [--tenants N]"
+               " [--requests N]\n"
+               "           [--shards N] [--epochs N] [--autoscale on|off]\n"
+               "           [--checkpoint BASE] [--every N] [--max-requests N]"
+               " [--resume]\n"
+               "     (seeded, replayable workload-trace campaign on the"
+               " 36-PE mesh:\n"
+               "      diurnal arrivals, flash crowds, tenant churn,"
+               " correlated fault\n"
+               "      storms, reactive autoscaling; --file reads a scenario"
+               " file\n"
+               "      (docs/scenario_format.md), --max-requests simulates a"
+               " crash,\n"
+               "      --resume continues from the checkpoint pair bitwise)\n"
                "  serve [--workloads A,B,C] [--runs N] [--segments K]"
                " [--crossbar N]\n"
                "        [--slo S] [--queue N] [--shed block|oldest|newest]"
@@ -624,5 +716,6 @@ int main(int argc, char** argv) {
   if (cmd == "resume" && argc >= 3 && argv[2][0] != '-')
     return cmd_resume(argv[2], argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
   return usage();
 }

@@ -25,12 +25,18 @@
 # The fleet arm (fleet_throughput: shard-count sweep over the 36-PE mesh
 # with NoC-aware placement vs the round-robin baseline) writes
 # BENCH_fleet.json.
+# The campaign arm (fleet_campaign: the trace-driven million-request
+# scenario with fault storms, churn and autoscaling — replay determinism,
+# mid-storm crash/resume, autoscaled-vs-static flash-phase slack) writes
+# BENCH_fleet_campaign.json; set ODIN_CAMPAIGN_SMOKE=1 for the small
+# smoke-scale variant (30k requests / 120 tenants instead of 1.2M / 1200).
 # Every emitted JSON records the build type and git revision it was
 # measured from.
 #
 # Usage: tools/run_bench.sh [build-dir] [threads]
 #   build-dir  defaults to <repo>/build-release (configured Release here)
 #   threads    defaults to nproc (the "parallel" arm; 1 is always run too)
+#   ODIN_CAMPAIGN_SMOKE=1 runs the campaign arm at smoke scale
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -47,6 +53,7 @@ cmake --build "$BUILD" -j --target \
     micro_mvm micro_search_overhead fig8_edp_all_dnns \
     batching_throughput fault_campaign robustness_overhead \
     serving_resilience endurance_projection fleet_throughput \
+    fleet_campaign \
     >"$TMP/build.log"
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
@@ -93,6 +100,19 @@ echo "[bench] fleet_throughput -> BENCH_fleet.json" >&2
 "$BUILD/bench/fleet_throughput" --json "$REPO/BENCH_fleet.json" \
   --build-type "$BUILD_TYPE" --git-sha "$GIT_SHA" \
   >"$TMP/fleet_throughput.log"
+
+# The campaign arm exits nonzero if replay or crash/resume is not
+# byte-identical, so a determinism regression fails the whole harness.
+CAMPAIGN_FLAGS=()
+if [[ "${ODIN_CAMPAIGN_SMOKE:-0}" != 0 ]]; then
+  CAMPAIGN_FLAGS+=(--smoke)
+fi
+echo "[bench] fleet_campaign${CAMPAIGN_FLAGS[0]:+ (smoke)}" \
+  "-> BENCH_fleet_campaign.json" >&2
+"$BUILD/bench/fleet_campaign" --json "$REPO/BENCH_fleet_campaign.json" \
+  --build-type "$BUILD_TYPE" --git-sha "$GIT_SHA" \
+  ${CAMPAIGN_FLAGS[@]+"${CAMPAIGN_FLAGS[@]}"} \
+  >"$TMP/fleet_campaign.log"
 
 # Single-thread so the kernel sweep isolates the batching/SIMD win from
 # thread-pool scaling (which BENCH_parallel.json already covers).
