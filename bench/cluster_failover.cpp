@@ -1,0 +1,295 @@
+// Extension — cross-mesh failover campaign: mesh-loss fault domains,
+// replicated checkpoints and bounded-RTO tenant evacuation (core/cluster).
+//
+// One seeded scenario drives a multi-mesh cluster (three meshes, each a
+// sharded fleet running the identical campaign analytics) into a
+// whole-mesh outage that opens mid-campaign, while a correlated fault
+// storm is still active on the fleet. Three arms run over the identical
+// trace:
+//
+//  * failover on — tenant state replicates to a peer mesh at an epoch
+//    cadence; when the mesh dies, its tenants are restored from the
+//    freshest surviving replica onto the least-loaded surviving meshes
+//    under degraded admission (breakers pre-opened, destination arrays
+//    re-bootstrapped), and per-tenant RTO/RPO is reported;
+//  * failover off — the same outage with nobody evacuating: the dark
+//    mesh's arrivals are dropped for the whole window (the unbounded-loss
+//    baseline);
+//  * crash/resume — the failover-on campaign killed mid-failover
+//    (max_requests) with periodic v7 checkpoints, then resumed.
+//
+// The headline claims this bench exists to pin (BENCH_cluster.json):
+//  * recovery — failover serves >= 95% of post-outage victim-tenant
+//    arrivals, vs the unbounded drop of the failover-off arm;
+//  * bounded RTO — every evacuation completes within the reported
+//    detection + serialized-restore budget (rto_max_s);
+//  * determinism — same-seed replay and the mid-failover resume are
+//    byte-identical to the uninterrupted run.
+// The bench exits nonzero if any of those fail, so a regression in the
+// failover path fails the harness.
+//
+// --smoke shrinks the horizon for CI; --requests/--tenants override the
+// campaign size; --json PATH writes the summary (BENCH_cluster.json);
+// --build-type and --git-sha stamp provenance (tools/run_bench.sh).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/cluster.hpp"
+
+using namespace odin;
+
+namespace {
+
+/// Minimal JSON string escape for the summary blob (it contains newlines).
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\n')
+      out += "\\n";
+    else if (c == '"' || c == '\\')
+      (out += '\\') += c;
+    else
+      out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  const char* build_type = "unknown";
+  const char* git_sha = "unknown";
+  long long requests = 600'000;
+  int tenants = 300;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (i + 1 >= argc) continue;
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--build-type") == 0) build_type = argv[i + 1];
+    if (std::strcmp(argv[i], "--git-sha") == 0) git_sha = argv[i + 1];
+    if (std::strcmp(argv[i], "--requests") == 0)
+      requests = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--tenants") == 0)
+      tenants = std::atoi(argv[i + 1]);
+  }
+  if (smoke) {
+    requests = 30'000;
+    tenants = 120;
+  }
+
+  bench::banner(
+      "Extension: cross-mesh failover (mesh-loss domains + replicated "
+      "checkpoints)");
+
+  core::ClusterConfig cfg;
+  cfg.campaign.scenario.seed = 1;
+  cfg.campaign.scenario.tenants = tenants;
+  cfg.campaign.scenario.requests = requests;
+  // A wide storm spanning [0.45, 0.80] of the horizon so the mesh loss at
+  // 0.55 provably opens while the fleet is mid-storm.
+  core::FaultStorm storm;
+  storm.start_frac = 0.45;
+  storm.duration_frac = 0.35;
+  storm.drift_multiplier = 3.0;
+  storm.radius = 1;
+  storm.campaigns = 4;
+  cfg.campaign.scenario.storms = {storm};
+  cfg.campaign.shards = 4;  // per mesh: 3 meshes x 4 shards = 12 shards
+  cfg.campaign.epochs = 48;
+  cfg.campaign.sojourn_cap = 64;  // bounded memory at campaign scale
+  cfg.campaign.autoscale.enabled = 1;
+  cfg.meshes = 3;
+  cfg.replication_epochs = 4;
+  cfg.failover.enabled = 1;
+  // One pinned mesh-loss window: mesh 0 dies at 55% of the horizon and
+  // stays dark for 40% of it — long enough that the failover-off arm's
+  // loss is unbounded by any recovery, not a brief blip.
+  core::MeshOutage outage;
+  outage.start_frac = 0.55;
+  outage.duration_frac = 0.40;
+  outage.mesh = 0;
+  cfg.outages = {outage};
+
+  std::printf(
+      "[setup] %lld requests, %d tenants, %d meshes x %d shards, %d epochs, "
+      "replication every %d epochs, outage mesh %d at %.0f%%+%.0f%% of "
+      "horizon\n",
+      requests, tenants, cfg.meshes, cfg.campaign.shards, cfg.campaign.epochs,
+      cfg.replication_epochs, outage.mesh, 100.0 * outage.start_frac,
+      100.0 * outage.duration_frac);
+
+  // Arm 1+2: failover on, run twice — the determinism pin.
+  bench::Stopwatch clock_on;
+  const core::ClusterResult on = core::run_cluster(cfg);
+  const double wall_on = clock_on.seconds();
+  const core::ClusterResult replay = core::run_cluster(cfg);
+  const std::string summary_on = on.summary();
+  const bool deterministic = summary_on == replay.summary();
+  std::printf("[failover-on] %.1fs; same-seed replay byte-identical: %s\n",
+              wall_on, deterministic ? "yes" : "NO");
+
+  // Arm 3: the identical outage with failover off — unbounded loss.
+  core::ClusterConfig off_cfg = cfg;
+  off_cfg.failover.enabled = 0;
+  bench::Stopwatch clock_off;
+  const core::ClusterResult off = core::run_cluster(off_cfg);
+  const double wall_off = clock_off.seconds();
+  std::printf("[failover-off] %.1fs\n", wall_off);
+
+  // Arm 4: kill the failover-on campaign mid-failover, resume from the v7
+  // checkpoint pair, and demand the final summary match arm 1 bitwise.
+  core::ClusterConfig crash_cfg = cfg;
+  crash_cfg.campaign.checkpoint.base_path = "cluster_failover_ckpt";
+  crash_cfg.campaign.checkpoint.every_runs =
+      static_cast<int>(std::max<long long>(1, requests / 16));
+  crash_cfg.campaign.max_requests = (requests * 7) / 10;
+  bench::Stopwatch clock_r;
+  const core::ClusterResult interrupted = core::run_cluster(crash_cfg);
+  const double cut_frac =
+      interrupted.campaign.state.clock_s / cfg.campaign.scenario.horizon_s;
+  const bool mid_outage =
+      interrupted.cluster.outages_fired >= 1 &&
+      cut_frac >= outage.start_frac &&
+      cut_frac < outage.start_frac + outage.duration_frac;
+  const auto resumed = core::resume_cluster(crash_cfg);
+  const double wall_resume = clock_r.seconds();
+  std::remove("cluster_failover_ckpt.a");
+  std::remove("cluster_failover_ckpt.b");
+  if (!resumed.has_value()) {
+    std::fprintf(stderr, "error: resume_cluster refused its own pair\n");
+    return 1;
+  }
+  const bool resume_bitwise = resumed->summary() == summary_on;
+  std::printf(
+      "[crash/resume] killed at %lld/%lld requests (t = %.0f s, %.0f%% of "
+      "horizon, %s the outage window, %d outage(s) fired); resumed summary "
+      "byte-identical: %s (%.1fs)\n",
+      static_cast<long long>(interrupted.campaign.requests()), requests,
+      interrupted.campaign.state.clock_s, 100.0 * cut_frac,
+      mid_outage ? "inside" : "OUTSIDE", interrupted.cluster.outages_fired,
+      resume_bitwise ? "yes" : "NO", wall_resume);
+
+  auto row = [](const char* label, const core::ClusterResult& r,
+                double wall_s) {
+    return std::vector<std::string>{
+        label,
+        common::Table::integer(r.campaign.requests()),
+        common::Table::integer(r.cluster.failovers),
+        common::Table::integer(r.cluster.outage_dropped),
+        common::Table::integer(r.cluster.lost_runs),
+        common::Table::num(r.victim_recovery(), 4),
+        common::Table::num(r.rto_mean_s(), 2),
+        common::Table::num(r.cluster.rto_max_s, 2),
+        common::Table::num(r.rpo_mean_s(), 1),
+        common::Table::num(wall_s, 2)};
+  };
+  common::Table table({"arm", "requests", "failovers", "dropped",
+                       "lost runs", "victim recovery", "RTO mean (s)",
+                       "RTO max (s)", "RPO mean (s)", "wall (s)"});
+  table.add_row(row("failover-on", on, wall_on));
+  table.add_row(row("failover-off", off, wall_off));
+  common::print_table("mesh-loss arms over the identical seeded trace",
+                      table);
+
+  const double recovery_on = on.victim_recovery();
+  const double recovery_off = off.victim_recovery();
+  const bool recovered = recovery_on >= 0.95 && recovery_on > recovery_off;
+  std::printf(
+      "\n[headline] victim-tenant recovery: failover %.4f vs unbounded loss "
+      "%.4f (%lld evacuations, RTO max %.1f s, RPO max %.1f s, %lld stale "
+      "restores); recovery %s, deterministic replay %s, mid-failover resume "
+      "%s\n",
+      recovery_on, recovery_off,
+      static_cast<long long>(on.cluster.failovers), on.cluster.rto_max_s,
+      on.cluster.rpo_max_s, static_cast<long long>(on.cluster.restored_stale),
+      recovered ? "PASS" : "FAIL", deterministic ? "PASS" : "FAIL",
+      resume_bitwise ? "PASS" : "FAIL");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"build_type\": \"%s\",\n"
+        "  \"git_sha\": \"%s\",\n"
+        "  \"note\": \"cross-mesh failover campaign: 3 meshes, pinned "
+        "mesh-0 outage opening mid-storm; checkpoint replication to a peer "
+        "mesh every %d epochs; failover-on vs failover-off over the "
+        "identical trace; crash mid-failover + v7 checkpoint resume\",\n"
+        "  \"requests\": %lld,\n"
+        "  \"tenants\": %d,\n"
+        "  \"meshes\": %d,\n"
+        "  \"shards_per_mesh\": %d,\n"
+        "  \"epochs\": %d,\n"
+        "  \"replication_epochs\": %d,\n"
+        "  \"seed\": %llu,\n"
+        "  \"outage\": {\"mesh\": %d, \"start_frac\": %.17g, "
+        "\"duration_frac\": %.17g},\n",
+        build_type, git_sha, on.replication_epochs, requests, tenants,
+        on.meshes, on.shards_per_mesh, cfg.campaign.epochs,
+        on.replication_epochs,
+        static_cast<unsigned long long>(on.campaign.scenario.seed),
+        outage.mesh, outage.start_frac, outage.duration_frac);
+    auto arm_json = [&](const char* key, const core::ClusterResult& r,
+                        double wall_s) {
+      std::fprintf(
+          f,
+          "  \"%s\": {\"requests\": %lld, \"failovers\": %lld, "
+          "\"restored_stale\": %lld, \"lost_runs\": %lld, "
+          "\"outage_dropped\": %lld, \"degraded_runs\": %lld, "
+          "\"bootstrap_campaigns\": %lld, \"victim_offered\": %lld, "
+          "\"victim_served\": %lld, \"victim_recovery\": %.17g, "
+          "\"rto_mean_s\": %.17g, \"rto_max_s\": %.17g, "
+          "\"rpo_mean_s\": %.17g, \"rpo_max_s\": %.17g, "
+          "\"replication_rounds\": %d, \"replication_bytes\": %.17g, "
+          "\"replication_s\": %.17g, \"replication_energy_j\": %.17g, "
+          "\"p99_slack_s\": %.17g, \"edp_per_request_js\": %.17g, "
+          "\"bench_wall_s\": %.3f},\n",
+          key, static_cast<long long>(r.campaign.requests()),
+          static_cast<long long>(r.cluster.failovers),
+          static_cast<long long>(r.cluster.restored_stale),
+          static_cast<long long>(r.cluster.lost_runs),
+          static_cast<long long>(r.cluster.outage_dropped),
+          static_cast<long long>(r.cluster.degraded_runs),
+          static_cast<long long>(r.cluster.bootstrap_campaigns),
+          static_cast<long long>(r.cluster.victim_offered),
+          static_cast<long long>(r.cluster.victim_served),
+          r.victim_recovery(), r.rto_mean_s(), r.cluster.rto_max_s,
+          r.rpo_mean_s(), r.cluster.rpo_max_s,
+          static_cast<int>(r.cluster.replication_rounds),
+          r.cluster.replication_bytes, r.cluster.replication_s,
+          r.cluster.replication_energy_j, r.campaign.p99_slack_s(),
+          r.campaign.edp_per_request(), wall_s);
+    };
+    arm_json("failover_on", on, wall_on);
+    arm_json("failover_off", off, wall_off);
+    std::fprintf(f,
+                 "  \"headline\": {\n"
+                 "    \"victim_recovery_on\": %.17g,\n"
+                 "    \"victim_recovery_off\": %.17g,\n"
+                 "    \"recovery_pass\": %s,\n"
+                 "    \"deterministic_replay\": %s,\n"
+                 "    \"mid_failover_crash\": %s,\n"
+                 "    \"resume_bitwise_identical\": %s\n"
+                 "  },\n"
+                 "  \"summary\": \"%s\"\n"
+                 "}\n",
+                 recovery_on, recovery_off, recovered ? "true" : "false",
+                 deterministic ? "true" : "false",
+                 mid_outage ? "true" : "false",
+                 resume_bitwise ? "true" : "false",
+                 escape(on.summary(false)).c_str());
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path);
+  }
+  return deterministic && resume_bitwise && recovered ? 0 : 1;
+}

@@ -8,6 +8,16 @@
 
 namespace odin::arch {
 
+common::EnergyLatency intermesh_transfer(std::int64_t bytes,
+                                         InterMeshLinkParams params) {
+  if (bytes <= 0) return {};
+  return common::EnergyLatency{
+      .energy_j = params.energy_per_byte_j * static_cast<double>(bytes),
+      .latency_s = params.setup_latency_s +
+                   static_cast<double>(bytes) / params.bandwidth_bytes_per_s,
+  };
+}
+
 NocModel::NocModel(int mesh_x, int mesh_y, NocParams params)
     : mesh_x_(mesh_x), mesh_y_(mesh_y), params_(params) {
   assert(mesh_x > 0 && mesh_y > 0);

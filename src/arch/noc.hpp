@@ -16,6 +16,22 @@ struct NocParams {
   double hop_energy_per_flit_j = 0.15 * units::pJ;
 };
 
+/// Inter-mesh replication link (core/cluster): a serial chip-to-chip
+/// channel carrying checkpoint replicas and failover restores between
+/// meshes — orders of magnitude slower and costlier per byte than the
+/// on-die NoC above, which is exactly why replication is asynchronous and
+/// cadence-driven rather than per-serve.
+struct InterMeshLinkParams {
+  double bandwidth_bytes_per_s = 4.0e9;  ///< sustained payload rate
+  double setup_latency_s = 1.0e-6;       ///< per-transfer serialization setup
+  double energy_per_byte_j = 20.0 * units::pJ;
+};
+
+/// Cost of moving `bytes` across the inter-mesh link. Deterministic pure
+/// function; zero or negative byte counts cost nothing.
+common::EnergyLatency intermesh_transfer(std::int64_t bytes,
+                                         InterMeshLinkParams params = {});
+
 class NocModel {
  public:
   NocModel(int mesh_x, int mesh_y, NocParams params = {});

@@ -110,6 +110,13 @@ void encode_tenant(const TenantStats& t, common::ByteWriter& out) {
   // v6: bounded-sojourn surface.
   encode_sojourn_sketch(t.sojourn_sketch, out);
   out.i64(t.sojourn_dropped);
+  // v7: cluster failover surface.
+  out.i32(t.failovers);
+  out.i32(t.restored_stale);
+  out.i64(t.lost_runs);
+  out.i64(t.outage_dropped);
+  out.f64(t.rpo_s);
+  out.f64(t.rto_s);
 }
 
 std::optional<TenantStats> decode_tenant(common::ByteReader& in,
@@ -167,6 +174,14 @@ std::optional<TenantStats> decode_tenant(common::ByteReader& in,
   if (version >= 6) {
     if (!decode_sojourn_sketch(in, t.sojourn_sketch)) return std::nullopt;
     t.sojourn_dropped = in.i64();
+  }
+  if (version >= 7) {
+    t.failovers = in.i32();
+    t.restored_stale = in.i32();
+    t.lost_runs = in.i64();
+    t.outage_dropped = in.i64();
+    t.rpo_s = in.f64();
+    t.rto_s = in.f64();
   }
   if (!in.ok()) return std::nullopt;
   return t;
@@ -390,6 +405,9 @@ void encode_checkpoint(const ServingCheckpoint& ckpt,
   out.u64(ckpt.sojourn_cap);
   out.boolean(ckpt.has_scenario);
   encode_campaign_state(ckpt.scenario, out);
+  // v7: cluster surface.
+  out.boolean(ckpt.has_cluster);
+  encode_cluster_state(ckpt.cluster, out);
 }
 
 std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
@@ -505,6 +523,12 @@ std::optional<ServingCheckpoint> decode_checkpoint(common::ByteReader& in,
     auto scenario = decode_campaign_state(in);
     if (!scenario.has_value()) return std::nullopt;
     ckpt.scenario = std::move(*scenario);
+  }
+  if (version >= 7) {
+    ckpt.has_cluster = in.boolean();
+    auto cluster = decode_cluster_state(in);
+    if (!cluster.has_value()) return std::nullopt;
+    ckpt.cluster = std::move(*cluster);
   }
   if (!in.ok()) return std::nullopt;
   return ckpt;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/binary_io.hpp"
+#include "core/cluster.hpp"
 #include "core/odin.hpp"
 #include "core/scenario.hpp"
 #include "core/serving.hpp"
@@ -51,10 +52,13 @@ namespace odin::core {
 /// sojourn retention cap fingerprint, per-tenant streaming sojourn sketches
 /// with their dropped-sample counters, and the campaign-engine state —
 /// arrival cursor, shard clocks/wear, autoscaler accumulators, trajectory
-/// sketches). Older frames are still accepted, with every added field
-/// defaulting to the feature-disabled state (v5 frames decode with an
-/// uncapped sojourn vector, empty sketches and no campaign state).
-inline constexpr std::uint32_t kCheckpointVersion = 6;
+/// sketches); version 7 added the cluster surface (cluster geometry
+/// fingerprint, outage/replication cursors, per-tenant replica cursors and
+/// failover breakers, RTO/RPO ledgers, plus the per-tenant failover
+/// counters on TenantStats). Older frames are still accepted, with every
+/// added field defaulting to the feature-disabled state (v6 frames decode
+/// as a single-mesh cluster with replication and failover off).
+inline constexpr std::uint32_t kCheckpointVersion = 7;
 
 /// The complete serving state at a run boundary. `segment`/`next_run`
 /// locate the resume point: the next inference to execute is
@@ -126,6 +130,12 @@ struct ServingCheckpoint {
   std::uint64_t sojourn_cap = 0;
   bool has_scenario = false;
   CampaignState scenario;
+  /// Cluster surface (v7+; defaulted for older frames, which decode as a
+  /// single-mesh cluster with replication and failover off). Only
+  /// meaningful when has_cluster (the cluster engine's checkpoints); a
+  /// cluster frame refuses plain resume_campaign and vice versa.
+  bool has_cluster = false;
+  ClusterState cluster;
 };
 
 /// Payload codec (no framing). decode returns nullopt on truncation or a

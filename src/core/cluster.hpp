@@ -1,0 +1,190 @@
+// Cross-mesh failover: replicated checkpoints, mesh-loss fault domains,
+// and bounded-RTO tenant evacuation (DESIGN.md §18).
+//
+// One PE mesh — however well it shards (core/fleet), autoscales and
+// storm-hardens (core/scenario) — is still one fault domain: a power or
+// interconnect event takes every shard on it down together. The cluster
+// layer runs N independent meshes, each serving its own slice of the
+// tenant set through the identical campaign-engine analytics, and makes
+// whole-mesh loss a first-class, recoverable event:
+//
+//  * mesh-loss fault domains — seeded outage windows (MeshOutage) take one
+//    mesh's shards dark for part of the horizon, replayable from the
+//    scenario seed exactly like PR 9's fault storms. While dark, the
+//    mesh's arrivals are dropped (counted, never silently lost) and its
+//    injectors report a paused drift clock (FaultInjector::add_power_down).
+//  * checkpoint replication — at an epoch cadence, every tenant's durable
+//    state is mirrored to a peer mesh over the inter-mesh link
+//    (arch::intermesh_transfer), and the replica's age is tracked so a
+//    failover can report exactly how much each tenant lost (RPO).
+//  * failover — when a mesh dies with failover enabled, its tenants are
+//    restored from the freshest surviving replica onto the least-loaded
+//    surviving mesh (core/fleet pick_least_loaded_block at mesh then
+//    shard granularity), under degraded admission: breakers pre-opened
+//    (CircuitBreaker::force_open) so restored tenants serve the cheap
+//    fallback path until a half-open probe passes, and the destination
+//    array is re-bootstrapped with a write-verify campaign. Per-tenant
+//    recovery time (RTO) is the outage-to-ready gap, serialized restores
+//    queuing behind one detection delay.
+//
+// Determinism: a single-mesh cluster is bitwise-identical to
+// run_campaign — it walks the same arrival stream through the same
+// pricing expressions (campaign_price) over the same shard geometry — and
+// every cluster decision (outage windows, storm target meshes, failover
+// destinations) is a pure function of the seeds and the state, so
+// same-seed replay and mid-campaign resume reproduce the summary byte for
+// byte. The cluster state rides checkpoint payload v7; v6 frames decode
+// as a single-mesh cluster with replication and failover off.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.hpp"
+#include "core/resilience.hpp"
+#include "core/scenario.hpp"
+
+namespace odin::core {
+
+/// One mesh-loss window: mesh `mesh` is dark (all shards unservable, drift
+/// clocks paused) for `duration_frac` of the horizon starting at
+/// `start_frac`. A negative mesh index is resolved from the scenario seed.
+struct MeshOutage {
+  double start_frac = 0.5;
+  double duration_frac = 0.25;
+  int mesh = -1;  ///< victim mesh; -1 = drawn from the seed
+};
+
+/// Failover policy for tenants on a lost mesh.
+struct FailoverConfig {
+  /// Tri-state: < 0 defers to ODIN_FAILOVER ("on"/"off"/"1"/"0", strict
+  /// parse, garbage warns and keeps the default on), 0 = off, > 0 = on.
+  int enabled = -1;
+  /// Outage-to-detection delay before the first restore can start.
+  double detection_s = 30.0;
+  /// Per-tenant restore work on the destination (state reinstatement,
+  /// admission re-registration); restores are serialized, so the i-th
+  /// victim waits behind i - 1 of these plus i replica pulls.
+  double restore_s = 2.0;
+  /// Breaker hold (in tenant runs) a restored tenant is pre-opened for —
+  /// the degraded-admission regime until the half-open probe passes.
+  int degraded_window = 8;
+
+  bool resolved_enabled() const;
+};
+
+struct ClusterConfig {
+  /// The per-mesh campaign (scenario, shards *per mesh*, autoscale,
+  /// epochs, checkpointing). One mesh reproduces run_campaign bitwise.
+  CampaignConfig campaign{};
+  /// Mesh count; <= 0 defers to ODIN_MESHES (strict env_long parse,
+  /// default 1). Clamped to [1, 8].
+  int meshes = 0;
+  /// Outage windows; when empty, `mesh_outages` windows are drawn from the
+  /// scenario seed with `outage_duration_frac` each.
+  std::vector<MeshOutage> outages;
+  int mesh_outages = 1;
+  double outage_duration_frac = 0.25;
+  /// Replicate tenant state to a peer mesh every this many epochs; <= 0
+  /// defers to ODIN_REPLICATION_EPOCHS (strict parse, default 4). Clamped
+  /// to [1, 64].
+  int replication_epochs = 0;
+  FailoverConfig failover{};
+
+  int resolved_meshes() const;
+  int resolved_replication_epochs() const;
+};
+
+/// Durable cluster-engine state (checkpoint payload v7). The fingerprint
+/// block extends CampaignState's resume gate to the cluster geometry; the
+/// rest positions the outage/replication replay and carries the failover
+/// ledgers. A v6 frame decodes to the defaults: one mesh, nothing fired,
+/// empty per-mesh/per-tenant vectors (sized on first use).
+struct ClusterState {
+  // Fingerprint.
+  std::int32_t meshes = 1;
+  std::int32_t replication_epochs = 0;
+  bool failover = false;
+  // Cursor.
+  std::int32_t outages_fired = 0;
+  std::int32_t replication_rounds = 0;
+  // Per-mesh.
+  std::vector<std::uint8_t> mesh_down;
+  std::vector<double> mesh_down_until_s;
+  std::vector<std::int64_t> mesh_served;
+  // Per-tenant replication/restore surface.
+  std::vector<std::int64_t> replica_runs;   ///< runs captured by the replica
+  std::vector<double> replica_time_s;       ///< when it was taken (0 = never)
+  std::vector<std::int32_t> replica_mesh;   ///< where it lives (-1 = none)
+  std::vector<double> tenant_ready_s;       ///< restore completion time
+  std::vector<std::uint8_t> tenant_victim;  ///< ever evacuated off a mesh
+  /// Per-tenant degraded-admission breakers (the failover path force-opens
+  /// them; closed breakers never consume state, so a single-mesh cluster
+  /// stays bitwise-identical to run_campaign).
+  std::vector<CircuitBreaker::Snapshot> breakers;
+  // Ledgers.
+  std::int64_t failovers = 0;        ///< tenant evacuations off a lost mesh
+  std::int64_t restored_stale = 0;   ///< restores from a replica missing serves
+  std::int64_t lost_runs = 0;        ///< serves newer than the restored replica
+  std::int64_t outage_dropped = 0;   ///< arrivals dropped while dark/restoring
+  std::int64_t degraded_runs = 0;    ///< breaker-open fallback serves
+  std::int64_t bootstrap_campaigns = 0;  ///< destination re-bootstrap writes
+  std::int64_t victim_offered = 0;   ///< post-outage arrivals for victims
+  std::int64_t victim_served = 0;    ///< of those, actually served
+  double rto_max_s = 0.0;
+  double rto_sum_s = 0.0;
+  double rpo_max_s = 0.0;
+  double rpo_sum_s = 0.0;
+  double replication_bytes = 0.0;
+  double replication_s = 0.0;
+  double replication_energy_j = 0.0;
+};
+
+void encode_cluster_state(const ClusterState& s, common::ByteWriter& out);
+std::optional<ClusterState> decode_cluster_state(common::ByteReader& in);
+
+struct ClusterResult {
+  CampaignResult campaign;  ///< fleet-wide campaign surface (all meshes)
+  ClusterState cluster;     ///< final cluster state (ledgers, cursors)
+  int meshes = 1;
+  int shards_per_mesh = 1;
+  bool failover = true;
+  int replication_epochs = 4;
+  std::vector<MeshOutage> outages;  ///< resolved windows, ascending start
+
+  /// Post-outage served fraction of victim-tenant arrivals (1 when no
+  /// outage produced victims) — the bench's recovery figure.
+  double victim_recovery() const noexcept;
+  double rto_mean_s() const noexcept;
+  double rpo_mean_s() const noexcept;
+
+  /// Deterministic plain-text summary: the cluster block (geometry,
+  /// outages, failover/replication ledgers, per-mesh serve counts)
+  /// followed by the campaign summary. Same seed => byte-identical.
+  std::string summary(bool include_trajectory = true) const;
+};
+
+/// Run the cluster campaign from the start. Deterministic and
+/// single-threaded; with resolved_meshes() == 1 the campaign block of the
+/// result is bitwise-identical to run_campaign on `config.campaign`.
+ClusterResult run_cluster(const ClusterConfig& config);
+
+/// Resume an interrupted cluster campaign from its checkpoint pair.
+/// nullopt when no valid v7 cluster checkpoint exists or either
+/// fingerprint (campaign geometry or cluster geometry:
+/// meshes/replication_epochs/failover) does not match `config`.
+std::optional<ClusterResult> resume_cluster(const ClusterConfig& config);
+
+/// Parse a cluster scenario file: the scenario keys of
+/// docs/scenario_format.md plus the cluster keys (`meshes`,
+/// `replication-epochs`, `failover`, `outage START_FRAC DURATION_FRAC
+/// [MESH]`, `mesh-outages`, `outage-duration-frac`, `detection-s`,
+/// `restore-s`, `degraded-window`). Returns nullopt and names the
+/// offending line on stderr for malformed input.
+std::optional<ClusterConfig> parse_cluster(std::istream& in);
+std::optional<ClusterConfig> parse_cluster_file(const std::string& path);
+
+}  // namespace odin::core

@@ -201,6 +201,25 @@ std::vector<std::vector<int>> rescale_shard_blocks(
   return out;
 }
 
+std::size_t pick_least_loaded_block(const std::vector<double>& demand,
+                                    const std::vector<std::int32_t>& pes,
+                                    const std::vector<std::uint8_t>& eligible) {
+  std::size_t best = demand.size();
+  double best_pp = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    if (!eligible.empty() && (i >= eligible.size() || eligible[i] == 0))
+      continue;
+    const double p = static_cast<double>(
+        i < pes.size() ? std::max<std::int32_t>(1, pes[i]) : 1);
+    const double pp = demand[i] / p;
+    if (pp < best_pp) {
+      best_pp = pp;
+      best = i;
+    }
+  }
+  return best;
+}
+
 int FleetConfig::resolved_shards() const {
   long long n = shards;
   if (n <= 0) {

@@ -103,6 +103,16 @@ std::vector<std::vector<int>> rescale_shard_blocks(
     const arch::PimConfig& pim, bool snake,
     const std::vector<double>& shard_demand);
 
+/// Index of the block with the lowest per-PE demand (`demand[i] /
+/// max(1, pes[i])`), deterministic lowest-index tie-break. A non-empty
+/// `eligible` bitmap (parallel to `demand`) restricts the candidates;
+/// returns demand.size() when nothing is eligible. The cluster failover
+/// path (core/cluster) picks both the target mesh and the target shard
+/// within it this way.
+std::size_t pick_least_loaded_block(const std::vector<double>& demand,
+                                    const std::vector<std::int32_t>& pes,
+                                    const std::vector<std::uint8_t>& eligible);
+
 /// Place `tenants` onto the fleet's shards. `shard_faults` (optional, one
 /// per shard, entries may be null) feeds the wear term.
 FleetPlacement place_fleet(

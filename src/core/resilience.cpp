@@ -77,6 +77,15 @@ void CircuitBreaker::record(bool success) {
     open_after_failure();
 }
 
+void CircuitBreaker::force_open(int hold) {
+  state_ = State::kOpen;
+  hold_runs_ = std::max(1, hold);
+  hold_left_ = hold_runs_;
+  window_bits_ = 0;
+  window_fill_ = 0;
+  ++opens_;
+}
+
 void CircuitBreaker::open_after_failure() {
   state_ = State::kOpen;
   hold_left_ = hold_runs_;

@@ -159,6 +159,13 @@ class CircuitBreaker {
   /// Outcome of a full-service run (deadline met and write-verify clean).
   void record(bool success);
 
+  /// Pre-open the breaker for `hold` of the tenant's runs — the degraded-
+  /// admission regime a cross-mesh failover restores a tenant under
+  /// (core/cluster.hpp): the restored tenant serves the fallback path until
+  /// the hold drains and a half-open probe passes. Counts as an open; the
+  /// backoff ladder restarts from the given hold.
+  void force_open(int hold);
+
   State state() const noexcept { return state_; }
   int opens() const noexcept { return opens_; }      ///< Closed -> Open trips
   int reopens() const noexcept { return reopens_; }  ///< failed probes

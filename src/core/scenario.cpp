@@ -22,13 +22,9 @@ namespace {
 
 constexpr std::uint64_t kDefaultScenarioSeed = 1;
 
-/// Analytic service model of one shard block: inter-layer pipelining across
-/// the block's PEs speeds back-to-back service up linearly in the extra
-/// PEs (the campaign-scale stand-in for arch::interlayer_pipeline).
+/// Inter-layer pipeline speedup per extra PE of a shard block (the
+/// campaign-scale stand-in for arch::interlayer_pipeline).
 constexpr double kSpeedPerExtraPe = 0.25;
-double shard_speed(int pes) noexcept {
-  return 1.0 + kSpeedPerExtraPe * static_cast<double>(std::max(1, pes) - 1);
-}
 
 /// Drift/fault pricing: a storm's drift multiplier inflates service (more
 /// verify/search work) and energy; the injector's unusable-cell fraction
@@ -41,9 +37,6 @@ constexpr double kShedServiceFactor = 0.5;
 constexpr double kShedEnergyFactor = 0.6;
 /// Base inference energy per second of base service time.
 constexpr double kEnergyPerServiceSecond = 0.2;
-/// Per-PE demand bar the tenant-migration loop flattens toward after a
-/// rescale (which equalizes only to 1-PE granularity).
-constexpr double kMigrateResidualThreshold = 1.05;
 
 double tier_slo_mult(const ScenarioConfig& c, PriorityTier t) noexcept {
   switch (t) {
@@ -53,10 +46,29 @@ double tier_slo_mult(const ScenarioConfig& c, PriorityTier t) noexcept {
   }
 }
 
-/// Contiguous shard blocks with the given per-shard PE counts, cut along
-/// the snake fill order — the shape rescale_shard_blocks produces, so the
-/// counts alone reconstruct the blocks on resume.
-std::vector<std::vector<int>> blocks_from_counts(
+}  // namespace
+
+double campaign_shard_speed(int pes) noexcept {
+  return 1.0 + kSpeedPerExtraPe * static_cast<double>(std::max(1, pes) - 1);
+}
+
+void campaign_price(const ScenarioTenant& t, double drift_mult,
+                    double fault_fraction, int pes, double& service_s,
+                    double& energy_j) noexcept {
+  const double penal = (1.0 + kDriftServiceFactor * (drift_mult - 1.0)) *
+                       (1.0 + kFaultRetryFactor * fault_fraction);
+  const double speed = campaign_shard_speed(pes);
+  service_s = t.service_s * penal / speed;
+  energy_j = t.energy_j * (1.0 + kDriftEnergyFactor * (drift_mult - 1.0)) *
+             (1.0 + kFaultRetryFactor * fault_fraction);
+}
+
+void campaign_degrade(double& service_s, double& energy_j) noexcept {
+  service_s *= kShedServiceFactor;
+  energy_j *= kShedEnergyFactor;
+}
+
+std::vector<std::vector<int>> campaign_blocks_from_counts(
     const arch::PimConfig& pim, const std::vector<std::int32_t>& counts) {
   const std::vector<int> order = fleet_fill_order(pim, true);
   std::vector<std::vector<int>> out(counts.size());
@@ -70,8 +82,6 @@ std::vector<std::vector<int>> blocks_from_counts(
   }
   return out;
 }
-
-}  // namespace
 
 const char* tier_name(PriorityTier tier) {
   switch (tier) {
@@ -253,7 +263,8 @@ ScenarioTrace build_trace(const ScenarioConfig& config,
   const auto blocks = fleet_partition_pes(fleet_fill_order(pim, true),
                                           shards_for_cal);
   double capacity = 0.0;
-  for (const auto& b : blocks) capacity += shard_speed(static_cast<int>(b.size()));
+  for (const auto& b : blocks)
+    capacity += campaign_shard_speed(static_cast<int>(b.size()));
   double wsum = 0.0, wscale = 0.0;
   for (std::size_t i = 0; i < T; ++i) {
     wsum += trace.tenants[i].weight;
@@ -480,13 +491,9 @@ std::optional<CampaignState> decode_campaign_state(common::ByteReader& in) {
 // ---------------------------------------------------------------------------
 // Campaign engine.
 
-namespace {
-
-/// Demand-balanced contiguous initial placement: tenant index ranges map
-/// to shards in order, boundaries chosen so each shard's expected demand
-/// share matches its PE share. Contiguity matters: flash crowds target
-/// contiguous index ranges, so their overload lands shard-local.
-std::vector<std::int32_t> initial_placement(
+// Contiguity matters here: flash crowds target contiguous tenant index
+// ranges, so a crowd's overload lands shard-local.
+std::vector<std::int32_t> campaign_initial_placement(
     const ScenarioTrace& trace, const std::vector<std::int32_t>& shard_pes) {
   const std::size_t T = trace.tenants.size();
   const std::size_t K = shard_pes.size();
@@ -511,6 +518,8 @@ std::vector<std::int32_t> initial_placement(
   }
   return out;
 }
+
+namespace {
 
 struct TierAgg {
   int tenants = 0;
@@ -549,7 +558,7 @@ std::optional<CampaignResult> run_campaign_impl(
   st.shard_busy_until_s.assign(static_cast<std::size_t>(K), 0.0);
   st.shard_demand.assign(static_cast<std::size_t>(K), 0.0);
   st.tenant_demand.assign(T, 0.0);
-  st.tenant_shard = initial_placement(trace, st.shard_pes);
+  st.tenant_shard = campaign_initial_placement(trace, st.shard_pes);
   st.epoch_energy_j.assign(static_cast<std::size_t>(E), 0.0);
   st.epoch_edp_sum.assign(static_cast<std::size_t>(E), 0.0);
   st.epoch_requests.assign(static_cast<std::size_t>(E), 0);
@@ -721,7 +730,7 @@ std::optional<CampaignResult> run_campaign_impl(
                t) {
       const auto si = static_cast<std::size_t>(st.storms_fired);
       const FaultStorm& storm = trace.storms[si];
-      const auto blocks = blocks_from_counts(config.pim, st.shard_pes);
+      const auto blocks = campaign_blocks_from_counts(config.pim, st.shard_pes);
       std::vector<std::int32_t> shard_of(
           static_cast<std::size_t>(pes_total), 0);
       for (std::size_t k = 0; k < blocks.size(); ++k)
@@ -760,21 +769,15 @@ std::optional<CampaignResult> run_campaign_impl(
     const auto k = static_cast<std::size_t>(st.tenant_shard[tenant]);
     const double mult = inj[k]->drift_time_multiplier(t);
     const double ff = inj[k]->fault_fraction();
-    const double penal = (1.0 + kDriftServiceFactor * (mult - 1.0)) *
-                         (1.0 + kFaultRetryFactor * ff);
-    const double speed = shard_speed(st.shard_pes[k]);
-    double service = sp.service_s * penal / speed;
-    double energy = sp.energy_j *
-                    (1.0 + kDriftEnergyFactor * (mult - 1.0)) *
-                    (1.0 + kFaultRetryFactor * ff);
+    double service = 0.0, energy = 0.0;
+    campaign_price(sp, mult, ff, st.shard_pes[k], service, energy);
     const double demand_service = service;
     const double wait = std::max(0.0, st.shard_busy_until_s[k] - t);
     const bool shed = wait > config.queue_shed_slo_mult * sp.slo_s;
     double sojourn;
     if (shed) {
       // Degraded out-of-band serve: does not occupy the shard's FIFO.
-      service *= kShedServiceFactor;
-      energy *= kShedEnergyFactor;
+      campaign_degrade(service, energy);
       sojourn = service;
       ++ts.shed_runs;
       ++st.sheds;
@@ -943,7 +946,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 std::optional<CampaignResult> resume_campaign(const CampaignConfig& config) {
   if (config.checkpoint.base_path.empty()) return std::nullopt;
   const auto ckpt = load_latest_checkpoint(config.checkpoint.base_path);
-  if (!ckpt.has_value() || !ckpt->has_scenario) return std::nullopt;
+  if (!ckpt.has_value() || !ckpt->has_scenario || ckpt->has_cluster)
+    return std::nullopt;
   // Wrong-geometry refusal: the campaign state only reinstates onto the
   // identical scenario (seed/requests/tenants/shards/epochs/autoscale and
   // the sojourn retention cap).

@@ -214,6 +214,45 @@ class ArrivalGenerator {
   std::size_t next_boundary_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Campaign pricing/placement primitives, exported for core/cluster. The
+// cluster engine runs the identical analytic serve over a multi-mesh shard
+// set, so these must be the *same functions* — a single-mesh cluster is
+// bitwise-identical to run_campaign only because both walk the same
+// expressions in the same order.
+
+/// Analytic service rate of one shard block: inter-layer pipelining across
+/// the block's PEs speeds back-to-back service up linearly in the extras.
+double campaign_shard_speed(int pes) noexcept;
+
+/// Price one serve of tenant `t` on a `pes`-wide block under the given
+/// drift multiplier and unusable-cell fraction — exactly the expressions
+/// run_campaign serves with (drift inflates service and energy, faults add
+/// retry overhead on both, the block speed divides service).
+void campaign_price(const ScenarioTenant& t, double drift_mult,
+                    double fault_fraction, int pes, double& service_s,
+                    double& energy_j) noexcept;
+
+/// Reprice an already-priced serve for the degraded out-of-band path (shed
+/// or breaker-open fallback): shorter, cheaper, off the shard FIFO.
+void campaign_degrade(double& service_s, double& energy_j) noexcept;
+
+/// Contiguous shard blocks with the given per-shard PE counts, cut along
+/// the snake fill order — the shape rescale_shard_blocks produces, so the
+/// counts alone reconstruct the blocks on resume.
+std::vector<std::vector<int>> campaign_blocks_from_counts(
+    const arch::PimConfig& pim, const std::vector<std::int32_t>& counts);
+
+/// Demand-balanced contiguous initial placement: tenant index ranges map
+/// to shards in order, boundaries chosen so each shard's expected demand
+/// share matches its PE share.
+std::vector<std::int32_t> campaign_initial_placement(
+    const ScenarioTrace& trace, const std::vector<std::int32_t>& shard_pes);
+
+/// Per-PE demand bar the tenant-migration loop flattens toward after a
+/// rescale (which equalizes only to 1-PE granularity).
+inline constexpr double kMigrateResidualThreshold = 1.05;
+
 /// Durable campaign-engine state (checkpoint payload v6). The fingerprint
 /// block gates resume — a checkpoint only reinstates onto the identical
 /// scenario geometry; the rest positions the replay (arrival cursor,

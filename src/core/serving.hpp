@@ -137,6 +137,14 @@ struct TenantStats {
   /// pipelined (overlapped) rate because the pipeline was primed.
   double service_s = 0.0;
   int pipelined_runs = 0;
+  /// Cluster failover surface (zero outside a multi-mesh cluster —
+  /// core/cluster.hpp; rides checkpoint payload v7).
+  int failovers = 0;             ///< evacuations off a lost mesh
+  int restored_stale = 0;        ///< restores from a replica missing serves
+  long long lost_runs = 0;       ///< serves newer than the restored replica
+  long long outage_dropped = 0;  ///< arrivals dropped while dark/restoring
+  double rpo_s = 0.0;            ///< worst replica staleness at failover
+  double rto_s = 0.0;            ///< worst outage-to-ready recovery time
   /// Per-served-run sojourn (queue wait + service latency), in arrival
   /// order; feeds the percentile reporting below. Retention is bounded by
   /// ResilienceConfig::sojourn_sample_cap (0 = keep all).

@@ -144,7 +144,14 @@ double FaultInjector::fault_fraction() const noexcept {
   return std::clamp(f, 0.0, 1.0);
 }
 
+bool FaultInjector::powered_down(double t_s) const noexcept {
+  for (const DriftBurst& w : power_downs_)
+    if (t_s >= w.start_s && t_s < w.start_s + w.duration_s) return true;
+  return false;
+}
+
 double FaultInjector::drift_time_multiplier(double t_s) const noexcept {
+  if (powered_down(t_s)) return 0.0;
   double m = 1.0;
   for (const DriftBurst& b : params_.bursts)
     if (t_s >= b.start_s && t_s < b.start_s + b.duration_s)

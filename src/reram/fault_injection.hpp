@@ -99,6 +99,20 @@ class FaultInjector {
   /// fast_forward are unaffected.
   void add_burst(const DriftBurst& burst) { params_.bursts.push_back(burst); }
 
+  /// Mark a power-down window — a cluster mesh outage (core/cluster) seen
+  /// from this array: while the window covers `t_s` the device is dark,
+  /// powered_down() is true and drift_time_multiplier reports 0 (the drift
+  /// clock pauses with the array unpowered; nothing is servable anyway).
+  /// Windows consume no randomness — the same replay contract as
+  /// add_burst — and are not serialized: the cluster engine re-applies
+  /// fired outages from its own cursor on resume.
+  void add_power_down(double start_s, double duration_s) {
+    power_downs_.push_back(DriftBurst{start_s, duration_s, 0.0});
+  }
+
+  /// True while a power-down window covers `t_s`.
+  bool powered_down(double t_s) const noexcept;
+
   /// Fraction of cells stuck from endurance wear after the campaigns so far.
   double stuck_cell_fraction() const noexcept;
   /// Fraction of the array covered by failed wordlines / bitlines.
@@ -131,8 +145,9 @@ class FaultInjector {
   /// placement uses this to steer tenants toward least-worn shards.
   double wear_fraction() const noexcept;
 
-  /// Elapsed-time multiplier at wall-clock `t_s` (>= 1; 1 outside bursts).
-  /// Overlapping bursts compound multiplicatively.
+  /// Elapsed-time multiplier at wall-clock `t_s` (>= 1 while powered; 1
+  /// outside bursts). Overlapping bursts compound multiplicatively. Inside
+  /// a power-down window the array is dark and the multiplier is 0.
   double drift_time_multiplier(double t_s) const noexcept;
 
   const FaultScheduleParams& params() const noexcept { return params_; }
@@ -181,6 +196,8 @@ class FaultInjector {
   int remapped_now_ = 0;   ///< worn rows absorbed in the current crossbar
   int crossbars_retired_ = 0;
   long long writes_leveled_ = 0;
+  /// Power-down windows (mesh outages); multiplier field unused.
+  std::vector<DriftBurst> power_downs_;
 };
 
 /// Stuck-cell count of one OU window of the programmed region.

@@ -4,9 +4,11 @@
 // slot — the durability contract of core/checkpoint.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
@@ -191,6 +193,44 @@ ServingCheckpoint sample_checkpoint(const ou::MappedModel& tenant) {
   ckpt.scenario.epoch_sheds = {2, 0};
   ckpt.scenario.epoch_slack_p1.resize(2, QuantileSketch(0.01));
   ckpt.scenario.epoch_slack_p1[0].add(2e-3);
+  // v7 cluster surface: per-tenant failover counters plus an embedded
+  // mid-failover cluster state (mesh 0 dark, tenant 0 evacuated).
+  ckpt.result.tenants[0].failovers = 1;
+  ckpt.result.tenants[0].restored_stale = 1;
+  ckpt.result.tenants[0].lost_runs = 13;
+  ckpt.result.tenants[0].outage_dropped = 4;
+  ckpt.result.tenants[0].rpo_s = 321.5;
+  ckpt.result.tenants[0].rto_s = 44.25;
+  ckpt.has_cluster = true;
+  ckpt.cluster.meshes = 2;
+  ckpt.cluster.replication_epochs = 4;
+  ckpt.cluster.failover = true;
+  ckpt.cluster.outages_fired = 1;
+  ckpt.cluster.replication_rounds = 3;
+  ckpt.cluster.mesh_down = {1, 0};
+  ckpt.cluster.mesh_down_until_s = {5000.0, 0.0};
+  ckpt.cluster.mesh_served = {1200, 3400};
+  ckpt.cluster.replica_runs = {40, 25};
+  ckpt.cluster.replica_time_s = {2880.0, 2880.0};
+  ckpt.cluster.replica_mesh = {1, 0};
+  ckpt.cluster.tenant_ready_s = {4321.5, 0.0};
+  ckpt.cluster.tenant_victim = {1, 0};
+  ckpt.cluster.breakers = {breaker, CircuitBreaker::Snapshot{}};
+  ckpt.cluster.failovers = 1;
+  ckpt.cluster.restored_stale = 1;
+  ckpt.cluster.lost_runs = 13;
+  ckpt.cluster.outage_dropped = 4;
+  ckpt.cluster.degraded_runs = 6;
+  ckpt.cluster.bootstrap_campaigns = 1;
+  ckpt.cluster.victim_offered = 20;
+  ckpt.cluster.victim_served = 19;
+  ckpt.cluster.rto_max_s = 44.25;
+  ckpt.cluster.rto_sum_s = 44.25;
+  ckpt.cluster.rpo_max_s = 321.5;
+  ckpt.cluster.rpo_sum_s = 321.5;
+  ckpt.cluster.replication_bytes = 8192.0;
+  ckpt.cluster.replication_s = 2.1e-6;
+  ckpt.cluster.replication_energy_j = 1.6e-7;
   return ckpt;
 }
 
@@ -268,6 +308,23 @@ TEST(Checkpoint, PayloadRoundTripIsExact) {
   ASSERT_EQ(decoded->scenario.epoch_slack_p1.size(), 2u);
   EXPECT_TRUE(decoded->scenario.epoch_slack_p1[0] ==
               ckpt.scenario.epoch_slack_p1[0]);
+  // v7 cluster surface.
+  EXPECT_TRUE(decoded->has_cluster);
+  EXPECT_EQ(decoded->cluster.meshes, 2);
+  EXPECT_EQ(decoded->cluster.outages_fired, 1);
+  EXPECT_EQ(decoded->cluster.mesh_down, ckpt.cluster.mesh_down);
+  EXPECT_EQ(decoded->cluster.replica_runs, ckpt.cluster.replica_runs);
+  EXPECT_EQ(decoded->cluster.tenant_victim, ckpt.cluster.tenant_victim);
+  ASSERT_EQ(decoded->cluster.breakers.size(), 2u);
+  EXPECT_EQ(decoded->cluster.breakers[0].window_bits, 0b1011u);
+  EXPECT_EQ(decoded->cluster.rpo_max_s, 321.5);
+  EXPECT_EQ(decoded->cluster.replication_bytes, 8192.0);
+  EXPECT_EQ(decoded->result.tenants[0].failovers, 1);
+  EXPECT_EQ(decoded->result.tenants[0].restored_stale, 1);
+  EXPECT_EQ(decoded->result.tenants[0].lost_runs, 13);
+  EXPECT_EQ(decoded->result.tenants[0].outage_dropped, 4);
+  EXPECT_EQ(decoded->result.tenants[0].rpo_s, 321.5);
+  EXPECT_EQ(decoded->result.tenants[0].rto_s, 44.25);
   // ...then pin full equality through the codec itself: re-encoding the
   // decoded checkpoint must reproduce the identical byte stream.
   common::ByteWriter reencoded;
@@ -914,6 +971,232 @@ TEST(Checkpoint, Version5FrameDecodesWithScenarioDefaults) {
   ASSERT_EQ(ckpt->result.tenants[0].sojourn_s.size(), 2u);
   EXPECT_EQ(ckpt->result.tenants[0].sojourn_s[1], 1.9e-3);
   std::remove(path.c_str());
+}
+
+/// A minimal *version 6* payload: the v5 layout plus the scenario surface,
+/// ending exactly where v6 ended — no cluster tail. Pins the decoder's
+/// pre-cluster path: a frame written before the cluster layer existed must
+/// resume as a single-mesh cluster with replication and failover off. The
+/// v6 sub-blocks (sojourn sketch, campaign state) use the public codecs —
+/// their layouts are pinned by their own round-trip tests.
+std::string v6_payload() {
+  common::ByteWriter out;
+  out.u64(2);       // segment
+  out.u64(41);      // next_run
+  out.i32(6);       // segments
+  out.i32(120);     // horizon_runs
+  out.f64(1.0);     // t_start_s
+  out.f64(1e8);     // t_end_s
+  out.u64(1);       // tenant_names
+  out.str("TinyNet");
+  out.str("Odin");  // result.label
+  out.u64(1);       // result.tenants
+  {                 // one v6 tenant record
+    out.str("TinyNet");
+    out.i32(41);   // runs
+    out.i32(3);    // reprograms
+    out.i32(77);   // mismatches
+    out.i32(2);    // retries
+    out.i32(1);    // degraded_runs
+    out.i32(4);    // updates_accepted
+    out.i32(0);    // updates_rejected
+    out.i32(0);    // updates_rolled_back
+    out.i64(5);    // buffer_dropped
+    out.i64(0);    // buffer_quarantined
+    out.f64(1.25e-3);  // inference energy/latency
+    out.f64(3.5e-4);
+    out.f64(4.0e-3);  // reprogram energy/latency
+    out.f64(9.0e-4);
+    out.f64(0.0);  // v2: slo_s
+    out.i32(0);    // shed_runs
+    out.i32(0);    // breaker_open_runs
+    out.i32(0);    // deadline_misses
+    out.i32(0);    // deferred_reprograms
+    out.i32(0);    // deadline_stopped_retries
+    out.i32(0);    // searches_truncated
+    out.i32(0);    // breaker_opens
+    out.i32(0);    // breaker_reopens
+    out.i32(0);    // breaker_probes
+    out.i32(0);    // breaker_closes
+    out.i32(0);    // watchdog_stalls
+    out.u64(2);    // sojourn samples
+    out.f64(3.5e-4);
+    out.f64(1.9e-3);
+    out.i32(0);    // v3: batches_formed
+    out.i32(0);    // batch_members
+    out.i32(0);    // max_batch
+    out.i32(0);    // batch_slo_capped
+    out.i32(6);    // v4: rows_remapped
+    out.i32(1);    // crossbars_retired
+    out.i64(384);  // writes_leveled
+    out.i32(2);    // wear_deferred_reprograms
+    out.i32(10);   // spares_remaining
+    out.f64(4.75e-3);  // v5: service_s
+    out.i32(17);       // pipelined_runs
+    SojournSketch sketch;  // v6: live sojourn sketch + dropped counter
+    sketch.add(3.5e-4);
+    sketch.add(1.9e-3);
+    encode_sojourn_sketch(sketch, out);
+    out.i64(11);  // sojourn_dropped
+  }
+  out.f64(2.0e-3);  // programming energy/latency
+  out.f64(1.0e-4);
+  out.i32(3);  // switches
+  out.i32(4);  // policy_updates
+  {            // controller snapshot (unversioned, same as v1)
+    out.f64(12.5);    // programmed_at_s
+    out.i32(3);       // reprogram_count
+    out.i32(4);       // update_count
+    out.f64(1.0);     // health_fraction
+    out.boolean(false);
+    out.f64(1.0);     // eta_scale
+    out.i32(2);       // retry_count
+    out.i32(1);       // degraded_runs
+    out.i32(4);       // updates_accepted
+    out.i32(0);       // updates_rejected
+    out.i32(0);       // updates_rolled_back
+    out.i32(0);       // probation_left
+    out.i64(0);       // probation_mismatches
+    out.i64(0);       // probation_layers
+    out.f64(0.0);     // pre_update_rate
+    out.f64(0.0);     // mismatch_rate_ema
+    out.u64(0);       // buffer_entries
+    out.u64(0);       // buffer_quarantine
+    out.u64(0);       // last_update_batch
+    out.u64(5);       // buffer_dropped
+    out.u64(0);       // buffer_quarantine_hits
+    out.str("");      // policy_blob
+    out.str("");      // last_good_blob
+  }
+  out.boolean(true);  // has_faults
+  out.i32(7);         // wear: campaigns
+  out.i32(12);        // stuck_cells
+  out.i32(1);         // failed_wordlines
+  out.i32(0);         // failed_bitlines
+  out.u64(0);         // health_maps
+  out.boolean(false);  // v2: has_resilience
+  out.i32(0);          // shed_policy
+  out.u64(0);          // queue_capacity
+  out.f64(0.0);        // busy_until_s
+  out.u64(0);          // pending_runs
+  out.u64(0);          // breakers
+  out.u64(0);          // fallback_ous
+  out.boolean(false);  // v3: batching_enabled
+  out.i32(0);          // batch_cap
+  out.boolean(true);   // v4: leveling_enabled
+  out.i32(16);         // leveling_spare_rows
+  out.f64(0.8);        // leveling_wear_budget
+  out.i32(1);          // wear.crossbars_retired
+  out.i32(4);          // wear_seg_base_rows_remapped
+  out.i32(1);          // wear_seg_base_crossbars_retired
+  out.i64(256);        // wear_seg_base_writes_leveled
+  out.i32(2);          // controller.wear_deferred_reprograms
+  out.i32(1);          // controller.retired_seen
+  out.u64(0);          // wear_maps
+  out.i32(2);          // v5: fleet_shards
+  out.i32(1);          // fleet_shard_index
+  out.boolean(true);   // has_service_models
+  out.u64(1);          // service_models
+  out.f64(1.5e-9);     // noc_extra.energy_j
+  out.f64(2.5e-7);     // noc_extra.latency_s
+  out.f64(0.62);       // pipeline_overlap
+  out.u64(64);         // v6: sojourn_cap
+  out.boolean(false);  // has_scenario
+  encode_campaign_state(CampaignState{}, out);
+  return out.bytes();
+}
+
+TEST(Checkpoint, Version6FrameDecodesAsSingleMeshCluster) {
+  const std::string path = temp_base("v6cluster") + ".a";
+  write_file(path, frame_with_version(6, 9, v6_payload()));
+  const auto ckpt = load_checkpoint_file(path);
+  ASSERT_TRUE(ckpt.has_value());
+  // The v6 fields decode as written...
+  EXPECT_EQ(ckpt->segment, 2u);
+  EXPECT_EQ(ckpt->sojourn_cap, 64u);
+  ASSERT_EQ(ckpt->result.tenants.size(), 1u);
+  EXPECT_EQ(ckpt->result.tenants[0].sojourn_sketch.count(), 2u);
+  EXPECT_EQ(ckpt->result.tenants[0].sojourn_dropped, 11);
+  // ...and the cluster surface comes back in the pre-cluster default
+  // state: a single-mesh cluster with replication and failover off,
+  // nothing fired, empty per-mesh/per-tenant vectors, zeroed ledgers —
+  // and zeroed per-tenant failover counters.
+  EXPECT_FALSE(ckpt->has_cluster);
+  EXPECT_EQ(ckpt->cluster.meshes, 1);
+  EXPECT_EQ(ckpt->cluster.replication_epochs, 0);
+  EXPECT_FALSE(ckpt->cluster.failover);
+  EXPECT_EQ(ckpt->cluster.outages_fired, 0);
+  EXPECT_EQ(ckpt->cluster.replication_rounds, 0);
+  EXPECT_TRUE(ckpt->cluster.mesh_down.empty());
+  EXPECT_TRUE(ckpt->cluster.replica_runs.empty());
+  EXPECT_TRUE(ckpt->cluster.breakers.empty());
+  EXPECT_EQ(ckpt->cluster.failovers, 0);
+  EXPECT_EQ(ckpt->cluster.outage_dropped, 0);
+  EXPECT_EQ(ckpt->cluster.rpo_max_s, 0.0);
+  EXPECT_EQ(ckpt->result.tenants[0].failovers, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].restored_stale, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].lost_runs, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].outage_dropped, 0);
+  EXPECT_EQ(ckpt->result.tenants[0].rpo_s, 0.0);
+  EXPECT_EQ(ckpt->result.tenants[0].rto_s, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MidFrameTruncationSweepAlwaysFallsBack) {
+  // A torn write can stop after *any* byte: header, payload, CRC. Every
+  // strict prefix of a valid frame must be rejected by the file loader and
+  // must fall back to the older-but-valid slot — a sweep, not spot checks.
+  const std::string base = temp_base("tornsweep");
+  remove_slots(base);
+  const auto tenant = testing::tiny_mapped();
+  ServingCheckpoint ckpt = sample_checkpoint(tenant);
+  CheckpointWriter writer(base);
+  ASSERT_TRUE(writer.write(ckpt));  // seq 1 -> .a
+  ASSERT_TRUE(writer.write(ckpt));  // seq 2 -> .b
+  const std::string newest = base + ".b";
+  const std::string pristine = read_file(newest);
+  ASSERT_GT(pristine.size(), 32u);  // magic + version + seq + size + crc
+  // Every cut inside the 32-byte header, then a stride through the
+  // payload, then the last bytes (a torn CRC tail).
+  std::vector<std::size_t> cuts;
+  for (std::size_t c = 0; c < 32; ++c) cuts.push_back(c);
+  const std::size_t stride = std::max<std::size_t>(1, pristine.size() / 256);
+  for (std::size_t c = 32; c < pristine.size(); c += stride) cuts.push_back(c);
+  for (std::size_t c = pristine.size() - 4; c < pristine.size(); ++c)
+    cuts.push_back(c);
+  for (std::size_t cut : cuts) {
+    write_file(newest, pristine.substr(0, cut));
+    EXPECT_FALSE(load_checkpoint_file(newest).has_value()) << "cut=" << cut;
+    const auto fallback = load_latest_checkpoint(base);
+    ASSERT_TRUE(fallback.has_value()) << "cut=" << cut;
+    EXPECT_EQ(fallback->sequence, 1u) << "cut=" << cut;
+  }
+  // Restoring the pristine bytes restores the newest checkpoint.
+  write_file(newest, pristine);
+  EXPECT_EQ(load_latest_checkpoint(base)->sequence, 2u);
+  remove_slots(base);
+}
+
+TEST(Checkpoint, ZeroLengthFilesAreNulloptNotCrash) {
+  // The degenerate torn write: rename landed but the data never made it.
+  const std::string base = temp_base("zerolen");
+  remove_slots(base);
+  write_file(base + ".a", "");
+  EXPECT_FALSE(load_checkpoint_file(base + ".a").has_value());
+  // Zero-length newest slot falls back to the valid older slot...
+  const auto tenant = testing::tiny_mapped();
+  ServingCheckpoint ckpt = sample_checkpoint(tenant);
+  CheckpointWriter writer(base);
+  ASSERT_TRUE(writer.write(ckpt));  // overwrites .a (seq 1)
+  ASSERT_TRUE(writer.write(ckpt));  // .b (seq 2)
+  write_file(base + ".b", "");
+  const auto fallback = load_latest_checkpoint(base);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->sequence, 1u);
+  // ...and a pair of zero-length slots is a clean nullopt.
+  write_file(base + ".a", "");
+  EXPECT_FALSE(load_latest_checkpoint(base).has_value());
+  remove_slots(base);
 }
 
 TEST(Checkpoint, FutureVersionFrameIsRejectedNotMisparsed) {

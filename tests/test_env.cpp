@@ -4,14 +4,17 @@
 // ODIN_SPARE_ROWS / ODIN_WEAR_BUDGET wear-leveling knobs
 // (reram/wear_leveling.hpp) and the ODIN_SHARDS fleet shard count
 // (core/fleet.hpp) and the ODIN_SCENARIO_SEED / ODIN_AUTOSCALE campaign
-// knobs (core/scenario.hpp). The contract (DESIGN.md §13/§14/§15/§16/§17):
-// a value must parse in full or it is ignored with a stderr warning and
-// the default applies — a typo never silently changes behaviour.
+// knobs (core/scenario.hpp) and the ODIN_MESHES / ODIN_REPLICATION_EPOCHS
+// / ODIN_FAILOVER cluster knobs (core/cluster.hpp). The contract
+// (DESIGN.md §13/§14/§15/§16/§17/§18): a value must parse in full or it is
+// ignored with a stderr warning and the default applies — a typo never
+// silently changes behaviour.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 
 #include "common/env.hpp"
+#include "core/cluster.hpp"
 #include "core/fleet.hpp"
 #include "core/resilience.hpp"
 #include "core/scenario.hpp"
@@ -290,6 +293,108 @@ TEST(Env, AutoscaleTriStateFollowsStrictContract) {
     EXPECT_FALSE(cfg.resolved_enabled());
     cfg.enabled = 1;
     ScopedEnv env2("ODIN_AUTOSCALE", "off");
+    EXPECT_TRUE(cfg.resolved_enabled());
+  }
+}
+
+TEST(Env, OdinMeshesDefaultsAndClamps) {
+  core::ClusterConfig cfg;
+  {
+    ScopedEnv env("ODIN_MESHES", nullptr);
+    EXPECT_EQ(cfg.resolved_meshes(), 1);  // baked-in default: one mesh
+  }
+  {
+    ScopedEnv env("ODIN_MESHES", "3");
+    EXPECT_EQ(cfg.resolved_meshes(), 3);
+  }
+  {
+    ScopedEnv env("ODIN_MESHES", "3meshes");  // garbage: warn + default
+    EXPECT_EQ(cfg.resolved_meshes(), 1);
+  }
+  {
+    ScopedEnv env("ODIN_MESHES", "0");  // below the floor: default
+    EXPECT_EQ(cfg.resolved_meshes(), 1);
+  }
+  {
+    ScopedEnv env("ODIN_MESHES", "99");  // clamped to the ceiling
+    EXPECT_EQ(cfg.resolved_meshes(), 8);
+  }
+  {
+    // An explicit config mesh count wins over the environment entirely.
+    ScopedEnv env("ODIN_MESHES", "3");
+    cfg.meshes = 2;
+    EXPECT_EQ(cfg.resolved_meshes(), 2);
+    cfg.meshes = 5000;
+    EXPECT_EQ(cfg.resolved_meshes(), 8);
+  }
+}
+
+TEST(Env, ReplicationEpochsDefaultsAndClamps) {
+  core::ClusterConfig cfg;
+  {
+    ScopedEnv env("ODIN_REPLICATION_EPOCHS", nullptr);
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 4);  // baked-in default
+  }
+  {
+    ScopedEnv env("ODIN_REPLICATION_EPOCHS", "8");
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 8);
+  }
+  {
+    ScopedEnv env("ODIN_REPLICATION_EPOCHS", "8ep");  // garbage: default
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 4);
+  }
+  {
+    ScopedEnv env("ODIN_REPLICATION_EPOCHS", "0");  // below floor: default
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 4);
+  }
+  {
+    ScopedEnv env("ODIN_REPLICATION_EPOCHS", "999");  // clamped to ceiling
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 64);
+  }
+  {
+    // An explicit config cadence wins over the environment entirely.
+    ScopedEnv env("ODIN_REPLICATION_EPOCHS", "8");
+    cfg.replication_epochs = 2;
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 2);
+    cfg.replication_epochs = 5000;
+    EXPECT_EQ(cfg.resolved_replication_epochs(), 64);
+  }
+}
+
+TEST(Env, FailoverTriStateFollowsStrictContract) {
+  core::FailoverConfig cfg;
+  {
+    ScopedEnv env("ODIN_FAILOVER", nullptr);
+    EXPECT_TRUE(cfg.resolved_enabled());  // baked-in default: on
+  }
+  {
+    ScopedEnv env("ODIN_FAILOVER", "off");
+    EXPECT_FALSE(cfg.resolved_enabled());
+  }
+  {
+    ScopedEnv env("ODIN_FAILOVER", "0");
+    EXPECT_FALSE(cfg.resolved_enabled());
+  }
+  {
+    ScopedEnv env("ODIN_FAILOVER", "on");
+    EXPECT_TRUE(cfg.resolved_enabled());
+  }
+  {
+    ScopedEnv env("ODIN_FAILOVER", "1");
+    EXPECT_TRUE(cfg.resolved_enabled());
+  }
+  for (const char* bad : {"yes", "ON", "off ", "2", "true"}) {
+    // Garbage warns and falls back to the default — never a third state.
+    ScopedEnv env("ODIN_FAILOVER", bad);
+    EXPECT_TRUE(cfg.resolved_enabled()) << "value '" << bad << "'";
+  }
+  {
+    // An explicit config setting wins over the environment entirely.
+    ScopedEnv env("ODIN_FAILOVER", "on");
+    cfg.enabled = 0;
+    EXPECT_FALSE(cfg.resolved_enabled());
+    cfg.enabled = 1;
+    ScopedEnv env2("ODIN_FAILOVER", "off");
     EXPECT_TRUE(cfg.resolved_enabled());
   }
 }

@@ -105,6 +105,30 @@ TEST(FaultInjector, DriftBurstsMultiplyInsideTheirWindows) {
   EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(500.0), 1.0);   // after
 }
 
+TEST(FaultInjector, PowerDownWindowsZeroTheDriftClock) {
+  // A mesh-loss window (core/cluster) pauses the device entirely: inside
+  // it the drift multiplier is 0, not 1 — the array is unpowered, so
+  // neither drift nor bursts advance. Outside, bursts still compound.
+  FaultScheduleParams p;
+  p.bursts = {{.start_s = 100.0, .duration_s = 100.0, .multiplier = 4.0}};
+  FaultInjector inj(p, 1);
+  EXPECT_FALSE(inj.powered_down(150.0));
+  inj.add_power_down(140.0, 30.0);  // [140, 170) inside the burst
+  EXPECT_FALSE(inj.powered_down(139.0));
+  EXPECT_TRUE(inj.powered_down(140.0));
+  EXPECT_TRUE(inj.powered_down(169.0));
+  EXPECT_FALSE(inj.powered_down(170.0));
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(50.0), 1.0);    // before all
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(120.0), 4.0);   // burst only
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(150.0), 0.0);   // powered down
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(180.0), 4.0);   // burst resumes
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(500.0), 1.0);   // after all
+  // Windows accumulate like bursts do.
+  inj.add_power_down(300.0, 10.0);
+  EXPECT_TRUE(inj.powered_down(305.0));
+  EXPECT_DOUBLE_EQ(inj.drift_time_multiplier(305.0), 0.0);
+}
+
 TEST(CrossbarEndurance, WearAccumulatesAcrossCampaigns) {
   Crossbar xbar(32, DeviceParams{});
   xbar.attach_endurance(EnduranceModel({.characteristic_cycles = 5.0,

@@ -71,6 +71,7 @@
 
 #include "common/table.hpp"
 #include "core/checkpoint.hpp"
+#include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "core/fleet.hpp"
 #include "core/scenario.hpp"
@@ -647,6 +648,85 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
+int cmd_cluster(int argc, char** argv) {
+  core::ClusterConfig cfg;
+  // A cluster scenario file seeds the configuration; flags override it.
+  if (const auto file = flag_value(argc, argv, "--file")) {
+    auto parsed = core::parse_cluster_file(*file);
+    if (!parsed) return 1;
+    cfg = std::move(*parsed);
+  }
+  if (const auto v = flag_value(argc, argv, "--seed"))
+    cfg.campaign.scenario.seed = std::strtoull(v->c_str(), nullptr, 10);
+  if (const auto v = flag_value(argc, argv, "--tenants"))
+    cfg.campaign.scenario.tenants = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--requests"))
+    cfg.campaign.scenario.requests = std::atoll(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--shards"))
+    cfg.campaign.shards = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--epochs"))
+    cfg.campaign.epochs = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--meshes"))
+    cfg.meshes = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--replication-epochs"))
+    cfg.replication_epochs = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--failover")) {
+    if (*v != "on" && *v != "off" && *v != "1" && *v != "0") {
+      std::fprintf(stderr, "bad --failover (on|off|1|0)\n");
+      return 1;
+    }
+    cfg.failover.enabled = (*v == "on" || *v == "1") ? 1 : 0;
+  }
+  if (const auto v = flag_value(argc, argv, "--mesh-outages"))
+    cfg.mesh_outages = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--autoscale")) {
+    if (*v != "on" && *v != "off" && *v != "1" && *v != "0") {
+      std::fprintf(stderr, "bad --autoscale (on|off|1|0)\n");
+      return 1;
+    }
+    cfg.campaign.autoscale.enabled = (*v == "on" || *v == "1") ? 1 : 0;
+  }
+  if (const auto v = flag_value(argc, argv, "--checkpoint"))
+    cfg.campaign.checkpoint.base_path = *v;
+  if (const auto v = flag_value(argc, argv, "--every"))
+    cfg.campaign.checkpoint.every_runs = std::atoi(v->c_str());
+  if (const auto v = flag_value(argc, argv, "--max-requests"))
+    cfg.campaign.max_requests = std::atoll(v->c_str());
+
+  bool resume = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+
+  std::optional<core::ClusterResult> result;
+  if (resume) {
+    if (cfg.campaign.checkpoint.base_path.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint BASE\n");
+      return 1;
+    }
+    result = core::resume_cluster(cfg);
+    if (!result) {
+      std::fprintf(stderr,
+                   "no matching cluster checkpoint at %s.{a,b} "
+                   "(check --seed/--tenants/--requests/--shards/--epochs/"
+                   "--meshes/--replication-epochs/--failover)\n",
+                   cfg.campaign.checkpoint.base_path.c_str());
+      return 1;
+    }
+  } else {
+    result = core::run_cluster(cfg);
+  }
+  std::fputs(result->summary().c_str(), stdout);
+  if (cfg.campaign.max_requests > 0 &&
+      result->campaign.requests() < cfg.campaign.scenario.requests &&
+      !cfg.campaign.checkpoint.base_path.empty())
+    std::printf(
+        "stopped after %lld requests (simulated crash); resume with:\n"
+        "  odin_cli cluster --resume --checkpoint %s [same flags]\n",
+        static_cast<long long>(result->campaign.requests()),
+        cfg.campaign.checkpoint.base_path.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: odin_cli <command> [...]\n"
@@ -672,6 +752,26 @@ int usage() {
                "      (docs/scenario_format.md), --max-requests simulates a"
                " crash,\n"
                "      --resume continues from the checkpoint pair bitwise)\n"
+               "  cluster [--file SCENARIO] [--seed N] [--tenants N]"
+               " [--requests N]\n"
+               "          [--shards N] [--epochs N] [--meshes N]"
+               " [--replication-epochs N]\n"
+               "          [--failover on|off] [--mesh-outages N]"
+               " [--autoscale on|off]\n"
+               "          [--checkpoint BASE] [--every N] [--max-requests N]"
+               " [--resume]\n"
+               "     (the campaign across N independent meshes with"
+               " mesh-loss fault\n"
+               "      domains: seeded outage windows, checkpoint replication"
+               " to a peer\n"
+               "      mesh every --replication-epochs epochs, and bounded-RTO"
+               " tenant\n"
+               "      evacuation onto surviving meshes under degraded"
+               " admission;\n"
+               "      --meshes 0 = the ODIN_MESHES default, cluster keys in"
+               " the scenario\n"
+               "      file per docs/scenario_format.md; reports per-tenant"
+               " RTO/RPO)\n"
                "  serve [--workloads A,B,C] [--runs N] [--segments K]"
                " [--crossbar N]\n"
                "        [--slo S] [--queue N] [--shed block|oldest|newest]"
@@ -717,5 +817,6 @@ int main(int argc, char** argv) {
     return cmd_resume(argv[2], argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "cluster") return cmd_cluster(argc, argv);
   return usage();
 }

@@ -30,6 +30,11 @@
 # mid-storm crash/resume, autoscaled-vs-static flash-phase slack) writes
 # BENCH_fleet_campaign.json; set ODIN_CAMPAIGN_SMOKE=1 for the small
 # smoke-scale variant (30k requests / 120 tenants instead of 1.2M / 1200).
+# The cluster arm (cluster_failover: three meshes with a pinned mesh-loss
+# window opening mid-storm — failover-on vs failover-off victim recovery,
+# bounded RTO/RPO, replay determinism, and mid-failover crash/resume)
+# writes BENCH_cluster.json; it honours ODIN_CAMPAIGN_SMOKE=1 too and
+# exits nonzero on a recovery or determinism regression.
 # Every emitted JSON records the build type and git revision it was
 # measured from.
 #
@@ -53,7 +58,7 @@ cmake --build "$BUILD" -j --target \
     micro_mvm micro_search_overhead fig8_edp_all_dnns \
     batching_throughput fault_campaign robustness_overhead \
     serving_resilience endurance_projection fleet_throughput \
-    fleet_campaign \
+    fleet_campaign cluster_failover \
     >"$TMP/build.log"
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
@@ -113,6 +118,15 @@ echo "[bench] fleet_campaign${CAMPAIGN_FLAGS[0]:+ (smoke)}" \
   --build-type "$BUILD_TYPE" --git-sha "$GIT_SHA" \
   ${CAMPAIGN_FLAGS[@]+"${CAMPAIGN_FLAGS[@]}"} \
   >"$TMP/fleet_campaign.log"
+
+# The cluster arm likewise exits nonzero if the failover path misses the
+# 95% victim-recovery bar or any replay/resume stops being byte-identical.
+echo "[bench] cluster_failover${CAMPAIGN_FLAGS[0]:+ (smoke)}" \
+  "-> BENCH_cluster.json" >&2
+"$BUILD/bench/cluster_failover" --json "$REPO/BENCH_cluster.json" \
+  --build-type "$BUILD_TYPE" --git-sha "$GIT_SHA" \
+  ${CAMPAIGN_FLAGS[@]+"${CAMPAIGN_FLAGS[@]}"} \
+  >"$TMP/cluster_failover.log"
 
 # Single-thread so the kernel sweep isolates the batching/SIMD win from
 # thread-pool scaling (which BENCH_parallel.json already covers).
